@@ -1,0 +1,98 @@
+// Ablations for this repository's own design decisions (DESIGN.md §6) that
+// go beyond the paper's Table III:
+//
+//  1. Eq. 18 pairing — cross pairing (j-th most similar vs j-th least
+//     similar; this repo's default) vs the literal adjacent-rank pairing.
+//     Expected: cross pairing clearly better in Hamming space (adjacent
+//     pairs are near-ties and give the hinge no signal).
+//  2. Pre-LN attention blocks (extension; Eq. 12 has bare residuals).
+//     Expected: no large effect at shallow depth — the paper's bare
+//     residuals are adequate for m = 2 blocks.
+//
+// Single binary so the dataset/ground truth is shared.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "core/model.h"
+#include "core/trainer.h"
+
+namespace t2h = traj2hash;
+using t2h::bench::MeasureData;
+using t2h::bench::Scale;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool cross_pairing;
+  bool layer_norm;
+};
+
+void RunVariant(const Variant& v, const t2h::bench::Dataset& data,
+                const MeasureData& md, const Scale& scale, uint64_t seed) {
+  t2h::Rng rng(seed);
+  t2h::core::Traj2HashConfig cfg;
+  cfg.dim = scale.dim;
+  cfg.num_blocks = scale.num_blocks;
+  cfg.num_heads = scale.num_heads;
+  cfg.epochs = scale.epochs;
+  cfg.samples_per_anchor = scale.samples_per_anchor;
+  cfg.batch_size = scale.batch_size;
+  cfg.cross_pairing = v.cross_pairing;
+  cfg.use_layer_norm = v.layer_norm;
+  auto model =
+      std::move(t2h::core::Traj2Hash::Create(cfg, data.all, rng).value());
+  t2h::embedding::GridPretrainOptions pre;
+  pre.samples_per_epoch = scale.grid_pretrain_samples;
+  pre.epochs = 2;
+  model->PretrainGrids(pre, rng);
+  t2h::core::TrainingData train;
+  train.seeds = data.seeds;
+  train.seed_distances = md.seed_distances;
+  train.triplet_corpus = data.all;
+  train.val_queries = data.val_queries;
+  train.val_db = data.val_db;
+  train.val_truth = md.val_truth;
+  t2h::core::Trainer trainer(
+      model.get(),
+      t2h::core::TrainerOptions{.triplets_per_step = scale.triplets_per_step});
+  const auto report = trainer.Fit(train, rng);
+  if (!report.ok()) {
+    std::printf("%-24s training failed: %s\n", v.name,
+                report.status().ToString().c_str());
+    return;
+  }
+  const auto e = t2h::eval::EvaluateEuclidean(
+      t2h::core::EmbedAll(*model, data.queries),
+      t2h::core::EmbedAll(*model, data.database), md.test_truth);
+  const auto h = t2h::eval::EvaluateHamming(
+      t2h::core::HashAll(*model, data.queries),
+      t2h::core::HashAll(*model, data.database), md.test_truth);
+  std::printf("%-24s euclid HR@10=%.4f R10@50=%.4f | hamming HR@10=%.4f"
+              " HR@50=%.4f\n",
+              v.name, e.hr10, e.r10_50, h.hr10, h.hr50);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = t2h::bench::GetScale();
+  std::printf("Repo design-decision ablations, scale='%s' "
+              "(Porto-like, Frechet)\n\n",
+              scale.name.c_str());
+  const t2h::bench::Dataset data = t2h::bench::MakeDataset(
+      t2h::traj::CityConfig::PortoLike(), scale, 950);
+  const MeasureData md =
+      t2h::bench::ComputeMeasureData(data, t2h::dist::Measure::kFrechet);
+
+  const Variant variants[] = {
+      {"cross-pairing (default)", true, false},
+      {"adjacent-pairing", false, false},
+      {"pre-LN blocks", true, true},
+  };
+  uint64_t seed = 951;
+  for (const Variant& v : variants) RunVariant(v, data, md, scale, seed++);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces Fig. 4: the effect of the read-out layer (Mean / CLS /
+// LowerBound) on a plain Transformer backbone trained with WMSE only —
+// grid channel, reverse augmentation and fast triplets are all disabled,
+// exactly as in the paper's study.
+//
+// Expected shape: LowerBound best under DTW and Frechet; Mean best under
+// Hausdorff; CLS dominated by LowerBound.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace t2h = traj2hash;
+using t2h::bench::MeasureData;
+using t2h::bench::Scale;
+using t2h::bench::Traj2HashTweaks;
+
+int main() {
+  const Scale scale = t2h::bench::GetScale();
+  std::printf("Fig. 4 reproduction (read-out layer study), scale='%s'\n",
+              scale.name.c_str());
+  std::printf("HR@10 in Euclidean space, transformer backbone + WMSE only\n");
+
+  struct Variant {
+    const char* name;
+    t2h::core::ReadOut read_out;
+  };
+  const std::vector<Variant> variants = {
+      {"Mean", t2h::core::ReadOut::kMean},
+      {"CLS", t2h::core::ReadOut::kCls},
+      {"LowerBound", t2h::core::ReadOut::kLowerBound}};
+
+  uint64_t seed = 400;
+  for (const t2h::traj::CityConfig& city :
+       {t2h::traj::CityConfig::PortoLike(),
+        t2h::traj::CityConfig::ChengduLike()}) {
+    const t2h::bench::Dataset data =
+        t2h::bench::MakeDataset(city, scale, seed++);
+    std::printf("\n%-10s %-12s %-12s %-12s\n", data.name.c_str(), "Frechet",
+                "Hausdorff", "DTW");
+    for (const Variant& v : variants) {
+      std::printf("%-10s ", v.name);
+      for (const auto measure :
+           {t2h::dist::Measure::kFrechet, t2h::dist::Measure::kHausdorff,
+            t2h::dist::Measure::kDtw}) {
+        const MeasureData md = t2h::bench::ComputeMeasureData(data, measure);
+        Traj2HashTweaks tweaks;
+        tweaks.read_out = v.read_out;
+        tweaks.use_grid_channel = false;
+        tweaks.use_rev_aug = false;
+        tweaks.use_triplets = false;
+        const auto r =
+            t2h::bench::RunTraj2Hash(data, md, scale, tweaks, seed++);
+        std::printf("%-12.4f ", r.EuclideanMetrics(md).hr10);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Reproduces Fig. 5: mean per-query time of the three search strategies
+// (Euclidean-BF, Hamming-BF, Hamming-Hybrid) as the database grows.
+//
+// Expected shape: Hamming-BF < Euclidean-BF at every size; Hamming-Hybrid
+// fastest, and its advantage grows with the database (more queries resolved
+// by radius-2 table-lookup).
+//
+// Database sizes follow the paper (20K..100K); the `tiny` scale divides them
+// by 10 so the bench stays quick everywhere.
+
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/timing_data.h"
+#include "search/hamming_index.h"
+#include "search/knn.h"
+
+namespace t2h = traj2hash;
+
+namespace {
+
+constexpr int kDim = 64;       // d_h = 64, the paper's default
+constexpr int kTopK = 50;      // Fig. 5 fixes top-50
+constexpr int kNumQueries = 64;
+constexpr int kClusterSize = 40;
+
+int SizeScale() {
+  const char* env = std::getenv("T2H_BENCH_SCALE");
+  return env != nullptr && std::string(env) == "tiny" ? 10 : 1;
+}
+
+const t2h::bench::TimingWorkload& WorkloadFor(int db_size) {
+  static std::map<int, t2h::bench::TimingWorkload>* cache =
+      new std::map<int, t2h::bench::TimingWorkload>();
+  auto it = cache->find(db_size);
+  if (it == cache->end()) {
+    it = cache
+             ->emplace(db_size,
+                       t2h::bench::MakeTimingWorkload(
+                           db_size, kNumQueries, kDim, kClusterSize, 5))
+             .first;
+  }
+  return it->second;
+}
+
+const t2h::search::HammingIndex& IndexFor(int db_size) {
+  static std::map<int, t2h::search::HammingIndex>* cache =
+      new std::map<int, t2h::search::HammingIndex>();
+  auto it = cache->find(db_size);
+  if (it == cache->end()) {
+    it = cache->emplace(db_size, t2h::search::HammingIndex(
+                                     WorkloadFor(db_size).db_codes))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_EuclideanBF(benchmark::State& state) {
+  const int db_size = static_cast<int>(state.range(0)) / SizeScale();
+  const auto& w = WorkloadFor(db_size);
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t2h::search::TopKEuclidean(
+        w.db_embeddings, w.query_embeddings[q++ % kNumQueries], kTopK));
+  }
+}
+
+void BM_HammingBF(benchmark::State& state) {
+  const int db_size = static_cast<int>(state.range(0)) / SizeScale();
+  const auto& w = WorkloadFor(db_size);
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t2h::search::TopKHamming(
+        w.db_codes, w.query_codes[q++ % kNumQueries], kTopK));
+  }
+}
+
+void BM_HammingHybrid(benchmark::State& state) {
+  const int db_size = static_cast<int>(state.range(0)) / SizeScale();
+  const auto& w = WorkloadFor(db_size);
+  const auto& index = IndexFor(db_size);
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.HybridTopK(w.query_codes[q++ % kNumQueries], kTopK));
+  }
+}
+
+void DbSizes(benchmark::internal::Benchmark* b) {
+  for (int size = 20000; size <= 100000; size += 20000) b->Arg(size);
+  b->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_EuclideanBF)->Apply(DbSizes);
+BENCHMARK(BM_HammingBF)->Apply(DbSizes);
+BENCHMARK(BM_HammingHybrid)->Apply(DbSizes);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Reproduces Fig. 6: mean per-query time of the three search strategies as
+// the number of returned results k grows, at a fixed database size (100K in
+// the paper; 10K under T2H_BENCH_SCALE=tiny).
+//
+// Expected shape: brute-force strategies flat in k; Hamming-Hybrid fastest
+// at small k (most queries resolved by table-lookup) and converging toward
+// Hamming-BF as k grows (radius-2 probes stop yielding k candidates).
+
+#include <cstdlib>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/timing_data.h"
+#include "search/hamming_index.h"
+#include "search/knn.h"
+
+namespace t2h = traj2hash;
+
+namespace {
+
+constexpr int kDim = 64;
+constexpr int kNumQueries = 64;
+constexpr int kClusterSize = 40;
+
+int DbSize() {
+  const char* env = std::getenv("T2H_BENCH_SCALE");
+  return env != nullptr && std::string(env) == "tiny" ? 10000 : 100000;
+}
+
+const t2h::bench::TimingWorkload& Workload() {
+  static const t2h::bench::TimingWorkload* w =
+      new t2h::bench::TimingWorkload(t2h::bench::MakeTimingWorkload(
+          DbSize(), kNumQueries, kDim, kClusterSize, 6));
+  return *w;
+}
+
+const t2h::search::HammingIndex& Index() {
+  static const t2h::search::HammingIndex* index =
+      new t2h::search::HammingIndex(Workload().db_codes);
+  return *index;
+}
+
+void BM_EuclideanBF(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const auto& w = Workload();
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t2h::search::TopKEuclidean(
+        w.db_embeddings, w.query_embeddings[q++ % kNumQueries], k));
+  }
+}
+
+void BM_HammingBF(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const auto& w = Workload();
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t2h::search::TopKHamming(
+        w.db_codes, w.query_codes[q++ % kNumQueries], k));
+  }
+}
+
+void BM_HammingHybrid(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const auto& w = Workload();
+  const auto& index = Index();
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.HybridTopK(w.query_codes[q++ % kNumQueries], k));
+  }
+}
+
+void TopKs(benchmark::internal::Benchmark* b) {
+  for (int k = 10; k <= 50; k += 10) b->Arg(k);
+  b->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_EuclideanBF)->Apply(TopKs);
+BENCHMARK(BM_HammingBF)->Apply(TopKs);
+BENCHMARK(BM_HammingHybrid)->Apply(TopKs);
+
+}  // namespace
+
+BENCHMARK_MAIN();

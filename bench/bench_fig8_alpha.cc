@@ -1,0 +1,47 @@
+// Reproduces Fig. 8: HR@10 as the ranking margin alpha sweeps [0, 25], under
+// DTW and Frechet, in Euclidean and Hamming space, on both datasets.
+//
+// Expected shape: Euclidean-space quality insensitive to alpha; Hamming-space
+// quality poor at alpha = 0 (codes collapse without a margin), rising to a
+// plateau around alpha ~ 5.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace t2h = traj2hash;
+using t2h::bench::MeasureData;
+using t2h::bench::Scale;
+using t2h::bench::Traj2HashTweaks;
+
+int main() {
+  const Scale scale = t2h::bench::GetScale();
+  std::printf("Fig. 8 reproduction (margin alpha sweep), scale='%s'\n",
+              scale.name.c_str());
+  const std::vector<float> alphas = {0.0f, 1.0f, 5.0f, 10.0f, 25.0f};
+
+  uint64_t seed = 800;
+  for (const t2h::traj::CityConfig& city :
+       {t2h::traj::CityConfig::PortoLike(),
+        t2h::traj::CityConfig::ChengduLike()}) {
+    const t2h::bench::Dataset data =
+        t2h::bench::MakeDataset(city, scale, seed++);
+    for (const auto measure :
+         {t2h::dist::Measure::kDtw, t2h::dist::Measure::kFrechet}) {
+      const MeasureData md = t2h::bench::ComputeMeasureData(data, measure);
+      std::printf("\n--- %s / %s: HR@10 vs alpha ---\n", data.name.c_str(),
+                  t2h::dist::MeasureName(measure).c_str());
+      std::printf("%-8s %-12s %-12s\n", "alpha", "Euclidean", "Hamming");
+      for (const float alpha : alphas) {
+        Traj2HashTweaks tweaks;
+        tweaks.alpha = alpha;
+        const auto r =
+            t2h::bench::RunTraj2Hash(data, md, scale, tweaks, seed++);
+        std::printf("%-8.0f %-12.4f %-12.4f\n", alpha,
+                    r.EuclideanMetrics(md).hr10, r.HammingMetrics(md).hr10);
+        std::fflush(stdout);
+      }
+    }
+  }
+  return 0;
+}

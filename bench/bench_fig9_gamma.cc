@@ -1,0 +1,48 @@
+// Reproduces Fig. 9: HR@10 as the balance weight gamma sweeps [0, 12], under
+// DTW and Frechet, in Euclidean and Hamming space, on both datasets.
+//
+// Expected shape: Euclidean-space quality roughly flat (slightly rising for
+// DTW); Hamming-space quality extremely poor at gamma = 0 (no hash
+// objectives at all — the seed set cannot regularize Hamming space), then
+// rising steeply and peaking at moderate gamma.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace t2h = traj2hash;
+using t2h::bench::MeasureData;
+using t2h::bench::Scale;
+using t2h::bench::Traj2HashTweaks;
+
+int main() {
+  const Scale scale = t2h::bench::GetScale();
+  std::printf("Fig. 9 reproduction (balance gamma sweep), scale='%s'\n",
+              scale.name.c_str());
+  const std::vector<float> gammas = {0.0f, 1.0f, 3.0f, 6.0f, 12.0f};
+
+  uint64_t seed = 900;
+  for (const t2h::traj::CityConfig& city :
+       {t2h::traj::CityConfig::PortoLike(),
+        t2h::traj::CityConfig::ChengduLike()}) {
+    const t2h::bench::Dataset data =
+        t2h::bench::MakeDataset(city, scale, seed++);
+    for (const auto measure :
+         {t2h::dist::Measure::kDtw, t2h::dist::Measure::kFrechet}) {
+      const MeasureData md = t2h::bench::ComputeMeasureData(data, measure);
+      std::printf("\n--- %s / %s: HR@10 vs gamma ---\n", data.name.c_str(),
+                  t2h::dist::MeasureName(measure).c_str());
+      std::printf("%-8s %-12s %-12s\n", "gamma", "Euclidean", "Hamming");
+      for (const float gamma : gammas) {
+        Traj2HashTweaks tweaks;
+        tweaks.gamma = gamma;
+        const auto r =
+            t2h::bench::RunTraj2Hash(data, md, scale, tweaks, seed++);
+        std::printf("%-8.0f %-12.4f %-12.4f\n", gamma,
+                    r.EuclideanMetrics(md).hr10, r.HammingMetrics(md).hr10);
+        std::fflush(stdout);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quantifies §V-E footnote 5: why the paper does NOT use pure table-lookup
+// (neighbour expansion) search in Hamming space. With d_h = 64 there are
+// 2^64 buckets and at most |DB| non-empty ones, so a query far from every
+// code expands through astronomically many empty buckets; Hamming-Hybrid
+// instead gives up after radius 2 and falls back to the linear scan.
+//
+// The bench reports mean per-query time of LookupOnly (radius capped at 3 —
+// uncapped would probe C(64, r) buckets per radius), Hamming-Hybrid and
+// Hamming-BF on the same workload, split by query type (clustered queries
+// that have near neighbours vs isolated queries that do not).
+
+#include <cstdio>
+#include <functional>
+
+#include "bench/timing_data.h"
+#include "common/stopwatch.h"
+#include "search/hamming_index.h"
+
+namespace t2h = traj2hash;
+
+namespace {
+
+constexpr int kDim = 64;
+constexpr int kDbSize = 20000;
+constexpr int kNumQueries = 64;
+constexpr int kTopK = 10;
+
+double MeanMicros(const std::function<void(const t2h::search::Code&)>& fn,
+                  const std::vector<t2h::search::Code>& queries,
+                  bool clustered) {
+  t2h::Stopwatch sw;
+  int count = 0;
+  // MakeTimingWorkload alternates clustered (even) / isolated (odd) queries.
+  for (size_t q = clustered ? 0 : 1; q < queries.size(); q += 2) {
+    fn(queries[q]);
+    ++count;
+  }
+  return sw.ElapsedMicros() / count;
+}
+
+}  // namespace
+
+int main() {
+  const auto w =
+      t2h::bench::MakeTimingWorkload(kDbSize, kNumQueries, kDim, 40, 9);
+  const t2h::search::HammingIndex index(w.db_codes);
+  std::printf("Footnote 5 reproduction: pure table-lookup vs Hamming-Hybrid\n");
+  std::printf("database=%d codes (%d bits), %d buckets, top-%d\n\n", kDbSize,
+              kDim, index.num_buckets(), kTopK);
+  std::printf("%-28s %-18s %-18s\n", "strategy", "clustered queries",
+              "isolated queries");
+
+  auto report = [&](const char* name, auto&& fn) {
+    const double near = MeanMicros(fn, w.query_codes, true);
+    const double far = MeanMicros(fn, w.query_codes, false);
+    std::printf("%-28s %12.1f us   %12.1f us\n", name, near, far);
+  };
+  report("LookupOnly (radius <= 3)", [&](const t2h::search::Code& q) {
+    index.LookupOnlyTopK(q, kTopK, /*max_radius=*/3);
+  });
+  report("Hamming-Hybrid", [&](const t2h::search::Code& q) {
+    index.HybridTopK(q, kTopK);
+  });
+  report("Hamming-BF", [&](const t2h::search::Code& q) {
+    index.BruteForceTopK(q, kTopK);
+  });
+  std::printf(
+      "\nLookupOnly pays ~C(64,3)=41664 probes for every isolated query and\n"
+      "still returns fewer than k results; Hamming-Hybrid caps probing at\n"
+      "radius 2 and scans linearly instead — the paper's design choice.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces Table I: top-k similar trajectory search quality in EUCLIDEAN
+// space for seven methods x {Frechet, Hausdorff, DTW} x {Porto, ChengDu}.
+//
+// The paper's absolute numbers come from the real taxi datasets and GPU-scale
+// training; this harness reproduces the protocol and the shape of the result
+// (Traj2Hash best on every measure; NeuTraj variants strong on Frechet/DTW;
+// Transformer/TrajGAT strongest among baselines on Hausdorff; t2vec/CL-TSim,
+// being distance-agnostic, worst) at T2H_BENCH_SCALE.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace t2h = traj2hash;
+using t2h::bench::Dataset;
+using t2h::bench::MeasureData;
+using t2h::bench::MethodResult;
+using t2h::bench::Scale;
+
+int main() {
+  const Scale scale = t2h::bench::GetScale();
+  std::printf("Table I reproduction (Euclidean space), scale='%s'\n",
+              scale.name.c_str());
+  const std::vector<t2h::dist::Measure> measures = {
+      t2h::dist::Measure::kFrechet, t2h::dist::Measure::kHausdorff,
+      t2h::dist::Measure::kDtw};
+  const std::vector<std::string> baselines = {
+      "t2vec", "CL-TSim", "NT-No-SAM", "NeuTraj", "Transformer", "TrajGAT"};
+
+  t2h::bench::PrintTableHeader("Table I: Euclidean-space retrieval",
+                               {"Frechet", "Hausdorff", "DTW"});
+  uint64_t seed = 100;
+  for (const t2h::traj::CityConfig& city :
+       {t2h::traj::CityConfig::PortoLike(),
+        t2h::traj::CityConfig::ChengduLike()}) {
+    const Dataset data = t2h::bench::MakeDataset(city, scale, seed++);
+    std::vector<MeasureData> md;
+    md.reserve(measures.size());
+    for (const auto m : measures) {
+      md.push_back(t2h::bench::ComputeMeasureData(data, m));
+    }
+    for (const std::string& name : baselines) {
+      std::vector<t2h::eval::RetrievalMetrics> row;
+      for (const MeasureData& m : md) {
+        const MethodResult r = t2h::bench::RunBaseline(
+            name, data, m, scale, seed++, /*with_hash_head=*/false);
+        row.push_back(r.EuclideanMetrics(m));
+      }
+      t2h::bench::PrintRow(data.name, name, row);
+    }
+    std::vector<t2h::eval::RetrievalMetrics> row;
+    for (const MeasureData& m : md) {
+      const MethodResult r = t2h::bench::RunTraj2Hash(
+          data, m, scale, t2h::bench::Traj2HashTweaks{}, seed++);
+      row.push_back(r.EuclideanMetrics(m));
+    }
+    t2h::bench::PrintRow(data.name, "Traj2Hash", row);
+  }
+  return 0;
+}

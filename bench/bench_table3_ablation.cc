@@ -1,0 +1,71 @@
+// Reproduces Table III: cumulative ablation of Traj2Hash on Frechet and DTW
+// in both spaces. Variants (cumulative, as in the paper):
+//   Traj2Hash  : full model
+//   -Grids     : no light-weight grid representation encoder
+//   -RevAug    : additionally no reverse augmentation
+//   -Triplets  : additionally no fast triplet generation (plain Transformer
+//                with lower-bound read-out + WMSE + seed ranking loss)
+//
+// Expected shape: monotone degradation in Euclidean space; a cliff from
+// -RevAug to -Triplets in Hamming space.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace t2h = traj2hash;
+using t2h::bench::MeasureData;
+using t2h::bench::MethodResult;
+using t2h::bench::Scale;
+using t2h::bench::Traj2HashTweaks;
+
+int main() {
+  const Scale scale = t2h::bench::GetScale();
+  std::printf("Table III reproduction (ablation study), scale='%s'\n",
+              scale.name.c_str());
+
+  struct Variant {
+    const char* name;
+    Traj2HashTweaks tweaks;
+  };
+  Traj2HashTweaks full;
+  Traj2HashTweaks no_grids = full;
+  no_grids.use_grid_channel = false;
+  Traj2HashTweaks no_rev = no_grids;
+  no_rev.use_rev_aug = false;
+  Traj2HashTweaks no_triplets = no_rev;
+  no_triplets.use_triplets = false;
+  const std::vector<Variant> variants = {{"Traj2Hash", full},
+                                         {"-Grids", no_grids},
+                                         {"-RevAug", no_rev},
+                                         {"-Triplets", no_triplets}};
+
+  uint64_t seed = 300;
+  for (const t2h::traj::CityConfig& city :
+       {t2h::traj::CityConfig::PortoLike(),
+        t2h::traj::CityConfig::ChengduLike()}) {
+    const t2h::bench::Dataset data =
+        t2h::bench::MakeDataset(city, scale, seed++);
+    for (const auto measure :
+         {t2h::dist::Measure::kFrechet, t2h::dist::Measure::kDtw}) {
+      const MeasureData md = t2h::bench::ComputeMeasureData(data, measure);
+      std::printf("\n--- %s / %s ---\n", data.name.c_str(),
+                  t2h::dist::MeasureName(measure).c_str());
+      std::printf("%-12s | %-9s %-28s | %-9s %-28s\n", "Variant", "Euclidean",
+                  "(HR@10  HR@50  R10@50)", "Hamming",
+                  "(HR@10  HR@50  R10@50)");
+      for (const Variant& v : variants) {
+        const MethodResult r =
+            t2h::bench::RunTraj2Hash(data, md, scale, v.tweaks, seed++);
+        const auto e = r.EuclideanMetrics(md);
+        const auto h = r.HammingMetrics(md);
+        std::printf("%-12s |           %6.4f %6.4f %6.4f        |"
+                    "           %6.4f %6.4f %6.4f\n",
+                    v.name, e.hr10, e.hr50, e.r10_50, h.hr10, h.hr50,
+                    h.r10_50);
+        std::fflush(stdout);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,306 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/cltsim.h"
+#include "baselines/fresh.h"
+#include "baselines/hash_head.h"
+#include "baselines/metric_trainer.h"
+#include "baselines/neutraj.h"
+#include "baselines/t2vec.h"
+#include "baselines/trajgat.h"
+#include "baselines/transformer.h"
+#include "common/check.h"
+#include "embedding/node2vec.h"
+
+namespace traj2hash::bench {
+
+Scale GetScale() {
+  Scale s;  // 'small' defaults come from the struct definition
+  const char* env = std::getenv("T2H_BENCH_SCALE");
+  const std::string name = env != nullptr ? env : "small";
+  if (name == "tiny") {
+    s.name = "tiny";
+    s.num_seeds = 32;
+    s.num_val_queries = 12;
+    s.num_val_db = 32;
+    s.num_queries = 24;
+    s.num_db = 250;
+    s.triplet_corpus = 600;
+    s.max_points = 14;
+    s.dim = 8;
+    s.num_blocks = 1;
+    s.num_heads = 2;
+    s.epochs = 5;
+    s.selfsup_epochs = 2;
+    s.samples_per_anchor = 6;
+    s.batch_size = 8;
+    s.triplets_per_step = 4;
+    s.hash_head_epochs = 10;
+    s.grid_pretrain_samples = 1500;
+  } else if (name == "large") {
+    s.name = "large";
+    s.num_seeds = 160;
+    s.num_val_queries = 50;
+    s.num_val_db = 160;
+    s.num_queries = 150;
+    s.num_db = 4000;
+    s.triplet_corpus = 8000;
+    s.max_points = 32;
+    s.dim = 32;
+    s.num_blocks = 2;
+    s.num_heads = 4;
+    s.epochs = 20;
+    s.selfsup_epochs = 5;
+    s.samples_per_anchor = 10;
+    s.batch_size = 20;
+    s.triplets_per_step = 16;
+    s.hash_head_epochs = 25;
+    s.grid_pretrain_samples = 20000;
+  } else if (name != "small") {
+    std::fprintf(stderr, "unknown T2H_BENCH_SCALE '%s', using 'small'\n",
+                 name.c_str());
+  }
+  return s;
+}
+
+Dataset MakeDataset(const traj::CityConfig& city, const Scale& scale,
+                    uint64_t seed) {
+  Dataset d;
+  d.name = city.name;
+  traj::CityConfig cfg = city;
+  cfg.max_points = scale.max_points;
+  const int total = scale.num_seeds + scale.num_val_queries +
+                    scale.num_val_db + scale.num_queries + scale.num_db;
+  Rng rng(seed);
+  d.all = GenerateTrips(cfg, std::max(total, scale.triplet_corpus), rng);
+  d.normalizer.Fit(d.all);
+  auto take = [&d](int& cursor, int count) {
+    std::vector<traj::Trajectory> out(d.all.begin() + cursor,
+                                      d.all.begin() + cursor + count);
+    cursor += count;
+    return out;
+  };
+  int cursor = 0;
+  d.seeds = take(cursor, scale.num_seeds);
+  d.val_queries = take(cursor, scale.num_val_queries);
+  d.val_db = take(cursor, scale.num_val_db);
+  d.queries = take(cursor, scale.num_queries);
+  d.database = take(cursor, scale.num_db);
+  return d;
+}
+
+MeasureData ComputeMeasureData(const Dataset& data, dist::Measure measure) {
+  MeasureData md;
+  md.measure = measure;
+  const dist::DistanceFn fn = dist::GetDistance(measure);
+  md.seed_distances = dist::PairwiseMatrix(data.seeds, fn);
+  md.val_truth = eval::ExactTopK(data.val_queries, data.val_db, fn, 50);
+  md.test_truth = eval::ExactTopK(data.queries, data.database, fn, 50);
+  return md;
+}
+
+namespace {
+
+core::Traj2HashConfig ConfigFor(const Scale& scale,
+                                const Traj2HashTweaks& tweaks) {
+  core::Traj2HashConfig cfg;
+  cfg.dim = scale.dim;
+  cfg.num_blocks = scale.num_blocks;
+  cfg.num_heads = scale.num_heads;
+  cfg.epochs = scale.epochs;
+  cfg.samples_per_anchor = scale.samples_per_anchor;
+  cfg.batch_size = scale.batch_size;
+  cfg.read_out = tweaks.read_out;
+  cfg.use_grid_channel = tweaks.use_grid_channel;
+  cfg.use_rev_aug = tweaks.use_rev_aug;
+  cfg.use_triplets = tweaks.use_triplets;
+  cfg.alpha = tweaks.alpha;
+  cfg.gamma = tweaks.gamma;
+  if (tweaks.fine_cell_m > 0.0) cfg.fine_cell_m = tweaks.fine_cell_m;
+  if (tweaks.node2vec_cell_m > 0.0) cfg.fine_cell_m = tweaks.node2vec_cell_m;
+  T2H_CHECK(cfg.Validate().ok());
+  return cfg;
+}
+
+}  // namespace
+
+MethodResult RunTraj2Hash(const Dataset& data, const MeasureData& md,
+                          const Scale& scale, const Traj2HashTweaks& tweaks,
+                          uint64_t seed) {
+  Rng rng(seed);
+  const core::Traj2HashConfig cfg = ConfigFor(scale, tweaks);
+  auto model =
+      std::move(core::Traj2Hash::Create(cfg, data.all, rng).value());
+
+  if (cfg.use_grid_channel) {
+    if (tweaks.node2vec_cell_m > 0.0) {
+      // Fig. 7 variant: swap the decomposed representation for node2vec on
+      // the same lattice.
+      const traj::Grid& grid = model->fine_grid();
+      auto n2v = std::make_unique<embedding::Node2vecGridEmbedding>(
+          grid.num_x(), grid.num_y(), cfg.dim, rng);
+      embedding::Node2vecOptions opt;
+      opt.dim = cfg.dim;
+      opt.walk_length = 20;
+      opt.num_walks = 2;
+      opt.window = 5;
+      n2v->Train(opt, rng);
+      model->UseGridRepresentation(std::move(n2v), rng);
+    } else {
+      embedding::GridPretrainOptions pre;
+      pre.samples_per_epoch = scale.grid_pretrain_samples;
+      pre.epochs = 2;
+      model->PretrainGrids(pre, rng);
+    }
+  }
+
+  core::TrainingData train;
+  train.seeds = data.seeds;
+  train.seed_distances = md.seed_distances;
+  if (cfg.use_triplets) {
+    train.triplet_corpus = data.all;
+  }
+  train.val_queries = data.val_queries;
+  train.val_db = data.val_db;
+  train.val_truth = md.val_truth;
+
+  core::Trainer trainer(
+      model.get(),
+      core::TrainerOptions{.triplets_per_step = scale.triplets_per_step});
+  const auto report = trainer.Fit(train, rng);
+  T2H_CHECK_MSG(report.ok(), report.status().ToString().c_str());
+
+  MethodResult result;
+  result.name = "Traj2Hash";
+  result.query_embeddings = core::EmbedAll(*model, data.queries);
+  result.db_embeddings = core::EmbedAll(*model, data.database);
+  result.query_codes = core::HashAll(*model, data.queries);
+  result.db_codes = core::HashAll(*model, data.database);
+  return result;
+}
+
+MethodResult RunBaseline(const std::string& name, const Dataset& data,
+                         const MeasureData& md, const Scale& scale,
+                         uint64_t seed, bool with_hash_head) {
+  Rng rng(seed);
+  std::unique_ptr<baselines::NeuralEncoder> encoder;
+  // Pieces some encoders need; kept alive for the encoder's lifetime.
+  auto grid = std::make_unique<traj::Grid>(
+      traj::Grid::Create(traj::ComputeBoundingBox(data.all), 50.0).value());
+  std::unique_ptr<baselines::PrQuadtree> tree;
+  const traj::BoundingBox box = traj::ComputeBoundingBox(data.all);
+
+  baselines::NeuTrajEncoder* neutraj = nullptr;
+  bool self_supervised = false;
+  if (name == "t2vec") {
+    auto enc =
+        std::make_unique<baselines::T2VecEncoder>(scale.dim, &data.normalizer,
+                                                  rng);
+    baselines::T2VecOptions opt;
+    opt.epochs = scale.selfsup_epochs;
+    enc->Fit(data.seeds, opt, rng);
+    encoder = std::move(enc);
+    self_supervised = true;
+  } else if (name == "CL-TSim") {
+    auto enc = std::make_unique<baselines::ClTsimEncoder>(
+        scale.dim, &data.normalizer, rng);
+    baselines::ClTsimOptions opt;
+    opt.epochs = scale.selfsup_epochs;
+    enc->Fit(data.seeds, opt, rng);
+    encoder = std::move(enc);
+    self_supervised = true;
+  } else if (name == "NT-No-SAM") {
+    encoder = std::make_unique<baselines::GruTrajEncoder>(
+        scale.dim, &data.normalizer, rng);
+  } else if (name == "NeuTraj") {
+    auto enc = std::make_unique<baselines::NeuTrajEncoder>(
+        scale.dim, &data.normalizer, grid.get(), rng);
+    neutraj = enc.get();
+    encoder = std::move(enc);
+  } else if (name == "Transformer") {
+    encoder = std::make_unique<baselines::TransformerEncoder>(
+        scale.dim, scale.num_blocks, scale.num_heads, core::ReadOut::kCls,
+        &data.normalizer, rng);
+  } else if (name == "TrajGAT") {
+    tree = std::make_unique<baselines::PrQuadtree>(box, 12, 4);
+    std::vector<traj::Point> pts;
+    for (const traj::Trajectory& t : data.all) {
+      pts.insert(pts.end(), t.points.begin(), t.points.end());
+    }
+    tree->Build(pts);
+    encoder = std::make_unique<baselines::TrajGatEncoder>(
+        scale.dim, scale.num_blocks, scale.num_heads, tree.get(), box, rng);
+  } else {
+    T2H_CHECK_MSG(false, "unknown baseline");
+  }
+
+  if (!self_supervised) {
+    baselines::MetricTrainOptions opt;
+    opt.epochs = scale.epochs;
+    opt.samples_per_anchor = scale.samples_per_anchor;
+    opt.batch_size = scale.batch_size;
+    const auto report = baselines::TrainMetric(
+        encoder.get(), data.seeds, md.seed_distances, data.val_queries,
+        data.val_db, md.val_truth, opt, rng);
+    T2H_CHECK_MSG(report.ok(), report.status().ToString().c_str());
+  }
+
+  // Freeze SAM memory for evaluation so embeddings are order-independent.
+  if (neutraj != nullptr) neutraj->set_memory_writes(false);
+
+  MethodResult result;
+  result.name = name;
+  result.query_embeddings = baselines::EmbedAll(*encoder, data.queries);
+  result.db_embeddings = baselines::EmbedAll(*encoder, data.database);
+
+  if (with_hash_head) {
+    // Table II: frozen base + trained linear ranking head.
+    baselines::HashHead head(scale.dim, scale.dim, rng);
+    baselines::HashHeadOptions opt;
+    opt.epochs = scale.hash_head_epochs;
+    const auto seed_embeddings = baselines::EmbedAll(*encoder, data.seeds);
+    const auto fit = head.Fit(seed_embeddings, md.seed_distances, opt, rng);
+    T2H_CHECK_MSG(fit.ok(), fit.status().ToString().c_str());
+    result.query_codes = head.CodeAll(result.query_embeddings);
+    result.db_codes = head.CodeAll(result.db_embeddings);
+  }
+  return result;
+}
+
+MethodResult RunFresh(const Dataset& data, uint64_t seed) {
+  Rng rng(seed);
+  baselines::FreshLsh lsh(baselines::FreshOptions{}, rng);
+  MethodResult result;
+  result.name = "Fresh";
+  result.query_codes = lsh.CodeAll(data.queries);
+  result.db_codes = lsh.CodeAll(data.database);
+  return result;
+}
+
+void PrintTableHeader(const std::string& title,
+                      const std::vector<std::string>& measures) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-10s %-22s", "Dataset", "Method");
+  for (const std::string& m : measures) {
+    std::printf(" | %-8s %-8s %-8s", (m + "").c_str(), "", "");
+  }
+  std::printf("\n%-10s %-22s", "", "");
+  for (size_t i = 0; i < measures.size(); ++i) {
+    std::printf(" | %-8s %-8s %-8s", "HR@10", "HR@50", "R10@50");
+  }
+  std::printf("\n");
+}
+
+void PrintRow(const std::string& dataset, const std::string& method,
+              const std::vector<eval::RetrievalMetrics>& per_measure) {
+  std::printf("%-10s %-22s", dataset.c_str(), method.c_str());
+  for (const eval::RetrievalMetrics& m : per_measure) {
+    std::printf(" | %-8.4f %-8.4f %-8.4f", m.hr10, m.hr50, m.r10_50);
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace traj2hash::bench

@@ -1,0 +1,130 @@
+#ifndef TRAJ2HASH_BENCH_HARNESS_H_
+#define TRAJ2HASH_BENCH_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/encoder.h"
+#include "common/rng.h"
+#include "core/model.h"
+#include "core/trainer.h"
+#include "distance/distance.h"
+#include "eval/metrics.h"
+#include "search/code.h"
+#include "traj/synthetic.h"
+
+namespace traj2hash::bench {
+
+/// Experiment scale. The paper trains on a GPU server with 10K labelled +
+/// 200K corpus trajectories; these presets shrink every axis so each bench
+/// finishes on a single CPU core while preserving the protocol. Select with
+/// T2H_BENCH_SCALE=tiny|small|large (default: small).
+struct Scale {
+  std::string name = "small";
+  int num_seeds = 80;        ///< labelled seed set (paper: 2000)
+  int num_val_queries = 24;  ///< validation queries
+  int num_val_db = 64;       ///< validation database
+  int num_queries = 50;      ///< test queries (paper: 10K)
+  int num_db = 600;          ///< test database (paper: 100K)
+  int triplet_corpus = 1500; ///< unlabelled corpus (paper: 200K)
+  int max_points = 20;       ///< per-trajectory point cap
+  int dim = 24;              ///< latent dim (paper: 64)
+  int num_blocks = 2;
+  int num_heads = 4;
+  int epochs = 8;            ///< supervised epochs (paper: 100)
+  int selfsup_epochs = 3;    ///< t2vec / CL-TSim pre-training epochs
+  int samples_per_anchor = 8;
+  int batch_size = 16;
+  int triplets_per_step = 12;
+  int hash_head_epochs = 15;
+  int grid_pretrain_samples = 4000;
+};
+
+/// Reads T2H_BENCH_SCALE and returns the preset.
+Scale GetScale();
+
+/// A city's experimental split, following §V-A2's protocol.
+struct Dataset {
+  std::string name;
+  traj::Normalizer normalizer;  ///< fitted on `all`
+  std::vector<traj::Trajectory> all;  ///< everything (stats + triplet corpus)
+  std::vector<traj::Trajectory> seeds;
+  std::vector<traj::Trajectory> val_queries;
+  std::vector<traj::Trajectory> val_db;
+  std::vector<traj::Trajectory> queries;
+  std::vector<traj::Trajectory> database;
+};
+
+/// Generates and splits a synthetic city.
+Dataset MakeDataset(const traj::CityConfig& city, const Scale& scale,
+                    uint64_t seed);
+
+/// Ground-truth artefacts for one (dataset, measure) pair.
+struct MeasureData {
+  dist::Measure measure;
+  std::vector<double> seed_distances;          ///< |seeds|^2
+  std::vector<std::vector<int>> val_truth;     ///< top-50 per val query
+  std::vector<std::vector<int>> test_truth;    ///< top-50 per test query
+};
+
+/// Computes exact distances/ground truth (the expensive supervision).
+MeasureData ComputeMeasureData(const Dataset& data, dist::Measure measure);
+
+/// One trained method's retrieval artefacts for the test split.
+struct MethodResult {
+  std::string name;
+  std::vector<std::vector<float>> query_embeddings;
+  std::vector<std::vector<float>> db_embeddings;
+  std::vector<search::Code> query_codes;  ///< empty until hashing is attached
+  std::vector<search::Code> db_codes;
+
+  eval::RetrievalMetrics EuclideanMetrics(const MeasureData& md) const {
+    return eval::EvaluateEuclidean(query_embeddings, db_embeddings,
+                                   md.test_truth);
+  }
+  eval::RetrievalMetrics HammingMetrics(const MeasureData& md) const {
+    return eval::EvaluateHamming(query_codes, db_codes, md.test_truth);
+  }
+};
+
+/// Trains Traj2Hash (with optional config tweaks applied after the scale
+/// preset) and returns embeddings + native hash codes.
+struct Traj2HashTweaks {
+  core::ReadOut read_out = core::ReadOut::kLowerBound;
+  bool use_grid_channel = true;
+  bool use_rev_aug = true;
+  bool use_triplets = true;
+  float alpha = 5.0f;
+  float gamma = 6.0f;
+  /// When set, swaps the grid representation for node2vec (Fig. 7) with a
+  /// coarser lattice of this cell size.
+  double node2vec_cell_m = 0.0;
+  /// Overrides the fine grid cell size (0 = keep 50 m default).
+  double fine_cell_m = 0.0;
+};
+
+MethodResult RunTraj2Hash(const Dataset& data, const MeasureData& md,
+                          const Scale& scale, const Traj2HashTweaks& tweaks,
+                          uint64_t seed);
+
+/// Neural baselines of §V-A3 by name: "t2vec", "CL-TSim", "NT-No-SAM",
+/// "NeuTraj", "Transformer", "TrajGAT". Embeddings are produced by the
+/// published training recipe (self-supervised or WMSE); hash codes by a
+/// trained HashHead (Table II's adapter).
+MethodResult RunBaseline(const std::string& name, const Dataset& data,
+                         const MeasureData& md, const Scale& scale,
+                         uint64_t seed, bool with_hash_head);
+
+/// Fresh LSH (codes only; Euclidean metrics are meaningless for it).
+MethodResult RunFresh(const Dataset& data, uint64_t seed);
+
+/// Paper-style table printing helpers.
+void PrintTableHeader(const std::string& title,
+                      const std::vector<std::string>& measures);
+void PrintRow(const std::string& dataset, const std::string& method,
+              const std::vector<eval::RetrievalMetrics>& per_measure);
+
+}  // namespace traj2hash::bench
+
+#endif  // TRAJ2HASH_BENCH_HARNESS_H_

@@ -1,0 +1,63 @@
+#include "bench/timing_data.h"
+
+#include "common/check.h"
+
+namespace traj2hash::bench {
+namespace {
+
+search::Code RandomCode(int bits, Rng& rng) {
+  std::vector<float> v(bits);
+  for (float& x : v) x = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+  return search::PackSigns(v);
+}
+
+search::Code NearCode(const search::Code& center, int max_flips, Rng& rng) {
+  search::Code c = center;
+  const int flips = rng.UniformInt(0, max_flips);
+  for (int i = 0; i < flips; ++i) {
+    const int b = rng.UniformInt(0, c.num_bits - 1);
+    c.words[b / 64] ^= (uint64_t{1} << (b % 64));
+  }
+  return c;
+}
+
+std::vector<float> RandomEmbedding(int dim, Rng& rng) {
+  std::vector<float> e(dim);
+  for (float& v : e) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  return e;
+}
+
+}  // namespace
+
+TimingWorkload MakeTimingWorkload(int db_size, int num_queries, int dim,
+                                  int cluster_size, uint64_t seed) {
+  T2H_CHECK(db_size > 0 && num_queries > 0 && cluster_size > 0);
+  Rng rng(seed);
+  TimingWorkload w;
+  w.db_embeddings.reserve(db_size);
+  w.db_codes.reserve(db_size);
+  const int num_clusters = (db_size + cluster_size - 1) / cluster_size;
+  std::vector<search::Code> centers;
+  centers.reserve(num_clusters);
+  for (int c = 0; c < num_clusters; ++c) centers.push_back(RandomCode(dim, rng));
+  for (int i = 0; i < db_size; ++i) {
+    w.db_embeddings.push_back(RandomEmbedding(dim, rng));
+    // Codes cluster within Hamming radius 2 of their centre, mimicking
+    // trained codes (and giving Hamming-Hybrid its probe hits).
+    w.db_codes.push_back(NearCode(centers[i / cluster_size], 2, rng));
+  }
+  for (int q = 0; q < num_queries; ++q) {
+    w.query_embeddings.push_back(RandomEmbedding(dim, rng));
+    // Half of the queries sit inside a cluster (table-lookup path), half are
+    // isolated (fallback path), mirroring the mixed behaviour in §V-E.
+    if (q % 2 == 0) {
+      w.query_codes.push_back(
+          NearCode(centers[rng.UniformInt(0, num_clusters - 1)], 1, rng));
+    } else {
+      w.query_codes.push_back(RandomCode(dim, rng));
+    }
+  }
+  return w;
+}
+
+}  // namespace traj2hash::bench

@@ -1,0 +1,32 @@
+#ifndef TRAJ2HASH_BENCH_TIMING_DATA_H_
+#define TRAJ2HASH_BENCH_TIMING_DATA_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "search/code.h"
+
+namespace traj2hash::bench {
+
+/// Synthetic retrieval workload for the efficiency experiments (Figs. 5-6).
+///
+/// Search cost is independent of how embeddings were trained, so the timing
+/// benches skip training and synthesise the *distributional* properties that
+/// matter: 64-dim dense embeddings, and 64-bit codes clustered the way
+/// trained codes cluster (members within small Hamming radius of a cluster
+/// centre), which is what gives Hamming-Hybrid its table-lookup hits.
+struct TimingWorkload {
+  std::vector<std::vector<float>> db_embeddings;
+  std::vector<search::Code> db_codes;
+  std::vector<std::vector<float>> query_embeddings;
+  std::vector<search::Code> query_codes;
+};
+
+/// Builds a workload of `db_size` database entries and `num_queries` queries
+/// with `dim`-bit codes grouped into clusters of mean size `cluster_size`.
+TimingWorkload MakeTimingWorkload(int db_size, int num_queries, int dim,
+                                  int cluster_size, uint64_t seed);
+
+}  // namespace traj2hash::bench
+
+#endif  // TRAJ2HASH_BENCH_TIMING_DATA_H_

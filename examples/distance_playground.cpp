@@ -1,0 +1,56 @@
+// Distance-function playground: the exact trajectory measures this library
+// implements (DTW, constrained DTW, discrete Frechet, Hausdorff, ERP), the
+// paper's Lemma 1 endpoint lower bound, and the reverse symmetric property
+// (Lemma 2) — all on a pair of synthetic trips you can tweak.
+//
+//   ./build/examples/distance_playground
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "distance/distance.h"
+#include "traj/synthetic.h"
+
+namespace t2h = traj2hash;
+
+int main() {
+  t2h::Rng rng(3);
+  t2h::traj::CityConfig city = t2h::traj::CityConfig::PortoLike();
+  city.max_points = 24;
+  const auto trips = GenerateTrips(city, 2, rng);
+  const t2h::traj::Trajectory& a = trips[0];
+  const t2h::traj::Trajectory& b = trips[1];
+  std::printf("trajectory A: %d points, %.0f m long\n", a.size(),
+              t2h::traj::PathLength(a));
+  std::printf("trajectory B: %d points, %.0f m long\n", b.size(),
+              t2h::traj::PathLength(b));
+
+  std::printf("\nexact measures (metres):\n");
+  std::printf("  DTW              : %10.1f\n", t2h::dist::Dtw(a, b));
+  for (const int w : {1, 2, 4, 8}) {
+    std::printf("  cDTW (window %2d) : %10.1f\n", w,
+                t2h::dist::ConstrainedDtw(a, b, w));
+  }
+  std::printf("  discrete Frechet : %10.1f\n", t2h::dist::Frechet(a, b));
+  std::printf("  Hausdorff        : %10.1f\n", t2h::dist::Hausdorff(a, b));
+  std::printf("  ERP (origin gap) : %10.1f\n", t2h::dist::Erp(a, b));
+
+  std::printf("\nLemma 1 — endpoint lower bound:\n");
+  const double lb = t2h::dist::EndpointLowerBound(a, b);
+  std::printf("  max(first, last) point distance = %.1f\n", lb);
+  std::printf("  <= Frechet (%.1f)? %s;  <= DTW (%.1f)? %s\n",
+              t2h::dist::Frechet(a, b),
+              lb <= t2h::dist::Frechet(a, b) ? "yes" : "NO",
+              t2h::dist::Dtw(a, b), lb <= t2h::dist::Dtw(a, b) ? "yes" : "NO");
+
+  std::printf("\nLemma 2 — reverse symmetric property:\n");
+  const t2h::traj::Trajectory ar = t2h::traj::Reversed(a);
+  const t2h::traj::Trajectory br = t2h::traj::Reversed(b);
+  std::printf("  DTW(A,B)=%.3f vs DTW(Ar,Br)=%.3f\n", t2h::dist::Dtw(a, b),
+              t2h::dist::Dtw(ar, br));
+  std::printf("  Frechet(A,B)=%.3f vs Frechet(Ar,Br)=%.3f\n",
+              t2h::dist::Frechet(a, b), t2h::dist::Frechet(ar, br));
+  std::printf("  Hausdorff(A,B)=%.3f vs Hausdorff(Ar,Br)=%.3f\n",
+              t2h::dist::Hausdorff(a, b), t2h::dist::Hausdorff(ar, br));
+  return 0;
+}

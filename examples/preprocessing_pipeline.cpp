@@ -1,0 +1,101 @@
+// Preprocessing + indexing pipeline: simplify long raw GPS traces with
+// Douglas-Peucker, train Traj2Hash on the simplified corpus, and serve
+// Euclidean-space queries through the VP-tree (exact k-NN with metric
+// pruning) instead of a linear scan.
+//
+//   ./build/examples/preprocessing_pipeline
+
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "core/trainer.h"
+#include "distance/distance.h"
+#include "search/knn.h"
+#include "search/vptree.h"
+#include "traj/simplify.h"
+#include "traj/synthetic.h"
+
+namespace t2h = traj2hash;
+
+int main() {
+  // Raw traces: oversampled trips (small step => many near-collinear
+  // points), the shape of unfiltered GPS logs.
+  t2h::Rng rng(23);
+  t2h::traj::CityConfig city = t2h::traj::CityConfig::PortoLike();
+  city.max_points = 120;
+  city.step_m = 35.0;
+  const auto raw = GenerateTrips(city, 1500, rng);
+
+  double raw_points = 0.0, kept_points = 0.0, worst_error = 0.0;
+  std::vector<t2h::traj::Trajectory> corpus;
+  corpus.reserve(raw.size());
+  for (const t2h::traj::Trajectory& t : raw) {
+    t2h::traj::Trajectory s = t2h::traj::DouglasPeucker(t, 25.0);
+    raw_points += t.size();
+    kept_points += s.size();
+    worst_error =
+        std::max(worst_error, t2h::traj::SimplificationError(t, s));
+    corpus.push_back(std::move(s));
+  }
+  std::printf("Douglas-Peucker(25 m): %.0f -> %.0f points per trajectory "
+              "(%.0f%% kept), worst deviation %.1f m\n",
+              raw_points / raw.size(), kept_points / raw.size(),
+              100.0 * kept_points / raw_points, worst_error);
+
+  // Train on the simplified corpus (DTW supervision).
+  const std::vector<t2h::traj::Trajectory> seeds(corpus.begin(),
+                                                 corpus.begin() + 50);
+  t2h::core::Traj2HashConfig config;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.epochs = 6;
+  config.samples_per_anchor = 8;
+  config.batch_size = 16;
+  auto model =
+      std::move(t2h::core::Traj2Hash::Create(config, corpus, rng).value());
+  model->PretrainGrids({}, rng);
+  t2h::core::TrainingData data;
+  data.seeds = seeds;
+  data.seed_distances = t2h::dist::PairwiseMatrix(
+      seeds, t2h::dist::GetDistance(t2h::dist::Measure::kDtw));
+  data.triplet_corpus = corpus;
+  t2h::core::Trainer trainer(model.get());
+  if (const auto r = trainer.Fit(data, rng); !r.ok()) {
+    std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+    return 1;
+  }
+
+  // Index embeddings in a VP-tree and compare against the linear scan.
+  const std::vector<t2h::traj::Trajectory> database(corpus.begin() + 100,
+                                                    corpus.end());
+  const auto db_embeddings = t2h::core::EmbedAll(*model, database);
+  t2h::Rng tree_rng(24);
+  const t2h::search::VpTree tree(db_embeddings, tree_rng);
+
+  double t_brute = 0.0, t_tree = 0.0;
+  int agree = 0, evals = 0;
+  const int num_queries = 40;
+  for (int q = 0; q < num_queries; ++q) {
+    const auto emb = model->Embed(corpus[q]);
+    t2h::Stopwatch sw;
+    const auto brute = t2h::search::TopKEuclidean(db_embeddings, emb, 10);
+    t_brute += sw.ElapsedMicros();
+    sw.Restart();
+    const auto fast = tree.TopK(emb, 10);
+    t_tree += sw.ElapsedMicros();
+    evals += tree.last_distance_evals();
+    bool same = fast.size() == brute.size();
+    for (size_t i = 0; same && i < fast.size(); ++i) {
+      same = fast[i].index == brute[i].index;
+    }
+    agree += same;
+  }
+  std::printf("\nVP-tree vs linear scan over %zu embeddings (top-10, %d"
+              " queries):\n", database.size(), num_queries);
+  std::printf("  linear scan : %7.1f us/query (%zu distances)\n",
+              t_brute / num_queries, database.size());
+  std::printf("  VP-tree     : %7.1f us/query (%d distances on average)\n",
+              t_tree / num_queries, evals / num_queries);
+  std::printf("  identical results: %d/%d\n", agree, num_queries);
+  return agree == num_queries ? 0 : 1;
+}

@@ -1,0 +1,118 @@
+// Quickstart: train a small Traj2Hash model on synthetic taxi trips and run
+// a top-k similar trajectory search in both Euclidean and Hamming space.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/trainer.h"
+#include "distance/distance.h"
+#include "eval/approximation.h"
+#include "eval/metrics.h"
+#include "search/knn.h"
+#include "traj/synthetic.h"
+
+namespace t2h = traj2hash;
+
+int main() {
+  // 1. Data: synthetic Porto-like taxi trips (swap in traj::io::LoadCsv for
+  //    real data).
+  t2h::Rng rng(42);
+  t2h::traj::CityConfig city = t2h::traj::CityConfig::PortoLike();
+  city.max_points = 20;
+  const std::vector<t2h::traj::Trajectory> corpus =
+      GenerateTrips(city, 1200, rng);
+  std::printf("generated %zu trajectories in a %.0fx%.0f km area\n",
+              corpus.size(), city.width_m / 1000.0, city.height_m / 1000.0);
+
+  // 2. Supervision: exact Frechet distances for a small seed set. This is
+  //    the only place the expensive O(n^2) distance is needed.
+  const std::vector<t2h::traj::Trajectory> seeds(corpus.begin(),
+                                                 corpus.begin() + 60);
+  const t2h::dist::DistanceFn frechet =
+      t2h::dist::GetDistance(t2h::dist::Measure::kFrechet);
+  const std::vector<double> seed_distances =
+      t2h::dist::PairwiseMatrix(seeds, frechet);
+
+  // 3. Model: create (fits normalizer + grids on the corpus), pre-train the
+  //    decomposed grid embeddings, then train end-to-end.
+  t2h::core::Traj2HashConfig config;
+  config.dim = 16;       // paper default is 64; small keeps this demo quick
+  config.num_heads = 2;
+  config.epochs = 10;
+  config.samples_per_anchor = 8;
+  config.batch_size = 16;
+  auto created = t2h::core::Traj2Hash::Create(config, corpus, rng);
+  if (!created.ok()) {
+    std::fprintf(stderr, "model creation failed: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+  auto model = std::move(created).value();
+
+  t2h::embedding::GridPretrainOptions pretrain;
+  pretrain.samples_per_epoch = 4000;
+  model->PretrainGrids(pretrain, rng);
+
+  t2h::core::TrainingData data;
+  data.seeds = seeds;
+  data.seed_distances = seed_distances;
+  data.triplet_corpus = corpus;  // cheap supervision, no DP distances needed
+  t2h::core::Trainer trainer(model.get());
+  const auto report = trainer.Fit(data, rng);
+  if (!report.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("trained %zu epochs (final WMSE %.5f)\n",
+              report.value().epochs.size(),
+              report.value().epochs.back().wmse);
+
+  // 4. Search: embed a database once, then answer queries in O(d) per
+  //    candidate instead of O(n^2) dynamic programming.
+  const std::vector<t2h::traj::Trajectory> database(corpus.begin() + 100,
+                                                    corpus.end());
+  const t2h::traj::Trajectory& query = corpus[80];
+  const auto db_embeddings = t2h::core::EmbedAll(*model, database);
+  const auto result = t2h::search::TopKEuclidean(
+      db_embeddings, model->Embed(query), 5);
+
+  std::printf("\ntop-5 by Traj2Hash (Euclidean space) vs exact Frechet:\n");
+  for (const t2h::search::Neighbor& n : result) {
+    std::printf("  traj %4lld  latent=%.3f  exact=%.1f m\n",
+                static_cast<long long>(database[n.index].id), n.distance,
+                frechet(query, database[n.index]));
+  }
+
+  // 5. How faithful is the approximation overall? Rank-correlate latent
+  //    Euclidean distances with exact Frechet over held-out trajectories.
+  {
+    const std::vector<t2h::traj::Trajectory> sample(corpus.begin() + 60,
+                                                    corpus.begin() + 100);
+    const auto exact = t2h::eval::UpperTriangle(
+        t2h::dist::PairwiseMatrix(sample, frechet),
+        static_cast<int>(sample.size()));
+    const auto latent = t2h::eval::PairwiseEuclidean(
+        t2h::core::EmbedAll(*model, sample));
+    const auto stats = t2h::eval::CompareDistances(exact, latent).value();
+    std::printf("\napproximation quality on 40 held-out trajectories: "
+                "Spearman %.3f (1.0 = perfect ranking)\n",
+                stats.spearman);
+  }
+
+  // 6. Hamming space: binary codes for the same database.
+  const auto db_codes = t2h::core::HashAll(*model, database);
+  const auto hamming = t2h::search::TopKHamming(
+      db_codes, model->HashCode(query), 5);
+  std::printf("\ntop-5 by Traj2Hash (Hamming space, %d-bit codes):\n",
+              db_codes[0].num_bits);
+  for (const t2h::search::Neighbor& n : hamming) {
+    std::printf("  traj %4lld  hamming=%.0f  exact=%.1f m\n",
+                static_cast<long long>(database[n.index].id), n.distance,
+                frechet(query, database[n.index]));
+  }
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Similar-trajectory search service: trains a model once, persists it, then
+// serves top-k queries through the Hamming-Hybrid index (§V-E), comparing
+// the three search strategies' answers and latency on the same queries.
+//
+//   ./build/examples/similarity_search
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/stopwatch.h"
+#include "core/trainer.h"
+#include "distance/distance.h"
+#include "search/hamming_index.h"
+#include "search/knn.h"
+#include "traj/io.h"
+#include "traj/synthetic.h"
+
+namespace t2h = traj2hash;
+
+namespace {
+
+constexpr int kTopK = 10;
+
+}  // namespace
+
+int main() {
+  t2h::Rng rng(7);
+  t2h::traj::CityConfig city = t2h::traj::CityConfig::ChengduLike();
+  city.max_points = 20;
+  const auto corpus = GenerateTrips(city, 2500, rng);
+
+  // Persist the corpus like a real deployment would (CSV interchange).
+  const std::string csv_path =
+      (std::filesystem::temp_directory_path() / "t2h_example_db.csv").string();
+  if (t2h::Status s = t2h::traj::SaveCsv(corpus, csv_path); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved %zu trajectories to %s\n", corpus.size(),
+              csv_path.c_str());
+
+  // Train on DTW supervision.
+  const std::vector<t2h::traj::Trajectory> seeds(corpus.begin(),
+                                                 corpus.begin() + 60);
+  const auto dtw = t2h::dist::GetDistance(t2h::dist::Measure::kDtw);
+
+  t2h::core::Traj2HashConfig config;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.epochs = 8;
+  config.samples_per_anchor = 8;
+  config.batch_size = 16;
+  auto model =
+      std::move(t2h::core::Traj2Hash::Create(config, corpus, rng).value());
+  model->PretrainGrids({}, rng);
+  t2h::core::TrainingData data;
+  data.seeds = seeds;
+  data.seed_distances = t2h::dist::PairwiseMatrix(seeds, dtw);
+  data.triplet_corpus = corpus;
+  t2h::core::Trainer trainer(model.get());
+  if (const auto r = trainer.Fit(data, rng); !r.ok()) {
+    std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+    return 1;
+  }
+
+  // Persist and reload the model (what a query server would do on boot).
+  const std::string model_path =
+      (std::filesystem::temp_directory_path() / "t2h_example_model.bin")
+          .string();
+  if (t2h::Status s = model->Save(model_path); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto served =
+      std::move(t2h::core::Traj2Hash::Create(config, corpus, rng).value());
+  if (t2h::Status s = served->Load(model_path); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("model persisted to %s and reloaded\n", model_path.c_str());
+
+  // Index the database once.
+  const std::vector<t2h::traj::Trajectory> database(corpus.begin() + 100,
+                                                    corpus.end());
+  const auto db_embeddings = t2h::core::EmbedAll(*served, database);
+  const auto db_codes = t2h::core::HashAll(*served, database);
+  const t2h::search::HammingIndex index(db_codes);
+  std::printf("indexed %d codes into %d buckets\n", index.size(),
+              index.num_buckets());
+
+  // Serve a few queries under all three strategies.
+  double t_euclid = 0.0, t_hamming = 0.0, t_hybrid = 0.0;
+  int hybrid_agreement = 0;
+  const int num_queries = 20;
+  for (int q = 0; q < num_queries; ++q) {
+    const t2h::traj::Trajectory& query = corpus[q];
+    const auto emb = served->Embed(query);
+    const auto code = served->HashCode(query);
+
+    t2h::Stopwatch sw;
+    const auto euclid = t2h::search::TopKEuclidean(db_embeddings, emb, kTopK);
+    t_euclid += sw.ElapsedMicros();
+
+    sw.Restart();
+    const auto hamming = t2h::search::TopKHamming(db_codes, code, kTopK);
+    t_hamming += sw.ElapsedMicros();
+
+    sw.Restart();
+    const auto hybrid = index.HybridTopK(code, kTopK);
+    t_hybrid += sw.ElapsedMicros();
+
+    if (!hybrid.empty() && !hamming.empty() &&
+        hybrid[0].distance == hamming[0].distance) {
+      ++hybrid_agreement;
+    }
+  }
+  std::printf("\nmean per-query latency over %d queries (database %zu):\n",
+              num_queries, database.size());
+  std::printf("  Euclidean-BF   : %8.1f us\n", t_euclid / num_queries);
+  std::printf("  Hamming-BF     : %8.1f us\n", t_hamming / num_queries);
+  std::printf("  Hamming-Hybrid : %8.1f us\n", t_hybrid / num_queries);
+  std::printf("hybrid/bf top-1 agreement: %d/%d\n", hybrid_agreement,
+              num_queries);
+
+  std::remove(csv_path.c_str());
+  std::remove(model_path.c_str());
+  return 0;
+}

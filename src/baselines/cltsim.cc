@@ -1,0 +1,111 @@
+#include "baselines/cltsim.h"
+
+#include <algorithm>
+
+#include "nn/adam.h"
+#include "nn/ops.h"
+#include "traj/augment.h"
+
+namespace traj2hash::baselines {
+
+using nn::Tensor;
+
+namespace {
+
+Tensor PointInput(const traj::Point& p) {
+  Tensor x = nn::MakeTensor(1, 2, false);
+  x->at(0, 0) = static_cast<float>(p.x);
+  x->at(0, 1) = static_cast<float>(p.y);
+  return x;
+}
+
+/// L2-normalises a [1, d] embedding (differentiable).
+Tensor Normalize(const Tensor& z) {
+  const Tensor norm = nn::Sqrt(nn::AddScalar(nn::SumAll(nn::Mul(z, z)), 1e-8f));
+  const Tensor inv = nn::Div(nn::Constant(1, 1, 1.0f), norm);
+  return nn::ScaleByScalar(z, inv);
+}
+
+}  // namespace
+
+ClTsimEncoder::ClTsimEncoder(int dim, const traj::Normalizer* normalizer,
+                             Rng& rng)
+    : normalizer_(normalizer) {
+  T2H_CHECK(normalizer != nullptr);
+  cell_ = std::make_unique<nn::GruCell>(2, dim, rng);
+}
+
+Tensor ClTsimEncoder::Encode(const traj::Trajectory& t) const {
+  T2H_CHECK(!t.empty());
+  Tensor h = cell_->InitialState();
+  for (const traj::Point& p : t.points) {
+    h = cell_->Forward(PointInput(normalizer_->Apply(p)), h);
+  }
+  return h;
+}
+
+double ClTsimEncoder::Fit(const std::vector<traj::Trajectory>& corpus,
+                          const ClTsimOptions& options, Rng& rng) {
+  T2H_CHECK_GE(static_cast<int>(corpus.size()), 2);
+  nn::Adam optimizer(TrainableParameters(), nn::AdamOptions{.lr = options.lr});
+  std::vector<int> order(corpus.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+
+  auto augment = [&](const traj::Trajectory& t) {
+    const double rate = options.drop_rates[rng.UniformInt(
+        0, static_cast<int>(options.drop_rates.size()) - 1)];
+    return traj::Distort(traj::DropPoints(t, rate, rng), options.distort_m,
+                         rng);
+  };
+
+  double last_epoch_loss = 0.0;
+  const float inv_temp = 1.0f / options.temperature;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (size_t start = 0; start + 1 < order.size();
+         start += options.batch_size) {
+      const size_t end =
+          std::min(order.size(), start + options.batch_size);
+      const int b = static_cast<int>(end - start);
+      if (b < 2) break;
+      // Two normalised views per trajectory.
+      std::vector<Tensor> view_a(b), view_b(b);
+      for (int i = 0; i < b; ++i) {
+        const traj::Trajectory& t = corpus[order[start + i]];
+        view_a[i] = Normalize(Encode(augment(t)));
+        view_b[i] = Normalize(Encode(augment(t)));
+      }
+      // InfoNCE per anchor: positive is its own second view, negatives are
+      // the other trajectories' second views.
+      Tensor loss;
+      for (int i = 0; i < b; ++i) {
+        // [1, b] logits with the positive in column 0.
+        Tensor logits = nn::Scale(nn::Dot(view_a[i], view_b[i]), inv_temp);
+        for (int j = 0; j < b; ++j) {
+          if (j == i) continue;
+          logits = nn::ConcatCols(
+              logits, nn::Scale(nn::Dot(view_a[i], view_b[j]), inv_temp));
+        }
+        const Tensor probs = nn::SoftmaxRows(logits);
+        const Tensor nll =
+            nn::Scale(nn::Log(nn::SliceCols(probs, 0, 1)), -1.0f);
+        loss = loss ? nn::Add(loss, nll) : nll;
+      }
+      loss = nn::Scale(nn::SumAll(loss), 1.0f / static_cast<float>(b));
+      epoch_loss += loss->value()[0];
+      ++batches;
+      nn::Backward(loss);
+      optimizer.Step();
+    }
+    last_epoch_loss = batches > 0 ? epoch_loss / batches : 0.0;
+  }
+  return last_epoch_loss;
+}
+
+std::vector<Tensor> ClTsimEncoder::TrainableParameters() const {
+  return cell_->Parameters();
+}
+
+}  // namespace traj2hash::baselines

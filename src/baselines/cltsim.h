@@ -1,0 +1,48 @@
+#ifndef TRAJ2HASH_BASELINES_CLTSIM_H_
+#define TRAJ2HASH_BASELINES_CLTSIM_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/encoder.h"
+#include "nn/layers.h"
+#include "traj/normalizer.h"
+
+namespace traj2hash::baselines {
+
+/// CL-TSim training options (§V-A5: distorting/dropping rates
+/// [0, 0.2, 0.4, 0.6]).
+struct ClTsimOptions {
+  int epochs = 5;
+  float lr = 1e-3f;
+  int batch_size = 16;
+  float temperature = 0.1f;
+  std::vector<double> drop_rates = {0.0, 0.2, 0.4, 0.6};
+  double distort_m = 30.0;
+};
+
+/// CL-TSim (Deng et al., CIKM'22): a GRU encoder trained with contrastive
+/// learning — two augmented views of a trajectory are positives, other
+/// trajectories in the batch are negatives (InfoNCE over cosine
+/// similarities). Like t2vec it is distance-agnostic.
+class ClTsimEncoder : public NeuralEncoder {
+ public:
+  ClTsimEncoder(int dim, const traj::Normalizer* normalizer, Rng& rng);
+
+  /// Contrastive pre-training. Returns the last epoch's mean InfoNCE loss.
+  double Fit(const std::vector<traj::Trajectory>& corpus,
+             const ClTsimOptions& options, Rng& rng);
+
+  nn::Tensor Encode(const traj::Trajectory& t) const override;
+  std::vector<nn::Tensor> TrainableParameters() const override;
+  int dim() const override { return cell_->hidden_dim(); }
+  std::string name() const override { return "CL-TSim"; }
+
+ private:
+  const traj::Normalizer* normalizer_;
+  std::unique_ptr<nn::GruCell> cell_;
+};
+
+}  // namespace traj2hash::baselines
+
+#endif  // TRAJ2HASH_BASELINES_CLTSIM_H_

@@ -1,0 +1,36 @@
+#ifndef TRAJ2HASH_BASELINES_ENCODER_H_
+#define TRAJ2HASH_BASELINES_ENCODER_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "traj/trajectory.h"
+
+namespace traj2hash::baselines {
+
+/// Common interface of the neural baseline encoders, so the metric trainer
+/// (WMSE), the hash head (Table II) and the benches treat every method
+/// uniformly.
+class NeuralEncoder {
+ public:
+  virtual ~NeuralEncoder() = default;
+
+  /// Trajectory embedding as a [1, dim] graph tensor (for training).
+  virtual nn::Tensor Encode(const traj::Trajectory& t) const = 0;
+
+  /// Parameters for the optimizer.
+  virtual std::vector<nn::Tensor> TrainableParameters() const = 0;
+
+  virtual int dim() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Embedding values only (for retrieval).
+  std::vector<float> Embed(const traj::Trajectory& t) const {
+    return Encode(t)->value();
+  }
+};
+
+}  // namespace traj2hash::baselines
+
+#endif  // TRAJ2HASH_BASELINES_ENCODER_H_

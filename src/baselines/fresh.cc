@@ -1,0 +1,71 @@
+#include "baselines/fresh.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace traj2hash::baselines {
+
+FreshLsh::FreshLsh(const FreshOptions& options, Rng& rng)
+    : options_(options) {
+  T2H_CHECK_GT(options.resolution_m, 0.0);
+  T2H_CHECK(options.repetitions >= 1 && options.bits_per_hash >= 1);
+  T2H_CHECK_LE(options.bits_per_hash, 63);
+  reps_.resize(options.repetitions);
+  for (Repetition& rep : reps_) {
+    rep.shift_x = rng.Uniform(0.0, options.resolution_m);
+    rep.shift_y = rng.Uniform(0.0, options.resolution_m);
+    // Multiply-shift needs odd 64-bit multipliers.
+    auto odd64 = [&rng] {
+      return (static_cast<uint64_t>(rng.engine()()) << 1) | 1ull;
+    };
+    rep.mult_a = odd64();
+    rep.mult_b = odd64();
+    rep.mult_c = odd64();
+  }
+}
+
+search::Code FreshLsh::CodeOf(const traj::Trajectory& t) const {
+  T2H_CHECK(!t.empty());
+  search::Code code;
+  code.num_bits = num_bits();
+  code.words.assign((code.num_bits + 63) / 64, 0);
+  for (size_t r = 0; r < reps_.size(); ++r) {
+    const Repetition& rep = reps_[r];
+    // Snap to the shifted grid and drop consecutive duplicates.
+    uint64_t h = 0x9e3779b97f4a7c15ull;
+    int64_t prev_x = INT64_MIN, prev_y = INT64_MIN;
+    for (const traj::Point& p : t.points) {
+      const int64_t cx = static_cast<int64_t>(
+          std::floor((p.x + rep.shift_x) / options_.resolution_m));
+      const int64_t cy = static_cast<int64_t>(
+          std::floor((p.y + rep.shift_y) / options_.resolution_m));
+      if (cx == prev_x && cy == prev_y) continue;
+      prev_x = cx;
+      prev_y = cy;
+      // Multiply-shift combination of the cell into the running hash.
+      h = h * rep.mult_a + static_cast<uint64_t>(cx) * rep.mult_b +
+          static_cast<uint64_t>(cy) * rep.mult_c;
+    }
+    // Top bits of a multiply-shift hash are the well-distributed ones.
+    const uint64_t bucket = h >> (64 - options_.bits_per_hash);
+    const int base = static_cast<int>(r) * options_.bits_per_hash;
+    for (int b = 0; b < options_.bits_per_hash; ++b) {
+      if ((bucket >> b) & 1ull) {
+        const int bit = base + b;
+        code.words[bit / 64] |= (uint64_t{1} << (bit % 64));
+      }
+    }
+  }
+  return code;
+}
+
+std::vector<search::Code> FreshLsh::CodeAll(
+    const std::vector<traj::Trajectory>& ts) const {
+  std::vector<search::Code> out;
+  out.reserve(ts.size());
+  for (const traj::Trajectory& t : ts) out.push_back(CodeOf(t));
+  return out;
+}
+
+}  // namespace traj2hash::baselines

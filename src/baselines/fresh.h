@@ -1,0 +1,55 @@
+#ifndef TRAJ2HASH_BASELINES_FRESH_H_
+#define TRAJ2HASH_BASELINES_FRESH_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "search/code.h"
+#include "traj/trajectory.h"
+
+namespace traj2hash::baselines {
+
+/// Fresh configuration, following §V-A5: resolution 1 km, 4 LSH repetitions,
+/// 1 concatenation, each hash mapping to a 16-bit integer so the total code
+/// length (64 bits) aligns with the neural methods' d_h.
+struct FreshOptions {
+  double resolution_m = 1000.0;
+  int repetitions = 4;
+  int bits_per_hash = 16;
+};
+
+/// Fresh (Ceccarello et al.): locality sensitive hashing for curves. Each
+/// repetition snaps the trajectory onto a randomly shifted grid, collapses
+/// consecutive duplicates, and hashes the resulting cell sequence with
+/// multiply-shift hashing into a `bits_per_hash`-bit integer; the
+/// repetitions' integers are concatenated into one code compared by Hamming
+/// distance, as the paper's Table II aligns it.
+class FreshLsh {
+ public:
+  /// Draws the random grid shifts and multiply-shift coefficients.
+  FreshLsh(const FreshOptions& options, Rng& rng);
+
+  /// Code of a trajectory (options.repetitions * bits_per_hash bits).
+  search::Code CodeOf(const traj::Trajectory& t) const;
+
+  /// Codes for a batch of trajectories.
+  std::vector<search::Code> CodeAll(
+      const std::vector<traj::Trajectory>& ts) const;
+
+  int num_bits() const { return options_.repetitions * options_.bits_per_hash; }
+
+ private:
+  FreshOptions options_;
+  struct Repetition {
+    double shift_x = 0.0;
+    double shift_y = 0.0;
+    uint64_t mult_a = 0;  // odd multiply-shift coefficients
+    uint64_t mult_b = 0;
+    uint64_t mult_c = 0;
+  };
+  std::vector<Repetition> reps_;
+};
+
+}  // namespace traj2hash::baselines
+
+#endif  // TRAJ2HASH_BASELINES_FRESH_H_

@@ -1,0 +1,126 @@
+#include "baselines/hash_head.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/trainer.h"
+#include "nn/adam.h"
+#include "nn/ops.h"
+
+namespace traj2hash::baselines {
+
+using nn::Tensor;
+
+HashHead::HashHead(int in_dim, int num_bits, Rng& rng)
+    : in_dim_(in_dim), num_bits_(num_bits) {
+  T2H_CHECK(in_dim > 0 && num_bits > 0);
+  projection_ =
+      std::make_unique<nn::Linear>(in_dim, num_bits, rng, /*use_bias=*/false);
+}
+
+Result<double> HashHead::Fit(
+    const std::vector<std::vector<float>>& seed_embeddings,
+    const std::vector<double>& seed_distances, const HashHeadOptions& options,
+    Rng& rng) {
+  const int n = static_cast<int>(seed_embeddings.size());
+  if (n < 4) return Status::InvalidArgument("need at least 4 seeds");
+  if (seed_distances.size() != static_cast<size_t>(n) * n) {
+    return Status::InvalidArgument("seed_distances must be |seeds|^2");
+  }
+  const int m = std::min(options.samples_per_anchor, ((n - 1) / 2) * 2);
+  if (m < 2) return Status::InvalidArgument("too few seeds for sampling");
+
+  const std::vector<double> sim =
+      core::SimilarityFromDistances(seed_distances, n, options.theta);
+
+  // Frozen base embeddings become constant graph inputs.
+  std::vector<Tensor> inputs;
+  inputs.reserve(n);
+  for (const std::vector<float>& e : seed_embeddings) {
+    if (static_cast<int>(e.size()) != in_dim_) {
+      return Status::InvalidArgument("embedding width mismatch");
+    }
+    inputs.push_back(nn::FromValues(1, in_dim_, e));
+  }
+
+  std::vector<std::vector<int>> ranked(n);
+  for (int i = 0; i < n; ++i) {
+    std::vector<int>& order = ranked[i];
+    for (int j = 0; j < n; ++j) {
+      if (j != i) order.push_back(j);
+    }
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return seed_distances[static_cast<size_t>(i) * n + a] <
+             seed_distances[static_cast<size_t>(i) * n + b];
+    });
+  }
+
+  nn::Adam optimizer(projection_->Parameters(),
+                     nn::AdamOptions{.lr = options.lr});
+  std::vector<int> anchor_order(n);
+  std::iota(anchor_order.begin(), anchor_order.end(), 0);
+  double last_epoch_loss = 0.0;
+  float beta = 1.0f;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(anchor_order);
+    double epoch_loss = 0.0;
+    int terms = 0;
+    for (const int anchor : anchor_order) {
+      std::vector<int> samples(ranked[anchor].begin(),
+                               ranked[anchor].begin() + m / 2);
+      const int tail = n - 1 - m / 2;
+      for (const int e : rng.SampleWithoutReplacement(tail, m / 2)) {
+        samples.push_back(ranked[anchor][m / 2 + e]);
+      }
+      std::sort(samples.begin(), samples.end(), [&](int x, int y) {
+        return sim[static_cast<size_t>(anchor) * n + x] >
+               sim[static_cast<size_t>(anchor) * n + y];
+      });
+      auto relaxed = [&](int idx) {
+        return nn::Tanh(nn::Scale(projection_->Forward(inputs[idx]), beta));
+      };
+      const Tensor z_a = relaxed(anchor);
+      Tensor loss;
+      // Pair the j-th most similar with the j-th least similar (see
+      // core/trainer.cc for the rationale).
+      const int half = static_cast<int>(samples.size()) / 2;
+      for (int p = 0; p < half; ++p) {
+        int pos = samples[p], neg = samples[p + half];
+        if (sim[static_cast<size_t>(anchor) * n + pos] <
+            sim[static_cast<size_t>(anchor) * n + neg]) {
+          std::swap(pos, neg);
+        }
+        const Tensor margin = nn::AddScalar(
+            nn::Sub(nn::Dot(z_a, relaxed(neg)), nn::Dot(z_a, relaxed(pos))),
+            options.alpha);
+        const Tensor term = nn::Relu(margin);
+        loss = loss ? nn::Add(loss, term) : term;
+        ++terms;
+      }
+      if (!loss) continue;
+      epoch_loss += loss->value()[0];
+      nn::Backward(nn::Scale(loss, 2.0f / m));
+      optimizer.Step();
+    }
+    last_epoch_loss = terms > 0 ? epoch_loss / terms : 0.0;
+    beta += options.beta_growth;
+  }
+  return last_epoch_loss;
+}
+
+search::Code HashHead::CodeOf(const std::vector<float>& embedding) const {
+  T2H_CHECK_EQ(static_cast<int>(embedding.size()), in_dim_);
+  const Tensor out =
+      projection_->Forward(nn::FromValues(1, in_dim_, embedding));
+  return search::PackSigns(out->value());
+}
+
+std::vector<search::Code> HashHead::CodeAll(
+    const std::vector<std::vector<float>>& embeddings) const {
+  std::vector<search::Code> codes;
+  codes.reserve(embeddings.size());
+  for (const std::vector<float>& e : embeddings) codes.push_back(CodeOf(e));
+  return codes;
+}
+
+}  // namespace traj2hash::baselines

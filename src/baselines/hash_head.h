@@ -1,0 +1,57 @@
+#ifndef TRAJ2HASH_BASELINES_HASH_HEAD_H_
+#define TRAJ2HASH_BASELINES_HASH_HEAD_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "nn/layers.h"
+#include "search/code.h"
+
+namespace traj2hash::baselines {
+
+/// Training options for the baseline hash head.
+struct HashHeadOptions {
+  int epochs = 20;
+  float lr = 1e-3f;
+  float alpha = 5.0f;  ///< ranking margin (Eq. 18)
+  float theta = 8.0f;  ///< similarity smoothing for pair labelling
+  int samples_per_anchor = 10;
+  float beta_growth = 1.0f;  ///< tanh(beta*) continuation schedule
+};
+
+/// The paper's Table II adapter: "we leverage the proposed ranking-based
+/// hashing objective with a extra trainable linear layer to convert the
+/// dense vectors from baselines above into hash codes". The base encoder is
+/// frozen; only the linear layer trains, with the Eq. 18 hinge on
+/// tanh(beta*)-relaxed codes and the HashNet continuation.
+class HashHead {
+ public:
+  HashHead(int in_dim, int num_bits, Rng& rng);
+
+  /// Trains on the frozen `seed_embeddings` (one row per seed) labelled by
+  /// the exact `seed_distances` (row-major |seeds|^2). Returns the last
+  /// epoch's mean hinge loss.
+  Result<double> Fit(const std::vector<std::vector<float>>& seed_embeddings,
+                     const std::vector<double>& seed_distances,
+                     const HashHeadOptions& options, Rng& rng);
+
+  /// Binary code of a (frozen) base embedding.
+  search::Code CodeOf(const std::vector<float>& embedding) const;
+
+  /// Codes for a batch of embeddings.
+  std::vector<search::Code> CodeAll(
+      const std::vector<std::vector<float>>& embeddings) const;
+
+  int num_bits() const { return num_bits_; }
+
+ private:
+  int in_dim_;
+  int num_bits_;
+  std::unique_ptr<nn::Linear> projection_;
+};
+
+}  // namespace traj2hash::baselines
+
+#endif  // TRAJ2HASH_BASELINES_HASH_HEAD_H_

@@ -1,0 +1,142 @@
+#include "baselines/metric_trainer.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "core/trainer.h"
+#include "eval/metrics.h"
+#include "nn/adam.h"
+#include "nn/ops.h"
+
+namespace traj2hash::baselines {
+
+using nn::Tensor;
+
+Result<MetricTrainReport> TrainMetric(
+    NeuralEncoder* encoder, const std::vector<traj::Trajectory>& seeds,
+    const std::vector<double>& seed_distances,
+    const std::vector<traj::Trajectory>& val_queries,
+    const std::vector<traj::Trajectory>& val_db,
+    const std::vector<std::vector<int>>& val_truth,
+    const MetricTrainOptions& options, Rng& rng) {
+  T2H_CHECK(encoder != nullptr);
+  const int n = static_cast<int>(seeds.size());
+  if (n < 4) return Status::InvalidArgument("need at least 4 seeds");
+  if (seed_distances.size() != static_cast<size_t>(n) * n) {
+    return Status::InvalidArgument("seed_distances must be |seeds|^2");
+  }
+  if (val_truth.size() != val_queries.size()) {
+    return Status::InvalidArgument("val_truth must match val_queries");
+  }
+  const int m = std::min(options.samples_per_anchor, ((n - 1) / 2) * 2);
+  if (m < 2) return Status::InvalidArgument("too few seeds for sampling");
+
+  const std::vector<double> sim =
+      core::SimilarityFromDistances(seed_distances, n, options.theta);
+
+  std::vector<std::vector<int>> ranked(n);
+  for (int i = 0; i < n; ++i) {
+    std::vector<int>& order = ranked[i];
+    order.reserve(n - 1);
+    for (int j = 0; j < n; ++j) {
+      if (j != i) order.push_back(j);
+    }
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return seed_distances[static_cast<size_t>(i) * n + a] <
+             seed_distances[static_cast<size_t>(i) * n + b];
+    });
+  }
+
+  const std::vector<Tensor> params = encoder->TrainableParameters();
+  nn::Adam optimizer(params, nn::AdamOptions{.lr = options.lr});
+  MetricTrainReport report;
+  std::vector<std::vector<float>> best_snapshot;
+
+  std::vector<int> anchor_order(n);
+  std::iota(anchor_order.begin(), anchor_order.end(), 0);
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(anchor_order);
+    double epoch_loss = 0.0;
+    int epoch_terms = 0;
+    for (int start = 0; start < n; start += options.batch_size) {
+      const int end = std::min(n, start + options.batch_size);
+      std::unordered_map<int, Tensor> cache;
+      auto embed = [&](int idx) -> const Tensor& {
+        auto it = cache.find(idx);
+        if (it == cache.end()) {
+          it = cache.emplace(idx, encoder->Encode(seeds[idx])).first;
+        }
+        return it->second;
+      };
+      Tensor loss;
+      int terms = 0;
+      for (int a = start; a < end; ++a) {
+        const int anchor = anchor_order[a];
+        std::vector<int> samples(ranked[anchor].begin(),
+                                 ranked[anchor].begin() + m / 2);
+        const int tail = n - 1 - m / 2;
+        for (const int e : rng.SampleWithoutReplacement(tail, m / 2)) {
+          samples.push_back(ranked[anchor][m / 2 + e]);
+        }
+        std::sort(samples.begin(), samples.end(), [&](int x, int y) {
+          return sim[static_cast<size_t>(anchor) * n + x] >
+                 sim[static_cast<size_t>(anchor) * n + y];
+        });
+        const Tensor h_a = embed(anchor);
+        for (size_t j = 0; j < samples.size(); ++j) {
+          const int s = samples[j];
+          const float weight = 1.0f / static_cast<float>(j + 1);
+          const float target =
+              static_cast<float>(sim[static_cast<size_t>(anchor) * n + s]);
+          const Tensor g = nn::Exp(
+              nn::Scale(nn::EuclideanDistance(h_a, embed(s)), -1.0f));
+          const Tensor err = nn::AddScalar(g, -target);
+          const Tensor term = nn::Scale(nn::Mul(err, err), weight);
+          loss = loss ? nn::Add(loss, term) : term;
+          ++terms;
+        }
+      }
+      if (!loss) continue;
+      epoch_loss += loss->value()[0];
+      epoch_terms += terms;
+      loss = nn::Scale(loss, 1.0f / std::max(1, terms));
+      nn::Backward(loss);
+      optimizer.Step();
+    }
+    report.epoch_losses.push_back(
+        epoch_terms > 0 ? epoch_loss / epoch_terms : 0.0);
+
+    const bool validate =
+        !val_queries.empty() && (epoch % options.val_interval == 0 ||
+                                 epoch + 1 == options.epochs);
+    if (validate) {
+      const double hr10 = eval::EvaluateEuclidean(EmbedAll(*encoder, val_queries),
+                                                  EmbedAll(*encoder, val_db),
+                                                  val_truth)
+                              .hr10;
+      if (hr10 > report.best_val_hr10) {
+        report.best_val_hr10 = hr10;
+        report.best_epoch = epoch;
+        best_snapshot.clear();
+        for (const Tensor& p : params) best_snapshot.push_back(p->value());
+      }
+    }
+  }
+  if (!best_snapshot.empty()) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i]->value() = best_snapshot[i];
+    }
+  }
+  return report;
+}
+
+std::vector<std::vector<float>> EmbedAll(
+    const NeuralEncoder& encoder, const std::vector<traj::Trajectory>& ts) {
+  std::vector<std::vector<float>> out;
+  out.reserve(ts.size());
+  for (const traj::Trajectory& t : ts) out.push_back(encoder.Embed(t));
+  return out;
+}
+
+}  // namespace traj2hash::baselines

@@ -1,0 +1,48 @@
+#ifndef TRAJ2HASH_BASELINES_METRIC_TRAINER_H_
+#define TRAJ2HASH_BASELINES_METRIC_TRAINER_H_
+
+#include <vector>
+
+#include "baselines/encoder.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace traj2hash::baselines {
+
+/// Options for NeuTraj-style deep metric learning (the WMSE objective the
+/// paper trains every neural baseline with, §V-A3/A5).
+struct MetricTrainOptions {
+  int samples_per_anchor = 10;  ///< M
+  int batch_size = 20;
+  int epochs = 30;
+  float lr = 1e-3f;
+  float theta = 8.0f;
+  int val_interval = 1;
+};
+
+struct MetricTrainReport {
+  std::vector<double> epoch_losses;
+  int best_epoch = -1;
+  double best_val_hr10 = -1.0;
+};
+
+/// Trains `encoder` in place so Euclidean distances between embeddings
+/// approximate the exact distances in `seed_distances` (row-major
+/// |seeds|^2), using the same sampling/weighting as Traj2Hash's WMSE term.
+/// When a validation split is given, the best-HR@10 parameters are restored
+/// at the end. Validation arguments may all be empty.
+Result<MetricTrainReport> TrainMetric(
+    NeuralEncoder* encoder, const std::vector<traj::Trajectory>& seeds,
+    const std::vector<double>& seed_distances,
+    const std::vector<traj::Trajectory>& val_queries,
+    const std::vector<traj::Trajectory>& val_db,
+    const std::vector<std::vector<int>>& val_truth,
+    const MetricTrainOptions& options, Rng& rng);
+
+/// Embeds every trajectory with the encoder.
+std::vector<std::vector<float>> EmbedAll(
+    const NeuralEncoder& encoder, const std::vector<traj::Trajectory>& ts);
+
+}  // namespace traj2hash::baselines
+
+#endif  // TRAJ2HASH_BASELINES_METRIC_TRAINER_H_

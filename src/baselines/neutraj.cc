@@ -1,0 +1,106 @@
+#include "baselines/neutraj.h"
+
+#include "nn/ops.h"
+
+namespace traj2hash::baselines {
+
+using nn::Tensor;
+
+namespace {
+
+/// [1,2] constant tensor from a normalised point.
+Tensor PointInput(const traj::Point& p) {
+  Tensor x = nn::MakeTensor(1, 2, false);
+  x->at(0, 0) = static_cast<float>(p.x);
+  x->at(0, 1) = static_cast<float>(p.y);
+  return x;
+}
+
+}  // namespace
+
+GruTrajEncoder::GruTrajEncoder(int dim, const traj::Normalizer* normalizer,
+                               Rng& rng, std::string name)
+    : name_(std::move(name)), normalizer_(normalizer) {
+  T2H_CHECK(normalizer != nullptr);
+  cell_ = std::make_unique<nn::GruCell>(2, dim, rng);
+}
+
+Tensor GruTrajEncoder::Encode(const traj::Trajectory& t) const {
+  T2H_CHECK(!t.empty());
+  Tensor h = cell_->InitialState();
+  for (const traj::Point& p : t.points) {
+    h = cell_->Forward(PointInput(normalizer_->Apply(p)), h);
+  }
+  return h;
+}
+
+std::vector<Tensor> GruTrajEncoder::TrainableParameters() const {
+  return cell_->Parameters();
+}
+
+NeuTrajEncoder::NeuTrajEncoder(int dim, const traj::Normalizer* normalizer,
+                               const traj::Grid* grid, Rng& rng)
+    : normalizer_(normalizer), grid_(grid) {
+  T2H_CHECK(normalizer != nullptr && grid != nullptr);
+  cell_ = std::make_unique<nn::GruCell>(2, dim, rng);
+  gate_ = std::make_unique<nn::Linear>(2 * dim, dim, rng);
+  // Bias the gate toward keeping the hidden state (sigmoid(3) ~ 0.95) so
+  // the untrained memory read starts as a small perturbation; training can
+  // open the gate where memory helps.
+  const nn::Tensor bias = gate_->Parameters()[1];
+  std::fill(bias->value().begin(), bias->value().end(), 3.0f);
+}
+
+Tensor NeuTrajEncoder::Encode(const traj::Trajectory& t) const {
+  T2H_CHECK(!t.empty());
+  const int d = cell_->hidden_dim();
+  Tensor h = cell_->InitialState();
+  for (const traj::Point& p : t.points) {
+    h = cell_->Forward(PointInput(normalizer_->Apply(p)), h);
+    // SAM read: average the memories of the 3x3 cell neighbourhood.
+    const traj::Cell c = grid_->CellOf(p);
+    Tensor m = nn::MakeTensor(1, d, false);
+    int hits = 0;
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const traj::Cell nc{c.x + dx, c.y + dy};
+        if (nc.x < 0 || nc.x >= grid_->num_x() || nc.y < 0 ||
+            nc.y >= grid_->num_y()) {
+          continue;
+        }
+        const auto it = memory_.find(grid_->FlatId(nc));
+        if (it == memory_.end()) continue;
+        for (int j = 0; j < d; ++j) m->at(0, j) += it->second[j];
+        ++hits;
+      }
+    }
+    if (hits > 0) {
+      for (int j = 0; j < d; ++j) m->at(0, j) /= static_cast<float>(hits);
+      // Gated blend of memory into the hidden state.
+      const Tensor g = nn::Sigmoid(gate_->Forward(nn::ConcatCols(h, m)));
+      const Tensor one_minus_g = nn::AddScalar(nn::Scale(g, -1.0f), 1.0f);
+      h = nn::Add(nn::Mul(g, h), nn::Mul(one_minus_g, m));
+    }
+    // SAM write: running average of the (detached) hidden state.
+    if (memory_writes_) {
+      std::vector<float>& slot = memory_[grid_->FlatId(c)];
+      if (slot.empty()) {
+        slot = h->value();
+      } else {
+        for (int j = 0; j < d; ++j) {
+          slot[j] = 0.5f * slot[j] + 0.5f * h->value()[j];
+        }
+      }
+    }
+  }
+  return h;
+}
+
+std::vector<Tensor> NeuTrajEncoder::TrainableParameters() const {
+  std::vector<Tensor> params = cell_->Parameters();
+  const std::vector<Tensor> gate = gate_->Parameters();
+  params.insert(params.end(), gate.begin(), gate.end());
+  return params;
+}
+
+}  // namespace traj2hash::baselines

@@ -1,0 +1,75 @@
+#ifndef TRAJ2HASH_BASELINES_NEUTRAJ_H_
+#define TRAJ2HASH_BASELINES_NEUTRAJ_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/encoder.h"
+#include "nn/layers.h"
+#include "traj/grid.h"
+#include "traj/normalizer.h"
+
+namespace traj2hash::baselines {
+
+/// NT-No-SAM (Yao et al., ICDE'19, ablated): a GRU over Gaussian-normalised
+/// GPS points whose last hidden state is the trajectory embedding — the
+/// "last hidden state read-out implicitly achieves the lower-bound induced
+/// read-out" the paper discusses in §V-B. Trained with the WMSE metric
+/// objective (metric_trainer.h).
+class GruTrajEncoder : public NeuralEncoder {
+ public:
+  /// `normalizer` must outlive the encoder.
+  GruTrajEncoder(int dim, const traj::Normalizer* normalizer, Rng& rng,
+                 std::string name = "NT-No-SAM");
+
+  nn::Tensor Encode(const traj::Trajectory& t) const override;
+  std::vector<nn::Tensor> TrainableParameters() const override;
+  int dim() const override { return cell_->hidden_dim(); }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  const traj::Normalizer* normalizer_;
+  std::unique_ptr<nn::GruCell> cell_;
+};
+
+/// NeuTraj: the GRU of NT-No-SAM augmented with a spatial attention memory
+/// (SAM). Substitution (DESIGN.md §2): each fine-grid cell keeps a running
+/// average of hidden states observed there; at every step the 3x3
+/// neighbourhood's memories are averaged into a read vector m_t (treated as
+/// a constant — no backprop through the store), and a learned gate blends
+/// m_t into the hidden state. The memory persists across calls and is
+/// updated during encoding.
+class NeuTrajEncoder : public NeuralEncoder {
+ public:
+  /// `normalizer` and `grid` must outlive the encoder.
+  NeuTrajEncoder(int dim, const traj::Normalizer* normalizer,
+                 const traj::Grid* grid, Rng& rng);
+
+  nn::Tensor Encode(const traj::Trajectory& t) const override;
+  std::vector<nn::Tensor> TrainableParameters() const override;
+  int dim() const override { return cell_->hidden_dim(); }
+  std::string name() const override { return "NeuTraj"; }
+
+  /// Drops all cell memories (e.g. between epochs).
+  void ClearMemory() { memory_.clear(); }
+
+  /// Enables/disables memory writes. Writes are on during training (the
+  /// memory is part of the learning signal) and should be frozen for
+  /// evaluation so embeddings do not depend on encode order.
+  void set_memory_writes(bool enabled) { memory_writes_ = enabled; }
+
+ private:
+  const traj::Normalizer* normalizer_;
+  const traj::Grid* grid_;
+  std::unique_ptr<nn::GruCell> cell_;
+  std::unique_ptr<nn::Linear> gate_;  // [h; m] -> gate logits
+  bool memory_writes_ = true;
+  // Running-average hidden state per visited cell (detached values).
+  mutable std::unordered_map<int64_t, std::vector<float>> memory_;
+};
+
+}  // namespace traj2hash::baselines
+
+#endif  // TRAJ2HASH_BASELINES_NEUTRAJ_H_

@@ -1,0 +1,91 @@
+#include "baselines/t2vec.h"
+
+#include "nn/adam.h"
+#include "nn/ops.h"
+#include "traj/augment.h"
+
+namespace traj2hash::baselines {
+
+using nn::Tensor;
+
+T2VecEncoder::T2VecEncoder(int dim, const traj::Normalizer* normalizer,
+                           Rng& rng)
+    : normalizer_(normalizer) {
+  T2H_CHECK(normalizer != nullptr);
+  encoder_ = std::make_unique<nn::GruCell>(2, dim, rng);
+  decoder_ = std::make_unique<nn::GruCell>(2, dim, rng);
+  output_ = std::make_unique<nn::Linear>(dim, 2, rng);
+}
+
+namespace {
+
+Tensor PointInput(const traj::Point& p) {
+  Tensor x = nn::MakeTensor(1, 2, false);
+  x->at(0, 0) = static_cast<float>(p.x);
+  x->at(0, 1) = static_cast<float>(p.y);
+  return x;
+}
+
+}  // namespace
+
+Tensor T2VecEncoder::Encode(const traj::Trajectory& t) const {
+  T2H_CHECK(!t.empty());
+  Tensor h = encoder_->InitialState();
+  for (const traj::Point& p : t.points) {
+    h = encoder_->Forward(PointInput(normalizer_->Apply(p)), h);
+  }
+  return h;
+}
+
+double T2VecEncoder::Fit(const std::vector<traj::Trajectory>& corpus,
+                         const T2VecOptions& options, Rng& rng) {
+  T2H_CHECK(!corpus.empty());
+  std::vector<Tensor> params = TrainableParameters();
+  nn::Adam optimizer(params, nn::AdamOptions{.lr = options.lr});
+  double last_epoch_loss = 0.0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    for (const traj::Trajectory& t : corpus) {
+      // Augment: random dropping rate from the configured set + distortion.
+      const double rate = options.drop_rates[rng.UniformInt(
+          0, static_cast<int>(options.drop_rates.size()) - 1)];
+      traj::Trajectory noisy = traj::Distort(
+          traj::DropPoints(t, rate, rng), options.distort_m, rng);
+      if (noisy.empty()) continue;
+      const Tensor state = Encode(noisy);
+
+      // Decode the clean sequence with teacher forcing: the decoder input at
+      // step i is the clean normalised point i-1 (origin for the first).
+      Tensor h = state;
+      Tensor loss;
+      traj::Point prev{0.0, 0.0};
+      for (const traj::Point& p : t.points) {
+        h = decoder_->Forward(PointInput(prev), h);
+        const traj::Point target = normalizer_->Apply(p);
+        const Tensor pred = output_->Forward(h);
+        const Tensor diff = nn::Sub(pred, PointInput(target));
+        const Tensor term = nn::SumAll(nn::Mul(diff, diff));
+        loss = loss ? nn::Add(loss, term) : term;
+        prev = target;
+      }
+      loss = nn::Scale(loss, 1.0f / static_cast<float>(t.size()));
+      epoch_loss += loss->value()[0];
+      nn::Backward(loss);
+      optimizer.Step();
+    }
+    last_epoch_loss = epoch_loss / static_cast<double>(corpus.size());
+  }
+  return last_epoch_loss;
+}
+
+std::vector<Tensor> T2VecEncoder::TrainableParameters() const {
+  std::vector<Tensor> params = encoder_->Parameters();
+  auto append = [&params](const std::vector<Tensor>& more) {
+    params.insert(params.end(), more.begin(), more.end());
+  };
+  append(decoder_->Parameters());
+  append(output_->Parameters());
+  return params;
+}
+
+}  // namespace traj2hash::baselines

@@ -1,0 +1,52 @@
+#ifndef TRAJ2HASH_BASELINES_T2VEC_H_
+#define TRAJ2HASH_BASELINES_T2VEC_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/encoder.h"
+#include "nn/layers.h"
+#include "traj/normalizer.h"
+
+namespace traj2hash::baselines {
+
+/// t2vec training options. Distorting/dropping rates follow §V-A5
+/// ("we set the distorting and dropping rate are [0, 0.2, 0.4, 0.6]").
+struct T2VecOptions {
+  int epochs = 5;
+  float lr = 1e-3f;
+  std::vector<double> drop_rates = {0.0, 0.2, 0.4, 0.6};
+  double distort_m = 30.0;
+};
+
+/// t2vec (Li et al., ICDE'18), substituted as documented in DESIGN.md §2: a
+/// GRU denoising autoencoder — the encoder reads an augmented (dropped /
+/// distorted) trajectory, the decoder reconstructs the clean normalised
+/// coordinate sequence with teacher forcing (coordinate regression instead
+/// of the original's cell-token softmax, same self-supervised objective).
+/// Distance-agnostic by design, which is the property the paper's Table I
+/// comparison exercises.
+class T2VecEncoder : public NeuralEncoder {
+ public:
+  T2VecEncoder(int dim, const traj::Normalizer* normalizer, Rng& rng);
+
+  /// Self-supervised pre-training on an unlabelled corpus. Returns the last
+  /// epoch's mean reconstruction loss.
+  double Fit(const std::vector<traj::Trajectory>& corpus,
+             const T2VecOptions& options, Rng& rng);
+
+  nn::Tensor Encode(const traj::Trajectory& t) const override;
+  std::vector<nn::Tensor> TrainableParameters() const override;
+  int dim() const override { return encoder_->hidden_dim(); }
+  std::string name() const override { return "t2vec"; }
+
+ private:
+  const traj::Normalizer* normalizer_;
+  std::unique_ptr<nn::GruCell> encoder_;
+  std::unique_ptr<nn::GruCell> decoder_;
+  std::unique_ptr<nn::Linear> output_;  // hidden -> 2 coordinates
+};
+
+}  // namespace traj2hash::baselines
+
+#endif  // TRAJ2HASH_BASELINES_T2VEC_H_

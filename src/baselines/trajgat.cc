@@ -1,0 +1,141 @@
+#include "baselines/trajgat.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/ops.h"
+
+namespace traj2hash::baselines {
+
+PrQuadtree::PrQuadtree(const traj::BoundingBox& box, int max_depth,
+                       int max_points_per_leaf)
+    : max_depth_(max_depth),
+      max_points_per_leaf_(max_points_per_leaf),
+      box_(box) {
+  T2H_CHECK_GE(max_depth, 0);
+  T2H_CHECK_GE(max_points_per_leaf, 1);
+  const double half =
+      0.5 * std::max(std::max(box.Width(), box.Height()), 1.0);
+  Node root;
+  root.center = {box.min_x + 0.5 * box.Width(), box.min_y + 0.5 * box.Height()};
+  root.half_size = half;
+  root.depth = 0;
+  nodes_.push_back(root);
+  AssignLeafIds();
+}
+
+int PrQuadtree::QuadrantOf(const Node& n, const traj::Point& p) const {
+  const int east = p.x >= n.center.x ? 1 : 0;
+  const int north = p.y >= n.center.y ? 1 : 0;
+  return north * 2 + east;
+}
+
+void PrQuadtree::Build(const std::vector<traj::Point>& points) {
+  std::vector<int> ids(points.size());
+  for (size_t i = 0; i < points.size(); ++i) ids[i] = static_cast<int>(i);
+  nodes_.resize(1);
+  nodes_[0].build_count = static_cast<int>(points.size());
+  SplitIfNeeded(0, points, std::move(ids));
+  AssignLeafIds();
+}
+
+void PrQuadtree::SplitIfNeeded(int node_idx,
+                               const std::vector<traj::Point>& points,
+                               std::vector<int> point_ids) {
+  if (static_cast<int>(point_ids.size()) <= max_points_per_leaf_ ||
+      nodes_[node_idx].depth >= max_depth_) {
+    return;
+  }
+  std::vector<int> quadrant_ids[4];
+  for (const int id : point_ids) {
+    quadrant_ids[QuadrantOf(nodes_[node_idx], points[id])].push_back(id);
+  }
+  point_ids.clear();
+  const double child_half = nodes_[node_idx].half_size * 0.5;
+  const int child_depth = nodes_[node_idx].depth + 1;
+  const traj::Point c = nodes_[node_idx].center;
+  for (int q = 0; q < 4; ++q) {
+    Node child;
+    child.center = {c.x + (q % 2 == 1 ? child_half : -child_half),
+                    c.y + (q / 2 == 1 ? child_half : -child_half)};
+    child.half_size = child_half;
+    child.depth = child_depth;
+    child.build_count = static_cast<int>(quadrant_ids[q].size());
+    const int child_idx = static_cast<int>(nodes_.size());
+    nodes_.push_back(child);
+    nodes_[node_idx].children[q] = child_idx;
+    SplitIfNeeded(child_idx, points, std::move(quadrant_ids[q]));
+  }
+}
+
+void PrQuadtree::AssignLeafIds() {
+  leaves_.clear();
+  for (Node& n : nodes_) {
+    if (n.children[0] == -1) {
+      n.leaf_id = static_cast<int>(leaves_.size());
+      leaves_.push_back(LeafInfo{n.center, n.half_size, n.depth});
+    } else {
+      n.leaf_id = -1;
+    }
+  }
+}
+
+int PrQuadtree::LeafOf(const traj::Point& p) const {
+  traj::Point q = p;
+  q.x = std::clamp(q.x, box_.min_x, box_.max_x);
+  q.y = std::clamp(q.y, box_.min_y, box_.max_y);
+  int idx = 0;
+  while (nodes_[idx].children[0] != -1) {
+    idx = nodes_[idx].children[QuadrantOf(nodes_[idx], q)];
+  }
+  return nodes_[idx].leaf_id;
+}
+
+TrajGatEncoder::TrajGatEncoder(int dim, int num_blocks, int num_heads,
+                               const PrQuadtree* tree,
+                               const traj::BoundingBox& box, Rng& rng)
+    : dim_(dim), tree_(tree), box_(box) {
+  T2H_CHECK(tree != nullptr);
+  token_proj_ = std::make_unique<nn::Linear>(4, dim, rng);
+  for (int i = 0; i < num_blocks; ++i) {
+    blocks_.push_back(
+        std::make_unique<nn::EncoderBlock>(dim, num_heads, 2 * dim, rng));
+  }
+}
+
+nn::Tensor TrajGatEncoder::Encode(const traj::Trajectory& t) const {
+  T2H_CHECK(!t.empty());
+  // Re-tokenise as deduplicated leaf visits.
+  std::vector<int> leaf_seq;
+  for (const traj::Point& p : t.points) {
+    const int leaf = tree_->LeafOf(p);
+    if (leaf_seq.empty() || leaf_seq.back() != leaf) leaf_seq.push_back(leaf);
+  }
+  const int n = static_cast<int>(leaf_seq.size());
+  const double sx = std::max(box_.Width(), 1.0);
+  const double sy = std::max(box_.Height(), 1.0);
+  nn::Tensor feats = nn::MakeTensor(n, 4, false);
+  for (int i = 0; i < n; ++i) {
+    const PrQuadtree::LeafInfo& leaf = tree_->leaf(leaf_seq[i]);
+    feats->at(i, 0) = static_cast<float>((leaf.center.x - box_.min_x) / sx);
+    feats->at(i, 1) = static_cast<float>((leaf.center.y - box_.min_y) / sy);
+    feats->at(i, 2) = static_cast<float>(leaf.half_size / sx);
+    feats->at(i, 3) = static_cast<float>(leaf.depth) * 0.1f;
+  }
+  nn::Tensor x = token_proj_->Forward(feats);
+  x = nn::Add(x, nn::PositionalEncoding(n, dim_));
+  for (const auto& block : blocks_) x = block->Forward(x);
+  // TrajGAT's global read-out is mean pooling.
+  return nn::MeanRows(x);
+}
+
+std::vector<nn::Tensor> TrajGatEncoder::TrainableParameters() const {
+  std::vector<nn::Tensor> params = token_proj_->Parameters();
+  for (const auto& block : blocks_) {
+    const std::vector<nn::Tensor> more = block->Parameters();
+    params.insert(params.end(), more.begin(), more.end());
+  }
+  return params;
+}
+
+}  // namespace traj2hash::baselines

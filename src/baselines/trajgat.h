@@ -1,0 +1,84 @@
+#ifndef TRAJ2HASH_BASELINES_TRAJGAT_H_
+#define TRAJ2HASH_BASELINES_TRAJGAT_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/encoder.h"
+#include "nn/layers.h"
+#include "traj/trajectory.h"
+
+namespace traj2hash::baselines {
+
+/// Point-region quadtree over the studied space. Leaves adapt to the data
+/// density of a build corpus: dense regions split until `max_depth` or at
+/// most `max_points_per_leaf` build points remain per leaf.
+class PrQuadtree {
+ public:
+  PrQuadtree(const traj::BoundingBox& box, int max_depth,
+             int max_points_per_leaf);
+
+  /// Splits leaves according to the density of `points`.
+  void Build(const std::vector<traj::Point>& points);
+
+  /// Leaf containing `p` (points outside the box are clamped to it).
+  int LeafOf(const traj::Point& p) const;
+
+  struct LeafInfo {
+    traj::Point center;
+    double half_size = 0.0;
+    int depth = 0;
+  };
+  const LeafInfo& leaf(int id) const { return leaves_[id]; }
+  int num_leaves() const { return static_cast<int>(leaves_.size()); }
+
+ private:
+  struct Node {
+    traj::Point center;
+    double half_size;
+    int depth;
+    int children[4] = {-1, -1, -1, -1};  // -1 = leaf
+    int leaf_id = -1;
+    int build_count = 0;
+  };
+
+  int QuadrantOf(const Node& n, const traj::Point& p) const;
+  void SplitIfNeeded(int node_idx, const std::vector<traj::Point>& points,
+                     std::vector<int> point_ids);
+  void AssignLeafIds();
+
+  int max_depth_;
+  int max_points_per_leaf_;
+  traj::BoundingBox box_;
+  std::vector<Node> nodes_;
+  std::vector<LeafInfo> leaves_;
+};
+
+/// TrajGAT-lite (substitution, DESIGN.md §2): a trajectory is re-tokenised
+/// as the deduplicated sequence of PR-quadtree leaves it traverses; each
+/// leaf token is featurised by its (normalised) centre and scale, encoded by
+/// attention blocks, and mean-pooled — TrajGAT's hierarchical-token +
+/// global-read-out recipe for long trajectories.
+class TrajGatEncoder : public NeuralEncoder {
+ public:
+  /// `tree` must outlive the encoder and be built already.
+  TrajGatEncoder(int dim, int num_blocks, int num_heads,
+                 const PrQuadtree* tree, const traj::BoundingBox& box,
+                 Rng& rng);
+
+  nn::Tensor Encode(const traj::Trajectory& t) const override;
+  std::vector<nn::Tensor> TrainableParameters() const override;
+  int dim() const override { return dim_; }
+  std::string name() const override { return "TrajGAT"; }
+
+ private:
+  int dim_;
+  const PrQuadtree* tree_;
+  traj::BoundingBox box_;
+  std::unique_ptr<nn::Linear> token_proj_;  // 4 features -> dim
+  std::vector<std::unique_ptr<nn::EncoderBlock>> blocks_;
+};
+
+}  // namespace traj2hash::baselines
+
+#endif  // TRAJ2HASH_BASELINES_TRAJGAT_H_

@@ -1,0 +1,35 @@
+#include "baselines/transformer.h"
+
+namespace traj2hash::baselines {
+
+TransformerEncoder::TransformerEncoder(int dim, int num_blocks, int num_heads,
+                                       core::ReadOut read_out,
+                                       const traj::Normalizer* normalizer,
+                                       Rng& rng)
+    : dim_(dim), read_out_(read_out), normalizer_(normalizer) {
+  T2H_CHECK(normalizer != nullptr);
+  encoder_ = std::make_unique<core::GpsEncoder>(dim, num_blocks, num_heads,
+                                                read_out, rng);
+}
+
+nn::Tensor TransformerEncoder::Encode(const traj::Trajectory& t) const {
+  return encoder_->Forward(normalizer_->Apply(t));
+}
+
+std::vector<nn::Tensor> TransformerEncoder::TrainableParameters() const {
+  return encoder_->Parameters();
+}
+
+std::string TransformerEncoder::name() const {
+  switch (read_out_) {
+    case core::ReadOut::kCls:
+      return "Transformer";
+    case core::ReadOut::kMean:
+      return "Transformer-Mean";
+    case core::ReadOut::kLowerBound:
+      return "Transformer-LowerBound";
+  }
+  return "Transformer";
+}
+
+}  // namespace traj2hash::baselines

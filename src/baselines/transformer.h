@@ -1,0 +1,36 @@
+#ifndef TRAJ2HASH_BASELINES_TRANSFORMER_H_
+#define TRAJ2HASH_BASELINES_TRANSFORMER_H_
+
+#include <memory>
+
+#include "baselines/encoder.h"
+#include "core/encoders.h"
+#include "traj/normalizer.h"
+
+namespace traj2hash::baselines {
+
+/// The plain Transformer baseline (§V-A3): the same attention backbone as
+/// Traj2Hash's GPS channel with a CLS read-out by default, trained with WMSE
+/// only. The read-out is configurable because Fig. 4's study compares Mean /
+/// CLS / LowerBound on this exact backbone.
+class TransformerEncoder : public NeuralEncoder {
+ public:
+  TransformerEncoder(int dim, int num_blocks, int num_heads,
+                     core::ReadOut read_out,
+                     const traj::Normalizer* normalizer, Rng& rng);
+
+  nn::Tensor Encode(const traj::Trajectory& t) const override;
+  std::vector<nn::Tensor> TrainableParameters() const override;
+  int dim() const override { return dim_; }
+  std::string name() const override;
+
+ private:
+  int dim_;
+  core::ReadOut read_out_;
+  const traj::Normalizer* normalizer_;
+  std::unique_ptr<core::GpsEncoder> encoder_;
+};
+
+}  // namespace traj2hash::baselines
+
+#endif  // TRAJ2HASH_BASELINES_TRANSFORMER_H_

@@ -1,0 +1,37 @@
+#ifndef TRAJ2HASH_COMMON_CHECK_H_
+#define TRAJ2HASH_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// CHECK macros for programmer-error invariants. Unlike `Status`, a failed
+/// CHECK indicates a bug in this library or in the caller's use of it, so the
+/// process aborts with a source location. These stay enabled in release
+/// builds: the guarded invariants (shape matches, index bounds) are cheap
+/// relative to the numeric work they protect.
+#define T2H_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define T2H_CHECK_MSG(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,  \
+                   __LINE__, #cond, msg);                                 \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define T2H_CHECK_EQ(a, b) T2H_CHECK((a) == (b))
+#define T2H_CHECK_NE(a, b) T2H_CHECK((a) != (b))
+#define T2H_CHECK_LT(a, b) T2H_CHECK((a) < (b))
+#define T2H_CHECK_LE(a, b) T2H_CHECK((a) <= (b))
+#define T2H_CHECK_GT(a, b) T2H_CHECK((a) > (b))
+#define T2H_CHECK_GE(a, b) T2H_CHECK((a) >= (b))
+
+#endif  // TRAJ2HASH_COMMON_CHECK_H_

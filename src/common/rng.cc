@@ -1,0 +1,32 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+namespace traj2hash {
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  T2H_CHECK_GE(n, k);
+  T2H_CHECK_GE(k, 0);
+  if (k == 0) return {};
+  // For dense samples, shuffle a full index vector; for sparse samples,
+  // rejection-sample into a set. The cutoff keeps both paths O(k log k)-ish.
+  if (k * 3 >= n) {
+    std::vector<int> idx(n);
+    std::iota(idx.begin(), idx.end(), 0);
+    Shuffle(idx);
+    idx.resize(k);
+    return idx;
+  }
+  std::unordered_set<int> seen;
+  std::vector<int> out;
+  out.reserve(k);
+  while (static_cast<int>(out.size()) < k) {
+    int candidate = UniformInt(0, n - 1);
+    if (seen.insert(candidate).second) out.push_back(candidate);
+  }
+  return out;
+}
+
+}  // namespace traj2hash

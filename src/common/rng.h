@@ -1,0 +1,58 @@
+#ifndef TRAJ2HASH_COMMON_RNG_H_
+#define TRAJ2HASH_COMMON_RNG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace traj2hash {
+
+/// Deterministic random source shared by data generation, model
+/// initialisation and training. Every component takes an `Rng&` explicitly so
+/// experiments are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int UniformInt(int lo, int hi) {
+    T2H_CHECK_LE(lo, hi);
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal scaled by `stddev`.
+  double Gaussian(double stddev = 1.0) {
+    return std::normal_distribution<double>(0.0, stddev)(engine_);
+  }
+
+  /// True with probability `p`.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  /// Samples `k` distinct indices from [0, n). Requires k <= n.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace traj2hash
+
+#endif  // TRAJ2HASH_COMMON_RNG_H_

@@ -1,0 +1,95 @@
+#ifndef TRAJ2HASH_COMMON_STATUS_H_
+#define TRAJ2HASH_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace traj2hash {
+
+/// Error categories for fallible operations. Mirrors the usual
+/// database-library convention (RocksDB-style Status) instead of exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Result of a fallible operation that produces no value.
+///
+/// A `Status` is either OK or carries a code and a human-readable message.
+/// Functions that can fail for reasons other than programmer error return
+/// `Status` (or `Result<T>`); programmer errors are caught by CHECK macros.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type `T` or an error `Status`. Lightweight analogue of
+/// absl::StatusOr for this project.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or from an error status keeps call
+  /// sites terse (`return Status::InvalidArgument(...)` / `return value;`).
+  Result(T value) : data_(std::move(value)) {}          // NOLINT
+  Result(Status status) : data_(std::move(status)) {}   // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+
+  /// Requires `ok()`.
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace traj2hash
+
+#endif  // TRAJ2HASH_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef TRAJ2HASH_COMMON_STOPWATCH_H_
+#define TRAJ2HASH_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace traj2hash {
+
+/// Wall-clock stopwatch for the efficiency experiments (Figs. 5-6).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start time to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Microseconds elapsed since construction or the last Restart().
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace traj2hash
+
+#endif  // TRAJ2HASH_COMMON_STOPWATCH_H_

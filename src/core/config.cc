@@ -1,0 +1,42 @@
+#include "core/config.h"
+
+namespace traj2hash::core {
+
+Status Traj2HashConfig::Validate() const {
+  if (dim <= 0 || dim % 2 != 0) {
+    return Status::InvalidArgument(
+        "dim must be positive and even (the projector halves it)");
+  }
+  if (num_heads <= 0 || dim % num_heads != 0) {
+    return Status::InvalidArgument("dim must be divisible by num_heads");
+  }
+  if (num_blocks <= 0) {
+    return Status::InvalidArgument("num_blocks must be positive");
+  }
+  if (fine_cell_m <= 0.0 || coarse_cell_m <= 0.0) {
+    return Status::InvalidArgument("cell sizes must be positive");
+  }
+  if (samples_per_anchor < 2 || samples_per_anchor % 2 != 0) {
+    return Status::InvalidArgument(
+        "samples_per_anchor (M) must be even and >= 2 (Eq. 18 pairs them)");
+  }
+  if (batch_size <= 0 || triplet_batch_size <= 0 || epochs <= 0) {
+    return Status::InvalidArgument("batch sizes and epochs must be positive");
+  }
+  if (theta <= 0.0f) {
+    return Status::InvalidArgument("theta must be positive");
+  }
+  if (alpha < 0.0f || gamma < 0.0f) {
+    return Status::InvalidArgument("alpha and gamma must be non-negative");
+  }
+  if (lr <= 0.0f) {
+    return Status::InvalidArgument("lr must be positive");
+  }
+  if (beta_init <= 0.0f || beta_growth < 0.0f) {
+    return Status::InvalidArgument(
+        "beta_init must be positive and beta_growth non-negative");
+  }
+  return Status::Ok();
+}
+
+}  // namespace traj2hash::core

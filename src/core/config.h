@@ -1,0 +1,64 @@
+#ifndef TRAJ2HASH_CORE_CONFIG_H_
+#define TRAJ2HASH_CORE_CONFIG_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace traj2hash::core {
+
+/// Read-out layer of the attention-based trajectory encoder (§IV-D and the
+/// Fig. 4 study).
+enum class ReadOut {
+  kLowerBound,  ///< first-token embedding (Lemma 1 induced; paper default)
+  kMean,        ///< mean pooling over all tokens (TrajGAT-style)
+  kCls,         ///< learnable CLS token (BERT-style)
+};
+
+/// Hyper-parameters of the Traj2Hash model and its training objective.
+/// Defaults follow §V-A5 (Parameter Settings).
+struct Traj2HashConfig {
+  // Model.
+  int dim = 64;             ///< latent dimension d (= hash length d_h)
+  int num_blocks = 2;       ///< m attention blocks
+  int num_heads = 4;        ///< attention heads
+  ReadOut read_out = ReadOut::kLowerBound;
+  /// Extension beyond the paper (Eq. 12 uses bare residuals): pre-LN
+  /// attention blocks. Off by default; bench_ext_layernorm ablates it.
+  bool use_layer_norm = false;
+
+  // Grid channels.
+  double fine_cell_m = 50.0;     ///< grid trajectory cell size (§V-A1)
+  double coarse_cell_m = 500.0;  ///< fast-triplet clustering cell size (§IV-F)
+
+  // Objective.
+  float theta = 8.0f;   ///< similarity smoothing in S = exp(-theta*D)/max
+  float alpha = 5.0f;   ///< ranking margin (Eq. 18, default per §V-A5)
+  /// Eq. 18 sample pairing: true pairs the j-th most similar with the j-th
+  /// least similar (every pair informative; this repo's default, DESIGN.md
+  /// §6); false pairs adjacent ranks (the literal reading of "group the M
+  /// samples into M/2 pairs"). bench_ext_pairing ablates the choice.
+  bool cross_pairing = true;
+  float gamma = 6.0f;   ///< balance weight (Eq. 21, default per §V-A5)
+  int samples_per_anchor = 10;  ///< M
+  int batch_size = 20;          ///< WMSE batch size
+  int triplet_batch_size = 500;
+  int epochs = 100;
+  float lr = 1e-3f;
+  float beta_init = 1.0f;    ///< initial tanh(beta*) continuation sharpness
+  float beta_growth = 1.0f;  ///< per-epoch additive growth of tanh(beta*)
+
+  // Ablation switches (Table III): each "-X" variant of the paper also
+  // removes the previous component; these are independent toggles, so the
+  // cumulative variants are expressed by clearing several flags.
+  bool use_grid_channel = true;  ///< -Grids clears this
+  bool use_rev_aug = true;       ///< -RevAug clears this
+  bool use_triplets = true;      ///< -Triplets clears this
+
+  /// Validates ranges; returns InvalidArgument describing the first problem.
+  Status Validate() const;
+};
+
+}  // namespace traj2hash::core
+
+#endif  // TRAJ2HASH_CORE_CONFIG_H_

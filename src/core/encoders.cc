@@ -1,0 +1,77 @@
+#include "core/encoders.h"
+
+#include "nn/ops.h"
+
+namespace traj2hash::core {
+
+using nn::Tensor;
+
+GpsEncoder::GpsEncoder(int dim, int num_blocks, int num_heads,
+                       ReadOut read_out, Rng& rng, bool use_layer_norm)
+    : read_out_(read_out) {
+  input_proj_ = std::make_unique<nn::Linear>(2, dim, rng);
+  RegisterChild(*input_proj_);
+  for (int i = 0; i < num_blocks; ++i) {
+    blocks_.push_back(std::make_unique<nn::EncoderBlock>(
+        dim, num_heads, 2 * dim, rng, use_layer_norm));
+    RegisterChild(*blocks_.back());
+  }
+  if (read_out_ == ReadOut::kCls) {
+    cls_ = RegisterParameter(nn::MakeTensor(1, dim, true));
+    nn::GaussianInit(cls_, 0.1f, rng);
+  }
+}
+
+Tensor GpsEncoder::Forward(
+    const std::vector<traj::Point>& normalized) const {
+  T2H_CHECK(!normalized.empty());
+  const int n = static_cast<int>(normalized.size());
+  Tensor coords = nn::MakeTensor(n, 2, false);
+  for (int i = 0; i < n; ++i) {
+    coords->at(i, 0) = static_cast<float>(normalized[i].x);
+    coords->at(i, 1) = static_cast<float>(normalized[i].y);
+  }
+  // Eq. 10: e_l = MLP_e(Normalize(lat, lon)); normalisation happened
+  // upstream (the encoder sees already-normalised coordinates).
+  Tensor x = input_proj_->Forward(coords);
+  if (read_out_ == ReadOut::kCls) {
+    x = nn::ConcatRows(cls_, x);
+  }
+  x = nn::Add(x, nn::PositionalEncoding(x->rows(), x->cols()));
+  for (const auto& block : blocks_) {
+    x = block->Forward(x);
+  }
+  switch (read_out_) {
+    case ReadOut::kLowerBound:
+      // Eq. 13: the first point's embedding is the trajectory embedding,
+      // anchoring the representation on the Lemma 1 lower bound.
+      return nn::SliceRows(x, 0, 1);
+    case ReadOut::kCls:
+      return nn::SliceRows(x, 0, 1);
+    case ReadOut::kMean:
+      return nn::MeanRows(x);
+  }
+  T2H_CHECK_MSG(false, "unknown read-out");
+  return {};
+}
+
+GridChannelEncoder::GridChannelEncoder(
+    const embedding::GridRepresentation* representation, int dim, Rng& rng)
+    : representation_(representation) {
+  T2H_CHECK(representation != nullptr);
+  // Eq. 9: MLP_g is a two-layer fully connected network with ReLU.
+  mlp_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{representation->dim(), dim, dim}, rng);
+  RegisterChild(*mlp_);
+}
+
+Tensor GridChannelEncoder::Forward(
+    const std::vector<traj::Cell>& cells) const {
+  T2H_CHECK(!cells.empty());
+  Tensor e = representation_->SequenceEmbedding(cells);
+  // Eq. 8: add sinusoidal positions, then MLP + mean pooling (Eq. 9).
+  e = nn::Add(e, nn::PositionalEncoding(e->rows(), e->cols()));
+  return nn::MeanRows(mlp_->Forward(e));
+}
+
+}  // namespace traj2hash::core

@@ -1,0 +1,41 @@
+#include "core/index.h"
+
+#include "common/check.h"
+
+namespace traj2hash::core {
+
+TrajectoryIndex::TrajectoryIndex(const Traj2Hash* model) : model_(model) {
+  T2H_CHECK(model != nullptr);
+}
+
+int TrajectoryIndex::Add(const traj::Trajectory& t) {
+  const int id = static_cast<int>(embeddings_.size());
+  std::vector<float> embedding = model_->Embed(t);
+  search::Code code = search::PackSigns(embedding);
+  embeddings_.push_back(std::move(embedding));
+  if (hamming_ == nullptr) {
+    hamming_ = std::make_unique<search::HammingIndex>(
+        std::vector<search::Code>{std::move(code)});
+  } else {
+    hamming_->Insert(std::move(code));
+  }
+  return id;
+}
+
+void TrajectoryIndex::AddAll(const std::vector<traj::Trajectory>& ts) {
+  for (const traj::Trajectory& t : ts) Add(t);
+}
+
+std::vector<search::Neighbor> TrajectoryIndex::QueryEuclidean(
+    const traj::Trajectory& query, int k) const {
+  T2H_CHECK_MSG(!embeddings_.empty(), "index is empty");
+  return search::TopKEuclidean(embeddings_, model_->Embed(query), k);
+}
+
+std::vector<search::Neighbor> TrajectoryIndex::QueryHamming(
+    const traj::Trajectory& query, int k) const {
+  T2H_CHECK_MSG(hamming_ != nullptr, "index is empty");
+  return hamming_->HybridTopK(model_->HashCode(query), k);
+}
+
+}  // namespace traj2hash::core

@@ -1,0 +1,59 @@
+#ifndef TRAJ2HASH_CORE_INDEX_H_
+#define TRAJ2HASH_CORE_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/model.h"
+#include "search/hamming_index.h"
+#include "search/knn.h"
+
+namespace traj2hash::core {
+
+/// Convenience façade for serving a live trajectory database with a trained
+/// Traj2Hash model: trajectories are embedded and hashed once on insertion,
+/// and queries run against either space without touching the raw
+/// trajectories again.
+///
+///   TrajectoryIndex index(model.get());
+///   index.AddAll(database);
+///   auto hits = index.QueryHamming(query, 10);   // Hamming-Hybrid
+///   auto exact = index.QueryEuclidean(query, 10);  // latent-space BF
+class TrajectoryIndex {
+ public:
+  /// `model` must be trained and outlive the index.
+  explicit TrajectoryIndex(const Traj2Hash* model);
+
+  /// Embeds, hashes and stores one trajectory; returns its id (insertion
+  /// order, the index used in query results).
+  int Add(const traj::Trajectory& t);
+
+  /// Bulk insertion.
+  void AddAll(const std::vector<traj::Trajectory>& ts);
+
+  /// Top-k by Euclidean distance between embeddings (brute force over the
+  /// stored vectors).
+  std::vector<search::Neighbor> QueryEuclidean(const traj::Trajectory& query,
+                                               int k) const;
+
+  /// Top-k by Hamming distance using the Hamming-Hybrid strategy (§V-E).
+  std::vector<search::Neighbor> QueryHamming(const traj::Trajectory& query,
+                                             int k) const;
+
+  int size() const { return static_cast<int>(embeddings_.size()); }
+
+  const std::vector<std::vector<float>>& embeddings() const {
+    return embeddings_;
+  }
+
+ private:
+  const Traj2Hash* model_;
+  std::vector<std::vector<float>> embeddings_;
+  // Created on the first insertion (HammingIndex requires a non-empty
+  // initial set); extended incrementally afterwards.
+  std::unique_ptr<search::HammingIndex> hamming_;
+};
+
+}  // namespace traj2hash::core
+
+#endif  // TRAJ2HASH_CORE_INDEX_H_

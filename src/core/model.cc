@@ -1,0 +1,240 @@
+#include "core/model.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "nn/ops.h"
+
+namespace traj2hash::core {
+
+using nn::Tensor;
+
+Result<std::unique_ptr<Traj2Hash>> Traj2Hash::Create(
+    const Traj2HashConfig& config,
+    const std::vector<traj::Trajectory>& corpus, Rng& rng) {
+  if (Status s = config.Validate(); !s.ok()) return s;
+  if (corpus.empty()) {
+    return Status::InvalidArgument("corpus must be non-empty");
+  }
+  traj::Normalizer normalizer;
+  normalizer.Fit(corpus);
+  const traj::BoundingBox box = traj::ComputeBoundingBox(corpus);
+  Result<traj::Grid> fine = traj::Grid::Create(box, config.fine_cell_m);
+  if (!fine.ok()) return fine.status();
+  Result<traj::Grid> coarse = traj::Grid::Create(box, config.coarse_cell_m);
+  if (!coarse.ok()) return coarse.status();
+  return std::unique_ptr<Traj2Hash>(new Traj2Hash(
+      config, std::move(normalizer), fine.value(), coarse.value(), rng));
+}
+
+Traj2Hash::Traj2Hash(const Traj2HashConfig& config,
+                     traj::Normalizer normalizer, traj::Grid fine_grid,
+                     traj::Grid coarse_grid, Rng& rng)
+    : config_(config),
+      normalizer_(std::move(normalizer)),
+      fine_grid_(fine_grid),
+      coarse_grid_(coarse_grid) {
+  gps_encoder_ = std::make_unique<GpsEncoder>(
+      config.dim, config.num_blocks, config.num_heads, config.read_out, rng,
+      config.use_layer_norm);
+  if (config.use_grid_channel) {
+    decomposed_grids_ = std::make_unique<embedding::DecomposedGridEmbedding>(
+        fine_grid_.num_x(), fine_grid_.num_y(), config.dim, rng);
+    grid_encoder_ = std::make_unique<GridChannelEncoder>(
+        decomposed_grids_.get(), config.dim, rng);
+    fuse_ = std::make_unique<nn::Linear>(2 * config.dim, config.dim, rng);
+  }
+  projector_ = std::make_unique<nn::Linear>(config.dim, config.dim / 2, rng,
+                                            /*use_bias=*/false);
+  projector_full_ = std::make_unique<nn::Linear>(config.dim, config.dim, rng,
+                                                 /*use_bias=*/false);
+}
+
+double Traj2Hash::PretrainGrids(const embedding::GridPretrainOptions& options,
+                                Rng& rng) {
+  if (!config_.use_grid_channel || decomposed_grids_ == nullptr) return 0.0;
+  return decomposed_grids_->Pretrain(options, rng);
+}
+
+void Traj2Hash::UseGridRepresentation(
+    std::unique_ptr<embedding::GridRepresentation> representation, Rng& rng) {
+  T2H_CHECK_MSG(config_.use_grid_channel,
+                "grid channel is ablated; nothing to replace");
+  external_grids_ = std::move(representation);
+  decomposed_grids_.reset();
+  grid_encoder_ = std::make_unique<GridChannelEncoder>(external_grids_.get(),
+                                                       config_.dim, rng);
+}
+
+std::vector<Tensor> Traj2Hash::TrainableParameters() const {
+  std::vector<Tensor> params = gps_encoder_->Parameters();
+  auto append = [&params](const std::vector<Tensor>& more) {
+    params.insert(params.end(), more.begin(), more.end());
+  };
+  if (grid_encoder_) append(grid_encoder_->Parameters());
+  if (fuse_) append(fuse_->Parameters());
+  if (config_.use_rev_aug) {
+    append(projector_->Parameters());
+  } else {
+    append(projector_full_->Parameters());
+  }
+  return params;
+}
+
+Tensor Traj2Hash::EncodeOneDirection(const traj::Trajectory& t) const {
+  T2H_CHECK(!t.empty());
+  const Tensor h_l = gps_encoder_->Forward(normalizer_.Apply(t));
+  if (!config_.use_grid_channel) return h_l;
+  const traj::GridTrajectory g = fine_grid_.Map(t);
+  const Tensor h_g = grid_encoder_->Forward(g.cells);
+  // Eq. 14: h = MLP_f([h_l, h_g]).
+  return fuse_->Forward(nn::ConcatCols(h_l, h_g));
+}
+
+Tensor Traj2Hash::EncodeContinuous(const traj::Trajectory& t) const {
+  const auto [h, h_r] = EncodeFused(t);
+  return ProjectFused(h, h_r);
+}
+
+std::pair<Tensor, Tensor> Traj2Hash::EncodeFused(
+    const traj::Trajectory& t) const {
+  const Tensor h = EncodeOneDirection(t);
+  if (!config_.use_rev_aug) return {h, nullptr};
+  return {h, EncodeOneDirection(traj::Reversed(t))};
+}
+
+Tensor Traj2Hash::ProjectFused(const Tensor& h, const Tensor& h_r) const {
+  if (!config_.use_rev_aug) {
+    T2H_CHECK(h_r == nullptr);
+    return projector_full_->Forward(h);
+  }
+  T2H_CHECK(h_r != nullptr);
+  // Eq. 15: h_f = [W_p h, W_p h_r] — Lemma 3 gives the reverse symmetric
+  // property to the concatenated representation.
+  return nn::ConcatCols(projector_->Forward(h), projector_->Forward(h_r));
+}
+
+std::vector<Tensor> Traj2Hash::ProjectorParameters() const {
+  return config_.use_rev_aug ? projector_->Parameters()
+                             : projector_full_->Parameters();
+}
+
+std::vector<float> Traj2Hash::Embed(const traj::Trajectory& t) const {
+  return EncodeContinuous(t)->value();
+}
+
+Tensor Traj2Hash::RelaxedCode(const Tensor& h_f) const {
+  return nn::Tanh(nn::Scale(h_f, beta_));
+}
+
+search::Code Traj2Hash::HashCode(const traj::Trajectory& t) const {
+  return search::PackSigns(Embed(t));
+}
+
+std::vector<Tensor> Traj2Hash::PersistentTensors() const {
+  std::vector<Tensor> all = gps_encoder_->Parameters();
+  auto append = [&all](const std::vector<Tensor>& more) {
+    all.insert(all.end(), more.begin(), more.end());
+  };
+  if (grid_encoder_) append(grid_encoder_->Parameters());
+  if (fuse_) append(fuse_->Parameters());
+  append(projector_->Parameters());
+  append(projector_full_->Parameters());
+  if (decomposed_grids_) append(decomposed_grids_->Parameters());
+  return all;
+}
+
+std::vector<std::vector<float>> Traj2Hash::SnapshotParameters() const {
+  std::vector<std::vector<float>> snapshot;
+  for (const Tensor& p : PersistentTensors()) snapshot.push_back(p->value());
+  return snapshot;
+}
+
+void Traj2Hash::RestoreParameters(
+    const std::vector<std::vector<float>>& snapshot) {
+  const std::vector<Tensor> tensors = PersistentTensors();
+  T2H_CHECK_EQ(tensors.size(), snapshot.size());
+  for (size_t i = 0; i < tensors.size(); ++i) {
+    T2H_CHECK_EQ(tensors[i]->value().size(), snapshot[i].size());
+    tensors[i]->value() = snapshot[i];
+  }
+}
+
+namespace {
+
+/// Structural fingerprint of the architecture-affecting config fields, so a
+/// Load against a differently-shaped model fails with a clear message
+/// instead of a tensor-size mismatch.
+uint64_t ConfigFingerprint(const Traj2HashConfig& cfg) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<uint64_t>(cfg.dim));
+  mix(static_cast<uint64_t>(cfg.num_blocks));
+  mix(static_cast<uint64_t>(cfg.num_heads));
+  mix(static_cast<uint64_t>(cfg.read_out));
+  mix(cfg.use_layer_norm ? 1 : 0);
+  mix(cfg.use_grid_channel ? 1 : 0);
+  mix(cfg.use_rev_aug ? 1 : 0);
+  return h;
+}
+
+}  // namespace
+
+Status Traj2Hash::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  const std::vector<Tensor> tensors = PersistentTensors();
+  const uint64_t magic = 0x54324841534832ull;  // "T2HASH2"
+  const uint64_t fingerprint = ConfigFingerprint(config_);
+  const uint64_t count = tensors.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&fingerprint), sizeof(fingerprint));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Tensor& t : tensors) {
+    const uint64_t n = t->value().size();
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    out.write(reinterpret_cast<const char*>(t->value().data()),
+              static_cast<std::streamsize>(n * sizeof(float)));
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Status Traj2Hash::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  uint64_t magic = 0, fingerprint = 0, count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&fingerprint), sizeof(fingerprint));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || magic != 0x54324841534832ull) {
+    return Status::InvalidArgument("not a Traj2Hash model file: " + path);
+  }
+  if (fingerprint != ConfigFingerprint(config_)) {
+    return Status::FailedPrecondition(
+        "model file was saved with a different architecture config (dim/"
+        "blocks/heads/read-out/ablation flags): " + path);
+  }
+  const std::vector<Tensor> tensors = PersistentTensors();
+  if (count != tensors.size()) {
+    return Status::InvalidArgument(
+        "model file has " + std::to_string(count) + " tensors, expected " +
+        std::to_string(tensors.size()) + " (config mismatch?)");
+  }
+  for (const Tensor& t : tensors) {
+    uint64_t n = 0;
+    in.read(reinterpret_cast<char*>(&n), sizeof(n));
+    if (!in || n != t->value().size()) {
+      return Status::InvalidArgument("tensor size mismatch in " + path);
+    }
+    in.read(reinterpret_cast<char*>(t->value().data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+    if (!in) return Status::IoError("truncated model file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace traj2hash::core

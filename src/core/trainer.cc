@@ -1,0 +1,491 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "eval/metrics.h"
+#include "nn/adam.h"
+#include "nn/ops.h"
+
+namespace traj2hash::core {
+
+using nn::Tensor;
+
+std::vector<double> SimilarityFromDistances(
+    const std::vector<double>& distances, int n, float theta) {
+  double sum = 0.0;
+  int64_t count = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      sum += distances[static_cast<size_t>(i) * n + j];
+      ++count;
+    }
+  }
+  const double mean = count > 0 ? sum / count : 1.0;
+  const double scale = mean > 0.0 ? 1.0 / mean : 1.0;
+  std::vector<double> sim(distances.size());
+  for (size_t i = 0; i < distances.size(); ++i) {
+    sim[i] = std::exp(-static_cast<double>(theta) * distances[i] * scale);
+  }
+  return sim;
+}
+
+namespace {
+
+/// Cached pre-projection features of one trajectory (h, h_r or null).
+using FusedFeatures = std::pair<Tensor, Tensor>;
+
+/// Per-step cache so a seed encoded as a sample of several anchors is
+/// embedded once per optimisation step.
+class EmbeddingCache {
+ public:
+  EmbeddingCache(const Traj2Hash& model,
+                 const std::vector<traj::Trajectory>& seeds)
+      : model_(model), seeds_(seeds) {}
+
+  const Tensor& Embedding(int idx) {
+    auto it = embeddings_.find(idx);
+    if (it == embeddings_.end()) {
+      it = embeddings_.emplace(idx, model_.EncodeContinuous(seeds_[idx]))
+               .first;
+    }
+    return it->second;
+  }
+
+  const Tensor& Code(int idx) {
+    auto it = codes_.find(idx);
+    if (it == codes_.end()) {
+      it = codes_.emplace(idx, model_.RelaxedCode(Embedding(idx))).first;
+    }
+    return it->second;
+  }
+
+  void Clear() {
+    embeddings_.clear();
+    codes_.clear();
+  }
+
+ private:
+  const Traj2Hash& model_;
+  const std::vector<traj::Trajectory>& seeds_;
+  std::unordered_map<int, Tensor> embeddings_;
+  std::unordered_map<int, Tensor> codes_;
+};
+
+/// NeuTraj-style per-anchor sampling: the M/2 nearest seeds plus M/2 random
+/// others, sorted by ground-truth similarity (most similar first).
+std::vector<int> SelectSamples(const std::vector<std::vector<int>>& ranked,
+                               const std::vector<double>& sim, int anchor,
+                               int n, int m, Rng& rng) {
+  std::vector<int> samples(ranked[anchor].begin(),
+                           ranked[anchor].begin() + m / 2);
+  const int tail = n - 1 - m / 2;
+  for (const int e : rng.SampleWithoutReplacement(tail, m / 2)) {
+    samples.push_back(ranked[anchor][m / 2 + e]);
+  }
+  std::sort(samples.begin(), samples.end(), [&](int x, int y) {
+    return sim[static_cast<size_t>(anchor) * n + x] >
+           sim[static_cast<size_t>(anchor) * n + y];
+  });
+  return samples;
+}
+
+/// Eq. 18 pair p of M/2: cross pairing matches the j-th most similar with
+/// the j-th least similar; adjacent pairing follows the literal reading.
+std::pair<int, int> PairAt(const std::vector<int>& samples, int p,
+                           bool cross) {
+  const int half = static_cast<int>(samples.size()) / 2;
+  return cross ? std::make_pair(samples[p], samples[p + half])
+               : std::make_pair(samples[2 * p], samples[2 * p + 1]);
+}
+
+/// Eq. 17 WMSE term between two [1, d] representations.
+Tensor WmseTerm(const Tensor& h_a, const Tensor& h_s, float target,
+                float weight) {
+  const Tensor g = nn::Exp(nn::Scale(nn::EuclideanDistance(h_a, h_s), -1.0f));
+  const Tensor err = nn::AddScalar(g, -target);
+  return nn::Scale(nn::Mul(err, err), weight);
+}
+
+/// Eq. 19/20 hinge between relaxed codes.
+Tensor RankingHinge(const Tensor& z_a, const Tensor& z_pos,
+                    const Tensor& z_neg, float alpha) {
+  return nn::Relu(nn::AddScalar(
+      nn::Sub(nn::Dot(z_a, z_neg), nn::Dot(z_a, z_pos)), alpha));
+}
+
+}  // namespace
+
+Trainer::Trainer(Traj2Hash* model, TrainerOptions options)
+    : model_(model), options_(options) {
+  T2H_CHECK(model != nullptr);
+}
+
+Result<TrainReport> Trainer::Fit(const TrainingData& data, Rng& rng) {
+  const int n = static_cast<int>(data.seeds.size());
+  if (n < 4) return Status::InvalidArgument("need at least 4 seeds");
+  if (data.seed_distances.size() != static_cast<size_t>(n) * n) {
+    return Status::InvalidArgument("seed_distances must be |seeds|^2");
+  }
+  if (data.val_truth.size() != data.val_queries.size()) {
+    return Status::InvalidArgument("val_truth must match val_queries");
+  }
+  const Traj2HashConfig& cfg = model_->config();
+  // M clamped so each anchor can draw M distinct other seeds.
+  const int m = std::min(cfg.samples_per_anchor, ((n - 1) / 2) * 2);
+  if (m < 2) return Status::InvalidArgument("too few seeds for sampling");
+
+  const std::vector<double> sim =
+      SimilarityFromDistances(data.seed_distances, n, cfg.theta);
+
+  // Rank every seed's neighbours once (ascending exact distance).
+  std::vector<std::vector<int>> ranked(n);
+  for (int i = 0; i < n; ++i) {
+    std::vector<int>& order = ranked[i];
+    order.reserve(n - 1);
+    for (int j = 0; j < n; ++j) {
+      if (j != i) order.push_back(j);
+    }
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return data.seed_distances[static_cast<size_t>(i) * n + a] <
+             data.seed_distances[static_cast<size_t>(i) * n + b];
+    });
+  }
+
+  // Fast triplet generation over the unlabelled corpus (§IV-F).
+  std::unique_ptr<FastTripletGenerator> triplet_gen;
+  if (cfg.use_triplets && !data.triplet_corpus.empty()) {
+    triplet_gen = std::make_unique<FastTripletGenerator>(
+        model_->coarse_grid(), data.triplet_corpus);
+    if (triplet_gen->num_multi_clusters() == 0) triplet_gen.reset();
+  }
+
+  nn::Adam optimizer(model_->TrainableParameters(),
+                     nn::AdamOptions{.lr = cfg.lr});
+  EmbeddingCache cache(*model_, data.seeds);
+
+  TrainReport report;
+  std::vector<std::vector<float>> best_snapshot;
+  std::vector<int> anchor_order(n);
+  std::iota(anchor_order.begin(), anchor_order.end(), 0);
+  model_->set_beta(cfg.beta_init);
+
+  // Validates in both spaces and snapshots the best combined epoch.
+  auto validate_and_snapshot = [&](EpochStats& stats, int epoch,
+                                   const auto& embed_queries,
+                                   const auto& embed_db) {
+    const std::vector<std::vector<float>> q_emb = embed_queries();
+    const std::vector<std::vector<float>> db_emb = embed_db();
+    stats.val_hr10 =
+        eval::EvaluateEuclidean(q_emb, db_emb, data.val_truth).hr10;
+    std::vector<search::Code> q_codes, db_codes;
+    q_codes.reserve(q_emb.size());
+    db_codes.reserve(db_emb.size());
+    for (const auto& e : q_emb) q_codes.push_back(search::PackSigns(e));
+    for (const auto& e : db_emb) db_codes.push_back(search::PackSigns(e));
+    stats.val_hamming_hr10 =
+        eval::EvaluateHamming(q_codes, db_codes, data.val_truth).hr10;
+    const double combined = stats.val_hr10 + stats.val_hamming_hr10;
+    if (combined > report.best_val_hr10) {
+      report.best_val_hr10 = combined;
+      report.best_epoch = epoch;
+      best_snapshot = model_->SnapshotParameters();
+    }
+  };
+
+  // ---------------------------------------------------------------------
+  // Phase 1: joint training of the full model (encoder + hash layer).
+  // ---------------------------------------------------------------------
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    EpochStats stats;
+    int wmse_terms = 0, rank_terms = 0, triplet_terms = 0;
+    rng.Shuffle(anchor_order);
+    for (int start = 0; start < n; start += cfg.batch_size) {
+      const int end = std::min(n, start + cfg.batch_size);
+      cache.Clear();
+      Tensor wmse_loss, rank_loss, trip_loss;
+      int batch_pairs = 0, batch_rank_pairs = 0, batch_triplets = 0;
+      for (int a = start; a < end; ++a) {
+        const int anchor = anchor_order[a];
+        const std::vector<int> samples =
+            SelectSamples(ranked, sim, anchor, n, m, rng);
+        const Tensor h_a = cache.Embedding(anchor);
+        for (size_t j = 0; j < samples.size(); ++j) {
+          const int s = samples[j];
+          // Eq. 17: r_j = 1/(rank+1) emphasises the most similar samples.
+          const Tensor term = WmseTerm(
+              h_a, cache.Embedding(s),
+              static_cast<float>(sim[static_cast<size_t>(anchor) * n + s]),
+              1.0f / static_cast<float>(j + 1));
+          wmse_loss = wmse_loss ? nn::Add(wmse_loss, term) : term;
+          ++batch_pairs;
+        }
+        if (cfg.gamma > 0.0f) {
+          // Eq. 18/19 on relaxed codes; pair the j-th most similar with the
+          // j-th least similar sample (adjacent ranks are near-ties).
+          const Tensor z_a = cache.Code(anchor);
+          const int half = static_cast<int>(samples.size()) / 2;
+          for (int p = 0; p < half; ++p) {
+            auto [pos, neg] = PairAt(samples, p, cfg.cross_pairing);
+            if (sim[static_cast<size_t>(anchor) * n + pos] <
+                sim[static_cast<size_t>(anchor) * n + neg]) {
+              std::swap(pos, neg);
+            }
+            const Tensor term = RankingHinge(z_a, cache.Code(pos),
+                                             cache.Code(neg), cfg.alpha);
+            rank_loss = rank_loss ? nn::Add(rank_loss, term) : term;
+            ++batch_rank_pairs;
+          }
+        }
+      }
+      if (cfg.gamma > 0.0f && triplet_gen != nullptr) {
+        // Eq. 20 on fast-generated triplets.
+        const std::vector<Triplet> triplets =
+            triplet_gen->Generate(options_.triplets_per_step, rng);
+        for (const Triplet& t : triplets) {
+          const Tensor z_a = model_->RelaxedCode(
+              model_->EncodeContinuous(data.triplet_corpus[t.anchor]));
+          const Tensor z_p = model_->RelaxedCode(
+              model_->EncodeContinuous(data.triplet_corpus[t.positive]));
+          const Tensor z_n = model_->RelaxedCode(
+              model_->EncodeContinuous(data.triplet_corpus[t.negative]));
+          const Tensor term = RankingHinge(z_a, z_p, z_n, cfg.alpha);
+          trip_loss = trip_loss ? nn::Add(trip_loss, term) : term;
+          ++batch_triplets;
+        }
+        report.num_triplets_used += batch_triplets;
+      }
+
+      // Eq. 21: L = L_s + gamma * (L_r + L_t); each component is averaged
+      // over its own term count so the balance is batch-size independent.
+      Tensor total;
+      if (wmse_loss) {
+        total = nn::Scale(wmse_loss, 1.0f / std::max(1, batch_pairs));
+        stats.wmse += wmse_loss->value()[0];
+        wmse_terms += batch_pairs;
+      }
+      if (rank_loss) {
+        const Tensor scaled =
+            nn::Scale(rank_loss, cfg.gamma / std::max(1, batch_rank_pairs));
+        total = total ? nn::Add(total, scaled) : scaled;
+        stats.rank_loss += rank_loss->value()[0];
+        rank_terms += batch_rank_pairs;
+      }
+      if (trip_loss) {
+        const Tensor scaled =
+            nn::Scale(trip_loss, cfg.gamma / std::max(1, batch_triplets));
+        total = total ? nn::Add(total, scaled) : scaled;
+        stats.triplet_loss += trip_loss->value()[0];
+        triplet_terms += batch_triplets;
+      }
+      if (total) {
+        nn::Backward(total);
+        optimizer.Step();
+      }
+      cache.Clear();
+    }
+    if (wmse_terms > 0) stats.wmse /= wmse_terms;
+    if (rank_terms > 0) stats.rank_loss /= rank_terms;
+    if (triplet_terms > 0) stats.triplet_loss /= triplet_terms;
+
+    // HashNet continuation: sharpen tanh(beta*) every epoch.
+    model_->set_beta(model_->beta() + cfg.beta_growth);
+
+    const bool validate =
+        !data.val_queries.empty() &&
+        (epoch % options_.val_interval == 0 || epoch + 1 == cfg.epochs);
+    if (validate) {
+      validate_and_snapshot(
+          stats, epoch, [&] { return EmbedAll(*model_, data.val_queries); },
+          [&] { return EmbedAll(*model_, data.val_db); });
+    }
+    report.epochs.push_back(stats);
+  }
+  if (!best_snapshot.empty()) model_->RestoreParameters(best_snapshot);
+
+  // ---------------------------------------------------------------------
+  // Phase 2: projector refinement on cached features. The joint phase is a
+  // truncated version of the paper's 100-epoch schedule; this continues the
+  // Eq. 21 objective for the hash layer only (encoder frozen), which costs
+  // a projector matmul per sample instead of a full encode (DESIGN.md §6).
+  // ---------------------------------------------------------------------
+  if (options_.refine_epochs > 0) {
+    auto cache_features = [&](const traj::Trajectory& t) -> FusedFeatures {
+      const auto [h, h_r] = model_->EncodeFused(t);
+      return {nn::Detach(h), h_r ? nn::Detach(h_r) : nullptr};
+    };
+    std::vector<FusedFeatures> seed_feats;
+    seed_feats.reserve(n);
+    for (const auto& t : data.seeds) seed_feats.push_back(cache_features(t));
+
+    // Subsample the triplet corpus, cache its features, re-cluster it.
+    std::vector<FusedFeatures> corpus_feats;
+    std::unique_ptr<FastTripletGenerator> refine_gen;
+    if (cfg.use_triplets && cfg.gamma > 0.0f &&
+        !data.triplet_corpus.empty() && options_.refine_triplets_per_epoch > 0) {
+      const int take =
+          std::min<int>(options_.refine_corpus_size,
+                        static_cast<int>(data.triplet_corpus.size()));
+      std::vector<traj::Trajectory> subset;
+      subset.reserve(take);
+      for (const int idx : rng.SampleWithoutReplacement(
+               static_cast<int>(data.triplet_corpus.size()), take)) {
+        subset.push_back(data.triplet_corpus[idx]);
+      }
+      refine_gen = std::make_unique<FastTripletGenerator>(
+          model_->coarse_grid(), subset);
+      if (refine_gen->num_multi_clusters() == 0) {
+        refine_gen.reset();
+      } else {
+        corpus_feats.reserve(subset.size());
+        for (const auto& t : subset) {
+          corpus_feats.push_back(cache_features(t));
+        }
+      }
+    }
+
+    std::vector<FusedFeatures> val_query_feats, val_db_feats;
+    val_query_feats.reserve(data.val_queries.size());
+    val_db_feats.reserve(data.val_db.size());
+    for (const auto& t : data.val_queries) {
+      val_query_feats.push_back(cache_features(t));
+    }
+    for (const auto& t : data.val_db) val_db_feats.push_back(cache_features(t));
+    auto project_all = [&](const std::vector<FusedFeatures>& feats) {
+      std::vector<std::vector<float>> out;
+      out.reserve(feats.size());
+      for (const FusedFeatures& f : feats) {
+        out.push_back(model_->ProjectFused(f.first, f.second)->value());
+      }
+      return out;
+    };
+
+    nn::Adam refine_opt(model_->ProjectorParameters(),
+                        nn::AdamOptions{.lr = cfg.lr});
+    auto relaxed = [&](const FusedFeatures& f) {
+      return model_->RelaxedCode(model_->ProjectFused(f.first, f.second));
+    };
+
+    for (int epoch = 0; epoch < options_.refine_epochs; ++epoch) {
+      EpochStats stats;
+      int wmse_terms = 0, rank_terms = 0, triplet_terms = 0;
+      rng.Shuffle(anchor_order);
+      const int steps = (n + cfg.batch_size - 1) / cfg.batch_size;
+      const int triplets_per_step =
+          refine_gen ? std::max(1, options_.refine_triplets_per_epoch / steps)
+                     : 0;
+      for (int start = 0; start < n; start += cfg.batch_size) {
+        const int end = std::min(n, start + cfg.batch_size);
+        Tensor wmse_loss, rank_loss, trip_loss;
+        int batch_pairs = 0, batch_rank_pairs = 0, batch_triplets = 0;
+        for (int a = start; a < end; ++a) {
+          const int anchor = anchor_order[a];
+          const std::vector<int> samples =
+              SelectSamples(ranked, sim, anchor, n, m, rng);
+          const Tensor h_a = model_->ProjectFused(seed_feats[anchor].first,
+                                                  seed_feats[anchor].second);
+          for (size_t j = 0; j < samples.size(); ++j) {
+            const int s = samples[j];
+            const Tensor h_s = model_->ProjectFused(seed_feats[s].first,
+                                                    seed_feats[s].second);
+            const Tensor term = WmseTerm(
+                h_a, h_s,
+                static_cast<float>(sim[static_cast<size_t>(anchor) * n + s]),
+                1.0f / static_cast<float>(j + 1));
+            wmse_loss = wmse_loss ? nn::Add(wmse_loss, term) : term;
+            ++batch_pairs;
+          }
+          if (cfg.gamma > 0.0f) {
+            const Tensor z_a = relaxed(seed_feats[anchor]);
+            const int half = static_cast<int>(samples.size()) / 2;
+            for (int p = 0; p < half; ++p) {
+              auto [pos, neg] = PairAt(samples, p, cfg.cross_pairing);
+              if (sim[static_cast<size_t>(anchor) * n + pos] <
+                  sim[static_cast<size_t>(anchor) * n + neg]) {
+                std::swap(pos, neg);
+              }
+              const Tensor term =
+                  RankingHinge(z_a, relaxed(seed_feats[pos]),
+                               relaxed(seed_feats[neg]), cfg.alpha);
+              rank_loss = rank_loss ? nn::Add(rank_loss, term) : term;
+              ++batch_rank_pairs;
+            }
+          }
+        }
+        if (refine_gen && cfg.gamma > 0.0f) {
+          for (const Triplet& t :
+               refine_gen->Generate(triplets_per_step, rng)) {
+            const Tensor term = RankingHinge(
+                relaxed(corpus_feats[t.anchor]), relaxed(corpus_feats[t.positive]),
+                relaxed(corpus_feats[t.negative]), cfg.alpha);
+            trip_loss = trip_loss ? nn::Add(trip_loss, term) : term;
+            ++batch_triplets;
+          }
+          report.num_triplets_used += batch_triplets;
+        }
+        Tensor total;
+        if (wmse_loss) {
+          total = nn::Scale(wmse_loss, 1.0f / std::max(1, batch_pairs));
+          stats.wmse += wmse_loss->value()[0];
+          wmse_terms += batch_pairs;
+        }
+        if (rank_loss) {
+          const Tensor scaled =
+              nn::Scale(rank_loss, cfg.gamma / std::max(1, batch_rank_pairs));
+          total = total ? nn::Add(total, scaled) : scaled;
+          stats.rank_loss += rank_loss->value()[0];
+          rank_terms += batch_rank_pairs;
+        }
+        if (trip_loss) {
+          const Tensor scaled =
+              nn::Scale(trip_loss, cfg.gamma / std::max(1, batch_triplets));
+          total = total ? nn::Add(total, scaled) : scaled;
+          stats.triplet_loss += trip_loss->value()[0];
+          triplet_terms += batch_triplets;
+        }
+        if (total) {
+          nn::Backward(total);
+          refine_opt.Step();
+        }
+      }
+      if (wmse_terms > 0) stats.wmse /= wmse_terms;
+      if (rank_terms > 0) stats.rank_loss /= rank_terms;
+      if (triplet_terms > 0) stats.triplet_loss /= triplet_terms;
+      model_->set_beta(model_->beta() + cfg.beta_growth);
+
+      const bool validate = !data.val_queries.empty() &&
+                            (epoch % options_.val_interval == 0 ||
+                             epoch + 1 == options_.refine_epochs);
+      if (validate) {
+        validate_and_snapshot(
+            stats, cfg.epochs + epoch,
+            [&] { return project_all(val_query_feats); },
+            [&] { return project_all(val_db_feats); });
+      }
+      report.epochs.push_back(stats);
+    }
+    if (!best_snapshot.empty()) model_->RestoreParameters(best_snapshot);
+  }
+  return report;
+}
+
+std::vector<std::vector<float>> EmbedAll(
+    const Traj2Hash& model, const std::vector<traj::Trajectory>& ts) {
+  std::vector<std::vector<float>> out;
+  out.reserve(ts.size());
+  for (const traj::Trajectory& t : ts) out.push_back(model.Embed(t));
+  return out;
+}
+
+std::vector<search::Code> HashAll(const Traj2Hash& model,
+                                  const std::vector<traj::Trajectory>& ts) {
+  std::vector<search::Code> out;
+  out.reserve(ts.size());
+  for (const traj::Trajectory& t : ts) out.push_back(model.HashCode(t));
+  return out;
+}
+
+}  // namespace traj2hash::core

@@ -1,0 +1,107 @@
+#ifndef TRAJ2HASH_CORE_TRAINER_H_
+#define TRAJ2HASH_CORE_TRAINER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/model.h"
+#include "core/triplets.h"
+#include "distance/distance.h"
+
+namespace traj2hash::core {
+
+/// Everything the optimisation stage consumes (§IV-F).
+struct TrainingData {
+  /// Seed set tau with exact pairwise distances (the expensive supervision).
+  std::vector<traj::Trajectory> seeds;
+  /// Row-major |seeds| x |seeds| exact distance matrix.
+  std::vector<double> seed_distances;
+
+  /// Unlabelled corpus tau_u feeding the fast triplet generation. May be
+  /// empty (triplet objective then silently disabled, as in -Triplets).
+  std::vector<traj::Trajectory> triplet_corpus;
+
+  /// Optional validation split: HR@10 of Euclidean retrieval of val_queries
+  /// against val_db selects the best epoch (paper keeps "the model
+  /// parameters with the highest HR@10 on validation set").
+  std::vector<traj::Trajectory> val_queries;
+  std::vector<traj::Trajectory> val_db;
+  /// Exact top-k ids (k >= 10) of each val query within val_db.
+  std::vector<std::vector<int>> val_truth;
+};
+
+/// Per-epoch training diagnostics.
+struct EpochStats {
+  double wmse = 0.0;
+  double rank_loss = 0.0;
+  double triplet_loss = 0.0;
+  double val_hr10 = -1.0;          ///< Euclidean-space validation HR@10
+  double val_hamming_hr10 = -1.0;  ///< Hamming-space validation HR@10
+};
+
+struct TrainReport {
+  std::vector<EpochStats> epochs;
+  int best_epoch = -1;
+  /// Best combined (Euclidean + Hamming) validation HR@10. The model serves
+  /// retrieval in both spaces, so epoch selection scores both.
+  double best_val_hr10 = -1.0;
+  int num_triplets_used = 0;
+};
+
+/// Extra knobs that belong to the optimisation procedure rather than the
+/// model architecture.
+struct TrainerOptions {
+  /// Triplets per optimisation step. The paper uses a 500-triplet batch per
+  /// step at server scale; benches shrink this.
+  int triplets_per_step = 16;
+  /// Validate every this many epochs (1 = every epoch).
+  int val_interval = 1;
+
+  /// Projector refinement: after the joint epochs, the encoder is frozen
+  /// and the Eq. 21 objective keeps training the hash-layer projector W_p
+  /// on cached encoder features. This restores the paper's 100-epoch
+  /// optimisation budget for the hash layer at a small fraction of the
+  /// encode cost (see DESIGN.md §6). 0 disables refinement.
+  int refine_epochs = 40;
+  /// Triplet-corpus subsample whose features are cached for refinement.
+  int refine_corpus_size = 400;
+  /// Fast triplets drawn per refinement epoch.
+  int refine_triplets_per_epoch = 256;
+};
+
+/// End-to-end optimiser of Traj2Hash: WMSE (Eq. 17) + ranking hash loss
+/// (Eq. 19) + fast-triplet hinge (Eq. 20), combined by Eq. 21, with the
+/// HashNet tanh(beta*) continuation schedule.
+class Trainer {
+ public:
+  explicit Trainer(Traj2Hash* model, TrainerOptions options = TrainerOptions());
+
+  /// Trains in place. Returns InvalidArgument when the data shapes are
+  /// inconsistent. After training, the model carries the parameters of the
+  /// best validation epoch (or of the last epoch without validation data).
+  Result<TrainReport> Fit(const TrainingData& data, Rng& rng);
+
+ private:
+  Traj2Hash* model_;
+  TrainerOptions options_;
+};
+
+/// Eq. 17's supervision transform: S_ij = exp(-theta * D_ij) after rescaling
+/// D by its off-diagonal mean, so theta is dataset-independent (raw
+/// distances are metres and would saturate exp for any fixed theta).
+/// `distances` is row-major n x n. Shared with the baseline metric trainer.
+std::vector<double> SimilarityFromDistances(
+    const std::vector<double>& distances, int n, float theta);
+
+/// Convenience: embeds every trajectory (h_f values).
+std::vector<std::vector<float>> EmbedAll(
+    const Traj2Hash& model, const std::vector<traj::Trajectory>& ts);
+
+/// Convenience: hashes every trajectory (sign codes).
+std::vector<search::Code> HashAll(const Traj2Hash& model,
+                                  const std::vector<traj::Trajectory>& ts);
+
+}  // namespace traj2hash::core
+
+#endif  // TRAJ2HASH_CORE_TRAINER_H_

@@ -1,0 +1,69 @@
+#include "core/triplets.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.h"
+
+namespace traj2hash::core {
+
+FastTripletGenerator::FastTripletGenerator(
+    const traj::Grid& coarse_grid,
+    const std::vector<traj::Trajectory>& corpus)
+    : corpus_size_(static_cast<int>(corpus.size())) {
+  std::unordered_map<std::string, int> key_to_cluster;
+  for (int i = 0; i < corpus_size_; ++i) {
+    // Consecutive duplicates are collapsed so that two trajectories sampled
+    // at different rates but tracing the same coarse cells still cluster.
+    const traj::GridTrajectory g =
+        coarse_grid.Map(corpus[i], /*dedup_consecutive=*/true);
+    const std::string key = coarse_grid.SequenceKey(g);
+    auto [it, inserted] =
+        key_to_cluster.emplace(key, static_cast<int>(clusters_.size()));
+    if (inserted) clusters_.emplace_back();
+    clusters_[it->second].push_back(i);
+  }
+  double cumulative = 0.0;
+  for (size_t c = 0; c < clusters_.size(); ++c) {
+    const size_t size = clusters_[c].size();
+    // `size < corpus` guarantees a negative outside the cluster exists.
+    if (size >= 2 && static_cast<int>(size) < corpus_size_) {
+      ++num_multi_clusters_;
+      multi_cluster_ids_.push_back(static_cast<int>(c));
+      // Weight by the number of ordered (anchor, positive) pairs.
+      cumulative += static_cast<double>(size * (size - 1));
+      multi_cluster_weight_.push_back(cumulative);
+    }
+  }
+}
+
+std::vector<Triplet> FastTripletGenerator::Generate(int count,
+                                                    Rng& rng) const {
+  std::vector<Triplet> out;
+  if (multi_cluster_ids_.empty() || corpus_size_ < 3) return out;
+  out.reserve(count);
+  const double total = multi_cluster_weight_.back();
+  while (static_cast<int>(out.size()) < count) {
+    // Pick a cluster proportionally to its pair count.
+    const double pick = rng.Uniform(0.0, total);
+    const auto it = std::lower_bound(multi_cluster_weight_.begin(),
+                                     multi_cluster_weight_.end(), pick);
+    const size_t slot = static_cast<size_t>(
+        std::min<std::ptrdiff_t>(it - multi_cluster_weight_.begin(),
+                                 static_cast<std::ptrdiff_t>(
+                                     multi_cluster_weight_.size()) - 1));
+    const std::vector<int>& cluster = clusters_[multi_cluster_ids_[slot]];
+    const int ai = rng.UniformInt(0, static_cast<int>(cluster.size()) - 1);
+    int pi = rng.UniformInt(0, static_cast<int>(cluster.size()) - 2);
+    if (pi >= ai) ++pi;
+    // Negative: any corpus member outside the anchor's cluster.
+    int neg = -1;
+    do {
+      neg = rng.UniformInt(0, corpus_size_ - 1);
+    } while (std::find(cluster.begin(), cluster.end(), neg) != cluster.end());
+    out.push_back(Triplet{cluster[ai], cluster[pi], neg});
+  }
+  return out;
+}
+
+}  // namespace traj2hash::core

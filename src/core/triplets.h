@@ -1,0 +1,56 @@
+#ifndef TRAJ2HASH_CORE_TRIPLETS_H_
+#define TRAJ2HASH_CORE_TRIPLETS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "traj/grid.h"
+#include "traj/trajectory.h"
+
+namespace traj2hash::core {
+
+/// Indices into the triplet corpus: anchor/positive share a coarse-grid
+/// cluster, the negative comes from outside it.
+struct Triplet {
+  int anchor = -1;
+  int positive = -1;
+  int negative = -1;
+};
+
+/// Fast triplet generation (§IV-F): GPS trajectories are clustered by their
+/// deduplicated coarse (500 m) grid sequence; trajectories in one cluster are
+/// geometrically close (their Fréchet distance is bounded by the cell
+/// diameter), so (anchor, positive) pairs can be labelled without computing
+/// any DP distance.
+class FastTripletGenerator {
+ public:
+  /// Clusters `corpus` under `coarse_grid`. The corpus reference is not
+  /// retained; only indices are.
+  FastTripletGenerator(const traj::Grid& coarse_grid,
+                       const std::vector<traj::Trajectory>& corpus);
+
+  /// Samples `count` triplets. Anchor clusters are drawn proportionally to
+  /// the number of (anchor, positive) pairs they contain. Returns an empty
+  /// vector when no cluster has >= 2 members (no positives exist).
+  std::vector<Triplet> Generate(int count, Rng& rng) const;
+
+  /// Number of distinct coarse-grid clusters.
+  int num_clusters() const { return static_cast<int>(clusters_.size()); }
+
+  /// Number of clusters that can produce positives (size >= 2).
+  int num_multi_clusters() const { return num_multi_clusters_; }
+
+  int corpus_size() const { return corpus_size_; }
+
+ private:
+  std::vector<std::vector<int>> clusters_;
+  std::vector<int> multi_cluster_ids_;       // clusters with >= 2 members
+  std::vector<double> multi_cluster_weight_;  // cumulative sampling weights
+  int num_multi_clusters_ = 0;
+  int corpus_size_ = 0;
+};
+
+}  // namespace traj2hash::core
+
+#endif  // TRAJ2HASH_CORE_TRIPLETS_H_

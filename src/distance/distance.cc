@@ -1,0 +1,258 @@
+#include "distance/distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "common/check.h"
+
+namespace traj2hash::dist {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using traj::Distance;
+using traj::Point;
+using traj::Trajectory;
+
+}  // namespace
+
+double Dtw(const Trajectory& a, const Trajectory& b) {
+  return ConstrainedDtw(a, b, /*window=*/-1);
+}
+
+double ConstrainedDtw(const Trajectory& a, const Trajectory& b, int window) {
+  T2H_CHECK(!a.empty() && !b.empty());
+  const int n = a.size();
+  const int m = b.size();
+  // For unequal lengths the band must be at least as wide as the diagonal's
+  // per-row advance, or no warping path can connect the corners.
+  const int effective_window =
+      window < 0 ? -1 : std::max(window, (m + n - 1) / n);
+  // Two-row DP. Row index i walks over `a`, column j over `b`.
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> curr(m + 1, kInf);
+  prev[0] = 0.0;
+  for (int i = 1; i <= n; ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    int lo = 1, hi = m;
+    if (effective_window >= 0) {
+      // Sakoe-Chiba band rescaled to rectangular inputs: constrain j around
+      // the diagonal position i * m / n.
+      const int diag = static_cast<int>(
+          std::llround(static_cast<double>(i) * m / n));
+      lo = std::max(1, diag - effective_window);
+      hi = std::min(m, diag + effective_window);
+    }
+    for (int j = lo; j <= hi; ++j) {
+      const double cost = Distance(a.points[i - 1], b.points[j - 1]);
+      const double best =
+          std::min({prev[j], curr[j - 1], prev[j - 1]});
+      curr[j] = best + cost;
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double Frechet(const Trajectory& a, const Trajectory& b) {
+  T2H_CHECK(!a.empty() && !b.empty());
+  const int n = a.size();
+  const int m = b.size();
+  std::vector<double> prev(m, 0.0);
+  std::vector<double> curr(m, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      const double cost = Distance(a.points[i], b.points[j]);
+      double reach;
+      if (i == 0 && j == 0) {
+        reach = cost;
+      } else if (i == 0) {
+        reach = std::max(curr[j - 1], cost);
+      } else if (j == 0) {
+        reach = std::max(prev[j], cost);
+      } else {
+        reach = std::max(std::min({prev[j], curr[j - 1], prev[j - 1]}), cost);
+      }
+      curr[j] = reach;
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m - 1];
+}
+
+double Hausdorff(const Trajectory& a, const Trajectory& b) {
+  T2H_CHECK(!a.empty() && !b.empty());
+  auto directed = [](const Trajectory& s, const Trajectory& t) {
+    double worst = 0.0;
+    for (const Point& p : s.points) {
+      double best = kInf;
+      for (const Point& q : t.points) {
+        best = std::min(best, traj::SquaredDistance(p, q));
+      }
+      worst = std::max(worst, best);
+    }
+    return std::sqrt(worst);
+  };
+  return std::max(directed(a, b), directed(b, a));
+}
+
+double Erp(const Trajectory& a, const Trajectory& b, const Point& gap) {
+  T2H_CHECK(!a.empty() && !b.empty());
+  const int n = a.size();
+  const int m = b.size();
+  std::vector<double> prev(m + 1, 0.0);
+  std::vector<double> curr(m + 1, 0.0);
+  // First row: all of b matched against gaps.
+  for (int j = 1; j <= m; ++j) {
+    prev[j] = prev[j - 1] + Distance(b.points[j - 1], gap);
+  }
+  for (int i = 1; i <= n; ++i) {
+    curr[0] = prev[0] + Distance(a.points[i - 1], gap);
+    for (int j = 1; j <= m; ++j) {
+      const double match =
+          prev[j - 1] + Distance(a.points[i - 1], b.points[j - 1]);
+      const double gap_a = prev[j] + Distance(a.points[i - 1], gap);
+      const double gap_b = curr[j - 1] + Distance(b.points[j - 1], gap);
+      curr[j] = std::min({match, gap_a, gap_b});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double LcssDistance(const Trajectory& a, const Trajectory& b,
+                    double epsilon) {
+  T2H_CHECK(!a.empty() && !b.empty());
+  T2H_CHECK_GE(epsilon, 0.0);
+  const int n = a.size();
+  const int m = b.size();
+  const double eps_sq = epsilon * epsilon;
+  std::vector<int> prev(m + 1, 0);
+  std::vector<int> curr(m + 1, 0);
+  for (int i = 1; i <= n; ++i) {
+    for (int j = 1; j <= m; ++j) {
+      if (traj::SquaredDistance(a.points[i - 1], b.points[j - 1]) <= eps_sq) {
+        curr[j] = prev[j - 1] + 1;
+      } else {
+        curr[j] = std::max(prev[j], curr[j - 1]);
+      }
+    }
+    std::swap(prev, curr);
+  }
+  const int lcss = prev[m];
+  return 1.0 - static_cast<double>(lcss) / std::min(n, m);
+}
+
+double Edr(const Trajectory& a, const Trajectory& b, double epsilon) {
+  T2H_CHECK(!a.empty() && !b.empty());
+  T2H_CHECK_GE(epsilon, 0.0);
+  const int n = a.size();
+  const int m = b.size();
+  const double eps_sq = epsilon * epsilon;
+  std::vector<double> prev(m + 1), curr(m + 1);
+  for (int j = 0; j <= m; ++j) prev[j] = j;
+  for (int i = 1; i <= n; ++i) {
+    curr[0] = i;
+    for (int j = 1; j <= m; ++j) {
+      const double subcost =
+          traj::SquaredDistance(a.points[i - 1], b.points[j - 1]) <= eps_sq
+              ? 0.0
+              : 1.0;
+      curr[j] = std::min({prev[j - 1] + subcost, prev[j] + 1.0,
+                          curr[j - 1] + 1.0});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double EndpointLowerBound(const Trajectory& a, const Trajectory& b) {
+  T2H_CHECK(!a.empty() && !b.empty());
+  const double first = Distance(a.points.front(), b.points.front());
+  const double last = Distance(a.points.back(), b.points.back());
+  return std::max(first, last);
+}
+
+DistanceFn GetDistance(Measure m) {
+  switch (m) {
+    case Measure::kFrechet:
+      return [](const Trajectory& a, const Trajectory& b) {
+        return Frechet(a, b);
+      };
+    case Measure::kHausdorff:
+      return [](const Trajectory& a, const Trajectory& b) {
+        return Hausdorff(a, b);
+      };
+    case Measure::kDtw:
+      return [](const Trajectory& a, const Trajectory& b) {
+        return Dtw(a, b);
+      };
+  }
+  T2H_CHECK_MSG(false, "unknown measure");
+  return {};
+}
+
+Result<Measure> ParseMeasure(const std::string& name) {
+  if (name == "frechet") return Measure::kFrechet;
+  if (name == "hausdorff") return Measure::kHausdorff;
+  if (name == "dtw") return Measure::kDtw;
+  return Status::InvalidArgument("unknown measure: " + name);
+}
+
+std::string MeasureName(Measure m) {
+  switch (m) {
+    case Measure::kFrechet:
+      return "Frechet";
+    case Measure::kHausdorff:
+      return "Hausdorff";
+    case Measure::kDtw:
+      return "DTW";
+  }
+  return "?";
+}
+
+bool HasEndpointLowerBound(Measure m) { return m != Measure::kHausdorff; }
+
+std::vector<double> PairwiseMatrix(const std::vector<Trajectory>& ts,
+                                   const DistanceFn& fn) {
+  const int n = static_cast<int>(ts.size());
+  std::vector<double> d(static_cast<size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double v = fn(ts[i], ts[j]);
+      d[static_cast<size_t>(i) * n + j] = v;
+      d[static_cast<size_t>(j) * n + i] = v;
+    }
+  }
+  return d;
+}
+
+std::vector<double> PairwiseMatrixParallel(const std::vector<Trajectory>& ts,
+                                           const DistanceFn& fn,
+                                           int num_threads) {
+  if (num_threads <= 1) return PairwiseMatrix(ts, fn);
+  const int n = static_cast<int>(ts.size());
+  std::vector<double> d(static_cast<size_t>(n) * n, 0.0);
+  // Workers write disjoint (i, j) entries, so no synchronisation is needed
+  // beyond the joins. Row striping (i % workers) balances the triangular
+  // workload better than contiguous blocks.
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (int w = 0; w < num_threads; ++w) {
+    workers.emplace_back([&, w] {
+      for (int i = w; i < n; i += num_threads) {
+        for (int j = i + 1; j < n; ++j) {
+          const double v = fn(ts[i], ts[j]);
+          d[static_cast<size_t>(i) * n + j] = v;
+          d[static_cast<size_t>(j) * n + i] = v;
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  return d;
+}
+
+}  // namespace traj2hash::dist

@@ -1,0 +1,92 @@
+#ifndef TRAJ2HASH_DISTANCE_DISTANCE_H_
+#define TRAJ2HASH_DISTANCE_DISTANCE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "traj/trajectory.h"
+
+namespace traj2hash::dist {
+
+/// Dynamic Time Warping distance (Definition 3):
+///   D[i][j] = min(D[i-1][j], D[i][j-1], D[i-1][j-1]) + d(T1[i], T2[j]).
+/// O(n*m) time, O(min(n,m)) space. Requires both trajectories non-empty.
+double Dtw(const traj::Trajectory& a, const traj::Trajectory& b);
+
+/// Constrained DTW with a Sakoe-Chiba band of half-width `window` around the
+/// (rescaled) diagonal — the classic "fast DTW" heuristic the paper cites as
+/// the traditional approximation baseline (cDTW). `window < 0` means
+/// unconstrained (identical to Dtw).
+double ConstrainedDtw(const traj::Trajectory& a, const traj::Trajectory& b,
+                      int window);
+
+/// Discrete Fréchet distance (Definition 3):
+///   F[i][j] = max(min(F[i-1][j], F[i][j-1], F[i-1][j-1]), d(T1[i], T2[j])).
+double Frechet(const traj::Trajectory& a, const traj::Trajectory& b);
+
+/// Symmetric Hausdorff distance: max over both directed Hausdorff distances.
+double Hausdorff(const traj::Trajectory& a, const traj::Trajectory& b);
+
+/// Edit distance with Real Penalty (ERP) with gap point `g` (the origin by
+/// default). A metric, unlike DTW. Included as the paper's third classic
+/// measure family (cited as motivation in §I).
+double Erp(const traj::Trajectory& a, const traj::Trajectory& b,
+           const traj::Point& gap = traj::Point{0.0, 0.0});
+
+/// Longest Common SubSequence similarity turned into a distance:
+///   1 - LCSS(a, b) / min(|a|, |b|),
+/// where two points match when within `epsilon` metres. In [0, 1].
+double LcssDistance(const traj::Trajectory& a, const traj::Trajectory& b,
+                    double epsilon);
+
+/// Edit Distance on Real sequences (EDR): edit distance where a
+/// substitution is free when the points are within `epsilon` metres and
+/// costs 1 otherwise; insertions/deletions cost 1.
+double Edr(const traj::Trajectory& a, const traj::Trajectory& b,
+           double epsilon);
+
+/// Lemma 1 lower bound for DTW / Fréchet: the larger of the first-points and
+/// last-points Euclidean distances. Always <= Dtw(a, b) and <= Frechet(a, b).
+double EndpointLowerBound(const traj::Trajectory& a,
+                          const traj::Trajectory& b);
+
+/// A named trajectory distance function.
+using DistanceFn = std::function<double(const traj::Trajectory&,
+                                        const traj::Trajectory&)>;
+
+/// The measures evaluated in the paper.
+enum class Measure { kFrechet, kHausdorff, kDtw };
+
+/// Resolves a measure to its exact distance function.
+DistanceFn GetDistance(Measure m);
+
+/// Resolves a measure by its lowercase name ("frechet", "hausdorff", "dtw").
+Result<Measure> ParseMeasure(const std::string& name);
+
+/// Human-readable name of a measure, matching the paper's table headers.
+std::string MeasureName(Measure m);
+
+/// Whether Lemma 1 (endpoint lower bound) applies to this measure. True for
+/// DTW and Fréchet, false for Hausdorff (sets-based, order-free).
+bool HasEndpointLowerBound(Measure m);
+
+/// Computes the full symmetric pairwise distance matrix over `ts`, the
+/// supervision used by the WMSE objective (Eq. 17). Result is row-major
+/// n*n with zeros on the diagonal.
+std::vector<double> PairwiseMatrix(const std::vector<traj::Trajectory>& ts,
+                                   const DistanceFn& fn);
+
+/// Multi-threaded PairwiseMatrix (the paper computes its ground truth "under
+/// the parallel run with 20 multiprocessors"). Rows are striped across
+/// `num_threads` workers; `num_threads <= 1` falls back to the serial path.
+/// Results are bit-identical to PairwiseMatrix. `fn` must be safe to invoke
+/// concurrently (all measures in this header are).
+std::vector<double> PairwiseMatrixParallel(
+    const std::vector<traj::Trajectory>& ts, const DistanceFn& fn,
+    int num_threads);
+
+}  // namespace traj2hash::dist
+
+#endif  // TRAJ2HASH_DISTANCE_DISTANCE_H_

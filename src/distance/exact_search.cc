@@ -1,0 +1,60 @@
+#include "distance/exact_search.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace traj2hash::dist {
+
+ExactSearchResult ExactTopKWithLowerBound(
+    const traj::Trajectory& query,
+    const std::vector<traj::Trajectory>& database, Measure measure, int k) {
+  T2H_CHECK_GE(k, 1);
+  T2H_CHECK_MSG(HasEndpointLowerBound(measure),
+                "Lemma 1 does not apply to this measure");
+  const DistanceFn fn = GetDistance(measure);
+  ExactSearchResult result;
+  // Order candidates by ascending lower bound so the k-th best distance
+  // tightens early and prunes the tail.
+  std::vector<std::pair<double, int>> by_bound;
+  by_bound.reserve(database.size());
+  for (size_t i = 0; i < database.size(); ++i) {
+    by_bound.push_back(
+        {EndpointLowerBound(query, database[i]), static_cast<int>(i)});
+  }
+  std::sort(by_bound.begin(), by_bound.end());
+
+  k = std::min<int>(k, static_cast<int>(database.size()));
+  // Max-heap of current best k by (distance, index).
+  auto worse = [](const search::Neighbor& a, const search::Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.index < b.index;
+  };
+  std::vector<search::Neighbor> heap;
+  heap.reserve(k);
+  for (const auto& [bound, idx] : by_bound) {
+    if (static_cast<int>(heap.size()) == k && bound > heap.front().distance) {
+      // Every remaining candidate has an even larger bound.
+      result.pruned +=
+          static_cast<int>(database.size()) - result.dp_evaluations -
+          result.pruned;
+      break;
+    }
+    const double d = fn(query, database[idx]);
+    ++result.dp_evaluations;
+    const search::Neighbor candidate{idx, d};
+    if (static_cast<int>(heap.size()) < k) {
+      heap.push_back(candidate);
+      std::push_heap(heap.begin(), heap.end(), worse);
+    } else if (worse(candidate, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), worse);
+      heap.back() = candidate;
+      std::push_heap(heap.begin(), heap.end(), worse);
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), worse);
+  result.neighbors = std::move(heap);
+  return result;
+}
+
+}  // namespace traj2hash::dist

@@ -1,0 +1,34 @@
+#ifndef TRAJ2HASH_DISTANCE_EXACT_SEARCH_H_
+#define TRAJ2HASH_DISTANCE_EXACT_SEARCH_H_
+
+#include <vector>
+
+#include "distance/distance.h"
+#include "search/knn.h"
+
+namespace traj2hash::dist {
+
+/// Result of a pruned exact search: the exact top-k plus how many dynamic
+/// programs actually ran (the pruning power).
+struct ExactSearchResult {
+  std::vector<search::Neighbor> neighbors;
+  int dp_evaluations = 0;  ///< full DP distance computations performed
+  int pruned = 0;          ///< candidates skipped via the lower bound
+};
+
+/// Exact top-k search over raw trajectories under DTW or the Fréchet
+/// distance, accelerated with Lemma 1: a candidate whose endpoint lower
+/// bound already exceeds the current k-th best distance cannot enter the
+/// result, so its O(n^2) dynamic program is skipped. Results are identical
+/// (including tie order) to scoring every candidate.
+///
+/// The paper remarks the bound "seems loose for pruning" and uses it for
+/// representation learning instead; this function quantifies exactly how
+/// much pruning it does buy (see bench_ext_lb_pruning).
+ExactSearchResult ExactTopKWithLowerBound(
+    const traj::Trajectory& query,
+    const std::vector<traj::Trajectory>& database, Measure measure, int k);
+
+}  // namespace traj2hash::dist
+
+#endif  // TRAJ2HASH_DISTANCE_EXACT_SEARCH_H_

@@ -1,0 +1,110 @@
+#include "eval/approximation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace traj2hash::eval {
+namespace {
+
+/// Average ranks with ties sharing the mean of their rank range.
+std::vector<double> Ranks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double mean_rank = 0.5 * (i + j) + 1.0;  // 1-based average rank
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = mean_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double PearsonOf(const std::vector<double>& x, const std::vector<double>& y) {
+  const size_t n = x.size();
+  double mx = 0.0, my = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace
+
+Result<ApproximationStats> CompareDistances(
+    const std::vector<double>& exact, const std::vector<double>& approx) {
+  if (exact.size() != approx.size()) {
+    return Status::InvalidArgument("sample lengths differ");
+  }
+  if (exact.size() < 2) {
+    return Status::InvalidArgument("need at least 2 samples");
+  }
+  ApproximationStats stats;
+  stats.spearman = PearsonOf(Ranks(exact), Ranks(approx));
+
+  // Discordance over a deterministic stride sample of pair-of-pairs (full
+  // enumeration is quadratic in the number of pairs).
+  const size_t n = exact.size();
+  int64_t total = 0, discordant = 0;
+  const size_t stride = std::max<size_t>(1, n / 512);
+  for (size_t i = 0; i < n; i += stride) {
+    for (size_t j = i + 1; j < n; j += stride) {
+      const double de = exact[i] - exact[j];
+      const double da = approx[i] - approx[j];
+      if (de == 0.0 || da == 0.0) continue;
+      ++total;
+      if ((de > 0) != (da > 0)) ++discordant;
+    }
+  }
+  stats.discordance =
+      total > 0 ? static_cast<double>(discordant) / total : 0.0;
+  return stats;
+}
+
+std::vector<double> UpperTriangle(const std::vector<double>& matrix, int n) {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(n) * (n - 1) / 2);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      out.push_back(matrix[static_cast<size_t>(i) * n + j]);
+    }
+  }
+  return out;
+}
+
+std::vector<double> PairwiseEuclidean(
+    const std::vector<std::vector<float>>& embeddings) {
+  const int n = static_cast<int>(embeddings.size());
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(n) * (n - 1) / 2);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      for (size_t d = 0; d < embeddings[i].size(); ++d) {
+        const double diff =
+            static_cast<double>(embeddings[i][d]) - embeddings[j][d];
+        acc += diff * diff;
+      }
+      out.push_back(std::sqrt(acc));
+    }
+  }
+  return out;
+}
+
+}  // namespace traj2hash::eval

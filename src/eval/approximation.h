@@ -1,0 +1,39 @@
+#ifndef TRAJ2HASH_EVAL_APPROXIMATION_H_
+#define TRAJ2HASH_EVAL_APPROXIMATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace traj2hash::eval {
+
+/// How faithfully an approximate distance reproduces an exact one
+/// (the problem statement's goal (1): minimise |f(.,.) - g(.,.)|).
+struct ApproximationStats {
+  /// Spearman rank correlation in [-1, 1]; 1 = identical ordering. Rank
+  /// based, so it is invariant to any monotone calibration of the
+  /// approximation (e.g. exp(-d) vs d).
+  double spearman = 0.0;
+  /// Fraction of discordant pairs among sampled pair-of-pairs (0 = ordering
+  /// always agrees; 0.5 = random).
+  double discordance = 0.0;
+};
+
+/// Compares two aligned distance samples (same pair order). Requires at
+/// least 2 entries; returns InvalidArgument otherwise or on length mismatch.
+Result<ApproximationStats> CompareDistances(const std::vector<double>& exact,
+                                            const std::vector<double>& approx);
+
+/// Flattens the strict upper triangle of a row-major n*n matrix (the natural
+/// input to CompareDistances for pairwise matrices).
+std::vector<double> UpperTriangle(const std::vector<double>& matrix, int n);
+
+/// Pairwise Euclidean distances between embedding rows, upper triangle,
+/// aligned with UpperTriangle of an exact PairwiseMatrix over the same
+/// trajectories.
+std::vector<double> PairwiseEuclidean(
+    const std::vector<std::vector<float>>& embeddings);
+
+}  // namespace traj2hash::eval
+
+#endif  // TRAJ2HASH_EVAL_APPROXIMATION_H_

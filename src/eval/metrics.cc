@@ -1,0 +1,102 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "search/knn.h"
+
+namespace traj2hash::eval {
+
+std::vector<std::vector<int>> ExactTopK(
+    const std::vector<traj::Trajectory>& queries,
+    const std::vector<traj::Trajectory>& database, const dist::DistanceFn& fn,
+    int k) {
+  std::vector<std::vector<int>> out;
+  out.reserve(queries.size());
+  std::vector<std::pair<double, int>> scored(database.size());
+  for (const traj::Trajectory& q : queries) {
+    for (size_t i = 0; i < database.size(); ++i) {
+      scored[i] = {fn(q, database[i]), static_cast<int>(i)};
+    }
+    const int kk = std::min<int>(k, static_cast<int>(database.size()));
+    std::partial_sort(scored.begin(), scored.begin() + kk, scored.end());
+    std::vector<int> ids(kk);
+    for (int i = 0; i < kk; ++i) ids[i] = scored[i].second;
+    out.push_back(std::move(ids));
+  }
+  return out;
+}
+
+double HitRatio(const std::vector<int>& retrieved,
+                const std::vector<int>& truth, int k) {
+  T2H_CHECK_GE(k, 1);
+  const int kr = std::min<int>(k, static_cast<int>(retrieved.size()));
+  const int kt = std::min<int>(k, static_cast<int>(truth.size()));
+  std::unordered_set<int> truth_set(truth.begin(), truth.begin() + kt);
+  int hits = 0;
+  for (int i = 0; i < kr; ++i) hits += truth_set.count(retrieved[i]);
+  return static_cast<double>(hits) / k;
+}
+
+double RecallTopK(const std::vector<int>& retrieved,
+                  const std::vector<int>& truth, int k_truth, int k_ret) {
+  T2H_CHECK_GE(k_truth, 1);
+  const int kr = std::min<int>(k_ret, static_cast<int>(retrieved.size()));
+  const int kt = std::min<int>(k_truth, static_cast<int>(truth.size()));
+  std::unordered_set<int> truth_set(truth.begin(), truth.begin() + kt);
+  int hits = 0;
+  for (int i = 0; i < kr; ++i) hits += truth_set.count(retrieved[i]);
+  return static_cast<double>(hits) / k_truth;
+}
+
+namespace {
+
+template <typename RetrieveTop50>
+RetrievalMetrics Evaluate(size_t num_queries,
+                          const std::vector<std::vector<int>>& truth,
+                          RetrieveTop50 retrieve) {
+  T2H_CHECK_EQ(num_queries, truth.size());
+  RetrievalMetrics m;
+  if (num_queries == 0) return m;
+  for (size_t q = 0; q < num_queries; ++q) {
+    const std::vector<int> retrieved = retrieve(q);
+    m.hr10 += HitRatio(retrieved, truth[q], 10);
+    m.hr50 += HitRatio(retrieved, truth[q], 50);
+    m.r10_50 += RecallTopK(retrieved, truth[q], 10, 50);
+  }
+  const double n = static_cast<double>(num_queries);
+  m.hr10 /= n;
+  m.hr50 /= n;
+  m.r10_50 /= n;
+  return m;
+}
+
+std::vector<int> Indices(const std::vector<search::Neighbor>& ns) {
+  std::vector<int> ids;
+  ids.reserve(ns.size());
+  for (const search::Neighbor& n : ns) ids.push_back(n.index);
+  return ids;
+}
+
+}  // namespace
+
+RetrievalMetrics EvaluateEuclidean(
+    const std::vector<std::vector<float>>& query_embeddings,
+    const std::vector<std::vector<float>>& db_embeddings,
+    const std::vector<std::vector<int>>& truth) {
+  return Evaluate(query_embeddings.size(), truth, [&](size_t q) {
+    return Indices(search::TopKEuclidean(db_embeddings, query_embeddings[q],
+                                         50));
+  });
+}
+
+RetrievalMetrics EvaluateHamming(const std::vector<search::Code>& query_codes,
+                                 const std::vector<search::Code>& db_codes,
+                                 const std::vector<std::vector<int>>& truth) {
+  return Evaluate(query_codes.size(), truth, [&](size_t q) {
+    return Indices(search::TopKHamming(db_codes, query_codes[q], 50));
+  });
+}
+
+}  // namespace traj2hash::eval

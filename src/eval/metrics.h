@@ -1,0 +1,52 @@
+#ifndef TRAJ2HASH_EVAL_METRICS_H_
+#define TRAJ2HASH_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "distance/distance.h"
+#include "search/code.h"
+#include "traj/trajectory.h"
+
+namespace traj2hash::eval {
+
+/// The paper's retrieval quality metrics (§V-A4).
+struct RetrievalMetrics {
+  double hr10 = 0.0;    ///< HR@10: |top-10 retrieved ∩ top-10 truth| / 10
+  double hr50 = 0.0;    ///< HR@50: |top-50 retrieved ∩ top-50 truth| / 50
+  double r10_50 = 0.0;  ///< R10@50: |top-50 retrieved ∩ top-10 truth| / 10
+};
+
+/// Exact ground-truth top-k ids for every query against the database under
+/// `fn`. Quadratic in DP distance evaluations — sized by the caller.
+std::vector<std::vector<int>> ExactTopK(
+    const std::vector<traj::Trajectory>& queries,
+    const std::vector<traj::Trajectory>& database, const dist::DistanceFn& fn,
+    int k);
+
+/// Overlap |retrieved[0..k) ∩ truth[0..k)| / k. `retrieved`/`truth` may be
+/// longer than k.
+double HitRatio(const std::vector<int>& retrieved,
+                const std::vector<int>& truth, int k);
+
+/// |retrieved[0..k_ret) ∩ truth[0..k_truth)| / k_truth (R10@50 uses
+/// k_truth=10, k_ret=50).
+double RecallTopK(const std::vector<int>& retrieved,
+                  const std::vector<int>& truth, int k_truth, int k_ret);
+
+/// Evaluates Euclidean-space retrieval: for every query embedding, the
+/// top-50 database entries by Euclidean distance are compared against
+/// `truth` (exact top->=50 ids per query). Metrics are averaged over queries.
+RetrievalMetrics EvaluateEuclidean(
+    const std::vector<std::vector<float>>& query_embeddings,
+    const std::vector<std::vector<float>>& db_embeddings,
+    const std::vector<std::vector<int>>& truth);
+
+/// Evaluates Hamming-space retrieval over binary codes, same protocol.
+RetrievalMetrics EvaluateHamming(
+    const std::vector<search::Code>& query_codes,
+    const std::vector<search::Code>& db_codes,
+    const std::vector<std::vector<int>>& truth);
+
+}  // namespace traj2hash::eval
+
+#endif  // TRAJ2HASH_EVAL_METRICS_H_

@@ -1,0 +1,43 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace traj2hash::nn {
+
+Adam::Adam(std::vector<Tensor> params, Options options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Tensor& p : params_) {
+    T2H_CHECK(p->requires_grad());
+    m_.emplace_back(p->size(), 0.0f);
+    v_.emplace_back(p->size(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(options_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(options_.beta2, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    TensorImpl& p = *params_[i];
+    std::vector<float>& m = m_[i];
+    std::vector<float>& v = v_[i];
+    for (int j = 0; j < p.size(); ++j) {
+      const float g = p.grad()[j];
+      m[j] = options_.beta1 * m[j] + (1.0f - options_.beta1) * g;
+      v[j] = options_.beta2 * v[j] + (1.0f - options_.beta2) * g * g;
+      const float m_hat = m[j] / bc1;
+      const float v_hat = v[j] / bc2;
+      p.value()[j] -=
+          options_.lr * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+    }
+    p.ZeroGrad();
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (const Tensor& p : params_) p->ZeroGrad();
+}
+
+}  // namespace traj2hash::nn

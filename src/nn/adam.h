@@ -1,0 +1,44 @@
+#ifndef TRAJ2HASH_NN_ADAM_H_
+#define TRAJ2HASH_NN_ADAM_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace traj2hash::nn {
+
+/// Adam optimizer (the paper's optimizer for both the grid pre-training and
+/// the end-to-end model, §IV-F / §V-A5).
+struct AdamOptions {
+  float lr = 1e-3f;  ///< paper default learning rate
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+};
+
+class Adam {
+ public:
+  using Options = AdamOptions;
+
+  explicit Adam(std::vector<Tensor> params, Options options = Options());
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void Step();
+
+  /// Zeroes gradients without updating (e.g. to discard a bad batch).
+  void ZeroGrad();
+
+  void set_lr(float lr) { options_.lr = lr; }
+  float lr() const { return options_.lr; }
+
+ private:
+  std::vector<Tensor> params_;
+  Options options_;
+  int64_t t_ = 0;
+  std::vector<std::vector<float>> m_;  // first-moment state per parameter
+  std::vector<std::vector<float>> v_;  // second-moment state per parameter
+};
+
+}  // namespace traj2hash::nn
+
+#endif  // TRAJ2HASH_NN_ADAM_H_

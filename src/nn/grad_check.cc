@@ -1,0 +1,31 @@
+#include "nn/grad_check.h"
+
+#include <cmath>
+
+namespace traj2hash::nn {
+
+double MaxGradError(const Tensor& param, const std::function<Tensor()>& fn,
+                    float eps) {
+  T2H_CHECK(param->requires_grad());
+  // Analytic gradient.
+  param->ZeroGrad();
+  Tensor loss = fn();
+  Backward(loss);
+  std::vector<float> analytic = param->grad();
+  param->ZeroGrad();
+
+  double max_err = 0.0;
+  for (int i = 0; i < param->size(); ++i) {
+    const float original = param->value()[i];
+    param->value()[i] = original + eps;
+    const double up = fn()->value()[0];
+    param->value()[i] = original - eps;
+    const double down = fn()->value()[0];
+    param->value()[i] = original;
+    const double numeric = (up - down) / (2.0 * eps);
+    max_err = std::max(max_err, std::abs(numeric - analytic[i]));
+  }
+  return max_err;
+}
+
+}  // namespace traj2hash::nn

@@ -1,0 +1,21 @@
+#ifndef TRAJ2HASH_NN_GRAD_CHECK_H_
+#define TRAJ2HASH_NN_GRAD_CHECK_H_
+
+#include <functional>
+
+#include "nn/tensor.h"
+
+namespace traj2hash::nn {
+
+/// Finite-difference gradient verification used by the op test suite.
+///
+/// `fn` must rebuild the scalar loss from scratch on every call (it is
+/// invoked repeatedly with perturbed parameter values). Returns the maximum
+/// absolute difference between the analytic gradient of `param` and central
+/// finite differences with step `eps`.
+double MaxGradError(const Tensor& param, const std::function<Tensor()>& fn,
+                    float eps = 1e-3f);
+
+}  // namespace traj2hash::nn
+
+#endif  // TRAJ2HASH_NN_GRAD_CHECK_H_

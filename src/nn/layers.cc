@@ -1,0 +1,157 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace traj2hash::nn {
+
+Linear::Linear(int in_dim, int out_dim, Rng& rng, bool use_bias) {
+  weight_ = RegisterParameter(MakeTensor(in_dim, out_dim, true));
+  XavierInit(weight_, rng);
+  if (use_bias) {
+    bias_ = RegisterParameter(MakeTensor(1, out_dim, true));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  Tensor y = MatMul(x, weight_);
+  if (bias_) y = AddRowBroadcast(y, bias_);
+  return y;
+}
+
+Mlp::Mlp(const std::vector<int>& dims, Rng& rng) {
+  T2H_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    RegisterChild(*layers_.back());
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size()) h = Relu(h);
+  }
+  return h;
+}
+
+Embedding::Embedding(int num_embeddings, int dim, Rng& rng) {
+  table_ = RegisterParameter(MakeTensor(num_embeddings, dim, true));
+  GaussianInit(table_, 0.1f, rng);
+}
+
+Tensor Embedding::Forward(const std::vector<int>& indices) const {
+  return GatherRows(table_, indices);
+}
+
+MultiHeadAttention::MultiHeadAttention(int dim, int num_heads, Rng& rng)
+    : num_heads_(num_heads), head_dim_(dim / num_heads) {
+  T2H_CHECK_EQ(head_dim_ * num_heads, dim);
+  wq_ = std::make_unique<Linear>(dim, dim, rng, /*use_bias=*/false);
+  wk_ = std::make_unique<Linear>(dim, dim, rng, /*use_bias=*/false);
+  wv_ = std::make_unique<Linear>(dim, dim, rng, /*use_bias=*/false);
+  wo_ = std::make_unique<Linear>(dim, dim, rng);
+  RegisterChild(*wq_);
+  RegisterChild(*wk_);
+  RegisterChild(*wv_);
+  RegisterChild(*wo_);
+}
+
+Tensor MultiHeadAttention::Forward(const Tensor& x) const {
+  const Tensor q = wq_->Forward(x);
+  const Tensor k = wk_->Forward(x);
+  const Tensor v = wv_->Forward(x);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  Tensor merged;
+  for (int h = 0; h < num_heads_; ++h) {
+    const int c0 = h * head_dim_;
+    const int c1 = c0 + head_dim_;
+    const Tensor qh = SliceCols(q, c0, c1);
+    const Tensor kh = SliceCols(k, c0, c1);
+    const Tensor vh = SliceCols(v, c0, c1);
+    const Tensor scores = Scale(MatMul(qh, Transpose(kh)), scale);
+    const Tensor out_h = MatMul(SoftmaxRows(scores), vh);
+    merged = merged ? ConcatCols(merged, out_h) : out_h;
+  }
+  return wo_->Forward(merged);
+}
+
+LayerNorm::LayerNorm(int dim, Rng& rng) {
+  (void)rng;  // deterministic init; kept for signature uniformity
+  gamma_ = RegisterParameter(MakeTensor(1, dim, true));
+  std::fill(gamma_->value().begin(), gamma_->value().end(), 1.0f);
+  beta_ = RegisterParameter(MakeTensor(1, dim, true));
+}
+
+Tensor LayerNorm::Forward(const Tensor& x) const {
+  const Tensor normalized = NormalizeRows(x);
+  // Broadcast gamma/beta over rows: scale via elementwise trick — expand by
+  // matmul with ones is wasteful, so tile through AddRowBroadcast and Mul
+  // with a gathered row repeated per row.
+  Tensor gamma_rows = GatherRows(gamma_, std::vector<int>(x->rows(), 0));
+  const Tensor scaled = Mul(normalized, gamma_rows);
+  return AddRowBroadcast(scaled, beta_);
+}
+
+EncoderBlock::EncoderBlock(int dim, int num_heads, int hidden_dim, Rng& rng,
+                           bool use_layer_norm) {
+  attn_ = std::make_unique<MultiHeadAttention>(dim, num_heads, rng);
+  mlp_ = std::make_unique<Mlp>(std::vector<int>{dim, hidden_dim, dim}, rng);
+  RegisterChild(*attn_);
+  RegisterChild(*mlp_);
+  if (use_layer_norm) {
+    norm_attn_ = std::make_unique<LayerNorm>(dim, rng);
+    norm_mlp_ = std::make_unique<LayerNorm>(dim, rng);
+    RegisterChild(*norm_attn_);
+    RegisterChild(*norm_mlp_);
+  }
+}
+
+Tensor EncoderBlock::Forward(const Tensor& x) const {
+  const Tensor attn_in = norm_attn_ ? norm_attn_->Forward(x) : x;
+  const Tensor attended = Add(x, attn_->Forward(attn_in));
+  const Tensor mlp_in = norm_mlp_ ? norm_mlp_->Forward(attended) : attended;
+  return Add(attended, mlp_->Forward(mlp_in));
+}
+
+GruCell::GruCell(int in_dim, int hidden_dim, Rng& rng)
+    : hidden_dim_(hidden_dim) {
+  xz_ = std::make_unique<Linear>(in_dim, hidden_dim, rng);
+  hz_ = std::make_unique<Linear>(hidden_dim, hidden_dim, rng, false);
+  xr_ = std::make_unique<Linear>(in_dim, hidden_dim, rng);
+  hr_ = std::make_unique<Linear>(hidden_dim, hidden_dim, rng, false);
+  xh_ = std::make_unique<Linear>(in_dim, hidden_dim, rng);
+  hh_ = std::make_unique<Linear>(hidden_dim, hidden_dim, rng, false);
+  RegisterChild(*xz_);
+  RegisterChild(*hz_);
+  RegisterChild(*xr_);
+  RegisterChild(*hr_);
+  RegisterChild(*xh_);
+  RegisterChild(*hh_);
+}
+
+Tensor GruCell::Forward(const Tensor& x, const Tensor& h) const {
+  const Tensor z = Sigmoid(Add(xz_->Forward(x), hz_->Forward(h)));
+  const Tensor r = Sigmoid(Add(xr_->Forward(x), hr_->Forward(h)));
+  const Tensor candidate = Tanh(Add(xh_->Forward(x), hh_->Forward(Mul(r, h))));
+  // h' = (1 - z) * h + z * candidate
+  const Tensor one_minus_z = AddScalar(Scale(z, -1.0f), 1.0f);
+  return Add(Mul(one_minus_z, h), Mul(z, candidate));
+}
+
+Tensor PositionalEncoding(int n, int dim) {
+  Tensor pe = MakeTensor(n, dim, false);
+  for (int pos = 0; pos < n; ++pos) {
+    for (int k = 0; 2 * k < dim; ++k) {
+      const double rate =
+          std::pow(10000.0, 2.0 * k / static_cast<double>(dim));
+      pe->at(pos, 2 * k) = static_cast<float>(std::sin(pos / rate));
+      if (2 * k + 1 < dim) {
+        pe->at(pos, 2 * k + 1) = static_cast<float>(std::cos(pos / rate));
+      }
+    }
+  }
+  return pe;
+}
+
+}  // namespace traj2hash::nn

@@ -1,0 +1,21 @@
+#include "nn/module.h"
+
+#include <cmath>
+
+namespace traj2hash::nn {
+
+void XavierInit(const Tensor& t, Rng& rng) {
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(t->rows() + t->cols()));
+  for (float& v : t->value()) {
+    v = static_cast<float>(rng.Uniform(-limit, limit));
+  }
+}
+
+void GaussianInit(const Tensor& t, float stddev, Rng& rng) {
+  for (float& v : t->value()) {
+    v = static_cast<float>(rng.Gaussian(stddev));
+  }
+}
+
+}  // namespace traj2hash::nn

@@ -1,0 +1,54 @@
+#ifndef TRAJ2HASH_NN_MODULE_H_
+#define TRAJ2HASH_NN_MODULE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace traj2hash::nn {
+
+/// Base class for parameterised layers. A module owns its parameter tensors
+/// and can enrol a child module's parameters, so `Parameters()` on the root
+/// returns the full trainable set for the optimizer.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters of this module and its registered children.
+  const std::vector<Tensor>& Parameters() const { return params_; }
+
+  /// Zeroes gradients of all parameters.
+  void ZeroGrad() {
+    for (const Tensor& p : params_) p->ZeroGrad();
+  }
+
+ protected:
+  /// Registers a parameter tensor created by this module.
+  Tensor RegisterParameter(Tensor t) {
+    params_.push_back(t);
+    return t;
+  }
+
+  /// Registers all parameters of a child module.
+  void RegisterChild(const Module& child) {
+    for (const Tensor& p : child.Parameters()) params_.push_back(p);
+  }
+
+ private:
+  std::vector<Tensor> params_;
+};
+
+/// Xavier/Glorot-uniform initialisation of a [fan_in, fan_out] matrix.
+void XavierInit(const Tensor& t, Rng& rng);
+
+/// Gaussian initialisation with the given standard deviation.
+void GaussianInit(const Tensor& t, float stddev, Rng& rng);
+
+}  // namespace traj2hash::nn
+
+#endif  // TRAJ2HASH_NN_MODULE_H_

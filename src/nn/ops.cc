@@ -1,0 +1,467 @@
+#include "nn/ops.h"
+
+#include <cmath>
+
+namespace traj2hash::nn {
+namespace {
+
+bool AnyRequiresGrad(std::initializer_list<const Tensor*> ts) {
+  for (const Tensor* t : ts) {
+    if ((*t)->requires_grad()) return true;
+  }
+  return false;
+}
+
+/// Allocates the output node and wires parents/backward only when a parent
+/// tracks gradients, so inference builds no tape.
+Tensor MakeOp(int rows, int cols, std::vector<Tensor> parents,
+              std::function<void(TensorImpl&)> backward) {
+  bool needs_grad = false;
+  for (const Tensor& p : parents) needs_grad |= p->requires_grad();
+  Tensor out = MakeTensor(rows, cols, needs_grad);
+  if (needs_grad) {
+    out->set_parents(std::move(parents));
+    out->set_backward(std::move(backward));
+  }
+  return out;
+}
+
+/// Element-wise unary op helper: forward maps value, backward multiplies the
+/// upstream gradient by `dfn(input_value, output_value)`.
+template <typename FwdFn, typename GradFn>
+Tensor Unary(const Tensor& a, FwdFn fwd, GradFn dfn) {
+  Tensor out = MakeOp(
+      a->rows(), a->cols(), {a}, [a, dfn](TensorImpl& self) {
+        for (int i = 0; i < self.size(); ++i) {
+          a->grad()[i] += self.grad()[i] *
+                          dfn(a->value()[i], self.value()[i]);
+        }
+      });
+  for (int i = 0; i < a->size(); ++i) out->value()[i] = fwd(a->value()[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  T2H_CHECK_EQ(a->cols(), b->rows());
+  const int n = a->rows(), k = a->cols(), m = b->cols();
+  Tensor out = MakeOp(n, m, {a, b}, [a, b](TensorImpl& self) {
+    const int n = a->rows(), k = a->cols(), m = b->cols();
+    if (a->requires_grad()) {
+      // dA = dC * B^T
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < k; ++j) {
+          float acc = 0.0f;
+          for (int c = 0; c < m; ++c) acc += self.grad_at(i, c) * b->at(j, c);
+          a->grad_at(i, j) += acc;
+        }
+      }
+    }
+    if (b->requires_grad()) {
+      // dB = A^T * dC
+      for (int i = 0; i < k; ++i) {
+        for (int j = 0; j < m; ++j) {
+          float acc = 0.0f;
+          for (int r = 0; r < n; ++r) acc += a->at(r, i) * self.grad_at(r, j);
+          b->grad_at(i, j) += acc;
+        }
+      }
+    }
+  });
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      float acc = 0.0f;
+      for (int c = 0; c < k; ++c) acc += a->at(i, c) * b->at(c, j);
+      out->at(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  T2H_CHECK(a->rows() == b->rows() && a->cols() == b->cols());
+  Tensor out = MakeOp(a->rows(), a->cols(), {a, b}, [a, b](TensorImpl& self) {
+    for (int i = 0; i < self.size(); ++i) {
+      if (a->requires_grad()) a->grad()[i] += self.grad()[i];
+      if (b->requires_grad()) b->grad()[i] += self.grad()[i];
+    }
+  });
+  for (int i = 0; i < out->size(); ++i) {
+    out->value()[i] = a->value()[i] + b->value()[i];
+  }
+  return out;
+}
+
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& row) {
+  T2H_CHECK_EQ(row->rows(), 1);
+  T2H_CHECK_EQ(a->cols(), row->cols());
+  Tensor out =
+      MakeOp(a->rows(), a->cols(), {a, row}, [a, row](TensorImpl& self) {
+        for (int r = 0; r < self.rows(); ++r) {
+          for (int c = 0; c < self.cols(); ++c) {
+            if (a->requires_grad()) a->grad_at(r, c) += self.grad_at(r, c);
+            if (row->requires_grad()) row->grad_at(0, c) += self.grad_at(r, c);
+          }
+        }
+      });
+  for (int r = 0; r < a->rows(); ++r) {
+    for (int c = 0; c < a->cols(); ++c) {
+      out->at(r, c) = a->at(r, c) + row->at(0, c);
+    }
+  }
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  T2H_CHECK(a->rows() == b->rows() && a->cols() == b->cols());
+  Tensor out = MakeOp(a->rows(), a->cols(), {a, b}, [a, b](TensorImpl& self) {
+    for (int i = 0; i < self.size(); ++i) {
+      if (a->requires_grad()) a->grad()[i] += self.grad()[i];
+      if (b->requires_grad()) b->grad()[i] -= self.grad()[i];
+    }
+  });
+  for (int i = 0; i < out->size(); ++i) {
+    out->value()[i] = a->value()[i] - b->value()[i];
+  }
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  T2H_CHECK(a->rows() == b->rows() && a->cols() == b->cols());
+  Tensor out = MakeOp(a->rows(), a->cols(), {a, b}, [a, b](TensorImpl& self) {
+    for (int i = 0; i < self.size(); ++i) {
+      if (a->requires_grad()) a->grad()[i] += self.grad()[i] * b->value()[i];
+      if (b->requires_grad()) b->grad()[i] += self.grad()[i] * a->value()[i];
+    }
+  });
+  for (int i = 0; i < out->size(); ++i) {
+    out->value()[i] = a->value()[i] * b->value()[i];
+  }
+  return out;
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  T2H_CHECK(a->rows() == b->rows() && a->cols() == b->cols());
+  Tensor out = MakeOp(a->rows(), a->cols(), {a, b}, [a, b](TensorImpl& self) {
+    for (int i = 0; i < self.size(); ++i) {
+      const float inv = 1.0f / b->value()[i];
+      if (a->requires_grad()) a->grad()[i] += self.grad()[i] * inv;
+      if (b->requires_grad()) {
+        b->grad()[i] -= self.grad()[i] * a->value()[i] * inv * inv;
+      }
+    }
+  });
+  for (int i = 0; i < out->size(); ++i) {
+    T2H_CHECK_NE(b->value()[i], 0.0f);
+    out->value()[i] = a->value()[i] / b->value()[i];
+  }
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  return Unary(
+      a, [s](float x) { return x * s; },
+      [s](float, float) { return s; });
+}
+
+Tensor ScaleByScalar(const Tensor& a, const Tensor& s) {
+  T2H_CHECK(s->rows() == 1 && s->cols() == 1);
+  Tensor out = MakeOp(a->rows(), a->cols(), {a, s}, [a, s](TensorImpl& self) {
+    const float sv = s->value()[0];
+    float s_grad = 0.0f;
+    for (int i = 0; i < self.size(); ++i) {
+      if (a->requires_grad()) a->grad()[i] += self.grad()[i] * sv;
+      s_grad += self.grad()[i] * a->value()[i];
+    }
+    if (s->requires_grad()) s->grad()[0] += s_grad;
+  });
+  const float sv = s->value()[0];
+  for (int i = 0; i < out->size(); ++i) out->value()[i] = a->value()[i] * sv;
+  return out;
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return Unary(
+      a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; });
+}
+
+Tensor Relu(const Tensor& a) {
+  return Unary(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return Unary(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return Unary(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Exp(const Tensor& a) {
+  return Unary(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a) {
+  return Unary(
+      a,
+      [](float x) {
+        T2H_CHECK_GT(x, 0.0f);
+        return std::log(x);
+      },
+      [](float x, float) { return 1.0f / x; });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return Unary(
+      a,
+      [](float x) {
+        T2H_CHECK_GE(x, 0.0f);
+        return std::sqrt(x);
+      },
+      [](float, float y) { return 0.5f / std::max(y, 1e-6f); });
+}
+
+Tensor SoftmaxRows(const Tensor& a) {
+  Tensor out = MakeOp(a->rows(), a->cols(), {a}, [a](TensorImpl& self) {
+    // Per row: dx_i = s_i * (dy_i - sum_j dy_j * s_j).
+    for (int r = 0; r < self.rows(); ++r) {
+      float dot = 0.0f;
+      for (int c = 0; c < self.cols(); ++c) {
+        dot += self.grad_at(r, c) * self.at(r, c);
+      }
+      for (int c = 0; c < self.cols(); ++c) {
+        a->grad_at(r, c) += self.at(r, c) * (self.grad_at(r, c) - dot);
+      }
+    }
+  });
+  for (int r = 0; r < a->rows(); ++r) {
+    float max_v = a->at(r, 0);
+    for (int c = 1; c < a->cols(); ++c) max_v = std::max(max_v, a->at(r, c));
+    float sum = 0.0f;
+    for (int c = 0; c < a->cols(); ++c) {
+      const float e = std::exp(a->at(r, c) - max_v);
+      out->at(r, c) = e;
+      sum += e;
+    }
+    for (int c = 0; c < a->cols(); ++c) out->at(r, c) /= sum;
+  }
+  return out;
+}
+
+Tensor NormalizeRows(const Tensor& a, float epsilon) {
+  const int rows = a->rows();
+  const int cols = a->cols();
+  // Forward statistics first: the backward closure captures inv_sigma by
+  // value, so it must be complete before MakeOp runs.
+  std::vector<float> values(static_cast<size_t>(rows) * cols);
+  std::vector<float> inv_sigma(rows);
+  for (int r = 0; r < rows; ++r) {
+    float mean = 0.0f;
+    for (int j = 0; j < cols; ++j) mean += a->at(r, j);
+    mean /= cols;
+    float var = 0.0f;
+    for (int j = 0; j < cols; ++j) {
+      const float d = a->at(r, j) - mean;
+      var += d * d;
+    }
+    var /= cols;
+    inv_sigma[r] = 1.0f / std::sqrt(var + epsilon);
+    for (int j = 0; j < cols; ++j) {
+      values[static_cast<size_t>(r) * cols + j] =
+          (a->at(r, j) - mean) * inv_sigma[r];
+    }
+  }
+  Tensor out =
+      MakeOp(rows, cols, {a}, [a, inv_sigma](TensorImpl& self) {
+        // dL/dx = (1/sigma) * (g - mean(g) - y * mean(g * y)) per row.
+        const int c = self.cols();
+        for (int r = 0; r < self.rows(); ++r) {
+          float mean_g = 0.0f, mean_gy = 0.0f;
+          for (int j = 0; j < c; ++j) {
+            mean_g += self.grad_at(r, j);
+            mean_gy += self.grad_at(r, j) * self.at(r, j);
+          }
+          mean_g /= c;
+          mean_gy /= c;
+          for (int j = 0; j < c; ++j) {
+            a->grad_at(r, j) += inv_sigma[r] * (self.grad_at(r, j) - mean_g -
+                                                self.at(r, j) * mean_gy);
+          }
+        }
+      });
+  out->value() = std::move(values);
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  Tensor out = MakeOp(a->cols(), a->rows(), {a}, [a](TensorImpl& self) {
+    for (int r = 0; r < self.rows(); ++r) {
+      for (int c = 0; c < self.cols(); ++c) {
+        a->grad_at(c, r) += self.grad_at(r, c);
+      }
+    }
+  });
+  for (int r = 0; r < a->rows(); ++r) {
+    for (int c = 0; c < a->cols(); ++c) out->at(c, r) = a->at(r, c);
+  }
+  return out;
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  T2H_CHECK_EQ(a->rows(), b->rows());
+  const int c1 = a->cols();
+  Tensor out = MakeOp(a->rows(), c1 + b->cols(), {a, b},
+                      [a, b, c1](TensorImpl& self) {
+                        for (int r = 0; r < self.rows(); ++r) {
+                          for (int c = 0; c < self.cols(); ++c) {
+                            const float g = self.grad_at(r, c);
+                            if (c < c1) {
+                              if (a->requires_grad()) a->grad_at(r, c) += g;
+                            } else if (b->requires_grad()) {
+                              b->grad_at(r, c - c1) += g;
+                            }
+                          }
+                        }
+                      });
+  for (int r = 0; r < a->rows(); ++r) {
+    for (int c = 0; c < a->cols(); ++c) out->at(r, c) = a->at(r, c);
+    for (int c = 0; c < b->cols(); ++c) out->at(r, c1 + c) = b->at(r, c);
+  }
+  return out;
+}
+
+Tensor ConcatRows(const Tensor& a, const Tensor& b) {
+  T2H_CHECK_EQ(a->cols(), b->cols());
+  const int r1 = a->rows();
+  Tensor out = MakeOp(r1 + b->rows(), a->cols(), {a, b},
+                      [a, b, r1](TensorImpl& self) {
+                        for (int r = 0; r < self.rows(); ++r) {
+                          for (int c = 0; c < self.cols(); ++c) {
+                            const float g = self.grad_at(r, c);
+                            if (r < r1) {
+                              if (a->requires_grad()) a->grad_at(r, c) += g;
+                            } else if (b->requires_grad()) {
+                              b->grad_at(r - r1, c) += g;
+                            }
+                          }
+                        }
+                      });
+  for (int r = 0; r < a->rows(); ++r) {
+    for (int c = 0; c < a->cols(); ++c) out->at(r, c) = a->at(r, c);
+  }
+  for (int r = 0; r < b->rows(); ++r) {
+    for (int c = 0; c < b->cols(); ++c) out->at(r1 + r, c) = b->at(r, c);
+  }
+  return out;
+}
+
+Tensor SliceRows(const Tensor& a, int r0, int r1) {
+  T2H_CHECK(0 <= r0 && r0 < r1 && r1 <= a->rows());
+  Tensor out = MakeOp(r1 - r0, a->cols(), {a}, [a, r0](TensorImpl& self) {
+    for (int r = 0; r < self.rows(); ++r) {
+      for (int c = 0; c < self.cols(); ++c) {
+        a->grad_at(r0 + r, c) += self.grad_at(r, c);
+      }
+    }
+  });
+  for (int r = 0; r < out->rows(); ++r) {
+    for (int c = 0; c < out->cols(); ++c) out->at(r, c) = a->at(r0 + r, c);
+  }
+  return out;
+}
+
+Tensor SliceCols(const Tensor& a, int c0, int c1) {
+  T2H_CHECK(0 <= c0 && c0 < c1 && c1 <= a->cols());
+  Tensor out = MakeOp(a->rows(), c1 - c0, {a}, [a, c0](TensorImpl& self) {
+    for (int r = 0; r < self.rows(); ++r) {
+      for (int c = 0; c < self.cols(); ++c) {
+        a->grad_at(r, c0 + c) += self.grad_at(r, c);
+      }
+    }
+  });
+  for (int r = 0; r < out->rows(); ++r) {
+    for (int c = 0; c < out->cols(); ++c) out->at(r, c) = a->at(r, c0 + c);
+  }
+  return out;
+}
+
+Tensor MeanRows(const Tensor& a) {
+  const float inv_n = 1.0f / static_cast<float>(a->rows());
+  Tensor out = MakeOp(1, a->cols(), {a}, [a, inv_n](TensorImpl& self) {
+    for (int r = 0; r < a->rows(); ++r) {
+      for (int c = 0; c < a->cols(); ++c) {
+        a->grad_at(r, c) += self.grad_at(0, c) * inv_n;
+      }
+    }
+  });
+  for (int c = 0; c < a->cols(); ++c) {
+    float acc = 0.0f;
+    for (int r = 0; r < a->rows(); ++r) acc += a->at(r, c);
+    out->at(0, c) = acc * inv_n;
+  }
+  return out;
+}
+
+Tensor SumAll(const Tensor& a) {
+  Tensor out = MakeOp(1, 1, {a}, [a](TensorImpl& self) {
+    const float g = self.grad()[0];
+    for (int i = 0; i < a->size(); ++i) a->grad()[i] += g;
+  });
+  float acc = 0.0f;
+  for (const float v : a->value()) acc += v;
+  out->value()[0] = acc;
+  return out;
+}
+
+Tensor GatherRows(const Tensor& table, const std::vector<int>& indices) {
+  T2H_CHECK(!indices.empty());
+  for (const int i : indices) T2H_CHECK(i >= 0 && i < table->rows());
+  Tensor out = MakeOp(static_cast<int>(indices.size()), table->cols(),
+                      {table}, [table, indices](TensorImpl& self) {
+                        for (size_t r = 0; r < indices.size(); ++r) {
+                          for (int c = 0; c < self.cols(); ++c) {
+                            table->grad_at(indices[r], c) +=
+                                self.grad_at(static_cast<int>(r), c);
+                          }
+                        }
+                      });
+  for (size_t r = 0; r < indices.size(); ++r) {
+    for (int c = 0; c < table->cols(); ++c) {
+      out->at(static_cast<int>(r), c) = table->at(indices[r], c);
+    }
+  }
+  return out;
+}
+
+Tensor Constant(int rows, int cols, float v) {
+  Tensor t = MakeTensor(rows, cols, false);
+  std::fill(t->value().begin(), t->value().end(), v);
+  return t;
+}
+
+Tensor Detach(const Tensor& a) {
+  Tensor t = MakeTensor(a->rows(), a->cols(), false);
+  t->value() = a->value();
+  return t;
+}
+
+Tensor Dot(const Tensor& a, const Tensor& b) {
+  T2H_CHECK(a->rows() == 1 && b->rows() == 1);
+  return SumAll(Mul(a, b));
+}
+
+Tensor EuclideanDistance(const Tensor& a, const Tensor& b) {
+  Tensor diff = Sub(a, b);
+  return Sqrt(AddScalar(SumAll(Mul(diff, diff)), 1e-8f));
+}
+
+}  // namespace traj2hash::nn

@@ -1,0 +1,110 @@
+#ifndef TRAJ2HASH_NN_OPS_H_
+#define TRAJ2HASH_NN_OPS_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace traj2hash::nn {
+
+/// Differentiable operations over 2-D tensors. Every function returns a new
+/// tensor wired into the autograd graph; gradients flow to any input with
+/// `requires_grad()`. Shape preconditions are enforced with CHECKs (shape
+/// mismatch is a programming error, not a runtime condition).
+
+/// Matrix product: [n,k] x [k,m] -> [n,m].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Element-wise sum of same-shape tensors.
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/// Adds row vector `row` [1,c] to every row of `a` [n,c] (bias broadcast).
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& row);
+
+/// Element-wise difference of same-shape tensors.
+Tensor Sub(const Tensor& a, const Tensor& b);
+
+/// Element-wise (Hadamard) product of same-shape tensors.
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// Element-wise quotient of same-shape tensors. Divisor elements must be
+/// nonzero.
+Tensor Div(const Tensor& a, const Tensor& b);
+
+/// Multiplies every element by scalar `s`.
+Tensor Scale(const Tensor& a, float s);
+
+/// Multiplies every element of `a` by the (differentiable) scalar tensor
+/// `s` ([1,1]) — e.g. dividing a vector by its own norm.
+Tensor ScaleByScalar(const Tensor& a, const Tensor& s);
+
+/// Adds scalar `s` to every element.
+Tensor AddScalar(const Tensor& a, float s);
+
+/// Element-wise max(x, 0).
+Tensor Relu(const Tensor& a);
+
+/// Element-wise hyperbolic tangent.
+Tensor Tanh(const Tensor& a);
+
+/// Element-wise logistic sigmoid.
+Tensor Sigmoid(const Tensor& a);
+
+/// Element-wise exponential.
+Tensor Exp(const Tensor& a);
+
+/// Element-wise natural logarithm. Requires all elements > 0.
+Tensor Log(const Tensor& a);
+
+/// Element-wise square root. Requires all elements >= 0; the derivative is
+/// clamped near zero for numerical stability.
+Tensor Sqrt(const Tensor& a);
+
+/// Row-wise softmax (used by attention scores).
+Tensor SoftmaxRows(const Tensor& a);
+
+/// Normalises every row to zero mean and unit variance (the statistics part
+/// of layer normalisation); `epsilon` stabilises near-constant rows.
+Tensor NormalizeRows(const Tensor& a, float epsilon = 1e-5f);
+
+/// Matrix transpose.
+Tensor Transpose(const Tensor& a);
+
+/// Horizontal concatenation [n,c1],[n,c2] -> [n,c1+c2].
+Tensor ConcatCols(const Tensor& a, const Tensor& b);
+
+/// Vertical concatenation [n1,c],[n2,c] -> [n1+n2,c].
+Tensor ConcatRows(const Tensor& a, const Tensor& b);
+
+/// Rows [r0, r1) of `a`.
+Tensor SliceRows(const Tensor& a, int r0, int r1);
+
+/// Columns [c0, c1) of `a`.
+Tensor SliceCols(const Tensor& a, int c0, int c1);
+
+/// Column-wise mean over rows: [n,c] -> [1,c] (mean pooling read-out).
+Tensor MeanRows(const Tensor& a);
+
+/// Sum of all elements: [n,c] -> [1,1].
+Tensor SumAll(const Tensor& a);
+
+/// Selects rows of `table` by index (embedding lookup); gradients scatter-
+/// accumulate back into the selected rows.
+Tensor GatherRows(const Tensor& table, const std::vector<int>& indices);
+
+/// Constant tensor filled with `v` (never requires grad).
+Tensor Constant(int rows, int cols, float v);
+
+/// Value copy of `a` cut off from the autograd graph.
+Tensor Detach(const Tensor& a);
+
+/// Inner product of two [1,d] vectors -> [1,1].
+Tensor Dot(const Tensor& a, const Tensor& b);
+
+/// Euclidean distance between two [1,d] vectors -> [1,1]; stabilised with a
+/// small epsilon inside the square root.
+Tensor EuclideanDistance(const Tensor& a, const Tensor& b);
+
+}  // namespace traj2hash::nn
+
+#endif  // TRAJ2HASH_NN_OPS_H_

@@ -1,0 +1,53 @@
+#include "nn/sgd.h"
+
+#include <cmath>
+
+namespace traj2hash::nn {
+
+Sgd::Sgd(std::vector<Tensor> params, SgdOptions options)
+    : params_(std::move(params)), options_(options) {
+  velocity_.reserve(params_.size());
+  for (const Tensor& p : params_) {
+    T2H_CHECK(p->requires_grad());
+    velocity_.emplace_back(options_.momentum > 0.0f ? p->size() : 0, 0.0f);
+  }
+}
+
+void Sgd::Step() {
+  // Weight decay folds into the gradient before the norm is measured, so
+  // clipping sees the effective update direction.
+  double norm_sq = 0.0;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    TensorImpl& p = *params_[i];
+    for (int j = 0; j < p.size(); ++j) {
+      p.grad()[j] += options_.weight_decay * p.value()[j];
+      norm_sq += static_cast<double>(p.grad()[j]) * p.grad()[j];
+    }
+  }
+  last_grad_norm_ = std::sqrt(norm_sq);
+  float scale = 1.0f;
+  if (options_.clip_norm > 0.0f &&
+      last_grad_norm_ > options_.clip_norm) {
+    scale = options_.clip_norm / static_cast<float>(last_grad_norm_);
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    TensorImpl& p = *params_[i];
+    std::vector<float>& v = velocity_[i];
+    for (int j = 0; j < p.size(); ++j) {
+      const float g = p.grad()[j] * scale;
+      if (options_.momentum > 0.0f) {
+        v[j] = options_.momentum * v[j] + g;
+        p.value()[j] -= options_.lr * v[j];
+      } else {
+        p.value()[j] -= options_.lr * g;
+      }
+    }
+    p.ZeroGrad();
+  }
+}
+
+void Sgd::ZeroGrad() {
+  for (const Tensor& p : params_) p->ZeroGrad();
+}
+
+}  // namespace traj2hash::nn

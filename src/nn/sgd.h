@@ -1,0 +1,48 @@
+#ifndef TRAJ2HASH_NN_SGD_H_
+#define TRAJ2HASH_NN_SGD_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace traj2hash::nn {
+
+struct SgdOptions {
+  float lr = 1e-2f;
+  float momentum = 0.0f;      ///< classical momentum (0 = plain SGD)
+  float weight_decay = 0.0f;  ///< L2 coefficient added to gradients
+  /// Global gradient-norm clipping threshold; <= 0 disables clipping.
+  float clip_norm = 0.0f;
+};
+
+/// Stochastic gradient descent with optional momentum, weight decay and
+/// global-norm gradient clipping. Adam (adam.h) is the paper's optimizer;
+/// SGD is provided for the pre-training loops and ablation experiments
+/// where a stateless optimizer is preferable.
+class Sgd {
+ public:
+  explicit Sgd(std::vector<Tensor> params, SgdOptions options = SgdOptions());
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void Step();
+
+  /// Zeroes gradients without updating.
+  void ZeroGrad();
+
+  /// L2 norm of the full gradient vector at the last Step() (before
+  /// clipping); useful for training diagnostics.
+  double last_grad_norm() const { return last_grad_norm_; }
+
+  void set_lr(float lr) { options_.lr = lr; }
+  float lr() const { return options_.lr; }
+
+ private:
+  std::vector<Tensor> params_;
+  SgdOptions options_;
+  std::vector<std::vector<float>> velocity_;  // momentum buffers
+  double last_grad_norm_ = 0.0;
+};
+
+}  // namespace traj2hash::nn
+
+#endif  // TRAJ2HASH_NN_SGD_H_

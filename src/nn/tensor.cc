@@ -1,0 +1,66 @@
+#include "nn/tensor.h"
+
+#include <unordered_set>
+
+namespace traj2hash::nn {
+
+Tensor MakeTensor(int rows, int cols, bool requires_grad) {
+  return std::make_shared<TensorImpl>(rows, cols, requires_grad);
+}
+
+Tensor FromValues(int rows, int cols, std::vector<float> values,
+                  bool requires_grad) {
+  T2H_CHECK_EQ(static_cast<size_t>(rows) * cols, values.size());
+  Tensor t = MakeTensor(rows, cols, requires_grad);
+  t->value() = std::move(values);
+  return t;
+}
+
+namespace {
+
+void TopoSort(TensorImpl* node, std::unordered_set<TensorImpl*>& visited,
+              std::vector<TensorImpl*>& order) {
+  // Iterative DFS: training tapes (e.g. GRU over a long trajectory) can be
+  // deep enough to overflow the stack with a recursive walk.
+  struct Frame {
+    TensorImpl* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (!visited.insert(node).second) return;
+  stack.push_back({node, 0});
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    const auto& parents = top.node->parents();
+    if (top.next_parent < parents.size()) {
+      TensorImpl* parent = parents[top.next_parent++].get();
+      if (visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(top.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Backward(const Tensor& loss) {
+  T2H_CHECK_MSG(loss->rows() == 1 && loss->cols() == 1,
+                "Backward requires a scalar loss");
+  T2H_CHECK_MSG(loss->requires_grad(),
+                "loss does not depend on any differentiable tensor");
+  std::unordered_set<TensorImpl*> visited;
+  std::vector<TensorImpl*> order;  // parents before children
+  TopoSort(loss.get(), visited, order);
+
+  loss->grad()[0] += 1.0f;
+  // Children first (reverse topological order).
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorImpl* node = *it;
+    if (node->backward_fn()) node->backward_fn()(*node);
+  }
+}
+
+}  // namespace traj2hash::nn

@@ -1,0 +1,98 @@
+#ifndef TRAJ2HASH_NN_TENSOR_H_
+#define TRAJ2HASH_NN_TENSOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+
+namespace traj2hash::nn {
+
+class TensorImpl;
+
+/// Shared handle to a node of the autograd graph. Ops in ops.h take and
+/// return `Tensor`s; keeping a `Tensor` alive keeps the backward tape of its
+/// ancestors alive.
+using Tensor = std::shared_ptr<TensorImpl>;
+
+/// A 2-D row-major float matrix participating in reverse-mode automatic
+/// differentiation.
+///
+/// This is the training substrate replacing PyTorch (DESIGN.md §2). The
+/// deliberate restriction to 2-D covers the whole paper: a trajectory is a
+/// `[n, d]` sequence matrix, an embedding is `[1, d]`, and parameters are
+/// weight matrices. Batching is by looping over trajectories, which is the
+/// right trade-off at this project's (single-core CPU) scale.
+class TensorImpl {
+ public:
+  TensorImpl(int rows, int cols, bool requires_grad)
+      : rows_(rows),
+        cols_(cols),
+        requires_grad_(requires_grad),
+        value_(static_cast<size_t>(rows) * cols, 0.0f) {
+    T2H_CHECK(rows > 0 && cols > 0);
+    if (requires_grad) grad_.assign(value_.size(), 0.0f);
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int size() const { return rows_ * cols_; }
+
+  float& at(int r, int c) { return value_[static_cast<size_t>(r) * cols_ + c]; }
+  float at(int r, int c) const {
+    return value_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float& grad_at(int r, int c) {
+    return grad_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  std::vector<float>& value() { return value_; }
+  const std::vector<float>& value() const { return value_; }
+  std::vector<float>& grad() { return grad_; }
+  const std::vector<float>& grad() const { return grad_; }
+
+  bool requires_grad() const { return requires_grad_; }
+
+  /// Zeroes the accumulated gradient (no-op if grad is not tracked).
+  void ZeroGrad() { std::fill(grad_.begin(), grad_.end(), 0.0f); }
+
+  /// Graph wiring — used by ops.cc only.
+  const std::vector<Tensor>& parents() const { return parents_; }
+  void set_parents(std::vector<Tensor> parents) {
+    parents_ = std::move(parents);
+  }
+  void set_backward(std::function<void(TensorImpl&)> fn) {
+    backward_fn_ = std::move(fn);
+  }
+  const std::function<void(TensorImpl&)>& backward_fn() const {
+    return backward_fn_;
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  bool requires_grad_;
+  std::vector<float> value_;
+  std::vector<float> grad_;  // empty unless requires_grad_
+  std::vector<Tensor> parents_;
+  std::function<void(TensorImpl&)> backward_fn_;
+};
+
+/// Creates a zero-initialised tensor.
+Tensor MakeTensor(int rows, int cols, bool requires_grad = false);
+
+/// Creates a tensor from row-major values. `values.size()` must equal
+/// rows * cols.
+Tensor FromValues(int rows, int cols, std::vector<float> values,
+                  bool requires_grad = false);
+
+/// Runs reverse-mode differentiation from scalar `loss` (must be 1x1):
+/// topologically sorts the reachable graph and accumulates gradients into
+/// every tensor with `requires_grad()`. Gradients accumulate across calls
+/// until ZeroGrad (mini-batch accumulation relies on this).
+void Backward(const Tensor& loss);
+
+}  // namespace traj2hash::nn
+
+#endif  // TRAJ2HASH_NN_TENSOR_H_

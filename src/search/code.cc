@@ -1,0 +1,43 @@
+#include "search/code.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace traj2hash::search {
+
+Code PackSigns(const std::vector<float>& values) {
+  Code code;
+  code.num_bits = static_cast<int>(values.size());
+  code.words.assign((values.size() + 63) / 64, 0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] > 0.0f) {
+      code.words[i / 64] |= (uint64_t{1} << (i % 64));
+    }
+  }
+  return code;
+}
+
+int HammingDistance(const Code& a, const Code& b) {
+  T2H_CHECK_EQ(a.num_bits, b.num_bits);
+  int dist = 0;
+  for (size_t w = 0; w < a.words.size(); ++w) {
+    dist += std::popcount(a.words[w] ^ b.words[w]);
+  }
+  return dist;
+}
+
+uint64_t CodeHash(const Code& c) {
+  // FNV-1a over the words, then a final avalanche mix.
+  uint64_t h = 1469598103934665603ull;
+  for (const uint64_t w : c.words) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace traj2hash::search

@@ -1,0 +1,30 @@
+#ifndef TRAJ2HASH_SEARCH_CODE_H_
+#define TRAJ2HASH_SEARCH_CODE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace traj2hash::search {
+
+/// A binary hash code in Hamming space, packed into 64-bit words.
+/// Bit b set means the b-th component of sign(h_f) is +1.
+struct Code {
+  std::vector<uint64_t> words;
+  int num_bits = 0;
+
+  friend bool operator==(const Code&, const Code&) = default;
+};
+
+/// Packs the signs of a real vector into a code (Eq. 16: sign(h_f); the
+/// paper maps x > 0 to +1 and otherwise to -1).
+Code PackSigns(const std::vector<float>& values);
+
+/// Hamming distance between equal-length codes (popcount over words).
+int HammingDistance(const Code& a, const Code& b);
+
+/// 64-bit mixing hash of a code, for bucketing codes in hash tables.
+uint64_t CodeHash(const Code& c);
+
+}  // namespace traj2hash::search
+
+#endif  // TRAJ2HASH_SEARCH_CODE_H_

@@ -1,0 +1,152 @@
+#include "search/hamming_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace traj2hash::search {
+
+HammingIndex::HammingIndex(std::vector<Code> codes)
+    : codes_(std::move(codes)) {
+  T2H_CHECK(!codes_.empty());
+  num_bits_ = codes_[0].num_bits;
+  for (size_t i = 0; i < codes_.size(); ++i) {
+    T2H_CHECK_EQ(codes_[i].num_bits, num_bits_);
+    buckets_[CodeHash(codes_[i])].push_back(static_cast<int>(i));
+  }
+}
+
+int HammingIndex::Insert(Code code) {
+  T2H_CHECK_EQ(code.num_bits, num_bits_);
+  const int id = static_cast<int>(codes_.size());
+  buckets_[CodeHash(code)].push_back(id);
+  codes_.push_back(std::move(code));
+  return id;
+}
+
+void HammingIndex::ProbeBucket(const Code& probe, std::vector<int>& out) const {
+  const auto it = buckets_.find(CodeHash(probe));
+  if (it == buckets_.end()) return;
+  for (const int id : it->second) {
+    if (codes_[id] == probe) out.push_back(id);
+  }
+}
+
+std::vector<int> HammingIndex::ProbeWithinRadius2(const Code& query) const {
+  T2H_CHECK_EQ(query.num_bits, num_bits_);
+  std::vector<int> out;
+  Code probe = query;
+  // Radius 0.
+  ProbeBucket(probe, out);
+  // Radius 1: flip each bit.
+  for (int b = 0; b < num_bits_; ++b) {
+    probe.words[b / 64] ^= (uint64_t{1} << (b % 64));
+    ProbeBucket(probe, out);
+    probe.words[b / 64] ^= (uint64_t{1} << (b % 64));
+  }
+  // Radius 2: flip each unordered pair of bits.
+  for (int b1 = 0; b1 < num_bits_; ++b1) {
+    probe.words[b1 / 64] ^= (uint64_t{1} << (b1 % 64));
+    for (int b2 = b1 + 1; b2 < num_bits_; ++b2) {
+      probe.words[b2 / 64] ^= (uint64_t{1} << (b2 % 64));
+      ProbeBucket(probe, out);
+      probe.words[b2 / 64] ^= (uint64_t{1} << (b2 % 64));
+    }
+    probe.words[b1 / 64] ^= (uint64_t{1} << (b1 % 64));
+  }
+  return out;
+}
+
+std::vector<Neighbor> HammingIndex::HybridTopK(const Code& query,
+                                               int k) const {
+  T2H_CHECK_GE(k, 1);
+  const std::vector<int> candidates = ProbeWithinRadius2(query);
+  if (static_cast<int>(candidates.size()) < k) {
+    // Not enough neighbours within radius 2: degrade to brute force, as the
+    // paper's Hamming-Hybrid does.
+    return BruteForceTopK(query, k);
+  }
+  std::vector<Neighbor> ranked;
+  ranked.reserve(candidates.size());
+  for (const int id : candidates) {
+    ranked.push_back(
+        {id, static_cast<double>(HammingDistance(codes_[id], query))});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.index < b.index;
+            });
+  ranked.resize(k);
+  return ranked;
+}
+
+std::vector<Neighbor> HammingIndex::BruteForceTopK(const Code& query,
+                                                   int k) const {
+  return TopKHamming(codes_, query, k);
+}
+
+std::vector<int> HammingIndex::ProbeAtRadius(const Code& query,
+                                             int radius) const {
+  T2H_CHECK_EQ(query.num_bits, num_bits_);
+  T2H_CHECK(radius >= 0 && radius <= num_bits_);
+  std::vector<int> out;
+  Code probe = query;
+  // Enumerate all bit subsets of the given size with an explicit stack of
+  // chosen flip positions.
+  std::vector<int> flips;
+  flips.reserve(radius);
+  auto flip = [&probe](int b) {
+    probe.words[b / 64] ^= (uint64_t{1} << (b % 64));
+  };
+  // Iterative enumeration of combinations in lexicographic order.
+  if (radius == 0) {
+    ProbeBucket(probe, out);
+    return out;
+  }
+  for (int b = 0; b < radius; ++b) {
+    flips.push_back(b);
+    flip(b);
+  }
+  while (true) {
+    ProbeBucket(probe, out);
+    // Advance to the next combination.
+    int i = radius - 1;
+    while (i >= 0 && flips[i] == num_bits_ - radius + i) --i;
+    if (i < 0) break;
+    flip(flips[i]);
+    ++flips[i];
+    flip(flips[i]);
+    for (int j = i + 1; j < radius; ++j) {
+      flip(flips[j]);
+      flips[j] = flips[j - 1] + 1;
+      flip(flips[j]);
+    }
+  }
+  return out;
+}
+
+std::vector<Neighbor> HammingIndex::LookupOnlyTopK(const Code& query, int k,
+                                                   int max_radius) const {
+  T2H_CHECK_GE(k, 1);
+  const int cap = max_radius < 0 ? num_bits_ : std::min(max_radius, num_bits_);
+  std::vector<Neighbor> found;
+  for (int radius = 0; radius <= cap; ++radius) {
+    for (const int id : ProbeAtRadius(query, radius)) {
+      found.push_back({id, static_cast<double>(radius)});
+    }
+    if (static_cast<int>(found.size()) >= k) break;
+  }
+  // Candidates were appended in radius order; ties within one radius are in
+  // probe order — normalise to the (distance, index) order of the other
+  // strategies.
+  std::sort(found.begin(), found.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.index < b.index;
+            });
+  if (static_cast<int>(found.size()) > k) found.resize(k);
+  return found;
+}
+
+}  // namespace traj2hash::search

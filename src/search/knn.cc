@@ -1,0 +1,73 @@
+#include "search/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/check.h"
+
+namespace traj2hash::search {
+namespace {
+
+/// Max-heap based top-k selection shared by both spaces. `Compare` orders
+/// (distance, index) lexicographically so results are deterministic.
+struct HeapEntry {
+  double distance;
+  int index;
+};
+
+struct WorseFirst {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.index < b.index;  // larger index counts as worse on ties
+  }
+};
+
+template <typename DistanceAt>
+std::vector<Neighbor> TopKGeneric(int n, int k, DistanceAt dist_at) {
+  k = std::min(k, n);
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, WorseFirst> heap;
+  for (int i = 0; i < n; ++i) {
+    const double d = dist_at(i);
+    if (static_cast<int>(heap.size()) < k) {
+      heap.push({d, i});
+    } else if (d < heap.top().distance ||
+               (d == heap.top().distance && i < heap.top().index)) {
+      heap.pop();
+      heap.push({d, i});
+    }
+  }
+  std::vector<Neighbor> out(heap.size());
+  for (int pos = static_cast<int>(heap.size()) - 1; pos >= 0; --pos) {
+    out[pos] = {heap.top().index, heap.top().distance};
+    heap.pop();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Neighbor> TopKEuclidean(const std::vector<std::vector<float>>& db,
+                                    const std::vector<float>& query, int k) {
+  T2H_CHECK_GE(k, 1);
+  return TopKGeneric(static_cast<int>(db.size()), k, [&](int i) {
+    const std::vector<float>& row = db[i];
+    T2H_CHECK_EQ(row.size(), query.size());
+    double acc = 0.0;
+    for (size_t j = 0; j < row.size(); ++j) {
+      const double diff = static_cast<double>(row[j]) - query[j];
+      acc += diff * diff;
+    }
+    return std::sqrt(acc);
+  });
+}
+
+std::vector<Neighbor> TopKHamming(const std::vector<Code>& db,
+                                  const Code& query, int k) {
+  T2H_CHECK_GE(k, 1);
+  return TopKGeneric(static_cast<int>(db.size()), k, [&](int i) {
+    return static_cast<double>(HammingDistance(db[i], query));
+  });
+}
+
+}  // namespace traj2hash::search

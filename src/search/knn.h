@@ -1,0 +1,28 @@
+#ifndef TRAJ2HASH_SEARCH_KNN_H_
+#define TRAJ2HASH_SEARCH_KNN_H_
+
+#include <vector>
+
+#include "search/code.h"
+
+namespace traj2hash::search {
+
+/// One retrieved database entry.
+struct Neighbor {
+  int index = -1;
+  double distance = 0.0;
+};
+
+/// Brute-force top-k by Euclidean distance over dense embeddings
+/// (the paper's Euclidean-BF strategy). `db` holds row-major embeddings of
+/// equal length; ties broken by lower index. k is clamped to db size.
+std::vector<Neighbor> TopKEuclidean(const std::vector<std::vector<float>>& db,
+                                    const std::vector<float>& query, int k);
+
+/// Brute-force top-k by Hamming distance over binary codes (Hamming-BF).
+std::vector<Neighbor> TopKHamming(const std::vector<Code>& db,
+                                  const Code& query, int k);
+
+}  // namespace traj2hash::search
+
+#endif  // TRAJ2HASH_SEARCH_KNN_H_

@@ -1,0 +1,113 @@
+#include "search/vptree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace traj2hash::search {
+namespace {
+
+/// Worse-first ordering for the candidate heap: larger distance first,
+/// then larger index, so the heap's front is the entry to evict.
+bool WorseThan(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.index < b.index;
+}
+
+}  // namespace
+
+VpTree::VpTree(std::vector<std::vector<float>> embeddings, Rng& rng)
+    : points_(std::move(embeddings)) {
+  T2H_CHECK(!points_.empty());
+  const size_t width = points_[0].size();
+  for (const auto& p : points_) T2H_CHECK_EQ(p.size(), width);
+  std::vector<int> ids(points_.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int>(i);
+  nodes_.reserve(points_.size());
+  root_ = Build(ids, 0, static_cast<int>(ids.size()), rng);
+}
+
+double VpTree::DistanceTo(int point, const std::vector<float>& query) const {
+  const std::vector<float>& p = points_[point];
+  T2H_CHECK_EQ(p.size(), query.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    const double diff = static_cast<double>(p[i]) - query[i];
+    acc += diff * diff;
+  }
+  ++last_distance_evals_;
+  return std::sqrt(acc);
+}
+
+int VpTree::Build(std::vector<int>& ids, int lo, int hi, Rng& rng) {
+  if (lo >= hi) return -1;
+  const int node_idx = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  // Random vantage point, swapped to the front of the range.
+  std::swap(ids[lo], ids[rng.UniformInt(lo, hi - 1)]);
+  const int vp = ids[lo];
+  nodes_[node_idx].point = vp;
+  if (hi - lo == 1) return node_idx;
+
+  // Median split of the remaining points by distance to the vantage point.
+  const int mid = lo + 1 + (hi - lo - 1) / 2;
+  std::nth_element(ids.begin() + lo + 1, ids.begin() + mid, ids.begin() + hi,
+                   [&](int a, int b) {
+                     return DistanceTo(a, points_[vp]) <
+                            DistanceTo(b, points_[vp]);
+                   });
+  const double radius = DistanceTo(ids[mid], points_[vp]);
+  // Children created after the split; node vector may reallocate, so write
+  // through the index, not a reference.
+  const int inside = Build(ids, lo + 1, mid + 1, rng);
+  const int outside = Build(ids, mid + 1, hi, rng);
+  nodes_[node_idx].radius = radius;
+  nodes_[node_idx].inside = inside;
+  nodes_[node_idx].outside = outside;
+  return node_idx;
+}
+
+void VpTree::Search(int node, const std::vector<float>& query, int k,
+                    std::vector<Neighbor>& heap, double& tau) const {
+  if (node < 0) return;
+  const Node& n = nodes_[node];
+  const double d = DistanceTo(n.point, query);
+  const Neighbor candidate{n.point, d};
+  if (static_cast<int>(heap.size()) < k) {
+    heap.push_back(candidate);
+    std::push_heap(heap.begin(), heap.end(), WorseThan);
+    if (static_cast<int>(heap.size()) == k) tau = heap.front().distance;
+  } else if (WorseThan(candidate, heap.front())) {
+    std::pop_heap(heap.begin(), heap.end(), WorseThan);
+    heap.back() = candidate;
+    std::push_heap(heap.begin(), heap.end(), WorseThan);
+    tau = heap.front().distance;
+  }
+  if (n.inside < 0 && n.outside < 0) return;
+  // Visit the more promising side first; prune the other when no point in
+  // it can be within tau (<= keeps boundary ties visitable).
+  if (d < n.radius) {
+    Search(n.inside, query, k, heap, tau);
+    if (n.radius - d <= tau) Search(n.outside, query, k, heap, tau);
+  } else {
+    Search(n.outside, query, k, heap, tau);
+    if (d - n.radius <= tau) Search(n.inside, query, k, heap, tau);
+  }
+}
+
+std::vector<Neighbor> VpTree::TopK(const std::vector<float>& query,
+                                   int k) const {
+  T2H_CHECK_GE(k, 1);
+  last_distance_evals_ = 0;
+  k = std::min(k, size());
+  std::vector<Neighbor> heap;
+  heap.reserve(k);
+  double tau = std::numeric_limits<double>::infinity();
+  Search(root_, query, k, heap, tau);
+  std::sort_heap(heap.begin(), heap.end(), WorseThan);
+  return heap;
+}
+
+}  // namespace traj2hash::search

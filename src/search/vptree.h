@@ -1,0 +1,58 @@
+#ifndef TRAJ2HASH_SEARCH_VPTREE_H_
+#define TRAJ2HASH_SEARCH_VPTREE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "search/knn.h"
+
+namespace traj2hash::search {
+
+/// Vantage-point tree over dense embeddings for exact Euclidean k-NN with
+/// triangle-inequality pruning.
+///
+/// The paper motivates Traj2Hash partly by the observation that neural
+/// similarity methods "calculate all the distances between the query ... and
+/// the trajectories in the database", i.e. they lack "a data structure ...
+/// to organize the latent space for pruning" (§I). Hamming codes are the
+/// paper's answer; this VP-tree is the classical metric-space alternative
+/// for the Euclidean side, provided so Euclidean-space retrieval does not
+/// have to be a linear scan either.
+class VpTree {
+ public:
+  /// Builds the tree over row-major embeddings (all the same width).
+  /// `rng` drives vantage-point selection.
+  VpTree(std::vector<std::vector<float>> embeddings, Rng& rng);
+
+  /// Exact k nearest neighbours of `query` by Euclidean distance; identical
+  /// results (including tie order) to TopKEuclidean.
+  std::vector<Neighbor> TopK(const std::vector<float>& query, int k) const;
+
+  int size() const { return static_cast<int>(points_.size()); }
+
+  /// Number of distance evaluations during the last TopK call (single
+  /// query); exposes the pruning power for tests and benches.
+  int last_distance_evals() const { return last_distance_evals_; }
+
+ private:
+  struct Node {
+    int point = -1;        ///< vantage point (index into points_)
+    double radius = 0.0;   ///< median distance to the subtree's points
+    int inside = -1;       ///< child covering distance <= radius
+    int outside = -1;      ///< child covering distance > radius
+  };
+
+  int Build(std::vector<int>& ids, int lo, int hi, Rng& rng);
+  void Search(int node, const std::vector<float>& query, int k,
+              std::vector<Neighbor>& heap, double& tau) const;
+  double DistanceTo(int point, const std::vector<float>& query) const;
+
+  std::vector<std::vector<float>> points_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  mutable int last_distance_evals_ = 0;
+};
+
+}  // namespace traj2hash::search
+
+#endif  // TRAJ2HASH_SEARCH_VPTREE_H_

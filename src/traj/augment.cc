@@ -1,0 +1,28 @@
+#include "traj/augment.h"
+
+namespace traj2hash::traj {
+
+Trajectory DropPoints(const Trajectory& t, double rate, Rng& rng) {
+  Trajectory out;
+  out.id = t.id;
+  if (t.empty()) return out;
+  out.points.push_back(t.points.front());
+  for (size_t i = 1; i + 1 < t.points.size(); ++i) {
+    if (!rng.Bernoulli(rate)) out.points.push_back(t.points[i]);
+  }
+  if (t.size() > 1) out.points.push_back(t.points.back());
+  return out;
+}
+
+Trajectory Distort(const Trajectory& t, double stddev_m, Rng& rng) {
+  Trajectory out;
+  out.id = t.id;
+  out.points.reserve(t.points.size());
+  for (const Point& p : t.points) {
+    out.points.push_back(
+        Point{p.x + rng.Gaussian(stddev_m), p.y + rng.Gaussian(stddev_m)});
+  }
+  return out;
+}
+
+}  // namespace traj2hash::traj

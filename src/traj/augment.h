@@ -1,0 +1,19 @@
+#ifndef TRAJ2HASH_TRAJ_AUGMENT_H_
+#define TRAJ2HASH_TRAJ_AUGMENT_H_
+
+#include "common/rng.h"
+#include "traj/trajectory.h"
+
+namespace traj2hash::traj {
+
+/// Randomly removes interior points with probability `rate`, always keeping
+/// the first and last point (t2vec/CL-TSim's "dropping" augmentation).
+Trajectory DropPoints(const Trajectory& t, double rate, Rng& rng);
+
+/// Adds Gaussian jitter of `stddev_m` metres to every point (the
+/// "distorting" augmentation).
+Trajectory Distort(const Trajectory& t, double stddev_m, Rng& rng);
+
+}  // namespace traj2hash::traj
+
+#endif  // TRAJ2HASH_TRAJ_AUGMENT_H_

@@ -1,0 +1,70 @@
+#include "traj/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace traj2hash::traj {
+
+Result<Grid> Grid::Create(const BoundingBox& box, double cell_size) {
+  if (cell_size <= 0.0) {
+    return Status::InvalidArgument("cell_size must be positive");
+  }
+  if (box.Width() < 0.0 || box.Height() < 0.0) {
+    return Status::InvalidArgument("bounding box is inverted");
+  }
+  // Pad by one cell on every side so CellOf never lands on the exclusive
+  // upper border for points exactly on the box boundary.
+  const double origin_x = box.min_x - cell_size;
+  const double origin_y = box.min_y - cell_size;
+  const int num_x =
+      static_cast<int>(std::ceil(box.Width() / cell_size)) + 2;
+  const int num_y =
+      static_cast<int>(std::ceil(box.Height() / cell_size)) + 2;
+  return Grid(origin_x, origin_y, cell_size, num_x, num_y);
+}
+
+Cell Grid::CellOf(const Point& p) const {
+  int cx = static_cast<int>(std::floor((p.x - origin_x_) / cell_size_));
+  int cy = static_cast<int>(std::floor((p.y - origin_y_) / cell_size_));
+  cx = std::clamp(cx, 0, num_x_ - 1);
+  cy = std::clamp(cy, 0, num_y_ - 1);
+  return Cell{cx, cy};
+}
+
+Point Grid::CellCenter(const Cell& c) const {
+  return Point{origin_x_ + (c.x + 0.5) * cell_size_,
+               origin_y_ + (c.y + 0.5) * cell_size_};
+}
+
+GridTrajectory Grid::Map(const Trajectory& t, bool dedup_consecutive) const {
+  GridTrajectory g;
+  g.id = t.id;
+  g.cells.reserve(t.points.size());
+  for (const Point& p : t.points) {
+    Cell c = CellOf(p);
+    if (dedup_consecutive && !g.cells.empty() && g.cells.back() == c) {
+      continue;
+    }
+    g.cells.push_back(c);
+  }
+  return g;
+}
+
+int64_t Grid::FlatId(const Cell& c) const {
+  T2H_CHECK(c.x >= 0 && c.x < num_x_ && c.y >= 0 && c.y < num_y_);
+  return static_cast<int64_t>(c.y) * num_x_ + c.x;
+}
+
+std::string Grid::SequenceKey(const GridTrajectory& g) const {
+  std::string key;
+  key.reserve(g.cells.size() * 8);
+  for (const Cell& c : g.cells) {
+    key += std::to_string(FlatId(c));
+    key += ',';
+  }
+  return key;
+}
+
+}  // namespace traj2hash::traj

@@ -1,0 +1,84 @@
+#ifndef TRAJ2HASH_TRAJ_GRID_H_
+#define TRAJ2HASH_TRAJ_GRID_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "traj/trajectory.h"
+
+namespace traj2hash::traj {
+
+/// Integer grid cell coordinate (column `x`, row `y`).
+struct Cell {
+  int x = 0;
+  int y = 0;
+
+  friend bool operator==(const Cell&, const Cell&) = default;
+};
+
+/// A grid trajectory (Definition 2): the sequence of cells visited by a GPS
+/// trajectory under a uniform partition of the studied space.
+struct GridTrajectory {
+  int64_t id = 0;
+  std::vector<Cell> cells;
+
+  int size() const { return static_cast<int>(cells.size()); }
+};
+
+/// Uniform partition of the studied space into equal-size square cells.
+///
+/// The paper uses two grids: a fine 50 m grid feeding the light-weight grid
+/// representation encoder, and a coarse 500 m grid for fast triplet
+/// generation. Both are instances of this class.
+class Grid {
+ public:
+  /// Builds a grid of `cell_size` metres covering `box` (which is padded by
+  /// one cell on every side so boundary points fall strictly inside).
+  /// Returns InvalidArgument for non-positive cell sizes or an empty box.
+  static Result<Grid> Create(const BoundingBox& box, double cell_size);
+
+  /// Cell containing `p`. Points outside the construction box are clamped to
+  /// the border cells, so every point maps to a valid cell.
+  Cell CellOf(const Point& p) const;
+
+  /// Centre of a cell in metres.
+  Point CellCenter(const Cell& c) const;
+
+  /// Maps a GPS trajectory to its grid trajectory. When
+  /// `dedup_consecutive` is true, runs of identical consecutive cells are
+  /// collapsed to a single cell (used by the triplet generator and Fresh).
+  GridTrajectory Map(const Trajectory& t, bool dedup_consecutive = false) const;
+
+  /// Flat cell id `y * num_x + x`, unique within this grid.
+  int64_t FlatId(const Cell& c) const;
+
+  /// A hashable string key for a (deduped) grid trajectory; two GPS
+  /// trajectories with equal keys share the same coarse cell sequence, which
+  /// is the clustering criterion of the fast triplet generation (SIV-F).
+  std::string SequenceKey(const GridTrajectory& g) const;
+
+  int num_x() const { return num_x_; }
+  int num_y() const { return num_y_; }
+  double cell_size() const { return cell_size_; }
+
+ private:
+  Grid(double origin_x, double origin_y, double cell_size, int num_x,
+       int num_y)
+      : origin_x_(origin_x),
+        origin_y_(origin_y),
+        cell_size_(cell_size),
+        num_x_(num_x),
+        num_y_(num_y) {}
+
+  double origin_x_;
+  double origin_y_;
+  double cell_size_;
+  int num_x_;
+  int num_y_;
+};
+
+}  // namespace traj2hash::traj
+
+#endif  // TRAJ2HASH_TRAJ_GRID_H_

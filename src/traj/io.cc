@@ -1,0 +1,77 @@
+#include "traj/io.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace traj2hash::traj {
+
+Status SaveCsv(const std::vector<Trajectory>& ts, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << "# traj2hash trajectories: id,x1,y1,x2,y2,...\n";
+  char buf[64];
+  for (const Trajectory& t : ts) {
+    out << t.id;
+    for (const Point& p : t.points) {
+      std::snprintf(buf, sizeof(buf), ",%.2f,%.2f", p.x, p.y);
+      out << buf;
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<std::vector<Trajectory>> LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::vector<Trajectory> out;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::stringstream ss(line);
+    std::string field;
+    Trajectory t;
+    if (!std::getline(ss, field, ',')) continue;
+    char* end = nullptr;
+    t.id = std::strtoll(field.c_str(), &end, 10);
+    if (end == field.c_str()) {
+      return Status::InvalidArgument("bad id at line " +
+                                     std::to_string(line_no));
+    }
+    std::vector<double> values;
+    while (std::getline(ss, field, ',')) {
+      end = nullptr;
+      const double v = std::strtod(field.c_str(), &end);
+      if (end == field.c_str()) {
+        return Status::InvalidArgument("bad coordinate at line " +
+                                       std::to_string(line_no));
+      }
+      values.push_back(v);
+    }
+    if (values.size() % 2 != 0) {
+      return Status::InvalidArgument("odd coordinate count at line " +
+                                     std::to_string(line_no));
+    }
+    for (size_t i = 0; i + 1 < values.size(); i += 2) {
+      t.points.push_back(Point{values[i], values[i + 1]});
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+Point ProjectLatLon(double lat, double lon, double lat0, double lon0) {
+  constexpr double kEarthRadiusM = 6371000.0;
+  constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+  const double x =
+      (lon - lon0) * kDegToRad * kEarthRadiusM * std::cos(lat0 * kDegToRad);
+  const double y = (lat - lat0) * kDegToRad * kEarthRadiusM;
+  return Point{x, y};
+}
+
+}  // namespace traj2hash::traj

@@ -1,0 +1,30 @@
+#ifndef TRAJ2HASH_TRAJ_IO_H_
+#define TRAJ2HASH_TRAJ_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "traj/trajectory.h"
+
+namespace traj2hash::traj {
+
+/// Saves trajectories as CSV, one trajectory per line:
+///   id,x1,y1,x2,y2,...
+/// Coordinates are written in metres with centimetre precision.
+Status SaveCsv(const std::vector<Trajectory>& ts, const std::string& path);
+
+/// Loads trajectories from the CSV format written by SaveCsv. Lines that are
+/// empty or start with '#' are skipped. Returns IoError if the file cannot
+/// be opened and InvalidArgument on malformed rows.
+Result<std::vector<Trajectory>> LoadCsv(const std::string& path);
+
+/// Projects a (lat, lon) degree pair to local planar metres with an
+/// equirectangular projection anchored at (lat0, lon0). Adequate at city
+/// scale (worst-case distortion well under the 50 m grid resolution), which
+/// is how external datasets such as Porto can be fed into this library.
+Point ProjectLatLon(double lat, double lon, double lat0, double lon0);
+
+}  // namespace traj2hash::traj
+
+#endif  // TRAJ2HASH_TRAJ_IO_H_

@@ -1,0 +1,45 @@
+#include "traj/normalizer.h"
+
+#include <cmath>
+
+namespace traj2hash::traj {
+
+void Normalizer::Fit(const std::vector<Trajectory>& ts) {
+  double sum_x = 0.0, sum_y = 0.0;
+  int64_t n = 0;
+  for (const Trajectory& t : ts) {
+    for (const Point& p : t.points) {
+      sum_x += p.x;
+      sum_y += p.y;
+      ++n;
+    }
+  }
+  if (n == 0) return;
+  mean_x_ = sum_x / static_cast<double>(n);
+  mean_y_ = sum_y / static_cast<double>(n);
+
+  double var_x = 0.0, var_y = 0.0;
+  for (const Trajectory& t : ts) {
+    for (const Point& p : t.points) {
+      var_x += (p.x - mean_x_) * (p.x - mean_x_);
+      var_y += (p.y - mean_y_) * (p.y - mean_y_);
+    }
+  }
+  var_x /= static_cast<double>(n);
+  var_y /= static_cast<double>(n);
+  std_x_ = var_x > 0.0 ? std::sqrt(var_x) : 1.0;
+  std_y_ = var_y > 0.0 ? std::sqrt(var_y) : 1.0;
+}
+
+Point Normalizer::Apply(const Point& p) const {
+  return Point{(p.x - mean_x_) / std_x_, (p.y - mean_y_) / std_y_};
+}
+
+std::vector<Point> Normalizer::Apply(const Trajectory& t) const {
+  std::vector<Point> out;
+  out.reserve(t.points.size());
+  for (const Point& p : t.points) out.push_back(Apply(p));
+  return out;
+}
+
+}  // namespace traj2hash::traj

@@ -1,0 +1,41 @@
+#ifndef TRAJ2HASH_TRAJ_NORMALIZER_H_
+#define TRAJ2HASH_TRAJ_NORMALIZER_H_
+
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace traj2hash::traj {
+
+/// Gaussian (mean / standard deviation) normaliser for GPS coordinates, as
+/// used by the attention-based trajectory encoder (Eq. 10: "Normalize is to
+/// normalize the features via mean and standard variance").
+class Normalizer {
+ public:
+  /// Identity transform until Fit() is called.
+  Normalizer() = default;
+
+  /// Estimates per-axis mean and standard deviation over all points of all
+  /// trajectories. A degenerate axis (zero variance) keeps stddev = 1 so the
+  /// transform stays finite.
+  void Fit(const std::vector<Trajectory>& ts);
+
+  /// Normalised coordinates of a point.
+  Point Apply(const Point& p) const;
+
+  /// Normalises every point of a trajectory.
+  std::vector<Point> Apply(const Trajectory& t) const;
+
+  double mean_x() const { return mean_x_; }
+  double mean_y() const { return mean_y_; }
+  double std_x() const { return std_x_; }
+  double std_y() const { return std_y_; }
+
+ private:
+  double mean_x_ = 0.0, mean_y_ = 0.0;
+  double std_x_ = 1.0, std_y_ = 1.0;
+};
+
+}  // namespace traj2hash::traj
+
+#endif  // TRAJ2HASH_TRAJ_NORMALIZER_H_

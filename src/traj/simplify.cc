@@ -1,0 +1,86 @@
+#include "traj/simplify.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace traj2hash::traj {
+
+double SegmentDistance(const Point& p, const Point& a, const Point& b) {
+  const double abx = b.x - a.x;
+  const double aby = b.y - a.y;
+  const double len_sq = abx * abx + aby * aby;
+  if (len_sq == 0.0) return Distance(p, a);
+  // Projection parameter clamped to the segment.
+  double t = ((p.x - a.x) * abx + (p.y - a.y) * aby) / len_sq;
+  t = std::clamp(t, 0.0, 1.0);
+  const Point closest{a.x + t * abx, a.y + t * aby};
+  return Distance(p, closest);
+}
+
+namespace {
+
+/// Marks kept points for the range [lo, hi] (inclusive endpoints already
+/// marked). Explicit stack — raw GPS traces can be long.
+void MarkKeepers(const std::vector<Point>& pts, double epsilon,
+                 std::vector<bool>& keep) {
+  std::vector<std::pair<int, int>> stack = {
+      {0, static_cast<int>(pts.size()) - 1}};
+  while (!stack.empty()) {
+    const auto [lo, hi] = stack.back();
+    stack.pop_back();
+    if (hi - lo < 2) continue;
+    double worst = -1.0;
+    int split = -1;
+    for (int i = lo + 1; i < hi; ++i) {
+      const double d = SegmentDistance(pts[i], pts[lo], pts[hi]);
+      if (d > worst) {
+        worst = d;
+        split = i;
+      }
+    }
+    if (worst > epsilon) {
+      keep[split] = true;
+      stack.push_back({lo, split});
+      stack.push_back({split, hi});
+    }
+  }
+}
+
+}  // namespace
+
+Trajectory DouglasPeucker(const Trajectory& t, double epsilon_m) {
+  T2H_CHECK_GE(epsilon_m, 0.0);
+  Trajectory out;
+  out.id = t.id;
+  if (t.size() <= 2) {
+    out.points = t.points;
+    return out;
+  }
+  std::vector<bool> keep(t.points.size(), false);
+  keep.front() = keep.back() = true;
+  MarkKeepers(t.points, epsilon_m, keep);
+  for (size_t i = 0; i < t.points.size(); ++i) {
+    if (keep[i]) out.points.push_back(t.points[i]);
+  }
+  return out;
+}
+
+double SimplificationError(const Trajectory& original,
+                           const Trajectory& simplified) {
+  T2H_CHECK(!original.empty() && !simplified.empty());
+  double worst = 0.0;
+  for (const Point& p : original.points) {
+    double best = Distance(p, simplified.points[0]);
+    for (size_t i = 1; i < simplified.points.size(); ++i) {
+      best = std::min(best, SegmentDistance(p, simplified.points[i - 1],
+                                            simplified.points[i]));
+    }
+    worst = std::max(worst, best);
+  }
+  return worst;
+}
+
+}  // namespace traj2hash::traj

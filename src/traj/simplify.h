@@ -1,0 +1,28 @@
+#ifndef TRAJ2HASH_TRAJ_SIMPLIFY_H_
+#define TRAJ2HASH_TRAJ_SIMPLIFY_H_
+
+#include "traj/trajectory.h"
+
+namespace traj2hash::traj {
+
+/// Perpendicular distance from `p` to the segment (a, b); degenerates to
+/// point distance when a == b.
+double SegmentDistance(const Point& p, const Point& a, const Point& b);
+
+/// Douglas-Peucker polyline simplification: keeps the endpoints and every
+/// point whose removal would move the polyline by more than `epsilon_m`
+/// metres. Classic trajectory preprocessing for feeding long raw GPS traces
+/// into the encoders without resampling artefacts; endpoints are always
+/// preserved, so the Lemma 1 lower bound of the simplified trajectory
+/// matches the original's.
+Trajectory DouglasPeucker(const Trajectory& t, double epsilon_m);
+
+/// Maximum perpendicular deviation of `original` from the polyline
+/// `simplified` (the simplification error; <= epsilon_m for DouglasPeucker
+/// output). Both trajectories must be non-empty.
+double SimplificationError(const Trajectory& original,
+                           const Trajectory& simplified);
+
+}  // namespace traj2hash::traj
+
+#endif  // TRAJ2HASH_TRAJ_SIMPLIFY_H_

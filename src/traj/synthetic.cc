@@ -1,0 +1,120 @@
+#include "traj/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace traj2hash::traj {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Snaps an angle to the nearest multiple of pi/2 (street-grid movement).
+double SnapToAxis(double angle) {
+  return std::round(angle / (kPi / 2.0)) * (kPi / 2.0);
+}
+
+Point ClampToBox(Point p, const CityConfig& cfg) {
+  p.x = std::clamp(p.x, 0.0, cfg.width_m);
+  p.y = std::clamp(p.y, 0.0, cfg.height_m);
+  return p;
+}
+
+/// One trip between two endpoints; may come out shorter than min_points if
+/// origin and destination are close, in which case the caller retries.
+Trajectory GenerateOneTrip(const CityConfig& cfg,
+                           const std::vector<Point>& hubs, Rng& rng) {
+  const Point& origin_hub = hubs[rng.UniformInt(0, cfg.num_hubs - 1)];
+  const Point& dest_hub = hubs[rng.UniformInt(0, cfg.num_hubs - 1)];
+  Point pos = ClampToBox(Point{origin_hub.x + rng.Gaussian(cfg.hub_spread_m),
+                               origin_hub.y + rng.Gaussian(cfg.hub_spread_m)},
+                         cfg);
+  const Point dest =
+      ClampToBox(Point{dest_hub.x + rng.Gaussian(cfg.hub_spread_m),
+                       dest_hub.y + rng.Gaussian(cfg.hub_spread_m)},
+                 cfg);
+
+  Trajectory t;
+  double heading = std::atan2(dest.y - pos.y, dest.x - pos.x);
+  for (int step = 0; step < cfg.max_points; ++step) {
+    t.points.push_back(Point{pos.x + rng.Gaussian(cfg.gps_noise_m),
+                             pos.y + rng.Gaussian(cfg.gps_noise_m)});
+    if (Distance(pos, dest) < cfg.step_m) break;
+    // Blend the current heading toward the destination bearing, add jitter,
+    // and optionally snap to an axis to imitate a street grid.
+    const double target = std::atan2(dest.y - pos.y, dest.x - pos.x);
+    double delta = std::remainder(target - heading, 2.0 * kPi);
+    heading += 0.45 * delta + rng.Gaussian(cfg.heading_noise);
+    double move_heading = heading;
+    if (rng.Bernoulli(cfg.grid_bias)) move_heading = SnapToAxis(heading);
+    const double step_len = cfg.step_m * (0.6 + 0.8 * rng.Uniform(0.0, 1.0));
+    pos = ClampToBox(Point{pos.x + step_len * std::cos(move_heading),
+                           pos.y + step_len * std::sin(move_heading)},
+                     cfg);
+  }
+  return t;
+}
+
+}  // namespace
+
+CityConfig CityConfig::PortoLike() {
+  CityConfig cfg;
+  cfg.name = "Porto";
+  cfg.width_m = 15000.0;
+  cfg.height_m = 10000.0;
+  cfg.num_hubs = 6;
+  cfg.heading_noise = 0.40;
+  cfg.grid_bias = 0.0;
+  return cfg;
+}
+
+CityConfig CityConfig::ChengduLike() {
+  CityConfig cfg;
+  cfg.name = "ChengDu";
+  cfg.width_m = 20000.0;
+  cfg.height_m = 20000.0;
+  cfg.num_hubs = 8;
+  cfg.heading_noise = 0.20;
+  cfg.grid_bias = 0.55;
+  return cfg;
+}
+
+std::vector<Trajectory> GenerateTrips(const CityConfig& config, int n,
+                                      Rng& rng) {
+  T2H_CHECK_GT(config.num_hubs, 0);
+  T2H_CHECK_GE(config.max_points, config.min_points);
+  std::vector<Point> hubs;
+  hubs.reserve(config.num_hubs);
+  for (int i = 0; i < config.num_hubs; ++i) {
+    hubs.push_back(Point{rng.Uniform(0.15, 0.85) * config.width_m,
+                         rng.Uniform(0.15, 0.85) * config.height_m});
+  }
+  std::vector<Trajectory> out;
+  out.reserve(n);
+  while (static_cast<int>(out.size()) < n) {
+    Trajectory t = GenerateOneTrip(config, hubs, rng);
+    if (t.size() < config.min_points) continue;  // paper's length filter
+    t.id = static_cast<int64_t>(out.size());
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+Trajectory Downsample(const Trajectory& t, int max_points) {
+  T2H_CHECK_GE(max_points, 2);
+  if (t.size() <= max_points) return t;
+  Trajectory out;
+  out.id = t.id;
+  out.points.reserve(max_points);
+  const int n = t.size();
+  for (int i = 0; i < max_points; ++i) {
+    // Evenly spaced indices with both endpoints included.
+    const int idx = static_cast<int>(
+        std::llround(static_cast<double>(i) * (n - 1) / (max_points - 1)));
+    out.points.push_back(t.points[idx]);
+  }
+  return out;
+}
+
+}  // namespace traj2hash::traj

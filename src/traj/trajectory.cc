@@ -1,0 +1,53 @@
+#include "traj/trajectory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace traj2hash::traj {
+
+double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+Trajectory Reversed(const Trajectory& t) {
+  Trajectory r;
+  r.id = t.id;
+  r.points.assign(t.points.rbegin(), t.points.rend());
+  return r;
+}
+
+double PathLength(const Trajectory& t) {
+  double total = 0.0;
+  for (size_t i = 1; i < t.points.size(); ++i) {
+    total += Distance(t.points[i - 1], t.points[i]);
+  }
+  return total;
+}
+
+BoundingBox ComputeBoundingBox(const std::vector<Trajectory>& ts) {
+  BoundingBox box;
+  bool first = true;
+  for (const Trajectory& t : ts) {
+    for (const Point& p : t.points) {
+      if (first) {
+        box = {p.x, p.y, p.x, p.y};
+        first = false;
+      } else {
+        box.min_x = std::min(box.min_x, p.x);
+        box.min_y = std::min(box.min_y, p.y);
+        box.max_x = std::max(box.max_x, p.x);
+        box.max_y = std::max(box.max_y, p.y);
+      }
+    }
+  }
+  return box;
+}
+
+}  // namespace traj2hash::traj

@@ -1,0 +1,59 @@
+#ifndef TRAJ2HASH_TRAJ_TRAJECTORY_H_
+#define TRAJ2HASH_TRAJ_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace traj2hash::traj {
+
+/// A 2-D location in local planar coordinates (metres). The paper works on
+/// GPS (lat, lon); this library projects to a local tangent plane up front
+/// (see io.h) so that grid cells and distances are metric, matching the
+/// paper's "50m x 50m cells" preprocessing.
+struct Point {
+  double x = 0.0;  ///< metres east of the studied area's origin
+  double y = 0.0;  ///< metres north of the studied area's origin
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Squared Euclidean distance between two points.
+double SquaredDistance(const Point& a, const Point& b);
+
+/// Euclidean distance between two points.
+double Distance(const Point& a, const Point& b);
+
+/// A GPS trajectory (Definition 1) with temporal information dropped, as in
+/// the paper ("we only consider the spatial trajectory").
+struct Trajectory {
+  int64_t id = 0;
+  std::vector<Point> points;
+
+  int size() const { return static_cast<int>(points.size()); }
+  bool empty() const { return points.empty(); }
+};
+
+/// Returns the reversed version `T_r` of a trajectory (Definition 4).
+Trajectory Reversed(const Trajectory& t);
+
+/// Total polyline length in metres.
+double PathLength(const Trajectory& t);
+
+/// Axis-aligned bounding box of a set of trajectories.
+struct BoundingBox {
+  double min_x = 0.0, min_y = 0.0, max_x = 0.0, max_y = 0.0;
+
+  double Width() const { return max_x - min_x; }
+  double Height() const { return max_y - min_y; }
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+};
+
+/// Computes the bounding box over all points of all trajectories.
+/// Returns a zero box for empty input.
+BoundingBox ComputeBoundingBox(const std::vector<Trajectory>& ts);
+
+}  // namespace traj2hash::traj
+
+#endif  // TRAJ2HASH_TRAJ_TRAJECTORY_H_

@@ -1,0 +1,147 @@
+// Shape/parameter/behaviour tests for the GRU and Transformer baselines plus
+// the shared WMSE metric trainer.
+
+#include <gtest/gtest.h>
+
+#include "baselines/metric_trainer.h"
+#include "eval/metrics.h"
+#include "baselines/neutraj.h"
+#include "baselines/transformer.h"
+#include "distance/distance.h"
+#include "traj/synthetic.h"
+
+namespace traj2hash::baselines {
+namespace {
+
+struct Env {
+  std::vector<traj::Trajectory> corpus;
+  traj::Normalizer normalizer;
+  traj::Grid grid = traj::Grid::Create({0, 0, 1, 1}, 1.0).value();
+};
+
+Env MakeEnv(int n = 40, uint64_t seed = 31) {
+  Env env;
+  Rng rng(seed);
+  traj::CityConfig city = traj::CityConfig::PortoLike();
+  city.max_points = 12;
+  env.corpus = GenerateTrips(city, n, rng);
+  env.normalizer.Fit(env.corpus);
+  env.grid =
+      traj::Grid::Create(traj::ComputeBoundingBox(env.corpus), 50.0).value();
+  return env;
+}
+
+TEST(GruTrajEncoderTest, EmbeddingShapeAndName) {
+  Env env = MakeEnv(5);
+  Rng rng(1);
+  GruTrajEncoder enc(12, &env.normalizer, rng);
+  EXPECT_EQ(enc.dim(), 12);
+  EXPECT_EQ(enc.name(), "NT-No-SAM");
+  EXPECT_EQ(enc.Embed(env.corpus[0]).size(), 12u);
+}
+
+TEST(GruTrajEncoderTest, DifferentTrajectoriesDifferentEmbeddings) {
+  Env env = MakeEnv(5);
+  Rng rng(2);
+  GruTrajEncoder enc(12, &env.normalizer, rng);
+  EXPECT_NE(enc.Embed(env.corpus[0]), enc.Embed(env.corpus[1]));
+}
+
+TEST(NeuTrajEncoderTest, MemoryPopulatesAndInfluencesEncoding) {
+  Env env = MakeEnv(6);
+  Rng rng(3);
+  NeuTrajEncoder enc(12, &env.normalizer, &env.grid, rng);
+  // First pass: memory empty at start, populated afterwards.
+  const std::vector<float> first = enc.Embed(env.corpus[0]);
+  // Second pass over the same trajectory reads its own memory.
+  const std::vector<float> second = enc.Embed(env.corpus[0]);
+  EXPECT_EQ(first.size(), 12u);
+  // The gated memory read makes repeat encodings differ (state-dependent).
+  EXPECT_NE(first, second);
+  enc.ClearMemory();
+  const std::vector<float> third = enc.Embed(env.corpus[0]);
+  EXPECT_EQ(first, third);  // cleared memory reproduces the first pass
+}
+
+TEST(NeuTrajEncoderTest, HasMoreParametersThanPlainGru) {
+  Env env = MakeEnv(4);
+  Rng rng(4);
+  GruTrajEncoder plain(12, &env.normalizer, rng);
+  NeuTrajEncoder sam(12, &env.normalizer, &env.grid, rng);
+  EXPECT_GT(sam.TrainableParameters().size(),
+            plain.TrainableParameters().size());
+}
+
+TEST(TransformerEncoderTest, ReadOutVariantsNameAndShape) {
+  Env env = MakeEnv(4);
+  Rng rng(5);
+  TransformerEncoder cls(16, 1, 2, core::ReadOut::kCls, &env.normalizer, rng);
+  TransformerEncoder mean(16, 1, 2, core::ReadOut::kMean, &env.normalizer,
+                          rng);
+  TransformerEncoder lb(16, 1, 2, core::ReadOut::kLowerBound, &env.normalizer,
+                        rng);
+  EXPECT_EQ(cls.name(), "Transformer");
+  EXPECT_EQ(mean.name(), "Transformer-Mean");
+  EXPECT_EQ(lb.name(), "Transformer-LowerBound");
+  EXPECT_EQ(cls.Embed(env.corpus[0]).size(), 16u);
+  EXPECT_EQ(mean.Embed(env.corpus[0]).size(), 16u);
+  EXPECT_EQ(lb.Embed(env.corpus[0]).size(), 16u);
+}
+
+TEST(MetricTrainerTest, RejectsBadData) {
+  Env env = MakeEnv(8);
+  Rng rng(6);
+  GruTrajEncoder enc(8, &env.normalizer, rng);
+  MetricTrainOptions opt;
+  std::vector<traj::Trajectory> seeds(env.corpus.begin(),
+                                      env.corpus.begin() + 8);
+  EXPECT_FALSE(
+      TrainMetric(&enc, seeds, {1.0, 2.0}, {}, {}, {}, opt, rng).ok());
+}
+
+TEST(MetricTrainerTest, WmseLossDecreases) {
+  Env env = MakeEnv(24);
+  Rng rng(7);
+  GruTrajEncoder enc(8, &env.normalizer, rng);
+  std::vector<traj::Trajectory> seeds(env.corpus.begin(),
+                                      env.corpus.begin() + 24);
+  const auto distances =
+      dist::PairwiseMatrix(seeds, dist::GetDistance(dist::Measure::kFrechet));
+  MetricTrainOptions opt;
+  opt.epochs = 6;
+  opt.samples_per_anchor = 6;
+  opt.batch_size = 8;
+  const auto report = TrainMetric(&enc, seeds, distances, {}, {}, {}, opt, rng);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const auto& losses = report.value().epoch_losses;
+  ASSERT_EQ(losses.size(), 6u);
+  EXPECT_LT(losses.back(), losses.front());
+}
+
+TEST(MetricTrainerTest, ValidationSelectsBestEpoch) {
+  Env env = MakeEnv(48, 33);
+  Rng rng(8);
+  GruTrajEncoder enc(8, &env.normalizer, rng);
+  std::vector<traj::Trajectory> seeds(env.corpus.begin(),
+                                      env.corpus.begin() + 24);
+  const auto distances =
+      dist::PairwiseMatrix(seeds, dist::GetDistance(dist::Measure::kDtw));
+  std::vector<traj::Trajectory> val_q(env.corpus.begin() + 24,
+                                      env.corpus.begin() + 30);
+  std::vector<traj::Trajectory> val_db(env.corpus.begin() + 24,
+                                       env.corpus.end());
+  const auto truth = eval::ExactTopK(val_q, val_db,
+                                     dist::GetDistance(dist::Measure::kDtw),
+                                     50);
+  MetricTrainOptions opt;
+  opt.epochs = 3;
+  opt.samples_per_anchor = 6;
+  const auto report =
+      TrainMetric(&enc, seeds, distances, val_q, val_db, truth, opt, rng);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report.value().best_epoch, 0);
+  EXPECT_GE(report.value().best_val_hr10, 0.0);
+}
+
+}  // namespace
+}  // namespace traj2hash::baselines

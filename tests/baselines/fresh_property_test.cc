@@ -1,0 +1,91 @@
+// Statistical property tests for Fresh LSH: collision probability must
+// decay with curve distance, averaged over many independent hash families
+// (the locality-sensitivity property the original paper proves for Frechet
+// balls).
+
+#include <gtest/gtest.h>
+
+#include "baselines/fresh.h"
+#include "traj/augment.h"
+
+namespace traj2hash::baselines {
+namespace {
+
+traj::Trajectory ZigZag(double scale) {
+  traj::Trajectory t;
+  for (int i = 0; i < 12; ++i) {
+    t.points.push_back(
+        {i * 400.0, (i % 2 == 0 ? 0.0 : 1.0) * scale + 200.0});
+  }
+  return t;
+}
+
+/// Mean normalised Hamming distance between the codes of `a` and `b` over
+/// `families` independent hash families.
+double MeanCodeDistance(const traj::Trajectory& a, const traj::Trajectory& b,
+                        int families) {
+  double total = 0.0;
+  for (int f = 0; f < families; ++f) {
+    Rng rng(1000 + f);
+    FreshLsh lsh(FreshOptions{}, rng);
+    total += static_cast<double>(
+                 search::HammingDistance(lsh.CodeOf(a), lsh.CodeOf(b))) /
+             lsh.num_bits();
+  }
+  return total / families;
+}
+
+TEST(FreshPropertyTest, CodeDistanceGrowsWithCurveDistance) {
+  const traj::Trajectory base = ZigZag(300.0);
+  Rng aug(5);
+  // Perturbations of increasing magnitude relative to the 1 km resolution.
+  const traj::Trajectory near = traj::Distort(base, 20.0, aug);
+  const traj::Trajectory mid = traj::Distort(base, 400.0, aug);
+  traj::Trajectory far = base;
+  for (traj::Point& p : far.points) {
+    p.x += 5000.0;
+    p.y += 7000.0;
+  }
+  const int families = 24;
+  const double d_near = MeanCodeDistance(base, near, families);
+  const double d_mid = MeanCodeDistance(base, mid, families);
+  const double d_far = MeanCodeDistance(base, far, families);
+  EXPECT_LT(d_near, d_mid);
+  EXPECT_LT(d_mid, d_far + 0.1);  // far curves saturate near random (~0.5)
+  EXPECT_LT(d_near, 0.3);
+  EXPECT_GT(d_far, 0.3);
+}
+
+TEST(FreshPropertyTest, IdenticalCurvesAlwaysCollide) {
+  const traj::Trajectory base = ZigZag(250.0);
+  for (int f = 0; f < 10; ++f) {
+    Rng rng(2000 + f);
+    FreshLsh lsh(FreshOptions{}, rng);
+    EXPECT_EQ(search::HammingDistance(lsh.CodeOf(base), lsh.CodeOf(base)), 0);
+  }
+}
+
+TEST(FreshPropertyTest, ResolutionControlsSensitivity) {
+  // Finer grids separate a 200 m perturbation more often than coarse grids.
+  const traj::Trajectory base = ZigZag(300.0);
+  Rng aug(6);
+  const traj::Trajectory moved = traj::Distort(base, 200.0, aug);
+  auto mean_distance = [&](double resolution) {
+    double total = 0.0;
+    const int families = 24;
+    for (int f = 0; f < families; ++f) {
+      Rng rng(3000 + f);
+      FreshOptions opt;
+      opt.resolution_m = resolution;
+      FreshLsh lsh(opt, rng);
+      total += static_cast<double>(search::HammingDistance(
+                   lsh.CodeOf(base), lsh.CodeOf(moved))) /
+               lsh.num_bits();
+    }
+    return total / families;
+  };
+  EXPECT_GT(mean_distance(250.0), mean_distance(4000.0));
+}
+
+}  // namespace
+}  // namespace traj2hash::baselines

@@ -1,0 +1,91 @@
+#include "baselines/fresh.h"
+
+#include <gtest/gtest.h>
+
+#include "traj/augment.h"
+#include "traj/synthetic.h"
+
+namespace traj2hash::baselines {
+namespace {
+
+TEST(FreshTest, CodeWidthIsRepetitionsTimesBits) {
+  Rng rng(1);
+  FreshLsh lsh(FreshOptions{}, rng);
+  EXPECT_EQ(lsh.num_bits(), 64);  // 4 x 16, aligning with d_h = 64
+  traj::Trajectory t;
+  t.points = {{0, 0}, {100, 100}};
+  EXPECT_EQ(lsh.CodeOf(t).num_bits, 64);
+}
+
+TEST(FreshTest, DeterministicPerInstance) {
+  Rng rng(2);
+  FreshLsh lsh(FreshOptions{}, rng);
+  traj::Trajectory t;
+  t.points = {{10, 20}, {500, 600}, {1500, 900}};
+  EXPECT_EQ(lsh.CodeOf(t), lsh.CodeOf(t));
+}
+
+TEST(FreshTest, InvariantToWithinCellJitter) {
+  // Points moved by far less than the resolution usually keep the same cells
+  // in every repetition, so codes collide exactly.
+  Rng rng(3);
+  FreshOptions opt;
+  opt.resolution_m = 1000.0;
+  FreshLsh lsh(opt, rng);
+  traj::Trajectory t;
+  t.points = {{200, 200}, {2200, 200}, {4200, 2200}};
+  Rng jitter(4);
+  int identical = 0;
+  const int trials = 20;
+  for (int i = 0; i < trials; ++i) {
+    const traj::Trajectory moved = traj::Distort(t, 5.0, jitter);
+    if (lsh.CodeOf(moved) == lsh.CodeOf(t)) ++identical;
+  }
+  EXPECT_GE(identical, trials * 3 / 4);
+}
+
+TEST(FreshTest, CloseCurvesCollideMoreThanFarCurves) {
+  Rng rng(5);
+  FreshLsh lsh(FreshOptions{}, rng);
+  Rng data_rng(6);
+  traj::CityConfig city = traj::CityConfig::PortoLike();
+  city.max_points = 16;
+  const auto corpus = GenerateTrips(city, 40, data_rng);
+  Rng aug(7);
+  double near_total = 0.0, far_total = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    const traj::Trajectory& t = corpus[i];
+    const traj::Trajectory near = traj::Distort(t, 30.0, aug);
+    const traj::Trajectory& far = corpus[i + 20];
+    near_total += search::HammingDistance(lsh.CodeOf(t), lsh.CodeOf(near));
+    far_total += search::HammingDistance(lsh.CodeOf(t), lsh.CodeOf(far));
+  }
+  EXPECT_LT(near_total, far_total);
+}
+
+TEST(FreshTest, ConsecutiveDuplicateCellsIgnored) {
+  // Oversampling within a cell must not change the code: Fresh dedups
+  // consecutive grid cells before hashing.
+  Rng rng(8);
+  FreshLsh lsh(FreshOptions{}, rng);
+  traj::Trajectory sparse, dense;
+  sparse.points = {{100, 100}, {3100, 100}, {6100, 3100}};
+  for (const traj::Point& p : sparse.points) {
+    dense.points.push_back(p);
+    dense.points.push_back({p.x + 1.0, p.y + 1.0});
+    dense.points.push_back({p.x + 2.0, p.y});
+  }
+  EXPECT_EQ(lsh.CodeOf(sparse), lsh.CodeOf(dense));
+}
+
+TEST(FreshTest, DifferentSeedsGiveDifferentHashFamilies) {
+  Rng rng1(10), rng2(11);
+  FreshLsh a(FreshOptions{}, rng1);
+  FreshLsh b(FreshOptions{}, rng2);
+  traj::Trajectory t;
+  t.points = {{10, 20}, {500, 600}, {1500, 900}};
+  EXPECT_NE(a.CodeOf(t), b.CodeOf(t));
+}
+
+}  // namespace
+}  // namespace traj2hash::baselines

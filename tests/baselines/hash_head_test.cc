@@ -1,0 +1,117 @@
+#include "baselines/hash_head.h"
+
+#include <gtest/gtest.h>
+
+#include "search/code.h"
+
+namespace traj2hash::baselines {
+namespace {
+
+/// Synthetic "frozen embeddings": random 2-D points, embedding = the point's
+/// coordinates replicated with noise, ground truth = planar Euclidean
+/// distance. Sign hyperplanes can separate such a space, so a working hash
+/// head must learn rank-preserving codes.
+struct Fixture {
+  std::vector<std::vector<float>> embeddings;
+  std::vector<double> distances;
+};
+
+Fixture PlaneFixture(int n, int dim, Rng& rng) {
+  Fixture f;
+  std::vector<std::pair<double, double>> pos(n);
+  for (auto& p : pos) p = {rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+  for (int i = 0; i < n; ++i) {
+    std::vector<float> e(dim);
+    for (int d = 0; d < dim; ++d) {
+      const double coord = d % 2 == 0 ? pos[i].first : pos[i].second;
+      e[d] = static_cast<float>(coord + rng.Gaussian(0.02));
+    }
+    f.embeddings.push_back(e);
+  }
+  f.distances.resize(static_cast<size_t>(n) * n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const double dx = pos[i].first - pos[j].first;
+      const double dy = pos[i].second - pos[j].second;
+      f.distances[static_cast<size_t>(i) * n + j] =
+          std::sqrt(dx * dx + dy * dy);
+    }
+  }
+  return f;
+}
+
+TEST(HashHeadTest, CodeWidthMatchesConfig) {
+  Rng rng(1);
+  HashHead head(8, 24, rng);
+  EXPECT_EQ(head.num_bits(), 24);
+  const search::Code c = head.CodeOf(std::vector<float>(8, 0.5f));
+  EXPECT_EQ(c.num_bits, 24);
+}
+
+TEST(HashHeadTest, FitRejectsBadShapes) {
+  Rng rng(2);
+  HashHead head(4, 8, rng);
+  HashHeadOptions opt;
+  EXPECT_FALSE(head.Fit({{1, 2, 3, 4}}, {0.0}, opt, rng).ok());
+  Fixture f = PlaneFixture(8, 3, rng);  // wrong width
+  EXPECT_FALSE(head.Fit(f.embeddings, f.distances, opt, rng).ok());
+}
+
+TEST(HashHeadTest, TrainingImprovesHammingRankAgreement) {
+  Rng rng(3);
+  const int n = 48, dim = 6;
+  Fixture f = PlaneFixture(n, dim, rng);
+  HashHead head(dim, 16, rng);
+
+  auto rank_agreement = [&] {
+    // Fraction of (near, far) pairs ordered correctly by Hamming distance;
+    // only pairs whose ground-truth distances differ by 2x are scored so the
+    // ordering is unambiguous.
+    std::vector<search::Code> codes = head.CodeAll(f.embeddings);
+    int correct = 0, total = 0;
+    for (int a = 0; a < n; ++a) {
+      for (int b = 0; b < n; ++b) {
+        for (int c = b + 1; c < n; ++c) {
+          if (b == a || c == a) continue;
+          double d_b = f.distances[a * n + b];
+          double d_c = f.distances[a * n + c];
+          int near = b, far = c;
+          if (d_b > d_c) {
+            std::swap(near, far);
+            std::swap(d_b, d_c);
+          }
+          if (d_c < 2.0 * d_b) continue;  // ambiguous pair
+          ++total;
+          if (search::HammingDistance(codes[a], codes[near]) <
+              search::HammingDistance(codes[a], codes[far])) {
+            ++correct;
+          }
+        }
+      }
+    }
+    return total > 0 ? static_cast<double>(correct) / total : 0.0;
+  };
+
+  const double before = rank_agreement();
+  HashHeadOptions opt;
+  opt.epochs = 30;
+  opt.alpha = 4.0f;
+  const auto loss = head.Fit(f.embeddings, f.distances, opt, rng);
+  ASSERT_TRUE(loss.ok()) << loss.status().ToString();
+  const double after = rank_agreement();
+  EXPECT_GT(after, before);
+  EXPECT_GT(after, 0.6);
+}
+
+TEST(HashHeadTest, CodeAllMatchesCodeOf) {
+  Rng rng(4);
+  HashHead head(4, 8, rng);
+  std::vector<std::vector<float>> embs = {{1, 2, 3, 4}, {-1, 0.5, -2, 3}};
+  const auto all = head.CodeAll(embs);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], head.CodeOf(embs[0]));
+  EXPECT_EQ(all[1], head.CodeOf(embs[1]));
+}
+
+}  // namespace
+}  // namespace traj2hash::baselines

@@ -1,0 +1,117 @@
+// t2vec and CL-TSim self-supervised training tests.
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "baselines/cltsim.h"
+#include "baselines/t2vec.h"
+#include "traj/augment.h"
+#include "traj/synthetic.h"
+
+namespace traj2hash::baselines {
+namespace {
+
+struct Env {
+  std::vector<traj::Trajectory> corpus;
+  traj::Normalizer normalizer;
+};
+
+Env MakeEnv(int n = 20, uint64_t seed = 41) {
+  Env env;
+  Rng rng(seed);
+  traj::CityConfig city = traj::CityConfig::PortoLike();
+  city.max_points = 12;
+  env.corpus = GenerateTrips(city, n, rng);
+  env.normalizer.Fit(env.corpus);
+  return env;
+}
+
+TEST(T2VecTest, EmbeddingShape) {
+  Env env = MakeEnv(5);
+  Rng rng(1);
+  T2VecEncoder enc(10, &env.normalizer, rng);
+  EXPECT_EQ(enc.dim(), 10);
+  EXPECT_EQ(enc.name(), "t2vec");
+  EXPECT_EQ(enc.Embed(env.corpus[0]).size(), 10u);
+}
+
+TEST(T2VecTest, ReconstructionLossDecreasesOverEpochs) {
+  Env env = MakeEnv(16);
+  Rng rng(2);
+  T2VecEncoder enc(10, &env.normalizer, rng);
+  T2VecOptions one;
+  one.epochs = 1;
+  const double first = enc.Fit(env.corpus, one, rng);
+  T2VecOptions more;
+  more.epochs = 4;
+  const double later = enc.Fit(env.corpus, more, rng);
+  EXPECT_LT(later, first);
+}
+
+TEST(T2VecTest, NearbyTrajectoriesCloserThanFarOnes) {
+  Env env = MakeEnv(24, 43);
+  Rng rng(3);
+  T2VecEncoder enc(12, &env.normalizer, rng);
+  T2VecOptions opt;
+  opt.epochs = 3;
+  enc.Fit(env.corpus, opt, rng);
+  // A trajectory vs its own slightly distorted copy must embed closer than
+  // vs a random other trajectory (robustness goal of t2vec).
+  Rng aug_rng(4);
+  int wins = 0;
+  const int trials = 10;
+  for (int i = 0; i < trials; ++i) {
+    const traj::Trajectory& t = env.corpus[i];
+    const traj::Trajectory noisy = traj::Distort(t, 20.0, aug_rng);
+    const auto et = enc.Embed(t);
+    const auto en = enc.Embed(noisy);
+    const auto eo = enc.Embed(env.corpus[(i + 12) % env.corpus.size()]);
+    double d_noisy = 0, d_other = 0;
+    for (size_t d = 0; d < et.size(); ++d) {
+      d_noisy += (et[d] - en[d]) * (et[d] - en[d]);
+      d_other += (et[d] - eo[d]) * (et[d] - eo[d]);
+    }
+    if (d_noisy < d_other) ++wins;
+  }
+  EXPECT_GE(wins, trials * 7 / 10);
+}
+
+TEST(ClTsimTest, EmbeddingShape) {
+  Env env = MakeEnv(5);
+  Rng rng(5);
+  ClTsimEncoder enc(10, &env.normalizer, rng);
+  EXPECT_EQ(enc.dim(), 10);
+  EXPECT_EQ(enc.name(), "CL-TSim");
+  EXPECT_EQ(enc.Embed(env.corpus[0]).size(), 10u);
+}
+
+TEST(ClTsimTest, InfoNceLossDecreases) {
+  Env env = MakeEnv(24, 44);
+  Rng rng(6);
+  ClTsimEncoder enc(10, &env.normalizer, rng);
+  ClTsimOptions one;
+  one.epochs = 1;
+  one.batch_size = 8;
+  const double first = enc.Fit(env.corpus, one, rng);
+  ClTsimOptions more;
+  more.epochs = 4;
+  more.batch_size = 8;
+  const double later = enc.Fit(env.corpus, more, rng);
+  EXPECT_LT(later, first);
+}
+
+TEST(ClTsimTest, LossBoundedByLogBatch) {
+  // InfoNCE with batch b has a ln(b) ceiling at chance level; a trained
+  // model must beat chance.
+  Env env = MakeEnv(16, 45);
+  Rng rng(7);
+  ClTsimEncoder enc(8, &env.normalizer, rng);
+  ClTsimOptions opt;
+  opt.epochs = 3;
+  opt.batch_size = 8;
+  const double loss = enc.Fit(env.corpus, opt, rng);
+  EXPECT_LT(loss, std::log(8.0) + 0.5);
+}
+
+}  // namespace
+}  // namespace traj2hash::baselines

@@ -1,0 +1,84 @@
+#include "baselines/trajgat.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "traj/synthetic.h"
+
+namespace traj2hash::baselines {
+namespace {
+
+TEST(PrQuadtreeTest, UnbuiltTreeIsSingleLeaf) {
+  PrQuadtree tree({0, 0, 100, 100}, 6, 4);
+  EXPECT_EQ(tree.num_leaves(), 1);
+  EXPECT_EQ(tree.LeafOf({50, 50}), 0);
+}
+
+TEST(PrQuadtreeTest, SplitsDenseRegions) {
+  PrQuadtree tree({0, 0, 100, 100}, 6, 2);
+  std::vector<traj::Point> pts;
+  // 20 points clustered in the south-west corner, 1 in the north-east.
+  for (int i = 0; i < 20; ++i) pts.push_back({1.0 + 0.1 * i, 1.0 + 0.05 * i});
+  pts.push_back({90, 90});
+  tree.Build(pts);
+  EXPECT_GT(tree.num_leaves(), 4);
+  // The dense corner's leaf is deeper (smaller) than the sparse corner's.
+  const auto& dense = tree.leaf(tree.LeafOf({1.5, 1.2}));
+  const auto& sparse = tree.leaf(tree.LeafOf({90, 90}));
+  EXPECT_GT(dense.depth, sparse.depth);
+  EXPECT_LT(dense.half_size, sparse.half_size);
+}
+
+TEST(PrQuadtreeTest, EveryPointMapsToLeafContainingIt) {
+  Rng rng(1);
+  PrQuadtree tree({0, 0, 1000, 1000}, 8, 4);
+  std::vector<traj::Point> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({rng.Uniform(0, 1000), rng.Uniform(0, 1000)});
+  }
+  tree.Build(pts);
+  for (const traj::Point& p : pts) {
+    const auto& leaf = tree.leaf(tree.LeafOf(p));
+    EXPECT_LE(std::abs(p.x - leaf.center.x), leaf.half_size + 1e-9);
+    EXPECT_LE(std::abs(p.y - leaf.center.y), leaf.half_size + 1e-9);
+  }
+}
+
+TEST(PrQuadtreeTest, MaxDepthBoundsRecursion) {
+  PrQuadtree tree({0, 0, 100, 100}, 2, 1);
+  std::vector<traj::Point> pts;
+  for (int i = 0; i < 50; ++i) pts.push_back({1.0, 1.0});  // same location
+  tree.Build(pts);
+  for (int l = 0; l < tree.num_leaves(); ++l) {
+    EXPECT_LE(tree.leaf(l).depth, 2);
+  }
+}
+
+TEST(PrQuadtreeTest, OutsidePointsClampIntoBox) {
+  PrQuadtree tree({0, 0, 100, 100}, 4, 2);
+  const int leaf = tree.LeafOf({-50, 500});
+  EXPECT_GE(leaf, 0);
+  EXPECT_LT(leaf, tree.num_leaves());
+}
+
+TEST(TrajGatEncoderTest, EncodesToConfiguredDim) {
+  Rng rng(2);
+  traj::CityConfig city = traj::CityConfig::PortoLike();
+  city.max_points = 14;
+  const auto corpus = GenerateTrips(city, 20, rng);
+  const traj::BoundingBox box = traj::ComputeBoundingBox(corpus);
+  PrQuadtree tree(box, 8, 8);
+  std::vector<traj::Point> all;
+  for (const auto& t : corpus) {
+    all.insert(all.end(), t.points.begin(), t.points.end());
+  }
+  tree.Build(all);
+  TrajGatEncoder enc(16, 1, 2, &tree, box, rng);
+  EXPECT_EQ(enc.name(), "TrajGAT");
+  EXPECT_EQ(enc.Embed(corpus[0]).size(), 16u);
+  EXPECT_NE(enc.Embed(corpus[0]), enc.Embed(corpus[1]));
+  EXPECT_FALSE(enc.TrainableParameters().empty());
+}
+
+}  // namespace
+}  // namespace traj2hash::baselines

@@ -1,0 +1,105 @@
+// Protocol tests for the experiment harness: split sizes, disjointness, and
+// scale presets. These guard the benches' validity (e.g. no query leaking
+// into the seed set).
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "bench/harness.h"
+
+namespace traj2hash::bench {
+namespace {
+
+TEST(ScaleTest, PresetsAreOrdered) {
+  setenv("T2H_BENCH_SCALE", "tiny", 1);
+  const Scale tiny = GetScale();
+  setenv("T2H_BENCH_SCALE", "small", 1);
+  const Scale small = GetScale();
+  setenv("T2H_BENCH_SCALE", "large", 1);
+  const Scale large = GetScale();
+  unsetenv("T2H_BENCH_SCALE");
+
+  EXPECT_EQ(tiny.name, "tiny");
+  EXPECT_EQ(small.name, "small");
+  EXPECT_EQ(large.name, "large");
+  EXPECT_LT(tiny.num_db, small.num_db);
+  EXPECT_LT(small.num_db, large.num_db);
+  EXPECT_LT(tiny.num_seeds, small.num_seeds);
+  EXPECT_LT(small.num_seeds, large.num_seeds);
+  EXPECT_LE(tiny.dim, small.dim);
+  EXPECT_LE(small.dim, large.dim);
+}
+
+TEST(ScaleTest, UnknownFallsBackToSmall) {
+  setenv("T2H_BENCH_SCALE", "warp-speed", 1);
+  EXPECT_EQ(GetScale().name, "small");
+  unsetenv("T2H_BENCH_SCALE");
+}
+
+TEST(DatasetTest, SplitSizesMatchScale) {
+  setenv("T2H_BENCH_SCALE", "tiny", 1);
+  const Scale scale = GetScale();
+  unsetenv("T2H_BENCH_SCALE");
+  const Dataset d =
+      MakeDataset(traj::CityConfig::PortoLike(), scale, 5);
+  EXPECT_EQ(static_cast<int>(d.seeds.size()), scale.num_seeds);
+  EXPECT_EQ(static_cast<int>(d.val_queries.size()), scale.num_val_queries);
+  EXPECT_EQ(static_cast<int>(d.val_db.size()), scale.num_val_db);
+  EXPECT_EQ(static_cast<int>(d.queries.size()), scale.num_queries);
+  EXPECT_EQ(static_cast<int>(d.database.size()), scale.num_db);
+  EXPECT_GE(static_cast<int>(d.all.size()), scale.triplet_corpus);
+}
+
+TEST(DatasetTest, SplitsAreDisjoint) {
+  setenv("T2H_BENCH_SCALE", "tiny", 1);
+  const Scale scale = GetScale();
+  unsetenv("T2H_BENCH_SCALE");
+  const Dataset d =
+      MakeDataset(traj::CityConfig::ChengduLike(), scale, 6);
+  std::set<int64_t> seen;
+  auto check_disjoint = [&seen](const std::vector<traj::Trajectory>& split) {
+    for (const traj::Trajectory& t : split) {
+      EXPECT_TRUE(seen.insert(t.id).second) << "id " << t.id << " reused";
+    }
+  };
+  check_disjoint(d.seeds);
+  check_disjoint(d.val_queries);
+  check_disjoint(d.val_db);
+  check_disjoint(d.queries);
+  check_disjoint(d.database);
+}
+
+TEST(DatasetTest, DeterministicUnderSeed) {
+  setenv("T2H_BENCH_SCALE", "tiny", 1);
+  const Scale scale = GetScale();
+  unsetenv("T2H_BENCH_SCALE");
+  const Dataset a = MakeDataset(traj::CityConfig::PortoLike(), scale, 7);
+  const Dataset b = MakeDataset(traj::CityConfig::PortoLike(), scale, 7);
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].points, b.queries[i].points);
+  }
+}
+
+TEST(MeasureDataTest, GroundTruthShapes) {
+  setenv("T2H_BENCH_SCALE", "tiny", 1);
+  const Scale scale = GetScale();
+  unsetenv("T2H_BENCH_SCALE");
+  const Dataset d = MakeDataset(traj::CityConfig::PortoLike(), scale, 8);
+  const MeasureData md = ComputeMeasureData(d, dist::Measure::kHausdorff);
+  EXPECT_EQ(md.seed_distances.size(),
+            d.seeds.size() * d.seeds.size());
+  EXPECT_EQ(md.val_truth.size(), d.val_queries.size());
+  EXPECT_EQ(md.test_truth.size(), d.queries.size());
+  for (const auto& ids : md.test_truth) {
+    EXPECT_EQ(ids.size(), 50u);
+    for (const int id : ids) {
+      EXPECT_GE(id, 0);
+      EXPECT_LT(id, static_cast<int>(d.database.size()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace traj2hash::bench

@@ -1,0 +1,39 @@
+#include "common/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+namespace traj2hash {
+namespace {
+
+TEST(StopwatchTest, ElapsedIsNonNegativeAndMonotone) {
+  Stopwatch sw;
+  const double t1 = sw.ElapsedSeconds();
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  const double t2 = sw.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(StopwatchTest, MicrosMatchesSeconds) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  const double seconds = sw.ElapsedSeconds();
+  const double micros = sw.ElapsedMicros();
+  // Two reads a moment apart: micros must be ~1e6x the seconds reading.
+  EXPECT_GE(micros, seconds * 1e6 * 0.5);
+  EXPECT_LE(micros, (seconds + 1.0) * 1e6);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 1000000; ++i) sink += i;
+  const double before = sw.ElapsedSeconds();
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedSeconds(), before + 1e-3);
+}
+
+}  // namespace
+}  // namespace traj2hash

@@ -1,0 +1,85 @@
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+namespace traj2hash::core {
+namespace {
+
+TEST(ConfigTest, DefaultsAreValidAndMatchPaper) {
+  const Traj2HashConfig cfg;
+  EXPECT_TRUE(cfg.Validate().ok());
+  // §V-A5 parameter settings.
+  EXPECT_EQ(cfg.dim, 64);
+  EXPECT_EQ(cfg.num_blocks, 2);
+  EXPECT_EQ(cfg.num_heads, 4);
+  EXPECT_FLOAT_EQ(cfg.alpha, 5.0f);
+  EXPECT_FLOAT_EQ(cfg.gamma, 6.0f);
+  EXPECT_EQ(cfg.samples_per_anchor, 10);
+  EXPECT_EQ(cfg.batch_size, 20);
+  EXPECT_EQ(cfg.epochs, 100);
+  EXPECT_FLOAT_EQ(cfg.lr, 1e-3f);
+  EXPECT_DOUBLE_EQ(cfg.fine_cell_m, 50.0);
+  EXPECT_DOUBLE_EQ(cfg.coarse_cell_m, 500.0);
+  EXPECT_EQ(cfg.read_out, ReadOut::kLowerBound);
+}
+
+TEST(ConfigTest, RejectsOddDim) {
+  Traj2HashConfig cfg;
+  cfg.dim = 63;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsDimNotDivisibleByHeads) {
+  Traj2HashConfig cfg;
+  cfg.dim = 64;
+  cfg.num_heads = 5;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsOddSampleCount) {
+  Traj2HashConfig cfg;
+  cfg.samples_per_anchor = 7;  // Eq. 18 pairs samples
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsNonPositiveScalars) {
+  Traj2HashConfig cfg;
+  cfg.theta = 0.0f;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = Traj2HashConfig();
+  cfg.lr = -1.0f;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = Traj2HashConfig();
+  cfg.fine_cell_m = 0.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = Traj2HashConfig();
+  cfg.epochs = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, ExtensionFlagsDefaultOffOrPaperAligned) {
+  const Traj2HashConfig cfg;
+  EXPECT_FALSE(cfg.use_layer_norm);  // Eq. 12 has bare residuals
+  EXPECT_TRUE(cfg.cross_pairing);    // repo default (DESIGN.md par 6)
+  EXPECT_FLOAT_EQ(cfg.beta_init, 1.0f);  // HashNet: "initialized to 1"
+}
+
+TEST(ConfigTest, RejectsBadBetaSchedule) {
+  Traj2HashConfig cfg;
+  cfg.beta_init = 0.0f;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = Traj2HashConfig();
+  cfg.beta_growth = -1.0f;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, AllowsZeroGammaAndAlpha) {
+  // gamma = 0 (Fig. 9 sweep) and alpha = 0 (Fig. 8 sweep) are valid points.
+  Traj2HashConfig cfg;
+  cfg.gamma = 0.0f;
+  cfg.alpha = 0.0f;
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+}  // namespace
+}  // namespace traj2hash::core

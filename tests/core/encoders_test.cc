@@ -1,0 +1,116 @@
+#include "core/encoders.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+
+namespace traj2hash::core {
+namespace {
+
+std::vector<traj::Point> Zigzag(int n) {
+  std::vector<traj::Point> pts;
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({0.1 * i, i % 2 == 0 ? 0.2 : -0.2});
+  }
+  return pts;
+}
+
+class GpsEncoderReadOutTest : public ::testing::TestWithParam<ReadOut> {};
+
+TEST_P(GpsEncoderReadOutTest, OutputShapeIsOneByDim) {
+  Rng rng(1);
+  GpsEncoder enc(16, 2, 4, GetParam(), rng);
+  const nn::Tensor h = enc.Forward(Zigzag(9));
+  EXPECT_EQ(h->rows(), 1);
+  EXPECT_EQ(h->cols(), 16);
+}
+
+TEST_P(GpsEncoderReadOutTest, SinglePointTrajectoryWorks) {
+  Rng rng(2);
+  GpsEncoder enc(8, 1, 2, GetParam(), rng);
+  const nn::Tensor h = enc.Forward({{0.5, -0.5}});
+  EXPECT_EQ(h->cols(), 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(ReadOuts, GpsEncoderReadOutTest,
+                         ::testing::Values(ReadOut::kLowerBound,
+                                           ReadOut::kMean, ReadOut::kCls),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ReadOut::kLowerBound:
+                               return "LowerBound";
+                             case ReadOut::kMean:
+                               return "Mean";
+                             case ReadOut::kCls:
+                               return "Cls";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(GpsEncoderTest, ReadOutsSelectTheRightTokens) {
+  // With zero attention blocks, the lower-bound read-out is exactly the
+  // first token's embedding: insensitive to every other point. Mean pooling
+  // must remain sensitive to all points.
+  Rng rng(3);
+  GpsEncoder lower(16, 0, 4, ReadOut::kLowerBound, rng);
+  Rng rng_mean(3);
+  GpsEncoder mean(16, 0, 4, ReadOut::kMean, rng_mean);
+  const std::vector<traj::Point> base = Zigzag(10);
+  std::vector<traj::Point> tail_moved = base;
+  tail_moved[9].x += 5.0;
+  tail_moved[9].y += 5.0;
+
+  auto delta = [](const nn::Tensor& a, const nn::Tensor& b) {
+    double acc = 0.0;
+    for (int c = 0; c < a->cols(); ++c) {
+      acc += std::abs(a->at(0, c) - b->at(0, c));
+    }
+    return acc;
+  };
+  EXPECT_EQ(delta(lower.Forward(base), lower.Forward(tail_moved)), 0.0);
+  EXPECT_GT(delta(mean.Forward(base), mean.Forward(tail_moved)), 1e-6);
+
+  std::vector<traj::Point> head_moved = base;
+  head_moved[0].x += 5.0;
+  EXPECT_GT(delta(lower.Forward(base), lower.Forward(head_moved)), 1e-6);
+}
+
+TEST(GpsEncoderTest, ClsHasExtraParameter) {
+  Rng rng(4);
+  GpsEncoder lb(16, 1, 2, ReadOut::kLowerBound, rng);
+  GpsEncoder cls(16, 1, 2, ReadOut::kCls, rng);
+  EXPECT_EQ(cls.Parameters().size(), lb.Parameters().size() + 1);
+}
+
+TEST(GridChannelEncoderTest, OutputShapeAndGradFlow) {
+  Rng rng(5);
+  embedding::DecomposedGridEmbedding rep(10, 10, 12, rng);
+  GridChannelEncoder enc(&rep, 16, rng);
+  const nn::Tensor h = enc.Forward({{1, 2}, {2, 2}, {3, 4}});
+  EXPECT_EQ(h->rows(), 1);
+  EXPECT_EQ(h->cols(), 16);
+  EXPECT_TRUE(h->requires_grad());
+}
+
+TEST(GridChannelEncoderTest, AdaptsProviderDimension) {
+  Rng rng(6);
+  embedding::DecomposedGridEmbedding rep(10, 10, 24, rng);  // dim != out dim
+  GridChannelEncoder enc(&rep, 8, rng);
+  EXPECT_EQ(enc.Forward({{0, 0}})->cols(), 8);
+}
+
+TEST(GridChannelEncoderTest, OrderSensitiveThroughPositions) {
+  Rng rng(7);
+  embedding::DecomposedGridEmbedding rep(10, 10, 8, rng);
+  GridChannelEncoder enc(&rep, 8, rng);
+  const nn::Tensor fwd = enc.Forward({{1, 1}, {5, 5}, {9, 9}});
+  const nn::Tensor rev = enc.Forward({{9, 9}, {5, 5}, {1, 1}});
+  double diff = 0.0;
+  for (int c = 0; c < 8; ++c) {
+    diff += std::abs(fwd->at(0, c) - rev->at(0, c));
+  }
+  EXPECT_GT(diff, 1e-6);  // positional encoding breaks permutation symmetry
+}
+
+}  // namespace
+}  // namespace traj2hash::core

@@ -1,0 +1,110 @@
+// Focused tests of the hash layer's algebra: Eq. 15 projection structure,
+// Eq. 16 sign semantics, the Hamming/inner-product identity the paper uses
+// to rewrite Eq. 18 into Eq. 19, and the tanh(beta) continuation limit.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/model.h"
+#include "nn/ops.h"
+#include "search/code.h"
+#include "traj/synthetic.h"
+
+namespace traj2hash::core {
+namespace {
+
+std::unique_ptr<Traj2Hash> TinyModel(std::vector<traj::Trajectory>& corpus,
+                                     uint64_t seed = 61) {
+  Rng rng(seed);
+  traj::CityConfig city = traj::CityConfig::PortoLike();
+  city.max_points = 12;
+  corpus = GenerateTrips(city, 8, rng);
+  Traj2HashConfig cfg;
+  cfg.dim = 16;
+  cfg.num_blocks = 1;
+  cfg.num_heads = 2;
+  return std::move(Traj2Hash::Create(cfg, corpus, rng).value());
+}
+
+TEST(HashLayerTest, ProjectionHalvesAndConcatenates) {
+  // Eq. 15: the first half of h_f depends only on h, the second only on
+  // h_r. Verify by perturbing each fused feature separately.
+  std::vector<traj::Trajectory> corpus;
+  auto model = TinyModel(corpus);
+  const auto [h, h_r] = model->EncodeFused(corpus[0]);
+  ASSERT_TRUE(h_r != nullptr);
+  const auto base = model->ProjectFused(h, h_r)->value();
+
+  nn::Tensor h2 = nn::AddScalar(h, 1.0f);
+  const auto first_changed = model->ProjectFused(h2, h_r)->value();
+  for (int c = 0; c < 8; ++c) EXPECT_NE(first_changed[c], base[c]);
+  for (int c = 8; c < 16; ++c) EXPECT_EQ(first_changed[c], base[c]);
+
+  nn::Tensor hr2 = nn::AddScalar(h_r, 1.0f);
+  const auto second_changed = model->ProjectFused(h, hr2)->value();
+  for (int c = 0; c < 8; ++c) EXPECT_EQ(second_changed[c], base[c]);
+  for (int c = 8; c < 16; ++c) EXPECT_NE(second_changed[c], base[c]);
+}
+
+TEST(HashLayerTest, SharedProjectorAcrossDirections) {
+  // Both halves use the SAME W_p (Eq. 15): projecting (h, h) must produce
+  // two identical halves.
+  std::vector<traj::Trajectory> corpus;
+  auto model = TinyModel(corpus);
+  const auto [h, h_r] = model->EncodeFused(corpus[1]);
+  (void)h_r;
+  const auto twin = model->ProjectFused(h, h)->value();
+  for (int c = 0; c < 8; ++c) EXPECT_EQ(twin[c], twin[c + 8]);
+}
+
+TEST(HashLayerTest, HammingInnerProductIdentity) {
+  // The paper's rewrite H(z1, z2) = (d_h - <z1, z2>)/2 over sign vectors,
+  // checked against the packed-code HammingDistance for model codes.
+  std::vector<traj::Trajectory> corpus;
+  auto model = TinyModel(corpus);
+  for (int i = 0; i + 1 < 6; i += 2) {
+    const auto e1 = model->Embed(corpus[i]);
+    const auto e2 = model->Embed(corpus[i + 1]);
+    int dot = 0;
+    for (size_t c = 0; c < e1.size(); ++c) {
+      dot += (e1[c] > 0 ? 1 : -1) * (e2[c] > 0 ? 1 : -1);
+    }
+    const int expected = (static_cast<int>(e1.size()) - dot) / 2;
+    EXPECT_EQ(search::HammingDistance(model->HashCode(corpus[i]),
+                                      model->HashCode(corpus[i + 1])),
+              expected);
+  }
+}
+
+TEST(HashLayerTest, RelaxedCodeConvergesToSign) {
+  // tanh(beta * x) -> sign(x) as beta grows (the HashNet continuation).
+  std::vector<traj::Trajectory> corpus;
+  auto model = TinyModel(corpus);
+  const nn::Tensor h_f = model->EncodeContinuous(corpus[2]);
+  const search::Code hard = search::PackSigns(h_f->value());
+  model->set_beta(500.0f);
+  const nn::Tensor relaxed = model->RelaxedCode(h_f);
+  for (int c = 0; c < relaxed->cols(); ++c) {
+    const bool bit = (hard.words[c / 64] >> (c % 64)) & 1ull;
+    const float expected = bit ? 1.0f : -1.0f;
+    // Components exactly at 0 map to -1 in PackSigns and to 0 in tanh;
+    // everything else saturates to the matching sign.
+    if (std::abs(h_f->value()[c]) > 1e-3f) {
+      EXPECT_NEAR(relaxed->at(0, c), expected, 0.05f) << c;
+    }
+  }
+}
+
+TEST(HashLayerTest, BetaOnlyAffectsRelaxedCodes) {
+  std::vector<traj::Trajectory> corpus;
+  auto model = TinyModel(corpus);
+  const auto before = model->Embed(corpus[3]);
+  const auto code_before = model->HashCode(corpus[3]);
+  model->set_beta(77.0f);
+  EXPECT_EQ(model->Embed(corpus[3]), before);
+  EXPECT_EQ(model->HashCode(corpus[3]), code_before);
+}
+
+}  // namespace
+}  // namespace traj2hash::core

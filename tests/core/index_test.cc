@@ -1,0 +1,92 @@
+#include "core/index.h"
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "traj/synthetic.h"
+
+namespace traj2hash::core {
+namespace {
+
+struct Env {
+  std::vector<traj::Trajectory> corpus;
+  std::unique_ptr<Traj2Hash> model;
+};
+
+Env MakeEnv() {
+  Env env;
+  Rng rng(81);
+  traj::CityConfig city = traj::CityConfig::PortoLike();
+  city.max_points = 12;
+  env.corpus = GenerateTrips(city, 120, rng);
+  Traj2HashConfig cfg;
+  cfg.dim = 8;
+  cfg.num_blocks = 1;
+  cfg.num_heads = 2;
+  env.model = std::move(Traj2Hash::Create(cfg, env.corpus, rng).value());
+  return env;
+}
+
+TEST(TrajectoryIndexTest, AddAssignsSequentialIds) {
+  Env env = MakeEnv();
+  TrajectoryIndex index(env.model.get());
+  EXPECT_EQ(index.Add(env.corpus[0]), 0);
+  EXPECT_EQ(index.Add(env.corpus[1]), 1);
+  EXPECT_EQ(index.size(), 2);
+}
+
+TEST(TrajectoryIndexTest, EuclideanQueryMatchesManualPath) {
+  Env env = MakeEnv();
+  TrajectoryIndex index(env.model.get());
+  std::vector<traj::Trajectory> db(env.corpus.begin() + 10,
+                                   env.corpus.begin() + 60);
+  index.AddAll(db);
+  const auto via_index = index.QueryEuclidean(env.corpus[0], 5);
+  const auto manual = search::TopKEuclidean(
+      EmbedAll(*env.model, db), env.model->Embed(env.corpus[0]), 5);
+  ASSERT_EQ(via_index.size(), manual.size());
+  for (size_t i = 0; i < manual.size(); ++i) {
+    EXPECT_EQ(via_index[i].index, manual[i].index);
+    EXPECT_DOUBLE_EQ(via_index[i].distance, manual[i].distance);
+  }
+}
+
+TEST(TrajectoryIndexTest, HammingQueryMatchesManualHybrid) {
+  Env env = MakeEnv();
+  TrajectoryIndex index(env.model.get());
+  std::vector<traj::Trajectory> db(env.corpus.begin() + 10,
+                                   env.corpus.begin() + 80);
+  index.AddAll(db);
+  const search::HammingIndex manual(HashAll(*env.model, db));
+  const auto via_index = index.QueryHamming(env.corpus[1], 5);
+  const auto direct =
+      manual.HybridTopK(env.model->HashCode(env.corpus[1]), 5);
+  ASSERT_EQ(via_index.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(via_index[i].index, direct[i].index);
+  }
+}
+
+TEST(TrajectoryIndexTest, IncrementalInsertIsQueryable) {
+  Env env = MakeEnv();
+  TrajectoryIndex index(env.model.get());
+  index.AddAll({env.corpus.begin() + 10, env.corpus.begin() + 40});
+  // Insert the query's twin afterwards; it must become the top hit.
+  const int id = index.Add(env.corpus[5]);
+  const auto top = index.QueryEuclidean(env.corpus[5], 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].index, id);
+  EXPECT_NEAR(top[0].distance, 0.0, 1e-5);
+  const auto ham = index.QueryHamming(env.corpus[5], 1);
+  EXPECT_EQ(ham[0].distance, 0.0);
+}
+
+TEST(TrajectoryIndexDeathTest, EmptyIndexQueriesRejected) {
+  Env env = MakeEnv();
+  TrajectoryIndex index(env.model.get());
+  EXPECT_DEATH(index.QueryEuclidean(env.corpus[0], 1), "CHECK");
+  EXPECT_DEATH(index.QueryHamming(env.corpus[0], 1), "CHECK");
+}
+
+}  // namespace
+}  // namespace traj2hash::core

@@ -1,0 +1,110 @@
+// Verifies the paper's footnote 1: combining a trajectory's embedding with
+// its reversed version by ELEMENT-WISE SUM also satisfies the reverse
+// symmetric property, but introduces the unwanted extra identity
+//   E(h(T1)+h(T1^r), h(T2)+h(T2^r)) == E(..., h(T2^r)+h(T2))
+// which makes a trajectory indistinguishable from its own reverse — i.e.
+// E(sum(T1), sum(T2)) == E(sum(T1), sum(T2^r)) for ALL pairs, collapsing
+// direction information. Concatenation (Lemma 3) does not have this defect,
+// which is why Traj2Hash concatenates.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/model.h"
+#include "nn/ops.h"
+#include "traj/synthetic.h"
+
+namespace traj2hash::core {
+namespace {
+
+double Euclid(const std::vector<float>& a, const std::vector<float>& b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc += (a[i] - b[i]) * (a[i] - b[i]);
+  }
+  return std::sqrt(acc);
+}
+
+std::vector<float> Sum(const std::vector<float>& a,
+                       const std::vector<float>& b) {
+  std::vector<float> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+class RevCombinerTest : public ::testing::Test {
+ protected:
+  RevCombinerTest() {
+    Rng rng(5);
+    traj::CityConfig city = traj::CityConfig::PortoLike();
+    city.max_points = 14;
+    corpus_ = GenerateTrips(city, 12, rng);
+    // A model WITHOUT reverse augmentation provides the raw encoder h(.)
+    // whose outputs we combine manually both ways.
+    Traj2HashConfig cfg;
+    cfg.dim = 16;
+    cfg.num_blocks = 1;
+    cfg.num_heads = 2;
+    cfg.use_rev_aug = false;
+    model_ = std::move(Traj2Hash::Create(cfg, corpus_, rng).value());
+  }
+
+  std::vector<float> H(const traj::Trajectory& t) const {
+    return model_->Embed(t);
+  }
+
+  std::vector<traj::Trajectory> corpus_;
+  std::unique_ptr<Traj2Hash> model_;
+};
+
+TEST_F(RevCombinerTest, SumCombinerIsReverseSymmetric) {
+  // The footnote concedes sum satisfies the reverse symmetric property.
+  for (int i = 0; i + 1 < 8; i += 2) {
+    const auto& t1 = corpus_[i];
+    const auto& t2 = corpus_[i + 1];
+    const auto s1 = Sum(H(t1), H(traj::Reversed(t1)));
+    const auto s2 = Sum(H(t2), H(traj::Reversed(t2)));
+    const auto s1r = Sum(H(traj::Reversed(t1)), H(t1));
+    const auto s2r = Sum(H(traj::Reversed(t2)), H(t2));
+    EXPECT_NEAR(Euclid(s1, s2), Euclid(s1r, s2r), 1e-4);
+  }
+}
+
+TEST_F(RevCombinerTest, SumCombinerCollapsesDirection) {
+  // ...but sum makes T2 and T2^r identical to every query: the unexpected
+  // property E(h_f(T1), h_f(T2)) == E(h_f(T1), h_f(T2^r)).
+  for (int i = 0; i + 1 < 8; i += 2) {
+    const auto& t1 = corpus_[i];
+    const auto& t2 = corpus_[i + 1];
+    const auto s1 = Sum(H(t1), H(traj::Reversed(t1)));
+    const auto s2 = Sum(H(t2), H(traj::Reversed(t2)));
+    const auto s2_rev = Sum(H(traj::Reversed(t2)), H(t2));
+    EXPECT_NEAR(Euclid(s1, s2), Euclid(s1, s2_rev), 1e-4);
+  }
+}
+
+TEST_F(RevCombinerTest, ConcatCombinerKeepsDirection) {
+  // Concatenation distinguishes a trajectory from its reverse (the exact
+  // measures generally do too: D(T1, T2) != D(T1, T2^r)).
+  Rng rng(6);
+  traj::CityConfig city = traj::CityConfig::PortoLike();
+  city.max_points = 14;
+  Traj2HashConfig cfg;
+  cfg.dim = 16;
+  cfg.num_blocks = 1;
+  cfg.num_heads = 2;
+  cfg.use_rev_aug = true;  // concatenation path (Lemma 3)
+  auto model = std::move(Traj2Hash::Create(cfg, corpus_, rng).value());
+  double total_gap = 0.0;
+  for (int i = 0; i + 1 < 8; i += 2) {
+    const auto e1 = model->Embed(corpus_[i]);
+    const auto e2 = model->Embed(corpus_[i + 1]);
+    const auto e2_rev = model->Embed(traj::Reversed(corpus_[i + 1]));
+    total_gap += std::abs(Euclid(e1, e2) - Euclid(e1, e2_rev));
+  }
+  EXPECT_GT(total_gap, 1e-3);
+}
+
+}  // namespace
+}  // namespace traj2hash::core

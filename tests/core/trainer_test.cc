@@ -1,0 +1,190 @@
+#include "core/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "traj/synthetic.h"
+
+namespace traj2hash::core {
+namespace {
+
+struct Fixture {
+  Traj2HashConfig cfg;
+  std::vector<traj::Trajectory> seeds;
+  std::vector<traj::Trajectory> corpus;
+  TrainingData data;
+};
+
+Fixture MakeFixture(dist::Measure measure, int num_seeds = 24,
+                    uint64_t seed = 21) {
+  Fixture f;
+  f.cfg.dim = 8;
+  f.cfg.num_blocks = 1;
+  f.cfg.num_heads = 2;
+  f.cfg.epochs = 3;
+  f.cfg.samples_per_anchor = 6;
+  f.cfg.batch_size = 8;
+  f.cfg.triplet_batch_size = 4;
+
+  Rng rng(seed);
+  traj::CityConfig city = traj::CityConfig::PortoLike();
+  city.max_points = 12;
+  f.corpus = GenerateTrips(city, 80, rng);
+  f.seeds.assign(f.corpus.begin(), f.corpus.begin() + num_seeds);
+
+  f.data.seeds = f.seeds;
+  f.data.seed_distances =
+      dist::PairwiseMatrix(f.seeds, dist::GetDistance(measure));
+  f.data.triplet_corpus = f.corpus;
+  return f;
+}
+
+TEST(TrainerTest, RejectsInconsistentData) {
+  Rng rng(1);
+  Fixture f = MakeFixture(dist::Measure::kFrechet);
+  auto model = std::move(Traj2Hash::Create(f.cfg, f.corpus, rng).value());
+  Trainer trainer(model.get());
+
+  TrainingData bad = f.data;
+  bad.seed_distances.pop_back();
+  EXPECT_FALSE(trainer.Fit(bad, rng).ok());
+
+  bad = f.data;
+  bad.seeds.resize(2);
+  bad.seed_distances.resize(4);
+  EXPECT_FALSE(trainer.Fit(bad, rng).ok());
+
+  bad = f.data;
+  bad.val_queries = f.seeds;  // truth missing
+  EXPECT_FALSE(trainer.Fit(bad, rng).ok());
+}
+
+TEST(TrainerTest, LossDecreasesAndTripletsAreUsed) {
+  Rng rng(2);
+  Fixture f = MakeFixture(dist::Measure::kFrechet);
+  auto model = std::move(Traj2Hash::Create(f.cfg, f.corpus, rng).value());
+  embedding::GridPretrainOptions pre;
+  pre.samples_per_epoch = 500;
+  pre.epochs = 1;
+  model->PretrainGrids(pre, rng);
+  TrainerOptions options;
+  options.triplets_per_step = 4;
+  options.refine_epochs = 0;  // joint phase only for this test
+  Trainer trainer(model.get(), options);
+  const auto report = trainer.Fit(f.data, rng);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const auto& epochs = report.value().epochs;
+  ASSERT_EQ(epochs.size(), 3u);
+  EXPECT_LT(epochs.back().wmse, epochs.front().wmse * 1.5 + 1e-3);
+  EXPECT_GT(report.value().num_triplets_used, 0);
+}
+
+TEST(TrainerTest, TrainingImprovesRetrievalOverUntrained) {
+  Rng rng(3);
+  Fixture f = MakeFixture(dist::Measure::kFrechet, 32);
+  // Validation = seeds queried against seeds (small but meaningful).
+  f.data.val_queries.assign(f.seeds.begin(), f.seeds.begin() + 8);
+  f.data.val_db = f.seeds;
+  f.data.val_truth =
+      eval::ExactTopK(f.data.val_queries, f.data.val_db,
+                      dist::GetDistance(dist::Measure::kFrechet), 50);
+  f.cfg.epochs = 5;
+
+  auto model = std::move(Traj2Hash::Create(f.cfg, f.corpus, rng).value());
+  const double before =
+      eval::EvaluateEuclidean(EmbedAll(*model, f.data.val_queries),
+                              EmbedAll(*model, f.data.val_db), f.data.val_truth)
+          .hr10;
+  Trainer trainer(model.get(), TrainerOptions{.triplets_per_step = 2});
+  const auto report = trainer.Fit(f.data, rng);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report.value().best_val_hr10, before);
+  EXPECT_GE(report.value().best_epoch, 0);
+}
+
+TEST(TrainerTest, BetaGrowsWithEpochs) {
+  Rng rng(4);
+  Fixture f = MakeFixture(dist::Measure::kDtw);
+  auto model = std::move(Traj2Hash::Create(f.cfg, f.corpus, rng).value());
+  TrainerOptions options;
+  options.refine_epochs = 5;
+  Trainer trainer(model.get(), options);
+  ASSERT_TRUE(trainer.Fit(f.data, rng).ok());
+  // Joint epochs + refinement epochs each grow beta once.
+  EXPECT_FLOAT_EQ(model->beta(), 1.0f + 8.0f * f.cfg.beta_growth);
+}
+
+TEST(TrainerTest, RefinementImprovesOrKeepsValidation) {
+  Rng rng(9);
+  Fixture f = MakeFixture(dist::Measure::kFrechet, 32);
+  f.data.val_queries.assign(f.seeds.begin(), f.seeds.begin() + 8);
+  f.data.val_db = f.seeds;
+  f.data.val_truth =
+      eval::ExactTopK(f.data.val_queries, f.data.val_db,
+                      dist::GetDistance(dist::Measure::kFrechet), 50);
+  // Without refinement.
+  Rng rng_a(10);
+  auto base = std::move(Traj2Hash::Create(f.cfg, f.corpus, rng_a).value());
+  TrainerOptions no_refine;
+  no_refine.refine_epochs = 0;
+  const auto r0 = Trainer(base.get(), no_refine).Fit(f.data, rng_a);
+  ASSERT_TRUE(r0.ok());
+  // With refinement (same seeds).
+  Rng rng_b(10);
+  auto refined = std::move(Traj2Hash::Create(f.cfg, f.corpus, rng_b).value());
+  TrainerOptions with_refine;
+  with_refine.refine_epochs = 20;
+  const auto r1 = Trainer(refined.get(), with_refine).Fit(f.data, rng_b);
+  ASSERT_TRUE(r1.ok());
+  // Refinement continues optimising the same objective from the phase-1
+  // best; the selected combined validation score can only stay or improve.
+  EXPECT_GE(r1.value().best_val_hr10, r0.value().best_val_hr10 - 1e-9);
+  EXPECT_GT(r1.value().epochs.size(), r0.value().epochs.size());
+}
+
+TEST(TrainerTest, GammaZeroSkipsHashObjectives) {
+  Rng rng(5);
+  Fixture f = MakeFixture(dist::Measure::kFrechet);
+  f.cfg.gamma = 0.0f;
+  auto model = std::move(Traj2Hash::Create(f.cfg, f.corpus, rng).value());
+  Trainer trainer(model.get());
+  const auto report = trainer.Fit(f.data, rng);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().num_triplets_used, 0);
+  for (const EpochStats& e : report.value().epochs) {
+    EXPECT_EQ(e.rank_loss, 0.0);
+    EXPECT_EQ(e.triplet_loss, 0.0);
+  }
+}
+
+TEST(TrainerTest, AblationsTrainWithoutCrashing) {
+  for (const bool grids : {true, false}) {
+    for (const bool rev : {true, false}) {
+      Rng rng(6);
+      Fixture f = MakeFixture(dist::Measure::kFrechet, 16);
+      f.cfg.use_grid_channel = grids;
+      f.cfg.use_rev_aug = rev;
+      f.cfg.use_triplets = grids;  // vary triplets too
+      f.cfg.epochs = 1;
+      auto model = std::move(Traj2Hash::Create(f.cfg, f.corpus, rng).value());
+      Trainer trainer(model.get(), TrainerOptions{.triplets_per_step = 2});
+      EXPECT_TRUE(trainer.Fit(f.data, rng).ok())
+          << "grids=" << grids << " rev=" << rev;
+    }
+  }
+}
+
+TEST(SimilarityFromDistancesTest, RangeAndMonotonicity) {
+  const std::vector<double> d = {0.0, 10.0, 10.0, 0.0};
+  const auto s = SimilarityFromDistances(d, 2, 4.0f);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);  // zero distance -> similarity 1
+  EXPECT_GT(s[1], 0.0);
+  EXPECT_LT(s[1], 1.0);
+  const std::vector<double> d2 = {0.0, 5.0, 20.0, 5.0, 0.0, 10.0,
+                                  20.0, 10.0, 0.0};
+  const auto s2 = SimilarityFromDistances(d2, 3, 4.0f);
+  EXPECT_GT(s2[1], s2[2]);  // closer pair -> higher similarity
+}
+
+}  // namespace
+}  // namespace traj2hash::core

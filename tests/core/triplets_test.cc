@@ -1,0 +1,129 @@
+#include "core/triplets.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "distance/distance.h"
+#include "traj/synthetic.h"
+
+namespace traj2hash::core {
+namespace {
+
+using traj::Point;
+using traj::Trajectory;
+
+Trajectory Line(double x0, double y0, double x1, double y1, int n,
+                int64_t id) {
+  Trajectory t;
+  t.id = id;
+  for (int i = 0; i < n; ++i) {
+    const double f = static_cast<double>(i) / (n - 1);
+    t.points.push_back(Point{x0 + f * (x1 - x0), y0 + f * (y1 - y0)});
+  }
+  return t;
+}
+
+traj::Grid CoarseGrid(const std::vector<Trajectory>& corpus, double cell) {
+  return traj::Grid::Create(traj::ComputeBoundingBox(corpus), cell).value();
+}
+
+TEST(TripletGeneratorTest, ClustersSharedCoarseSequences) {
+  // Two nearly identical trips plus one far-away trip.
+  std::vector<Trajectory> corpus = {
+      Line(0, 0, 400, 0, 10, 0), Line(5, 5, 395, 8, 10, 1),
+      Line(5000, 5000, 5400, 5000, 10, 2), Line(5002, 5004, 5396, 5003, 10, 3)};
+  const traj::Grid grid = CoarseGrid(corpus, 500.0);
+  FastTripletGenerator gen(grid, corpus);
+  EXPECT_EQ(gen.num_clusters(), 2);
+  EXPECT_EQ(gen.num_multi_clusters(), 2);
+}
+
+TEST(TripletGeneratorTest, TripletsRespectClusterMembership) {
+  std::vector<Trajectory> corpus = {
+      Line(0, 0, 400, 0, 10, 0), Line(5, 5, 395, 8, 10, 1),
+      Line(5000, 5000, 5400, 5000, 10, 2), Line(5002, 5004, 5396, 5003, 10, 3)};
+  const traj::Grid grid = CoarseGrid(corpus, 500.0);
+  FastTripletGenerator gen(grid, corpus);
+  Rng rng(1);
+  const auto triplets = gen.Generate(200, rng);
+  ASSERT_EQ(triplets.size(), 200u);
+  for (const Triplet& t : triplets) {
+    EXPECT_NE(t.anchor, t.positive);
+    EXPECT_NE(t.anchor, t.negative);
+    EXPECT_NE(t.positive, t.negative);
+    const std::string key_a =
+        grid.SequenceKey(grid.Map(corpus[t.anchor], true));
+    const std::string key_p =
+        grid.SequenceKey(grid.Map(corpus[t.positive], true));
+    const std::string key_n =
+        grid.SequenceKey(grid.Map(corpus[t.negative], true));
+    EXPECT_EQ(key_a, key_p);
+    EXPECT_NE(key_a, key_n);
+  }
+}
+
+TEST(TripletGeneratorTest, NoMultiClustersGivesEmpty) {
+  std::vector<Trajectory> corpus = {Line(0, 0, 400, 0, 10, 0),
+                                    Line(5000, 5000, 5400, 5000, 10, 1)};
+  const traj::Grid grid = CoarseGrid(corpus, 500.0);
+  FastTripletGenerator gen(grid, corpus);
+  EXPECT_EQ(gen.num_multi_clusters(), 0);
+  Rng rng(2);
+  EXPECT_TRUE(gen.Generate(10, rng).empty());
+}
+
+TEST(TripletGeneratorTest, SingleClusterCoveringCorpusGivesEmpty) {
+  // All trajectories identical: positives exist but no negative does.
+  std::vector<Trajectory> corpus = {Line(0, 0, 400, 0, 10, 0),
+                                    Line(1, 1, 399, 1, 10, 1),
+                                    Line(2, 2, 398, 2, 10, 2)};
+  const traj::Grid grid = CoarseGrid(corpus, 500.0);
+  FastTripletGenerator gen(grid, corpus);
+  Rng rng(3);
+  EXPECT_TRUE(gen.Generate(10, rng).empty());
+}
+
+TEST(TripletGeneratorTest, PositivePairsAreGeometricallyBounded) {
+  // The paper's §IV-F claim: trajectories in the same coarse cluster have
+  // Frechet distance bounded by the cell size scale. Verify on synthetic
+  // data: positives are closer than negatives under Frechet.
+  Rng rng(4);
+  traj::CityConfig city = traj::CityConfig::PortoLike();
+  city.max_points = 16;
+  const std::vector<Trajectory> corpus = GenerateTrips(city, 300, rng);
+  const traj::Grid grid = CoarseGrid(corpus, 500.0);
+  FastTripletGenerator gen(grid, corpus);
+  if (gen.num_multi_clusters() == 0) GTEST_SKIP() << "no clusters formed";
+  const auto triplets = gen.Generate(30, rng);
+  const double cell_diag = 500.0 * std::sqrt(2.0);
+  int positives_closer = 0;
+  for (const Triplet& t : triplets) {
+    const double dp = dist::Frechet(corpus[t.anchor], corpus[t.positive]);
+    const double dn = dist::Frechet(corpus[t.anchor], corpus[t.negative]);
+    // Same deduped coarse sequence => pointwise within one cell plus
+    // adjacency slack; use the conservative 2-cell-diagonal bound.
+    EXPECT_LE(dp, 2.0 * cell_diag);
+    if (dp < dn) ++positives_closer;
+  }
+  EXPECT_GT(positives_closer, static_cast<int>(triplets.size() * 0.8));
+}
+
+TEST(TripletGeneratorTest, GenerateIsDeterministicUnderSeed) {
+  std::vector<Trajectory> corpus = {
+      Line(0, 0, 400, 0, 10, 0), Line(5, 5, 395, 8, 10, 1),
+      Line(5000, 5000, 5400, 5000, 10, 2), Line(5002, 5004, 5396, 5003, 10, 3)};
+  const traj::Grid grid = CoarseGrid(corpus, 500.0);
+  FastTripletGenerator gen(grid, corpus);
+  Rng r1(7), r2(7);
+  const auto a = gen.Generate(20, r1);
+  const auto b = gen.Generate(20, r2);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].anchor, b[i].anchor);
+    EXPECT_EQ(a[i].positive, b[i].positive);
+    EXPECT_EQ(a[i].negative, b[i].negative);
+  }
+}
+
+}  // namespace
+}  // namespace traj2hash::core

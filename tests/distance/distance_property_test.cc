@@ -1,0 +1,144 @@
+// Property-based sweeps over random trajectory pairs verifying the paper's
+// Lemma 1 (endpoint lower bound), Lemma 2 (reverse symmetric property) and
+// general metric-style invariants for every measure.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "distance/distance.h"
+#include "traj/synthetic.h"
+
+namespace traj2hash::dist {
+namespace {
+
+using traj::Trajectory;
+
+std::vector<Trajectory> RandomTrajectories(int n, uint64_t seed) {
+  Rng rng(seed);
+  traj::CityConfig cfg = traj::CityConfig::PortoLike();
+  cfg.max_points = 24;
+  return GenerateTrips(cfg, n, rng);
+}
+
+class MeasurePropertyTest : public ::testing::TestWithParam<Measure> {};
+
+TEST_P(MeasurePropertyTest, NonNegativeZeroOnSelfSymmetric) {
+  const DistanceFn fn = GetDistance(GetParam());
+  const auto ts = RandomTrajectories(12, 101);
+  for (size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_NEAR(fn(ts[i], ts[i]), 0.0, 1e-9);
+    for (size_t j = i + 1; j < ts.size(); ++j) {
+      const double dij = fn(ts[i], ts[j]);
+      EXPECT_GE(dij, 0.0);
+      EXPECT_NEAR(dij, fn(ts[j], ts[i]), 1e-9);
+    }
+  }
+}
+
+TEST_P(MeasurePropertyTest, ReverseSymmetricProperty) {
+  // Lemma 2: D(T1, T2) == D(T1^r, T2^r) for DTW, Frechet, Hausdorff.
+  const DistanceFn fn = GetDistance(GetParam());
+  const auto ts = RandomTrajectories(10, 202);
+  for (size_t i = 0; i < ts.size(); ++i) {
+    for (size_t j = i + 1; j < ts.size(); ++j) {
+      EXPECT_NEAR(fn(ts[i], ts[j]),
+                  fn(traj::Reversed(ts[i]), traj::Reversed(ts[j])), 1e-9);
+    }
+  }
+}
+
+TEST_P(MeasurePropertyTest, EndpointLowerBoundHolds) {
+  // Lemma 1 for DTW and Frechet. (Not asserted for Hausdorff, where the
+  // paper notes it does not apply.)
+  if (!HasEndpointLowerBound(GetParam())) GTEST_SKIP();
+  const DistanceFn fn = GetDistance(GetParam());
+  const auto ts = RandomTrajectories(14, 303);
+  for (size_t i = 0; i < ts.size(); ++i) {
+    for (size_t j = i + 1; j < ts.size(); ++j) {
+      EXPECT_LE(EndpointLowerBound(ts[i], ts[j]), fn(ts[i], ts[j]) + 1e-9);
+    }
+  }
+}
+
+TEST_P(MeasurePropertyTest, TranslationInvariant) {
+  const DistanceFn fn = GetDistance(GetParam());
+  const auto ts = RandomTrajectories(6, 404);
+  auto shift = [](const Trajectory& t, double dx, double dy) {
+    Trajectory s = t;
+    for (traj::Point& p : s.points) {
+      p.x += dx;
+      p.y += dy;
+    }
+    return s;
+  };
+  for (size_t i = 0; i + 1 < ts.size(); i += 2) {
+    const double base = fn(ts[i], ts[i + 1]);
+    const double shifted =
+        fn(shift(ts[i], 1234.5, -678.9), shift(ts[i + 1], 1234.5, -678.9));
+    EXPECT_NEAR(base, shifted, 1e-6 * (1.0 + base));
+  }
+}
+
+TEST_P(MeasurePropertyTest, ScalesLinearlyWithSpace) {
+  const DistanceFn fn = GetDistance(GetParam());
+  const auto ts = RandomTrajectories(6, 505);
+  auto scale = [](const Trajectory& t, double s) {
+    Trajectory out = t;
+    for (traj::Point& p : out.points) {
+      p.x *= s;
+      p.y *= s;
+    }
+    return out;
+  };
+  for (size_t i = 0; i + 1 < ts.size(); i += 2) {
+    const double base = fn(ts[i], ts[i + 1]);
+    const double doubled = fn(scale(ts[i], 2.0), scale(ts[i + 1], 2.0));
+    EXPECT_NEAR(doubled, 2.0 * base, 1e-6 * (1.0 + doubled));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMeasures, MeasurePropertyTest,
+                         ::testing::Values(Measure::kFrechet,
+                                           Measure::kHausdorff, Measure::kDtw),
+                         [](const auto& info) {
+                           return MeasureName(info.param);
+                         });
+
+TEST(DtwFrechetRelationTest, FrechetLowerBoundsDtwForEqualLengths) {
+  // DTW sums at least max(n, m) >= 1 step costs each >= 0, and its largest
+  // matched pair is >= ... not in general; but DTW >= Frechet always holds
+  // since DTW's path sum >= its max edge >= the min-over-paths max edge.
+  const auto ts = RandomTrajectories(10, 606);
+  for (size_t i = 0; i < ts.size(); ++i) {
+    for (size_t j = i + 1; j < ts.size(); ++j) {
+      EXPECT_GE(Dtw(ts[i], ts[j]) + 1e-9, Frechet(ts[i], ts[j]));
+    }
+  }
+}
+
+TEST(HausdorffFrechetRelationTest, FrechetUpperBoundsHausdorff) {
+  const auto ts = RandomTrajectories(10, 707);
+  for (size_t i = 0; i < ts.size(); ++i) {
+    for (size_t j = i + 1; j < ts.size(); ++j) {
+      EXPECT_GE(Frechet(ts[i], ts[j]) + 1e-9, Hausdorff(ts[i], ts[j]));
+    }
+  }
+}
+
+TEST(ConstrainedDtwPropertyTest, MonotoneInWindow) {
+  const auto ts = RandomTrajectories(8, 808);
+  for (size_t i = 0; i + 1 < ts.size(); i += 2) {
+    double prev = ConstrainedDtw(ts[i], ts[i + 1], 1);
+    for (const int w : {2, 4, 8, 16, 32}) {
+      const double curr = ConstrainedDtw(ts[i], ts[i + 1], w);
+      EXPECT_LE(curr, prev + 1e-9);
+      prev = curr;
+    }
+    EXPECT_NEAR(prev, Dtw(ts[i], ts[i + 1]), 1e-9);  // window >= len
+  }
+}
+
+}  // namespace
+}  // namespace traj2hash::dist

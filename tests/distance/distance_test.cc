@@ -1,0 +1,166 @@
+#include "distance/distance.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace traj2hash::dist {
+namespace {
+
+using traj::Point;
+using traj::Trajectory;
+
+Trajectory MakeTraj(std::vector<Point> pts) {
+  Trajectory t;
+  t.points = std::move(pts);
+  return t;
+}
+
+TEST(DtwTest, IdenticalTrajectoriesHaveZeroDistance) {
+  const Trajectory t = MakeTraj({{0, 0}, {1, 1}, {2, 0}});
+  EXPECT_DOUBLE_EQ(Dtw(t, t), 0.0);
+}
+
+TEST(DtwTest, SinglePointPairs) {
+  const Trajectory a = MakeTraj({{0, 0}});
+  const Trajectory b = MakeTraj({{3, 4}});
+  EXPECT_DOUBLE_EQ(Dtw(a, b), 5.0);
+}
+
+TEST(DtwTest, HandComputedValue) {
+  // a: (0,0),(1,0); b: (0,1). Alignment matches both a-points to b's point.
+  const Trajectory a = MakeTraj({{0, 0}, {1, 0}});
+  const Trajectory b = MakeTraj({{0, 1}});
+  EXPECT_DOUBLE_EQ(Dtw(a, b), 1.0 + std::sqrt(2.0));
+}
+
+TEST(DtwTest, WarpingAbsorbsResampling) {
+  // A trajectory and a doubled version of itself are DTW-identical.
+  const Trajectory a = MakeTraj({{0, 0}, {1, 0}, {2, 0}});
+  const Trajectory b =
+      MakeTraj({{0, 0}, {0, 0}, {1, 0}, {1, 0}, {2, 0}, {2, 0}});
+  EXPECT_DOUBLE_EQ(Dtw(a, b), 0.0);
+}
+
+TEST(ConstrainedDtwTest, NegativeWindowEqualsExact) {
+  const Trajectory a = MakeTraj({{0, 0}, {5, 1}, {9, 2}, {12, 0}});
+  const Trajectory b = MakeTraj({{1, 0}, {4, 2}, {8, 1}});
+  EXPECT_DOUBLE_EQ(ConstrainedDtw(a, b, -1), Dtw(a, b));
+}
+
+TEST(ConstrainedDtwTest, WindowIsUpperBoundedByExact) {
+  // Constraining the warping path can only increase the cost.
+  const Trajectory a =
+      MakeTraj({{0, 0}, {1, 3}, {2, 0}, {3, 3}, {4, 0}, {5, 3}});
+  const Trajectory b = MakeTraj({{0, 3}, {2, 2}, {5, 0}});
+  const double exact = Dtw(a, b);
+  for (const int w : {0, 1, 2, 3, 10}) {
+    EXPECT_GE(ConstrainedDtw(a, b, w) + 1e-9, exact) << "window " << w;
+  }
+}
+
+TEST(FrechetTest, IdenticalTrajectoriesHaveZeroDistance) {
+  const Trajectory t = MakeTraj({{0, 0}, {1, 1}, {2, 0}});
+  EXPECT_DOUBLE_EQ(Frechet(t, t), 0.0);
+}
+
+TEST(FrechetTest, ParallelLinesDistance) {
+  const Trajectory a = MakeTraj({{0, 0}, {1, 0}, {2, 0}});
+  const Trajectory b = MakeTraj({{0, 2}, {1, 2}, {2, 2}});
+  EXPECT_DOUBLE_EQ(Frechet(a, b), 2.0);
+}
+
+TEST(FrechetTest, IsMaxNotSum) {
+  // One far point dominates; adding close points does not change it.
+  const Trajectory a = MakeTraj({{0, 0}, {10, 0}});
+  const Trajectory b = MakeTraj({{0, 0}, {10, 5}});
+  EXPECT_DOUBLE_EQ(Frechet(a, b), 5.0);
+}
+
+TEST(FrechetTest, LeashCannotBacktrack) {
+  // Classic: Frechet >= Hausdorff because ordering matters.
+  const Trajectory a = MakeTraj({{0, 0}, {10, 0}, {0, 1}, {10, 1}});
+  const Trajectory b = MakeTraj({{10, 0}, {0, 0}, {10, 1}, {0, 1}});
+  EXPECT_GE(Frechet(a, b), Hausdorff(a, b));
+  EXPECT_GT(Frechet(a, b), 5.0);
+}
+
+TEST(HausdorffTest, SymmetricAndZeroOnSelf) {
+  const Trajectory a = MakeTraj({{0, 0}, {5, 5}});
+  const Trajectory b = MakeTraj({{1, 1}, {4, 4}, {9, 9}});
+  EXPECT_DOUBLE_EQ(Hausdorff(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(Hausdorff(a, b), Hausdorff(b, a));
+}
+
+TEST(HausdorffTest, HandComputedValue) {
+  const Trajectory a = MakeTraj({{0, 0}});
+  const Trajectory b = MakeTraj({{3, 0}, {0, 4}});
+  // Every b-point's nearest a-point is (0,0): directed b->a = 4.
+  EXPECT_DOUBLE_EQ(Hausdorff(a, b), 4.0);
+}
+
+TEST(HausdorffTest, OrderInvariant) {
+  const Trajectory a = MakeTraj({{0, 0}, {1, 0}, {2, 0}});
+  const Trajectory shuffled = MakeTraj({{2, 0}, {0, 0}, {1, 0}});
+  const Trajectory b = MakeTraj({{0, 1}, {5, 2}});
+  EXPECT_DOUBLE_EQ(Hausdorff(a, b), Hausdorff(shuffled, b));
+}
+
+TEST(ErpTest, MetricIdentityAndSymmetry) {
+  const Trajectory a = MakeTraj({{1, 1}, {2, 2}});
+  const Trajectory b = MakeTraj({{1, 2}, {3, 1}});
+  EXPECT_DOUBLE_EQ(Erp(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(Erp(a, b), Erp(b, a));
+}
+
+TEST(ErpTest, GapPenaltyForLengthMismatch) {
+  const Trajectory a = MakeTraj({{3, 4}});
+  const Trajectory b = MakeTraj({{3, 4}, {6, 8}});
+  // Best alignment matches (3,4) and gaps (6,8): cost = |(6,8)-g| = 10.
+  EXPECT_DOUBLE_EQ(Erp(a, b), 10.0);
+}
+
+TEST(ErpTest, TriangleInequalityOnSamples) {
+  const Trajectory a = MakeTraj({{0, 0}, {1, 0}});
+  const Trajectory b = MakeTraj({{0, 1}, {2, 1}, {3, 3}});
+  const Trajectory c = MakeTraj({{5, 5}});
+  EXPECT_LE(Erp(a, c), Erp(a, b) + Erp(b, c) + 1e-9);
+}
+
+TEST(RegistryTest, ParseAndNames) {
+  EXPECT_EQ(ParseMeasure("frechet").value(), Measure::kFrechet);
+  EXPECT_EQ(ParseMeasure("hausdorff").value(), Measure::kHausdorff);
+  EXPECT_EQ(ParseMeasure("dtw").value(), Measure::kDtw);
+  EXPECT_FALSE(ParseMeasure("lcss").ok());
+  EXPECT_EQ(MeasureName(Measure::kDtw), "DTW");
+  EXPECT_TRUE(HasEndpointLowerBound(Measure::kDtw));
+  EXPECT_TRUE(HasEndpointLowerBound(Measure::kFrechet));
+  EXPECT_FALSE(HasEndpointLowerBound(Measure::kHausdorff));
+}
+
+TEST(RegistryTest, GetDistanceDispatches) {
+  const Trajectory a = MakeTraj({{0, 0}, {1, 0}});
+  const Trajectory b = MakeTraj({{0, 2}, {1, 2}});
+  EXPECT_DOUBLE_EQ(GetDistance(Measure::kFrechet)(a, b), Frechet(a, b));
+  EXPECT_DOUBLE_EQ(GetDistance(Measure::kDtw)(a, b), Dtw(a, b));
+  EXPECT_DOUBLE_EQ(GetDistance(Measure::kHausdorff)(a, b), Hausdorff(a, b));
+}
+
+TEST(PairwiseMatrixTest, SymmetricZeroDiagonal) {
+  std::vector<Trajectory> ts = {MakeTraj({{0, 0}, {1, 0}}),
+                                MakeTraj({{0, 1}, {1, 1}}),
+                                MakeTraj({{5, 5}, {6, 6}})};
+  const std::vector<double> d =
+      PairwiseMatrix(ts, GetDistance(Measure::kDtw));
+  ASSERT_EQ(d.size(), 9u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(d[i * 3 + i], 0.0);
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(d[i * 3 + j], d[j * 3 + i]);
+    }
+  }
+  EXPECT_GT(d[0 * 3 + 2], d[0 * 3 + 1]);
+}
+
+}  // namespace
+}  // namespace traj2hash::dist

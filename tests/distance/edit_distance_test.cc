@@ -1,0 +1,111 @@
+// Tests for the threshold-based edit measures (LCSS distance and EDR).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "distance/distance.h"
+#include "traj/synthetic.h"
+
+namespace traj2hash::dist {
+namespace {
+
+using traj::Point;
+using traj::Trajectory;
+
+Trajectory MakeTraj(std::vector<Point> pts) {
+  Trajectory t;
+  t.points = std::move(pts);
+  return t;
+}
+
+TEST(LcssTest, IdenticalTrajectoriesHaveZeroDistance) {
+  const Trajectory t = MakeTraj({{0, 0}, {10, 0}, {20, 5}});
+  EXPECT_DOUBLE_EQ(LcssDistance(t, t, 1.0), 0.0);
+}
+
+TEST(LcssTest, DisjointTrajectoriesHaveDistanceOne) {
+  const Trajectory a = MakeTraj({{0, 0}, {1, 0}});
+  const Trajectory b = MakeTraj({{100, 100}, {200, 200}});
+  EXPECT_DOUBLE_EQ(LcssDistance(a, b, 5.0), 1.0);
+}
+
+TEST(LcssTest, PartialMatchCountsMatchedFraction) {
+  const Trajectory a = MakeTraj({{0, 0}, {10, 0}, {20, 0}, {30, 0}});
+  const Trajectory b = MakeTraj({{0, 0}, {10, 0}, {500, 0}, {600, 0}});
+  // LCSS = 2 of min length 4.
+  EXPECT_DOUBLE_EQ(LcssDistance(a, b, 1.0), 0.5);
+}
+
+TEST(LcssTest, EpsilonControlsMatching) {
+  const Trajectory a = MakeTraj({{0, 0}, {10, 0}});
+  const Trajectory b = MakeTraj({{0, 3}, {10, 3}});
+  EXPECT_DOUBLE_EQ(LcssDistance(a, b, 1.0), 1.0);  // 3 m apart, eps 1
+  EXPECT_DOUBLE_EQ(LcssDistance(a, b, 5.0), 0.0);  // eps 5 matches all
+}
+
+TEST(LcssTest, BoundedZeroOne) {
+  Rng rng(1);
+  traj::CityConfig city = traj::CityConfig::PortoLike();
+  city.max_points = 20;
+  const auto ts = GenerateTrips(city, 10, rng);
+  for (size_t i = 0; i + 1 < ts.size(); i += 2) {
+    const double d = LcssDistance(ts[i], ts[i + 1], 200.0);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(EdrTest, IdenticalTrajectoriesHaveZeroDistance) {
+  const Trajectory t = MakeTraj({{0, 0}, {10, 0}, {20, 5}});
+  EXPECT_DOUBLE_EQ(Edr(t, t, 1.0), 0.0);
+}
+
+TEST(EdrTest, LengthDifferenceCostsInsertions) {
+  const Trajectory a = MakeTraj({{0, 0}});
+  const Trajectory b = MakeTraj({{0, 0}, {100, 0}, {200, 0}});
+  EXPECT_DOUBLE_EQ(Edr(a, b, 1.0), 2.0);
+}
+
+TEST(EdrTest, SubstitutionFreeWithinEpsilon) {
+  const Trajectory a = MakeTraj({{0, 0}, {10, 0}});
+  const Trajectory b = MakeTraj({{0, 0.5}, {10, 0.5}});
+  EXPECT_DOUBLE_EQ(Edr(a, b, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Edr(a, b, 0.1), 2.0);
+}
+
+TEST(EdrTest, SymmetricOnRandomPairs) {
+  Rng rng(2);
+  traj::CityConfig city = traj::CityConfig::PortoLike();
+  city.max_points = 18;
+  const auto ts = GenerateTrips(city, 8, rng);
+  for (size_t i = 0; i + 1 < ts.size(); i += 2) {
+    EXPECT_DOUBLE_EQ(Edr(ts[i], ts[i + 1], 150.0),
+                     Edr(ts[i + 1], ts[i], 150.0));
+  }
+}
+
+TEST(EdrTest, UpperBoundedBySumOfLengths) {
+  const Trajectory a = MakeTraj({{0, 0}, {1, 0}, {2, 0}});
+  const Trajectory b = MakeTraj({{1000, 0}, {1001, 0}});
+  // Worst case: substitute min(n,m) and insert the remainder.
+  EXPECT_LE(Edr(a, b, 0.5), 3.0);
+}
+
+TEST(EditMeasuresTest, ReverseSymmetricPropertyHolds) {
+  // LCSS/EDR also satisfy the reverse symmetric property (DP over both
+  // reversed sequences yields the same alignment costs).
+  Rng rng(3);
+  traj::CityConfig city = traj::CityConfig::PortoLike();
+  city.max_points = 16;
+  const auto ts = GenerateTrips(city, 8, rng);
+  for (size_t i = 0; i + 1 < ts.size(); i += 2) {
+    const Trajectory ra = traj::Reversed(ts[i]);
+    const Trajectory rb = traj::Reversed(ts[i + 1]);
+    EXPECT_DOUBLE_EQ(LcssDistance(ts[i], ts[i + 1], 200.0),
+                     LcssDistance(ra, rb, 200.0));
+    EXPECT_DOUBLE_EQ(Edr(ts[i], ts[i + 1], 200.0), Edr(ra, rb, 200.0));
+  }
+}
+
+}  // namespace
+}  // namespace traj2hash::dist

@@ -1,0 +1,100 @@
+#include "distance/exact_search.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+#include "traj/synthetic.h"
+
+namespace traj2hash::dist {
+namespace {
+
+struct Workload {
+  std::vector<traj::Trajectory> database;
+  std::vector<traj::Trajectory> queries;
+};
+
+Workload MakeWorkload(int db, int q, uint64_t seed = 41) {
+  Rng rng(seed);
+  traj::CityConfig city = traj::CityConfig::PortoLike();
+  city.max_points = 18;
+  auto all = GenerateTrips(city, db + q, rng);
+  Workload w;
+  w.queries.assign(all.begin(), all.begin() + q);
+  w.database.assign(all.begin() + q, all.end());
+  return w;
+}
+
+class LowerBoundSearchTest : public ::testing::TestWithParam<Measure> {};
+
+TEST_P(LowerBoundSearchTest, MatchesBruteForceExactly) {
+  const Workload w = MakeWorkload(150, 5);
+  const DistanceFn fn = GetDistance(GetParam());
+  for (const traj::Trajectory& q : w.queries) {
+    const ExactSearchResult pruned =
+        ExactTopKWithLowerBound(q, w.database, GetParam(), 10);
+    // Reference: exhaustive scoring with identical tie-break.
+    std::vector<std::pair<double, int>> all;
+    for (size_t i = 0; i < w.database.size(); ++i) {
+      all.push_back({fn(q, w.database[i]), static_cast<int>(i)});
+    }
+    std::sort(all.begin(), all.end());
+    ASSERT_EQ(pruned.neighbors.size(), 10u);
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(pruned.neighbors[i].index, all[i].second) << i;
+      EXPECT_DOUBLE_EQ(pruned.neighbors[i].distance, all[i].first);
+    }
+  }
+}
+
+TEST_P(LowerBoundSearchTest, AccountingIsConsistent) {
+  const Workload w = MakeWorkload(200, 3);
+  for (const traj::Trajectory& q : w.queries) {
+    const ExactSearchResult r =
+        ExactTopKWithLowerBound(q, w.database, GetParam(), 5);
+    EXPECT_EQ(r.dp_evaluations + r.pruned,
+              static_cast<int>(w.database.size()));
+    EXPECT_GE(r.dp_evaluations, 5);
+  }
+}
+
+TEST_P(LowerBoundSearchTest, PrunesSomethingOnClusteredData) {
+  // Hub-structured trips have spread-out endpoints, so the bound bites for
+  // Frechet (whose value is max-aggregated, close to the bound). For DTW the
+  // sum aggregation dwarfs one point pair and pruning can be zero — exactly
+  // the looseness the paper remarks on — so only non-negativity is asserted.
+  const Workload w = MakeWorkload(300, 4);
+  int total_pruned = 0;
+  for (const traj::Trajectory& q : w.queries) {
+    total_pruned +=
+        ExactTopKWithLowerBound(q, w.database, GetParam(), 10).pruned;
+  }
+  if (GetParam() == Measure::kFrechet) {
+    EXPECT_GT(total_pruned, 0);
+  } else {
+    EXPECT_GE(total_pruned, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LowerBoundMeasures, LowerBoundSearchTest,
+                         ::testing::Values(Measure::kFrechet, Measure::kDtw),
+                         [](const auto& info) {
+                           return MeasureName(info.param);
+                         });
+
+TEST(LowerBoundSearchTest, KLargerThanDatabaseClamps) {
+  const Workload w = MakeWorkload(6, 1);
+  const auto r = ExactTopKWithLowerBound(w.queries[0], w.database,
+                                         Measure::kFrechet, 50);
+  EXPECT_EQ(r.neighbors.size(), 6u);
+}
+
+TEST(LowerBoundSearchDeathTest, HausdorffRejected) {
+  const Workload w = MakeWorkload(4, 1);
+  EXPECT_DEATH(ExactTopKWithLowerBound(w.queries[0], w.database,
+                                       Measure::kHausdorff, 2),
+               "CHECK");
+}
+
+}  // namespace
+}  // namespace traj2hash::dist

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "distance/distance.h"
+#include "traj/synthetic.h"
+
+namespace traj2hash::dist {
+namespace {
+
+std::vector<traj::Trajectory> Corpus(int n) {
+  Rng rng(9);
+  traj::CityConfig city = traj::CityConfig::PortoLike();
+  city.max_points = 16;
+  return GenerateTrips(city, n, rng);
+}
+
+class PairwiseParallelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PairwiseParallelTest, MatchesSerialExactly) {
+  const auto ts = Corpus(24);
+  const DistanceFn fn = GetDistance(Measure::kFrechet);
+  const std::vector<double> serial = PairwiseMatrix(ts, fn);
+  const std::vector<double> parallel =
+      PairwiseMatrixParallel(ts, fn, GetParam());
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, PairwiseParallelTest,
+                         ::testing::Values(1, 2, 4, 7),
+                         [](const auto& info) {
+                           return "threads_" + std::to_string(info.param);
+                         });
+
+TEST(PairwiseParallelTest, WorksForAllMeasures) {
+  const auto ts = Corpus(10);
+  for (const Measure m :
+       {Measure::kFrechet, Measure::kHausdorff, Measure::kDtw}) {
+    const DistanceFn fn = GetDistance(m);
+    EXPECT_EQ(PairwiseMatrix(ts, fn), PairwiseMatrixParallel(ts, fn, 3))
+        << MeasureName(m);
+  }
+}
+
+TEST(PairwiseParallelTest, TinyInputs) {
+  const auto ts = Corpus(2);
+  const DistanceFn fn = GetDistance(Measure::kDtw);
+  const auto d = PairwiseMatrixParallel(ts, fn, 8);  // more threads than rows
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_EQ(d[0], 0.0);
+  EXPECT_EQ(d[3], 0.0);
+  EXPECT_EQ(d[1], d[2]);
+  EXPECT_GT(d[1], 0.0);
+}
+
+}  // namespace
+}  // namespace traj2hash::dist

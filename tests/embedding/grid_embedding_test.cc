@@ -1,0 +1,94 @@
+#include "embedding/grid_embedding.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+
+namespace traj2hash::embedding {
+namespace {
+
+double Dot(const std::vector<float>& a, const std::vector<float>& b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double CosineSim(const std::vector<float>& a, const std::vector<float>& b) {
+  return Dot(a, b) / (std::sqrt(Dot(a, a)) * std::sqrt(Dot(b, b)) + 1e-12);
+}
+
+std::vector<float> CellVec(const DecomposedGridEmbedding& emb,
+                           const traj::Cell& c) {
+  return emb.SequenceEmbedding({c})->value();
+}
+
+TEST(DecomposedGridEmbeddingTest, SequenceShapeAndDecomposition) {
+  Rng rng(1);
+  DecomposedGridEmbedding emb(10, 12, 8, rng);
+  const nn::Tensor seq = emb.SequenceEmbedding({{1, 2}, {3, 4}, {1, 2}});
+  EXPECT_EQ(seq->rows(), 3);
+  EXPECT_EQ(seq->cols(), 8);
+  // Same cell -> same embedding row.
+  for (int c = 0; c < 8; ++c) EXPECT_EQ(seq->at(0, c), seq->at(2, c));
+}
+
+TEST(DecomposedGridEmbeddingTest, ParameterCountIsLinearNotQuadratic) {
+  Rng rng(2);
+  DecomposedGridEmbedding emb(100, 80, 16, rng);
+  size_t total = 0;
+  for (const nn::Tensor& p : emb.Parameters()) total += p->value().size();
+  EXPECT_EQ(total, static_cast<size_t>((100 + 80) * 16));  // O(d(Nx+Ny))
+}
+
+TEST(DecomposedGridEmbeddingTest, SharedCoordinateInducesSimilarity) {
+  // Even untrained, cells sharing an x coordinate share e_x (the paper's
+  // "(3,5) and (3,6) are similar even without training").
+  Rng rng(3);
+  DecomposedGridEmbedding emb(20, 20, 16, rng);
+  const auto a = CellVec(emb, {3, 5});
+  const auto b = CellVec(emb, {3, 6});
+  const auto c = CellVec(emb, {13, 17});
+  EXPECT_GT(CosineSim(a, b), CosineSim(a, c));
+}
+
+TEST(DecomposedGridEmbeddingTest, PretrainSeparatesNeighborsFromFar) {
+  Rng rng(4);
+  DecomposedGridEmbedding emb(24, 24, 16, rng);
+  GridPretrainOptions opt;
+  opt.radius = 2;
+  opt.samples_per_epoch = 4000;
+  opt.epochs = 2;
+  emb.Pretrain(opt, rng);
+  EXPECT_TRUE(emb.frozen());
+  // After NCE, neighbouring cells should score higher than distant cells.
+  double near_sim = 0.0, far_sim = 0.0;
+  int count = 0;
+  for (int x = 4; x < 20; x += 4) {
+    for (int y = 4; y < 20; y += 4) {
+      const auto anchor = CellVec(emb, {x, y});
+      near_sim += Dot(anchor, CellVec(emb, {x + 1, y}));
+      far_sim += Dot(anchor, CellVec(emb, {(x + 12) % 24, (y + 12) % 24}));
+      ++count;
+    }
+  }
+  EXPECT_GT(near_sim / count, far_sim / count);
+}
+
+TEST(DecomposedGridEmbeddingTest, FrozenSequenceIsDetached) {
+  Rng rng(5);
+  DecomposedGridEmbedding emb(8, 8, 4, rng);
+  EXPECT_TRUE(emb.SequenceEmbedding({{1, 1}})->requires_grad());
+  emb.Freeze();
+  EXPECT_FALSE(emb.SequenceEmbedding({{1, 1}})->requires_grad());
+}
+
+TEST(DecomposedGridEmbeddingDeathTest, OutOfRangeCell) {
+  Rng rng(6);
+  DecomposedGridEmbedding emb(8, 8, 4, rng);
+  EXPECT_DEATH(emb.SequenceEmbedding({{8, 0}}), "CHECK");
+}
+
+}  // namespace
+}  // namespace traj2hash::embedding

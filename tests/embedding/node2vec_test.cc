@@ -1,0 +1,76 @@
+#include "embedding/node2vec.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace traj2hash::embedding {
+namespace {
+
+double Dot(const float* a, const float* b, int d) {
+  double acc = 0.0;
+  for (int i = 0; i < d; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+TEST(Node2vecTest, SequenceEmbeddingShapeAndConstness) {
+  Rng rng(1);
+  Node2vecGridEmbedding emb(6, 6, 8, rng);
+  const nn::Tensor seq = emb.SequenceEmbedding({{0, 0}, {5, 5}});
+  EXPECT_EQ(seq->rows(), 2);
+  EXPECT_EQ(seq->cols(), 8);
+  EXPECT_FALSE(seq->requires_grad());
+}
+
+TEST(Node2vecTest, TrainProcessesPairsAndSeparatesNeighbors) {
+  Rng rng(2);
+  const int d = 12;
+  Node2vecGridEmbedding emb(12, 12, d, rng);
+  Node2vecOptions opt;
+  opt.dim = d;
+  opt.walk_length = 12;
+  opt.num_walks = 4;
+  opt.window = 3;
+  const int64_t pairs = emb.Train(opt, rng);
+  EXPECT_GT(pairs, 0);
+  // Adjacent cells co-occur in walks, far cells rarely do.
+  double near_sim = 0.0, far_sim = 0.0;
+  int count = 0;
+  for (int x = 2; x < 10; x += 2) {
+    for (int y = 2; y < 10; y += 2) {
+      const float* anchor = emb.EmbeddingOf({x, y});
+      near_sim += Dot(anchor, emb.EmbeddingOf({x + 1, y}), d);
+      far_sim += Dot(anchor, emb.EmbeddingOf({(x + 6) % 12, (y + 6) % 12}), d);
+      ++count;
+    }
+  }
+  EXPECT_GT(near_sim / count, far_sim / count);
+}
+
+TEST(Node2vecTest, WalkCostScalesWithNodeCount) {
+  // The Fig. 7 point: node2vec work grows with the number of cells, while
+  // the decomposed representation's parameter count grows with Nx + Ny.
+  Rng rng(3);
+  Node2vecOptions opt;
+  opt.dim = 4;
+  opt.walk_length = 5;
+  opt.num_walks = 1;
+  opt.window = 2;
+  opt.num_negatives = 1;
+  Node2vecGridEmbedding small(4, 4, 4, rng);
+  Node2vecGridEmbedding large(12, 12, 4, rng);
+  const int64_t small_pairs = small.Train(opt, rng);
+  const int64_t large_pairs = large.Train(opt, rng);
+  EXPECT_GT(large_pairs, 4 * small_pairs);
+}
+
+TEST(Node2vecDeathTest, DimMismatchInOptions) {
+  Rng rng(4);
+  Node2vecGridEmbedding emb(4, 4, 8, rng);
+  Node2vecOptions opt;
+  opt.dim = 16;
+  EXPECT_DEATH(emb.Train(opt, rng), "CHECK");
+}
+
+}  // namespace
+}  // namespace traj2hash::embedding

@@ -1,0 +1,79 @@
+#include "eval/approximation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace traj2hash::eval {
+namespace {
+
+TEST(CompareDistancesTest, RejectsBadInput) {
+  EXPECT_FALSE(CompareDistances({1.0}, {1.0}).ok());
+  EXPECT_FALSE(CompareDistances({1.0, 2.0}, {1.0}).ok());
+}
+
+TEST(CompareDistancesTest, PerfectAgreement) {
+  const std::vector<double> exact = {1.0, 5.0, 3.0, 8.0, 2.0};
+  const auto stats = CompareDistances(exact, exact).value();
+  EXPECT_NEAR(stats.spearman, 1.0, 1e-12);
+  EXPECT_EQ(stats.discordance, 0.0);
+}
+
+TEST(CompareDistancesTest, MonotoneCalibrationInvariance) {
+  // exp(-d) is a decreasing transform; negate to make it increasing, or
+  // verify the rank correlation is exactly -1 for the raw transform.
+  const std::vector<double> exact = {1.0, 5.0, 3.0, 8.0, 2.0};
+  std::vector<double> approx;
+  for (const double d : exact) approx.push_back(std::exp(-0.3 * d));
+  const auto stats = CompareDistances(exact, approx).value();
+  EXPECT_NEAR(stats.spearman, -1.0, 1e-12);
+  EXPECT_NEAR(stats.discordance, 1.0, 1e-12);
+}
+
+TEST(CompareDistancesTest, ReversedOrderIsMinusOne) {
+  const std::vector<double> exact = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> approx = {4.0, 3.0, 2.0, 1.0};
+  const auto stats = CompareDistances(exact, approx).value();
+  EXPECT_NEAR(stats.spearman, -1.0, 1e-12);
+}
+
+TEST(CompareDistancesTest, IndependentSamplesNearZero) {
+  Rng rng(1);
+  std::vector<double> exact, approx;
+  for (int i = 0; i < 2000; ++i) {
+    exact.push_back(rng.Uniform(0.0, 1.0));
+    approx.push_back(rng.Uniform(0.0, 1.0));
+  }
+  const auto stats = CompareDistances(exact, approx).value();
+  EXPECT_LT(std::abs(stats.spearman), 0.1);
+  EXPECT_NEAR(stats.discordance, 0.5, 0.1);
+}
+
+TEST(CompareDistancesTest, TiesHandledByAverageRanks) {
+  const std::vector<double> exact = {1.0, 1.0, 2.0, 2.0};
+  const std::vector<double> approx = {3.0, 3.0, 7.0, 7.0};
+  const auto stats = CompareDistances(exact, approx).value();
+  EXPECT_NEAR(stats.spearman, 1.0, 1e-12);
+}
+
+TEST(UpperTriangleTest, ExtractsStrictUpperRowMajor) {
+  // 3x3 matrix with distinct entries.
+  const std::vector<double> m = {0, 1, 2,  //
+                                 1, 0, 3,  //
+                                 2, 3, 0};
+  EXPECT_EQ(UpperTriangle(m, 3), (std::vector<double>{1, 2, 3}));
+}
+
+TEST(PairwiseEuclideanTest, MatchesHandComputation) {
+  const std::vector<std::vector<float>> e = {{0, 0}, {3, 4}, {0, 8}};
+  const auto d = PairwiseEuclidean(e);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 5.0);  // (0,0)-(3,4)
+  EXPECT_DOUBLE_EQ(d[1], 8.0);  // (0,0)-(0,8)
+  EXPECT_DOUBLE_EQ(d[2], 5.0);  // (3,4)-(0,8)
+}
+
+}  // namespace
+}  // namespace traj2hash::eval

@@ -1,0 +1,109 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace traj2hash::eval {
+namespace {
+
+TEST(HitRatioTest, FullPartialAndNoOverlap) {
+  const std::vector<int> truth = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(HitRatio({1, 2, 3, 4, 5}, truth, 5), 1.0);
+  EXPECT_DOUBLE_EQ(HitRatio({1, 2, 9, 8, 7}, truth, 5), 0.4);
+  EXPECT_DOUBLE_EQ(HitRatio({9, 8, 7, 6, 0}, truth, 5), 0.0);
+}
+
+TEST(HitRatioTest, UsesOnlyTopKPrefix) {
+  const std::vector<int> truth = {1, 2, 3, 4};
+  // Retrieved has the right ids but beyond position k.
+  EXPECT_DOUBLE_EQ(HitRatio({9, 8, 1, 2}, truth, 2), 0.0);
+  EXPECT_DOUBLE_EQ(HitRatio({1, 9, 8, 2}, truth, 2), 0.5);
+}
+
+TEST(HitRatioTest, ShortListsDenominatorStaysK) {
+  EXPECT_DOUBLE_EQ(HitRatio({1}, {1, 2, 3}, 3), 1.0 / 3.0);
+}
+
+TEST(RecallTopKTest, R10At50Semantics) {
+  std::vector<int> truth;
+  for (int i = 0; i < 10; ++i) truth.push_back(i);
+  std::vector<int> retrieved;
+  for (int i = 100; i < 145; ++i) retrieved.push_back(i);
+  retrieved.push_back(3);  // one top-10 truth item inside top-50 retrieved
+  EXPECT_DOUBLE_EQ(RecallTopK(retrieved, truth, 10, 50), 0.1);
+}
+
+TEST(ExactTopKTest, ReturnsNearestIdsInOrder) {
+  using traj::Point;
+  using traj::Trajectory;
+  auto line = [](double offset) {
+    Trajectory t;
+    t.points = {{0, offset}, {10, offset}};
+    return t;
+  };
+  const std::vector<Trajectory> db = {line(0), line(5), line(1), line(20)};
+  const std::vector<Trajectory> queries = {line(0.2)};
+  const auto truth = ExactTopK(
+      queries, db, dist::GetDistance(dist::Measure::kFrechet), 3);
+  ASSERT_EQ(truth.size(), 1u);
+  EXPECT_EQ(truth[0], (std::vector<int>{0, 2, 1}));
+}
+
+TEST(EvaluateEuclideanTest, PerfectEmbeddingScoresOne) {
+  // Database embeddings = 1-D positions; queries identical to db entries.
+  std::vector<std::vector<float>> db;
+  for (int i = 0; i < 60; ++i) db.push_back({static_cast<float>(i)});
+  std::vector<std::vector<int>> truth;
+  std::vector<std::vector<float>> queries;
+  for (int q = 0; q < 5; ++q) {
+    queries.push_back({static_cast<float>(q * 10)});
+    // Ground truth = ids ordered by |i - q*10| with index tie-break.
+    std::vector<std::pair<double, int>> scored;
+    for (int i = 0; i < 60; ++i) {
+      scored.push_back({std::abs(i - q * 10), i});
+    }
+    std::sort(scored.begin(), scored.end());
+    std::vector<int> ids;
+    for (int i = 0; i < 50; ++i) ids.push_back(scored[i].second);
+    truth.push_back(ids);
+  }
+  const RetrievalMetrics m = EvaluateEuclidean(queries, db, truth);
+  EXPECT_DOUBLE_EQ(m.hr10, 1.0);
+  EXPECT_DOUBLE_EQ(m.hr50, 1.0);
+  EXPECT_DOUBLE_EQ(m.r10_50, 1.0);
+}
+
+TEST(EvaluateHammingTest, RandomCodesScoreLow) {
+  Rng rng(1);
+  auto random_code = [&rng] {
+    std::vector<float> v(32);
+    for (float& x : v) x = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+    return search::PackSigns(v);
+  };
+  std::vector<search::Code> db;
+  for (int i = 0; i < 200; ++i) db.push_back(random_code());
+  std::vector<search::Code> queries;
+  std::vector<std::vector<int>> truth;
+  Rng truth_rng(2);
+  for (int q = 0; q < 10; ++q) {
+    queries.push_back(random_code());
+    std::vector<int> ids;  // arbitrary truth unrelated to the codes
+    for (int i = 0; i < 50; ++i) {
+      ids.push_back(truth_rng.UniformInt(0, 199));
+    }
+    truth.push_back(ids);
+  }
+  const RetrievalMetrics m = EvaluateHamming(queries, db, truth);
+  EXPECT_LT(m.hr10, 0.6);  // random agreement only
+}
+
+TEST(EvaluateTest, EmptyQueriesGiveZeroMetrics) {
+  const RetrievalMetrics m = EvaluateEuclidean({}, {}, {});
+  EXPECT_DOUBLE_EQ(m.hr10, 0.0);
+  EXPECT_DOUBLE_EQ(m.hr50, 0.0);
+  EXPECT_DOUBLE_EQ(m.r10_50, 0.0);
+}
+
+}  // namespace
+}  // namespace traj2hash::eval

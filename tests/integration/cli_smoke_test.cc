@@ -1,0 +1,91 @@
+// Library-level smoke test of the CLI's pipeline wiring (generate -> save ->
+// load -> train -> query) without spawning a process: exercises the same
+// call sequence tools/t2h_cli.cc performs, including the config-mismatch
+// guard a user would hit with inconsistent flags.
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/index.h"
+#include "core/trainer.h"
+#include "distance/distance.h"
+#include "traj/io.h"
+#include "traj/synthetic.h"
+
+namespace traj2hash {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(CliPipelineTest, GenerateSaveLoadTrainQuery) {
+  // generate
+  Rng rng(91);
+  traj::CityConfig city = traj::CityConfig::PortoLike();
+  city.max_points = 12;
+  const auto generated = GenerateTrips(city, 150, rng);
+  const std::string csv = TempPath("t2h_cli_smoke.csv");
+  ASSERT_TRUE(traj::SaveCsv(generated, csv).ok());
+
+  // load (what `train --data` does)
+  auto loaded = traj::LoadCsv(csv);
+  ASSERT_TRUE(loaded.ok());
+  const std::vector<traj::Trajectory> corpus = std::move(loaded).value();
+  ASSERT_EQ(corpus.size(), generated.size());
+
+  // train
+  const std::vector<traj::Trajectory> seeds(corpus.begin(),
+                                            corpus.begin() + 20);
+  core::Traj2HashConfig cfg;
+  cfg.dim = 8;
+  cfg.num_blocks = 1;
+  cfg.num_heads = 2;
+  cfg.epochs = 2;
+  cfg.samples_per_anchor = 6;
+  cfg.batch_size = 8;
+  Rng train_rng(92);
+  auto model =
+      std::move(core::Traj2Hash::Create(cfg, corpus, train_rng).value());
+  model->PretrainGrids({.samples_per_epoch = 300, .epochs = 1}, train_rng);
+  core::TrainingData data;
+  data.seeds = seeds;
+  data.seed_distances = dist::PairwiseMatrix(
+      seeds, dist::GetDistance(dist::Measure::kFrechet));
+  data.triplet_corpus = corpus;
+  core::Trainer trainer(model.get(),
+                        core::TrainerOptions{.triplets_per_step = 2,
+                                             .refine_epochs = 5});
+  ASSERT_TRUE(trainer.Fit(data, train_rng).ok());
+  const std::string model_path = TempPath("t2h_cli_smoke.bin");
+  ASSERT_TRUE(model->Save(model_path).ok());
+
+  // query through a freshly-constructed model (the CLI's `query` path).
+  Rng query_rng(93);
+  auto served =
+      std::move(core::Traj2Hash::Create(cfg, corpus, query_rng).value());
+  ASSERT_TRUE(served->Load(model_path).ok());
+  core::TrajectoryIndex index(served.get());
+  index.AddAll(corpus);
+  const auto hits = index.QueryHamming(corpus[3], 5);
+  ASSERT_EQ(hits.size(), 5u);
+  // The query itself is in the index: its own code must be the top hit.
+  EXPECT_EQ(hits[0].index, 3);
+  EXPECT_EQ(hits[0].distance, 0.0);
+
+  // config mismatch (wrong --dim at query time) fails loudly, not silently.
+  core::Traj2HashConfig wrong = cfg;
+  wrong.dim = 16;
+  Rng wrong_rng(94);
+  auto mismatched =
+      std::move(core::Traj2Hash::Create(wrong, corpus, wrong_rng).value());
+  EXPECT_FALSE(mismatched->Load(model_path).ok());
+
+  std::remove(csv.c_str());
+  std::remove(model_path.c_str());
+}
+
+}  // namespace
+}  // namespace traj2hash

@@ -1,0 +1,60 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+
+namespace traj2hash::nn {
+namespace {
+
+TEST(AdamTest, MinimisesQuadratic) {
+  // f(p) = sum (p - target)^2 with target = (1, -2, 3).
+  const Tensor p = FromValues(1, 3, {0.0f, 0.0f, 0.0f}, true);
+  const Tensor target = FromValues(1, 3, {1.0f, -2.0f, 3.0f});
+  Adam opt({p}, AdamOptions{.lr = 0.05f});
+  for (int step = 0; step < 500; ++step) {
+    const Tensor diff = Sub(p, target);
+    Backward(SumAll(Mul(diff, diff)));
+    opt.Step();
+  }
+  EXPECT_NEAR(p->value()[0], 1.0f, 1e-2);
+  EXPECT_NEAR(p->value()[1], -2.0f, 1e-2);
+  EXPECT_NEAR(p->value()[2], 3.0f, 1e-2);
+}
+
+TEST(AdamTest, StepZeroesGradients) {
+  const Tensor p = FromValues(1, 1, {1.0f}, true);
+  Adam opt({p});
+  Backward(Mul(p, p));
+  EXPECT_NE(p->grad()[0], 0.0f);
+  opt.Step();
+  EXPECT_EQ(p->grad()[0], 0.0f);
+}
+
+TEST(AdamTest, FirstStepMagnitudeIsLearningRate) {
+  // Adam's bias-corrected first update is lr * sign(g).
+  const Tensor p = FromValues(1, 1, {2.0f}, true);
+  Adam opt({p}, AdamOptions{.lr = 0.1f});
+  Backward(Scale(p, 3.0f));  // constant gradient 3
+  opt.Step();
+  EXPECT_NEAR(p->value()[0], 2.0f - 0.1f, 1e-4);
+}
+
+TEST(AdamTest, ZeroGradDiscardsBatch) {
+  const Tensor p = FromValues(1, 1, {1.0f}, true);
+  Adam opt({p});
+  Backward(Mul(p, p));
+  opt.ZeroGrad();
+  opt.Step();  // no accumulated gradient -> no movement
+  EXPECT_FLOAT_EQ(p->value()[0], 1.0f);
+}
+
+TEST(AdamDeathTest, RejectsConstantParameters) {
+  const Tensor c = FromValues(1, 1, {1.0f}, false);
+  EXPECT_DEATH(Adam opt({c}), "CHECK");
+}
+
+}  // namespace
+}  // namespace traj2hash::nn

@@ -1,0 +1,112 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/grad_check.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+
+namespace traj2hash::nn {
+namespace {
+
+Tensor RandomTensor(int rows, int cols, Rng& rng, bool grad = false) {
+  Tensor t = MakeTensor(rows, cols, grad);
+  for (float& v : t->value()) v = static_cast<float>(rng.Uniform(-2.0, 2.0));
+  return t;
+}
+
+TEST(NormalizeRowsTest, RowsHaveZeroMeanUnitVariance) {
+  Rng rng(1);
+  const Tensor x = RandomTensor(4, 16, rng);
+  const Tensor y = NormalizeRows(x);
+  for (int r = 0; r < 4; ++r) {
+    float mean = 0.0f, var = 0.0f;
+    for (int c = 0; c < 16; ++c) mean += y->at(r, c);
+    mean /= 16;
+    for (int c = 0; c < 16; ++c) {
+      var += (y->at(r, c) - mean) * (y->at(r, c) - mean);
+    }
+    var /= 16;
+    EXPECT_NEAR(mean, 0.0f, 1e-5);
+    EXPECT_NEAR(var, 1.0f, 1e-3);
+  }
+}
+
+TEST(NormalizeRowsTest, ConstantRowStaysFinite) {
+  const Tensor x = Constant(1, 8, 3.0f);
+  const Tensor y = NormalizeRows(x);
+  for (const float v : y->value()) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_NEAR(v, 0.0f, 1e-4);
+  }
+}
+
+TEST(NormalizeRowsTest, GradientMatchesFiniteDifferences) {
+  Rng rng(2);
+  const Tensor x = RandomTensor(3, 6, rng, /*grad=*/true);
+  const Tensor weights = RandomTensor(3, 6, rng);
+  const double err = MaxGradError(
+      x, [&] { return SumAll(Mul(NormalizeRows(x), weights)); });
+  EXPECT_LT(err, 2e-2);
+}
+
+TEST(LayerNormTest, IdentityInitPreservesNormalisedValues) {
+  Rng rng(3);
+  LayerNorm norm(8, rng);
+  const Tensor x = RandomTensor(5, 8, rng);
+  const Tensor direct = NormalizeRows(x);
+  const Tensor via_module = norm.Forward(x);
+  for (int i = 0; i < direct->size(); ++i) {
+    EXPECT_NEAR(via_module->value()[i], direct->value()[i], 1e-5);
+  }
+  EXPECT_EQ(norm.Parameters().size(), 2u);
+}
+
+TEST(LayerNormTest, GammaBetaReceiveGradients) {
+  Rng rng(4);
+  LayerNorm norm(6, rng);
+  const Tensor x = RandomTensor(4, 6, rng);
+  for (const Tensor& p : norm.Parameters()) {
+    const double err = MaxGradError(
+        p, [&] { return SumAll(Tanh(norm.Forward(x))); });
+    EXPECT_LT(err, 2e-2);
+  }
+}
+
+TEST(EncoderBlockTest, LayerNormVariantKeepsShapeAndAddsParams) {
+  Rng rng(5);
+  EncoderBlock plain(8, 2, 16, rng, /*use_layer_norm=*/false);
+  EncoderBlock normed(8, 2, 16, rng, /*use_layer_norm=*/true);
+  const Tensor x = RandomTensor(5, 8, rng);
+  EXPECT_EQ(normed.Forward(x)->rows(), 5);
+  EXPECT_EQ(normed.Forward(x)->cols(), 8);
+  EXPECT_EQ(normed.Parameters().size(), plain.Parameters().size() + 4);
+}
+
+TEST(EncoderBlockTest, LayerNormStabilisesActivationScale) {
+  // Stacking many blocks without norm can blow up activations; with norm the
+  // scale stays bounded. Compare output magnitudes over a deep stack.
+  Rng rng1(6), rng2(6);
+  std::vector<std::unique_ptr<EncoderBlock>> plain, normed;
+  for (int i = 0; i < 6; ++i) {
+    plain.push_back(std::make_unique<EncoderBlock>(8, 2, 16, rng1, false));
+    normed.push_back(std::make_unique<EncoderBlock>(8, 2, 16, rng2, true));
+  }
+  Rng data_rng(7);
+  Tensor xp = RandomTensor(4, 8, data_rng);
+  Tensor xn = FromValues(4, 8, xp->value());
+  for (int i = 0; i < 6; ++i) {
+    xp = plain[i]->Forward(xp);
+    xn = normed[i]->Forward(xn);
+  }
+  auto max_abs = [](const Tensor& t) {
+    float m = 0.0f;
+    for (const float v : t->value()) m = std::max(m, std::abs(v));
+    return m;
+  };
+  EXPECT_LE(max_abs(xn), max_abs(xp) * 4.0f + 10.0f);  // bounded growth
+}
+
+}  // namespace
+}  // namespace traj2hash::nn

@@ -1,0 +1,170 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/grad_check.h"
+#include "nn/ops.h"
+
+namespace traj2hash::nn {
+namespace {
+
+Tensor RandomInput(int rows, int cols, Rng& rng) {
+  Tensor t = MakeTensor(rows, cols, false);
+  for (float& v : t->value()) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  return t;
+}
+
+TEST(LinearTest, OutputShapeAndBias) {
+  Rng rng(1);
+  Linear layer(3, 5, rng);
+  const Tensor y = layer.Forward(RandomInput(4, 3, rng));
+  EXPECT_EQ(y->rows(), 4);
+  EXPECT_EQ(y->cols(), 5);
+  EXPECT_EQ(layer.Parameters().size(), 2u);  // weight + bias
+}
+
+TEST(LinearTest, NoBiasVariantMapsZeroToZero) {
+  Rng rng(1);
+  Linear layer(3, 5, rng, /*use_bias=*/false);
+  EXPECT_EQ(layer.Parameters().size(), 1u);
+  const Tensor y = layer.Forward(MakeTensor(1, 3, false));
+  for (const float v : y->value()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(LinearTest, GradientsFlowToWeightAndBias) {
+  Rng rng(2);
+  Linear layer(3, 2, rng);
+  const Tensor x = RandomInput(2, 3, rng);
+  for (const Tensor& p : layer.Parameters()) {
+    const double err =
+        MaxGradError(p, [&] { return SumAll(Tanh(layer.Forward(x))); });
+    EXPECT_LT(err, 2e-2);
+  }
+}
+
+TEST(MlpTest, HiddenReluIsApplied) {
+  Rng rng(3);
+  Mlp mlp({2, 4, 3}, rng);
+  const Tensor y = mlp.Forward(RandomInput(5, 2, rng));
+  EXPECT_EQ(y->rows(), 5);
+  EXPECT_EQ(y->cols(), 3);
+  EXPECT_EQ(mlp.Parameters().size(), 4u);  // two Linear layers
+}
+
+TEST(EmbeddingTest, LookupReturnsTableRows) {
+  Rng rng(4);
+  Embedding emb(6, 3, rng);
+  const Tensor rows = emb.Forward({4, 1, 4});
+  EXPECT_EQ(rows->rows(), 3);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(rows->at(0, c), emb.table()->at(4, c));
+    EXPECT_EQ(rows->at(1, c), emb.table()->at(1, c));
+    EXPECT_EQ(rows->at(2, c), emb.table()->at(4, c));
+  }
+}
+
+TEST(AttentionTest, ShapePreservedAndGradFlows) {
+  Rng rng(5);
+  MultiHeadAttention attn(8, 2, rng);
+  const Tensor x = RandomInput(6, 8, rng);
+  const Tensor y = attn.Forward(x);
+  EXPECT_EQ(y->rows(), 6);
+  EXPECT_EQ(y->cols(), 8);
+  const Tensor wq = attn.Parameters()[0];
+  const double err =
+      MaxGradError(wq, [&] { return SumAll(Tanh(attn.Forward(x))); }, 1e-2f);
+  EXPECT_LT(err, 5e-2);
+}
+
+TEST(AttentionTest, UniformTokensGiveUniformOutput) {
+  // With identical tokens, attention output rows must be identical.
+  Rng rng(6);
+  MultiHeadAttention attn(8, 4, rng);
+  Tensor x = MakeTensor(4, 8, false);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 8; ++c) x->at(r, c) = 0.3f * (c + 1);
+  }
+  const Tensor y = attn.Forward(x);
+  for (int r = 1; r < 4; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      EXPECT_NEAR(y->at(r, c), y->at(0, c), 1e-5f);
+    }
+  }
+}
+
+TEST(EncoderBlockTest, ResidualShape) {
+  Rng rng(7);
+  EncoderBlock block(8, 2, 16, rng);
+  const Tensor x = RandomInput(5, 8, rng);
+  const Tensor y = block.Forward(x);
+  EXPECT_EQ(y->rows(), 5);
+  EXPECT_EQ(y->cols(), 8);
+}
+
+TEST(GruCellTest, StateShapeAndBoundedness) {
+  Rng rng(8);
+  GruCell cell(2, 6, rng);
+  Tensor h = cell.InitialState();
+  for (int step = 0; step < 10; ++step) {
+    h = cell.Forward(RandomInput(1, 2, rng), h);
+  }
+  EXPECT_EQ(h->rows(), 1);
+  EXPECT_EQ(h->cols(), 6);
+  // GRU hidden state is a convex blend of tanh outputs: |h| <= 1.
+  for (const float v : h->value()) EXPECT_LE(std::abs(v), 1.0f);
+}
+
+TEST(GruCellTest, GradientFlowsThroughTime) {
+  Rng rng(9);
+  GruCell cell(2, 4, rng);
+  const Tensor x1 = RandomInput(1, 2, rng);
+  const Tensor x2 = RandomInput(1, 2, rng);
+  const Tensor p = cell.Parameters()[0];
+  const double err = MaxGradError(p, [&] {
+    Tensor h = cell.InitialState();
+    h = cell.Forward(x1, h);
+    h = cell.Forward(x2, h);
+    return SumAll(h);
+  });
+  EXPECT_LT(err, 2e-2);
+}
+
+TEST(PositionalEncodingTest, MatchesFormula) {
+  const Tensor pe = PositionalEncoding(4, 6);
+  EXPECT_EQ(pe->rows(), 4);
+  EXPECT_EQ(pe->cols(), 6);
+  // Position 0: sin(0)=0, cos(0)=1 alternating.
+  for (int k = 0; 2 * k < 6; ++k) {
+    EXPECT_FLOAT_EQ(pe->at(0, 2 * k), 0.0f);
+    EXPECT_FLOAT_EQ(pe->at(0, 2 * k + 1), 1.0f);
+  }
+  EXPECT_NEAR(pe->at(2, 0), std::sin(2.0), 1e-5);
+  EXPECT_FALSE(pe->requires_grad());
+}
+
+TEST(PositionalEncodingTest, DistinctPositionsDistinctRows) {
+  const Tensor pe = PositionalEncoding(8, 16);
+  for (int r = 1; r < 8; ++r) {
+    bool differs = false;
+    for (int c = 0; c < 16; ++c) {
+      if (std::abs(pe->at(r, c) - pe->at(0, c)) > 1e-4f) differs = true;
+    }
+    EXPECT_TRUE(differs) << "row " << r;
+  }
+}
+
+TEST(XavierInitTest, WithinLimit) {
+  Rng rng(10);
+  const Tensor t = MakeTensor(20, 30, true);
+  XavierInit(t, rng);
+  const float limit = std::sqrt(6.0f / (20 + 30));
+  for (const float v : t->value()) {
+    EXPECT_GE(v, -limit);
+    EXPECT_LE(v, limit);
+  }
+}
+
+}  // namespace
+}  // namespace traj2hash::nn

@@ -1,0 +1,70 @@
+#include "nn/module.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "nn/ops.h"
+
+namespace traj2hash::nn {
+namespace {
+
+/// Toy module exercising registration of both own parameters and children.
+class ToyModule : public Module {
+ public:
+  explicit ToyModule(Rng& rng) : child_(2, 3, rng) {
+    own_ = RegisterParameter(MakeTensor(4, 4, true));
+    RegisterChild(child_);
+  }
+
+  const Tensor& own() const { return own_; }
+  const Linear& child() const { return child_; }
+
+ private:
+  Linear child_;
+  Tensor own_;
+};
+
+TEST(ModuleTest, ParametersCollectOwnAndChildren) {
+  Rng rng(1);
+  ToyModule mod(rng);
+  // child Linear has weight + bias; plus one own tensor.
+  EXPECT_EQ(mod.Parameters().size(), 3u);
+}
+
+TEST(ModuleTest, ZeroGradClearsEverything) {
+  Rng rng(2);
+  ToyModule mod(rng);
+  for (const Tensor& p : mod.Parameters()) {
+    std::fill(p->grad().begin(), p->grad().end(), 1.5f);
+  }
+  mod.ZeroGrad();
+  for (const Tensor& p : mod.Parameters()) {
+    for (const float g : p->grad()) EXPECT_EQ(g, 0.0f);
+  }
+}
+
+TEST(ModuleTest, RegisteredParameterIsShared) {
+  Rng rng(3);
+  ToyModule mod(rng);
+  // Mutating through Parameters() must be visible through the module's own
+  // handle (same underlying tensor).
+  mod.Parameters()[0]->value()[0] = 42.0f;  // own_ registered first
+  EXPECT_EQ(mod.own()->value()[0], 42.0f);
+}
+
+TEST(ModuleTest, GaussianInitMatchesRequestedSpread) {
+  Rng rng(4);
+  const Tensor t = MakeTensor(50, 50, true);
+  GaussianInit(t, 0.5f, rng);
+  double sum = 0.0, sq = 0.0;
+  for (const float v : t->value()) {
+    sum += v;
+    sq += v * v;
+  }
+  const double n = t->size();
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 0.25, 0.05);
+}
+
+}  // namespace
+}  // namespace traj2hash::nn

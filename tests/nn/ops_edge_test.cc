@@ -1,0 +1,129 @@
+// Edge-case and contract tests for the op layer: shape CHECKs, domain
+// CHECKs, and algebraic identities that the grad-check suite does not cover.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/ops.h"
+
+namespace traj2hash::nn {
+namespace {
+
+Tensor Random(int rows, int cols, Rng& rng) {
+  Tensor t = MakeTensor(rows, cols, false);
+  for (float& v : t->value()) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  return t;
+}
+
+TEST(OpsEdgeDeathTest, ShapeMismatches) {
+  const Tensor a = MakeTensor(2, 3);
+  const Tensor b = MakeTensor(3, 2);
+  EXPECT_DEATH(Add(a, b), "CHECK");
+  EXPECT_DEATH(Mul(a, b), "CHECK");
+  EXPECT_DEATH(Sub(a, b), "CHECK");
+  EXPECT_DEATH(Div(a, b), "CHECK");
+  EXPECT_DEATH(MatMul(a, a), "CHECK");          // 3 != 2
+  EXPECT_DEATH(ConcatCols(a, b), "CHECK");      // row mismatch
+  EXPECT_DEATH(ConcatRows(a, b), "CHECK");      // col mismatch
+  EXPECT_DEATH(AddRowBroadcast(a, b), "CHECK");  // row arg not [1, c]
+}
+
+TEST(OpsEdgeDeathTest, SliceBounds) {
+  const Tensor a = MakeTensor(3, 3);
+  EXPECT_DEATH(SliceRows(a, 2, 2), "CHECK");   // empty range
+  EXPECT_DEATH(SliceRows(a, 0, 4), "CHECK");   // past the end
+  EXPECT_DEATH(SliceCols(a, -1, 2), "CHECK");  // negative start
+}
+
+TEST(OpsEdgeDeathTest, GatherOutOfRange) {
+  const Tensor table = MakeTensor(4, 2);
+  EXPECT_DEATH(GatherRows(table, {0, 4}), "CHECK");
+  EXPECT_DEATH(GatherRows(table, {-1}), "CHECK");
+  EXPECT_DEATH(GatherRows(table, {}), "CHECK");
+}
+
+TEST(OpsEdgeDeathTest, DomainChecks) {
+  EXPECT_DEATH(Log(FromValues(1, 1, {0.0f})), "CHECK");
+  EXPECT_DEATH(Log(FromValues(1, 1, {-1.0f})), "CHECK");
+  EXPECT_DEATH(Sqrt(FromValues(1, 1, {-0.5f})), "CHECK");
+  EXPECT_DEATH(Div(FromValues(1, 1, {1.0f}), FromValues(1, 1, {0.0f})),
+               "CHECK");
+  EXPECT_DEATH(Dot(MakeTensor(2, 3), MakeTensor(2, 3)), "CHECK");
+  EXPECT_DEATH(ScaleByScalar(MakeTensor(2, 2), MakeTensor(1, 2)), "CHECK");
+}
+
+TEST(OpsEdgeTest, TransposeTwiceIsIdentity) {
+  Rng rng(1);
+  const Tensor a = Random(3, 5, rng);
+  const Tensor tt = Transpose(Transpose(a));
+  EXPECT_EQ(tt->value(), a->value());
+}
+
+TEST(OpsEdgeTest, SoftmaxRowsSumToOneAndHandleExtremes) {
+  const Tensor a = FromValues(2, 3, {1000.0f, 999.0f, -1000.0f,  // row 0
+                                     0.0f, 0.0f, 0.0f});         // row 1
+  const Tensor s = SoftmaxRows(a);
+  for (int r = 0; r < 2; ++r) {
+    float sum = 0.0f;
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_TRUE(std::isfinite(s->at(r, c)));
+      sum += s->at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+  // Uniform logits -> uniform distribution.
+  EXPECT_NEAR(s->at(1, 0), 1.0f / 3.0f, 1e-6);
+}
+
+TEST(OpsEdgeTest, SingleColumnSoftmaxIsOne) {
+  const Tensor s = SoftmaxRows(FromValues(3, 1, {5.0f, -2.0f, 0.0f}));
+  for (const float v : s->value()) EXPECT_FLOAT_EQ(v, 1.0f);
+}
+
+TEST(OpsEdgeTest, ConstantAndDetachSemantics) {
+  const Tensor c = Constant(2, 2, 7.5f);
+  EXPECT_FALSE(c->requires_grad());
+  for (const float v : c->value()) EXPECT_EQ(v, 7.5f);
+
+  const Tensor p = FromValues(1, 2, {1.0f, 2.0f}, true);
+  const Tensor d = Detach(Scale(p, 3.0f));
+  // Mutating the detached copy must not touch the source graph.
+  d->value()[0] = 99.0f;
+  EXPECT_EQ(p->value()[0], 1.0f);
+}
+
+TEST(OpsEdgeTest, ScaleByZeroKillsGradient) {
+  const Tensor p = FromValues(1, 2, {1.0f, 2.0f}, true);
+  Backward(SumAll(Scale(p, 0.0f)));
+  EXPECT_EQ(p->grad()[0], 0.0f);
+  EXPECT_EQ(p->grad()[1], 0.0f);
+}
+
+TEST(OpsEdgeTest, EuclideanDistanceOfIdenticalVectorsIsTinyNotNan) {
+  const Tensor a = FromValues(1, 4, {1.0f, 2.0f, 3.0f, 4.0f}, true);
+  const Tensor d = EuclideanDistance(a, a);
+  EXPECT_TRUE(std::isfinite(d->value()[0]));
+  EXPECT_NEAR(d->value()[0], 0.0f, 1e-3);
+  // Gradient at the epsilon-smoothed zero must also be finite.
+  Backward(d);
+  for (const float g : a->grad()) EXPECT_TRUE(std::isfinite(g));
+}
+
+TEST(OpsEdgeTest, MeanRowsOfSingleRowIsIdentity) {
+  Rng rng(2);
+  const Tensor a = Random(1, 6, rng);
+  EXPECT_EQ(MeanRows(a)->value(), a->value());
+}
+
+TEST(OpsEdgeTest, RelfOfExtremeValues) {
+  const Tensor a = FromValues(1, 3, {-1e30f, 0.0f, 1e30f});
+  const Tensor r = Relu(a);
+  EXPECT_EQ(r->value()[0], 0.0f);
+  EXPECT_EQ(r->value()[1], 0.0f);
+  EXPECT_EQ(r->value()[2], 1e30f);
+}
+
+}  // namespace
+}  // namespace traj2hash::nn

@@ -1,0 +1,75 @@
+#include "nn/sgd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+
+namespace traj2hash::nn {
+namespace {
+
+TEST(SgdTest, PlainSgdStepIsLrTimesGradient) {
+  const Tensor p = FromValues(1, 1, {2.0f}, true);
+  Sgd opt({p}, SgdOptions{.lr = 0.1f});
+  Backward(Scale(p, 3.0f));  // gradient 3
+  opt.Step();
+  EXPECT_NEAR(p->value()[0], 2.0f - 0.3f, 1e-6);
+  EXPECT_NEAR(opt.last_grad_norm(), 3.0, 1e-6);
+}
+
+TEST(SgdTest, MinimisesQuadratic) {
+  const Tensor p = FromValues(1, 3, {5.0f, -5.0f, 2.0f}, true);
+  const Tensor target = FromValues(1, 3, {1.0f, -2.0f, 3.0f});
+  Sgd opt({p}, SgdOptions{.lr = 0.1f, .momentum = 0.5f});
+  for (int step = 0; step < 200; ++step) {
+    const Tensor diff = Sub(p, target);
+    Backward(SumAll(Mul(diff, diff)));
+    opt.Step();
+  }
+  EXPECT_NEAR(p->value()[0], 1.0f, 1e-3);
+  EXPECT_NEAR(p->value()[1], -2.0f, 1e-3);
+  EXPECT_NEAR(p->value()[2], 3.0f, 1e-3);
+}
+
+TEST(SgdTest, MomentumAcceleratesAlongConstantGradient) {
+  const Tensor plain = FromValues(1, 1, {0.0f}, true);
+  const Tensor with_mom = FromValues(1, 1, {0.0f}, true);
+  Sgd opt_plain({plain}, SgdOptions{.lr = 0.1f});
+  Sgd opt_mom({with_mom}, SgdOptions{.lr = 0.1f, .momentum = 0.9f});
+  for (int i = 0; i < 10; ++i) {
+    Backward(Scale(plain, 1.0f));
+    opt_plain.Step();
+    Backward(Scale(with_mom, 1.0f));
+    opt_mom.Step();
+  }
+  EXPECT_LT(with_mom->value()[0], plain->value()[0]);  // moved further (down)
+}
+
+TEST(SgdTest, WeightDecayShrinksParameters) {
+  const Tensor p = FromValues(1, 1, {10.0f}, true);
+  Sgd opt({p}, SgdOptions{.lr = 0.1f, .weight_decay = 0.5f});
+  // No loss gradient at all: only decay acts.
+  opt.Step();
+  EXPECT_NEAR(p->value()[0], 10.0f - 0.1f * 0.5f * 10.0f, 1e-5);
+}
+
+TEST(SgdTest, ClippingBoundsTheUpdate) {
+  const Tensor p = FromValues(1, 1, {0.0f}, true);
+  Sgd opt({p}, SgdOptions{.lr = 1.0f, .clip_norm = 1.0f});
+  Backward(Scale(p, 100.0f));  // gradient 100 >> clip 1
+  opt.Step();
+  EXPECT_NEAR(p->value()[0], -1.0f, 1e-5);
+  EXPECT_NEAR(opt.last_grad_norm(), 100.0, 1e-3);
+}
+
+TEST(SgdTest, StepZeroesGradients) {
+  const Tensor p = FromValues(1, 1, {1.0f}, true);
+  Sgd opt({p});
+  Backward(Mul(p, p));
+  opt.Step();
+  EXPECT_EQ(p->grad()[0], 0.0f);
+}
+
+}  // namespace
+}  // namespace traj2hash::nn

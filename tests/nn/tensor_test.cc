@@ -1,0 +1,79 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+
+namespace traj2hash::nn {
+namespace {
+
+TEST(TensorTest, MakeTensorZeroInitialised) {
+  const Tensor t = MakeTensor(2, 3);
+  EXPECT_EQ(t->rows(), 2);
+  EXPECT_EQ(t->cols(), 3);
+  EXPECT_EQ(t->size(), 6);
+  for (const float v : t->value()) EXPECT_EQ(v, 0.0f);
+  EXPECT_FALSE(t->requires_grad());
+  EXPECT_TRUE(t->grad().empty());
+}
+
+TEST(TensorTest, FromValuesRowMajorLayout) {
+  const Tensor t = FromValues(2, 2, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ(t->at(0, 0), 1.0f);
+  EXPECT_EQ(t->at(0, 1), 2.0f);
+  EXPECT_EQ(t->at(1, 0), 3.0f);
+  EXPECT_EQ(t->at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, RequiresGradAllocatesGradBuffer) {
+  const Tensor t = MakeTensor(2, 2, true);
+  EXPECT_TRUE(t->requires_grad());
+  EXPECT_EQ(t->grad().size(), 4u);
+}
+
+TEST(TensorTest, ZeroGradClearsAccumulation) {
+  const Tensor p = FromValues(1, 1, {5.0f}, true);
+  Backward(Mul(p, p));
+  EXPECT_NE(p->grad()[0], 0.0f);
+  p->ZeroGrad();
+  EXPECT_EQ(p->grad()[0], 0.0f);
+}
+
+TEST(TensorTest, OpsOnConstantsBuildNoTape) {
+  const Tensor a = FromValues(1, 2, {1.0f, 2.0f});
+  const Tensor b = FromValues(1, 2, {3.0f, 4.0f});
+  const Tensor c = Add(a, b);
+  EXPECT_FALSE(c->requires_grad());
+  EXPECT_TRUE(c->parents().empty());
+  EXPECT_FALSE(static_cast<bool>(c->backward_fn()));
+}
+
+TEST(TensorTest, OpsOnParametersWireParents) {
+  const Tensor a = FromValues(1, 2, {1.0f, 2.0f}, true);
+  const Tensor b = FromValues(1, 2, {3.0f, 4.0f});
+  const Tensor c = Add(a, b);
+  EXPECT_TRUE(c->requires_grad());
+  EXPECT_EQ(c->parents().size(), 2u);
+}
+
+TEST(TensorTest, DetachCutsGraph) {
+  const Tensor a = FromValues(1, 2, {1.0f, 2.0f}, true);
+  const Tensor d = Detach(Scale(a, 2.0f));
+  EXPECT_FALSE(d->requires_grad());
+  EXPECT_EQ(d->value()[0], 2.0f);
+  EXPECT_EQ(d->value()[1], 4.0f);
+}
+
+TEST(TensorDeathTest, BackwardRequiresScalar) {
+  const Tensor p = FromValues(1, 2, {1.0f, 2.0f}, true);
+  EXPECT_DEATH(Backward(Scale(p, 2.0f)), "scalar");
+}
+
+TEST(TensorDeathTest, ShapeMismatchIsFatal) {
+  const Tensor a = MakeTensor(2, 2);
+  const Tensor b = MakeTensor(2, 3);
+  EXPECT_DEATH(Add(a, b), "CHECK");
+}
+
+}  // namespace
+}  // namespace traj2hash::nn

@@ -1,0 +1,65 @@
+#include "search/code.h"
+
+#include <gtest/gtest.h>
+
+namespace traj2hash::search {
+namespace {
+
+TEST(CodeTest, PackSignsBitLayout) {
+  const Code c = PackSigns({1.0f, -2.0f, 0.5f, 0.0f});
+  EXPECT_EQ(c.num_bits, 4);
+  ASSERT_EQ(c.words.size(), 1u);
+  // Bits: +,-,+,- (zero maps to -1 per Eq. 16).
+  EXPECT_EQ(c.words[0], 0b0101ull);
+}
+
+TEST(CodeTest, PackSignsMultiWord) {
+  std::vector<float> v(130, 1.0f);
+  v[64] = -1.0f;
+  const Code c = PackSigns(v);
+  EXPECT_EQ(c.num_bits, 130);
+  ASSERT_EQ(c.words.size(), 3u);
+  EXPECT_EQ(c.words[0], ~0ull);
+  EXPECT_EQ(c.words[1] & 1ull, 0ull);
+}
+
+TEST(CodeTest, HammingDistanceBasics) {
+  const Code a = PackSigns({1, 1, -1, -1});
+  const Code b = PackSigns({1, -1, 1, -1});
+  EXPECT_EQ(HammingDistance(a, a), 0);
+  EXPECT_EQ(HammingDistance(a, b), 2);
+  EXPECT_EQ(HammingDistance(b, a), 2);
+}
+
+TEST(CodeTest, HammingEqualsHalfDimMinusInnerProduct) {
+  // The paper's identity: H(z1, z2) = (d_h - <z1, z2>) / 2 over +-1 vectors.
+  const std::vector<float> v1 = {1, -1, 1, 1, -1, 1, -1, -1};
+  const std::vector<float> v2 = {1, 1, -1, 1, -1, -1, -1, 1};
+  auto sign = [](float x) { return x > 0.0f ? 1 : -1; };
+  int dot = 0;
+  for (size_t i = 0; i < v1.size(); ++i) dot += sign(v1[i]) * sign(v2[i]);
+  const int expected = (static_cast<int>(v1.size()) - dot) / 2;
+  EXPECT_EQ(HammingDistance(PackSigns(v1), PackSigns(v2)), expected);
+}
+
+TEST(CodeTest, HashEqualCodesEqualHashes) {
+  const Code a = PackSigns({1, -1, 1});
+  const Code b = PackSigns({1, -1, 1});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(CodeHash(a), CodeHash(b));
+}
+
+TEST(CodeTest, HashDiffersForDifferentCodes) {
+  const Code a = PackSigns({1, -1, 1, 1});
+  const Code b = PackSigns({1, -1, 1, -1});
+  EXPECT_NE(CodeHash(a), CodeHash(b));  // overwhelmingly likely by design
+}
+
+TEST(CodeDeathTest, HammingRequiresEqualWidth) {
+  const Code a = PackSigns({1, 1});
+  const Code b = PackSigns({1, 1, 1});
+  EXPECT_DEATH(HammingDistance(a, b), "CHECK");
+}
+
+}  // namespace
+}  // namespace traj2hash::search

@@ -1,0 +1,124 @@
+#include "search/hamming_index.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace traj2hash::search {
+namespace {
+
+Code RandomCode(int bits, Rng& rng) {
+  std::vector<float> v(bits);
+  for (float& x : v) x = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+  return PackSigns(v);
+}
+
+Code FlipBits(Code c, std::vector<int> bits) {
+  for (const int b : bits) c.words[b / 64] ^= (uint64_t{1} << (b % 64));
+  return c;
+}
+
+TEST(HammingIndexTest, ProbeFindsExactAndNearCodes) {
+  Rng rng(1);
+  const Code base = RandomCode(32, rng);
+  std::vector<Code> db = {
+      base,                      // distance 0
+      FlipBits(base, {3}),       // distance 1
+      FlipBits(base, {5, 9}),    // distance 2
+      FlipBits(base, {1, 2, 3}),  // distance 3: not probed
+  };
+  HammingIndex index(db);
+  std::vector<int> found = index.ProbeWithinRadius2(base);
+  std::sort(found.begin(), found.end());
+  EXPECT_EQ(found, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(HammingIndexTest, ProbeDeduplicatesNothingAcrossBuckets) {
+  // Identical codes land in one bucket but both ids are returned.
+  Rng rng(2);
+  const Code base = RandomCode(16, rng);
+  HammingIndex index({base, base});
+  const std::vector<int> found = index.ProbeWithinRadius2(base);
+  EXPECT_EQ(found.size(), 2u);
+}
+
+TEST(HammingIndexTest, HybridMatchesBruteForceWhenCandidatesSuffice) {
+  Rng rng(3);
+  const Code q = RandomCode(24, rng);
+  std::vector<Code> db;
+  // 10 codes within radius <= 2, plus far noise.
+  for (int i = 0; i < 10; ++i) {
+    db.push_back(FlipBits(q, {i % 2 == 0 ? i : i, (i * 7) % 24}));
+  }
+  for (int i = 0; i < 50; ++i) {
+    Code noise = RandomCode(24, rng);
+    if (HammingDistance(noise, q) <= 2) continue;
+    db.push_back(noise);
+  }
+  HammingIndex index(db);
+  const auto hybrid = index.HybridTopK(q, 5);
+  const auto brute = index.BruteForceTopK(q, 5);
+  ASSERT_EQ(hybrid.size(), brute.size());
+  for (size_t i = 0; i < hybrid.size(); ++i) {
+    EXPECT_EQ(hybrid[i].distance, brute[i].distance) << i;
+  }
+}
+
+TEST(HammingIndexTest, HybridFallsBackToBruteForce) {
+  // No near neighbours: hybrid must degrade to the brute-force scan and
+  // still return exactly k results.
+  Rng rng(4);
+  std::vector<Code> db;
+  for (int i = 0; i < 40; ++i) db.push_back(RandomCode(64, rng));
+  HammingIndex index(db);
+  Code q = RandomCode(64, rng);
+  const auto hybrid = index.HybridTopK(q, 7);
+  const auto brute = index.BruteForceTopK(q, 7);
+  ASSERT_EQ(hybrid.size(), 7u);
+  for (size_t i = 0; i < hybrid.size(); ++i) {
+    EXPECT_EQ(hybrid[i].index, brute[i].index);
+  }
+}
+
+TEST(HammingIndexTest, BucketsCountDistinctCodes) {
+  Rng rng(5);
+  const Code a = RandomCode(16, rng);
+  const Code b = FlipBits(a, {0});
+  HammingIndex index({a, a, b});
+  EXPECT_EQ(index.num_buckets(), 2);
+  EXPECT_EQ(index.size(), 3);
+}
+
+TEST(HammingIndexTest, InsertExtendsSearchResults) {
+  Rng rng(7);
+  const Code base = RandomCode(32, rng);
+  HammingIndex index({FlipBits(base, {0, 5, 9})});  // distance 3 from base
+  EXPECT_TRUE(index.ProbeWithinRadius2(base).empty());
+  const int id = index.Insert(FlipBits(base, {2}));  // distance 1
+  EXPECT_EQ(id, 1);
+  EXPECT_EQ(index.size(), 2);
+  const std::vector<int> found = index.ProbeWithinRadius2(base);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], 1);
+  // Brute force also sees the new entry.
+  const auto top = index.BruteForceTopK(base, 1);
+  EXPECT_EQ(top[0].index, 1);
+  EXPECT_EQ(top[0].distance, 1.0);
+}
+
+TEST(HammingIndexDeathTest, InsertRejectsWidthMismatch) {
+  Rng rng(8);
+  HammingIndex index({RandomCode(16, rng)});
+  EXPECT_DEATH(index.Insert(RandomCode(32, rng)), "CHECK");
+}
+
+TEST(HammingIndexDeathTest, MixedWidthsRejected) {
+  Rng rng(6);
+  EXPECT_DEATH(HammingIndex({RandomCode(16, rng), RandomCode(32, rng)}),
+               "CHECK");
+}
+
+}  // namespace
+}  // namespace traj2hash::search

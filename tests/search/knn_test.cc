@@ -1,0 +1,95 @@
+#include "search/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace traj2hash::search {
+namespace {
+
+std::vector<std::vector<float>> RandomDb(int n, int d, Rng& rng) {
+  std::vector<std::vector<float>> db(n, std::vector<float>(d));
+  for (auto& row : db) {
+    for (float& v : row) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+  return db;
+}
+
+std::vector<Neighbor> NaiveEuclidean(const std::vector<std::vector<float>>& db,
+                                     const std::vector<float>& q, int k) {
+  std::vector<Neighbor> all;
+  for (size_t i = 0; i < db.size(); ++i) {
+    double acc = 0.0;
+    for (size_t j = 0; j < q.size(); ++j) {
+      acc += (db[i][j] - q[j]) * (db[i][j] - q[j]);
+    }
+    all.push_back({static_cast<int>(i), std::sqrt(acc)});
+  }
+  std::sort(all.begin(), all.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.index < b.index;
+  });
+  all.resize(std::min<size_t>(k, all.size()));
+  return all;
+}
+
+TEST(TopKEuclideanTest, MatchesNaiveOnRandomData) {
+  Rng rng(1);
+  const auto db = RandomDb(200, 8, rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<float> q(8);
+    for (float& v : q) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    const auto fast = TopKEuclidean(db, q, 10);
+    const auto naive = NaiveEuclidean(db, q, 10);
+    ASSERT_EQ(fast.size(), naive.size());
+    for (size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(fast[i].index, naive[i].index);
+      EXPECT_NEAR(fast[i].distance, naive[i].distance, 1e-6);
+    }
+  }
+}
+
+TEST(TopKEuclideanTest, ResultsSortedAscending) {
+  Rng rng(2);
+  const auto db = RandomDb(100, 4, rng);
+  const auto result = TopKEuclidean(db, db[0], 20);
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LE(result[i - 1].distance, result[i].distance);
+  }
+  EXPECT_EQ(result[0].index, 0);  // the query itself
+}
+
+TEST(TopKEuclideanTest, KClampedToDbSize) {
+  Rng rng(3);
+  const auto db = RandomDb(5, 3, rng);
+  EXPECT_EQ(TopKEuclidean(db, db[0], 50).size(), 5u);
+}
+
+TEST(TopKEuclideanTest, TieBreakByIndex) {
+  std::vector<std::vector<float>> db = {{1.0f}, {1.0f}, {1.0f}};
+  const auto result = TopKEuclidean(db, {0.0f}, 2);
+  EXPECT_EQ(result[0].index, 0);
+  EXPECT_EQ(result[1].index, 1);
+}
+
+TEST(TopKHammingTest, OrdersByPopcount) {
+  const Code q = PackSigns({1, 1, 1, 1});
+  std::vector<Code> db = {
+      PackSigns({-1, -1, -1, -1}),  // distance 4
+      PackSigns({1, 1, 1, -1}),     // distance 1
+      PackSigns({1, 1, 1, 1}),      // distance 0
+      PackSigns({1, -1, -1, 1}),    // distance 2
+  };
+  const auto result = TopKHamming(db, q, 3);
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0].index, 2);
+  EXPECT_EQ(result[1].index, 1);
+  EXPECT_EQ(result[2].index, 3);
+  EXPECT_EQ(result[0].distance, 0.0);
+}
+
+}  // namespace
+}  // namespace traj2hash::search

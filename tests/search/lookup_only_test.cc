@@ -1,0 +1,101 @@
+// Tests for the footnote-5 pure table-lookup strategy and radius probing.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "search/hamming_index.h"
+
+namespace traj2hash::search {
+namespace {
+
+Code FromBits(std::initializer_list<int> ones, int bits) {
+  std::vector<float> v(bits, -1.0f);
+  for (const int b : ones) v[b] = 1.0f;
+  return PackSigns(v);
+}
+
+TEST(ProbeAtRadiusTest, RadiusZeroIsExactBucket) {
+  const Code a = FromBits({0, 3}, 8);
+  const Code b = FromBits({0, 3, 5}, 8);
+  HammingIndex index({a, b, a});
+  std::vector<int> hits = index.ProbeAtRadius(a, 0);
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<int>{0, 2}));
+}
+
+TEST(ProbeAtRadiusTest, FindsCodesAtExactDistance) {
+  const Code center = FromBits({}, 10);
+  std::vector<Code> db;
+  // One code at each distance 0..4.
+  db.push_back(center);
+  db.push_back(FromBits({1}, 10));
+  db.push_back(FromBits({1, 2}, 10));
+  db.push_back(FromBits({1, 2, 3}, 10));
+  db.push_back(FromBits({1, 2, 3, 4}, 10));
+  HammingIndex index(db);
+  for (int r = 0; r <= 4; ++r) {
+    const std::vector<int> hits = index.ProbeAtRadius(center, r);
+    ASSERT_EQ(hits.size(), 1u) << "radius " << r;
+    EXPECT_EQ(hits[0], r);
+  }
+}
+
+TEST(ProbeAtRadiusTest, ProbeCountMatchesBinomial) {
+  // Probing can only find codes at exactly the radius; verify exhaustiveness
+  // by planting all C(5,2)=10 codes at distance 2 of a 5-bit center.
+  const int bits = 5;
+  const Code center = FromBits({}, bits);
+  std::vector<Code> db;
+  for (int b1 = 0; b1 < bits; ++b1) {
+    for (int b2 = b1 + 1; b2 < bits; ++b2) {
+      db.push_back(FromBits({b1, b2}, bits));
+    }
+  }
+  HammingIndex index(db);
+  EXPECT_EQ(index.ProbeAtRadius(center, 2).size(), 10u);
+  EXPECT_TRUE(index.ProbeAtRadius(center, 1).empty());
+}
+
+TEST(LookupOnlyTest, StopsAtFirstRadiusWithKCandidates) {
+  const Code q = FromBits({}, 12);
+  std::vector<Code> db = {FromBits({0}, 12), FromBits({1}, 12),
+                          FromBits({0, 1, 2}, 12)};
+  HammingIndex index(db);
+  const auto top2 = index.LookupOnlyTopK(q, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].distance, 1.0);
+  EXPECT_EQ(top2[1].distance, 1.0);
+}
+
+TEST(LookupOnlyTest, MatchesBruteForceWhenUncapped) {
+  Rng rng(3);
+  std::vector<Code> db;
+  for (int i = 0; i < 60; ++i) {
+    std::vector<float> v(16);
+    for (float& x : v) x = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+    db.push_back(PackSigns(v));
+  }
+  HammingIndex index(db);
+  std::vector<float> qv(16);
+  for (float& x : qv) x = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+  const Code q = PackSigns(qv);
+  const auto lookup = index.LookupOnlyTopK(q, 5);
+  const auto brute = index.BruteForceTopK(q, 5);
+  ASSERT_EQ(lookup.size(), brute.size());
+  for (size_t i = 0; i < lookup.size(); ++i) {
+    EXPECT_EQ(lookup[i].distance, brute[i].distance) << i;
+  }
+}
+
+TEST(LookupOnlyTest, RadiusCapMayReturnFewer) {
+  const Code q = FromBits({}, 12);
+  std::vector<Code> db = {FromBits({0, 1, 2, 3, 4}, 12)};  // distance 5
+  HammingIndex index(db);
+  EXPECT_TRUE(index.LookupOnlyTopK(q, 1, /*max_radius=*/2).empty());
+  EXPECT_EQ(index.LookupOnlyTopK(q, 1, /*max_radius=*/5).size(), 1u);
+}
+
+}  // namespace
+}  // namespace traj2hash::search

@@ -1,0 +1,59 @@
+// Tests for the synthetic timing workload used by the efficiency benches
+// (Figs. 5-6): the clustered code distribution is the property that makes
+// Hamming-Hybrid's table-lookup path meaningful, so it is worth guarding.
+
+#include <gtest/gtest.h>
+
+#include "bench/timing_data.h"
+#include "search/hamming_index.h"
+
+namespace traj2hash::bench {
+namespace {
+
+TEST(TimingWorkloadTest, ShapesMatchRequest) {
+  const TimingWorkload w = MakeTimingWorkload(500, 16, 64, 25, 1);
+  EXPECT_EQ(w.db_embeddings.size(), 500u);
+  EXPECT_EQ(w.db_codes.size(), 500u);
+  EXPECT_EQ(w.query_embeddings.size(), 16u);
+  EXPECT_EQ(w.query_codes.size(), 16u);
+  EXPECT_EQ(w.db_embeddings[0].size(), 64u);
+  EXPECT_EQ(w.db_codes[0].num_bits, 64);
+}
+
+TEST(TimingWorkloadTest, CodesClusterWithinRadiusFour) {
+  // Members of one cluster are each <= 2 flips from the centre, so any two
+  // members are within Hamming distance 4.
+  const int cluster = 25;
+  const TimingWorkload w = MakeTimingWorkload(200, 4, 64, cluster, 2);
+  for (int c = 0; c < 200 / cluster; ++c) {
+    for (int i = 1; i < cluster; ++i) {
+      EXPECT_LE(search::HammingDistance(w.db_codes[c * cluster],
+                                        w.db_codes[c * cluster + i]),
+                4);
+    }
+  }
+}
+
+TEST(TimingWorkloadTest, ClusteredQueriesHitProbes) {
+  const TimingWorkload w = MakeTimingWorkload(2000, 32, 64, 40, 3);
+  const search::HammingIndex index(w.db_codes);
+  int even_hits = 0, odd_hits = 0;
+  for (size_t q = 0; q < w.query_codes.size(); ++q) {
+    const bool hit = !index.ProbeWithinRadius2(w.query_codes[q]).empty();
+    (q % 2 == 0 ? even_hits : odd_hits) += hit;
+  }
+  // Even queries are planted inside clusters; odd queries are random 64-bit
+  // codes (isolated with overwhelming probability).
+  EXPECT_GT(even_hits, 12);  // of 16
+  EXPECT_LT(odd_hits, 4);
+}
+
+TEST(TimingWorkloadTest, DeterministicUnderSeed) {
+  const TimingWorkload a = MakeTimingWorkload(100, 4, 32, 10, 9);
+  const TimingWorkload b = MakeTimingWorkload(100, 4, 32, 10, 9);
+  EXPECT_EQ(a.db_codes[50], b.db_codes[50]);
+  EXPECT_EQ(a.db_embeddings[50], b.db_embeddings[50]);
+}
+
+}  // namespace
+}  // namespace traj2hash::bench

@@ -1,0 +1,86 @@
+#include "search/vptree.h"
+
+#include <gtest/gtest.h>
+
+#include "search/knn.h"
+
+namespace traj2hash::search {
+namespace {
+
+std::vector<std::vector<float>> RandomDb(int n, int d, Rng& rng) {
+  std::vector<std::vector<float>> db(n, std::vector<float>(d));
+  for (auto& row : db) {
+    for (float& v : row) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+  return db;
+}
+
+class VpTreeParamTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(VpTreeParamTest, MatchesBruteForceExactly) {
+  const auto [n, k] = GetParam();
+  Rng rng(11);
+  const auto db = RandomDb(n, 8, rng);
+  Rng tree_rng(12);
+  const VpTree tree(db, tree_rng);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<float> q(8);
+    for (float& v : q) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    const auto fast = tree.TopK(q, k);
+    const auto brute = TopKEuclidean(db, q, k);
+    ASSERT_EQ(fast.size(), brute.size());
+    for (size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(fast[i].index, brute[i].index) << "pos " << i;
+      EXPECT_NEAR(fast[i].distance, brute[i].distance, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndKs, VpTreeParamTest,
+    ::testing::Values(std::pair{1, 1}, std::pair{2, 5}, std::pair{50, 1},
+                      std::pair{200, 10}, std::pair{500, 50}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.first) + "_k" +
+             std::to_string(info.param.second);
+    });
+
+TEST(VpTreeTest, PrunesInLowDimensions) {
+  // In 2-D, triangle-inequality pruning must beat the linear scan clearly.
+  Rng rng(13);
+  const auto db = RandomDb(4000, 2, rng);
+  Rng tree_rng(14);
+  const VpTree tree(db, tree_rng);
+  std::vector<float> q = {0.1f, -0.3f};
+  const auto result = tree.TopK(q, 5);
+  EXPECT_EQ(result.size(), 5u);
+  EXPECT_LT(tree.last_distance_evals(), 4000 / 2)
+      << "expected >2x pruning in 2-D";
+}
+
+TEST(VpTreeTest, DuplicatePointsAllRetrievable) {
+  std::vector<std::vector<float>> db = {{1.0f}, {1.0f}, {1.0f}, {5.0f}};
+  Rng rng(15);
+  const VpTree tree(db, rng);
+  const auto top3 = tree.TopK({1.0f}, 3);
+  ASSERT_EQ(top3.size(), 3u);
+  EXPECT_EQ(top3[0].index, 0);  // tie-break by index, like TopKEuclidean
+  EXPECT_EQ(top3[1].index, 1);
+  EXPECT_EQ(top3[2].index, 2);
+}
+
+TEST(VpTreeTest, KLargerThanSizeClamps) {
+  Rng rng(16);
+  const VpTree tree(RandomDb(3, 4, rng), rng);
+  EXPECT_EQ(tree.TopK(std::vector<float>(4, 0.0f), 10).size(), 3u);
+}
+
+TEST(VpTreeDeathTest, MixedWidthsRejected) {
+  Rng rng(17);
+  std::vector<std::vector<float>> db = {{1.0f, 2.0f}, {1.0f}};
+  EXPECT_DEATH(VpTree(db, rng), "CHECK");
+}
+
+}  // namespace
+}  // namespace traj2hash::search

@@ -1,0 +1,63 @@
+#include "traj/augment.h"
+
+#include <gtest/gtest.h>
+
+namespace traj2hash::traj {
+namespace {
+
+Trajectory Line(int n) {
+  Trajectory t;
+  for (int i = 0; i < n; ++i) t.points.push_back(Point{double(i), 0.0});
+  return t;
+}
+
+TEST(DropPointsTest, KeepsEndpointsAlways) {
+  Rng rng(1);
+  const Trajectory t = Line(30);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Trajectory d = DropPoints(t, 0.9, rng);
+    ASSERT_GE(d.size(), 2);
+    EXPECT_EQ(d.points.front(), t.points.front());
+    EXPECT_EQ(d.points.back(), t.points.back());
+  }
+}
+
+TEST(DropPointsTest, RateZeroIsIdentity) {
+  Rng rng(2);
+  const Trajectory t = Line(15);
+  EXPECT_EQ(DropPoints(t, 0.0, rng).points, t.points);
+}
+
+TEST(DropPointsTest, RateOneKeepsOnlyEndpoints) {
+  Rng rng(3);
+  const Trajectory t = Line(15);
+  EXPECT_EQ(DropPoints(t, 1.0, rng).size(), 2);
+}
+
+TEST(DropPointsTest, InteriorSubsetInOrder) {
+  Rng rng(4);
+  const Trajectory t = Line(40);
+  const Trajectory d = DropPoints(t, 0.5, rng);
+  for (int i = 1; i < d.size(); ++i) {
+    EXPECT_LT(d.points[i - 1].x, d.points[i].x);
+  }
+}
+
+TEST(DistortTest, PreservesCountAndStaysNearOriginal) {
+  Rng rng(5);
+  const Trajectory t = Line(25);
+  const Trajectory d = Distort(t, 2.0, rng);
+  ASSERT_EQ(d.size(), t.size());
+  for (int i = 0; i < t.size(); ++i) {
+    EXPECT_LT(Distance(t.points[i], d.points[i]), 20.0);  // 10 sigma
+  }
+}
+
+TEST(DistortTest, ZeroSigmaIsIdentity) {
+  Rng rng(6);
+  const Trajectory t = Line(5);
+  EXPECT_EQ(Distort(t, 0.0, rng).points, t.points);
+}
+
+}  // namespace
+}  // namespace traj2hash::traj

@@ -1,0 +1,66 @@
+// Edge-case coverage for the grid partition: degenerate boxes, negative
+// coordinates, very large cells, and key stability.
+
+#include <gtest/gtest.h>
+
+#include "traj/grid.h"
+
+namespace traj2hash::traj {
+namespace {
+
+TEST(GridEdgeTest, SinglePointBoxStillHasCells) {
+  // A corpus of one stationary point yields a zero-area box; padding must
+  // still produce a usable grid.
+  const BoundingBox box{10.0, 20.0, 10.0, 20.0};
+  const auto grid = Grid::Create(box, 50.0);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_GE(grid.value().num_x(), 2);
+  EXPECT_GE(grid.value().num_y(), 2);
+  const Cell c = grid.value().CellOf({10.0, 20.0});
+  EXPECT_GE(c.x, 0);
+  EXPECT_LT(c.x, grid.value().num_x());
+}
+
+TEST(GridEdgeTest, NegativeCoordinatesSupported) {
+  const BoundingBox box{-500.0, -400.0, -100.0, -50.0};
+  const Grid grid = Grid::Create(box, 25.0).value();
+  const Cell a = grid.CellOf({-500.0, -400.0});
+  const Cell b = grid.CellOf({-100.0, -50.0});
+  EXPECT_LT(a.x, b.x);
+  EXPECT_LT(a.y, b.y);
+  EXPECT_NE(grid.FlatId(a), grid.FlatId(b));
+}
+
+TEST(GridEdgeTest, CellLargerThanBoxMapsEverythingTogether) {
+  const BoundingBox box{0.0, 0.0, 10.0, 10.0};
+  const Grid grid = Grid::Create(box, 1000.0).value();
+  EXPECT_EQ(grid.CellOf({0.0, 0.0}), grid.CellOf({10.0, 10.0}));
+}
+
+TEST(GridEdgeTest, AdjacentPointsStraddlingBoundaryDiffer) {
+  const Grid grid = Grid::Create({0, 0, 100, 100}, 10.0).value();
+  // Points just below/above a cell boundary must land in adjacent cells.
+  const Cell below = grid.CellOf({9.999, 5.0});
+  const Cell above = grid.CellOf({10.001, 5.0});
+  EXPECT_EQ(above.x, below.x + 1);
+  EXPECT_EQ(above.y, below.y);
+}
+
+TEST(GridEdgeTest, SequenceKeyEmptyForEmptyTrajectoryMapping) {
+  const Grid grid = Grid::Create({0, 0, 100, 100}, 10.0).value();
+  GridTrajectory g;  // empty
+  EXPECT_TRUE(grid.SequenceKey(g).empty());
+}
+
+TEST(GridEdgeTest, KeysAreUnambiguousAcrossCellIdConcatenation) {
+  // Keys are comma-terminated per cell, so (1,12) and (11,2)-style id
+  // concatenations cannot collide.
+  const Grid grid = Grid::Create({0, 0, 1000, 1000}, 10.0).value();
+  GridTrajectory a, b;
+  a.cells = {Cell{1, 0}, Cell{12, 0}};
+  b.cells = {Cell{11, 0}, Cell{2, 0}};
+  EXPECT_NE(grid.SequenceKey(a), grid.SequenceKey(b));
+}
+
+}  // namespace
+}  // namespace traj2hash::traj

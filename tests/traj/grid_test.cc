@@ -1,0 +1,94 @@
+#include "traj/grid.h"
+
+#include <gtest/gtest.h>
+
+namespace traj2hash::traj {
+namespace {
+
+BoundingBox Box(double w, double h) { return BoundingBox{0, 0, w, h}; }
+
+TEST(GridTest, CreateRejectsBadArguments) {
+  EXPECT_FALSE(Grid::Create(Box(100, 100), 0.0).ok());
+  EXPECT_FALSE(Grid::Create(Box(100, 100), -5.0).ok());
+  EXPECT_FALSE(Grid::Create(BoundingBox{10, 0, 0, 10}, 5.0).ok());
+}
+
+TEST(GridTest, DimensionsCoverBoxWithPadding) {
+  const Grid g = Grid::Create(Box(100, 50), 10.0).value();
+  EXPECT_EQ(g.num_x(), 12);  // 10 interior + 2 padding
+  EXPECT_EQ(g.num_y(), 7);
+  EXPECT_DOUBLE_EQ(g.cell_size(), 10.0);
+}
+
+TEST(GridTest, CellOfMapsBoundaryPointsInside) {
+  const Grid g = Grid::Create(Box(100, 100), 10.0).value();
+  const Cell origin = g.CellOf({0, 0});
+  EXPECT_EQ(origin, (Cell{1, 1}));  // one padding cell before the box
+  const Cell corner = g.CellOf({100, 100});
+  EXPECT_LT(corner.x, g.num_x());
+  EXPECT_LT(corner.y, g.num_y());
+}
+
+TEST(GridTest, OutsidePointsClampToBorder) {
+  const Grid g = Grid::Create(Box(100, 100), 10.0).value();
+  const Cell c = g.CellOf({-1000, 1000});
+  EXPECT_EQ(c.x, 0);
+  EXPECT_EQ(c.y, g.num_y() - 1);
+}
+
+TEST(GridTest, CellCenterRoundTrips) {
+  const Grid g = Grid::Create(Box(100, 100), 10.0).value();
+  const Cell c = g.CellOf({34, 67});
+  const Point center = g.CellCenter(c);
+  EXPECT_EQ(g.CellOf(center), c);
+  // Centre is within half a cell of the original point.
+  EXPECT_LE(std::abs(center.x - 34), 5.0 + 1e-9);
+  EXPECT_LE(std::abs(center.y - 67), 5.0 + 1e-9);
+}
+
+TEST(GridTest, MapPreservesLengthWithoutDedup) {
+  const Grid g = Grid::Create(Box(100, 100), 10.0).value();
+  Trajectory t;
+  t.points = {{1, 1}, {2, 2}, {50, 50}};
+  const GridTrajectory gt = g.Map(t);
+  EXPECT_EQ(gt.size(), 3);
+  EXPECT_EQ(gt.cells[0], gt.cells[1]);  // both in the same cell
+}
+
+TEST(GridTest, MapDedupsConsecutiveCells) {
+  const Grid g = Grid::Create(Box(100, 100), 10.0).value();
+  Trajectory t;
+  t.points = {{1, 1}, {2, 2}, {50, 50}, {51, 51}, {1, 1}};
+  const GridTrajectory gt = g.Map(t, /*dedup_consecutive=*/true);
+  EXPECT_EQ(gt.size(), 3);  // AABBA -> ABA
+}
+
+TEST(GridTest, FlatIdUniqueAndInRange) {
+  const Grid g = Grid::Create(Box(40, 40), 10.0).value();
+  std::vector<bool> seen(static_cast<size_t>(g.num_x()) * g.num_y(), false);
+  for (int y = 0; y < g.num_y(); ++y) {
+    for (int x = 0; x < g.num_x(); ++x) {
+      const int64_t id = g.FlatId(Cell{x, y});
+      ASSERT_GE(id, 0);
+      ASSERT_LT(id, static_cast<int64_t>(seen.size()));
+      EXPECT_FALSE(seen[id]);
+      seen[id] = true;
+    }
+  }
+}
+
+TEST(GridTest, SequenceKeyDistinguishesOrderAndCells) {
+  const Grid g = Grid::Create(Box(100, 100), 10.0).value();
+  Trajectory a, b;
+  a.points = {{5, 5}, {55, 55}};
+  b.points = {{55, 55}, {5, 5}};
+  const std::string ka = g.SequenceKey(g.Map(a, true));
+  const std::string kb = g.SequenceKey(g.Map(b, true));
+  EXPECT_NE(ka, kb);
+  Trajectory a2;
+  a2.points = {{6, 6}, {56, 56}};  // same cells as a
+  EXPECT_EQ(ka, g.SequenceKey(g.Map(a2, true)));
+}
+
+}  // namespace
+}  // namespace traj2hash::traj

@@ -1,0 +1,97 @@
+#include "traj/io.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace traj2hash::traj {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(IoTest, SaveLoadRoundTrip) {
+  std::vector<Trajectory> ts(2);
+  ts[0].id = 7;
+  ts[0].points = {{1.25, 2.5}, {3.75, -4.0}};
+  ts[1].id = 8;
+  ts[1].points = {{100.01, 200.02}};
+  const std::string path = TempPath("t2h_io_roundtrip.csv");
+  ASSERT_TRUE(SaveCsv(ts, path).ok());
+  const auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value()[0].id, 7);
+  EXPECT_EQ(loaded.value()[1].id, 8);
+  EXPECT_NEAR(loaded.value()[0].points[1].y, -4.0, 1e-6);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadMissingFileIsIoError) {
+  const auto r = LoadCsv("/nonexistent/definitely/missing.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(IoTest, LoadSkipsCommentsAndBlanks) {
+  const std::string path = TempPath("t2h_io_comments.csv");
+  {
+    std::ofstream out(path);
+    out << "# header\n\n1,0.0,0.0,10.0,10.0\n";
+  }
+  const auto r = LoadCsv(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 1u);
+  EXPECT_EQ(r.value()[0].points.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadRejectsOddCoordinateCount) {
+  const std::string path = TempPath("t2h_io_odd.csv");
+  {
+    std::ofstream out(path);
+    out << "1,0.0,0.0,10.0\n";
+  }
+  const auto r = LoadCsv(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadRejectsNonNumericId) {
+  const std::string path = TempPath("t2h_io_badid.csv");
+  {
+    std::ofstream out(path);
+    out << "abc,0.0,0.0\n";
+  }
+  const auto r = LoadCsv(path);
+  ASSERT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+TEST(ProjectionTest, AnchorMapsToOrigin) {
+  const Point p = ProjectLatLon(41.15, -8.61, 41.15, -8.61);
+  EXPECT_NEAR(p.x, 0.0, 1e-9);
+  EXPECT_NEAR(p.y, 0.0, 1e-9);
+}
+
+TEST(ProjectionTest, OneDegreeLatitudeIs111Km) {
+  const Point p = ProjectLatLon(42.15, -8.61, 41.15, -8.61);
+  EXPECT_NEAR(p.y, 111194.9, 50.0);
+  EXPECT_NEAR(p.x, 0.0, 1e-6);
+}
+
+TEST(ProjectionTest, LongitudeScalesWithCosLatitude) {
+  const Point equator = ProjectLatLon(0.0, 1.0, 0.0, 0.0);
+  const Point porto = ProjectLatLon(41.15, -7.61, 41.15, -8.61);
+  EXPECT_LT(porto.x, equator.x);
+  EXPECT_NEAR(porto.x / equator.x, std::cos(41.15 * 3.14159265 / 180.0),
+              1e-3);
+}
+
+}  // namespace
+}  // namespace traj2hash::traj

@@ -1,0 +1,74 @@
+#include "traj/normalizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace traj2hash::traj {
+namespace {
+
+TEST(NormalizerTest, IdentityBeforeFit) {
+  const Normalizer n;
+  const Point p = n.Apply(Point{3.0, -4.0});
+  EXPECT_DOUBLE_EQ(p.x, 3.0);
+  EXPECT_DOUBLE_EQ(p.y, -4.0);
+}
+
+TEST(NormalizerTest, FittedOutputHasZeroMeanUnitVariance) {
+  std::vector<Trajectory> ts(1);
+  for (int i = 0; i < 100; ++i) {
+    ts[0].points.push_back(Point{100.0 + i * 3.0, -50.0 + i * i * 0.1});
+  }
+  Normalizer n;
+  n.Fit(ts);
+  double mean_x = 0, mean_y = 0, var_x = 0, var_y = 0;
+  std::vector<Point> mapped = n.Apply(ts[0]);
+  for (const Point& p : mapped) {
+    mean_x += p.x;
+    mean_y += p.y;
+  }
+  mean_x /= mapped.size();
+  mean_y /= mapped.size();
+  for (const Point& p : mapped) {
+    var_x += (p.x - mean_x) * (p.x - mean_x);
+    var_y += (p.y - mean_y) * (p.y - mean_y);
+  }
+  var_x /= mapped.size();
+  var_y /= mapped.size();
+  EXPECT_NEAR(mean_x, 0.0, 1e-9);
+  EXPECT_NEAR(mean_y, 0.0, 1e-9);
+  EXPECT_NEAR(var_x, 1.0, 1e-9);
+  EXPECT_NEAR(var_y, 1.0, 1e-9);
+}
+
+TEST(NormalizerTest, DegenerateAxisKeepsUnitStd) {
+  std::vector<Trajectory> ts(1);
+  ts[0].points = {{5.0, 1.0}, {5.0, 2.0}, {5.0, 3.0}};
+  Normalizer n;
+  n.Fit(ts);
+  EXPECT_DOUBLE_EQ(n.std_x(), 1.0);
+  const Point p = n.Apply(Point{5.0, 2.0});
+  EXPECT_DOUBLE_EQ(p.x, 0.0);
+  EXPECT_NEAR(p.y, 0.0, 1e-9);
+}
+
+TEST(NormalizerTest, EmptyFitIsNoOp) {
+  Normalizer n;
+  n.Fit({});
+  const Point p = n.Apply(Point{7.0, 8.0});
+  EXPECT_DOUBLE_EQ(p.x, 7.0);
+  EXPECT_DOUBLE_EQ(p.y, 8.0);
+}
+
+TEST(NormalizerTest, AppliesAcrossMultipleTrajectories) {
+  std::vector<Trajectory> ts(2);
+  ts[0].points = {{0.0, 0.0}};
+  ts[1].points = {{10.0, 20.0}};
+  Normalizer n;
+  n.Fit(ts);
+  EXPECT_DOUBLE_EQ(n.mean_x(), 5.0);
+  EXPECT_DOUBLE_EQ(n.mean_y(), 10.0);
+}
+
+}  // namespace
+}  // namespace traj2hash::traj

@@ -1,0 +1,93 @@
+#include "traj/simplify.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "traj/synthetic.h"
+
+namespace traj2hash::traj {
+namespace {
+
+Trajectory MakeTraj(std::vector<Point> pts) {
+  Trajectory t;
+  t.points = std::move(pts);
+  return t;
+}
+
+TEST(SegmentDistanceTest, PerpendicularAndClampedCases) {
+  const Point a{0, 0}, b{10, 0};
+  EXPECT_DOUBLE_EQ(SegmentDistance({5, 3}, a, b), 3.0);   // interior
+  EXPECT_DOUBLE_EQ(SegmentDistance({-4, 3}, a, b), 5.0);  // clamps to a
+  EXPECT_DOUBLE_EQ(SegmentDistance({13, 4}, a, b), 5.0);  // clamps to b
+  EXPECT_DOUBLE_EQ(SegmentDistance({3, 4}, a, a), 5.0);   // degenerate
+}
+
+TEST(DouglasPeuckerTest, CollinearPointsCollapseToEndpoints) {
+  Trajectory t;
+  for (int i = 0; i <= 20; ++i) t.points.push_back({double(i), 0.0});
+  const Trajectory s = DouglasPeucker(t, 0.5);
+  ASSERT_EQ(s.size(), 2);
+  EXPECT_EQ(s.points.front(), t.points.front());
+  EXPECT_EQ(s.points.back(), t.points.back());
+}
+
+TEST(DouglasPeuckerTest, KeepsSalientCorner) {
+  const Trajectory t =
+      MakeTraj({{0, 0}, {5, 0}, {10, 10}, {15, 20}, {20, 20}});
+  const Trajectory s = DouglasPeucker(t, 1.0);
+  // (5,0) deviates strongly from the (0,0)-(20,20) chord and must survive;
+  // (10,10) lies exactly on the chord.
+  bool has_corner = false;
+  for (const Point& p : s.points) {
+    if (p == Point{5, 0}) has_corner = true;
+  }
+  EXPECT_TRUE(has_corner);
+}
+
+TEST(DouglasPeuckerTest, ZeroEpsilonKeepsAllNonCollinear) {
+  Rng rng(1);
+  Trajectory t;
+  for (int i = 0; i < 30; ++i) {
+    t.points.push_back({double(i), rng.Uniform(-5.0, 5.0)});
+  }
+  EXPECT_EQ(DouglasPeucker(t, 0.0).size(), t.size());
+}
+
+TEST(DouglasPeuckerTest, ErrorBoundedByEpsilon) {
+  Rng rng(2);
+  CityConfig city = CityConfig::PortoLike();
+  city.max_points = 40;
+  const auto trips = GenerateTrips(city, 10, rng);
+  for (const double eps : {10.0, 50.0, 200.0}) {
+    for (const Trajectory& t : trips) {
+      const Trajectory s = DouglasPeucker(t, eps);
+      EXPECT_LE(SimplificationError(t, s), eps + 1e-9);
+      EXPECT_EQ(s.points.front(), t.points.front());
+      EXPECT_EQ(s.points.back(), t.points.back());
+    }
+  }
+}
+
+TEST(DouglasPeuckerTest, MonotoneInEpsilon) {
+  Rng rng(3);
+  CityConfig city = CityConfig::PortoLike();
+  city.max_points = 40;
+  const auto trips = GenerateTrips(city, 5, rng);
+  for (const Trajectory& t : trips) {
+    int prev = t.size();
+    for (const double eps : {5.0, 20.0, 100.0, 500.0}) {
+      const int n = DouglasPeucker(t, eps).size();
+      EXPECT_LE(n, prev);
+      prev = n;
+    }
+    EXPECT_GE(prev, 2);
+  }
+}
+
+TEST(DouglasPeuckerTest, TinyTrajectoriesUnchanged) {
+  EXPECT_EQ(DouglasPeucker(MakeTraj({{1, 1}}), 10.0).size(), 1);
+  EXPECT_EQ(DouglasPeucker(MakeTraj({{1, 1}, {2, 2}}), 10.0).size(), 2);
+}
+
+}  // namespace
+}  // namespace traj2hash::traj

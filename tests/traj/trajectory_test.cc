@@ -1,0 +1,62 @@
+#include "traj/trajectory.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace traj2hash::traj {
+namespace {
+
+Trajectory MakeTraj(std::vector<Point> pts, int64_t id = 0) {
+  Trajectory t;
+  t.id = id;
+  t.points = std::move(pts);
+  return t;
+}
+
+TEST(PointTest, Distance345) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(TrajectoryTest, ReversedReversesOrderKeepsId) {
+  const Trajectory t = MakeTraj({{0, 0}, {1, 0}, {2, 1}}, 99);
+  const Trajectory r = Reversed(t);
+  EXPECT_EQ(r.id, 99);
+  ASSERT_EQ(r.size(), 3);
+  EXPECT_EQ(r.points[0], (Point{2, 1}));
+  EXPECT_EQ(r.points[2], (Point{0, 0}));
+}
+
+TEST(TrajectoryTest, DoubleReverseIsIdentity) {
+  const Trajectory t = MakeTraj({{0, 0}, {5, 2}, {1, 7}, {3, 3}});
+  const Trajectory rr = Reversed(Reversed(t));
+  EXPECT_EQ(rr.points, t.points);
+}
+
+TEST(TrajectoryTest, PathLengthSumsSegments) {
+  const Trajectory t = MakeTraj({{0, 0}, {3, 4}, {3, 10}});
+  EXPECT_DOUBLE_EQ(PathLength(t), 5.0 + 6.0);
+  EXPECT_DOUBLE_EQ(PathLength(MakeTraj({{1, 1}})), 0.0);
+}
+
+TEST(BoundingBoxTest, CoversAllPoints) {
+  const std::vector<Trajectory> ts = {MakeTraj({{0, 5}, {10, 2}}),
+                                      MakeTraj({{-3, 8}})};
+  const BoundingBox box = ComputeBoundingBox(ts);
+  EXPECT_DOUBLE_EQ(box.min_x, -3);
+  EXPECT_DOUBLE_EQ(box.max_x, 10);
+  EXPECT_DOUBLE_EQ(box.min_y, 2);
+  EXPECT_DOUBLE_EQ(box.max_y, 8);
+  EXPECT_TRUE(box.Contains({0, 5}));
+  EXPECT_FALSE(box.Contains({11, 5}));
+}
+
+TEST(BoundingBoxTest, EmptyInputGivesZeroBox) {
+  const BoundingBox box = ComputeBoundingBox({});
+  EXPECT_DOUBLE_EQ(box.Width(), 0.0);
+  EXPECT_DOUBLE_EQ(box.Height(), 0.0);
+}
+
+}  // namespace
+}  // namespace traj2hash::traj

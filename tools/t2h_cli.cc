@@ -1,0 +1,233 @@
+// traj2hash command-line tool: generate synthetic data, train models, and
+// run top-k similar trajectory queries from CSV files.
+//
+//   t2h_cli generate --city porto --count 2000 --out trips.csv
+//   t2h_cli train    --data trips.csv --measure frechet --out model.bin
+//   t2h_cli query    --data trips.csv --model model.bin --query-id 5 --k 10
+//   t2h_cli distance --data trips.csv --a 3 --b 7
+//
+// `train` and `query` must be given the same --data / --dim / --measure
+// flags: the model file stores parameters only, while normaliser and grid
+// statistics are re-fitted deterministically from the data file.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/trainer.h"
+#include "distance/distance.h"
+#include "search/hamming_index.h"
+#include "search/knn.h"
+#include "traj/io.h"
+#include "traj/synthetic.h"
+
+namespace t2h = traj2hash;
+
+namespace {
+
+/// Minimal --flag value parser; flags may appear in any order.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) continue;
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it != values_.end() ? it->second : fallback;
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    const auto it = values_.find(key);
+    return it != values_.end() ? std::atoi(it->second.c_str()) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: t2h_cli <command> [--flag value]...\n"
+               "  generate --out F [--city porto|chengdu] [--count N]"
+               " [--seed S]\n"
+               "  train    --data F --out MODEL [--measure frechet|hausdorff"
+               "|dtw]\n"
+               "           [--seeds N] [--epochs N] [--dim D] [--seed S]\n"
+               "  query    --data F --model MODEL --query-id ID [--k K]\n"
+               "           [--space euclid|hamming|hybrid] [--dim D]"
+               " [--seed S]\n"
+               "  distance --data F --a ID --b ID\n");
+  return 2;
+}
+
+t2h::Result<std::vector<t2h::traj::Trajectory>> LoadData(const Args& args) {
+  const std::string path = args.Get("data", "");
+  if (path.empty()) {
+    return t2h::Status::InvalidArgument("--data is required");
+  }
+  return t2h::traj::LoadCsv(path);
+}
+
+t2h::core::Traj2HashConfig ConfigFromArgs(const Args& args) {
+  t2h::core::Traj2HashConfig config;
+  config.dim = args.GetInt("dim", 16);
+  config.num_heads = config.dim % 4 == 0 ? 4 : 2;
+  config.epochs = args.GetInt("epochs", 10);
+  config.samples_per_anchor = 8;
+  config.batch_size = 16;
+  return config;
+}
+
+int RunGenerate(const Args& args) {
+  const std::string out = args.Get("out", "");
+  if (out.empty()) return Fail("--out is required");
+  t2h::traj::CityConfig city = args.Get("city", "porto") == "chengdu"
+                                   ? t2h::traj::CityConfig::ChengduLike()
+                                   : t2h::traj::CityConfig::PortoLike();
+  city.max_points = args.GetInt("max-points", 24);
+  t2h::Rng rng(args.GetInt("seed", 42));
+  const auto trips =
+      GenerateTrips(city, args.GetInt("count", 2000), rng);
+  if (const t2h::Status s = t2h::traj::SaveCsv(trips, out); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  std::printf("wrote %zu %s-like trajectories to %s\n", trips.size(),
+              city.name.c_str(), out.c_str());
+  return 0;
+}
+
+int RunTrain(const Args& args) {
+  const std::string out = args.Get("out", "");
+  if (out.empty()) return Fail("--out is required");
+  auto loaded = LoadData(args);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  const std::vector<t2h::traj::Trajectory> corpus =
+      std::move(loaded).value();
+  const auto measure = t2h::dist::ParseMeasure(args.Get("measure", "frechet"));
+  if (!measure.ok()) return Fail(measure.status().ToString());
+
+  const int num_seeds =
+      std::min<int>(args.GetInt("seeds", 60), corpus.size());
+  const std::vector<t2h::traj::Trajectory> seeds(corpus.begin(),
+                                                 corpus.begin() + num_seeds);
+  std::printf("computing %dx%d exact %s distances...\n", num_seeds, num_seeds,
+              t2h::dist::MeasureName(measure.value()).c_str());
+  const auto distances = t2h::dist::PairwiseMatrix(
+      seeds, t2h::dist::GetDistance(measure.value()));
+
+  t2h::Rng rng(args.GetInt("seed", 42));
+  auto created =
+      t2h::core::Traj2Hash::Create(ConfigFromArgs(args), corpus, rng);
+  if (!created.ok()) return Fail(created.status().ToString());
+  auto model = std::move(created).value();
+  model->PretrainGrids({}, rng);
+
+  t2h::core::TrainingData data;
+  data.seeds = seeds;
+  data.seed_distances = distances;
+  data.triplet_corpus = corpus;
+  std::printf("training (%d epochs + refinement)...\n",
+              model->config().epochs);
+  t2h::core::Trainer trainer(model.get());
+  const auto report = trainer.Fit(data, rng);
+  if (!report.ok()) return Fail(report.status().ToString());
+  if (const t2h::Status s = model->Save(out); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  std::printf("model written to %s (final WMSE %.5f, %d triplets used)\n",
+              out.c_str(), report.value().epochs.back().wmse,
+              report.value().num_triplets_used);
+  return 0;
+}
+
+int RunQuery(const Args& args) {
+  auto loaded = LoadData(args);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  const std::vector<t2h::traj::Trajectory> corpus =
+      std::move(loaded).value();
+  const int query_id = args.GetInt("query-id", -1);
+  if (query_id < 0 || query_id >= static_cast<int>(corpus.size())) {
+    return Fail("--query-id out of range");
+  }
+  t2h::Rng rng(args.GetInt("seed", 42));
+  auto created =
+      t2h::core::Traj2Hash::Create(ConfigFromArgs(args), corpus, rng);
+  if (!created.ok()) return Fail(created.status().ToString());
+  auto model = std::move(created).value();
+  if (const t2h::Status s = model->Load(args.Get("model", ""));
+      !s.ok()) {
+    return Fail(s.ToString() + " (same --data/--dim as training?)");
+  }
+
+  const int k = args.GetInt("k", 10);
+  const std::string space = args.Get("space", "hybrid");
+  const t2h::traj::Trajectory& query = corpus[query_id];
+  std::vector<t2h::search::Neighbor> result;
+  if (space == "euclid") {
+    result = t2h::search::TopKEuclidean(t2h::core::EmbedAll(*model, corpus),
+                                        model->Embed(query), k + 1);
+  } else if (space == "hamming") {
+    result = t2h::search::TopKHamming(t2h::core::HashAll(*model, corpus),
+                                      model->HashCode(query), k + 1);
+  } else if (space == "hybrid") {
+    const t2h::search::HammingIndex index(t2h::core::HashAll(*model, corpus));
+    result = index.HybridTopK(model->HashCode(query), k + 1);
+  } else {
+    return Fail("--space must be euclid, hamming or hybrid");
+  }
+  std::printf("top-%d most similar to trajectory %d (%s space):\n", k,
+              query_id, space.c_str());
+  int printed = 0;
+  for (const t2h::search::Neighbor& n : result) {
+    if (n.index == query_id) continue;  // skip the query itself
+    std::printf("  id=%-6lld distance=%.4f\n",
+                static_cast<long long>(corpus[n.index].id), n.distance);
+    if (++printed == k) break;
+  }
+  return 0;
+}
+
+int RunDistance(const Args& args) {
+  auto loaded = LoadData(args);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  const auto corpus = std::move(loaded).value();
+  const int a = args.GetInt("a", -1);
+  const int b = args.GetInt("b", -1);
+  if (a < 0 || b < 0 || a >= static_cast<int>(corpus.size()) ||
+      b >= static_cast<int>(corpus.size())) {
+    return Fail("--a/--b out of range");
+  }
+  const auto& ta = corpus[a];
+  const auto& tb = corpus[b];
+  std::printf("DTW        %.2f\n", t2h::dist::Dtw(ta, tb));
+  std::printf("Frechet    %.2f\n", t2h::dist::Frechet(ta, tb));
+  std::printf("Hausdorff  %.2f\n", t2h::dist::Hausdorff(ta, tb));
+  std::printf("ERP        %.2f\n", t2h::dist::Erp(ta, tb));
+  std::printf("LCSS(100m) %.4f\n", t2h::dist::LcssDistance(ta, tb, 100.0));
+  std::printf("EDR(100m)  %.2f\n", t2h::dist::Edr(ta, tb, 100.0));
+  std::printf("endpoint lower bound %.2f\n",
+              t2h::dist::EndpointLowerBound(ta, tb));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv);
+  if (command == "generate") return RunGenerate(args);
+  if (command == "train") return RunTrain(args);
+  if (command == "query") return RunQuery(args);
+  if (command == "distance") return RunDistance(args);
+  return Usage();
+}
