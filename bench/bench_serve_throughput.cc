@@ -1,0 +1,108 @@
+// Serving-layer throughput bench (repo extension, not a paper figure): sweeps
+// worker-thread count x shard count for the `serve::QueryEngine` and reports
+// QPS plus per-stage (encode / probe / rank / total) p50/p95/p99 latency.
+//
+// Expected shape: QPS scales with threads until the core count saturates
+// (this container may have few cores — the sweep still demonstrates the
+// scaling surface); encode dominates per-query latency at model dims, so
+// shard count mostly moves the probe tail, not the mean.
+//
+// Scale: T2H_BENCH_SCALE=tiny shrinks the database/queries by ~4x; `large`
+// grows them ~4x.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/model.h"
+#include "serve/engine.h"
+#include "traj/synthetic.h"
+
+namespace t2h = traj2hash;
+
+namespace {
+
+struct ServeScale {
+  int db_size = 1200;
+  int num_queries = 96;
+  int rounds = 3;  ///< query set is replayed this many times
+};
+
+ServeScale GetServeScale() {
+  const char* env = std::getenv("T2H_BENCH_SCALE");
+  const std::string scale = env != nullptr ? env : "small";
+  ServeScale s;
+  if (scale == "tiny") {
+    s.db_size = 300;
+    s.num_queries = 32;
+    s.rounds = 2;
+  } else if (scale == "large") {
+    s.db_size = 5000;
+    s.num_queries = 256;
+    s.rounds = 4;
+  }
+  return s;
+}
+
+void PrintStageRow(const char* stage,
+                   const t2h::serve::LatencyHistogram::Summary& s) {
+  std::printf("    %-7s p50 %9.1f us   p95 %9.1f us   p99 %9.1f us\n", stage,
+              s.p50_us, s.p95_us, s.p99_us);
+}
+
+}  // namespace
+
+int main() {
+  const ServeScale scale = GetServeScale();
+  std::printf("serve throughput bench: db=%d queries=%d rounds=%d\n",
+              scale.db_size, scale.num_queries, scale.rounds);
+
+  t2h::Rng rng(4242);
+  t2h::traj::CityConfig city = t2h::traj::CityConfig::PortoLike();
+  city.max_points = 16;
+  const auto corpus =
+      GenerateTrips(city, scale.db_size + scale.num_queries, rng);
+  const std::vector<t2h::traj::Trajectory> db(corpus.begin(),
+                                              corpus.begin() + scale.db_size);
+  const std::vector<t2h::traj::Trajectory> queries(
+      corpus.begin() + scale.db_size, corpus.end());
+
+  // An untrained model prices the encode stage identically to a trained one;
+  // retrieval quality is irrelevant to a throughput bench.
+  t2h::core::Traj2HashConfig cfg;
+  cfg.dim = 16;
+  cfg.num_blocks = 1;
+  cfg.num_heads = 4;
+  auto model = std::move(t2h::core::Traj2Hash::Create(cfg, db, rng).value());
+
+  std::printf("%8s %8s %12s %12s\n", "threads", "shards", "QPS", "mean_us");
+  for (const int threads : {1, 2, 4, 8}) {
+    for (const int shards : {1, 4}) {
+      t2h::serve::QueryEngine engine(
+          model.get(), {.num_threads = threads, .num_shards = shards});
+      engine.InsertAll(db);
+      // Warm-up round, then measure fresh stats.
+      engine.QueryBatch(queries, 10);
+      engine.ResetStats();
+
+      t2h::Stopwatch wall;
+      for (int r = 0; r < scale.rounds; ++r) {
+        engine.QueryBatch(queries, 10);
+      }
+      const double seconds = wall.ElapsedSeconds();
+      const int total_queries = scale.rounds * scale.num_queries;
+      const auto snapshot = engine.stats();
+      std::printf("%8d %8d %12.1f %12.1f\n", threads, shards,
+                  total_queries / seconds,
+                  snapshot.Of(t2h::serve::Stage::kTotal).mean_us);
+      PrintStageRow("encode", snapshot.Of(t2h::serve::Stage::kEncode));
+      PrintStageRow("probe", snapshot.Of(t2h::serve::Stage::kProbe));
+      PrintStageRow("rank", snapshot.Of(t2h::serve::Stage::kRank));
+      PrintStageRow("total", snapshot.Of(t2h::serve::Stage::kTotal));
+    }
+  }
+  return 0;
+}

@@ -12,13 +12,13 @@ int TrajectoryIndex::Add(const traj::Trajectory& t) {
   const int id = static_cast<int>(embeddings_.size());
   std::vector<float> embedding = model_->Embed(t);
   search::Code code = search::PackSigns(embedding);
-  embeddings_.push_back(std::move(embedding));
   if (hamming_ == nullptr) {
-    hamming_ = std::make_unique<search::HammingIndex>(
-        std::vector<search::Code>{std::move(code)});
-  } else {
-    hamming_->Insert(std::move(code));
+    // Cold start: the code width (= config dim) is only certain once the
+    // first embedding exists.
+    hamming_ = std::make_unique<search::HammingIndex>(code.num_bits);
   }
+  embeddings_.push_back(std::move(embedding));
+  hamming_->Insert(std::move(code));
   return id;
 }
 

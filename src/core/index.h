@@ -49,8 +49,8 @@ class TrajectoryIndex {
  private:
   const Traj2Hash* model_;
   std::vector<std::vector<float>> embeddings_;
-  // Created on the first insertion (HammingIndex requires a non-empty
-  // initial set); extended incrementally afterwards.
+  // Created cold (empty) on the first insertion, when the code width is
+  // known; extended incrementally afterwards.
   std::unique_ptr<search::HammingIndex> hamming_;
 };
 

@@ -25,10 +25,10 @@ ExactSearchResult ExactTopKWithLowerBound(
   std::sort(by_bound.begin(), by_bound.end());
 
   k = std::min<int>(k, static_cast<int>(database.size()));
-  // Max-heap of current best k by (distance, index).
+  // Max-heap of current best k, ordered by the shared deterministic
+  // (distance, index) comparison.
   auto worse = [](const search::Neighbor& a, const search::Neighbor& b) {
-    if (a.distance != b.distance) return a.distance < b.distance;
-    return a.index < b.index;
+    return search::NeighborLess(a, b);
   };
   std::vector<search::Neighbor> heap;
   heap.reserve(k);

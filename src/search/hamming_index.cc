@@ -8,12 +8,17 @@ namespace traj2hash::search {
 
 HammingIndex::HammingIndex(std::vector<Code> codes)
     : codes_(std::move(codes)) {
-  T2H_CHECK(!codes_.empty());
+  T2H_CHECK_MSG(!codes_.empty(),
+                "use HammingIndex(int num_bits) to start empty");
   num_bits_ = codes_[0].num_bits;
   for (size_t i = 0; i < codes_.size(); ++i) {
     T2H_CHECK_EQ(codes_[i].num_bits, num_bits_);
     buckets_[CodeHash(codes_[i])].push_back(static_cast<int>(i));
   }
+}
+
+HammingIndex::HammingIndex(int num_bits) : num_bits_(num_bits) {
+  T2H_CHECK_GT(num_bits, 0);
 }
 
 int HammingIndex::Insert(Code code) {
@@ -72,11 +77,7 @@ std::vector<Neighbor> HammingIndex::HybridTopK(const Code& query,
     ranked.push_back(
         {id, static_cast<double>(HammingDistance(codes_[id], query))});
   }
-  std::sort(ranked.begin(), ranked.end(),
-            [](const Neighbor& a, const Neighbor& b) {
-              if (a.distance != b.distance) return a.distance < b.distance;
-              return a.index < b.index;
-            });
+  std::sort(ranked.begin(), ranked.end(), NeighborLess);
   ranked.resize(k);
   return ranked;
 }
@@ -140,11 +141,7 @@ std::vector<Neighbor> HammingIndex::LookupOnlyTopK(const Code& query, int k,
   // Candidates were appended in radius order; ties within one radius are in
   // probe order — normalise to the (distance, index) order of the other
   // strategies.
-  std::sort(found.begin(), found.end(),
-            [](const Neighbor& a, const Neighbor& b) {
-              if (a.distance != b.distance) return a.distance < b.distance;
-              return a.index < b.index;
-            });
+  std::sort(found.begin(), found.end(), NeighborLess);
   if (static_cast<int>(found.size()) > k) found.resize(k);
   return found;
 }

@@ -15,8 +15,14 @@ namespace traj2hash::search {
 /// otherwise fall back to a Hamming brute-force scan over the database.
 class HammingIndex {
  public:
-  /// Builds buckets over the database codes. All codes must share one width.
+  /// Builds buckets over the database codes. All codes must share one width;
+  /// `codes` must be non-empty (the width is inferred from it) — use the
+  /// `(int num_bits)` constructor to start cold.
   explicit HammingIndex(std::vector<Code> codes);
+
+  /// Creates an empty index for `num_bits`-bit codes, so a live service can
+  /// boot with zero trajectories and grow through Insert.
+  explicit HammingIndex(int num_bits);
 
   /// Appends one code to the index (e.g. a freshly hashed trajectory in a
   /// live database) and returns its id. Width must match the index.

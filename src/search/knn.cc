@@ -9,8 +9,9 @@
 namespace traj2hash::search {
 namespace {
 
-/// Max-heap based top-k selection shared by both spaces. `Compare` orders
-/// (distance, index) lexicographically so results are deterministic.
+/// Max-heap based top-k selection shared by both spaces, ordered by
+/// NeighborLess so results are deterministic (larger index counts as worse
+/// on distance ties).
 struct HeapEntry {
   double distance;
   int index;
@@ -18,8 +19,7 @@ struct HeapEntry {
 
 struct WorseFirst {
   bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-    if (a.distance != b.distance) return a.distance < b.distance;
-    return a.index < b.index;  // larger index counts as worse on ties
+    return NeighborLess({a.index, a.distance}, {b.index, b.distance});
   }
 };
 

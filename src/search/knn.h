@@ -13,6 +13,16 @@ struct Neighbor {
   double distance = 0.0;
 };
 
+/// The one deterministic ordering every ranking path in this repo uses:
+/// ascending distance, ties broken by ascending index. Centralised so
+/// sharded fan-out merges (serve/sharded_index.h) are bit-identical to the
+/// single-index paths, and so reproducibility does not depend on N copies of
+/// the same lambda staying in sync.
+inline bool NeighborLess(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.index < b.index;
+}
+
 /// Brute-force top-k by Euclidean distance over dense embeddings
 /// (the paper's Euclidean-BF strategy). `db` holds row-major embeddings of
 /// equal length; ties broken by lower index. k is clamped to db size.

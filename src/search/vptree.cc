@@ -10,10 +10,10 @@ namespace traj2hash::search {
 namespace {
 
 /// Worse-first ordering for the candidate heap: larger distance first,
-/// then larger index, so the heap's front is the entry to evict.
+/// then larger index, so the heap's front is the entry to evict. Shares
+/// NeighborLess with every other ranking path for deterministic ties.
 bool WorseThan(const Neighbor& a, const Neighbor& b) {
-  if (a.distance != b.distance) return a.distance < b.distance;
-  return a.index < b.index;
+  return NeighborLess(a, b);
 }
 
 }  // namespace

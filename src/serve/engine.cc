@@ -1,0 +1,97 @@
+#include "serve/engine.h"
+
+#include <functional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace traj2hash::serve {
+
+QueryEngine::QueryEngine(const core::Traj2Hash* model,
+                         const QueryEngineOptions& options)
+    : model_(model),
+      index_(options.num_shards, model != nullptr ? model->config().dim : 1),
+      pool_(options.num_threads) {
+  T2H_CHECK(model != nullptr);
+}
+
+int QueryEngine::Insert(const traj::Trajectory& t) {
+  std::vector<float> embedding = model_->Embed(t);
+  search::Code code = search::PackSigns(embedding);
+  return index_.Insert(std::move(code), std::move(embedding));
+}
+
+void QueryEngine::InsertAll(const std::vector<traj::Trajectory>& ts) {
+  if (ts.empty()) return;
+  // Encode in parallel (the dominant cost), insert sequentially so global
+  // ids deterministically follow input order.
+  std::vector<std::vector<float>> embeddings(ts.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(ts.size());
+  for (size_t i = 0; i < ts.size(); ++i) {
+    tasks.push_back(
+        [this, &ts, &embeddings, i] { embeddings[i] = model_->Embed(ts[i]); });
+  }
+  pool_.RunAll(std::move(tasks));
+  for (std::vector<float>& embedding : embeddings) {
+    search::Code code = search::PackSigns(embedding);
+    index_.Insert(std::move(code), std::move(embedding));
+  }
+}
+
+QueryResult QueryEngine::RunQuery(const traj::Trajectory& query, int k,
+                                  bool parallel_fanout) {
+  T2H_CHECK_GE(k, 1);
+  Stopwatch total;
+  Stopwatch stage;
+  const search::Code code = model_->HashCode(query);
+  stats_.Record(Stage::kEncode, stage.ElapsedMicros());
+
+  const int s = index_.num_shards();
+  std::vector<std::vector<search::Neighbor>> per_shard(s);
+  stage.Restart();
+  if (parallel_fanout && s > 1) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(s);
+    for (int i = 0; i < s; ++i) {
+      tasks.push_back([this, i, &code, k, &per_shard] {
+        per_shard[i] = index_.ShardTopK(i, code, k);
+      });
+    }
+    pool_.RunAll(std::move(tasks));
+  } else {
+    for (int i = 0; i < s; ++i) per_shard[i] = index_.ShardTopK(i, code, k);
+  }
+  stats_.Record(Stage::kProbe, stage.ElapsedMicros());
+
+  stage.Restart();
+  QueryResult result;
+  result.neighbors = ShardedIndex::MergeTopK(per_shard, k);
+  stats_.Record(Stage::kRank, stage.ElapsedMicros());
+  stats_.Record(Stage::kTotal, total.ElapsedMicros());
+  return result;
+}
+
+QueryResult QueryEngine::Query(const traj::Trajectory& query, int k) {
+  return RunQuery(query, k, /*parallel_fanout=*/true);
+}
+
+std::vector<QueryResult> QueryEngine::QueryBatch(
+    const std::vector<traj::Trajectory>& queries, int k) {
+  std::vector<QueryResult> results(queries.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    // Serial fan-out inside each task: a worker probing its own shards
+    // cannot wait on the pool, so batches cannot deadlock and throughput
+    // comes from query-level parallelism.
+    tasks.push_back([this, &queries, &results, k, i] {
+      results[i] = RunQuery(queries[i], k, /*parallel_fanout=*/false);
+    });
+  }
+  pool_.RunAll(std::move(tasks));
+  return results;
+}
+
+}  // namespace traj2hash::serve

@@ -1,0 +1,87 @@
+#ifndef TRAJ2HASH_SERVE_ENGINE_H_
+#define TRAJ2HASH_SERVE_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/model.h"
+#include "search/knn.h"
+#include "serve/sharded_index.h"
+#include "serve/stats.h"
+#include "serve/thread_pool.h"
+#include "traj/trajectory.h"
+
+namespace traj2hash::serve {
+
+struct QueryEngineOptions {
+  int num_threads = 4;  ///< worker pool size
+  int num_shards = 4;   ///< database partitions (fixed for the engine's life)
+};
+
+/// Result of one top-k query.
+struct QueryResult {
+  std::vector<search::Neighbor> neighbors;  ///< sorted by (distance, id)
+};
+
+/// Concurrent query-serving engine over a trained Traj2Hash model and a
+/// sharded Hamming index. Each query runs as an instrumented three-stage
+/// pipeline — encode (model hash), probe (per-shard Hamming-Hybrid top-k),
+/// rank (deterministic merge) — with per-stage latency recorded into a
+/// `ServeStats` that can be snapshot while serving.
+///
+/// Concurrency model: `Insert`, `Query` and `QueryBatch` are all safe to
+/// call from any number of external threads at once. A single `Query` fans
+/// its shard probes out across the worker pool; `QueryBatch` instead runs
+/// one pool task per query (each probing its shards serially), which is the
+/// throughput-optimal shape when queries outnumber workers. Model encoding
+/// is read-only over the trained parameters, so it parallelises freely.
+class QueryEngine {
+ public:
+  /// `model` must be trained (or at least constructed) and outlive the
+  /// engine. The code width is taken from the model config (d_h = dim).
+  QueryEngine(const core::Traj2Hash* model, const QueryEngineOptions& options);
+
+  /// Encodes, hashes and stores one trajectory; returns its global id.
+  /// Thread-safe against concurrent queries and inserts.
+  int Insert(const traj::Trajectory& t);
+
+  /// Bulk load: trajectories are encoded in parallel on the worker pool but
+  /// inserted in order, so ids always equal the input positions (offset by
+  /// the current size). Must not be called from inside a pool task.
+  void InsertAll(const std::vector<traj::Trajectory>& ts);
+
+  /// Single top-k query with parallel shard fan-out. Must not be called
+  /// from inside a pool task (see ThreadPool::RunAll); external callers may
+  /// overlap freely.
+  QueryResult Query(const traj::Trajectory& query, int k);
+
+  /// Batched top-k: one worker task per query, serial fan-out inside each.
+  /// Results are positionally aligned with `queries`.
+  std::vector<QueryResult> QueryBatch(
+      const std::vector<traj::Trajectory>& queries, int k);
+
+  /// Per-stage latency snapshot (thread-safe while serving).
+  ServeStats::Snapshot stats() const { return stats_.Summarize(); }
+
+  /// Clears stage statistics. Quiescent use only (no in-flight queries).
+  void ResetStats() { stats_.Reset(); }
+
+  const ShardedIndex& index() const { return index_; }
+  int size() const { return index_.size(); }
+  int num_threads() const { return pool_.num_threads(); }
+
+ private:
+  /// encode -> probe -> rank with per-stage timing. `parallel_fanout`
+  /// selects pool fan-out (single queries) vs serial probes (batch tasks).
+  QueryResult RunQuery(const traj::Trajectory& query, int k,
+                       bool parallel_fanout);
+
+  const core::Traj2Hash* model_;
+  ShardedIndex index_;
+  ThreadPool pool_;
+  ServeStats stats_;
+};
+
+}  // namespace traj2hash::serve
+
+#endif  // TRAJ2HASH_SERVE_ENGINE_H_

@@ -1,0 +1,92 @@
+#include "serve/sharded_index.h"
+
+#include <algorithm>
+#include <functional>
+#include <mutex>
+
+#include "common/check.h"
+
+namespace traj2hash::serve {
+
+ShardedIndex::ShardedIndex(int num_shards, int num_bits)
+    : num_bits_(num_bits) {
+  T2H_CHECK_GE(num_shards, 1);
+  T2H_CHECK_GT(num_bits, 0);
+  shards_.reserve(num_shards);
+  for (int s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(num_bits));
+  }
+}
+
+int ShardedIndex::Insert(search::Code code, std::vector<float> embedding) {
+  T2H_CHECK_EQ(code.num_bits, num_bits_);
+  const int id = next_id_.fetch_add(1, std::memory_order_acq_rel);
+  Shard& shard = *shards_[ShardOf(id)];
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  // Concurrent inserts can reach the same shard out of global-id order, so
+  // the local->global mapping is stored, not derived from the local id.
+  shard.index.Insert(std::move(code));
+  shard.global_ids.push_back(id);
+  shard.embeddings.push_back(std::move(embedding));
+  return id;
+}
+
+std::vector<search::Neighbor> ShardedIndex::ShardTopK(
+    int shard_id, const search::Code& query, int k) const {
+  T2H_CHECK(shard_id >= 0 && shard_id < num_shards());
+  const Shard& shard = *shards_[shard_id];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  std::vector<search::Neighbor> local = shard.index.HybridTopK(query, k);
+  for (search::Neighbor& n : local) n.index = shard.global_ids[n.index];
+  return local;
+}
+
+std::vector<search::Neighbor> ShardedIndex::MergeTopK(
+    const std::vector<std::vector<search::Neighbor>>& per_shard, int k) {
+  std::vector<search::Neighbor> all;
+  size_t total = 0;
+  for (const auto& list : per_shard) total += list.size();
+  all.reserve(total);
+  for (const auto& list : per_shard) {
+    all.insert(all.end(), list.begin(), list.end());
+  }
+  std::sort(all.begin(), all.end(), search::NeighborLess);
+  if (static_cast<int>(all.size()) > k) all.resize(k);
+  return all;
+}
+
+std::vector<search::Neighbor> ShardedIndex::QueryTopK(
+    const search::Code& query, int k, ThreadPool* pool) const {
+  T2H_CHECK_GE(k, 1);
+  const int s = num_shards();
+  std::vector<std::vector<search::Neighbor>> per_shard(s);
+  if (pool == nullptr || s == 1) {
+    for (int i = 0; i < s; ++i) per_shard[i] = ShardTopK(i, query, k);
+  } else {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(s);
+    for (int i = 0; i < s; ++i) {
+      tasks.push_back(
+          [this, i, &query, k, &per_shard] {
+            per_shard[i] = ShardTopK(i, query, k);
+          });
+    }
+    pool->RunAll(std::move(tasks));
+  }
+  return MergeTopK(per_shard, k);
+}
+
+std::vector<float> ShardedIndex::EmbeddingOf(int id) const {
+  T2H_CHECK(id >= 0 && id < size());
+  const Shard& shard = *shards_[ShardOf(id)];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  // Linear scan of the local id map: shards stay small relative to the
+  // database, and this accessor is off the serving hot path.
+  for (size_t local = 0; local < shard.global_ids.size(); ++local) {
+    if (shard.global_ids[local] == id) return shard.embeddings[local];
+  }
+  T2H_CHECK_MSG(false, "id assigned but not yet visible in its shard");
+  return {};
+}
+
+}  // namespace traj2hash::serve

@@ -1,0 +1,90 @@
+#ifndef TRAJ2HASH_SERVE_SHARDED_INDEX_H_
+#define TRAJ2HASH_SERVE_SHARDED_INDEX_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "search/code.h"
+#include "search/hamming_index.h"
+#include "search/knn.h"
+#include "serve/thread_pool.h"
+
+namespace traj2hash::serve {
+
+/// Partitions a live code + embedding database across S shards, each owning
+/// its own `search::HammingIndex` and embedding store behind a
+/// `std::shared_mutex`. Queries take per-shard shared locks, so concurrent
+/// reads never block each other; `Insert` takes one shard's exclusive lock
+/// only. Global ids are assigned round-robin (`shard = id % S`), which makes
+/// a sequentially-filled ShardedIndex return results bit-identical to a
+/// single `HammingIndex` over the same data, for any shard count — the merge
+/// ranks by the repo-wide (distance, id) order (`search::NeighborLess`).
+///
+/// Why per-shard Hamming-Hybrid fan-out + merge equals the single-index
+/// result: if the global radius-2 candidate count reaches k, every global
+/// top-k hit has Hamming distance <= 2, is therefore a radius-2 candidate of
+/// its own shard, and ranks in that shard's local top-k; if the global count
+/// is below k, every shard's count is below k too, so all shards degrade to
+/// brute force exactly like the single index does.
+class ShardedIndex {
+ public:
+  /// An empty index of `num_shards` shards for `num_bits`-bit codes.
+  ShardedIndex(int num_shards, int num_bits);
+
+  /// Inserts one entry; returns its global id (dense, insertion-ordered).
+  /// Thread-safe; concurrent inserts to different shards do not contend.
+  /// `embedding` may be empty if only Hamming serving is needed.
+  int Insert(search::Code code, std::vector<float> embedding);
+
+  /// Fan-out Hamming-Hybrid top-k over all shards, merged deterministically
+  /// by (distance, global id). With a `pool`, shard probes run as pool
+  /// tasks (must not itself be called from inside that pool — see
+  /// ThreadPool::RunAll); without one they run serially on the caller.
+  std::vector<search::Neighbor> QueryTopK(const search::Code& query, int k,
+                                          ThreadPool* pool = nullptr) const;
+
+  /// Top-k of one shard with ids translated to global ids. Exposed so the
+  /// engine can instrument the probe stage per shard.
+  std::vector<search::Neighbor> ShardTopK(int shard,
+                                          const search::Code& query,
+                                          int k) const;
+
+  /// Deterministic merge used by QueryTopK: the k smallest candidates of the
+  /// union under (distance, id); duplicate-free inputs assumed (shards are
+  /// disjoint).
+  static std::vector<search::Neighbor> MergeTopK(
+      const std::vector<std::vector<search::Neighbor>>& per_shard, int k);
+
+  /// Copy of the stored embedding of `id` (empty if none was supplied).
+  std::vector<float> EmbeddingOf(int id) const;
+
+  /// Entries inserted so far (monotone; safe to read while serving).
+  int size() const { return next_id_.load(std::memory_order_acquire); }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_bits() const { return num_bits_; }
+
+ private:
+  // Heap-allocated so shards never share a cache line through the vector and
+  // the ShardedIndex stays movable in spirit (mutexes pin the Shard itself).
+  struct Shard {
+    explicit Shard(int num_bits) : index(num_bits) {}
+    mutable std::shared_mutex mu;
+    search::HammingIndex index;          // local ids 0..n-1
+    std::vector<int> global_ids;         // local id -> global id
+    std::vector<std::vector<float>> embeddings;  // by local id
+  };
+
+  int ShardOf(int global_id) const {
+    return global_id % static_cast<int>(shards_.size());
+  }
+
+  const int num_bits_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<int> next_id_{0};
+};
+
+}  // namespace traj2hash::serve
+
+#endif  // TRAJ2HASH_SERVE_SHARDED_INDEX_H_

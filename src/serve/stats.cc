@@ -1,0 +1,118 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace traj2hash::serve {
+
+LatencyHistogram::LatencyHistogram() : count_(0), sum_nanos_(0), max_nanos_(0) {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+int LatencyHistogram::BucketIndex(double micros) {
+  if (!(micros > kMinMicros)) return 0;
+  const int i =
+      static_cast<int>(std::log(micros / kMinMicros) / std::log(kGrowth));
+  return std::clamp(i, 0, kNumBuckets - 1);
+}
+
+double LatencyHistogram::BucketValue(int i) {
+  // Geometric midpoint of [kMin*g^i, kMin*g^(i+1)).
+  return kMinMicros * std::pow(kGrowth, i + 0.5);
+}
+
+void LatencyHistogram::Record(double micros) {
+  if (micros < 0.0) micros = 0.0;
+  buckets_[BucketIndex(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const auto nanos = static_cast<uint64_t>(micros * 1e3);
+  sum_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  uint64_t seen = max_nanos_.load(std::memory_order_relaxed);
+  while (nanos > seen &&
+         !max_nanos_.compare_exchange_weak(seen, nanos,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram::Summary LatencyHistogram::Summarize() const {
+  std::array<uint64_t, kNumBuckets> counts;
+  uint64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  Summary out;
+  out.count = total;
+  if (total == 0) return out;
+  // Mean/max come from the exact running sums, not the bucketed values.
+  out.mean_us =
+      static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) / 1e3 /
+      static_cast<double>(total);
+  out.max_us =
+      static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) / 1e3;
+  const auto percentile = [&](double q) {
+    const auto target = static_cast<uint64_t>(std::ceil(q * total));
+    uint64_t seen = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      seen += counts[i];
+      if (seen >= target) return BucketValue(i);
+    }
+    return BucketValue(kNumBuckets - 1);
+  };
+  out.p50_us = percentile(0.50);
+  out.p95_us = percentile(0.95);
+  out.p99_us = percentile(0.99);
+  return out;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_nanos_.store(0, std::memory_order_relaxed);
+  max_nanos_.store(0, std::memory_order_relaxed);
+}
+
+std::string StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kEncode:
+      return "encode";
+    case Stage::kProbe:
+      return "probe";
+    case Stage::kRank:
+      return "rank";
+    case Stage::kTotal:
+      return "total";
+  }
+  return "unknown";
+}
+
+ServeStats::Snapshot ServeStats::Summarize() const {
+  Snapshot out;
+  for (int i = 0; i < kNumStages; ++i) {
+    out.stages[i] = histograms_[i].Summarize();
+  }
+  return out;
+}
+
+void ServeStats::Reset() {
+  for (auto& h : histograms_) h.Reset();
+}
+
+std::string ServeStats::Snapshot::ToString() const {
+  std::string out =
+      "  stage      count     mean_us      p50_us      p95_us      p99_us\n";
+  char line[160];
+  for (int i = 0; i < kNumStages; ++i) {
+    const LatencyHistogram::Summary& s = stages[i];
+    std::snprintf(line, sizeof(line),
+                  "  %-8s %8llu %11.1f %11.1f %11.1f %11.1f\n",
+                  StageName(static_cast<Stage>(i)).c_str(),
+                  static_cast<unsigned long long>(s.count), s.mean_us, s.p50_us,
+                  s.p95_us, s.p99_us);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace traj2hash::serve

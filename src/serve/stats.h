@@ -1,0 +1,96 @@
+#ifndef TRAJ2HASH_SERVE_STATS_H_
+#define TRAJ2HASH_SERVE_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace traj2hash::serve {
+
+/// Lock-free fixed-bucket latency histogram. `Record` is wait-free (one
+/// atomic increment per call plus two atomic adds for the running sum/max),
+/// so it can sit on the serving hot path; `Summarize` reads a consistent
+/// enough snapshot while other threads keep recording (each bucket is read
+/// atomically; cross-bucket skew of a few in-flight samples is acceptable
+/// for monitoring).
+///
+/// Buckets are geometric: bucket i covers
+/// [kMinMicros * kGrowth^i, kMinMicros * kGrowth^(i+1)), spanning 0.1 us to
+/// ~4 minutes at ~8% relative resolution — the shape of every quantile is
+/// preserved without per-sample allocation or locking.
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 288;
+  static constexpr double kMinMicros = 0.1;
+  static constexpr double kGrowth = 1.08;
+
+  LatencyHistogram();
+
+  /// Adds one latency observation (in microseconds). Thread-safe.
+  void Record(double micros);
+
+  struct Summary {
+    uint64_t count = 0;
+    double mean_us = 0.0;
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double p99_us = 0.0;
+    double max_us = 0.0;
+  };
+
+  /// Snapshot of the distribution so far. Thread-safe against Record.
+  Summary Summarize() const;
+
+  /// Zeroes every counter. NOT safe against concurrent Record; call only
+  /// while the histogram is quiescent (e.g. between bench sweeps).
+  void Reset();
+
+ private:
+  static int BucketIndex(double micros);
+  /// Representative latency of bucket `i` (geometric midpoint of its bounds).
+  static double BucketValue(int i);
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_;
+  std::atomic<uint64_t> count_;
+  std::atomic<uint64_t> sum_nanos_;
+  std::atomic<uint64_t> max_nanos_;
+};
+
+/// The instrumented stages of one query through the engine
+/// (encode -> probe -> rank), plus the end-to-end total.
+enum class Stage { kEncode = 0, kProbe = 1, kRank = 2, kTotal = 3 };
+
+constexpr int kNumStages = 4;
+
+/// Human-readable stage name ("encode", "probe", "rank", "total").
+std::string StageName(Stage stage);
+
+/// Per-stage latency statistics of a running engine. All methods are
+/// thread-safe except Reset (quiescent only, see LatencyHistogram::Reset).
+class ServeStats {
+ public:
+  void Record(Stage stage, double micros) {
+    histograms_[static_cast<int>(stage)].Record(micros);
+  }
+
+  struct Snapshot {
+    std::array<LatencyHistogram::Summary, kNumStages> stages;
+
+    const LatencyHistogram::Summary& Of(Stage stage) const {
+      return stages[static_cast<int>(stage)];
+    }
+    /// Multi-line "stage count mean p50 p95 p99" table for logs/benches.
+    std::string ToString() const;
+  };
+
+  Snapshot Summarize() const;
+  void Reset();
+
+ private:
+  std::array<LatencyHistogram, kNumStages> histograms_;
+};
+
+}  // namespace traj2hash::serve
+
+#endif  // TRAJ2HASH_SERVE_STATS_H_

@@ -1,0 +1,70 @@
+#include "serve/thread_pool.h"
+
+#include <latch>
+
+#include "common/check.h"
+
+namespace traj2hash::serve {
+
+ThreadPool::ThreadPool(int num_threads) {
+  T2H_CHECK_GE(num_threads, 1);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  T2H_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    T2H_CHECK_MSG(!stopping_, "Submit on a stopping ThreadPool");
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  std::latch done(static_cast<std::ptrdiff_t>(tasks.size()));
+  for (std::function<void()>& task : tasks) {
+    Submit([&done, task = std::move(task)] {
+      task();
+      done.count_down();
+    });
+  }
+  done.wait();
+}
+
+int ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(queue_.size());
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue before honouring shutdown so ~ThreadPool keeps the
+      // documented "finish what was submitted" contract.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace traj2hash::serve

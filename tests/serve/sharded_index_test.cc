@@ -1,0 +1,160 @@
+#include "serve/sharded_index.h"
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/index.h"
+#include "core/trainer.h"
+#include "search/code.h"
+#include "traj/synthetic.h"
+
+namespace traj2hash::serve {
+namespace {
+
+struct Env {
+  std::vector<traj::Trajectory> corpus;
+  std::unique_ptr<core::Traj2Hash> model;
+};
+
+Env MakeEnv() {
+  Env env;
+  Rng rng(17);
+  traj::CityConfig city = traj::CityConfig::PortoLike();
+  city.max_points = 12;
+  env.corpus = GenerateTrips(city, 160, rng);
+  core::Traj2HashConfig cfg;
+  cfg.dim = 8;
+  cfg.num_blocks = 1;
+  cfg.num_heads = 2;
+  env.model = std::move(core::Traj2Hash::Create(cfg, env.corpus, rng).value());
+  return env;
+}
+
+TEST(ShardedIndexTest, StartsColdAndGrows) {
+  ShardedIndex index(4, 8);
+  EXPECT_EQ(index.size(), 0);
+  EXPECT_EQ(index.num_shards(), 4);
+  // Querying an empty index returns no neighbours rather than crashing.
+  const search::Code probe = search::PackSigns(std::vector<float>(8, 1.0f));
+  EXPECT_TRUE(index.QueryTopK(probe, 3).empty());
+
+  EXPECT_EQ(index.Insert(probe, {}), 0);
+  EXPECT_EQ(index.size(), 1);
+  const auto hits = index.QueryTopK(probe, 3);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].index, 0);
+  EXPECT_EQ(hits[0].distance, 0.0);
+}
+
+TEST(ShardedIndexTest, RoundRobinAssignsDenseIds) {
+  ShardedIndex index(3, 8);
+  const search::Code code = search::PackSigns(std::vector<float>(8, -1.0f));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(index.Insert(code, {}), i);
+  }
+  EXPECT_EQ(index.size(), 10);
+}
+
+/// The acceptance-criteria test: for shard counts {1, 4, 8}, the sharded
+/// fan-out + merge must return exactly the ids and distances of the
+/// single-index `TrajectoryIndex::QueryHamming` path on the same database.
+class ShardCountEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardCountEquivalenceTest, MatchesSingleIndexHybrid) {
+  const int num_shards = GetParam();
+  Env env = MakeEnv();
+  const std::vector<traj::Trajectory> db(env.corpus.begin(),
+                                         env.corpus.begin() + 120);
+
+  core::TrajectoryIndex reference(env.model.get());
+  reference.AddAll(db);
+
+  ShardedIndex sharded(num_shards, env.model->config().dim);
+  for (const traj::Trajectory& t : db) {
+    sharded.Insert(env.model->HashCode(t), env.model->Embed(t));
+  }
+
+  ThreadPool pool(3);
+  for (int q = 120; q < 140; ++q) {
+    for (const int k : {1, 5, 17}) {
+      const auto expected = reference.QueryHamming(env.corpus[q], k);
+      const search::Code code = env.model->HashCode(env.corpus[q]);
+      // Serial and pooled fan-out must agree with each other too.
+      const auto serial = sharded.QueryTopK(code, k);
+      const auto pooled = sharded.QueryTopK(code, k, &pool);
+      ASSERT_EQ(serial.size(), expected.size());
+      ASSERT_EQ(pooled.size(), expected.size());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(serial[i].index, expected[i].index);
+        EXPECT_DOUBLE_EQ(serial[i].distance, expected[i].distance);
+        EXPECT_EQ(pooled[i].index, expected[i].index);
+        EXPECT_DOUBLE_EQ(pooled[i].distance, expected[i].distance);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardCountEquivalenceTest,
+                         ::testing::Values(1, 4, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "shards_" + std::to_string(info.param);
+                         });
+
+TEST(ShardedIndexTest, MergeBreaksTiesByGlobalId) {
+  // Two shards return candidates at the same distance; the merge must order
+  // them by ascending global id regardless of shard order.
+  std::vector<std::vector<search::Neighbor>> per_shard = {
+      {{7, 1.0}, {9, 2.0}},
+      {{2, 1.0}, {3, 2.0}},
+  };
+  const auto merged = ShardedIndex::MergeTopK(per_shard, 3);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].index, 2);
+  EXPECT_EQ(merged[1].index, 7);
+  EXPECT_EQ(merged[2].index, 3);
+}
+
+TEST(ShardedIndexTest, ConcurrentInsertsAreAllRetrievable) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 64;
+  ShardedIndex index(4, 8);
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&index, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Distinct sign patterns per thread so codes vary.
+        std::vector<float> values(8, (t + i) % 2 == 0 ? 1.0f : -1.0f);
+        values[t % 8] = -values[t % 8];
+        index.Insert(search::PackSigns(values), {});
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  EXPECT_EQ(index.size(), kThreads * kPerThread);
+  const search::Code probe = search::PackSigns(std::vector<float>(8, 1.0f));
+  const auto all = index.QueryTopK(probe, kThreads * kPerThread);
+  EXPECT_EQ(all.size(), static_cast<size_t>(kThreads * kPerThread));
+  // Every id 0..n-1 appears exactly once.
+  std::vector<bool> seen(kThreads * kPerThread, false);
+  for (const auto& n : all) {
+    ASSERT_GE(n.index, 0);
+    ASSERT_LT(n.index, kThreads * kPerThread);
+    EXPECT_FALSE(seen[n.index]);
+    seen[n.index] = true;
+  }
+}
+
+TEST(ShardedIndexTest, EmbeddingRoundTrips) {
+  Env env = MakeEnv();
+  ShardedIndex index(2, env.model->config().dim);
+  const std::vector<float> embedding = env.model->Embed(env.corpus[0]);
+  const int id =
+      index.Insert(search::PackSigns(embedding), embedding);
+  EXPECT_EQ(index.EmbeddingOf(id), embedding);
+}
+
+}  // namespace
+}  // namespace traj2hash::serve

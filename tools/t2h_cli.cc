@@ -1,24 +1,29 @@
-// traj2hash command-line tool: generate synthetic data, train models, and
-// run top-k similar trajectory queries from CSV files.
+// traj2hash command-line tool: generate synthetic data, train models, run
+// top-k similar trajectory queries, and bench the concurrent serving engine
+// from CSV files.
 //
-//   t2h_cli generate --city porto --count 2000 --out trips.csv
-//   t2h_cli train    --data trips.csv --measure frechet --out model.bin
-//   t2h_cli query    --data trips.csv --model model.bin --query-id 5 --k 10
-//   t2h_cli distance --data trips.csv --a 3 --b 7
+//   t2h_cli generate    --city porto --count 2000 --out trips.csv
+//   t2h_cli train       --data trips.csv --measure frechet --out model.bin
+//   t2h_cli query       --data trips.csv --model model.bin --query-id 5 --k 10
+//   t2h_cli distance    --data trips.csv --a 3 --b 7
+//   t2h_cli serve-bench --data trips.csv --threads 4 --shards 4
 //
 // `train` and `query` must be given the same --data / --dim / --measure
 // flags: the model file stores parameters only, while normaliser and grid
 // statistics are re-fitted deterministically from the data file.
 
 #include <cstdio>
-#include <cstring>
 #include <map>
+#include <set>
 #include <string>
+#include <vector>
 
+#include "common/stopwatch.h"
 #include "core/trainer.h"
 #include "distance/distance.h"
 #include "search/hamming_index.h"
 #include "search/knn.h"
+#include "serve/engine.h"
 #include "traj/io.h"
 #include "traj/synthetic.h"
 
@@ -26,14 +31,37 @@ namespace t2h = traj2hash;
 
 namespace {
 
-/// Minimal --flag value parser; flags may appear in any order.
+/// Strict --flag value parser; flags may appear in any order. Malformed
+/// input (a positional argument, a flag without a value) is collected as an
+/// error instead of being silently skipped or misread as the previous
+/// flag's value; commands additionally reject flags they do not know.
 class Args {
  public:
   Args(int argc, char** argv) {
-    for (int i = 2; i + 1 < argc; i += 2) {
-      if (std::strncmp(argv[i], "--", 2) != 0) continue;
-      values_[argv[i] + 2] = argv[i + 1];
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        errors_.push_back("unexpected positional argument '" + arg + "'");
+        continue;
+      }
+      if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+        errors_.push_back("flag " + arg + " is missing a value");
+        continue;
+      }
+      values_[arg.substr(2)] = argv[i + 1];
+      ++i;
     }
+  }
+
+  /// Parse errors plus any flag outside `known`, or empty when clean.
+  std::vector<std::string> Validate(const std::set<std::string>& known) const {
+    std::vector<std::string> errors = errors_;
+    for (const auto& [key, value] : values_) {
+      if (known.count(key) == 0) {
+        errors.push_back("unknown flag --" + key);
+      }
+    }
+    return errors;
   }
 
   std::string Get(const std::string& key, const std::string& fallback) const {
@@ -47,6 +75,7 @@ class Args {
 
  private:
   std::map<std::string, std::string> values_;
+  std::vector<std::string> errors_;
 };
 
 int Fail(const std::string& message) {
@@ -58,15 +87,29 @@ int Usage() {
   std::fprintf(stderr,
                "usage: t2h_cli <command> [--flag value]...\n"
                "  generate --out F [--city porto|chengdu] [--count N]"
-               " [--seed S]\n"
+               " [--max-points N] [--seed S]\n"
                "  train    --data F --out MODEL [--measure frechet|hausdorff"
                "|dtw]\n"
                "           [--seeds N] [--epochs N] [--dim D] [--seed S]\n"
                "  query    --data F --model MODEL --query-id ID [--k K]\n"
                "           [--space euclid|hamming|hybrid] [--dim D]"
                " [--seed S]\n"
-               "  distance --data F --a ID --b ID\n");
+               "  distance --data F --a ID --b ID\n"
+               "  serve-bench --data F [--model MODEL] [--threads T]"
+               " [--shards S]\n"
+               "           [--k K] [--queries N] [--rounds R] [--dim D]"
+               " [--seed S]\n");
   return 2;
+}
+
+/// Reports accumulated parse errors / unknown flags for one command; returns
+/// true when the command should abort.
+bool RejectBadFlags(const Args& args, const std::set<std::string>& known) {
+  const std::vector<std::string> errors = args.Validate(known);
+  for (const std::string& e : errors) {
+    std::fprintf(stderr, "error: %s\n", e.c_str());
+  }
+  return !errors.empty();
 }
 
 t2h::Result<std::vector<t2h::traj::Trajectory>> LoadData(const Args& args) {
@@ -219,15 +262,83 @@ int RunDistance(const Args& args) {
   return 0;
 }
 
+int RunServeBench(const Args& args) {
+  auto loaded = LoadData(args);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  const std::vector<t2h::traj::Trajectory> corpus =
+      std::move(loaded).value();
+  const int num_queries =
+      std::min<int>(args.GetInt("queries", 64), corpus.size());
+  if (num_queries < 1) return Fail("need at least one trajectory");
+
+  t2h::Rng rng(args.GetInt("seed", 42));
+  auto created =
+      t2h::core::Traj2Hash::Create(ConfigFromArgs(args), corpus, rng);
+  if (!created.ok()) return Fail(created.status().ToString());
+  auto model = std::move(created).value();
+  const std::string model_path = args.Get("model", "");
+  if (!model_path.empty()) {
+    if (const t2h::Status s = model->Load(model_path); !s.ok()) {
+      return Fail(s.ToString() + " (same --data/--dim as training?)");
+    }
+  }
+
+  const int threads = args.GetInt("threads", 4);
+  const int shards = args.GetInt("shards", 4);
+  const int k = args.GetInt("k", 10);
+  const int rounds = args.GetInt("rounds", 3);
+  if (threads < 1 || shards < 1 || k < 1 || rounds < 1) {
+    return Fail("--threads/--shards/--k/--rounds must be positive");
+  }
+
+  t2h::serve::QueryEngine engine(model.get(),
+                                 {.num_threads = threads,
+                                  .num_shards = shards});
+  t2h::Stopwatch ingest;
+  engine.InsertAll(corpus);
+  std::printf("ingested %d trajectories into %d shards in %.2f s\n",
+              engine.size(), shards, ingest.ElapsedSeconds());
+
+  // Replay the first --queries trajectories of the database as query load.
+  const std::vector<t2h::traj::Trajectory> queries(
+      corpus.begin(), corpus.begin() + num_queries);
+  engine.QueryBatch(queries, k);  // warm-up
+  engine.ResetStats();
+  t2h::Stopwatch wall;
+  for (int r = 0; r < rounds; ++r) engine.QueryBatch(queries, k);
+  const double seconds = wall.ElapsedSeconds();
+  const int total = rounds * num_queries;
+
+  std::printf("%d queries (top-%d, %d threads, %d shards): %.1f QPS\n",
+              total, k, threads, shards, total / seconds);
+  std::printf("%s", engine.stats().ToString().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   const Args args(argc, argv);
+  static const std::map<std::string, std::set<std::string>> kKnownFlags = {
+      {"generate", {"out", "city", "count", "max-points", "seed"}},
+      {"train",
+       {"data", "out", "measure", "seeds", "epochs", "dim", "seed"}},
+      {"query",
+       {"data", "model", "query-id", "k", "space", "dim", "seed"}},
+      {"distance", {"data", "a", "b"}},
+      {"serve-bench",
+       {"data", "model", "threads", "shards", "k", "queries", "rounds",
+        "dim", "seed"}},
+  };
+  const auto known = kKnownFlags.find(command);
+  if (known == kKnownFlags.end()) return Usage();
+  if (RejectBadFlags(args, known->second)) return 2;
   if (command == "generate") return RunGenerate(args);
   if (command == "train") return RunTrain(args);
   if (command == "query") return RunQuery(args);
   if (command == "distance") return RunDistance(args);
+  if (command == "serve-bench") return RunServeBench(args);
   return Usage();
 }
