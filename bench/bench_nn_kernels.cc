@@ -1,0 +1,253 @@
+// Micro-bench of the nn kernel rewrite (src/nn/kernels.cc) against the seed
+// implementation it replaced: MatMul forward plus both gradient paths and
+// row softmax, at the paper's d=128 working sizes. The "naive" side below is
+// a faithful transcription of the pre-kernel ops.cc loops (strided at(r,c)
+// element access, no tiling, built at the default opt level of this TU), so
+// the reported speedup is kernel + -O3 + layout, i.e. exactly what the
+// rewrite bought end users.
+//
+// Before timing, every kernel output is compared bit-for-bit against the
+// naive reference (both start from zeroed accumulators, where the kernels'
+// fixed accumulation order coincides with the seed's). A mismatch exits
+// non-zero: this bench doubles as the determinism smoke check that CI runs
+// via the `bench_smoke` target at T2H_BENCH_SCALE=tiny.
+//
+// Output: one JSON object on stdout (collected into BENCH_nn.json);
+// human-oriented progress goes to stderr.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "nn/kernels.h"
+
+namespace t2h = traj2hash;
+namespace kernels = traj2hash::nn::kernels;
+
+namespace {
+
+struct BenchScale {
+  std::string name = "small";
+  int d = 128;     ///< square MatMul side (paper's hidden/readout dim)
+  int rows = 16;   ///< batch rows for the rectangular case
+  int reps = 40;   ///< timed repetitions per kernel
+};
+
+BenchScale GetBenchScale() {
+  const char* env = std::getenv("T2H_BENCH_SCALE");
+  const std::string scale = env != nullptr ? env : "small";
+  BenchScale s;
+  s.name = scale;
+  if (scale == "tiny") {
+    s.d = 32;
+    s.rows = 4;
+    s.reps = 3;
+  } else if (scale == "large") {
+    s.reps = 200;
+  }
+  return s;
+}
+
+std::vector<float> RandomMatrix(int rows, int cols, t2h::Rng& rng) {
+  std::vector<float> m(static_cast<size_t>(rows) * cols);
+  // Strictly positive values: no exact-zero products or signed-zero sums, so
+  // bitwise comparison tests ordering and nothing else.
+  for (float& v : m) v = static_cast<float>(rng.Uniform(0.5, 1.5));
+  return m;
+}
+
+// ---- Seed (pre-kernel) reference loops, transcribed from ops.cc at b4f2109.
+
+void NaiveMatMul(const std::vector<float>& a, const std::vector<float>& b,
+                 std::vector<float>& c, int n, int k, int m) {
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      float acc = 0.0f;
+      for (int q = 0; q < k; ++q)
+        acc += a[static_cast<size_t>(i) * k + q] *
+               b[static_cast<size_t>(q) * m + j];
+      c[static_cast<size_t>(i) * m + j] += acc;
+    }
+  }
+}
+
+void NaiveGradA(const std::vector<float>& dc, const std::vector<float>& b,
+                std::vector<float>& da, int n, int k, int m) {
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < k; ++j) {
+      float acc = 0.0f;
+      for (int c = 0; c < m; ++c)
+        acc += dc[static_cast<size_t>(i) * m + c] *
+               b[static_cast<size_t>(j) * m + c];
+      da[static_cast<size_t>(i) * k + j] += acc;
+    }
+  }
+}
+
+void NaiveGradB(const std::vector<float>& a, const std::vector<float>& dc,
+                std::vector<float>& db, int n, int k, int m) {
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < m; ++j) {
+      float acc = 0.0f;
+      for (int r = 0; r < n; ++r)
+        acc += a[static_cast<size_t>(r) * k + i] *
+               dc[static_cast<size_t>(r) * m + j];
+      db[static_cast<size_t>(i) * m + j] += acc;
+    }
+  }
+}
+
+void NaiveSoftmaxRows(const std::vector<float>& x, std::vector<float>& out,
+                      int rows, int cols) {
+  for (int r = 0; r < rows; ++r) {
+    float max_v = x[static_cast<size_t>(r) * cols];
+    for (int c = 1; c < cols; ++c)
+      max_v = std::max(max_v, x[static_cast<size_t>(r) * cols + c]);
+    float sum = 0.0f;
+    for (int c = 0; c < cols; ++c) {
+      const float e = std::exp(x[static_cast<size_t>(r) * cols + c] - max_v);
+      out[static_cast<size_t>(r) * cols + c] = e;
+      sum += e;
+    }
+    for (int c = 0; c < cols; ++c)
+      out[static_cast<size_t>(r) * cols + c] /= sum;
+  }
+}
+
+// ---- Measurement.
+
+struct KernelResult {
+  std::string name;
+  int n, k, m;
+  double naive_ms = 0.0;
+  double kernel_ms = 0.0;
+  bool bit_identical = false;
+};
+
+// `sink` defeats dead-code elimination of the timed loops.
+volatile float sink = 0.0f;
+
+template <typename NaiveFn, typename KernelFn>
+KernelResult RunCase(const std::string& name, int n, int k, int m, int reps,
+                     size_t out_size, NaiveFn naive, KernelFn kernel) {
+  KernelResult res;
+  res.name = name;
+  res.n = n;
+  res.k = k;
+  res.m = m;
+
+  std::vector<float> ref(out_size, 0.0f), got(out_size, 0.0f);
+  naive(ref);
+  kernel(got.data());
+  res.bit_identical =
+      std::memcmp(ref.data(), got.data(), out_size * sizeof(float)) == 0;
+
+  std::vector<float> scratch(out_size);
+  t2h::Stopwatch sw;
+  for (int r = 0; r < reps; ++r) {
+    std::fill(scratch.begin(), scratch.end(), 0.0f);
+    naive(scratch);
+    sink = sink + scratch[0];
+  }
+  res.naive_ms = sw.ElapsedSeconds() * 1e3 / reps;
+
+  sw.Restart();
+  for (int r = 0; r < reps; ++r) {
+    std::fill(scratch.begin(), scratch.end(), 0.0f);
+    kernel(scratch.data());
+    sink = sink + scratch[0];
+  }
+  res.kernel_ms = sw.ElapsedSeconds() * 1e3 / reps;
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  const BenchScale scale = GetBenchScale();
+  std::fprintf(stderr, "nn kernel bench: scale=%s d=%d rows=%d reps=%d\n",
+               scale.name.c_str(), scale.d, scale.rows, scale.reps);
+
+  t2h::Rng rng(1234);
+  const int d = scale.d;
+  const int rows = scale.rows;
+
+  std::vector<KernelResult> results;
+
+  // Square d x d x d — the readout / projection shape.
+  {
+    const auto a = RandomMatrix(d, d, rng);
+    const auto b = RandomMatrix(d, d, rng);
+    results.push_back(RunCase(
+        "matmul_fwd_square", d, d, d, scale.reps,
+        static_cast<size_t>(d) * d,
+        [&](std::vector<float>& out) { NaiveMatMul(a, b, out, d, d, d); },
+        [&](float* out) { kernels::MatMulAccum(a.data(), b.data(), out, d, d, d); }));
+    results.push_back(RunCase(
+        "matmul_grad_a_square", d, d, d, scale.reps,
+        static_cast<size_t>(d) * d,
+        [&](std::vector<float>& out) { NaiveGradA(a, b, out, d, d, d); },
+        [&](float* out) { kernels::MatMulGradA(a.data(), b.data(), out, d, d, d); }));
+    results.push_back(RunCase(
+        "matmul_grad_b_square", d, d, d, scale.reps,
+        static_cast<size_t>(d) * d,
+        [&](std::vector<float>& out) { NaiveGradB(a, b, out, d, d, d); },
+        [&](float* out) { kernels::MatMulGradB(a.data(), b.data(), out, d, d, d); }));
+  }
+
+  // Rectangular rows x d x d — the per-trajectory activation shape.
+  {
+    const auto a = RandomMatrix(rows, d, rng);
+    const auto b = RandomMatrix(d, d, rng);
+    results.push_back(RunCase(
+        "matmul_fwd_batch", rows, d, d, scale.reps * 4,
+        static_cast<size_t>(rows) * d,
+        [&](std::vector<float>& out) { NaiveMatMul(a, b, out, rows, d, d); },
+        [&](float* out) {
+          kernels::MatMulAccum(a.data(), b.data(), out, rows, d, d);
+        }));
+  }
+
+  // Row softmax at attention-score shape.
+  {
+    const auto x = RandomMatrix(rows, d, rng);
+    results.push_back(RunCase(
+        "softmax_rows", rows, d, d, scale.reps * 4,
+        static_cast<size_t>(rows) * d,
+        [&](std::vector<float>& out) { NaiveSoftmaxRows(x, out, rows, d); },
+        [&](float* out) { kernels::SoftmaxRowsFwd(x.data(), out, rows, d); }));
+  }
+
+  bool all_identical = true;
+  std::printf("{\n  \"bench\": \"nn_kernels\",\n  \"scale\": \"%s\",\n",
+              scale.name.c_str());
+  std::printf("  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const KernelResult& r = results[i];
+    all_identical = all_identical && r.bit_identical;
+    const double speedup = r.kernel_ms > 0.0 ? r.naive_ms / r.kernel_ms : 0.0;
+    std::printf("    {\"kernel\": \"%s\", \"n\": %d, \"k\": %d, \"m\": %d, "
+                "\"naive_ms\": %.5f, \"kernel_ms\": %.5f, "
+                "\"speedup\": %.2f, \"bit_identical\": %s}%s\n",
+                r.name.c_str(), r.n, r.k, r.m, r.naive_ms, r.kernel_ms,
+                speedup, r.bit_identical ? "true" : "false",
+                i + 1 < results.size() ? "," : "");
+    std::fprintf(stderr, "  %-22s naive %8.4f ms  kernel %8.4f ms  %5.2fx %s\n",
+                 r.name.c_str(), r.naive_ms, r.kernel_ms, speedup,
+                 r.bit_identical ? "" : "  ** MISMATCH **");
+  }
+  std::printf("  ],\n  \"all_bit_identical\": %s\n}\n",
+              all_identical ? "true" : "false");
+
+  if (!all_identical) {
+    std::fprintf(stderr, "FAILED: kernel output differs from seed loops\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,195 @@
+// Data-parallel training bench: wall-clock of one full Trainer::Fit (joint +
+// refinement epochs) at thread counts {1, 2, 4, 8}, plus pooled corpus
+// encoding throughput. Every multi-threaded run is checked for the
+// determinism contract — per-epoch wmse / rank / triplet losses must equal
+// the single-thread run bit-for-bit — and the bench exits non-zero if they
+// drift, so it doubles as a smoke check under `bench_smoke`.
+//
+// Numbers are honest for the machine they ran on: speedup saturates at the
+// physical core count (`hardware_concurrency` is recorded in the JSON; on a
+// 1-core container every thread count times roughly the same and the
+// interesting signal is that losses stay identical anyway).
+//
+// Output: one JSON object on stdout (collected into BENCH_nn.json);
+// human-oriented progress goes to stderr.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/trainer.h"
+#include "distance/distance.h"
+#include "traj/synthetic.h"
+
+namespace t2h = traj2hash;
+using t2h::core::EpochStats;
+
+namespace {
+
+struct TrainScale {
+  std::string name = "small";
+  int num_seeds = 32;
+  int corpus = 300;
+  int max_points = 16;
+  int dim = 16;
+  int epochs = 3;
+  int refine_epochs = 3;
+  int encode_rounds = 2;  ///< pooled-encode reps over the corpus
+};
+
+TrainScale GetTrainScale() {
+  const char* env = std::getenv("T2H_BENCH_SCALE");
+  const std::string scale = env != nullptr ? env : "small";
+  TrainScale s;
+  s.name = scale;
+  if (scale == "tiny") {
+    s.num_seeds = 16;
+    s.corpus = 60;
+    s.max_points = 10;
+    s.dim = 8;
+    s.epochs = 1;
+    s.refine_epochs = 1;
+    s.encode_rounds = 1;
+  } else if (scale == "large") {
+    s.num_seeds = 64;
+    s.corpus = 1000;
+    s.epochs = 6;
+    s.refine_epochs = 6;
+    s.encode_rounds = 4;
+  }
+  return s;
+}
+
+struct FitRun {
+  double seconds = 0.0;
+  std::vector<EpochStats> epochs;
+};
+
+bool SameLosses(const std::vector<EpochStats>& a,
+                const std::vector<EpochStats>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].wmse != b[i].wmse || a[i].rank_loss != b[i].rank_loss ||
+        a[i].triplet_loss != b[i].triplet_loss) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const TrainScale scale = GetTrainScale();
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::fprintf(stderr,
+               "train epoch bench: scale=%s seeds=%d corpus=%d dim=%d "
+               "epochs=%d+%d (hardware_concurrency=%u)\n",
+               scale.name.c_str(), scale.num_seeds, scale.corpus, scale.dim,
+               scale.epochs, scale.refine_epochs, hw);
+
+  // Fixture: one synthetic city, regenerated identically for every thread
+  // count so the only varying input is TrainerOptions::num_threads.
+  t2h::Rng data_rng(7);
+  t2h::traj::CityConfig city = t2h::traj::CityConfig::PortoLike();
+  city.max_points = scale.max_points;
+  const auto corpus = GenerateTrips(city, scale.corpus, data_rng);
+
+  t2h::core::TrainingData data;
+  data.seeds.assign(corpus.begin(), corpus.begin() + scale.num_seeds);
+  data.seed_distances = t2h::dist::PairwiseMatrix(
+      data.seeds, t2h::dist::GetDistance(t2h::dist::Measure::kFrechet));
+  data.triplet_corpus = corpus;
+
+  t2h::core::Traj2HashConfig cfg;
+  cfg.dim = scale.dim;
+  cfg.num_blocks = 1;
+  cfg.num_heads = 2;
+  cfg.epochs = scale.epochs;
+  cfg.samples_per_anchor = 6;
+  cfg.batch_size = 8;
+
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  std::vector<FitRun> runs;
+  for (const int threads : thread_counts) {
+    t2h::Rng rng(99);
+    auto model =
+        std::move(t2h::core::Traj2Hash::Create(cfg, corpus, rng).value());
+    t2h::core::TrainerOptions options;
+    options.triplets_per_step = 4;
+    options.refine_epochs = scale.refine_epochs;
+    options.num_threads = threads;
+    t2h::core::Trainer trainer(model.get(), options);
+    t2h::Stopwatch sw;
+    auto report = trainer.Fit(data, rng);
+    FitRun run;
+    run.seconds = sw.ElapsedSeconds();
+    if (!report.ok()) {
+      std::fprintf(stderr, "FAILED: Fit(%d threads): %s\n", threads,
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    run.epochs = report.value().epochs;
+    std::fprintf(stderr, "  threads=%d  fit %.3f s\n", threads, run.seconds);
+    runs.push_back(std::move(run));
+  }
+
+  bool invariant = true;
+  for (size_t i = 1; i < runs.size(); ++i)
+    invariant = invariant && SameLosses(runs[0].epochs, runs[i].epochs);
+
+  // Pooled corpus encoding: the serving-side half of the thread-pool work.
+  t2h::Rng enc_rng(5);
+  auto enc_model =
+      std::move(t2h::core::Traj2Hash::Create(cfg, corpus, enc_rng).value());
+  std::vector<double> encode_seconds;
+  for (const int threads : thread_counts) {
+    t2h::ThreadPool pool(threads);
+    t2h::Stopwatch sw;
+    for (int r = 0; r < scale.encode_rounds; ++r) {
+      const auto embs =
+          enc_model->EmbedBatch(corpus, threads > 1 ? &pool : nullptr);
+      if (embs.size() != corpus.size()) return 1;
+    }
+    encode_seconds.push_back(sw.ElapsedSeconds() / scale.encode_rounds);
+    std::fprintf(stderr, "  encode threads=%d  %.3f s/round\n", threads,
+                 encode_seconds.back());
+  }
+
+  std::printf("{\n  \"bench\": \"train_epoch\",\n  \"scale\": \"%s\",\n",
+              scale.name.c_str());
+  std::printf("  \"hardware_concurrency\": %u,\n", hw);
+  std::printf("  \"epochs\": %d,\n", scale.epochs + scale.refine_epochs);
+  std::printf("  \"fit\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    std::printf("    {\"threads\": %d, \"seconds\": %.4f, "
+                "\"speedup_vs_1\": %.2f}%s\n",
+                thread_counts[i], runs[i].seconds,
+                runs[i].seconds > 0.0 ? runs[0].seconds / runs[i].seconds
+                                      : 0.0,
+                i + 1 < runs.size() ? "," : "");
+  }
+  std::printf("  ],\n  \"encode\": [\n");
+  for (size_t i = 0; i < encode_seconds.size(); ++i) {
+    std::printf("    {\"threads\": %d, \"seconds_per_round\": %.4f, "
+                "\"speedup_vs_1\": %.2f}%s\n",
+                thread_counts[i], encode_seconds[i],
+                encode_seconds[i] > 0.0 ? encode_seconds[0] / encode_seconds[i]
+                                        : 0.0,
+                i + 1 < encode_seconds.size() ? "," : "");
+  }
+  std::printf("  ],\n  \"loss_trajectory_thread_invariant\": %s\n}\n",
+              invariant ? "true" : "false");
+
+  if (!invariant) {
+    std::fprintf(stderr,
+                 "FAILED: per-epoch losses differ across thread counts\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,10 +1,10 @@
-#include "serve/thread_pool.h"
+#include "common/thread_pool.h"
 
 #include <latch>
 
 #include "common/check.h"
 
-namespace traj2hash::serve {
+namespace traj2hash {
 
 ThreadPool::ThreadPool(int num_threads) {
   T2H_CHECK_GE(num_threads, 1);
@@ -67,4 +67,4 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-}  // namespace traj2hash::serve
+}  // namespace traj2hash

@@ -1,0 +1,56 @@
+#ifndef TRAJ2HASH_COMMON_THREAD_POOL_H_
+#define TRAJ2HASH_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace traj2hash {
+
+/// Fixed-size worker pool with a FIFO task queue, built on std::thread +
+/// std::condition_variable only (no third-party dependencies). Shared by the
+/// serving subsystem (`serve::QueryEngine` shard fan-out and query batching)
+/// and the training path (`core::Trainer` data-parallel batches, bulk corpus
+/// encoding), so one process runs one pool per concern instead of ad-hoc
+/// thread spawning.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains every already-submitted task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task for execution on some worker. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Submits all `tasks` and blocks until every one of them has finished.
+  /// Must not be called from inside a pool task: the caller would occupy a
+  /// worker slot while waiting on workers, which deadlocks when the pool is
+  /// fully occupied by such callers.
+  void RunAll(std::vector<std::function<void()>> tasks);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Tasks submitted but not yet started (for observability; racy by nature).
+  int queue_depth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace traj2hash
+
+#endif  // TRAJ2HASH_COMMON_THREAD_POOL_H_

@@ -120,7 +120,24 @@ std::vector<Tensor> Traj2Hash::ProjectorParameters() const {
 }
 
 std::vector<float> Traj2Hash::Embed(const traj::Trajectory& t) const {
+  nn::NoGradGuard no_grad;
   return EncodeContinuous(t)->value();
+}
+
+std::vector<std::vector<float>> Traj2Hash::EmbedBatch(
+    const std::vector<traj::Trajectory>& ts, ThreadPool* pool) const {
+  std::vector<std::vector<float>> out(ts.size());
+  if (pool == nullptr || pool->num_threads() <= 1 || ts.size() <= 1) {
+    for (size_t i = 0; i < ts.size(); ++i) out[i] = Embed(ts[i]);
+    return out;
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(ts.size());
+  for (size_t i = 0; i < ts.size(); ++i) {
+    tasks.push_back([this, &ts, &out, i] { out[i] = Embed(ts[i]); });
+  }
+  pool->RunAll(std::move(tasks));
+  return out;
 }
 
 Tensor Traj2Hash::RelaxedCode(const Tensor& h_f) const {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/config.h"
 #include "core/encoders.h"
 #include "embedding/grid_embedding.h"
@@ -61,8 +62,16 @@ class Traj2Hash {
   /// ablation variant).
   std::vector<nn::Tensor> ProjectorParameters() const;
 
-  /// Convenience: h_f values only (for retrieval).
+  /// Convenience: h_f values only (for retrieval). Runs in inference mode
+  /// (NoGradGuard): no autograd tape is built, and the encode is read-only
+  /// over parameters, so concurrent calls from pool workers are safe.
   std::vector<float> Embed(const traj::Trajectory& t) const;
+
+  /// Embeds a whole corpus, fanning trajectories across `pool` (nullptr or a
+  /// single-thread pool falls back to a serial loop). Output order matches
+  /// input order regardless of scheduling.
+  std::vector<std::vector<float>> EmbedBatch(
+      const std::vector<traj::Trajectory>& ts, ThreadPool* pool) const;
 
   /// Training-time relaxed hash code tanh(beta * h_f) (HashNet
   /// continuation of Eq. 16).
@@ -84,6 +93,13 @@ class Traj2Hash {
   /// pre-training, as the paper prescribes). Recomputed on every call so a
   /// grid-representation swap is reflected.
   std::vector<nn::Tensor> TrainableParameters() const;
+
+  /// Every parameter tensor that can receive gradients during training —
+  /// trainables plus the grid tables, which keep requires_grad even once
+  /// frozen (an unfrozen table takes NCE-style grads through the encoder).
+  /// This is the set the trainer registers in per-unit nn::GradSinks so that
+  /// concurrent backward passes never touch a shared grad buffer directly.
+  std::vector<nn::Tensor> AllParameters() const { return PersistentTensors(); }
 
   /// Deep copies of all parameter values (including frozen grid tables),
   /// used for best-on-validation model selection and Save().

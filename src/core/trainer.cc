@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
+#include <functional>
 #include <numeric>
 #include <unordered_map>
 
@@ -37,43 +39,6 @@ namespace {
 
 /// Cached pre-projection features of one trajectory (h, h_r or null).
 using FusedFeatures = std::pair<Tensor, Tensor>;
-
-/// Per-step cache so a seed encoded as a sample of several anchors is
-/// embedded once per optimisation step.
-class EmbeddingCache {
- public:
-  EmbeddingCache(const Traj2Hash& model,
-                 const std::vector<traj::Trajectory>& seeds)
-      : model_(model), seeds_(seeds) {}
-
-  const Tensor& Embedding(int idx) {
-    auto it = embeddings_.find(idx);
-    if (it == embeddings_.end()) {
-      it = embeddings_.emplace(idx, model_.EncodeContinuous(seeds_[idx]))
-               .first;
-    }
-    return it->second;
-  }
-
-  const Tensor& Code(int idx) {
-    auto it = codes_.find(idx);
-    if (it == codes_.end()) {
-      it = codes_.emplace(idx, model_.RelaxedCode(Embedding(idx))).first;
-    }
-    return it->second;
-  }
-
-  void Clear() {
-    embeddings_.clear();
-    codes_.clear();
-  }
-
- private:
-  const Traj2Hash& model_;
-  const std::vector<traj::Trajectory>& seeds_;
-  std::unordered_map<int, Tensor> embeddings_;
-  std::unordered_map<int, Tensor> codes_;
-};
 
 /// NeuTraj-style per-anchor sampling: the M/2 nearest seeds plus M/2 random
 /// others, sorted by ground-truth similarity (most similar first).
@@ -115,6 +80,25 @@ Tensor RankingHinge(const Tensor& z_a, const Tensor& z_pos,
                     const Tensor& z_neg, float alpha) {
   return nn::Relu(nn::AddScalar(
       nn::Sub(nn::Dot(z_a, z_neg), nn::Dot(z_a, z_pos)), alpha));
+}
+
+/// Un-scaled loss sums contributed by one work unit, read by the main thread
+/// after the batch barrier and folded into EpochStats in unit order.
+struct UnitResult {
+  double wmse = 0.0;
+  double rank = 0.0;
+  double trip = 0.0;
+};
+
+/// Runs every task, on the pool when one is given. The serial path executes
+/// the identical closures in submission order, so a single-threaded run is
+/// the reference the pooled run must (and does) match bit-for-bit.
+void RunTasks(std::vector<std::function<void()>> tasks, ThreadPool* pool) {
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    for (auto& task : tasks) task();
+    return;
+  }
+  pool->RunAll(std::move(tasks));
 }
 
 }  // namespace
@@ -165,7 +149,16 @@ Result<TrainReport> Trainer::Fit(const TrainingData& data, Rng& rng) {
 
   nn::Adam optimizer(model_->TrainableParameters(),
                      nn::AdamOptions{.lr = cfg.lr});
-  EmbeddingCache cache(*model_, data.seeds);
+
+  // One pool for the whole fit: per-unit training fan-out, feature caching
+  // and bulk validation encodes all share it.
+  std::unique_ptr<ThreadPool> pool;
+  if (options_.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  ThreadPool* pool_ptr = pool.get();
+  // Every tensor gradients can reach, registered in each unit's sink.
+  const std::vector<Tensor> all_params = model_->AllParameters();
 
   TrainReport report;
   std::vector<std::vector<float>> best_snapshot;
@@ -198,6 +191,14 @@ Result<TrainReport> Trainer::Fit(const TrainingData& data, Rng& rng) {
 
   // ---------------------------------------------------------------------
   // Phase 1: joint training of the full model (encoder + hash layer).
+  //
+  // Each batch decomposes into independent work units — one per anchor
+  // (its WMSE pairs + ranking pairs) and one per fast triplet — that build
+  // their own forward subgraph and run Backward with parameter grads
+  // redirected into a per-unit GradSink. Units never share graph nodes, so
+  // they can run on any thread; the main thread draws all random numbers
+  // up front and reduces sinks + stats in unit order, which makes the whole
+  // optimisation trajectory independent of the thread count.
   // ---------------------------------------------------------------------
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
     EpochStats stats;
@@ -205,87 +206,130 @@ Result<TrainReport> Trainer::Fit(const TrainingData& data, Rng& rng) {
     rng.Shuffle(anchor_order);
     for (int start = 0; start < n; start += cfg.batch_size) {
       const int end = std::min(n, start + cfg.batch_size);
-      cache.Clear();
-      Tensor wmse_loss, rank_loss, trip_loss;
-      int batch_pairs = 0, batch_rank_pairs = 0, batch_triplets = 0;
+      const int batch_anchors = end - start;
+
+      // All RNG draws happen here, in the serial loop's order.
+      std::vector<std::vector<int>> batch_samples;
+      batch_samples.reserve(batch_anchors);
       for (int a = start; a < end; ++a) {
-        const int anchor = anchor_order[a];
-        const std::vector<int> samples =
-            SelectSamples(ranked, sim, anchor, n, m, rng);
-        const Tensor h_a = cache.Embedding(anchor);
-        for (size_t j = 0; j < samples.size(); ++j) {
-          const int s = samples[j];
-          // Eq. 17: r_j = 1/(rank+1) emphasises the most similar samples.
-          const Tensor term = WmseTerm(
-              h_a, cache.Embedding(s),
-              static_cast<float>(sim[static_cast<size_t>(anchor) * n + s]),
-              1.0f / static_cast<float>(j + 1));
-          wmse_loss = wmse_loss ? nn::Add(wmse_loss, term) : term;
-          ++batch_pairs;
-        }
-        if (cfg.gamma > 0.0f) {
-          // Eq. 18/19 on relaxed codes; pair the j-th most similar with the
-          // j-th least similar sample (adjacent ranks are near-ties).
-          const Tensor z_a = cache.Code(anchor);
-          const int half = static_cast<int>(samples.size()) / 2;
-          for (int p = 0; p < half; ++p) {
-            auto [pos, neg] = PairAt(samples, p, cfg.cross_pairing);
-            if (sim[static_cast<size_t>(anchor) * n + pos] <
-                sim[static_cast<size_t>(anchor) * n + neg]) {
-              std::swap(pos, neg);
-            }
-            const Tensor term = RankingHinge(z_a, cache.Code(pos),
-                                             cache.Code(neg), cfg.alpha);
-            rank_loss = rank_loss ? nn::Add(rank_loss, term) : term;
-            ++batch_rank_pairs;
-          }
-        }
+        batch_samples.push_back(
+            SelectSamples(ranked, sim, anchor_order[a], n, m, rng));
       }
+      std::vector<Triplet> triplets;
       if (cfg.gamma > 0.0f && triplet_gen != nullptr) {
-        // Eq. 20 on fast-generated triplets.
-        const std::vector<Triplet> triplets =
-            triplet_gen->Generate(options_.triplets_per_step, rng);
-        for (const Triplet& t : triplets) {
-          const Tensor z_a = model_->RelaxedCode(
-              model_->EncodeContinuous(data.triplet_corpus[t.anchor]));
-          const Tensor z_p = model_->RelaxedCode(
-              model_->EncodeContinuous(data.triplet_corpus[t.positive]));
-          const Tensor z_n = model_->RelaxedCode(
-              model_->EncodeContinuous(data.triplet_corpus[t.negative]));
-          const Tensor term = RankingHinge(z_a, z_p, z_n, cfg.alpha);
-          trip_loss = trip_loss ? nn::Add(trip_loss, term) : term;
-          ++batch_triplets;
-        }
-        report.num_triplets_used += batch_triplets;
+        triplets = triplet_gen->Generate(options_.triplets_per_step, rng);
       }
 
-      // Eq. 21: L = L_s + gamma * (L_r + L_t); each component is averaged
-      // over its own term count so the balance is batch-size independent.
-      Tensor total;
-      if (wmse_loss) {
-        total = nn::Scale(wmse_loss, 1.0f / std::max(1, batch_pairs));
-        stats.wmse += wmse_loss->value()[0];
-        wmse_terms += batch_pairs;
+      // Eq. 21 weights: every term count is known before dispatch
+      // (SelectSamples always returns m samples), so units can scale their
+      // own partial losses.
+      const int batch_pairs = batch_anchors * m;
+      const int batch_rank_pairs =
+          cfg.gamma > 0.0f ? batch_anchors * (m / 2) : 0;
+      const int batch_triplets = static_cast<int>(triplets.size());
+      const float wmse_w = 1.0f / static_cast<float>(std::max(1, batch_pairs));
+      const float rank_w =
+          cfg.gamma / static_cast<float>(std::max(1, batch_rank_pairs));
+      const float trip_w =
+          cfg.gamma / static_cast<float>(std::max(1, batch_triplets));
+
+      const int num_units = batch_anchors + batch_triplets;
+      std::deque<nn::GradSink> sinks;
+      for (int u = 0; u < num_units; ++u) sinks.emplace_back(all_params);
+      std::vector<UnitResult> results(num_units);
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(num_units);
+      for (int u = 0; u < batch_anchors; ++u) {
+        tasks.push_back([&, u] {
+          nn::GradSink::Scope scope(&sinks[u]);
+          const int anchor = anchor_order[start + u];
+          const std::vector<int>& samples = batch_samples[u];
+          // Unit-local caches: a seed appearing as several samples of THIS
+          // anchor is encoded once; units never share subgraphs.
+          std::unordered_map<int, Tensor> emb, codes;
+          auto embedding = [&](int idx) -> const Tensor& {
+            auto it = emb.find(idx);
+            if (it == emb.end()) {
+              it = emb.emplace(idx, model_->EncodeContinuous(data.seeds[idx]))
+                       .first;
+            }
+            return it->second;
+          };
+          auto relaxed_code = [&](int idx) -> const Tensor& {
+            auto it = codes.find(idx);
+            if (it == codes.end()) {
+              it = codes.emplace(idx, model_->RelaxedCode(embedding(idx)))
+                       .first;
+            }
+            return it->second;
+          };
+          const Tensor h_a = embedding(anchor);
+          Tensor wmse_sum, rank_sum;
+          for (size_t j = 0; j < samples.size(); ++j) {
+            const int s = samples[j];
+            // Eq. 17: r_j = 1/(rank+1) emphasises the most similar samples.
+            const Tensor term = WmseTerm(
+                h_a, embedding(s),
+                static_cast<float>(sim[static_cast<size_t>(anchor) * n + s]),
+                1.0f / static_cast<float>(j + 1));
+            wmse_sum = wmse_sum ? nn::Add(wmse_sum, term) : term;
+          }
+          if (cfg.gamma > 0.0f) {
+            // Eq. 18/19 on relaxed codes; pair the j-th most similar with
+            // the j-th least similar sample (adjacent ranks are near-ties).
+            const Tensor z_a = relaxed_code(anchor);
+            const int half = static_cast<int>(samples.size()) / 2;
+            for (int p = 0; p < half; ++p) {
+              auto [pos, neg] = PairAt(samples, p, cfg.cross_pairing);
+              if (sim[static_cast<size_t>(anchor) * n + pos] <
+                  sim[static_cast<size_t>(anchor) * n + neg]) {
+                std::swap(pos, neg);
+              }
+              const Tensor term = RankingHinge(z_a, relaxed_code(pos),
+                                               relaxed_code(neg), cfg.alpha);
+              rank_sum = rank_sum ? nn::Add(rank_sum, term) : term;
+            }
+          }
+          results[u].wmse = wmse_sum->value()[0];
+          Tensor loss = nn::Scale(wmse_sum, wmse_w);
+          if (rank_sum) {
+            results[u].rank = rank_sum->value()[0];
+            loss = nn::Add(loss, nn::Scale(rank_sum, rank_w));
+          }
+          nn::Backward(loss);
+        });
       }
-      if (rank_loss) {
-        const Tensor scaled =
-            nn::Scale(rank_loss, cfg.gamma / std::max(1, batch_rank_pairs));
-        total = total ? nn::Add(total, scaled) : scaled;
-        stats.rank_loss += rank_loss->value()[0];
-        rank_terms += batch_rank_pairs;
+      for (int v = 0; v < batch_triplets; ++v) {
+        const int u = batch_anchors + v;
+        tasks.push_back([&, u, v] {
+          nn::GradSink::Scope scope(&sinks[u]);
+          // Eq. 20 on one fast-generated triplet.
+          const Triplet& t = triplets[v];
+          auto z = [&](int idx) {
+            return model_->RelaxedCode(
+                model_->EncodeContinuous(data.triplet_corpus[idx]));
+          };
+          const Tensor term =
+              RankingHinge(z(t.anchor), z(t.positive), z(t.negative),
+                           cfg.alpha);
+          results[u].trip = term->value()[0];
+          nn::Backward(nn::Scale(term, trip_w));
+        });
       }
-      if (trip_loss) {
-        const Tensor scaled =
-            nn::Scale(trip_loss, cfg.gamma / std::max(1, batch_triplets));
-        total = total ? nn::Add(total, scaled) : scaled;
-        stats.triplet_loss += trip_loss->value()[0];
-        triplet_terms += batch_triplets;
+      report.num_triplets_used += batch_triplets;
+
+      RunTasks(std::move(tasks), pool_ptr);
+      // Fixed-order reduction: sinks then stats, both in unit order.
+      for (nn::GradSink& sink : sinks) sink.AccumulateInto();
+      for (const UnitResult& r : results) {
+        stats.wmse += r.wmse;
+        stats.rank_loss += r.rank;
+        stats.triplet_loss += r.trip;
       }
-      if (total) {
-        nn::Backward(total);
-        optimizer.Step();
-      }
-      cache.Clear();
+      wmse_terms += batch_pairs;
+      rank_terms += batch_rank_pairs;
+      triplet_terms += batch_triplets;
+      optimizer.Step();
     }
     if (wmse_terms > 0) stats.wmse /= wmse_terms;
     if (rank_terms > 0) stats.rank_loss /= rank_terms;
@@ -299,8 +343,9 @@ Result<TrainReport> Trainer::Fit(const TrainingData& data, Rng& rng) {
         (epoch % options_.val_interval == 0 || epoch + 1 == cfg.epochs);
     if (validate) {
       validate_and_snapshot(
-          stats, epoch, [&] { return EmbedAll(*model_, data.val_queries); },
-          [&] { return EmbedAll(*model_, data.val_db); });
+          stats, epoch,
+          [&] { return EmbedAll(*model_, data.val_queries, pool_ptr); },
+          [&] { return EmbedAll(*model_, data.val_db, pool_ptr); });
     }
     report.epochs.push_back(stats);
   }
@@ -311,15 +356,26 @@ Result<TrainReport> Trainer::Fit(const TrainingData& data, Rng& rng) {
   // truncated version of the paper's 100-epoch schedule; this continues the
   // Eq. 21 objective for the hash layer only (encoder frozen), which costs
   // a projector matmul per sample instead of a full encode (DESIGN.md §6).
+  // Batches decompose into units exactly like phase 1.
   // ---------------------------------------------------------------------
   if (options_.refine_epochs > 0) {
-    auto cache_features = [&](const traj::Trajectory& t) -> FusedFeatures {
-      const auto [h, h_r] = model_->EncodeFused(t);
-      return {nn::Detach(h), h_r ? nn::Detach(h_r) : nullptr};
+    // Feature caching is inference (detached outputs): fan it across the
+    // pool with the tape disabled.
+    auto cache_all = [&](const std::vector<traj::Trajectory>& ts) {
+      std::vector<FusedFeatures> feats(ts.size());
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(ts.size());
+      for (size_t i = 0; i < ts.size(); ++i) {
+        tasks.push_back([&, i] {
+          nn::NoGradGuard no_grad;
+          const auto [h, h_r] = model_->EncodeFused(ts[i]);
+          feats[i] = {nn::Detach(h), h_r ? nn::Detach(h_r) : nullptr};
+        });
+      }
+      RunTasks(std::move(tasks), pool_ptr);
+      return feats;
     };
-    std::vector<FusedFeatures> seed_feats;
-    seed_feats.reserve(n);
-    for (const auto& t : data.seeds) seed_feats.push_back(cache_features(t));
+    const std::vector<FusedFeatures> seed_feats = cache_all(data.seeds);
 
     // Subsample the triplet corpus, cache its features, re-cluster it.
     std::vector<FusedFeatures> corpus_feats;
@@ -340,26 +396,25 @@ Result<TrainReport> Trainer::Fit(const TrainingData& data, Rng& rng) {
       if (refine_gen->num_multi_clusters() == 0) {
         refine_gen.reset();
       } else {
-        corpus_feats.reserve(subset.size());
-        for (const auto& t : subset) {
-          corpus_feats.push_back(cache_features(t));
-        }
+        corpus_feats = cache_all(subset);
       }
     }
 
-    std::vector<FusedFeatures> val_query_feats, val_db_feats;
-    val_query_feats.reserve(data.val_queries.size());
-    val_db_feats.reserve(data.val_db.size());
-    for (const auto& t : data.val_queries) {
-      val_query_feats.push_back(cache_features(t));
-    }
-    for (const auto& t : data.val_db) val_db_feats.push_back(cache_features(t));
+    const std::vector<FusedFeatures> val_query_feats =
+        cache_all(data.val_queries);
+    const std::vector<FusedFeatures> val_db_feats = cache_all(data.val_db);
     auto project_all = [&](const std::vector<FusedFeatures>& feats) {
-      std::vector<std::vector<float>> out;
-      out.reserve(feats.size());
-      for (const FusedFeatures& f : feats) {
-        out.push_back(model_->ProjectFused(f.first, f.second)->value());
+      std::vector<std::vector<float>> out(feats.size());
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(feats.size());
+      for (size_t i = 0; i < feats.size(); ++i) {
+        tasks.push_back([&, i] {
+          nn::NoGradGuard no_grad;
+          out[i] = model_->ProjectFused(feats[i].first, feats[i].second)
+                       ->value();
+        });
       }
+      RunTasks(std::move(tasks), pool_ptr);
       return out;
     };
 
@@ -379,77 +434,105 @@ Result<TrainReport> Trainer::Fit(const TrainingData& data, Rng& rng) {
                      : 0;
       for (int start = 0; start < n; start += cfg.batch_size) {
         const int end = std::min(n, start + cfg.batch_size);
-        Tensor wmse_loss, rank_loss, trip_loss;
-        int batch_pairs = 0, batch_rank_pairs = 0, batch_triplets = 0;
+        const int batch_anchors = end - start;
+
+        std::vector<std::vector<int>> batch_samples;
+        batch_samples.reserve(batch_anchors);
         for (int a = start; a < end; ++a) {
-          const int anchor = anchor_order[a];
-          const std::vector<int> samples =
-              SelectSamples(ranked, sim, anchor, n, m, rng);
-          const Tensor h_a = model_->ProjectFused(seed_feats[anchor].first,
-                                                  seed_feats[anchor].second);
-          for (size_t j = 0; j < samples.size(); ++j) {
-            const int s = samples[j];
-            const Tensor h_s = model_->ProjectFused(seed_feats[s].first,
-                                                    seed_feats[s].second);
-            const Tensor term = WmseTerm(
-                h_a, h_s,
-                static_cast<float>(sim[static_cast<size_t>(anchor) * n + s]),
-                1.0f / static_cast<float>(j + 1));
-            wmse_loss = wmse_loss ? nn::Add(wmse_loss, term) : term;
-            ++batch_pairs;
-          }
-          if (cfg.gamma > 0.0f) {
-            const Tensor z_a = relaxed(seed_feats[anchor]);
-            const int half = static_cast<int>(samples.size()) / 2;
-            for (int p = 0; p < half; ++p) {
-              auto [pos, neg] = PairAt(samples, p, cfg.cross_pairing);
-              if (sim[static_cast<size_t>(anchor) * n + pos] <
-                  sim[static_cast<size_t>(anchor) * n + neg]) {
-                std::swap(pos, neg);
-              }
-              const Tensor term =
-                  RankingHinge(z_a, relaxed(seed_feats[pos]),
-                               relaxed(seed_feats[neg]), cfg.alpha);
-              rank_loss = rank_loss ? nn::Add(rank_loss, term) : term;
-              ++batch_rank_pairs;
-            }
-          }
+          batch_samples.push_back(
+              SelectSamples(ranked, sim, anchor_order[a], n, m, rng));
         }
+        std::vector<Triplet> triplets;
         if (refine_gen && cfg.gamma > 0.0f) {
-          for (const Triplet& t :
-               refine_gen->Generate(triplets_per_step, rng)) {
-            const Tensor term = RankingHinge(
-                relaxed(corpus_feats[t.anchor]), relaxed(corpus_feats[t.positive]),
-                relaxed(corpus_feats[t.negative]), cfg.alpha);
-            trip_loss = trip_loss ? nn::Add(trip_loss, term) : term;
-            ++batch_triplets;
-          }
-          report.num_triplets_used += batch_triplets;
+          triplets = refine_gen->Generate(triplets_per_step, rng);
         }
-        Tensor total;
-        if (wmse_loss) {
-          total = nn::Scale(wmse_loss, 1.0f / std::max(1, batch_pairs));
-          stats.wmse += wmse_loss->value()[0];
-          wmse_terms += batch_pairs;
+
+        const int batch_pairs = batch_anchors * m;
+        const int batch_rank_pairs =
+            cfg.gamma > 0.0f ? batch_anchors * (m / 2) : 0;
+        const int batch_triplets = static_cast<int>(triplets.size());
+        const float wmse_w =
+            1.0f / static_cast<float>(std::max(1, batch_pairs));
+        const float rank_w =
+            cfg.gamma / static_cast<float>(std::max(1, batch_rank_pairs));
+        const float trip_w =
+            cfg.gamma / static_cast<float>(std::max(1, batch_triplets));
+
+        const int num_units = batch_anchors + batch_triplets;
+        std::deque<nn::GradSink> sinks;
+        for (int u = 0; u < num_units; ++u) sinks.emplace_back(all_params);
+        std::vector<UnitResult> results(num_units);
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(num_units);
+        for (int u = 0; u < batch_anchors; ++u) {
+          tasks.push_back([&, u] {
+            nn::GradSink::Scope scope(&sinks[u]);
+            const int anchor = anchor_order[start + u];
+            const std::vector<int>& samples = batch_samples[u];
+            const Tensor h_a = model_->ProjectFused(
+                seed_feats[anchor].first, seed_feats[anchor].second);
+            Tensor wmse_sum, rank_sum;
+            for (size_t j = 0; j < samples.size(); ++j) {
+              const int s = samples[j];
+              const Tensor h_s = model_->ProjectFused(seed_feats[s].first,
+                                                      seed_feats[s].second);
+              const Tensor term = WmseTerm(
+                  h_a, h_s,
+                  static_cast<float>(
+                      sim[static_cast<size_t>(anchor) * n + s]),
+                  1.0f / static_cast<float>(j + 1));
+              wmse_sum = wmse_sum ? nn::Add(wmse_sum, term) : term;
+            }
+            if (cfg.gamma > 0.0f) {
+              const Tensor z_a = relaxed(seed_feats[anchor]);
+              const int half = static_cast<int>(samples.size()) / 2;
+              for (int p = 0; p < half; ++p) {
+                auto [pos, neg] = PairAt(samples, p, cfg.cross_pairing);
+                if (sim[static_cast<size_t>(anchor) * n + pos] <
+                    sim[static_cast<size_t>(anchor) * n + neg]) {
+                  std::swap(pos, neg);
+                }
+                const Tensor term =
+                    RankingHinge(z_a, relaxed(seed_feats[pos]),
+                                 relaxed(seed_feats[neg]), cfg.alpha);
+                rank_sum = rank_sum ? nn::Add(rank_sum, term) : term;
+              }
+            }
+            results[u].wmse = wmse_sum->value()[0];
+            Tensor loss = nn::Scale(wmse_sum, wmse_w);
+            if (rank_sum) {
+              results[u].rank = rank_sum->value()[0];
+              loss = nn::Add(loss, nn::Scale(rank_sum, rank_w));
+            }
+            nn::Backward(loss);
+          });
         }
-        if (rank_loss) {
-          const Tensor scaled =
-              nn::Scale(rank_loss, cfg.gamma / std::max(1, batch_rank_pairs));
-          total = total ? nn::Add(total, scaled) : scaled;
-          stats.rank_loss += rank_loss->value()[0];
-          rank_terms += batch_rank_pairs;
+        for (int v = 0; v < batch_triplets; ++v) {
+          const int u = batch_anchors + v;
+          tasks.push_back([&, u, v] {
+            nn::GradSink::Scope scope(&sinks[u]);
+            const Triplet& t = triplets[v];
+            const Tensor term = RankingHinge(relaxed(corpus_feats[t.anchor]),
+                                             relaxed(corpus_feats[t.positive]),
+                                             relaxed(corpus_feats[t.negative]),
+                                             cfg.alpha);
+            results[u].trip = term->value()[0];
+            nn::Backward(nn::Scale(term, trip_w));
+          });
         }
-        if (trip_loss) {
-          const Tensor scaled =
-              nn::Scale(trip_loss, cfg.gamma / std::max(1, batch_triplets));
-          total = total ? nn::Add(total, scaled) : scaled;
-          stats.triplet_loss += trip_loss->value()[0];
-          triplet_terms += batch_triplets;
+        report.num_triplets_used += batch_triplets;
+
+        RunTasks(std::move(tasks), pool_ptr);
+        for (nn::GradSink& sink : sinks) sink.AccumulateInto();
+        for (const UnitResult& r : results) {
+          stats.wmse += r.wmse;
+          stats.rank_loss += r.rank;
+          stats.triplet_loss += r.trip;
         }
-        if (total) {
-          nn::Backward(total);
-          refine_opt.Step();
-        }
+        wmse_terms += batch_pairs;
+        rank_terms += batch_rank_pairs;
+        triplet_terms += batch_triplets;
+        refine_opt.Step();
       }
       if (wmse_terms > 0) stats.wmse /= wmse_terms;
       if (rank_terms > 0) stats.rank_loss /= rank_terms;
@@ -472,19 +555,19 @@ Result<TrainReport> Trainer::Fit(const TrainingData& data, Rng& rng) {
   return report;
 }
 
-std::vector<std::vector<float>> EmbedAll(
-    const Traj2Hash& model, const std::vector<traj::Trajectory>& ts) {
-  std::vector<std::vector<float>> out;
-  out.reserve(ts.size());
-  for (const traj::Trajectory& t : ts) out.push_back(model.Embed(t));
-  return out;
+std::vector<std::vector<float>> EmbedAll(const Traj2Hash& model,
+                                         const std::vector<traj::Trajectory>& ts,
+                                         ThreadPool* pool) {
+  return model.EmbedBatch(ts, pool);
 }
 
 std::vector<search::Code> HashAll(const Traj2Hash& model,
-                                  const std::vector<traj::Trajectory>& ts) {
+                                  const std::vector<traj::Trajectory>& ts,
+                                  ThreadPool* pool) {
+  const std::vector<std::vector<float>> emb = model.EmbedBatch(ts, pool);
   std::vector<search::Code> out;
-  out.reserve(ts.size());
-  for (const traj::Trajectory& t : ts) out.push_back(model.HashCode(t));
+  out.reserve(emb.size());
+  for (const auto& e : emb) out.push_back(search::PackSigns(e));
   return out;
 }
 

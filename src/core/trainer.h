@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/model.h"
 #include "core/triplets.h"
 #include "distance/distance.h"
@@ -68,6 +69,15 @@ struct TrainerOptions {
   int refine_corpus_size = 400;
   /// Fast triplets drawn per refinement epoch.
   int refine_triplets_per_epoch = 256;
+
+  /// Worker threads for data-parallel training and bulk encoding (1 =
+  /// serial, no pool). Each optimisation step decomposes into independent
+  /// per-anchor and per-triplet loss subgraphs; workers run forward+backward
+  /// with parameter gradients redirected into per-unit nn::GradSinks, and
+  /// the main thread reduces the sinks in fixed unit order. All RNG draws
+  /// stay on the main thread in the serial loop's order, so the loss
+  /// trajectory is bit-identical for any thread count at a fixed seed.
+  int num_threads = 1;
 };
 
 /// End-to-end optimiser of Traj2Hash: WMSE (Eq. 17) + ranking hash loss
@@ -94,13 +104,16 @@ class Trainer {
 std::vector<double> SimilarityFromDistances(
     const std::vector<double>& distances, int n, float theta);
 
-/// Convenience: embeds every trajectory (h_f values).
-std::vector<std::vector<float>> EmbedAll(
-    const Traj2Hash& model, const std::vector<traj::Trajectory>& ts);
+/// Convenience: embeds every trajectory (h_f values), fanning across `pool`
+/// when one is given (output order always matches input order).
+std::vector<std::vector<float>> EmbedAll(const Traj2Hash& model,
+                                         const std::vector<traj::Trajectory>& ts,
+                                         ThreadPool* pool = nullptr);
 
-/// Convenience: hashes every trajectory (sign codes).
+/// Convenience: hashes every trajectory (sign codes); same pool semantics.
 std::vector<search::Code> HashAll(const Traj2Hash& model,
-                                  const std::vector<traj::Trajectory>& ts);
+                                  const std::vector<traj::Trajectory>& ts,
+                                  ThreadPool* pool = nullptr);
 
 }  // namespace traj2hash::core
 

@@ -23,8 +23,9 @@ void Adam::Step() {
     TensorImpl& p = *params_[i];
     std::vector<float>& m = m_[i];
     std::vector<float>& v = v_[i];
+    const float* grad = p.grad().data();
     for (int j = 0; j < p.size(); ++j) {
-      const float g = p.grad()[j];
+      const float g = grad[j];
       m[j] = options_.beta1 * m[j] + (1.0f - options_.beta1) * g;
       v[j] = options_.beta2 * v[j] + (1.0f - options_.beta2) * g * g;
       const float m_hat = m[j] / bc1;

@@ -1,0 +1,59 @@
+#ifndef TRAJ2HASH_NN_KERNELS_H_
+#define TRAJ2HASH_NN_KERNELS_H_
+
+namespace traj2hash::nn::kernels {
+
+/// Raw-pointer micro-kernels backing the hot ops in ops.cc.
+///
+/// Design rules (DESIGN.md §8):
+///  - every inner loop walks contiguous memory with unit stride and no
+///    `at(r, c)` gather, so `-O3` auto-vectorises it;
+///  - matrix products are i-k-j ordered and cache-blocked over output
+///    columns, broadcasting one A element across a contiguous B row;
+///  - per output element, floating-point accumulation order is EXACTLY the
+///    ascending-index order of the naive triple loop, so results are
+///    bit-identical to the reference kernel (and therefore independent of
+///    the blocking parameters). Do not "optimise" a reduction into multiple
+///    accumulators here: that reorders the sum and breaks the repo-wide
+///    determinism contract that training and serving rely on.
+///
+/// All kernels ACCUMULATE into their destination (`+=`), matching autograd
+/// semantics; forward paths pass a zero-initialised destination.
+
+/// C[n,m] += A[n,k] * B[k,m].
+void MatMulAccum(const float* a, const float* b, float* c, int n, int k,
+                 int m);
+
+/// dA[n,k] += dC[n,m] * B[k,m]^T (row-dot form: both operands row-contiguous).
+void MatMulGradA(const float* dc, const float* b, float* da, int n, int k,
+                 int m);
+
+/// dB[k,m] += A[n,k]^T * dC[n,m] (outer-product form, r ascending).
+void MatMulGradB(const float* a, const float* dc, float* db, int n, int k,
+                 int m);
+
+/// dst[i] += src[i].
+void AddInto(float* dst, const float* src, int n);
+
+/// dst[i] -= src[i].
+void SubInto(float* dst, const float* src, int n);
+
+/// dst[i] += s * src[i].
+void AxpyInto(float* dst, const float* src, float s, int n);
+
+/// dst[i] += a[i] * b[i].
+void MulInto(float* dst, const float* a, const float* b, int n);
+
+/// Ascending-index dot product of two contiguous vectors.
+float Dot(const float* a, const float* b, int n);
+
+/// out[r,:] = softmax(x[r,:]) per row, max-subtracted for stability.
+void SoftmaxRowsFwd(const float* x, float* out, int rows, int cols);
+
+/// dx[r,:] += y[r,:] * (dy[r,:] - <dy[r,:], y[r,:]>) per row (softmax VJP).
+void SoftmaxRowsBwd(const float* y, const float* dy, float* dx, int rows,
+                    int cols);
+
+}  // namespace traj2hash::nn::kernels
+
+#endif  // TRAJ2HASH_NN_KERNELS_H_

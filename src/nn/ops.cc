@@ -2,26 +2,26 @@
 
 #include <cmath>
 
+#include "nn/kernels.h"
+
 namespace traj2hash::nn {
 namespace {
 
-bool AnyRequiresGrad(std::initializer_list<const Tensor*> ts) {
-  for (const Tensor* t : ts) {
-    if ((*t)->requires_grad()) return true;
-  }
-  return false;
-}
-
 /// Allocates the output node and wires parents/backward only when a parent
-/// tracks gradients, so inference builds no tape.
-Tensor MakeOp(int rows, int cols, std::vector<Tensor> parents,
-              std::function<void(TensorImpl&)> backward) {
-  bool needs_grad = false;
-  for (const Tensor& p : parents) needs_grad |= p->requires_grad();
+/// tracks gradients AND grad mode is enabled on this thread.
+///
+/// `make_backward` is a factory returning the backward closure; it is only
+/// invoked on the taped path, so the inference path pays for neither the
+/// parents vector nor the std::function allocation (nor the shared_ptr
+/// refcount bumps of the closure captures).
+template <typename BackwardFactory, typename... Parents>
+Tensor MakeOp(int rows, int cols, BackwardFactory&& make_backward,
+              const Parents&... parents) {
+  const bool needs_grad = GradEnabled() && (parents->requires_grad() || ...);
   Tensor out = MakeTensor(rows, cols, needs_grad);
   if (needs_grad) {
-    out->set_parents(std::move(parents));
-    out->set_backward(std::move(backward));
+    out->set_parents(std::vector<Tensor>{parents...});
+    out->set_backward(make_backward());
   }
   return out;
 }
@@ -31,13 +31,22 @@ Tensor MakeOp(int rows, int cols, std::vector<Tensor> parents,
 template <typename FwdFn, typename GradFn>
 Tensor Unary(const Tensor& a, FwdFn fwd, GradFn dfn) {
   Tensor out = MakeOp(
-      a->rows(), a->cols(), {a}, [a, dfn](TensorImpl& self) {
-        for (int i = 0; i < self.size(); ++i) {
-          a->grad()[i] += self.grad()[i] *
-                          dfn(a->value()[i], self.value()[i]);
-        }
-      });
-  for (int i = 0; i < a->size(); ++i) out->value()[i] = fwd(a->value()[i]);
+      a->rows(), a->cols(),
+      [&] {
+        return [a, dfn](TensorImpl& self) {
+          const int n = self.size();
+          const float* __restrict g = self.grad().data();
+          const float* __restrict av = a->value().data();
+          const float* __restrict ov = self.value().data();
+          float* __restrict ga = a->grad().data();
+          for (int i = 0; i < n; ++i) ga[i] += g[i] * dfn(av[i], ov[i]);
+        };
+      },
+      a);
+  const int n = a->size();
+  const float* __restrict av = a->value().data();
+  float* __restrict ov = out->value().data();
+  for (int i = 0; i < n; ++i) ov[i] = fwd(av[i]);
   return out;
 }
 
@@ -46,144 +55,220 @@ Tensor Unary(const Tensor& a, FwdFn fwd, GradFn dfn) {
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   T2H_CHECK_EQ(a->cols(), b->rows());
   const int n = a->rows(), k = a->cols(), m = b->cols();
-  Tensor out = MakeOp(n, m, {a, b}, [a, b](TensorImpl& self) {
-    const int n = a->rows(), k = a->cols(), m = b->cols();
-    if (a->requires_grad()) {
-      // dA = dC * B^T
-      for (int i = 0; i < n; ++i) {
-        for (int j = 0; j < k; ++j) {
-          float acc = 0.0f;
-          for (int c = 0; c < m; ++c) acc += self.grad_at(i, c) * b->at(j, c);
-          a->grad_at(i, j) += acc;
-        }
-      }
-    }
-    if (b->requires_grad()) {
-      // dB = A^T * dC
-      for (int i = 0; i < k; ++i) {
-        for (int j = 0; j < m; ++j) {
-          float acc = 0.0f;
-          for (int r = 0; r < n; ++r) acc += a->at(r, i) * self.grad_at(r, j);
-          b->grad_at(i, j) += acc;
-        }
-      }
-    }
-  });
-  for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < m; ++j) {
-      float acc = 0.0f;
-      for (int c = 0; c < k; ++c) acc += a->at(i, c) * b->at(c, j);
-      out->at(i, j) = acc;
-    }
-  }
+  Tensor out = MakeOp(
+      n, m,
+      [&] {
+        return [a, b](TensorImpl& self) {
+          const int n = a->rows(), k = a->cols(), m = b->cols();
+          const float* dc = self.grad().data();
+          if (a->requires_grad()) {
+            kernels::MatMulGradA(dc, b->value().data(), a->grad().data(), n,
+                                 k, m);
+          }
+          if (b->requires_grad()) {
+            kernels::MatMulGradB(a->value().data(), dc, b->grad().data(), n,
+                                 k, m);
+          }
+        };
+      },
+      a, b);
+  kernels::MatMulAccum(a->value().data(), b->value().data(),
+                       out->value().data(), n, k, m);
   return out;
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   T2H_CHECK(a->rows() == b->rows() && a->cols() == b->cols());
-  Tensor out = MakeOp(a->rows(), a->cols(), {a, b}, [a, b](TensorImpl& self) {
-    for (int i = 0; i < self.size(); ++i) {
-      if (a->requires_grad()) a->grad()[i] += self.grad()[i];
-      if (b->requires_grad()) b->grad()[i] += self.grad()[i];
-    }
-  });
-  for (int i = 0; i < out->size(); ++i) {
-    out->value()[i] = a->value()[i] + b->value()[i];
-  }
+  Tensor out = MakeOp(
+      a->rows(), a->cols(),
+      [&] {
+        return [a, b](TensorImpl& self) {
+          const int n = self.size();
+          const float* g = self.grad().data();
+          if (a->requires_grad()) kernels::AddInto(a->grad().data(), g, n);
+          if (b->requires_grad()) kernels::AddInto(b->grad().data(), g, n);
+        };
+      },
+      a, b);
+  const int n = out->size();
+  const float* __restrict av = a->value().data();
+  const float* __restrict bv = b->value().data();
+  float* __restrict ov = out->value().data();
+  for (int i = 0; i < n; ++i) ov[i] = av[i] + bv[i];
   return out;
 }
 
 Tensor AddRowBroadcast(const Tensor& a, const Tensor& row) {
   T2H_CHECK_EQ(row->rows(), 1);
   T2H_CHECK_EQ(a->cols(), row->cols());
-  Tensor out =
-      MakeOp(a->rows(), a->cols(), {a, row}, [a, row](TensorImpl& self) {
-        for (int r = 0; r < self.rows(); ++r) {
-          for (int c = 0; c < self.cols(); ++c) {
-            if (a->requires_grad()) a->grad_at(r, c) += self.grad_at(r, c);
-            if (row->requires_grad()) row->grad_at(0, c) += self.grad_at(r, c);
+  const int rows = a->rows(), cols = a->cols();
+  Tensor out = MakeOp(
+      rows, cols,
+      [&] {
+        return [a, row](TensorImpl& self) {
+          const int rows = self.rows(), cols = self.cols();
+          const float* g = self.grad().data();
+          if (a->requires_grad()) {
+            kernels::AddInto(a->grad().data(), g, rows * cols);
           }
-        }
-      });
-  for (int r = 0; r < a->rows(); ++r) {
-    for (int c = 0; c < a->cols(); ++c) {
-      out->at(r, c) = a->at(r, c) + row->at(0, c);
-    }
+          if (row->requires_grad()) {
+            float* grow = row->grad().data();
+            for (int r = 0; r < rows; ++r) {
+              kernels::AddInto(grow, g + static_cast<long>(r) * cols, cols);
+            }
+          }
+        };
+      },
+      a, row);
+  const float* __restrict av = a->value().data();
+  const float* __restrict rv = row->value().data();
+  float* __restrict ov = out->value().data();
+  for (int r = 0; r < rows; ++r) {
+    const float* __restrict arow = av + static_cast<long>(r) * cols;
+    float* __restrict orow = ov + static_cast<long>(r) * cols;
+    for (int c = 0; c < cols; ++c) orow[c] = arow[c] + rv[c];
   }
   return out;
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   T2H_CHECK(a->rows() == b->rows() && a->cols() == b->cols());
-  Tensor out = MakeOp(a->rows(), a->cols(), {a, b}, [a, b](TensorImpl& self) {
-    for (int i = 0; i < self.size(); ++i) {
-      if (a->requires_grad()) a->grad()[i] += self.grad()[i];
-      if (b->requires_grad()) b->grad()[i] -= self.grad()[i];
-    }
-  });
-  for (int i = 0; i < out->size(); ++i) {
-    out->value()[i] = a->value()[i] - b->value()[i];
-  }
+  Tensor out = MakeOp(
+      a->rows(), a->cols(),
+      [&] {
+        return [a, b](TensorImpl& self) {
+          const int n = self.size();
+          const float* g = self.grad().data();
+          if (a->requires_grad()) kernels::AddInto(a->grad().data(), g, n);
+          if (b->requires_grad()) kernels::SubInto(b->grad().data(), g, n);
+        };
+      },
+      a, b);
+  const int n = out->size();
+  const float* __restrict av = a->value().data();
+  const float* __restrict bv = b->value().data();
+  float* __restrict ov = out->value().data();
+  for (int i = 0; i < n; ++i) ov[i] = av[i] - bv[i];
   return out;
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   T2H_CHECK(a->rows() == b->rows() && a->cols() == b->cols());
-  Tensor out = MakeOp(a->rows(), a->cols(), {a, b}, [a, b](TensorImpl& self) {
-    for (int i = 0; i < self.size(); ++i) {
-      if (a->requires_grad()) a->grad()[i] += self.grad()[i] * b->value()[i];
-      if (b->requires_grad()) b->grad()[i] += self.grad()[i] * a->value()[i];
-    }
-  });
-  for (int i = 0; i < out->size(); ++i) {
-    out->value()[i] = a->value()[i] * b->value()[i];
-  }
+  Tensor out = MakeOp(
+      a->rows(), a->cols(),
+      [&] {
+        return [a, b](TensorImpl& self) {
+          const int n = self.size();
+          const float* g = self.grad().data();
+          if (a->requires_grad()) {
+            kernels::MulInto(a->grad().data(), g, b->value().data(), n);
+          }
+          if (b->requires_grad()) {
+            kernels::MulInto(b->grad().data(), g, a->value().data(), n);
+          }
+        };
+      },
+      a, b);
+  const int n = out->size();
+  const float* __restrict av = a->value().data();
+  const float* __restrict bv = b->value().data();
+  float* __restrict ov = out->value().data();
+  for (int i = 0; i < n; ++i) ov[i] = av[i] * bv[i];
   return out;
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
   T2H_CHECK(a->rows() == b->rows() && a->cols() == b->cols());
-  Tensor out = MakeOp(a->rows(), a->cols(), {a, b}, [a, b](TensorImpl& self) {
-    for (int i = 0; i < self.size(); ++i) {
-      const float inv = 1.0f / b->value()[i];
-      if (a->requires_grad()) a->grad()[i] += self.grad()[i] * inv;
-      if (b->requires_grad()) {
-        b->grad()[i] -= self.grad()[i] * a->value()[i] * inv * inv;
-      }
-    }
-  });
-  for (int i = 0; i < out->size(); ++i) {
-    T2H_CHECK_NE(b->value()[i], 0.0f);
-    out->value()[i] = a->value()[i] / b->value()[i];
+  Tensor out = MakeOp(
+      a->rows(), a->cols(),
+      [&] {
+        return [a, b](TensorImpl& self) {
+          const int n = self.size();
+          const float* __restrict g = self.grad().data();
+          const float* __restrict av = a->value().data();
+          const float* __restrict bv = b->value().data();
+          if (a->requires_grad()) {
+            float* __restrict ga = a->grad().data();
+            for (int i = 0; i < n; ++i) ga[i] += g[i] * (1.0f / bv[i]);
+          }
+          if (b->requires_grad()) {
+            float* __restrict gb = b->grad().data();
+            for (int i = 0; i < n; ++i) {
+              const float inv = 1.0f / bv[i];
+              gb[i] -= g[i] * av[i] * inv * inv;
+            }
+          }
+        };
+      },
+      a, b);
+  const int n = out->size();
+  const float* __restrict av = a->value().data();
+  const float* __restrict bv = b->value().data();
+  float* __restrict ov = out->value().data();
+  for (int i = 0; i < n; ++i) {
+    T2H_CHECK_NE(bv[i], 0.0f);
+    ov[i] = av[i] / bv[i];
   }
   return out;
 }
 
 Tensor Scale(const Tensor& a, float s) {
-  return Unary(
-      a, [s](float x) { return x * s; },
-      [s](float, float) { return s; });
+  Tensor out = MakeOp(
+      a->rows(), a->cols(),
+      [&] {
+        return [a, s](TensorImpl& self) {
+          kernels::AxpyInto(a->grad().data(), self.grad().data(), s,
+                            self.size());
+        };
+      },
+      a);
+  const int n = a->size();
+  const float* __restrict av = a->value().data();
+  float* __restrict ov = out->value().data();
+  for (int i = 0; i < n; ++i) ov[i] = av[i] * s;
+  return out;
 }
 
 Tensor ScaleByScalar(const Tensor& a, const Tensor& s) {
   T2H_CHECK(s->rows() == 1 && s->cols() == 1);
-  Tensor out = MakeOp(a->rows(), a->cols(), {a, s}, [a, s](TensorImpl& self) {
-    const float sv = s->value()[0];
-    float s_grad = 0.0f;
-    for (int i = 0; i < self.size(); ++i) {
-      if (a->requires_grad()) a->grad()[i] += self.grad()[i] * sv;
-      s_grad += self.grad()[i] * a->value()[i];
-    }
-    if (s->requires_grad()) s->grad()[0] += s_grad;
-  });
+  Tensor out = MakeOp(
+      a->rows(), a->cols(),
+      [&] {
+        return [a, s](TensorImpl& self) {
+          const int n = self.size();
+          const float* g = self.grad().data();
+          const float sv = s->value()[0];
+          if (a->requires_grad()) {
+            kernels::AxpyInto(a->grad().data(), g, sv, n);
+          }
+          if (s->requires_grad()) {
+            s->grad()[0] += kernels::Dot(g, a->value().data(), n);
+          }
+        };
+      },
+      a, s);
+  const int n = a->size();
   const float sv = s->value()[0];
-  for (int i = 0; i < out->size(); ++i) out->value()[i] = a->value()[i] * sv;
+  const float* __restrict av = a->value().data();
+  float* __restrict ov = out->value().data();
+  for (int i = 0; i < n; ++i) ov[i] = av[i] * sv;
   return out;
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return Unary(
-      a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; });
+  Tensor out = MakeOp(
+      a->rows(), a->cols(),
+      [&] {
+        return [a](TensorImpl& self) {
+          kernels::AddInto(a->grad().data(), self.grad().data(), self.size());
+        };
+      },
+      a);
+  const int n = a->size();
+  const float* __restrict av = a->value().data();
+  float* __restrict ov = out->value().data();
+  for (int i = 0; i < n; ++i) ov[i] = av[i] + s;
+  return out;
 }
 
 Tensor Relu(const Tensor& a) {
@@ -231,29 +316,17 @@ Tensor Sqrt(const Tensor& a) {
 }
 
 Tensor SoftmaxRows(const Tensor& a) {
-  Tensor out = MakeOp(a->rows(), a->cols(), {a}, [a](TensorImpl& self) {
-    // Per row: dx_i = s_i * (dy_i - sum_j dy_j * s_j).
-    for (int r = 0; r < self.rows(); ++r) {
-      float dot = 0.0f;
-      for (int c = 0; c < self.cols(); ++c) {
-        dot += self.grad_at(r, c) * self.at(r, c);
-      }
-      for (int c = 0; c < self.cols(); ++c) {
-        a->grad_at(r, c) += self.at(r, c) * (self.grad_at(r, c) - dot);
-      }
-    }
-  });
-  for (int r = 0; r < a->rows(); ++r) {
-    float max_v = a->at(r, 0);
-    for (int c = 1; c < a->cols(); ++c) max_v = std::max(max_v, a->at(r, c));
-    float sum = 0.0f;
-    for (int c = 0; c < a->cols(); ++c) {
-      const float e = std::exp(a->at(r, c) - max_v);
-      out->at(r, c) = e;
-      sum += e;
-    }
-    for (int c = 0; c < a->cols(); ++c) out->at(r, c) /= sum;
-  }
+  Tensor out = MakeOp(
+      a->rows(), a->cols(),
+      [&] {
+        return [a](TensorImpl& self) {
+          kernels::SoftmaxRowsBwd(self.value().data(), self.grad().data(),
+                                  a->grad().data(), self.rows(), self.cols());
+        };
+      },
+      a);
+  kernels::SoftmaxRowsFwd(a->value().data(), out->value().data(), a->rows(),
+                          a->cols());
   return out;
 }
 
@@ -264,158 +337,236 @@ Tensor NormalizeRows(const Tensor& a, float epsilon) {
   // value, so it must be complete before MakeOp runs.
   std::vector<float> values(static_cast<size_t>(rows) * cols);
   std::vector<float> inv_sigma(rows);
+  const float* __restrict av = a->value().data();
   for (int r = 0; r < rows; ++r) {
+    const float* __restrict arow = av + static_cast<long>(r) * cols;
+    float* __restrict vrow = values.data() + static_cast<long>(r) * cols;
     float mean = 0.0f;
-    for (int j = 0; j < cols; ++j) mean += a->at(r, j);
+    for (int j = 0; j < cols; ++j) mean += arow[j];
     mean /= cols;
     float var = 0.0f;
     for (int j = 0; j < cols; ++j) {
-      const float d = a->at(r, j) - mean;
+      const float d = arow[j] - mean;
       var += d * d;
     }
     var /= cols;
     inv_sigma[r] = 1.0f / std::sqrt(var + epsilon);
-    for (int j = 0; j < cols; ++j) {
-      values[static_cast<size_t>(r) * cols + j] =
-          (a->at(r, j) - mean) * inv_sigma[r];
-    }
+    for (int j = 0; j < cols; ++j) vrow[j] = (arow[j] - mean) * inv_sigma[r];
   }
-  Tensor out =
-      MakeOp(rows, cols, {a}, [a, inv_sigma](TensorImpl& self) {
-        // dL/dx = (1/sigma) * (g - mean(g) - y * mean(g * y)) per row.
-        const int c = self.cols();
-        for (int r = 0; r < self.rows(); ++r) {
-          float mean_g = 0.0f, mean_gy = 0.0f;
-          for (int j = 0; j < c; ++j) {
-            mean_g += self.grad_at(r, j);
-            mean_gy += self.grad_at(r, j) * self.at(r, j);
+  Tensor out = MakeOp(
+      rows, cols,
+      [&] {
+        return [a, inv_sigma](TensorImpl& self) {
+          // dL/dx = (1/sigma) * (g - mean(g) - y * mean(g * y)) per row.
+          const int rows = self.rows(), c = self.cols();
+          const float* __restrict g = self.grad().data();
+          const float* __restrict y = self.value().data();
+          float* __restrict ga = a->grad().data();
+          for (int r = 0; r < rows; ++r) {
+            const float* __restrict grow = g + static_cast<long>(r) * c;
+            const float* __restrict yrow = y + static_cast<long>(r) * c;
+            float* __restrict garow = ga + static_cast<long>(r) * c;
+            float mean_g = 0.0f, mean_gy = 0.0f;
+            for (int j = 0; j < c; ++j) {
+              mean_g += grow[j];
+              mean_gy += grow[j] * yrow[j];
+            }
+            mean_g /= c;
+            mean_gy /= c;
+            const float is = inv_sigma[r];
+            for (int j = 0; j < c; ++j) {
+              garow[j] += is * (grow[j] - mean_g - yrow[j] * mean_gy);
+            }
           }
-          mean_g /= c;
-          mean_gy /= c;
-          for (int j = 0; j < c; ++j) {
-            a->grad_at(r, j) += inv_sigma[r] * (self.grad_at(r, j) - mean_g -
-                                                self.at(r, j) * mean_gy);
-          }
-        }
-      });
+        };
+      },
+      a);
   out->value() = std::move(values);
   return out;
 }
 
 Tensor Transpose(const Tensor& a) {
-  Tensor out = MakeOp(a->cols(), a->rows(), {a}, [a](TensorImpl& self) {
-    for (int r = 0; r < self.rows(); ++r) {
-      for (int c = 0; c < self.cols(); ++c) {
-        a->grad_at(c, r) += self.grad_at(r, c);
-      }
-    }
-  });
-  for (int r = 0; r < a->rows(); ++r) {
-    for (int c = 0; c < a->cols(); ++c) out->at(c, r) = a->at(r, c);
+  const int rows = a->rows(), cols = a->cols();
+  Tensor out = MakeOp(
+      cols, rows,
+      [&] {
+        return [a](TensorImpl& self) {
+          // self is [cols, rows]; write a's grad rows contiguously.
+          const int rows = a->rows(), cols = a->cols();
+          const float* g = self.grad().data();
+          float* __restrict ga = a->grad().data();
+          for (int r = 0; r < rows; ++r) {
+            float* __restrict garow = ga + static_cast<long>(r) * cols;
+            const float* __restrict gcol = g + r;
+            for (int c = 0; c < cols; ++c) {
+              garow[c] += gcol[static_cast<long>(c) * rows];
+            }
+          }
+        };
+      },
+      a);
+  const float* av = a->value().data();
+  float* __restrict ov = out->value().data();
+  for (int r = 0; r < rows; ++r) {
+    const float* __restrict arow = av + static_cast<long>(r) * cols;
+    for (int c = 0; c < cols; ++c) ov[static_cast<long>(c) * rows + r] = arow[c];
   }
   return out;
 }
 
 Tensor ConcatCols(const Tensor& a, const Tensor& b) {
   T2H_CHECK_EQ(a->rows(), b->rows());
-  const int c1 = a->cols();
-  Tensor out = MakeOp(a->rows(), c1 + b->cols(), {a, b},
-                      [a, b, c1](TensorImpl& self) {
-                        for (int r = 0; r < self.rows(); ++r) {
-                          for (int c = 0; c < self.cols(); ++c) {
-                            const float g = self.grad_at(r, c);
-                            if (c < c1) {
-                              if (a->requires_grad()) a->grad_at(r, c) += g;
-                            } else if (b->requires_grad()) {
-                              b->grad_at(r, c - c1) += g;
-                            }
-                          }
-                        }
-                      });
-  for (int r = 0; r < a->rows(); ++r) {
-    for (int c = 0; c < a->cols(); ++c) out->at(r, c) = a->at(r, c);
-    for (int c = 0; c < b->cols(); ++c) out->at(r, c1 + c) = b->at(r, c);
+  const int rows = a->rows(), c1 = a->cols(), c2 = b->cols();
+  Tensor out = MakeOp(
+      rows, c1 + c2,
+      [&] {
+        return [a, b, c1, c2](TensorImpl& self) {
+          const int rows = self.rows(), oc = self.cols();
+          const float* g = self.grad().data();
+          if (a->requires_grad()) {
+            float* ga = a->grad().data();
+            for (int r = 0; r < rows; ++r) {
+              kernels::AddInto(ga + static_cast<long>(r) * c1,
+                               g + static_cast<long>(r) * oc, c1);
+            }
+          }
+          if (b->requires_grad()) {
+            float* gb = b->grad().data();
+            for (int r = 0; r < rows; ++r) {
+              kernels::AddInto(gb + static_cast<long>(r) * c2,
+                               g + static_cast<long>(r) * oc + c1, c2);
+            }
+          }
+        };
+      },
+      a, b);
+  const float* av = a->value().data();
+  const float* bv = b->value().data();
+  float* ov = out->value().data();
+  const int oc = c1 + c2;
+  for (int r = 0; r < rows; ++r) {
+    float* __restrict orow = ov + static_cast<long>(r) * oc;
+    const float* __restrict arow = av + static_cast<long>(r) * c1;
+    const float* __restrict brow = bv + static_cast<long>(r) * c2;
+    for (int c = 0; c < c1; ++c) orow[c] = arow[c];
+    for (int c = 0; c < c2; ++c) orow[c1 + c] = brow[c];
   }
   return out;
 }
 
 Tensor ConcatRows(const Tensor& a, const Tensor& b) {
   T2H_CHECK_EQ(a->cols(), b->cols());
-  const int r1 = a->rows();
-  Tensor out = MakeOp(r1 + b->rows(), a->cols(), {a, b},
-                      [a, b, r1](TensorImpl& self) {
-                        for (int r = 0; r < self.rows(); ++r) {
-                          for (int c = 0; c < self.cols(); ++c) {
-                            const float g = self.grad_at(r, c);
-                            if (r < r1) {
-                              if (a->requires_grad()) a->grad_at(r, c) += g;
-                            } else if (b->requires_grad()) {
-                              b->grad_at(r - r1, c) += g;
-                            }
-                          }
-                        }
-                      });
-  for (int r = 0; r < a->rows(); ++r) {
-    for (int c = 0; c < a->cols(); ++c) out->at(r, c) = a->at(r, c);
-  }
-  for (int r = 0; r < b->rows(); ++r) {
-    for (int c = 0; c < b->cols(); ++c) out->at(r1 + r, c) = b->at(r, c);
-  }
+  const int r1 = a->rows(), r2 = b->rows(), cols = a->cols();
+  Tensor out = MakeOp(
+      r1 + r2, cols,
+      [&] {
+        return [a, b, r1, r2, cols](TensorImpl& self) {
+          const float* g = self.grad().data();
+          if (a->requires_grad()) {
+            kernels::AddInto(a->grad().data(), g,
+                             r1 * cols);
+          }
+          if (b->requires_grad()) {
+            kernels::AddInto(b->grad().data(),
+                             g + static_cast<long>(r1) * cols, r2 * cols);
+          }
+        };
+      },
+      a, b);
+  float* ov = out->value().data();
+  kernels::AddInto(ov, a->value().data(), r1 * cols);
+  kernels::AddInto(ov + static_cast<long>(r1) * cols, b->value().data(),
+                   r2 * cols);
   return out;
 }
 
 Tensor SliceRows(const Tensor& a, int r0, int r1) {
   T2H_CHECK(0 <= r0 && r0 < r1 && r1 <= a->rows());
-  Tensor out = MakeOp(r1 - r0, a->cols(), {a}, [a, r0](TensorImpl& self) {
-    for (int r = 0; r < self.rows(); ++r) {
-      for (int c = 0; c < self.cols(); ++c) {
-        a->grad_at(r0 + r, c) += self.grad_at(r, c);
-      }
-    }
-  });
-  for (int r = 0; r < out->rows(); ++r) {
-    for (int c = 0; c < out->cols(); ++c) out->at(r, c) = a->at(r0 + r, c);
-  }
+  const int cols = a->cols();
+  Tensor out = MakeOp(
+      r1 - r0, cols,
+      [&] {
+        return [a, r0, cols](TensorImpl& self) {
+          kernels::AddInto(a->grad().data() + static_cast<long>(r0) * cols,
+                           self.grad().data(), self.rows() * cols);
+        };
+      },
+      a);
+  const float* __restrict av =
+      a->value().data() + static_cast<long>(r0) * cols;
+  float* __restrict ov = out->value().data();
+  const int n = (r1 - r0) * cols;
+  for (int i = 0; i < n; ++i) ov[i] = av[i];
   return out;
 }
 
 Tensor SliceCols(const Tensor& a, int c0, int c1) {
   T2H_CHECK(0 <= c0 && c0 < c1 && c1 <= a->cols());
-  Tensor out = MakeOp(a->rows(), c1 - c0, {a}, [a, c0](TensorImpl& self) {
-    for (int r = 0; r < self.rows(); ++r) {
-      for (int c = 0; c < self.cols(); ++c) {
-        a->grad_at(r, c0 + c) += self.grad_at(r, c);
-      }
-    }
-  });
-  for (int r = 0; r < out->rows(); ++r) {
-    for (int c = 0; c < out->cols(); ++c) out->at(r, c) = a->at(r, c0 + c);
+  const int rows = a->rows(), ac = a->cols(), oc = c1 - c0;
+  Tensor out = MakeOp(
+      rows, oc,
+      [&] {
+        return [a, c0, ac, oc](TensorImpl& self) {
+          const int rows = self.rows();
+          const float* g = self.grad().data();
+          float* ga = a->grad().data();
+          for (int r = 0; r < rows; ++r) {
+            kernels::AddInto(ga + static_cast<long>(r) * ac + c0,
+                             g + static_cast<long>(r) * oc, oc);
+          }
+        };
+      },
+      a);
+  const float* av = a->value().data();
+  float* ov = out->value().data();
+  for (int r = 0; r < rows; ++r) {
+    const float* __restrict arow = av + static_cast<long>(r) * ac + c0;
+    float* __restrict orow = ov + static_cast<long>(r) * oc;
+    for (int c = 0; c < oc; ++c) orow[c] = arow[c];
   }
   return out;
 }
 
 Tensor MeanRows(const Tensor& a) {
-  const float inv_n = 1.0f / static_cast<float>(a->rows());
-  Tensor out = MakeOp(1, a->cols(), {a}, [a, inv_n](TensorImpl& self) {
-    for (int r = 0; r < a->rows(); ++r) {
-      for (int c = 0; c < a->cols(); ++c) {
-        a->grad_at(r, c) += self.grad_at(0, c) * inv_n;
-      }
-    }
-  });
-  for (int c = 0; c < a->cols(); ++c) {
+  const int rows = a->rows(), cols = a->cols();
+  const float inv_n = 1.0f / static_cast<float>(rows);
+  Tensor out = MakeOp(
+      1, cols,
+      [&] {
+        return [a, inv_n](TensorImpl& self) {
+          const int rows = a->rows(), cols = a->cols();
+          const float* g = self.grad().data();
+          float* ga = a->grad().data();
+          for (int r = 0; r < rows; ++r) {
+            kernels::AxpyInto(ga + static_cast<long>(r) * cols, g, inv_n,
+                              cols);
+          }
+        };
+      },
+      a);
+  const float* av = a->value().data();
+  float* __restrict ov = out->value().data();
+  for (int c = 0; c < cols; ++c) {
+    // Column reduction with r ascending, matching the pre-kernel op.
     float acc = 0.0f;
-    for (int r = 0; r < a->rows(); ++r) acc += a->at(r, c);
-    out->at(0, c) = acc * inv_n;
+    for (int r = 0; r < rows; ++r) acc += av[static_cast<long>(r) * cols + c];
+    ov[c] = acc * inv_n;
   }
   return out;
 }
 
 Tensor SumAll(const Tensor& a) {
-  Tensor out = MakeOp(1, 1, {a}, [a](TensorImpl& self) {
-    const float g = self.grad()[0];
-    for (int i = 0; i < a->size(); ++i) a->grad()[i] += g;
-  });
+  Tensor out = MakeOp(
+      1, 1,
+      [&] {
+        return [a](TensorImpl& self) {
+          const float g = self.grad()[0];
+          const int n = a->size();
+          float* __restrict ga = a->grad().data();
+          for (int i = 0; i < n; ++i) ga[i] += g;
+        };
+      },
+      a);
   float acc = 0.0f;
   for (const float v : a->value()) acc += v;
   out->value()[0] = acc;
@@ -425,19 +576,27 @@ Tensor SumAll(const Tensor& a) {
 Tensor GatherRows(const Tensor& table, const std::vector<int>& indices) {
   T2H_CHECK(!indices.empty());
   for (const int i : indices) T2H_CHECK(i >= 0 && i < table->rows());
-  Tensor out = MakeOp(static_cast<int>(indices.size()), table->cols(),
-                      {table}, [table, indices](TensorImpl& self) {
-                        for (size_t r = 0; r < indices.size(); ++r) {
-                          for (int c = 0; c < self.cols(); ++c) {
-                            table->grad_at(indices[r], c) +=
-                                self.grad_at(static_cast<int>(r), c);
-                          }
-                        }
-                      });
+  const int cols = table->cols();
+  Tensor out = MakeOp(
+      static_cast<int>(indices.size()), cols,
+      [&] {
+        return [table, indices](TensorImpl& self) {
+          const int cols = self.cols();
+          const float* g = self.grad().data();
+          float* gt = table->grad().data();
+          for (size_t r = 0; r < indices.size(); ++r) {
+            kernels::AddInto(gt + static_cast<long>(indices[r]) * cols,
+                             g + static_cast<long>(r) * cols, cols);
+          }
+        };
+      },
+      table);
+  const float* tv = table->value().data();
+  float* ov = out->value().data();
   for (size_t r = 0; r < indices.size(); ++r) {
-    for (int c = 0; c < table->cols(); ++c) {
-      out->at(static_cast<int>(r), c) = table->at(indices[r], c);
-    }
+    const float* __restrict trow = tv + static_cast<long>(indices[r]) * cols;
+    float* __restrict orow = ov + static_cast<long>(r) * cols;
+    for (int c = 0; c < cols; ++c) orow[c] = trow[c];
   }
   return out;
 }

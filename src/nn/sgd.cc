@@ -19,9 +19,11 @@ void Sgd::Step() {
   double norm_sq = 0.0;
   for (size_t i = 0; i < params_.size(); ++i) {
     TensorImpl& p = *params_[i];
+    float* grad = p.grad().data();
+    const float* value = p.value().data();
     for (int j = 0; j < p.size(); ++j) {
-      p.grad()[j] += options_.weight_decay * p.value()[j];
-      norm_sq += static_cast<double>(p.grad()[j]) * p.grad()[j];
+      grad[j] += options_.weight_decay * value[j];
+      norm_sq += static_cast<double>(grad[j]) * grad[j];
     }
   }
   last_grad_norm_ = std::sqrt(norm_sq);
@@ -33,8 +35,9 @@ void Sgd::Step() {
   for (size_t i = 0; i < params_.size(); ++i) {
     TensorImpl& p = *params_[i];
     std::vector<float>& v = velocity_[i];
+    const float* grad = p.grad().data();
     for (int j = 0; j < p.size(); ++j) {
-      const float g = p.grad()[j] * scale;
+      const float g = grad[j] * scale;
       if (options_.momentum > 0.0f) {
         v[j] = options_.momentum * v[j] + g;
         p.value()[j] -= options_.lr * v[j];

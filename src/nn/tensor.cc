@@ -4,6 +4,46 @@
 
 namespace traj2hash::nn {
 
+thread_local GradSink* GradSink::current_ = nullptr;
+
+GradSink::GradSink(const std::vector<Tensor>& params) {
+  entries_.reserve(params.size());
+  index_.reserve(params.size());
+  for (const Tensor& p : params) {
+    if (index_.count(p.get())) continue;
+    index_.emplace(p.get(), entries_.size());
+    entries_.push_back(Entry{p.get(), {}});
+  }
+}
+
+std::vector<float>* GradSink::Redirect(TensorImpl* t) {
+  auto it = index_.find(t);
+  if (it == index_.end()) return nullptr;
+  Entry& e = entries_[it->second];
+  if (e.buffer.empty()) e.buffer.assign(t->value().size(), 0.0f);
+  return &e.buffer;
+}
+
+void GradSink::AccumulateInto() {
+  T2H_CHECK_MSG(current_ == nullptr,
+                "AccumulateInto must run outside any sink Scope");
+  for (Entry& e : entries_) {
+    if (e.buffer.empty()) continue;
+    std::vector<float>& g = e.tensor->grad();
+    for (size_t i = 0; i < g.size(); ++i) g[i] += e.buffer[i];
+  }
+}
+
+namespace {
+thread_local int no_grad_depth = 0;
+}  // namespace
+
+bool GradEnabled() { return no_grad_depth == 0; }
+
+NoGradGuard::NoGradGuard() { ++no_grad_depth; }
+
+NoGradGuard::~NoGradGuard() { --no_grad_depth; }
+
 Tensor MakeTensor(int rows, int cols, bool requires_grad) {
   return std::make_shared<TensorImpl>(rows, cols, requires_grad);
 }

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
@@ -15,6 +16,75 @@ class TensorImpl;
 /// return `Tensor`s; keeping a `Tensor` alive keeps the backward tape of its
 /// ancestors alive.
 using Tensor = std::shared_ptr<TensorImpl>;
+
+/// Redirects gradient writes for a fixed set of shared tensors (the model
+/// parameters) into private per-sink buffers, so independent loss subgraphs
+/// can run `Backward` concurrently without racing on parameter grads.
+///
+/// Protocol (trainer.cc): the main thread builds one GradSink per work unit
+/// over the same parameter list, each worker activates its unit's sink with
+/// a `Scope` for the duration of that unit's forward+backward, and the main
+/// thread then calls `AccumulateInto()` on every sink in unit order. Because
+/// the per-unit sums and the final reduction both happen in a fixed order,
+/// the resulting parameter grads are bit-identical for any thread count.
+///
+/// Tensors not registered in the sink (the unit-local tape) keep using their
+/// own grad storage, which is safe because no other unit can reach them.
+class GradSink {
+ public:
+  /// Registers `params` (in order) as the tensors whose grads are captured.
+  explicit GradSink(const std::vector<Tensor>& params);
+
+  GradSink(const GradSink&) = delete;
+  GradSink& operator=(const GradSink&) = delete;
+
+  /// Buffer for `t` if registered (allocated lazily, zero-filled), else
+  /// nullptr meaning "use the tensor's own grad".
+  std::vector<float>* Redirect(TensorImpl* t);
+
+  /// Adds every touched buffer into its tensor's real grad, in registration
+  /// order. Main-thread only; call once per sink.
+  void AccumulateInto();
+
+  /// The sink active on the calling thread, or nullptr.
+  static GradSink* Current() { return current_; }
+
+  /// Activates a sink on this thread for the lifetime of the scope.
+  class Scope {
+   public:
+    explicit Scope(GradSink* sink) : saved_(current_) { current_ = sink; }
+    ~Scope() { current_ = saved_; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    GradSink* saved_;
+  };
+
+ private:
+  struct Entry {
+    TensorImpl* tensor;
+    std::vector<float> buffer;  // empty until first Redirect hit
+  };
+  std::vector<Entry> entries_;
+  std::unordered_map<const TensorImpl*, size_t> index_;
+  static thread_local GradSink* current_;
+};
+
+/// True unless a NoGradGuard is active on this thread. Ops skip tape
+/// construction entirely (no parents vector, no backward closure, outputs
+/// with requires_grad=false) while disabled.
+bool GradEnabled();
+
+/// RAII inference mode: disables autograd tape recording on this thread for
+/// the guard's lifetime. Nestable.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+};
 
 /// A 2-D row-major float matrix participating in reverse-mode automatic
 /// differentiation.
@@ -44,12 +114,21 @@ class TensorImpl {
     return value_[static_cast<size_t>(r) * cols_ + c];
   }
   float& grad_at(int r, int c) {
-    return grad_[static_cast<size_t>(r) * cols_ + c];
+    return grad()[static_cast<size_t>(r) * cols_ + c];
   }
 
   std::vector<float>& value() { return value_; }
   const std::vector<float>& value() const { return value_; }
-  std::vector<float>& grad() { return grad_; }
+
+  /// Mutable grad access honours the thread's active GradSink, so backward
+  /// closures transparently write shared-parameter grads into per-unit
+  /// buffers. Hot loops should hoist this call out of per-element code.
+  std::vector<float>& grad() {
+    if (GradSink* sink = GradSink::Current()) {
+      if (std::vector<float>* buf = sink->Redirect(this)) return *buf;
+    }
+    return grad_;
+  }
   const std::vector<float>& grad() const { return grad_; }
 
   bool requires_grad() const { return requires_grad_; }

@@ -40,6 +40,9 @@ void HammingIndex::ProbeBucket(const Code& probe, std::vector<int>& out) const {
 std::vector<int> HammingIndex::ProbeWithinRadius2(const Code& query) const {
   T2H_CHECK_EQ(query.num_bits, num_bits_);
   std::vector<int> out;
+  // Most probes miss; pre-size past the small-vector growth steps so the
+  // common several-hit case does at most one allocation.
+  out.reserve(32);
   Code probe = query;
   // Radius 0.
   ProbeBucket(probe, out);
@@ -77,7 +80,10 @@ std::vector<Neighbor> HammingIndex::HybridTopK(const Code& query,
     ranked.push_back(
         {id, static_cast<double>(HammingDistance(codes_[id], query))});
   }
-  std::sort(ranked.begin(), ranked.end(), NeighborLess);
+  // NeighborLess is a total order (index breaks distance ties), so sorting
+  // just the k-prefix returns exactly the neighbours a full sort would.
+  std::partial_sort(ranked.begin(), ranked.begin() + k, ranked.end(),
+                    NeighborLess);
   ranked.resize(k);
   return ranked;
 }
@@ -140,9 +146,14 @@ std::vector<Neighbor> HammingIndex::LookupOnlyTopK(const Code& query, int k,
   }
   // Candidates were appended in radius order; ties within one radius are in
   // probe order — normalise to the (distance, index) order of the other
-  // strategies.
+  // strategies. Selecting before sorting keeps the k result identical (total
+  // order) while only ordering the survivors.
+  if (static_cast<int>(found.size()) > k) {
+    std::nth_element(found.begin(), found.begin() + (k - 1), found.end(),
+                     NeighborLess);
+    found.resize(k);
+  }
   std::sort(found.begin(), found.end(), NeighborLess);
-  if (static_cast<int>(found.size()) > k) found.resize(k);
   return found;
 }
 

@@ -2,47 +2,32 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
 #include "common/check.h"
 
 namespace traj2hash::search {
 namespace {
 
-/// Max-heap based top-k selection shared by both spaces, ordered by
-/// NeighborLess so results are deterministic (larger index counts as worse
-/// on distance ties).
-struct HeapEntry {
-  double distance;
-  int index;
-};
-
-struct WorseFirst {
-  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-    return NeighborLess({a.index, a.distance}, {b.index, b.distance});
-  }
-};
-
+/// Selection-based top-k shared by both spaces: materialise every distance,
+/// nth_element to split off the k best, then sort only those. This replaces
+/// a per-candidate heap (push/pop log k with branchy sift loops) with one
+/// tight distance loop plus an O(n) selection, and — because NeighborLess is
+/// a total order (index breaks distance ties) — returns exactly the
+/// neighbours the heap did, in the same order.
 template <typename DistanceAt>
 std::vector<Neighbor> TopKGeneric(int n, int k, DistanceAt dist_at) {
   k = std::min(k, n);
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, WorseFirst> heap;
-  for (int i = 0; i < n; ++i) {
-    const double d = dist_at(i);
-    if (static_cast<int>(heap.size()) < k) {
-      heap.push({d, i});
-    } else if (d < heap.top().distance ||
-               (d == heap.top().distance && i < heap.top().index)) {
-      heap.pop();
-      heap.push({d, i});
-    }
+  if (k <= 0) return {};
+  std::vector<Neighbor> all;
+  all.reserve(n);
+  for (int i = 0; i < n; ++i) all.push_back({i, dist_at(i)});
+  if (k < n) {
+    std::nth_element(all.begin(), all.begin() + (k - 1), all.end(),
+                     NeighborLess);
+    all.resize(k);
   }
-  std::vector<Neighbor> out(heap.size());
-  for (int pos = static_cast<int>(heap.size()) - 1; pos >= 0; --pos) {
-    out[pos] = {heap.top().index, heap.top().distance};
-    heap.pop();
-  }
-  return out;
+  std::sort(all.begin(), all.end(), NeighborLess);
+  return all;
 }
 
 }  // namespace

@@ -1,54 +1,14 @@
 #ifndef TRAJ2HASH_SERVE_THREAD_POOL_H_
 #define TRAJ2HASH_SERVE_THREAD_POOL_H_
 
-#include <condition_variable>
-#include <deque>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "common/thread_pool.h"
 
 namespace traj2hash::serve {
 
-/// Fixed-size worker pool with a FIFO task queue, built on std::thread +
-/// std::condition_variable only (no third-party dependencies). The pool is
-/// the concurrency substrate of the serving subsystem: `QueryEngine` uses it
-/// both to fan a single query out across shards and to run batched queries
-/// side by side.
-class ThreadPool {
- public:
-  /// Spawns `num_threads` workers (at least 1).
-  explicit ThreadPool(int num_threads);
-
-  /// Drains every already-submitted task, then joins the workers.
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  /// Enqueues one task for execution on some worker. Tasks must not throw.
-  void Submit(std::function<void()> task);
-
-  /// Submits all `tasks` and blocks until every one of them has finished.
-  /// Must not be called from inside a pool task: the caller would occupy a
-  /// worker slot while waiting on workers, which deadlocks when the pool is
-  /// fully occupied by such callers.
-  void RunAll(std::vector<std::function<void()>> tasks);
-
-  int num_threads() const { return static_cast<int>(workers_.size()); }
-
-  /// Tasks submitted but not yet started (for observability; racy by nature).
-  int queue_depth() const;
-
- private:
-  void WorkerLoop();
-
-  mutable std::mutex mu_;
-  std::condition_variable work_available_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
-};
+/// The pool now lives in common/ so the trainer and bulk encoders share the
+/// implementation; this alias keeps the original serve-side spelling (and
+/// every existing include) working unchanged.
+using ThreadPool = ::traj2hash::ThreadPool;
 
 }  // namespace traj2hash::serve
 

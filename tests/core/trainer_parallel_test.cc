@@ -1,0 +1,130 @@
+// Determinism contract of data-parallel training (TrainerOptions::
+// num_threads): at a fixed seed the entire optimisation trajectory — per-
+// epoch losses, validation scores, selected epoch, final parameters — must
+// be bit-identical for any thread count. Units reduce in fixed order and all
+// RNG draws stay on the main thread, so this is exact equality, not
+// tolerance comparison.
+
+#include "core/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "traj/synthetic.h"
+
+namespace traj2hash::core {
+namespace {
+
+struct Fixture {
+  Traj2HashConfig cfg;
+  std::vector<traj::Trajectory> corpus;
+  TrainingData data;
+};
+
+Fixture MakeFixture() {
+  Fixture f;
+  f.cfg.dim = 8;
+  f.cfg.num_blocks = 1;
+  f.cfg.num_heads = 2;
+  f.cfg.epochs = 2;
+  f.cfg.samples_per_anchor = 6;
+  f.cfg.batch_size = 8;
+
+  Rng rng(51);
+  traj::CityConfig city = traj::CityConfig::PortoLike();
+  city.max_points = 12;
+  f.corpus = GenerateTrips(city, 60, rng);
+  f.data.seeds.assign(f.corpus.begin(), f.corpus.begin() + 20);
+  f.data.seed_distances = dist::PairwiseMatrix(
+      f.data.seeds, dist::GetDistance(dist::Measure::kFrechet));
+  f.data.triplet_corpus = f.corpus;
+  // Validation exercises the pooled EmbedAll path and epoch selection.
+  f.data.val_queries.assign(f.data.seeds.begin(), f.data.seeds.begin() + 6);
+  f.data.val_db = f.data.seeds;
+  f.data.val_truth =
+      eval::ExactTopK(f.data.val_queries, f.data.val_db,
+                      dist::GetDistance(dist::Measure::kFrechet), 20);
+  return f;
+}
+
+struct RunOutput {
+  TrainReport report;
+  std::vector<std::vector<float>> final_embeddings;
+};
+
+RunOutput RunFit(const Fixture& f, int num_threads) {
+  // Fresh RNGs with fixed seeds: both model init and the training stream are
+  // identical across calls, so any divergence comes from threading.
+  Rng rng(91);
+  auto model = std::move(Traj2Hash::Create(f.cfg, f.corpus, rng).value());
+  // Grids deliberately NOT pre-trained/frozen: gradients then flow into the
+  // decomposed grid tables, covering sink registration of every parameter.
+  TrainerOptions options;
+  options.triplets_per_step = 4;
+  options.refine_epochs = 2;
+  options.num_threads = num_threads;
+  Trainer trainer(model.get(), options);
+  auto report = trainer.Fit(f.data, rng);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return {std::move(report).value(), EmbedAll(*model, f.data.seeds)};
+}
+
+TEST(TrainerParallelTest, LossTrajectoryBitIdenticalAcrossThreadCounts) {
+  const Fixture f = MakeFixture();
+  const RunOutput serial = RunFit(f, 1);
+  const RunOutput pooled = RunFit(f, 4);
+
+  ASSERT_EQ(serial.report.epochs.size(), pooled.report.epochs.size());
+  for (size_t e = 0; e < serial.report.epochs.size(); ++e) {
+    const EpochStats& a = serial.report.epochs[e];
+    const EpochStats& b = pooled.report.epochs[e];
+    // Exact float equality is the contract, not a tolerance.
+    EXPECT_EQ(a.wmse, b.wmse) << "epoch " << e;
+    EXPECT_EQ(a.rank_loss, b.rank_loss) << "epoch " << e;
+    EXPECT_EQ(a.triplet_loss, b.triplet_loss) << "epoch " << e;
+    EXPECT_EQ(a.val_hr10, b.val_hr10) << "epoch " << e;
+    EXPECT_EQ(a.val_hamming_hr10, b.val_hamming_hr10) << "epoch " << e;
+  }
+  EXPECT_EQ(serial.report.best_epoch, pooled.report.best_epoch);
+  EXPECT_EQ(serial.report.best_val_hr10, pooled.report.best_val_hr10);
+  EXPECT_EQ(serial.report.num_triplets_used, pooled.report.num_triplets_used);
+
+  ASSERT_EQ(serial.final_embeddings.size(), pooled.final_embeddings.size());
+  for (size_t i = 0; i < serial.final_embeddings.size(); ++i) {
+    EXPECT_EQ(serial.final_embeddings[i], pooled.final_embeddings[i])
+        << "embedding " << i;
+  }
+}
+
+TEST(TrainerParallelTest, TwoThreadsAlsoMatchSerial) {
+  const Fixture f = MakeFixture();
+  const RunOutput serial = RunFit(f, 1);
+  const RunOutput pooled = RunFit(f, 2);
+  ASSERT_EQ(serial.report.epochs.size(), pooled.report.epochs.size());
+  EXPECT_EQ(serial.report.epochs.back().wmse,
+            pooled.report.epochs.back().wmse);
+  EXPECT_EQ(serial.final_embeddings, pooled.final_embeddings);
+}
+
+TEST(EmbedBatchTest, PooledBatchEncodeMatchesSerial) {
+  Fixture f = MakeFixture();
+  Rng rng(17);
+  auto model = std::move(Traj2Hash::Create(f.cfg, f.corpus, rng).value());
+  ThreadPool pool(4);
+  const auto serial = model->EmbedBatch(f.corpus, nullptr);
+  const auto pooled = model->EmbedBatch(f.corpus, &pool);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], pooled[i]) << "trajectory " << i;
+  }
+  // HashAll rides the same path; codes must agree bit-for-bit too.
+  const auto codes_serial = HashAll(*model, f.corpus);
+  const auto codes_pooled = HashAll(*model, f.corpus, &pool);
+  ASSERT_EQ(codes_serial.size(), codes_pooled.size());
+  for (size_t i = 0; i < codes_serial.size(); ++i) {
+    EXPECT_EQ(codes_serial[i].words, codes_pooled[i].words);
+  }
+}
+
+}  // namespace
+}  // namespace traj2hash::core

@@ -1,0 +1,349 @@
+// Regression tests for the raw-pointer micro-kernels (nn/kernels.h) and the
+// ops rewritten on top of them.
+//
+// Three layers of protection:
+//  - bit-identity of each matmul kernel against the naive reference loops it
+//    replaced (the blocking must not change any accumulation order);
+//  - finite-difference gradient checks of every kernel-backed op across
+//    square, non-square and degenerate [1, d] shapes;
+//  - the GradSink / NoGradGuard machinery the data-parallel trainer relies
+//    on (redirection, fixed-order reduction, tape suppression).
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/grad_check.h"
+#include "nn/kernels.h"
+#include "nn/ops.h"
+
+namespace traj2hash::nn {
+namespace {
+
+constexpr double kTol = 2e-2;  // float forward + 1e-3 step central diff
+
+Tensor RandomTensor(int rows, int cols, Rng& rng, bool requires_grad = true,
+                    float scale = 1.0f) {
+  Tensor t = MakeTensor(rows, cols, requires_grad);
+  for (float& v : t->value()) {
+    v = static_cast<float>(rng.Uniform(-scale, scale));
+  }
+  return t;
+}
+
+/// Reduces any tensor to a scalar with non-uniform weights, so gradient
+/// errors cannot cancel out.
+Tensor WeightedSum(const Tensor& t) {
+  Tensor weights = MakeTensor(t->rows(), t->cols(), false);
+  for (int i = 0; i < weights->size(); ++i) {
+    weights->value()[i] = 0.1f * static_cast<float>(i + 1);
+  }
+  return SumAll(Mul(t, weights));
+}
+
+std::vector<float> RandomVec(size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Kernel bit-identity vs the naive reference loops.
+// ---------------------------------------------------------------------------
+
+class MatMulKernelIdentityTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulKernelIdentityTest, ForwardMatchesNaiveBitForBit) {
+  const auto [n, k, m] = GetParam();
+  Rng rng(11);
+  const std::vector<float> a = RandomVec(static_cast<size_t>(n) * k, rng);
+  const std::vector<float> b = RandomVec(static_cast<size_t>(k) * m, rng);
+  std::vector<float> c_kernel(static_cast<size_t>(n) * m, 0.0f);
+  std::vector<float> c_naive(c_kernel);
+  kernels::MatMulAccum(a.data(), b.data(), c_kernel.data(), n, k, m);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      float acc = 0.0f;
+      for (int c = 0; c < k; ++c) {
+        acc += a[static_cast<size_t>(i) * k + c] *
+               b[static_cast<size_t>(c) * m + j];
+      }
+      c_naive[static_cast<size_t>(i) * m + j] = acc;
+    }
+  }
+  for (size_t i = 0; i < c_naive.size(); ++i) {
+    ASSERT_EQ(c_kernel[i], c_naive[i]) << "element " << i;
+  }
+}
+
+TEST_P(MatMulKernelIdentityTest, GradAMatchesNaiveBitForBit) {
+  const auto [n, k, m] = GetParam();
+  Rng rng(12);
+  const std::vector<float> dc = RandomVec(static_cast<size_t>(n) * m, rng);
+  const std::vector<float> b = RandomVec(static_cast<size_t>(k) * m, rng);
+  // Non-zero starting grads: accumulation (+=) must also match.
+  std::vector<float> da_kernel = RandomVec(static_cast<size_t>(n) * k, rng);
+  std::vector<float> da_naive(da_kernel);
+  kernels::MatMulGradA(dc.data(), b.data(), da_kernel.data(), n, k, m);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < k; ++j) {
+      float acc = 0.0f;
+      for (int c = 0; c < m; ++c) {
+        acc += dc[static_cast<size_t>(i) * m + c] *
+               b[static_cast<size_t>(j) * m + c];
+      }
+      da_naive[static_cast<size_t>(i) * k + j] += acc;
+    }
+  }
+  for (size_t i = 0; i < da_naive.size(); ++i) {
+    ASSERT_EQ(da_kernel[i], da_naive[i]) << "element " << i;
+  }
+}
+
+TEST_P(MatMulKernelIdentityTest, GradBMatchesAxpyReferenceBitForBit) {
+  const auto [n, k, m] = GetParam();
+  Rng rng(13);
+  const std::vector<float> a = RandomVec(static_cast<size_t>(n) * k, rng);
+  const std::vector<float> dc = RandomVec(static_cast<size_t>(n) * m, rng);
+  std::vector<float> db_kernel = RandomVec(static_cast<size_t>(k) * m, rng);
+  std::vector<float> db_naive(db_kernel);
+  kernels::MatMulGradB(a.data(), dc.data(), db_kernel.data(), n, k, m);
+  // Reference: rank-1 accumulation with r ascending (the kernel's contract).
+  for (int r = 0; r < n; ++r) {
+    for (int i = 0; i < k; ++i) {
+      for (int j = 0; j < m; ++j) {
+        db_naive[static_cast<size_t>(i) * m + j] +=
+            a[static_cast<size_t>(r) * k + i] *
+            dc[static_cast<size_t>(r) * m + j];
+      }
+    }
+  }
+  for (size_t i = 0; i < db_naive.size(); ++i) {
+    ASSERT_EQ(db_kernel[i], db_naive[i]) << "element " << i;
+  }
+}
+
+// Shapes straddle the column-tile width (128) so both the full-tile and
+// remainder paths run, plus degenerate single-row/column cases.
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulKernelIdentityTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 16, 128),
+                      std::make_tuple(3, 5, 7), std::make_tuple(8, 128, 8),
+                      std::make_tuple(17, 31, 129),
+                      std::make_tuple(4, 200, 300)));
+
+// ---------------------------------------------------------------------------
+// Gradient checks of the kernel-backed ops across shapes, including
+// non-square and [1, d].
+// ---------------------------------------------------------------------------
+
+struct Shape {
+  int rows;
+  int cols;
+};
+
+class KernelOpGradTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(KernelOpGradTest, MatMulGradA) {
+  const Shape s = GetParam();
+  Rng rng(21);
+  const Tensor p = RandomTensor(s.rows, s.cols, rng);
+  const Tensor o = RandomTensor(s.cols, 3, rng, false);
+  EXPECT_LT(MaxGradError(p, [&] { return WeightedSum(MatMul(p, o)); }), kTol);
+}
+
+TEST_P(KernelOpGradTest, MatMulGradB) {
+  const Shape s = GetParam();
+  Rng rng(22);
+  const Tensor p = RandomTensor(s.rows, s.cols, rng);
+  const Tensor o = RandomTensor(3, s.rows, rng, false);
+  EXPECT_LT(MaxGradError(p, [&] { return WeightedSum(MatMul(o, p)); }), kTol);
+}
+
+TEST_P(KernelOpGradTest, MatMulBothSides) {
+  const Shape s = GetParam();
+  Rng rng(23);
+  const Tensor p = RandomTensor(s.rows, s.cols, rng);
+  const Tensor q = RandomTensor(s.cols, s.rows, rng);
+  EXPECT_LT(MaxGradError(p, [&] { return WeightedSum(MatMul(p, q)); }), kTol);
+  EXPECT_LT(MaxGradError(q, [&] { return WeightedSum(MatMul(p, q)); }), kTol);
+}
+
+TEST_P(KernelOpGradTest, ElementwiseOps) {
+  const Shape s = GetParam();
+  Rng rng(24);
+  const Tensor p = RandomTensor(s.rows, s.cols, rng);
+  const Tensor o = RandomTensor(s.rows, s.cols, rng, false);
+  // Div needs a divisor bounded away from zero.
+  Tensor divisor = MakeTensor(s.rows, s.cols, false);
+  for (int i = 0; i < divisor->size(); ++i) {
+    divisor->value()[i] = 1.5f + 0.1f * static_cast<float>(i % 7);
+  }
+  EXPECT_LT(MaxGradError(p, [&] { return WeightedSum(Add(p, o)); }), kTol);
+  EXPECT_LT(MaxGradError(p, [&] { return WeightedSum(Sub(o, p)); }), kTol);
+  EXPECT_LT(MaxGradError(p, [&] { return WeightedSum(Mul(p, o)); }), kTol);
+  EXPECT_LT(MaxGradError(p, [&] { return WeightedSum(Div(p, divisor)); }),
+            kTol);
+  EXPECT_LT(MaxGradError(p, [&] { return WeightedSum(Scale(p, -1.7f)); }),
+            kTol);
+  EXPECT_LT(MaxGradError(p, [&] { return WeightedSum(AddScalar(p, 0.3f)); }),
+            kTol);
+}
+
+TEST_P(KernelOpGradTest, RowBroadcastAndSoftmax) {
+  const Shape s = GetParam();
+  Rng rng(25);
+  const Tensor p = RandomTensor(s.rows, s.cols, rng);
+  const Tensor row = RandomTensor(1, s.cols, rng);
+  EXPECT_LT(
+      MaxGradError(p, [&] { return WeightedSum(AddRowBroadcast(p, row)); }),
+      kTol);
+  EXPECT_LT(
+      MaxGradError(row, [&] { return WeightedSum(AddRowBroadcast(p, row)); }),
+      kTol);
+  EXPECT_LT(MaxGradError(p, [&] { return WeightedSum(SoftmaxRows(p)); }),
+            kTol);
+}
+
+TEST_P(KernelOpGradTest, StructuralOps) {
+  const Shape s = GetParam();
+  Rng rng(26);
+  const Tensor p = RandomTensor(s.rows, s.cols, rng);
+  const Tensor o = RandomTensor(s.rows, s.cols, rng, false);
+  EXPECT_LT(MaxGradError(p, [&] { return WeightedSum(Transpose(p)); }), kTol);
+  EXPECT_LT(MaxGradError(p, [&] { return WeightedSum(ConcatCols(p, o)); }),
+            kTol);
+  EXPECT_LT(MaxGradError(p, [&] { return WeightedSum(ConcatRows(o, p)); }),
+            kTol);
+  EXPECT_LT(MaxGradError(p, [&] { return WeightedSum(MeanRows(p)); }), kTol);
+  EXPECT_LT(MaxGradError(
+                p, [&] { return WeightedSum(SliceCols(p, 0, p->cols())); }),
+            kTol);
+  if (s.rows > 1) {
+    EXPECT_LT(
+        MaxGradError(p, [&] { return WeightedSum(SliceRows(p, 1, p->rows())); }),
+        kTol);
+  }
+  // Gather with a repeated index: grads must accumulate per table row.
+  const std::vector<int> idx = {0, s.rows - 1, 0};
+  EXPECT_LT(MaxGradError(p, [&] { return WeightedSum(GatherRows(p, idx)); }),
+            kTol);
+}
+
+TEST_P(KernelOpGradTest, NormalizeAndScaleByScalar) {
+  const Shape s = GetParam();
+  Rng rng(27);
+  const Tensor p = RandomTensor(s.rows, s.cols, rng);
+  const Tensor scalar = RandomTensor(1, 1, rng);
+  if (s.cols > 1) {
+    EXPECT_LT(MaxGradError(p, [&] { return WeightedSum(NormalizeRows(p)); }),
+              kTol);
+  }
+  EXPECT_LT(
+      MaxGradError(p, [&] { return WeightedSum(ScaleByScalar(p, scalar)); }),
+      kTol);
+  EXPECT_LT(
+      MaxGradError(scalar,
+                   [&] { return WeightedSum(ScaleByScalar(p, scalar)); }),
+      kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, KernelOpGradTest,
+                         ::testing::Values(Shape{4, 4},      // square
+                                           Shape{3, 7},      // non-square
+                                           Shape{5, 2},      // tall
+                                           Shape{1, 16}));   // [1, d]
+
+// ---------------------------------------------------------------------------
+// GradSink: redirection and fixed-order reduction.
+// ---------------------------------------------------------------------------
+
+TEST(GradSinkTest, RedirectsRegisteredParamAndLeavesOthersAlone) {
+  Rng rng(31);
+  const Tensor w = RandomTensor(2, 3, rng);
+  GradSink sink({w});
+  {
+    GradSink::Scope scope(&sink);
+    Backward(SumAll(Scale(w, 2.0f)));
+  }
+  // Inside the scope the real grad stayed untouched.
+  for (const float g : std::as_const(*w).grad()) EXPECT_EQ(g, 0.0f);
+  sink.AccumulateInto();
+  for (const float g : std::as_const(*w).grad()) EXPECT_EQ(g, 2.0f);
+}
+
+TEST(GradSinkTest, PerUnitSinksReduceLikeSerialAccumulation) {
+  Rng rng(32);
+  const Tensor w = RandomTensor(3, 3, rng);
+  const Tensor x = RandomTensor(3, 3, rng, false);
+
+  // Reference: two backward passes accumulating directly.
+  auto loss = [&](float s) { return SumAll(Mul(Scale(w, s), x)); };
+  Backward(loss(1.0f));
+  Backward(loss(2.0f));
+  const std::vector<float> expected = std::as_const(*w).grad();
+  w->ZeroGrad();
+
+  GradSink s1({w}), s2({w});
+  {
+    GradSink::Scope scope(&s1);
+    Backward(loss(1.0f));
+  }
+  {
+    GradSink::Scope scope(&s2);
+    Backward(loss(2.0f));
+  }
+  s1.AccumulateInto();
+  s2.AccumulateInto();
+  EXPECT_EQ(std::as_const(*w).grad(), expected);
+}
+
+// ---------------------------------------------------------------------------
+// NoGradGuard + lazy MakeOp: no tape without grad-requiring parents.
+// ---------------------------------------------------------------------------
+
+TEST(NoGradTest, GuardSuppressesTapeConstruction) {
+  Rng rng(41);
+  const Tensor w = RandomTensor(2, 2, rng);
+  {
+    NoGradGuard no_grad;
+    EXPECT_FALSE(GradEnabled());
+    const Tensor out = MatMul(w, w);
+    EXPECT_FALSE(out->requires_grad());
+    EXPECT_TRUE(out->parents().empty());
+    EXPECT_FALSE(static_cast<bool>(out->backward_fn()));
+  }
+  EXPECT_TRUE(GradEnabled());
+  const Tensor taped = MatMul(w, w);
+  EXPECT_TRUE(taped->requires_grad());
+  EXPECT_EQ(taped->parents().size(), 2u);
+  EXPECT_TRUE(static_cast<bool>(taped->backward_fn()));
+}
+
+TEST(NoGradTest, GuardedForwardValuesMatchTapedForward) {
+  Rng rng(42);
+  const Tensor a = RandomTensor(3, 5, rng);
+  const Tensor b = RandomTensor(5, 4, rng);
+  const Tensor taped = SoftmaxRows(MatMul(a, b));
+  Tensor untaped;
+  {
+    NoGradGuard no_grad;
+    untaped = SoftmaxRows(MatMul(a, b));
+  }
+  EXPECT_EQ(taped->value(), untaped->value());
+}
+
+TEST(NoGradTest, NonGradParentsBuildNoTapeEitherWay) {
+  const Tensor a = Constant(2, 2, 1.0f);
+  const Tensor b = Constant(2, 2, 2.0f);
+  const Tensor out = Add(a, b);
+  EXPECT_FALSE(out->requires_grad());
+  EXPECT_TRUE(out->parents().empty());
+  EXPECT_FALSE(static_cast<bool>(out->backward_fn()));
+}
+
+}  // namespace
+}  // namespace traj2hash::nn

@@ -90,7 +90,8 @@ int Usage() {
                " [--max-points N] [--seed S]\n"
                "  train    --data F --out MODEL [--measure frechet|hausdorff"
                "|dtw]\n"
-               "           [--seeds N] [--epochs N] [--dim D] [--seed S]\n"
+               "           [--seeds N] [--epochs N] [--dim D] [--seed S]"
+               " [--threads T]\n"
                "  query    --data F --model MODEL --query-id ID [--k K]\n"
                "           [--space euclid|hamming|hybrid] [--dim D]"
                " [--seed S]\n"
@@ -178,9 +179,13 @@ int RunTrain(const Args& args) {
   data.seeds = seeds;
   data.seed_distances = distances;
   data.triplet_corpus = corpus;
-  std::printf("training (%d epochs + refinement)...\n",
-              model->config().epochs);
-  t2h::core::Trainer trainer(model.get());
+  const int threads = args.GetInt("threads", 1);
+  if (threads < 1) return Fail("--threads must be positive");
+  std::printf("training (%d epochs + refinement, %d thread%s)...\n",
+              model->config().epochs, threads, threads == 1 ? "" : "s");
+  t2h::core::TrainerOptions trainer_options;
+  trainer_options.num_threads = threads;
+  t2h::core::Trainer trainer(model.get(), trainer_options);
   const auto report = trainer.Fit(data, rng);
   if (!report.ok()) return Fail(report.status().ToString());
   if (const t2h::Status s = model->Save(out); !s.ok()) {
@@ -324,7 +329,8 @@ int main(int argc, char** argv) {
   static const std::map<std::string, std::set<std::string>> kKnownFlags = {
       {"generate", {"out", "city", "count", "max-points", "seed"}},
       {"train",
-       {"data", "out", "measure", "seeds", "epochs", "dim", "seed"}},
+       {"data", "out", "measure", "seeds", "epochs", "dim", "seed",
+        "threads"}},
       {"query",
        {"data", "model", "query-id", "k", "space", "dim", "seed"}},
       {"distance", {"data", "a", "b"}},
