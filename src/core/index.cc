@@ -4,21 +4,35 @@
 
 namespace traj2hash::core {
 
-TrajectoryIndex::TrajectoryIndex(const Traj2Hash* model) : model_(model) {
+TrajectoryIndex::TrajectoryIndex(const Traj2Hash* model,
+                                 search::SearchStrategy strategy,
+                                 int mih_substrings)
+    : model_(model), strategy_(strategy), mih_substrings_(mih_substrings) {
   T2H_CHECK(model != nullptr);
 }
 
 int TrajectoryIndex::Add(const traj::Trajectory& t) {
-  const int id = static_cast<int>(embeddings_.size());
   std::vector<float> embedding = model_->Embed(t);
   search::Code code = search::PackSigns(embedding);
-  if (hamming_ == nullptr) {
-    // Cold start: the code width (= config dim) is only certain once the
-    // first embedding exists.
-    hamming_ = std::make_unique<search::HammingIndex>(code.num_bits);
+  if (embeddings_ == nullptr) {
+    // Cold start: the embedding / code width (= config dim) is only certain
+    // once the first embedding exists.
+    embeddings_ = std::make_unique<search::FlatMatrix>(
+        static_cast<int>(embedding.size()));
+    if (strategy_ == search::SearchStrategy::kMih) {
+      mih_ = std::make_unique<search::MihIndex>(code.num_bits,
+                                                mih_substrings_);
+    } else {
+      hamming_ = std::make_unique<search::HammingIndex>(code.num_bits);
+    }
   }
-  embeddings_.push_back(std::move(embedding));
-  hamming_->Insert(std::move(code));
+  const int id = embeddings_->Append(embedding);
+  if (mih_ != nullptr) {
+    mih_->Insert(code);
+  } else {
+    hamming_->Insert(std::move(code));
+  }
+  ++size_;
   return id;
 }
 
@@ -28,14 +42,24 @@ void TrajectoryIndex::AddAll(const std::vector<traj::Trajectory>& ts) {
 
 std::vector<search::Neighbor> TrajectoryIndex::QueryEuclidean(
     const traj::Trajectory& query, int k) const {
-  T2H_CHECK_MSG(!embeddings_.empty(), "index is empty");
-  return search::TopKEuclidean(embeddings_, model_->Embed(query), k);
+  T2H_CHECK_MSG(embeddings_ != nullptr, "index is empty");
+  return search::TopKEuclidean(*embeddings_, model_->Embed(query), k);
 }
 
 std::vector<search::Neighbor> TrajectoryIndex::QueryHamming(
     const traj::Trajectory& query, int k) const {
-  T2H_CHECK_MSG(hamming_ != nullptr, "index is empty");
-  return hamming_->HybridTopK(model_->HashCode(query), k);
+  T2H_CHECK_MSG(embeddings_ != nullptr, "index is empty");
+  const search::Code code = model_->HashCode(query);
+  switch (strategy_) {
+    case search::SearchStrategy::kBrute:
+      return hamming_->BruteForceTopK(code, k);
+    case search::SearchStrategy::kRadius2:
+      return hamming_->HybridTopK(code, k);
+    case search::SearchStrategy::kMih:
+      return mih_->TopK(code, k);
+  }
+  T2H_CHECK_MSG(false, "unreachable strategy");
+  return {};
 }
 
 }  // namespace traj2hash::core

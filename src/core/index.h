@@ -4,25 +4,35 @@
 #include <memory>
 #include <vector>
 
+#include "common/check.h"
 #include "core/model.h"
+#include "search/flat_storage.h"
 #include "search/hamming_index.h"
 #include "search/knn.h"
+#include "search/mih.h"
+#include "search/strategy.h"
 
 namespace traj2hash::core {
 
 /// Convenience façade for serving a live trajectory database with a trained
 /// Traj2Hash model: trajectories are embedded and hashed once on insertion,
 /// and queries run against either space without touching the raw
-/// trajectories again.
+/// trajectories again. Embeddings live in a flat row-major matrix and codes
+/// in the selected Hamming engine (`search::SearchStrategy`); all strategies
+/// return bit-identical results, so the choice is purely a speed knob.
 ///
-///   TrajectoryIndex index(model.get());
+///   TrajectoryIndex index(model.get());            // MIH engine (default)
 ///   index.AddAll(database);
-///   auto hits = index.QueryHamming(query, 10);   // Hamming-Hybrid
+///   auto hits = index.QueryHamming(query, 10);
 ///   auto exact = index.QueryEuclidean(query, 10);  // latent-space BF
 class TrajectoryIndex {
  public:
-  /// `model` must be trained and outlive the index.
-  explicit TrajectoryIndex(const Traj2Hash* model);
+  /// `model` must be trained and outlive the index. `mih_substrings` tunes
+  /// the MIH substring count (0 = ceil(B/16)); ignored by other strategies.
+  explicit TrajectoryIndex(
+      const Traj2Hash* model,
+      search::SearchStrategy strategy = search::SearchStrategy::kMih,
+      int mih_substrings = 0);
 
   /// Embeds, hashes and stores one trajectory; returns its id (insertion
   /// order, the index used in query results).
@@ -31,27 +41,37 @@ class TrajectoryIndex {
   /// Bulk insertion.
   void AddAll(const std::vector<traj::Trajectory>& ts);
 
-  /// Top-k by Euclidean distance between embeddings (brute force over the
-  /// stored vectors).
+  /// Top-k by Euclidean distance between embeddings (blocked brute-force
+  /// scan over the flat matrix).
   std::vector<search::Neighbor> QueryEuclidean(const traj::Trajectory& query,
                                                int k) const;
 
-  /// Top-k by Hamming distance using the Hamming-Hybrid strategy (§V-E).
+  /// Top-k by Hamming distance through the configured strategy; results are
+  /// identical across strategies (§V-E exactness, DESIGN.md §9).
   std::vector<search::Neighbor> QueryHamming(const traj::Trajectory& query,
                                              int k) const;
 
-  int size() const { return static_cast<int>(embeddings_.size()); }
+  search::SearchStrategy strategy() const { return strategy_; }
 
-  const std::vector<std::vector<float>>& embeddings() const {
-    return embeddings_;
+  int size() const { return size_; }
+
+  /// Flat row-major view of the stored embeddings.
+  const search::FlatMatrix& embeddings() const {
+    T2H_CHECK_MSG(embeddings_ != nullptr, "index is empty");
+    return *embeddings_;
   }
 
  private:
   const Traj2Hash* model_;
-  std::vector<std::vector<float>> embeddings_;
-  // Created cold (empty) on the first insertion, when the code width is
-  // known; extended incrementally afterwards.
+  const search::SearchStrategy strategy_;
+  const int mih_substrings_;
+  int size_ = 0;
+  // Created cold (empty) on the first insertion, when the embedding width /
+  // code width is known; extended incrementally afterwards. Exactly one of
+  // hamming_/mih_ is live, matching `strategy_`.
+  std::unique_ptr<search::FlatMatrix> embeddings_;
   std::unique_ptr<search::HammingIndex> hamming_;
+  std::unique_ptr<search::MihIndex> mih_;
 };
 
 }  // namespace traj2hash::core

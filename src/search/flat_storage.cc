@@ -1,0 +1,57 @@
+#include "search/flat_storage.h"
+
+#include "common/check.h"
+
+namespace traj2hash::search {
+
+PackedCodes::PackedCodes(int num_bits)
+    : num_bits_(num_bits), words_per_code_((num_bits + 63) / 64) {
+  T2H_CHECK_GT(num_bits, 0);
+}
+
+PackedCodes PackedCodes::FromCodes(const std::vector<Code>& codes) {
+  T2H_CHECK_MSG(!codes.empty(),
+                "use PackedCodes(int num_bits) to start empty");
+  PackedCodes packed(codes[0].num_bits);
+  packed.words_.reserve(codes.size() * packed.words_per_code_);
+  for (const Code& code : codes) packed.Append(code);
+  return packed;
+}
+
+int PackedCodes::Append(const Code& code) {
+  T2H_CHECK_EQ(code.num_bits, num_bits_);
+  T2H_CHECK_EQ(static_cast<int>(code.words.size()), words_per_code_);
+  words_.insert(words_.end(), code.words.begin(), code.words.end());
+  return num_codes_++;
+}
+
+Code PackedCodes::CodeAt(int i) const {
+  T2H_CHECK(i >= 0 && i < num_codes_);
+  Code code;
+  code.num_bits = num_bits_;
+  code.words.assign(row(i), row(i) + words_per_code_);
+  return code;
+}
+
+FlatMatrix::FlatMatrix(int cols) : cols_(cols) { T2H_CHECK_GT(cols, 0); }
+
+FlatMatrix FlatMatrix::FromRows(const std::vector<std::vector<float>>& rows,
+                                int cols) {
+  FlatMatrix m(cols);
+  m.data_.reserve(rows.size() * static_cast<size_t>(cols));
+  for (const std::vector<float>& row : rows) m.Append(row);
+  return m;
+}
+
+int FlatMatrix::Append(const std::vector<float>& row) {
+  T2H_CHECK_EQ(static_cast<int>(row.size()), cols_);
+  data_.insert(data_.end(), row.begin(), row.end());
+  return num_rows_++;
+}
+
+std::vector<float> FlatMatrix::RowAt(int i) const {
+  T2H_CHECK(i >= 0 && i < num_rows_);
+  return std::vector<float>(row(i), row(i) + cols_);
+}
+
+}  // namespace traj2hash::search

@@ -1,0 +1,85 @@
+#ifndef TRAJ2HASH_SEARCH_FLAT_STORAGE_H_
+#define TRAJ2HASH_SEARCH_FLAT_STORAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "search/code.h"
+
+namespace traj2hash::search {
+
+/// Contiguous row-major storage for equal-width binary codes: row i occupies
+/// words [i*words_per_code, (i+1)*words_per_code). Replaces `vector<Code>`
+/// (one heap allocation + pointer chase per code) on every scan path, so the
+/// blocked kernels in search/kernels.h stream the whole database with unit
+/// stride.
+class PackedCodes {
+ public:
+  /// Empty storage for `num_bits`-bit codes (cold start, grows via Append).
+  explicit PackedCodes(int num_bits);
+
+  /// Packs a whole database at once; all codes must share one width.
+  static PackedCodes FromCodes(const std::vector<Code>& codes);
+
+  /// Appends one code (width-checked); returns its row id.
+  int Append(const Code& code);
+
+  /// First word of row `i`; the row is `words_per_code()` contiguous words.
+  const uint64_t* row(int i) const {
+    return words_.data() + static_cast<size_t>(i) * words_per_code_;
+  }
+
+  /// Materialises row `i` back into an owning Code (off the hot path).
+  Code CodeAt(int i) const;
+
+  /// All rows, contiguous (size() * words_per_code() words).
+  const uint64_t* data() const { return words_.data(); }
+
+  int size() const { return num_codes_; }
+  int num_bits() const { return num_bits_; }
+  int words_per_code() const { return words_per_code_; }
+
+ private:
+  int num_bits_ = 0;
+  int words_per_code_ = 0;
+  int num_codes_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Contiguous row-major float matrix for embedding databases: the flat
+/// counterpart of `vector<vector<float>>`, sized once per row append so the
+/// squared-L2 scan kernel reads one dense block.
+class FlatMatrix {
+ public:
+  /// Empty matrix with `cols` columns (grows via Append).
+  explicit FlatMatrix(int cols);
+
+  /// Flattens a nested row store; every row must have equal length.
+  /// `rows` may be empty only if cols is recoverable — pass the width.
+  static FlatMatrix FromRows(const std::vector<std::vector<float>>& rows,
+                             int cols);
+
+  /// Appends one row (length-checked); returns its row id.
+  int Append(const std::vector<float>& row);
+
+  const float* row(int i) const {
+    return data_.data() + static_cast<size_t>(i) * cols_;
+  }
+
+  /// Copies row `i` back out (accessors / tests, not the scan path).
+  std::vector<float> RowAt(int i) const;
+
+  const float* data() const { return data_.data(); }
+  int rows() const { return num_rows_; }
+  int cols() const { return cols_; }
+
+ private:
+  int cols_ = 0;
+  int num_rows_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace traj2hash::search
+
+#endif  // TRAJ2HASH_SEARCH_FLAT_STORAGE_H_

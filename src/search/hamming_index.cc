@@ -3,37 +3,80 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "search/kernels.h"
 
 namespace traj2hash::search {
+namespace {
 
-HammingIndex::HammingIndex(std::vector<Code> codes)
-    : codes_(std::move(codes)) {
-  T2H_CHECK_MSG(!codes_.empty(),
+int WidthOf(const std::vector<Code>& codes) {
+  T2H_CHECK_MSG(!codes.empty(),
                 "use HammingIndex(int num_bits) to start empty");
-  num_bits_ = codes_[0].num_bits;
-  for (size_t i = 0; i < codes_.size(); ++i) {
-    T2H_CHECK_EQ(codes_[i].num_bits, num_bits_);
-    buckets_[CodeHash(codes_[i])].push_back(static_cast<int>(i));
-  }
+  return codes[0].num_bits;
 }
 
-HammingIndex::HammingIndex(int num_bits) : num_bits_(num_bits) {
+}  // namespace
+
+HammingIndex::HammingIndex(std::vector<Code> codes)
+    : HammingIndex(WidthOf(codes)) {
+  for (Code& code : codes) Insert(std::move(code));
+}
+
+HammingIndex::HammingIndex(int num_bits)
+    : codes_(num_bits), num_bits_(num_bits) {
   T2H_CHECK_GT(num_bits, 0);
+  flips_.reserve(num_bits);
+  for (int b = 0; b < num_bits; ++b) {
+    flips_.push_back({b / 64, uint64_t{1} << (b % 64)});
+  }
 }
 
 int HammingIndex::Insert(Code code) {
   T2H_CHECK_EQ(code.num_bits, num_bits_);
-  const int id = static_cast<int>(codes_.size());
-  buckets_[CodeHash(code)].push_back(id);
-  codes_.push_back(std::move(code));
-  return id;
+  buckets_[CodeHash(code)].push_back(codes_.size());
+  return codes_.Append(code);
 }
 
 void HammingIndex::ProbeBucket(const Code& probe, std::vector<int>& out) const {
   const auto it = buckets_.find(CodeHash(probe));
   if (it == buckets_.end()) return;
   for (const int id : it->second) {
-    if (codes_[id] == probe) out.push_back(id);
+    if (std::equal(probe.words.begin(), probe.words.end(), codes_.row(id))) {
+      out.push_back(id);
+    }
+  }
+}
+
+void HammingIndex::ProbeAtRadiusInto(const Code& query, int radius,
+                                     std::vector<int>& out) const {
+  Code probe = query;
+  if (radius == 0) {
+    ProbeBucket(probe, out);
+    return;
+  }
+  // Iterative enumeration of bit combinations in lexicographic order, with
+  // an explicit stack of chosen flip positions; each toggle is one table
+  // lookup + XOR (no per-flip shift recomputation or query copies).
+  auto flip = [&probe, this](int b) { probe.words[flips_[b].word] ^= flips_[b].mask; };
+  std::vector<int> flip_stack;
+  flip_stack.reserve(radius);
+  for (int b = 0; b < radius; ++b) {
+    flip_stack.push_back(b);
+    flip(b);
+  }
+  while (true) {
+    ProbeBucket(probe, out);
+    // Advance to the next combination.
+    int i = radius - 1;
+    while (i >= 0 && flip_stack[i] == num_bits_ - radius + i) --i;
+    if (i < 0) break;
+    flip(flip_stack[i]);
+    ++flip_stack[i];
+    flip(flip_stack[i]);
+    for (int j = i + 1; j < radius; ++j) {
+      flip(flip_stack[j]);
+      flip_stack[j] = flip_stack[j - 1] + 1;
+      flip(flip_stack[j]);
+    }
   }
 }
 
@@ -43,24 +86,8 @@ std::vector<int> HammingIndex::ProbeWithinRadius2(const Code& query) const {
   // Most probes miss; pre-size past the small-vector growth steps so the
   // common several-hit case does at most one allocation.
   out.reserve(32);
-  Code probe = query;
-  // Radius 0.
-  ProbeBucket(probe, out);
-  // Radius 1: flip each bit.
-  for (int b = 0; b < num_bits_; ++b) {
-    probe.words[b / 64] ^= (uint64_t{1} << (b % 64));
-    ProbeBucket(probe, out);
-    probe.words[b / 64] ^= (uint64_t{1} << (b % 64));
-  }
-  // Radius 2: flip each unordered pair of bits.
-  for (int b1 = 0; b1 < num_bits_; ++b1) {
-    probe.words[b1 / 64] ^= (uint64_t{1} << (b1 % 64));
-    for (int b2 = b1 + 1; b2 < num_bits_; ++b2) {
-      probe.words[b2 / 64] ^= (uint64_t{1} << (b2 % 64));
-      ProbeBucket(probe, out);
-      probe.words[b2 / 64] ^= (uint64_t{1} << (b2 % 64));
-    }
-    probe.words[b1 / 64] ^= (uint64_t{1} << (b1 % 64));
+  for (int radius = 0; radius <= std::min(2, num_bits_); ++radius) {
+    ProbeAtRadiusInto(query, radius, out);
   }
   return out;
 }
@@ -68,28 +95,42 @@ std::vector<int> HammingIndex::ProbeWithinRadius2(const Code& query) const {
 std::vector<Neighbor> HammingIndex::HybridTopK(const Code& query,
                                                int k) const {
   T2H_CHECK_GE(k, 1);
-  const std::vector<int> candidates = ProbeWithinRadius2(query);
+  std::vector<int> candidates = ProbeWithinRadius2(query);
   if (static_cast<int>(candidates.size()) < k) {
     // Not enough neighbours within radius 2: degrade to brute force, as the
     // paper's Hamming-Hybrid does.
     return BruteForceTopK(query, k);
   }
-  std::vector<Neighbor> ranked;
-  ranked.reserve(candidates.size());
-  for (const int id : candidates) {
-    ranked.push_back(
-        {id, static_cast<double>(HammingDistance(codes_[id], query))});
+  // Rank candidates on integer distances against the packed rows; only the
+  // k survivors are widened into Neighbors.
+  const int w = codes_.words_per_code();
+  std::vector<int32_t> dist(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    dist[i] = kernels::HammingDistanceRow(codes_.row(candidates[i]),
+                                          query.words.data(), w);
   }
+  std::vector<int> order(candidates.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  const auto less = [&](int a, int b) {
+    if (dist[a] != dist[b]) return dist[a] < dist[b];
+    return candidates[a] < candidates[b];
+  };
   // NeighborLess is a total order (index breaks distance ties), so sorting
   // just the k-prefix returns exactly the neighbours a full sort would.
-  std::partial_sort(ranked.begin(), ranked.begin() + k, ranked.end(),
-                    NeighborLess);
-  ranked.resize(k);
+  std::partial_sort(order.begin(), order.begin() + k, order.end(), less);
+  std::vector<Neighbor> ranked;
+  ranked.reserve(k);
+  for (int i = 0; i < k; ++i) {
+    ranked.push_back(
+        {candidates[order[i]], static_cast<double>(dist[order[i]])});
+  }
   return ranked;
 }
 
 std::vector<Neighbor> HammingIndex::BruteForceTopK(const Code& query,
                                                    int k) const {
+  T2H_CHECK_GE(k, 1);
+  if (codes_.size() == 0) return {};
   return TopKHamming(codes_, query, k);
 }
 
@@ -98,38 +139,7 @@ std::vector<int> HammingIndex::ProbeAtRadius(const Code& query,
   T2H_CHECK_EQ(query.num_bits, num_bits_);
   T2H_CHECK(radius >= 0 && radius <= num_bits_);
   std::vector<int> out;
-  Code probe = query;
-  // Enumerate all bit subsets of the given size with an explicit stack of
-  // chosen flip positions.
-  std::vector<int> flips;
-  flips.reserve(radius);
-  auto flip = [&probe](int b) {
-    probe.words[b / 64] ^= (uint64_t{1} << (b % 64));
-  };
-  // Iterative enumeration of combinations in lexicographic order.
-  if (radius == 0) {
-    ProbeBucket(probe, out);
-    return out;
-  }
-  for (int b = 0; b < radius; ++b) {
-    flips.push_back(b);
-    flip(b);
-  }
-  while (true) {
-    ProbeBucket(probe, out);
-    // Advance to the next combination.
-    int i = radius - 1;
-    while (i >= 0 && flips[i] == num_bits_ - radius + i) --i;
-    if (i < 0) break;
-    flip(flips[i]);
-    ++flips[i];
-    flip(flips[i]);
-    for (int j = i + 1; j < radius; ++j) {
-      flip(flips[j]);
-      flips[j] = flips[j - 1] + 1;
-      flip(flips[j]);
-    }
-  }
+  ProbeAtRadiusInto(query, radius, out);
   return out;
 }
 
@@ -139,7 +149,9 @@ std::vector<Neighbor> HammingIndex::LookupOnlyTopK(const Code& query, int k,
   const int cap = max_radius < 0 ? num_bits_ : std::min(max_radius, num_bits_);
   std::vector<Neighbor> found;
   for (int radius = 0; radius <= cap; ++radius) {
-    for (const int id : ProbeAtRadius(query, radius)) {
+    std::vector<int> ids;
+    ProbeAtRadiusInto(query, radius, ids);
+    for (const int id : ids) {
       found.push_back({id, static_cast<double>(radius)});
     }
     if (static_cast<int>(found.size()) >= k) break;

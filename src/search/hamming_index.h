@@ -1,10 +1,12 @@
 #ifndef TRAJ2HASH_SEARCH_HAMMING_INDEX_H_
 #define TRAJ2HASH_SEARCH_HAMMING_INDEX_H_
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "search/code.h"
+#include "search/flat_storage.h"
 #include "search/knn.h"
 
 namespace traj2hash::search {
@@ -13,6 +15,11 @@ namespace traj2hash::search {
 /// search (§V-E): probe every bucket within Hamming radius 2 of the query by
 /// table-lookup; if at least k candidates are found, rank just those,
 /// otherwise fall back to a Hamming brute-force scan over the database.
+///
+/// Codes live in a flat `PackedCodes` store, so the fallback scan and
+/// candidate re-ranking run on the search::kernels popcount scan; bucket
+/// probes share one precomputed per-bit (word, mask) flip table between the
+/// radius-2 and exact-radius enumerations.
 class HammingIndex {
  public:
   /// Builds buckets over the database codes. All codes must share one width;
@@ -51,14 +58,32 @@ class HammingIndex {
   std::vector<Neighbor> LookupOnlyTopK(const Code& query, int k,
                                        int max_radius = -1) const;
 
-  int size() const { return static_cast<int>(codes_.size()); }
+  /// Flat read-only view of the stored codes (shared with rerank paths).
+  const PackedCodes& codes() const { return codes_; }
+
+  int size() const { return codes_.size(); }
   int num_buckets() const { return static_cast<int>(buckets_.size()); }
 
  private:
+  /// Word index + mask of one flippable bit; precomputed for all bits so
+  /// probe enumeration never recomputes `b / 64` / `1 << (b % 64)` per flip.
+  struct BitFlip {
+    int word;
+    uint64_t mask;
+  };
+
   void ProbeBucket(const Code& probe, std::vector<int>& out) const;
 
-  std::vector<Code> codes_;
+  /// Appends the ids in every bucket at exactly `radius` bit flips from
+  /// `query` — the one combination enumeration shared by ProbeWithinRadius2
+  /// and ProbeAtRadius (lexicographic flip order, so candidate order is
+  /// stable across both callers).
+  void ProbeAtRadiusInto(const Code& query, int radius,
+                         std::vector<int>& out) const;
+
+  PackedCodes codes_;
   int num_bits_ = 0;
+  std::vector<BitFlip> flips_;  // flips_[b] toggles bit b of a probe
   // Bucket key is the 64-bit mixing hash of the code; membership is verified
   // against the stored code to rule out hash collisions.
   std::unordered_map<uint64_t, std::vector<int>> buckets_;

@@ -1,0 +1,36 @@
+#ifndef TRAJ2HASH_SEARCH_KERNELS_H_
+#define TRAJ2HASH_SEARCH_KERNELS_H_
+
+#include <cstdint>
+
+namespace traj2hash::search::kernels {
+
+/// Raw-pointer scan micro-kernels backing the flat search paths
+/// (knn.cc, hamming_index.cc, mih.cc). Same design rules as nn::kernels
+/// (DESIGN.md §8/§9): contiguous unit-stride inner loops over `__restrict`
+/// pointers, compiled -O3 in this TU only, and a determinism contract —
+/// Hamming distances are exact integer popcount sums (order-free), while the
+/// squared-L2 scan keeps ONE double accumulator per row folded in ascending
+/// column order, so `TopKEuclidean` stays bit-identical to the seed's
+/// per-row scalar loop for any row blocking.
+
+/// out[i] = popcount Hamming distance between `query` and db row i, for n
+/// rows of `words_per_code` contiguous words each. Word-unrolled for the
+/// common widths (1..3 words = 64/128/192 bits).
+void HammingScan(const uint64_t* db, const uint64_t* query, int n,
+                 int words_per_code, int32_t* out);
+
+/// Popcount Hamming distance of one packed row pair.
+int HammingDistanceRow(const uint64_t* a, const uint64_t* b,
+                       int words_per_code);
+
+/// out[i] = squared Euclidean distance (double) between `query` and db row
+/// i, for n rows of `dim` contiguous floats. Rows are processed in blocks of
+/// 4 with one independent accumulator each — vectorisable across rows while
+/// each row's accumulation order stays the seed's ascending-j order.
+void SquaredL2Scan(const float* db, const float* query, int n, int dim,
+                   double* out);
+
+}  // namespace traj2hash::search::kernels
+
+#endif  // TRAJ2HASH_SEARCH_KERNELS_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "search/kernels.h"
 
 namespace traj2hash::search {
 namespace {
@@ -32,27 +33,71 @@ std::vector<Neighbor> TopKGeneric(int n, int k, DistanceAt dist_at) {
 
 }  // namespace
 
+std::vector<Neighbor> TopKEuclidean(const FlatMatrix& db,
+                                    const std::vector<float>& query, int k) {
+  T2H_CHECK_GE(k, 1);
+  // One width check against the flat dims — the scan loops are check-free.
+  T2H_CHECK_EQ(static_cast<int>(query.size()), db.cols());
+  const int n = db.rows();
+  std::vector<double> sq(n);
+  kernels::SquaredL2Scan(db.data(), query.data(), n, db.cols(), sq.data());
+  return TopKGeneric(n, k, [&](int i) { return std::sqrt(sq[i]); });
+}
+
 std::vector<Neighbor> TopKEuclidean(const std::vector<std::vector<float>>& db,
                                     const std::vector<float>& query, int k) {
   T2H_CHECK_GE(k, 1);
-  return TopKGeneric(static_cast<int>(db.size()), k, [&](int i) {
-    const std::vector<float>& row = db[i];
+  if (db.empty()) return {};
+  // Hoisted validation: every row width is checked once here, not per
+  // candidate inside the distance loop.
+  for (const std::vector<float>& row : db) {
     T2H_CHECK_EQ(row.size(), query.size());
-    double acc = 0.0;
-    for (size_t j = 0; j < row.size(); ++j) {
-      const double diff = static_cast<double>(row[j]) - query[j];
-      acc += diff * diff;
-    }
-    return std::sqrt(acc);
-  });
+  }
+  const int n = static_cast<int>(db.size());
+  const int dim = static_cast<int>(query.size());
+  std::vector<double> sq(n);
+  for (int i = 0; i < n; ++i) {
+    kernels::SquaredL2Scan(db[i].data(), query.data(), 1, dim, &sq[i]);
+  }
+  return TopKGeneric(n, k, [&](int i) { return std::sqrt(sq[i]); });
+}
+
+std::vector<Neighbor> TopKHamming(const PackedCodes& db, const Code& query,
+                                  int k) {
+  T2H_CHECK_GE(k, 1);
+  T2H_CHECK_EQ(query.num_bits, db.num_bits());
+  const int n = db.size();
+  k = std::min(k, n);
+  if (k <= 0) return {};
+  std::vector<int32_t> dist(n);
+  kernels::HammingScan(db.data(), query.words.data(), n, db.words_per_code(),
+                       dist.data());
+  // Select over (int distance, index) pairs — no per-candidate double
+  // round-trip; only the k survivors are widened into Neighbors.
+  std::vector<int> ids(n);
+  for (int i = 0; i < n; ++i) ids[i] = i;
+  const auto int_less = [&dist](int a, int b) {
+    if (dist[a] != dist[b]) return dist[a] < dist[b];
+    return a < b;
+  };
+  if (k < n) {
+    std::nth_element(ids.begin(), ids.begin() + (k - 1), ids.end(), int_less);
+    ids.resize(k);
+  }
+  std::sort(ids.begin(), ids.end(), int_less);
+  std::vector<Neighbor> out;
+  out.reserve(k);
+  for (const int id : ids) {
+    out.push_back({id, static_cast<double>(dist[id])});
+  }
+  return out;
 }
 
 std::vector<Neighbor> TopKHamming(const std::vector<Code>& db,
                                   const Code& query, int k) {
   T2H_CHECK_GE(k, 1);
-  return TopKGeneric(static_cast<int>(db.size()), k, [&](int i) {
-    return static_cast<double>(HammingDistance(db[i], query));
-  });
+  if (db.empty()) return {};
+  return TopKHamming(PackedCodes::FromCodes(db), query, k);
 }
 
 }  // namespace traj2hash::search

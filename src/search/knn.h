@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "search/code.h"
+#include "search/flat_storage.h"
 
 namespace traj2hash::search {
 
@@ -23,13 +24,26 @@ inline bool NeighborLess(const Neighbor& a, const Neighbor& b) {
   return a.index < b.index;
 }
 
-/// Brute-force top-k by Euclidean distance over dense embeddings
-/// (the paper's Euclidean-BF strategy). `db` holds row-major embeddings of
-/// equal length; ties broken by lower index. k is clamped to db size.
+/// Brute-force top-k by Euclidean distance over a flat embedding matrix
+/// (the paper's Euclidean-BF strategy), routed through the blocked
+/// search::kernels L2 scan. Ties broken by lower index; k is clamped to the
+/// database size. Bit-identical to the historical nested-vector overload.
+std::vector<Neighbor> TopKEuclidean(const FlatMatrix& db,
+                                    const std::vector<float>& query, int k);
+
+/// Nested-vector convenience overload: validates row widths once up front
+/// (not per candidate inside the distance loop), then scans.
 std::vector<Neighbor> TopKEuclidean(const std::vector<std::vector<float>>& db,
                                     const std::vector<float>& query, int k);
 
-/// Brute-force top-k by Hamming distance over binary codes (Hamming-BF).
+/// Brute-force top-k by Hamming distance over packed codes (Hamming-BF),
+/// routed through the word-unrolled popcount scan kernel. Distances are
+/// selected as integers and widened to the Neighbor's double only for the k
+/// survivors.
+std::vector<Neighbor> TopKHamming(const PackedCodes& db, const Code& query,
+                                  int k);
+
+/// Unpacked convenience overload (packs, then scans).
 std::vector<Neighbor> TopKHamming(const std::vector<Code>& db,
                                   const Code& query, int k);
 

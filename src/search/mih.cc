@@ -1,0 +1,227 @@
+#include "search/mih.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "search/kernels.h"
+
+namespace traj2hash::search {
+namespace {
+
+/// Substrings up to this width are direct-addressed (flat 2^bits table);
+/// 16 bits = 65536 buckets, the default layout for every 16-bit substring.
+constexpr int kDirectBits = 16;
+
+int WidthOf(const std::vector<Code>& codes) {
+  T2H_CHECK_MSG(!codes.empty(), "use MihIndex(int num_bits) to start empty");
+  return codes[0].num_bits;
+}
+
+/// Calls `fn(key')` for every `bits`-wide key at Hamming distance exactly
+/// `radius` from `key`, in lexicographic flip order (C(bits, radius) calls).
+template <typename Fn>
+void ForEachKeyAtRadius(uint32_t key, int bits, int radius, Fn&& fn) {
+  if (radius == 0) {
+    fn(key);
+    return;
+  }
+  std::vector<int> flips(radius);
+  for (int i = 0; i < radius; ++i) {
+    flips[i] = i;
+    key ^= (uint32_t{1} << i);
+  }
+  while (true) {
+    fn(key);
+    int i = radius - 1;
+    while (i >= 0 && flips[i] == bits - radius + i) --i;
+    if (i < 0) break;
+    key ^= (uint32_t{1} << flips[i]);
+    ++flips[i];
+    key ^= (uint32_t{1} << flips[i]);
+    for (int j = i + 1; j < radius; ++j) {
+      key ^= (uint32_t{1} << flips[j]);
+      flips[j] = flips[j - 1] + 1;
+      key ^= (uint32_t{1} << flips[j]);
+    }
+  }
+}
+
+/// C(n, r) for n <= 32: the number of keys ForEachKeyAtRadius visits.
+int64_t Combinations(int n, int r) {
+  r = std::min(r, n - r);
+  int64_t c = 1;
+  for (int i = 1; i <= r; ++i) c = c * (n - r + i) / i;
+  return c;
+}
+
+}  // namespace
+
+int MihIndex::DefaultSubstrings(int num_bits) {
+  return std::max(1, (num_bits + 15) / 16);
+}
+
+MihIndex::MihIndex(int num_bits, int num_substrings) : codes_(num_bits) {
+  T2H_CHECK_GT(num_bits, 0);
+  const int m =
+      num_substrings == 0 ? DefaultSubstrings(num_bits) : num_substrings;
+  T2H_CHECK_MSG(m >= 1 && m <= num_bits,
+                "substring count must lie in [1, num_bits]");
+  // Split B bits into m near-equal substrings: the first B % m substrings
+  // get the extra bit. Every substring must fit a 32-bit probe key.
+  const int base = num_bits / m;
+  const int extra = num_bits % m;
+  T2H_CHECK_MSG(base + (extra > 0 ? 1 : 0) <= 32,
+                "substrings wider than 32 bits are not supported; "
+                "use more substrings");
+  tables_.resize(m);
+  int start = 0;
+  for (int j = 0; j < m; ++j) {
+    Table& t = tables_[j];
+    t.start_bit = start;
+    t.bits = base + (j < extra ? 1 : 0);
+    if (t.bits <= kDirectBits) {
+      t.direct.resize(size_t{1} << t.bits);
+    }
+    start += t.bits;
+    max_substring_bits_ = std::max(max_substring_bits_, t.bits);
+  }
+}
+
+MihIndex::MihIndex(const std::vector<Code>& codes, int num_substrings)
+    : MihIndex(WidthOf(codes), num_substrings) {
+  for (const Code& code : codes) Insert(code);
+}
+
+uint32_t MihIndex::SubstringOf(const uint64_t* row, const Table& t) {
+  const int word = t.start_bit / 64;
+  const int offset = t.start_bit % 64;
+  uint64_t v = row[word] >> offset;
+  if (offset + t.bits > 64) {
+    v |= row[word + 1] << (64 - offset);
+  }
+  const uint64_t mask =
+      t.bits == 64 ? ~uint64_t{0} : (uint64_t{1} << t.bits) - 1;
+  return static_cast<uint32_t>(v & mask);
+}
+
+const std::vector<int>* MihIndex::Bucket(const Table& t, uint32_t key) {
+  if (!t.direct.empty()) {
+    const std::vector<int>& bucket = t.direct[key];
+    return bucket.empty() ? nullptr : &bucket;
+  }
+  const auto it = t.sparse.find(key);
+  return it == t.sparse.end() ? nullptr : &it->second;
+}
+
+int MihIndex::Insert(const Code& code) {
+  const int id = codes_.Append(code);  // width-checked by PackedCodes
+  const uint64_t* row = codes_.row(id);
+  for (Table& t : tables_) {
+    const uint32_t key = SubstringOf(row, t);
+    if (!t.direct.empty()) {
+      t.direct[key].push_back(id);
+    } else {
+      t.sparse[key].push_back(id);
+    }
+  }
+  return id;
+}
+
+std::vector<Neighbor> MihIndex::TopK(const Code& query, int k) const {
+  T2H_CHECK_GE(k, 1);
+  T2H_CHECK_EQ(query.num_bits, codes_.num_bits());
+  const int n = codes_.size();
+  if (n == 0) return {};
+  k = std::min(k, n);
+
+  const int m = num_substrings();
+  const int words = codes_.words_per_code();
+  const uint64_t* qwords = query.words.data();
+  std::vector<uint32_t> query_keys(m);
+  for (int j = 0; j < m; ++j) {
+    query_keys[j] = SubstringOf(qwords, tables_[j]);
+  }
+
+  // Candidate pool with a per-query visited bitmap (ids can surface from
+  // several tables/radii); distances stay integers until the final widening.
+  std::vector<uint8_t> seen(n, 0);
+  std::vector<int> cand_ids;
+  std::vector<int32_t> cand_dist;
+  cand_ids.reserve(64);
+  cand_dist.reserve(64);
+  std::vector<int32_t> kth_scratch;
+
+  for (int radius = 0; radius <= max_substring_bits_; ++radius) {
+    // Cost guard: probing radius r costs sum_j C(bits_j, r) bucket lookups,
+    // which grows combinatorially and for far queries (e.g. random codes at
+    // distance ~B/2) would dwarf a flat scan long before the pruning bound
+    // fires. Once enumeration costs more than scanning the unseen remainder,
+    // scan it directly — identical (still exact: every row becomes a
+    // candidate) and the worst case stays within ~2x of BruteForceTopK.
+    const int64_t remaining = n - static_cast<int64_t>(cand_ids.size());
+    int64_t probe_cost = 0;
+    for (const Table& t : tables_) {
+      if (radius <= t.bits) probe_cost += Combinations(t.bits, radius);
+    }
+    if (probe_cost > remaining) {
+      for (int id = 0; id < n; ++id) {
+        if (seen[id]) continue;
+        cand_ids.push_back(id);
+        cand_dist.push_back(
+            kernels::HammingDistanceRow(codes_.row(id), qwords, words));
+      }
+      break;
+    }
+    for (int j = 0; j < m; ++j) {
+      const Table& t = tables_[j];
+      if (radius > t.bits) continue;
+      ForEachKeyAtRadius(query_keys[j], t.bits, radius, [&](uint32_t key) {
+        const std::vector<int>* bucket = Bucket(t, key);
+        if (bucket == nullptr) return;
+        for (const int id : *bucket) {
+          if (seen[id]) continue;
+          seen[id] = 1;
+          cand_ids.push_back(id);
+          cand_dist.push_back(
+              kernels::HammingDistanceRow(codes_.row(id), qwords, words));
+        }
+      });
+    }
+    // Pruning bound: after finishing per-substring radius r across all m
+    // tables, every unseen code has some substring distance > r in every
+    // table, so (pigeonhole) its full distance is >= m*(r+1). Stop once the
+    // current k-th best distance is strictly below that — no unseen code can
+    // then displace or tie into the top-k.
+    const int count = static_cast<int>(cand_ids.size());
+    if (count == n) break;
+    if (count >= k) {
+      kth_scratch = cand_dist;
+      std::nth_element(kth_scratch.begin(), kth_scratch.begin() + (k - 1),
+                       kth_scratch.end());
+      if (kth_scratch[k - 1] < m * (radius + 1)) break;
+    }
+  }
+
+  // Final selection under the repo-wide (distance, id) total order, on
+  // integers; only the k survivors are widened into Neighbors.
+  std::vector<int> order(cand_ids.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  const auto less = [&](int a, int b) {
+    if (cand_dist[a] != cand_dist[b]) return cand_dist[a] < cand_dist[b];
+    return cand_ids[a] < cand_ids[b];
+  };
+  if (k < static_cast<int>(order.size())) {
+    std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
+                     less);
+    order.resize(k);
+  }
+  std::sort(order.begin(), order.end(), less);
+  std::vector<Neighbor> out;
+  out.reserve(order.size());
+  for (const int i : order) {
+    out.push_back({cand_ids[i], static_cast<double>(cand_dist[i])});
+  }
+  return out;
+}
+
+}  // namespace traj2hash::search

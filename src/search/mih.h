@@ -1,0 +1,81 @@
+#ifndef TRAJ2HASH_SEARCH_MIH_H_
+#define TRAJ2HASH_SEARCH_MIH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "search/code.h"
+#include "search/flat_storage.h"
+#include "search/knn.h"
+
+namespace traj2hash::search {
+
+/// Exact multi-index hashing (MIH, Norouzi et al. style) over B-bit codes:
+/// each code is split into `m` disjoint substrings and every substring is
+/// indexed in its own flat bucket table. A top-k query probes the substring
+/// tables at increasing per-substring radius r; by the pigeonhole bound, any
+/// code at full Hamming distance d matches at least one substring within
+/// floor(d/m) flips, so after finishing radius r every unseen code has full
+/// distance >= m*(r+1) and the search stops as soon as the current k-th
+/// candidate distance drops strictly below that bound. Results are therefore
+/// bit-identical (ids and order under NeighborLess) to
+/// `HammingIndex::BruteForceTopK`, while replacing the O(B^2) whole-code
+/// bucket enumeration of the radius-2 path with a handful of short-substring
+/// probes.
+///
+/// The default substring count ceil(B/16) yields 16-bit substrings, which
+/// are direct-addressed into flat 2^16-entry tables (no hashing on the probe
+/// path); wider substrings (m chosen small) fall back to a hashed table.
+/// Queries are const and allocate only local scratch, so concurrent reads
+/// are race-free (exercised under TSan via serve::ShardedIndex).
+class MihIndex {
+ public:
+  /// Empty index for `num_bits`-bit codes. `num_substrings` = 0 selects the
+  /// default ceil(num_bits/16); otherwise it must lie in [ceil(B/32), B] so
+  /// every substring fits a 32-bit key.
+  explicit MihIndex(int num_bits, int num_substrings = 0);
+
+  /// Bulk build over a database (non-empty; width inferred).
+  explicit MihIndex(const std::vector<Code>& codes, int num_substrings = 0);
+
+  /// Appends one code; returns its id (dense, insertion-ordered).
+  int Insert(const Code& code);
+
+  /// Exact top-k by Hamming distance, bit-identical to BruteForceTopK.
+  std::vector<Neighbor> TopK(const Code& query, int k) const;
+
+  /// Default substring count for a code width: 16-bit substrings.
+  static int DefaultSubstrings(int num_bits);
+
+  /// Flat read-only view of the stored codes.
+  const PackedCodes& codes() const { return codes_; }
+
+  int size() const { return codes_.size(); }
+  int num_bits() const { return codes_.num_bits(); }
+  int num_substrings() const { return static_cast<int>(tables_.size()); }
+
+ private:
+  /// One substring's bucket table. `direct` is a flat 2^bits array when the
+  /// substring is narrow enough to direct-address; `sparse` otherwise.
+  struct Table {
+    int start_bit = 0;
+    int bits = 0;
+    std::vector<std::vector<int>> direct;
+    std::unordered_map<uint32_t, std::vector<int>> sparse;
+  };
+
+  /// Extracts table `t`'s substring from a packed code row.
+  static uint32_t SubstringOf(const uint64_t* row, const Table& t);
+
+  /// Bucket for `key` in `t`, or nullptr when empty/absent.
+  static const std::vector<int>* Bucket(const Table& t, uint32_t key);
+
+  PackedCodes codes_;
+  std::vector<Table> tables_;
+  int max_substring_bits_ = 0;
+};
+
+}  // namespace traj2hash::search
+
+#endif  // TRAJ2HASH_SEARCH_MIH_H_

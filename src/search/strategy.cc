@@ -1,0 +1,25 @@
+#include "search/strategy.h"
+
+namespace traj2hash::search {
+
+const char* StrategyName(SearchStrategy strategy) {
+  switch (strategy) {
+    case SearchStrategy::kBrute:
+      return "brute";
+    case SearchStrategy::kRadius2:
+      return "radius2";
+    case SearchStrategy::kMih:
+      return "mih";
+  }
+  return "unknown";
+}
+
+Result<SearchStrategy> ParseStrategy(const std::string& name) {
+  if (name == "brute") return SearchStrategy::kBrute;
+  if (name == "radius2") return SearchStrategy::kRadius2;
+  if (name == "mih") return SearchStrategy::kMih;
+  return Status::InvalidArgument("unknown search strategy '" + name +
+                                 "' (expected brute, radius2 or mih)");
+}
+
+}  // namespace traj2hash::search

@@ -1,0 +1,33 @@
+#ifndef TRAJ2HASH_SEARCH_STRATEGY_H_
+#define TRAJ2HASH_SEARCH_STRATEGY_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace traj2hash::search {
+
+/// Hamming top-k engine selection for every serving layer (serve::, core::,
+/// tools/). All three strategies return bit-identical results (ids and order
+/// under NeighborLess) — they trade build cost for query cost only:
+///  - kBrute:   flat popcount scan of the whole database (search::kernels);
+///  - kRadius2: the paper's Hamming-Hybrid — radius-2 bucket probes with a
+///              brute-force fallback (O(B^2) probes per query);
+///  - kMih:     exact multi-index hashing (search/mih.h) — a handful of
+///              short-substring probes with the floor(r/m) pruning bound.
+enum class SearchStrategy {
+  kBrute,
+  kRadius2,
+  kMih,
+};
+
+/// Canonical lower-case name ("brute" / "radius2" / "mih").
+const char* StrategyName(SearchStrategy strategy);
+
+/// Parses a strategy name; unknown values are an InvalidArgument error
+/// listing the accepted spellings (strict-CLI contract).
+Result<SearchStrategy> ParseStrategy(const std::string& name);
+
+}  // namespace traj2hash::search
+
+#endif  // TRAJ2HASH_SEARCH_STRATEGY_H_

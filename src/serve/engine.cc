@@ -11,7 +11,8 @@ namespace traj2hash::serve {
 QueryEngine::QueryEngine(const core::Traj2Hash* model,
                          const QueryEngineOptions& options)
     : model_(model),
-      index_(options.num_shards, model != nullptr ? model->config().dim : 1),
+      index_(options.num_shards, model != nullptr ? model->config().dim : 1,
+             options.strategy, options.mih_substrings),
       pool_(options.num_threads) {
   T2H_CHECK(model != nullptr);
 }

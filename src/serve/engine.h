@@ -6,6 +6,7 @@
 
 #include "core/model.h"
 #include "search/knn.h"
+#include "search/strategy.h"
 #include "serve/sharded_index.h"
 #include "serve/stats.h"
 #include "serve/thread_pool.h"
@@ -16,6 +17,11 @@ namespace traj2hash::serve {
 struct QueryEngineOptions {
   int num_threads = 4;  ///< worker pool size
   int num_shards = 4;   ///< database partitions (fixed for the engine's life)
+  /// Per-shard Hamming engine (DESIGN.md §9). All strategies return
+  /// bit-identical results; kMih is the fast default, kRadius2 / kBrute are
+  /// the reference oracles.
+  search::SearchStrategy strategy = search::SearchStrategy::kMih;
+  int mih_substrings = 0;  ///< MIH substring count (0 = ceil(B/16))
 };
 
 /// Result of one top-k query.

@@ -8,13 +8,25 @@
 
 namespace traj2hash::serve {
 
-ShardedIndex::ShardedIndex(int num_shards, int num_bits)
-    : num_bits_(num_bits) {
+ShardedIndex::Shard::Shard(int num_bits, search::SearchStrategy strategy,
+                           int mih_substrings) {
+  if (strategy == search::SearchStrategy::kMih) {
+    mih = std::make_unique<search::MihIndex>(num_bits, mih_substrings);
+  } else {
+    hybrid = std::make_unique<search::HammingIndex>(num_bits);
+  }
+}
+
+ShardedIndex::ShardedIndex(int num_shards, int num_bits,
+                           search::SearchStrategy strategy,
+                           int mih_substrings)
+    : num_bits_(num_bits), strategy_(strategy) {
   T2H_CHECK_GE(num_shards, 1);
   T2H_CHECK_GT(num_bits, 0);
   shards_.reserve(num_shards);
   for (int s = 0; s < num_shards; ++s) {
-    shards_.push_back(std::make_unique<Shard>(num_bits));
+    shards_.push_back(
+        std::make_unique<Shard>(num_bits, strategy, mih_substrings));
   }
 }
 
@@ -25,7 +37,11 @@ int ShardedIndex::Insert(search::Code code, std::vector<float> embedding) {
   std::unique_lock<std::shared_mutex> lock(shard.mu);
   // Concurrent inserts can reach the same shard out of global-id order, so
   // the local->global mapping is stored, not derived from the local id.
-  shard.index.Insert(std::move(code));
+  if (shard.mih != nullptr) {
+    shard.mih->Insert(code);
+  } else {
+    shard.hybrid->Insert(std::move(code));
+  }
   shard.global_ids.push_back(id);
   shard.embeddings.push_back(std::move(embedding));
   return id;
@@ -36,7 +52,18 @@ std::vector<search::Neighbor> ShardedIndex::ShardTopK(
   T2H_CHECK(shard_id >= 0 && shard_id < num_shards());
   const Shard& shard = *shards_[shard_id];
   std::shared_lock<std::shared_mutex> lock(shard.mu);
-  std::vector<search::Neighbor> local = shard.index.HybridTopK(query, k);
+  std::vector<search::Neighbor> local;
+  switch (strategy_) {
+    case search::SearchStrategy::kBrute:
+      local = shard.hybrid->BruteForceTopK(query, k);
+      break;
+    case search::SearchStrategy::kRadius2:
+      local = shard.hybrid->HybridTopK(query, k);
+      break;
+    case search::SearchStrategy::kMih:
+      local = shard.mih->TopK(query, k);
+      break;
+  }
   for (search::Neighbor& n : local) n.index = shard.global_ids[n.index];
   return local;
 }

@@ -9,38 +9,45 @@
 #include "search/code.h"
 #include "search/hamming_index.h"
 #include "search/knn.h"
+#include "search/mih.h"
+#include "search/strategy.h"
 #include "serve/thread_pool.h"
 
 namespace traj2hash::serve {
 
 /// Partitions a live code + embedding database across S shards, each owning
-/// its own `search::HammingIndex` and embedding store behind a
-/// `std::shared_mutex`. Queries take per-shard shared locks, so concurrent
-/// reads never block each other; `Insert` takes one shard's exclusive lock
-/// only. Global ids are assigned round-robin (`shard = id % S`), which makes
-/// a sequentially-filled ShardedIndex return results bit-identical to a
-/// single `HammingIndex` over the same data, for any shard count — the merge
-/// ranks by the repo-wide (distance, id) order (`search::NeighborLess`).
+/// its own Hamming engine and embedding store behind a `std::shared_mutex`.
+/// Queries take per-shard shared locks, so concurrent reads never block each
+/// other; `Insert` takes one shard's exclusive lock only. Global ids are
+/// assigned round-robin (`shard = id % S`), which makes a sequentially-filled
+/// ShardedIndex return results bit-identical to a single index over the same
+/// data, for any shard count — the merge ranks by the repo-wide
+/// (distance, id) order (`search::NeighborLess`).
 ///
-/// Why per-shard Hamming-Hybrid fan-out + merge equals the single-index
-/// result: if the global radius-2 candidate count reaches k, every global
-/// top-k hit has Hamming distance <= 2, is therefore a radius-2 candidate of
-/// its own shard, and ranks in that shard's local top-k; if the global count
-/// is below k, every shard's count is below k too, so all shards degrade to
-/// brute force exactly like the single index does.
+/// The per-shard engine is selected by `search::SearchStrategy`
+/// (kMih by default; kRadius2 / kBrute kept as reference oracles). Every
+/// strategy's per-shard top-k equals the shard's brute-force top-k — MIH is
+/// exact by the floor(r/m) pruning bound, and Hamming-Hybrid either ranks a
+/// candidate superset of the true top-k or itself degrades to brute force —
+/// so the fan-out + merge result is strategy-independent and bit-identical
+/// to a single index for any shard count.
 class ShardedIndex {
  public:
   /// An empty index of `num_shards` shards for `num_bits`-bit codes.
-  ShardedIndex(int num_shards, int num_bits);
+  /// `mih_substrings` tunes the MIH substring count (0 = ceil(B/16)) and is
+  /// ignored by the other strategies.
+  ShardedIndex(int num_shards, int num_bits,
+               search::SearchStrategy strategy = search::SearchStrategy::kMih,
+               int mih_substrings = 0);
 
   /// Inserts one entry; returns its global id (dense, insertion-ordered).
   /// Thread-safe; concurrent inserts to different shards do not contend.
   /// `embedding` may be empty if only Hamming serving is needed.
   int Insert(search::Code code, std::vector<float> embedding);
 
-  /// Fan-out Hamming-Hybrid top-k over all shards, merged deterministically
-  /// by (distance, global id). With a `pool`, shard probes run as pool
-  /// tasks (must not itself be called from inside that pool — see
+  /// Fan-out top-k over all shards, merged deterministically by
+  /// (distance, global id). With a `pool`, shard probes run as pool tasks
+  /// (must not itself be called from inside that pool — see
   /// ThreadPool::RunAll); without one they run serially on the caller.
   std::vector<search::Neighbor> QueryTopK(const search::Code& query, int k,
                                           ThreadPool* pool = nullptr) const;
@@ -64,14 +71,19 @@ class ShardedIndex {
   int size() const { return next_id_.load(std::memory_order_acquire); }
   int num_shards() const { return static_cast<int>(shards_.size()); }
   int num_bits() const { return num_bits_; }
+  search::SearchStrategy strategy() const { return strategy_; }
 
  private:
   // Heap-allocated so shards never share a cache line through the vector and
   // the ShardedIndex stays movable in spirit (mutexes pin the Shard itself).
+  // Exactly one engine pointer is live, matching the index's strategy:
+  // `hybrid` serves kRadius2 and kBrute (it stores the packed codes the
+  // brute scan needs), `mih` serves kMih.
   struct Shard {
-    explicit Shard(int num_bits) : index(num_bits) {}
+    Shard(int num_bits, search::SearchStrategy strategy, int mih_substrings);
     mutable std::shared_mutex mu;
-    search::HammingIndex index;          // local ids 0..n-1
+    std::unique_ptr<search::HammingIndex> hybrid;
+    std::unique_ptr<search::MihIndex> mih;
     std::vector<int> global_ids;         // local id -> global id
     std::vector<std::vector<float>> embeddings;  // by local id
   };
@@ -81,6 +93,7 @@ class ShardedIndex {
   }
 
   const int num_bits_;
+  const search::SearchStrategy strategy_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<int> next_id_{0};
 };

@@ -11,6 +11,7 @@
 #include "core/index.h"
 #include "core/trainer.h"
 #include "distance/distance.h"
+#include "search/strategy.h"
 #include "traj/io.h"
 #include "traj/synthetic.h"
 
@@ -85,6 +86,57 @@ TEST(CliPipelineTest, GenerateSaveLoadTrainQuery) {
 
   std::remove(csv.c_str());
   std::remove(model_path.c_str());
+}
+
+TEST(CliStrategyFlagTest, ParsesKnownStrategiesAndRejectsUnknown) {
+  // The CLI's --strategy flag funnels through search::ParseStrategy; the
+  // strict-Args contract is that unknown values are loud errors.
+  EXPECT_EQ(search::ParseStrategy("brute").value(),
+            search::SearchStrategy::kBrute);
+  EXPECT_EQ(search::ParseStrategy("radius2").value(),
+            search::SearchStrategy::kRadius2);
+  EXPECT_EQ(search::ParseStrategy("mih").value(),
+            search::SearchStrategy::kMih);
+  for (const char* bad : {"", "MIH", "bruteforce", "hybrid"}) {
+    const auto result = search::ParseStrategy(bad);
+    ASSERT_FALSE(result.ok()) << bad;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+  EXPECT_STREQ(search::StrategyName(search::SearchStrategy::kMih), "mih");
+}
+
+TEST(CliStrategyFlagTest, QueryStrategiesReturnIdenticalResults) {
+  // What `t2h_cli query --strategy ...` dispatches to: every strategy must
+  // return the same ids in the same order for the same database.
+  Rng rng(95);
+  traj::CityConfig city = traj::CityConfig::PortoLike();
+  city.max_points = 10;
+  const auto corpus = GenerateTrips(city, 80, rng);
+  core::Traj2HashConfig cfg;
+  cfg.dim = 8;
+  cfg.num_blocks = 1;
+  cfg.num_heads = 2;
+  auto model = std::move(core::Traj2Hash::Create(cfg, corpus, rng).value());
+
+  core::TrajectoryIndex brute(model.get(), search::SearchStrategy::kBrute);
+  core::TrajectoryIndex radius2(model.get(),
+                                search::SearchStrategy::kRadius2);
+  core::TrajectoryIndex mih(model.get(), search::SearchStrategy::kMih);
+  const std::vector<traj::Trajectory> db(corpus.begin(), corpus.begin() + 60);
+  brute.AddAll(db);
+  radius2.AddAll(db);
+  mih.AddAll(db);
+  for (int q = 60; q < 70; ++q) {
+    const auto expected = brute.QueryHamming(corpus[q], 7);
+    for (const auto& got : {radius2.QueryHamming(corpus[q], 7),
+                            mih.QueryHamming(corpus[q], 7)}) {
+      ASSERT_EQ(got.size(), expected.size());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(got[i].index, expected[i].index);
+        EXPECT_DOUBLE_EQ(got[i].distance, expected[i].distance);
+      }
+    }
+  }
 }
 
 }  // namespace

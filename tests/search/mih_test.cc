@@ -1,0 +1,172 @@
+// Property tests for the exact multi-index Hamming index (search/mih.h):
+// the acceptance contract is that MIH top-k is element-for-element identical
+// (ids AND order under NeighborLess) to HammingIndex::BruteForceTopK for
+// every (n, B, k, m) configuration, including duplicate codes, k > n and the
+// cold-start (int num_bits) construction path.
+
+#include "search/mih.h"
+
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "search/hamming_index.h"
+
+namespace traj2hash::search {
+namespace {
+
+Code RandomCode(int bits, Rng& rng) {
+  std::vector<float> v(bits);
+  for (float& x : v) x = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+  return PackSigns(v);
+}
+
+Code FlipBits(Code c, const std::vector<int>& bits) {
+  for (const int b : bits) c.words[b / 64] ^= (uint64_t{1} << (b % 64));
+  return c;
+}
+
+/// A database with clustered structure (realistic hash codes) plus exact
+/// duplicates, so top-k ties and the pruning bound both get exercised.
+std::vector<Code> ClusteredDb(int n, int bits, Rng& rng) {
+  std::vector<Code> db;
+  db.reserve(n);
+  Code center = RandomCode(bits, rng);
+  for (int i = 0; i < n; ++i) {
+    if (i % 16 == 0) center = RandomCode(bits, rng);
+    if (i % 7 == 0) {
+      db.push_back(center);  // exact duplicate of the cluster centre
+      continue;
+    }
+    std::vector<int> flips;
+    const int num_flips = static_cast<int>(rng.Uniform(0.0, 4.0));
+    for (int f = 0; f < num_flips; ++f) {
+      flips.push_back(static_cast<int>(rng.Uniform(0.0, bits - 0.001)));
+    }
+    db.push_back(FlipBits(center, flips));
+  }
+  return db;
+}
+
+void ExpectIdentical(const std::vector<Neighbor>& mih,
+                     const std::vector<Neighbor>& brute) {
+  ASSERT_EQ(mih.size(), brute.size());
+  for (size_t i = 0; i < brute.size(); ++i) {
+    EXPECT_EQ(mih[i].index, brute[i].index) << "rank " << i;
+    EXPECT_EQ(mih[i].distance, brute[i].distance) << "rank " << i;
+  }
+}
+
+/// (num_bits, num_substrings) sweep; 0 substrings = the ceil(B/16) default.
+class MihEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MihEquivalenceTest, TopKMatchesBruteForceElementForElement) {
+  const auto [bits, substrings] = GetParam();
+  Rng rng(1000 + bits * 7 + substrings);
+  for (const int n : {1, 5, 63, 200}) {
+    const std::vector<Code> db = ClusteredDb(n, bits, rng);
+    const MihIndex mih(db, substrings);
+    const HammingIndex reference(db);
+    ASSERT_EQ(mih.size(), n);
+    for (int q = 0; q < 8; ++q) {
+      // Half the queries are perturbed database entries (near hits), half
+      // are fresh random codes (far, stresses radius growth).
+      const Code query =
+          q % 2 == 0
+              ? FlipBits(db[static_cast<size_t>(q) % db.size()],
+                         {q % bits, (q * 3 + 1) % bits})
+              : RandomCode(bits, rng);
+      for (const int k : {1, 3, 17, n, n + 10}) {
+        ExpectIdentical(mih.TopK(query, k),
+                        reference.BruteForceTopK(query, k));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndSubstrings, MihEquivalenceTest,
+    ::testing::Values(std::make_tuple(32, 0), std::make_tuple(32, 1),
+                      std::make_tuple(32, 5), std::make_tuple(64, 0),
+                      std::make_tuple(64, 2), std::make_tuple(128, 0),
+                      std::make_tuple(128, 4), std::make_tuple(128, 11),
+                      std::make_tuple(192, 0), std::make_tuple(192, 6)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "bits_" + std::to_string(std::get<0>(info.param)) + "_m_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(MihIndexTest, ColdStartGrowsThroughInsert) {
+  Rng rng(42);
+  MihIndex index(64);  // empty (int num_bits) construction
+  EXPECT_EQ(index.size(), 0);
+  EXPECT_EQ(index.num_substrings(), 4);
+  const Code probe = RandomCode(64, rng);
+  EXPECT_TRUE(index.TopK(probe, 3).empty());
+
+  EXPECT_EQ(index.Insert(probe), 0);
+  EXPECT_EQ(index.Insert(FlipBits(probe, {1, 2})), 1);
+  const auto hits = index.TopK(probe, 5);  // k > n
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].index, 0);
+  EXPECT_EQ(hits[0].distance, 0.0);
+  EXPECT_EQ(hits[1].index, 1);
+  EXPECT_EQ(hits[1].distance, 2.0);
+}
+
+TEST(MihIndexTest, IncrementalInsertMatchesBulkBuild) {
+  Rng rng(43);
+  const std::vector<Code> db = ClusteredDb(120, 128, rng);
+  const MihIndex bulk(db);
+  MihIndex incremental(128);
+  for (const Code& c : db) incremental.Insert(c);
+  const Code query = RandomCode(128, rng);
+  ExpectIdentical(incremental.TopK(query, 20), bulk.TopK(query, 20));
+}
+
+TEST(MihIndexTest, DuplicateCodesTieBreakByIndex) {
+  Rng rng(44);
+  const Code a = RandomCode(32, rng);
+  const MihIndex index({a, a, a});
+  const auto hits = index.TopK(a, 3);
+  ASSERT_EQ(hits.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(hits[i].index, i);
+    EXPECT_EQ(hits[i].distance, 0.0);
+  }
+}
+
+TEST(MihIndexTest, DefaultSubstringCountIsSixteenBitChunks) {
+  EXPECT_EQ(MihIndex::DefaultSubstrings(8), 1);
+  EXPECT_EQ(MihIndex::DefaultSubstrings(16), 1);
+  EXPECT_EQ(MihIndex::DefaultSubstrings(32), 2);
+  EXPECT_EQ(MihIndex::DefaultSubstrings(128), 8);
+  EXPECT_EQ(MihIndex::DefaultSubstrings(192), 12);
+  EXPECT_EQ(MihIndex::DefaultSubstrings(100), 7);  // uneven split
+}
+
+TEST(MihIndexTest, UnevenSubstringSplitStaysExact) {
+  // 100 bits over 7 substrings: two widths (15 and 14 bits) in one index.
+  Rng rng(45);
+  const std::vector<Code> db = ClusteredDb(90, 100, rng);
+  const MihIndex mih(db);
+  const HammingIndex reference(db);
+  for (int q = 0; q < 5; ++q) {
+    const Code query = RandomCode(100, rng);
+    ExpectIdentical(mih.TopK(query, 11), reference.BruteForceTopK(query, 11));
+  }
+}
+
+TEST(MihIndexDeathTest, RejectsInvalidConfigurations) {
+  EXPECT_DEATH(MihIndex(64, 65), "CHECK");   // m > num_bits
+  EXPECT_DEATH(MihIndex(128, 2), "CHECK");   // 64-bit substrings: too wide
+  Rng rng(46);
+  MihIndex index(32);
+  EXPECT_DEATH(index.Insert(RandomCode(64, rng)), "CHECK");  // width mismatch
+}
+
+}  // namespace
+}  // namespace traj2hash::search

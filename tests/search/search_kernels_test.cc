@@ -1,0 +1,143 @@
+// Flat storage + scan kernel tests: PackedCodes / FlatMatrix round-trips and
+// the determinism contract of search::kernels — the Hamming scan must equal
+// the scalar per-pair popcount exactly, and the 4-row-blocked L2 scan must be
+// bit-identical to the seed's per-row ascending-order double accumulation
+// (which the nested-vector TopKEuclidean overload still embodies).
+
+#include "search/kernels.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "search/flat_storage.h"
+#include "search/knn.h"
+
+namespace traj2hash::search {
+namespace {
+
+Code RandomCode(int bits, Rng& rng) {
+  std::vector<float> v(bits);
+  for (float& x : v) x = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+  return PackSigns(v);
+}
+
+TEST(PackedCodesTest, RoundTripsCodes) {
+  Rng rng(11);
+  std::vector<Code> codes;
+  for (int i = 0; i < 20; ++i) codes.push_back(RandomCode(96, rng));
+  const PackedCodes packed = PackedCodes::FromCodes(codes);
+  EXPECT_EQ(packed.size(), 20);
+  EXPECT_EQ(packed.num_bits(), 96);
+  EXPECT_EQ(packed.words_per_code(), 2);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(packed.CodeAt(i), codes[i]) << i;
+  }
+}
+
+TEST(PackedCodesDeathTest, RejectsWidthMismatch) {
+  Rng rng(12);
+  PackedCodes packed(32);
+  EXPECT_DEATH(packed.Append(RandomCode(64, rng)), "CHECK");
+}
+
+TEST(FlatMatrixTest, RoundTripsRows) {
+  FlatMatrix m(3);
+  EXPECT_EQ(m.Append({1.0f, 2.0f, 3.0f}), 0);
+  EXPECT_EQ(m.Append({4.0f, 5.0f, 6.0f}), 1);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.RowAt(1), (std::vector<float>{4.0f, 5.0f, 6.0f}));
+  EXPECT_EQ(m.row(1)[0], 4.0f);
+}
+
+TEST(FlatMatrixDeathTest, RejectsRaggedRow) {
+  FlatMatrix m(3);
+  EXPECT_DEATH(m.Append({1.0f}), "CHECK");
+}
+
+/// Sweeps every unrolled word width (1..4 words) plus the generic tail.
+TEST(HammingScanTest, MatchesScalarDistanceAtAllWordWidths) {
+  Rng rng(13);
+  for (const int bits : {17, 64, 100, 128, 192, 256, 320}) {
+    std::vector<Code> codes;
+    for (int i = 0; i < 33; ++i) codes.push_back(RandomCode(bits, rng));
+    const PackedCodes packed = PackedCodes::FromCodes(codes);
+    const Code query = RandomCode(bits, rng);
+    std::vector<int32_t> out(codes.size());
+    kernels::HammingScan(packed.data(), query.words.data(),
+                         packed.size(), packed.words_per_code(), out.data());
+    for (size_t i = 0; i < codes.size(); ++i) {
+      EXPECT_EQ(out[i], HammingDistance(codes[i], query)) << bits << ":" << i;
+      EXPECT_EQ(kernels::HammingDistanceRow(packed.row(static_cast<int>(i)),
+                                            query.words.data(),
+                                            packed.words_per_code()),
+                out[i]);
+    }
+  }
+}
+
+/// The 4-row blocking must not change a single bit of any distance: each
+/// row keeps one double accumulator in ascending column order.
+TEST(SquaredL2ScanTest, BitIdenticalToSeedAccumulationOrder) {
+  Rng rng(14);
+  for (const int n : {1, 3, 4, 9, 32}) {
+    const int dim = 24;
+    std::vector<float> db(static_cast<size_t>(n) * dim);
+    std::vector<float> query(dim);
+    for (float& v : db) v = static_cast<float>(rng.Uniform(-2.0, 2.0));
+    for (float& v : query) v = static_cast<float>(rng.Uniform(-2.0, 2.0));
+
+    std::vector<double> got(n);
+    kernels::SquaredL2Scan(db.data(), query.data(), n, dim, got.data());
+    for (int i = 0; i < n; ++i) {
+      double acc = 0.0;  // the seed loop, transcribed
+      for (int j = 0; j < dim; ++j) {
+        const double diff =
+            static_cast<double>(db[static_cast<size_t>(i) * dim + j]) -
+            query[j];
+        acc += diff * diff;
+      }
+      EXPECT_EQ(got[i], acc) << n << ":" << i;
+    }
+  }
+}
+
+TEST(TopKFlatOverloadTest, EuclideanFlatMatchesNestedBitForBit) {
+  Rng rng(15);
+  const int n = 40, dim = 16;
+  std::vector<std::vector<float>> nested(n, std::vector<float>(dim));
+  std::vector<float> query(dim);
+  for (auto& row : nested) {
+    for (float& v : row) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+  for (float& v : query) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  const FlatMatrix flat = FlatMatrix::FromRows(nested, dim);
+
+  const auto from_flat = TopKEuclidean(flat, query, 7);
+  const auto from_nested = TopKEuclidean(nested, query, 7);
+  ASSERT_EQ(from_flat.size(), from_nested.size());
+  for (size_t i = 0; i < from_flat.size(); ++i) {
+    EXPECT_EQ(from_flat[i].index, from_nested[i].index);
+    EXPECT_EQ(from_flat[i].distance, from_nested[i].distance);
+  }
+}
+
+TEST(TopKFlatOverloadTest, HammingPackedMatchesUnpacked) {
+  Rng rng(16);
+  std::vector<Code> codes;
+  for (int i = 0; i < 50; ++i) codes.push_back(RandomCode(72, rng));
+  const PackedCodes packed = PackedCodes::FromCodes(codes);
+  const Code query = RandomCode(72, rng);
+  const auto from_packed = TopKHamming(packed, query, 9);
+  const auto from_codes = TopKHamming(codes, query, 9);
+  ASSERT_EQ(from_packed.size(), from_codes.size());
+  for (size_t i = 0; i < from_packed.size(); ++i) {
+    EXPECT_EQ(from_packed[i].index, from_codes[i].index);
+    EXPECT_EQ(from_packed[i].distance, from_codes[i].distance);
+  }
+}
+
+}  // namespace
+}  // namespace traj2hash::search

@@ -147,6 +147,86 @@ TEST(ShardedIndexTest, ConcurrentInsertsAreAllRetrievable) {
   }
 }
 
+/// Every strategy (brute scan, radius-2 hybrid, MIH) must serve the same
+/// merged result for the same sharded database — they are one exact search
+/// with different probe mechanics (DESIGN.md §9).
+TEST(ShardedIndexTest, StrategiesAreBitIdenticalAcrossShards) {
+  Env env = MakeEnv();
+  const std::vector<traj::Trajectory> db(env.corpus.begin(),
+                                         env.corpus.begin() + 120);
+  const int bits = env.model->config().dim;
+  ShardedIndex brute(3, bits, search::SearchStrategy::kBrute);
+  ShardedIndex radius2(3, bits, search::SearchStrategy::kRadius2);
+  ShardedIndex mih(3, bits, search::SearchStrategy::kMih);
+  for (const traj::Trajectory& t : db) {
+    const search::Code code = env.model->HashCode(t);
+    brute.Insert(code, {});
+    radius2.Insert(code, {});
+    mih.Insert(code, {});
+  }
+  for (int q = 120; q < 135; ++q) {
+    const search::Code code = env.model->HashCode(env.corpus[q]);
+    for (const int k : {1, 8, 30}) {
+      const auto expected = brute.QueryTopK(code, k);
+      for (const auto& got : {radius2.QueryTopK(code, k),
+                              mih.QueryTopK(code, k)}) {
+        ASSERT_EQ(got.size(), expected.size());
+        for (size_t i = 0; i < expected.size(); ++i) {
+          EXPECT_EQ(got[i].index, expected[i].index);
+          EXPECT_DOUBLE_EQ(got[i].distance, expected[i].distance);
+        }
+      }
+    }
+  }
+}
+
+/// Concurrent MIH reads against concurrent writers: the TSan acceptance run
+/// for the new engine (build with -DT2H_SANITIZE=thread). Readers hold
+/// per-shard shared locks while MIH probes its flat tables; results are only
+/// sanity-checked (monotone distances) because the database mutates
+/// underneath the queries.
+TEST(ShardedIndexTest, ConcurrentMihQueriesAndInsertsAreRaceFree) {
+  constexpr int kBits = 64;
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 3;
+  constexpr int kPerThread = 120;
+  ShardedIndex index(4, kBits, search::SearchStrategy::kMih);
+  Rng seed_rng(123);
+  // Pre-load a few entries so early readers always have candidates.
+  std::vector<float> values(kBits);
+  for (int i = 0; i < 8; ++i) {
+    for (float& v : values) v = seed_rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+    index.Insert(search::PackSigns(values), {});
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&index, t] {
+      Rng rng(1000 + t);
+      std::vector<float> v(kBits);
+      for (int i = 0; i < kPerThread; ++i) {
+        for (float& x : v) x = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+        index.Insert(search::PackSigns(v), {});
+      }
+    });
+  }
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&index, t] {
+      Rng rng(2000 + t);
+      std::vector<float> v(kBits);
+      for (int i = 0; i < kPerThread; ++i) {
+        for (float& x : v) x = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+        const auto hits = index.QueryTopK(search::PackSigns(v), 5);
+        EXPECT_LE(hits.size(), 5u);
+        for (size_t j = 1; j < hits.size(); ++j) {
+          EXPECT_LE(hits[j - 1].distance, hits[j].distance);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(index.size(), 8 + kWriters * kPerThread);
+}
+
 TEST(ShardedIndexTest, EmbeddingRoundTrips) {
   Env env = MakeEnv();
   ShardedIndex index(2, env.model->config().dim);

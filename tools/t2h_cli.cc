@@ -23,6 +23,8 @@
 #include "distance/distance.h"
 #include "search/hamming_index.h"
 #include "search/knn.h"
+#include "search/mih.h"
+#include "search/strategy.h"
 #include "serve/engine.h"
 #include "traj/io.h"
 #include "traj/synthetic.h"
@@ -95,11 +97,15 @@ int Usage() {
                "  query    --data F --model MODEL --query-id ID [--k K]\n"
                "           [--space euclid|hamming|hybrid] [--dim D]"
                " [--seed S]\n"
+               "           [--strategy brute|radius2|mih]"
+               " [--mih-substrings M]\n"
                "  distance --data F --a ID --b ID\n"
                "  serve-bench --data F [--model MODEL] [--threads T]"
                " [--shards S]\n"
                "           [--k K] [--queries N] [--rounds R] [--dim D]"
-               " [--seed S]\n");
+               " [--seed S]\n"
+               "           [--strategy brute|radius2|mih]"
+               " [--mih-substrings M]\n");
   return 2;
 }
 
@@ -220,20 +226,41 @@ int RunQuery(const Args& args) {
   const std::string space = args.Get("space", "hybrid");
   const t2h::traj::Trajectory& query = corpus[query_id];
   std::vector<t2h::search::Neighbor> result;
+  std::string how = space;
   if (space == "euclid") {
     result = t2h::search::TopKEuclidean(t2h::core::EmbedAll(*model, corpus),
                                         model->Embed(query), k + 1);
-  } else if (space == "hamming") {
-    result = t2h::search::TopKHamming(t2h::core::HashAll(*model, corpus),
-                                      model->HashCode(query), k + 1);
-  } else if (space == "hybrid") {
-    const t2h::search::HammingIndex index(t2h::core::HashAll(*model, corpus));
-    result = index.HybridTopK(model->HashCode(query), k + 1);
+  } else if (space == "hamming" || space == "hybrid") {
+    // All strategies return bit-identical results (DESIGN.md §9); --strategy
+    // only picks the probe mechanics. Without it, the legacy spaces map to
+    // their historical engines: hamming = brute scan, hybrid = radius-2.
+    const auto strategy = t2h::search::ParseStrategy(
+        args.Get("strategy", space == "hybrid" ? "radius2" : "brute"));
+    if (!strategy.ok()) return Fail(strategy.status().ToString());
+    const int mih_substrings = args.GetInt("mih-substrings", 0);
+    if (mih_substrings < 0) return Fail("--mih-substrings must be >= 0");
+    const std::vector<t2h::search::Code> codes =
+        t2h::core::HashAll(*model, corpus);
+    const t2h::search::Code query_code = model->HashCode(query);
+    switch (strategy.value()) {
+      case t2h::search::SearchStrategy::kBrute:
+        result = t2h::search::TopKHamming(codes, query_code, k + 1);
+        break;
+      case t2h::search::SearchStrategy::kRadius2:
+        result = t2h::search::HammingIndex(codes).HybridTopK(query_code,
+                                                             k + 1);
+        break;
+      case t2h::search::SearchStrategy::kMih:
+        result = t2h::search::MihIndex(codes, mih_substrings)
+                     .TopK(query_code, k + 1);
+        break;
+    }
+    how = space + "/" + t2h::search::StrategyName(strategy.value());
   } else {
     return Fail("--space must be euclid, hamming or hybrid");
   }
   std::printf("top-%d most similar to trajectory %d (%s space):\n", k,
-              query_id, space.c_str());
+              query_id, how.c_str());
   int printed = 0;
   for (const t2h::search::Neighbor& n : result) {
     if (n.index == query_id) continue;  // skip the query itself
@@ -295,10 +322,17 @@ int RunServeBench(const Args& args) {
   if (threads < 1 || shards < 1 || k < 1 || rounds < 1) {
     return Fail("--threads/--shards/--k/--rounds must be positive");
   }
+  const auto strategy =
+      t2h::search::ParseStrategy(args.Get("strategy", "mih"));
+  if (!strategy.ok()) return Fail(strategy.status().ToString());
+  const int mih_substrings = args.GetInt("mih-substrings", 0);
+  if (mih_substrings < 0) return Fail("--mih-substrings must be >= 0");
 
   t2h::serve::QueryEngine engine(model.get(),
                                  {.num_threads = threads,
-                                  .num_shards = shards});
+                                  .num_shards = shards,
+                                  .strategy = strategy.value(),
+                                  .mih_substrings = mih_substrings});
   t2h::Stopwatch ingest;
   engine.InsertAll(corpus);
   std::printf("ingested %d trajectories into %d shards in %.2f s\n",
@@ -314,8 +348,9 @@ int RunServeBench(const Args& args) {
   const double seconds = wall.ElapsedSeconds();
   const int total = rounds * num_queries;
 
-  std::printf("%d queries (top-%d, %d threads, %d shards): %.1f QPS\n",
-              total, k, threads, shards, total / seconds);
+  std::printf("%d queries (top-%d, %d threads, %d shards, %s): %.1f QPS\n",
+              total, k, threads, shards,
+              t2h::search::StrategyName(strategy.value()), total / seconds);
   std::printf("%s", engine.stats().ToString().c_str());
   return 0;
 }
@@ -332,11 +367,12 @@ int main(int argc, char** argv) {
        {"data", "out", "measure", "seeds", "epochs", "dim", "seed",
         "threads"}},
       {"query",
-       {"data", "model", "query-id", "k", "space", "dim", "seed"}},
+       {"data", "model", "query-id", "k", "space", "dim", "seed", "strategy",
+        "mih-substrings"}},
       {"distance", {"data", "a", "b"}},
       {"serve-bench",
        {"data", "model", "threads", "shards", "k", "queries", "rounds",
-        "dim", "seed"}},
+        "dim", "seed", "strategy", "mih-substrings"}},
   };
   const auto known = kKnownFlags.find(command);
   if (known == kKnownFlags.end()) return Usage();
