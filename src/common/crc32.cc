@@ -1,0 +1,40 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace traj2hash {
+namespace {
+
+/// The 256-entry lookup table for the reflected 0xEDB88320 polynomial,
+/// generated once at startup (cheap and avoids a 1 KiB literal).
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const std::array<uint32_t, 256>& table = Table();
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+uint32_t Crc32(const void* data, size_t size) {
+  return Crc32Finish(Crc32Update(kCrc32Init, data, size));
+}
+
+}  // namespace traj2hash

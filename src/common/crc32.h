@@ -1,0 +1,30 @@
+#ifndef TRAJ2HASH_COMMON_CRC32_H_
+#define TRAJ2HASH_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace traj2hash {
+
+/// CRC-32 (IEEE 802.3, the zlib/gzip polynomial 0xEDB88320) over a byte
+/// range. Used to checksum every on-disk artifact (model files, index
+/// snapshots) so a truncated or bit-flipped file loads as `kDataLoss`
+/// instead of garbage. Reference value: Crc32("123456789") == 0xCBF43926.
+uint32_t Crc32(const void* data, size_t size);
+
+/// Convenience overload for string payloads.
+inline uint32_t Crc32(const std::string& payload) {
+  return Crc32(payload.data(), payload.size());
+}
+
+/// Incremental form: feed `crc` the previous return value (or
+/// `kCrc32Init` for the first chunk) and finish with `Crc32Finish`.
+/// `Crc32(p, n) == Crc32Finish(Crc32Update(kCrc32Init, p, n))`.
+inline constexpr uint32_t kCrc32Init = 0xFFFFFFFFu;
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+inline uint32_t Crc32Finish(uint32_t crc) { return crc ^ 0xFFFFFFFFu; }
+
+}  // namespace traj2hash
+
+#endif  // TRAJ2HASH_COMMON_CRC32_H_

@@ -1,0 +1,58 @@
+#ifndef TRAJ2HASH_COMMON_DEADLINE_H_
+#define TRAJ2HASH_COMMON_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/fault_injection.h"
+
+namespace traj2hash {
+
+/// A point in time after which an operation should stop and return whatever
+/// it has (graceful degradation), threaded by value through the serving
+/// stack. Default-constructed deadlines are infinite, so every happy path
+/// stays a no-op.
+///
+/// `Expired(point)` optionally names a fault-injection site: an armed
+/// FaultInjector can force that exact check to report expiry — even on an
+/// infinite deadline — which is how tests exercise mid-probe expiry
+/// deterministically, without real-clock races.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Infinite: never expires on its own.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  static Deadline At(Clock::time_point when) { return Deadline(when); }
+
+  /// Expires `ms` milliseconds from now. Non-positive values yield an
+  /// already-expired deadline (useful as "fail fast").
+  static Deadline AfterMillis(int64_t ms) {
+    return Deadline(Clock::now() + std::chrono::milliseconds(ms));
+  }
+
+  bool infinite() const { return !has_deadline_; }
+
+  /// True once the deadline has passed, or when the named fault-injection
+  /// point fires (tests only; inactive injector costs one atomic load).
+  bool Expired(const char* fault_point = nullptr) const {
+    if (fault_point != nullptr && FaultInjector::Fire(fault_point)) {
+      return true;
+    }
+    return has_deadline_ && Clock::now() >= when_;
+  }
+
+ private:
+  explicit Deadline(Clock::time_point when)
+      : has_deadline_(true), when_(when) {}
+
+  bool has_deadline_ = false;
+  Clock::time_point when_{};
+};
+
+}  // namespace traj2hash
+
+#endif  // TRAJ2HASH_COMMON_DEADLINE_H_

@@ -1,0 +1,99 @@
+#include "common/fault_injection.h"
+
+#include <atomic>
+
+#include "common/check.h"
+
+namespace traj2hash {
+namespace {
+
+/// The process-wide active injector. Relaxed loads suffice on the fast path:
+/// installation happens-before the faulted code runs in any sane test (the
+/// Scope is created before the system under test is exercised).
+std::atomic<FaultInjector*> g_active{nullptr};
+
+}  // namespace
+
+void FaultInjector::Arm(const std::string& point, int skip, int fire) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& p = points_[point];
+  p.skip = skip;
+  p.fire = fire;
+}
+
+void FaultInjector::ArmProbability(const std::string& point,
+                                   double probability, uint64_t seed) {
+  T2H_CHECK(probability >= 0.0 && probability <= 1.0);
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& p = points_[point];
+  p.probabilistic = true;
+  p.probability = probability;
+  p.engine.seed(seed);
+}
+
+void FaultInjector::ArmGate(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_[point].gate = true;
+}
+
+void FaultInjector::OpenGate(const std::string& point) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = points_.find(point);
+    T2H_CHECK_MSG(it != points_.end() && it->second.gate,
+                  "OpenGate on a point that was never gate-armed");
+    it->second.gate_open = true;
+  }
+  gate_opened_.notify_all();
+}
+
+int FaultInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+int FaultInjector::fired(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fired;
+}
+
+bool FaultInjector::FireImpl(const char* point) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  if (it == points_.end()) return false;
+  Point& p = it->second;
+  ++p.hits;
+  if (p.gate) {
+    gate_opened_.wait(lock, [&p] { return p.gate_open; });
+    return false;
+  }
+  if (p.probabilistic) {
+    if (std::bernoulli_distribution(p.probability)(p.engine)) {
+      ++p.fired;
+      return true;
+    }
+    return false;
+  }
+  if (p.hits > p.skip && p.fired < p.fire) {
+    ++p.fired;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::Fire(const char* point) {
+  FaultInjector* active = g_active.load(std::memory_order_acquire);
+  if (active == nullptr) return false;
+  return active->FireImpl(point);
+}
+
+FaultInjector::Scope::Scope(FaultInjector* injector)
+    : previous_(g_active.exchange(injector, std::memory_order_acq_rel)) {}
+
+FaultInjector::Scope::~Scope() {
+  g_active.store(previous_, std::memory_order_release);
+}
+
+}  // namespace traj2hash

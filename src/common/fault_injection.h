@@ -1,0 +1,119 @@
+#ifndef TRAJ2HASH_COMMON_FAULT_INJECTION_H_
+#define TRAJ2HASH_COMMON_FAULT_INJECTION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <random>
+#include <string>
+
+namespace traj2hash {
+
+/// Named failure points that production code consults via
+/// `FaultInjector::Fire`. Centralised so tests arm exactly the site they
+/// mean and a grep finds every place a fault can be injected.
+namespace faults {
+/// file_util::AtomicWriteFile — payload write fails mid-way (torn write:
+/// the temp file holds a prefix of the payload, the target is untouched).
+inline constexpr char kFileWrite[] = "file.write";
+/// file_util::AtomicWriteFile — the final atomic rename fails after a fully
+/// written + fsynced temp file (the target keeps its previous contents).
+inline constexpr char kFileRename[] = "file.rename";
+/// serve::QueryEngine probe loop — the per-shard deadline check reports the
+/// deadline as expired before this shard is probed.
+inline constexpr char kShardProbe[] = "serve.shard_probe";
+/// search::MihIndex::TopK — the between-radius-rounds deadline check reports
+/// the deadline as expired (probe returns the candidates seen so far).
+inline constexpr char kMihRadiusRound[] = "search.mih_radius_round";
+/// ThreadPool::RunAll — the task is dropped at start (never runs; the batch
+/// barrier still completes), simulating a lost unit of pool work.
+inline constexpr char kPoolTaskStart[] = "pool.task_start";
+}  // namespace faults
+
+/// Deterministic fault-injection harness for robustness tests.
+///
+/// Production code calls `FaultInjector::Fire(point)` at its failure points;
+/// with no injector installed this is one relaxed atomic load (safe on hot
+/// paths). Tests construct a FaultInjector, arm points — counted ("skip the
+/// first s hits, then fail the next f"), seeded-probabilistic, or gates
+/// (hits block until released, for deterministic overload scenarios) — and
+/// install it for a scope:
+///
+///   FaultInjector fi;
+///   fi.Arm(faults::kFileWrite);              // fail every hit
+///   FaultInjector::Scope scope(&fi);
+///   EXPECT_EQ(SaveSnapshot(...).code(), StatusCode::kIoError);
+///
+/// All counters advance under one mutex, so a single-threaded test sees a
+/// fully deterministic hit sequence; multi-threaded hits are serialised but
+/// their interleaving follows the thread schedule (use gates to pin it).
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Counted arming: hits 1..skip pass, the next `fire` hits fail, later
+  /// hits pass again. Defaults fail every hit forever.
+  void Arm(const std::string& point, int skip = 0, int fire = kForever);
+
+  /// Seed-deterministic random arming: each hit fails independently with
+  /// `probability`, drawn from a per-point engine seeded with `seed`.
+  void ArmProbability(const std::string& point, double probability,
+                      uint64_t seed);
+
+  /// Gate arming: every hit blocks inside Fire (which then reports "no
+  /// fault") until OpenGate; hits after OpenGate pass straight through.
+  /// Lets a test deterministically hold work in flight (e.g. pin a query
+  /// inside the probe stage while a burst arrives behind it).
+  void ArmGate(const std::string& point);
+  void OpenGate(const std::string& point);
+
+  /// Total hits / injected failures observed at `point` so far.
+  int hits(const std::string& point) const;
+  int fired(const std::string& point) const;
+
+  /// Installs an injector process-wide for the enclosing scope (test-only;
+  /// scopes must not be nested across threads).
+  class Scope {
+   public:
+    explicit Scope(FaultInjector* injector);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    FaultInjector* previous_;
+  };
+
+  /// Call-site hook: true means "inject a failure here". Gate points block
+  /// until opened and then return false. No-op (false) when no injector is
+  /// installed or the point is not armed.
+  static bool Fire(const char* point);
+
+  static constexpr int kForever = 1 << 30;
+
+ private:
+  struct Point {
+    int skip = 0;
+    int fire = 0;
+    int hits = 0;
+    int fired = 0;
+    bool probabilistic = false;
+    double probability = 0.0;
+    std::mt19937_64 engine;
+    bool gate = false;
+    bool gate_open = false;
+  };
+
+  bool FireImpl(const char* point);
+
+  mutable std::mutex mu_;
+  std::condition_variable gate_opened_;
+  std::map<std::string, Point> points_;
+};
+
+}  // namespace traj2hash
+
+#endif  // TRAJ2HASH_COMMON_FAULT_INJECTION_H_

@@ -1,0 +1,82 @@
+#include "common/file_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/fault_injection.h"
+
+namespace traj2hash {
+namespace {
+
+Status IoErrorWithErrno(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// Writes the full payload to `fd`, honouring the kFileWrite fault point:
+/// an injected fault writes only the first half of the payload (a torn
+/// write, as if the process crashed mid-flush) and reports failure.
+Status WriteAll(int fd, const std::string& payload, const std::string& path) {
+  size_t to_write = payload.size();
+  if (FaultInjector::Fire(faults::kFileWrite)) {
+    const size_t torn = payload.size() / 2;
+    if (torn > 0) {
+      [[maybe_unused]] ssize_t ignored = ::write(fd, payload.data(), torn);
+    }
+    return Status::IoError("injected torn write: " + path);
+  }
+  const char* data = payload.data();
+  while (to_write > 0) {
+    const ssize_t n = ::write(fd, data, to_write);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoErrorWithErrno("write failed for", path);
+    }
+    data += n;
+    to_write -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, const std::string& payload) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return IoErrorWithErrno("cannot open temp file", tmp);
+
+  Status status = WriteAll(fd, payload, tmp);
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = IoErrorWithErrno("fsync failed for", tmp);
+  }
+  if (::close(fd) != 0 && status.ok()) {
+    status = IoErrorWithErrno("close failed for", tmp);
+  }
+  if (status.ok() && FaultInjector::Fire(faults::kFileRename)) {
+    status = Status::IoError("injected rename failure: " + tmp);
+  }
+  if (status.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    status = IoErrorWithErrno("rename failed for", tmp);
+  }
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());  // never leave a torn temp file behind
+    return status;
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return buffer.str();
+}
+
+}  // namespace traj2hash

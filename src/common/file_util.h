@@ -1,0 +1,24 @@
+#ifndef TRAJ2HASH_COMMON_FILE_UTIL_H_
+#define TRAJ2HASH_COMMON_FILE_UTIL_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace traj2hash {
+
+/// Crash-safe whole-file write: the payload goes to `path + ".tmp"`, is
+/// fsynced, and is atomically renamed over `path`. A crash (or injected
+/// fault, see common/fault_injection.h) at any point leaves the previous
+/// contents of `path` fully intact — readers see either the old file or the
+/// complete new one, never a torn mix. On failure the temp file is removed
+/// and kIoError is returned.
+Status AtomicWriteFile(const std::string& path, const std::string& payload);
+
+/// Reads a whole file (binary) into a string. kIoError when the file cannot
+/// be opened or read.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace traj2hash
+
+#endif  // TRAJ2HASH_COMMON_FILE_UTIL_H_

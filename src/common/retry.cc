@@ -1,0 +1,45 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace traj2hash {
+
+double BackoffMillis(const RetryOptions& options, int attempt, Rng& rng) {
+  T2H_CHECK_GE(attempt, 1);
+  double base = options.initial_backoff_ms;
+  for (int i = 1; i < attempt; ++i) {
+    base *= options.multiplier;
+    if (base >= options.max_backoff_ms) break;  // saturated; stop multiplying
+  }
+  base = std::min(base, options.max_backoff_ms);
+  if (options.jitter <= 0.0) return base;
+  return rng.Uniform(base * (1.0 - options.jitter),
+                     base * (1.0 + options.jitter));
+}
+
+bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kIoError;
+}
+
+void SleepMillis(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+Status RetryWithBackoff(const RetryOptions& options, Rng& rng,
+                        const std::function<Status()>& fn,
+                        const std::function<void(double ms)>& sleeper) {
+  T2H_CHECK_GE(options.max_attempts, 1);
+  Status status;
+  for (int attempt = 1; attempt <= options.max_attempts; ++attempt) {
+    status = fn();
+    if (status.ok() || !IsRetryable(status.code())) return status;
+    if (attempt < options.max_attempts) {
+      sleeper(BackoffMillis(options, attempt, rng));
+    }
+  }
+  return status;
+}
+
+}  // namespace traj2hash

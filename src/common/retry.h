@@ -1,0 +1,47 @@
+#ifndef TRAJ2HASH_COMMON_RETRY_H_
+#define TRAJ2HASH_COMMON_RETRY_H_
+
+#include <functional>
+#include <thread>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace traj2hash {
+
+/// Jittered exponential backoff policy for retrying transient failures
+/// (kUnavailable from admission control, kIoError from flaky storage).
+struct RetryOptions {
+  int max_attempts = 3;           ///< total tries, including the first
+  double initial_backoff_ms = 10.0;
+  double multiplier = 2.0;
+  double max_backoff_ms = 1000.0;
+  /// Uniform jitter fraction: the sleep before retry i is drawn from
+  /// [b*(1-jitter), b*(1+jitter)] where b is the capped exponential base.
+  /// Deterministic under a seeded Rng, so tests assert exact schedules.
+  double jitter = 0.25;
+};
+
+/// The backoff (milliseconds) to sleep before retry attempt `attempt`
+/// (1 = the sleep after the first failure). Consumes exactly one draw from
+/// `rng` when jitter > 0, so schedules are reproducible from the seed.
+double BackoffMillis(const RetryOptions& options, int attempt, Rng& rng);
+
+/// True for codes worth retrying: transient overload/IO, not corruption or
+/// caller bugs.
+bool IsRetryable(StatusCode code);
+
+/// Default sleeper: blocks the calling thread.
+void SleepMillis(double ms);
+
+/// Runs `fn` until it returns OK, a non-retryable status, or the attempt
+/// budget is exhausted; sleeps the jittered backoff between attempts via
+/// `sleeper` (overridable so tests capture the schedule instead of actually
+/// sleeping). Returns the last status.
+Status RetryWithBackoff(
+    const RetryOptions& options, Rng& rng, const std::function<Status()>& fn,
+    const std::function<void(double ms)>& sleeper = SleepMillis);
+
+}  // namespace traj2hash
+
+#endif  // TRAJ2HASH_COMMON_RETRY_H_

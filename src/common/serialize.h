@@ -1,0 +1,56 @@
+#ifndef TRAJ2HASH_COMMON_SERIALIZE_H_
+#define TRAJ2HASH_COMMON_SERIALIZE_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+
+namespace traj2hash {
+
+/// Appends the raw little-endian bytes of a POD value to `out`. Pair with
+/// PayloadReader::Read on the way back in. Only trivially-copyable types
+/// make sense here (integers, floats, packed structs of those).
+template <typename T>
+void AppendPod(std::string& out, const T& value) {
+  out.append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+/// Bounds-checked sequential reader over a serialized payload. Every
+/// failure sticks (reads past the end return zeroed values and latch
+/// `ok() == false`), so callers can batch a run of reads and test `ok()`
+/// once at the end instead of after every field.
+class PayloadReader {
+ public:
+  PayloadReader(const std::string& buffer, size_t pos)
+      : buffer_(buffer), pos_(pos) {}
+
+  template <typename T>
+  T Read() {
+    T value{};
+    ReadBytes(&value, sizeof(T));
+    return value;
+  }
+
+  void ReadBytes(void* out, size_t n) {
+    if (!ok_ || pos_ + n > buffer_.size()) {
+      ok_ = false;
+      return;
+    }
+    std::memcpy(out, buffer_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  bool ok() const { return ok_; }
+  /// True when every read succeeded and the payload is fully consumed —
+  /// trailing bytes are a structural mismatch, not success.
+  bool at_end() const { return ok_ && pos_ == buffer_.size(); }
+
+ private:
+  const std::string& buffer_;
+  size_t pos_;
+  bool ok_ = true;
+};
+
+}  // namespace traj2hash
+
+#endif  // TRAJ2HASH_COMMON_SERIALIZE_H_

@@ -17,6 +17,15 @@ enum class StatusCode {
   kFailedPrecondition,
   kOutOfRange,
   kInternal,
+  /// The service is overloaded (admission control shed the request) or a
+  /// dependency is temporarily down. Retryable with backoff (common/retry.h).
+  kUnavailable,
+  /// The caller's deadline expired before the operation finished. A partial
+  /// best-effort result may accompany this code (serve::QueryResult).
+  kDeadlineExceeded,
+  /// Stored data is unrecoverably corrupt or truncated (checksum mismatch,
+  /// torn write). Not retryable: the file must be rebuilt from source.
+  kDataLoss,
 };
 
 /// Result of a fallible operation that produces no value.
@@ -49,6 +58,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -3,6 +3,7 @@
 #include <latch>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 
 namespace traj2hash {
 
@@ -38,7 +39,9 @@ void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
   std::latch done(static_cast<std::ptrdiff_t>(tasks.size()));
   for (std::function<void()>& task : tasks) {
     Submit([&done, task = std::move(task)] {
-      task();
+      // Fault point: a dropped task never runs, but the barrier still
+      // completes — batch callers observe a missing unit, not a hang.
+      if (!FaultInjector::Fire(faults::kPoolTaskStart)) task();
       done.count_down();
     });
   }

@@ -1,8 +1,11 @@
 #include "core/model.h"
 
 #include <cstdio>
-#include <fstream>
+#include <cstring>
 
+#include "common/crc32.h"
+#include "common/file_util.h"
+#include "common/serialize.h"
 #include "nn/ops.h"
 
 namespace traj2hash::core {
@@ -198,58 +201,107 @@ uint64_t ConfigFingerprint(const Traj2HashConfig& cfg) {
   return h;
 }
 
+// Model file layout, version 3 ("T2HASH3", DESIGN.md §11):
+//   u64 magic | u32 version | u32 crc32 of everything after it |
+//   u64 config fingerprint | u64 tensor count | count tensors of
+//   { u64 n, n floats }.
+// Version 2 ("T2HASH2") is the same minus version/crc; Load still reads it
+// so checkpoints written before checksumming was added keep working, but
+// they get no corruption detection.
+constexpr uint64_t kModelMagicV2 = 0x54324841534832ull;  // "T2HASH2"
+constexpr uint64_t kModelMagicV3 = 0x54324841534833ull;  // "T2HASH3"
+constexpr uint32_t kModelVersion = 3;
+
 }  // namespace
 
 Status Traj2Hash::Save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
   const std::vector<Tensor> tensors = PersistentTensors();
-  const uint64_t magic = 0x54324841534832ull;  // "T2HASH2"
-  const uint64_t fingerprint = ConfigFingerprint(config_);
-  const uint64_t count = tensors.size();
-  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
-  out.write(reinterpret_cast<const char*>(&fingerprint), sizeof(fingerprint));
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  std::string buffer;
+  AppendPod(buffer, kModelMagicV3);
+  AppendPod(buffer, kModelVersion);
+  const size_t crc_pos = buffer.size();
+  AppendPod(buffer, uint32_t{0});  // CRC placeholder, patched below
+  AppendPod(buffer, ConfigFingerprint(config_));
+  AppendPod(buffer, static_cast<uint64_t>(tensors.size()));
   for (const Tensor& t : tensors) {
-    const uint64_t n = t->value().size();
-    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
-    out.write(reinterpret_cast<const char*>(t->value().data()),
-              static_cast<std::streamsize>(n * sizeof(float)));
+    AppendPod(buffer, static_cast<uint64_t>(t->value().size()));
+    buffer.append(reinterpret_cast<const char*>(t->value().data()),
+                  t->value().size() * sizeof(float));
   }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+  const uint32_t crc = Crc32(buffer.data() + crc_pos + sizeof(uint32_t),
+                             buffer.size() - crc_pos - sizeof(uint32_t));
+  std::memcpy(buffer.data() + crc_pos, &crc, sizeof(crc));
+  return AtomicWriteFile(path, buffer);
 }
 
 Status Traj2Hash::Load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for reading: " + path);
-  uint64_t magic = 0, fingerprint = 0, count = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  in.read(reinterpret_cast<char*>(&fingerprint), sizeof(fingerprint));
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in || magic != 0x54324841534832ull) {
+  Result<std::string> read = ReadFileToString(path);
+  if (!read.ok()) return read.status();
+  const std::string& buffer = read.value();
+
+  PayloadReader header(buffer, 0);
+  const auto magic = header.Read<uint64_t>();
+  bool checksummed = false;
+  if (header.ok() && magic == kModelMagicV3) {
+    checksummed = true;
+    const auto version = header.Read<uint32_t>();
+    const auto stored_crc = header.Read<uint32_t>();
+    if (!header.ok()) {
+      return Status::DataLoss("truncated model file header: " + path);
+    }
+    if (version != kModelVersion) {
+      return Status::FailedPrecondition(
+          "model file " + path + " has format version " +
+          std::to_string(version) + ", this build reads version " +
+          std::to_string(kModelVersion));
+    }
+    constexpr size_t kHeaderEnd =
+        sizeof(uint64_t) + sizeof(uint32_t) + sizeof(uint32_t);
+    const uint32_t actual_crc =
+        Crc32(buffer.data() + kHeaderEnd, buffer.size() - kHeaderEnd);
+    if (actual_crc != stored_crc) {
+      return Status::DataLoss("model file checksum mismatch (torn write or "
+                              "bit-flip corruption): " + path);
+    }
+  } else if (!header.ok() || magic != kModelMagicV2) {
     return Status::InvalidArgument("not a Traj2Hash model file: " + path);
   }
-  if (fingerprint != ConfigFingerprint(config_)) {
+
+  PayloadReader reader = header;
+  const auto fingerprint = reader.Read<uint64_t>();
+  const auto count = reader.Read<uint64_t>();
+  if (reader.ok() && fingerprint != ConfigFingerprint(config_)) {
     return Status::FailedPrecondition(
         "model file was saved with a different architecture config (dim/"
         "blocks/heads/read-out/ablation flags): " + path);
   }
   const std::vector<Tensor> tensors = PersistentTensors();
-  if (count != tensors.size()) {
+  if (reader.ok() && count != tensors.size()) {
     return Status::InvalidArgument(
         "model file has " + std::to_string(count) + " tensors, expected " +
         std::to_string(tensors.size()) + " (config mismatch?)");
   }
-  for (const Tensor& t : tensors) {
-    uint64_t n = 0;
-    in.read(reinterpret_cast<char*>(&n), sizeof(n));
-    if (!in || n != t->value().size()) {
+  // Parse into staging buffers and install only on full success, so a
+  // corrupt file never leaves the model half-overwritten.
+  std::vector<std::vector<float>> staged(tensors.size());
+  for (size_t i = 0; reader.ok() && i < tensors.size(); ++i) {
+    const auto n = reader.Read<uint64_t>();
+    if (reader.ok() && n != tensors[i]->value().size()) {
       return Status::InvalidArgument("tensor size mismatch in " + path);
     }
-    in.read(reinterpret_cast<char*>(t->value().data()),
-            static_cast<std::streamsize>(n * sizeof(float)));
-    if (!in) return Status::IoError("truncated model file: " + path);
+    staged[i].resize(n);
+    reader.ReadBytes(staged[i].data(), n * sizeof(float));
+  }
+  if (!reader.at_end()) {
+    // With a valid checksum the bytes are authentic, so an overrun or
+    // trailing garbage means the writer and reader disagree structurally;
+    // without one it is most likely plain truncation. Either way: data loss.
+    return checksummed
+               ? Status::DataLoss("model file payload is malformed: " + path)
+               : Status::DataLoss("truncated model file: " + path);
+  }
+  for (size_t i = 0; i < tensors.size(); ++i) {
+    tensors[i]->value() = std::move(staged[i]);
   }
   return Status::Ok();
 }

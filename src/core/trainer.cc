@@ -90,6 +90,18 @@ struct UnitResult {
   double trip = 0.0;
 };
 
+/// True when every unit's partial losses are finite. A single NaN/Inf unit
+/// poisons the whole batch's gradient, so the check is all-or-nothing.
+bool BatchFinite(const std::vector<UnitResult>& results) {
+  for (const UnitResult& r : results) {
+    if (!std::isfinite(r.wmse) || !std::isfinite(r.rank) ||
+        !std::isfinite(r.trip)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 /// Runs every task, on the pool when one is given. The serial path executes
 /// the identical closures in submission order, so a single-threaded run is
 /// the reference the pooled run must (and does) match bit-for-bit.
@@ -161,6 +173,15 @@ Result<TrainReport> Trainer::Fit(const TrainingData& data, Rng& rng) {
   const std::vector<Tensor> all_params = model_->AllParameters();
 
   TrainReport report;
+  // Divergence guard state, shared by both phases: consecutive batches whose
+  // loss came back non-finite (and were therefore skipped).
+  int consecutive_bad = 0;
+  auto diverged = [this, &consecutive_bad]() -> Status {
+    return Status::Internal(
+        "training diverged: " + std::to_string(consecutive_bad) +
+        " consecutive batches produced non-finite loss (learning rate too "
+        "high?)");
+  };
   std::vector<std::vector<float>> best_snapshot;
   std::vector<int> anchor_order(n);
   std::iota(anchor_order.begin(), anchor_order.end(), 0);
@@ -319,6 +340,16 @@ Result<TrainReport> Trainer::Fit(const TrainingData& data, Rng& rng) {
       report.num_triplets_used += batch_triplets;
 
       RunTasks(std::move(tasks), pool_ptr);
+      // Divergence guard: drop the batch (sinks never accumulated, so the
+      // poisoned gradients die with them) rather than step into NaN-land.
+      if (!BatchFinite(results)) {
+        optimizer.ZeroGrad();
+        if (++consecutive_bad > std::max(0, options_.max_bad_steps)) {
+          return diverged();
+        }
+        continue;
+      }
+      consecutive_bad = 0;
       // Fixed-order reduction: sinks then stats, both in unit order.
       for (nn::GradSink& sink : sinks) sink.AccumulateInto();
       for (const UnitResult& r : results) {
@@ -523,6 +554,14 @@ Result<TrainReport> Trainer::Fit(const TrainingData& data, Rng& rng) {
         report.num_triplets_used += batch_triplets;
 
         RunTasks(std::move(tasks), pool_ptr);
+        if (!BatchFinite(results)) {
+          refine_opt.ZeroGrad();
+          if (++consecutive_bad > std::max(0, options_.max_bad_steps)) {
+            return diverged();
+          }
+          continue;
+        }
+        consecutive_bad = 0;
         for (nn::GradSink& sink : sinks) sink.AccumulateInto();
         for (const UnitResult& r : results) {
           stats.wmse += r.wmse;

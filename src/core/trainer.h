@@ -70,6 +70,13 @@ struct TrainerOptions {
   /// Fast triplets drawn per refinement epoch.
   int refine_triplets_per_epoch = 256;
 
+  /// Divergence guard (DESIGN.md §11): a batch whose loss comes back
+  /// non-finite (NaN/Inf — e.g. an exploding learning rate) is skipped
+  /// without applying its poisoned gradients, and after this many
+  /// *consecutive* bad batches Fit aborts with kInternal instead of
+  /// silently wrecking the parameters. <= 0 aborts on the first bad batch.
+  int max_bad_steps = 5;
+
   /// Worker threads for data-parallel training and bulk encoding (1 =
   /// serial, no pool). Each optimisation step decomposes into independent
   /// per-anchor and per-triplet loss subgraphs; workers run forward+backward

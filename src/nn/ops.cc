@@ -299,7 +299,9 @@ Tensor Log(const Tensor& a) {
   return Unary(
       a,
       [](float x) {
-        T2H_CHECK_GT(x, 0.0f);
+        // Negative/zero finite input is a caller bug; NaN is allowed through
+        // so divergence surfaces as a non-finite loss, not a process abort.
+        T2H_CHECK(!(x <= 0.0f));
         return std::log(x);
       },
       [](float x, float) { return 1.0f / x; });
@@ -309,7 +311,9 @@ Tensor Sqrt(const Tensor& a) {
   return Unary(
       a,
       [](float x) {
-        T2H_CHECK_GE(x, 0.0f);
+        // Same contract as Log: reject negative finite inputs, let NaN
+        // propagate to the trainer's divergence guard.
+        T2H_CHECK(!(x < 0.0f));
         return std::sqrt(x);
       },
       [](float, float y) { return 0.5f / std::max(y, 1e-6f); });

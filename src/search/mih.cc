@@ -128,8 +128,16 @@ int MihIndex::Insert(const Code& code) {
 }
 
 std::vector<Neighbor> MihIndex::TopK(const Code& query, int k) const {
+  bool complete = true;
+  return TopK(query, k, Deadline::Infinite(), &complete);
+}
+
+std::vector<Neighbor> MihIndex::TopK(const Code& query, int k,
+                                     const Deadline& deadline,
+                                     bool* complete) const {
   T2H_CHECK_GE(k, 1);
   T2H_CHECK_EQ(query.num_bits, codes_.num_bits());
+  *complete = true;
   const int n = codes_.size();
   if (n == 0) return {};
   k = std::min(k, n);
@@ -152,6 +160,15 @@ std::vector<Neighbor> MihIndex::TopK(const Code& query, int k) const {
   std::vector<int32_t> kth_scratch;
 
   for (int radius = 0; radius <= max_substring_bits_; ++radius) {
+    // Graceful degradation: between radius rounds (never before radius 0,
+    // so a timed-out probe still surfaces the exact-match bucket) an
+    // expired deadline stops the search; the candidates collected so far
+    // are ranked normally below and the caller is told the result is
+    // partial.
+    if (radius > 0 && deadline.Expired(faults::kMihRadiusRound)) {
+      *complete = false;
+      break;
+    }
     // Cost guard: probing radius r costs sum_j C(bits_j, r) bucket lookups,
     // which grows combinatorially and for far queries (e.g. random codes at
     // distance ~B/2) would dwarf a flat scan long before the pruning bound

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/deadline.h"
 #include "search/code.h"
 #include "search/flat_storage.h"
 #include "search/knn.h"
@@ -44,6 +45,16 @@ class MihIndex {
 
   /// Exact top-k by Hamming distance, bit-identical to BruteForceTopK.
   std::vector<Neighbor> TopK(const Code& query, int k) const;
+
+  /// Deadline-aware top-k: the probe checks `deadline` between radius
+  /// rounds (fault point faults::kMihRadiusRound) and on expiry returns the
+  /// best-effort top-k of the candidates seen so far — still sorted under
+  /// the repo-wide (distance, id) order, but possibly missing true
+  /// neighbours — with `*complete` set to false. Radius 0 always runs, so
+  /// an expiring probe degrades gracefully instead of returning nothing.
+  /// With an infinite deadline this is exactly TopK (`*complete` = true).
+  std::vector<Neighbor> TopK(const Code& query, int k,
+                             const Deadline& deadline, bool* complete) const;
 
   /// Default substring count for a code width: 16-bit substrings.
   static int DefaultSubstrings(int num_bits);

@@ -1,0 +1,55 @@
+#include "serve/admission.h"
+
+namespace traj2hash::serve {
+
+const char* OverloadPolicyName(OverloadPolicy policy) {
+  return policy == OverloadPolicy::kReject ? "reject" : "block";
+}
+
+Result<OverloadPolicy> ParseOverloadPolicy(const std::string& name) {
+  if (name == "reject") return OverloadPolicy::kReject;
+  if (name == "block") return OverloadPolicy::kBlock;
+  return Status::InvalidArgument("unknown overload policy '" + name +
+                                 "' (expected reject|block)");
+}
+
+Status AdmissionController::Admit() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (queue_depth_ <= 0) {
+    ++in_flight_;
+    return Status::Ok();
+  }
+  if (in_flight_ < queue_depth_) {
+    ++in_flight_;
+    return Status::Ok();
+  }
+  if (policy_ == OverloadPolicy::kReject) {
+    ++shed_;
+    return Status::Unavailable(
+        "query shed: " + std::to_string(in_flight_) +
+        " queries in flight at queue depth " + std::to_string(queue_depth_));
+  }
+  slot_freed_.wait(lock, [this] { return in_flight_ < queue_depth_; });
+  ++in_flight_;
+  return Status::Ok();
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+  }
+  slot_freed_.notify_one();
+}
+
+int AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+int64_t AdmissionController::shed_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+}  // namespace traj2hash::serve

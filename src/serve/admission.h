@@ -1,0 +1,64 @@
+#ifndef TRAJ2HASH_SERVE_ADMISSION_H_
+#define TRAJ2HASH_SERVE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace traj2hash::serve {
+
+/// What to do with a query that arrives while the engine already has
+/// `queue_depth` queries admitted (running or queued).
+enum class OverloadPolicy {
+  /// Shed it: the caller immediately gets kUnavailable and can retry with
+  /// backoff (common/retry.h). Keeps tail latency bounded under overload.
+  kReject,
+  /// Block the submitting thread until a slot frees. Keeps every query but
+  /// pushes the queueing upstream into the caller.
+  kBlock,
+};
+
+/// "reject" / "block" (CLI flag spelling).
+const char* OverloadPolicyName(OverloadPolicy policy);
+Result<OverloadPolicy> ParseOverloadPolicy(const std::string& name);
+
+/// Bounded admission for the serving engine: at most `queue_depth` queries
+/// may be in flight (admitted and not yet released) at once; extra arrivals
+/// are shed or blocked per the policy. Thread-safe; `queue_depth <= 0`
+/// means unbounded (every Admit succeeds immediately — the pre-admission
+/// engine behaviour).
+class AdmissionController {
+ public:
+  AdmissionController(int queue_depth, OverloadPolicy policy)
+      : queue_depth_(queue_depth), policy_(policy) {}
+
+  /// Claims one slot. Returns OK (slot claimed — the caller must Release),
+  /// or kUnavailable when the queue is full under kReject. Under kBlock
+  /// this waits for a slot instead of failing.
+  Status Admit();
+
+  /// Returns a slot claimed by a successful Admit.
+  void Release();
+
+  int in_flight() const;
+  /// Queries shed with kUnavailable since construction.
+  int64_t shed_count() const;
+
+  int queue_depth() const { return queue_depth_; }
+  OverloadPolicy policy() const { return policy_; }
+
+ private:
+  const int queue_depth_;
+  const OverloadPolicy policy_;
+  mutable std::mutex mu_;
+  std::condition_variable slot_freed_;
+  int in_flight_ = 0;
+  int64_t shed_ = 0;
+};
+
+}  // namespace traj2hash::serve
+
+#endif  // TRAJ2HASH_SERVE_ADMISSION_H_

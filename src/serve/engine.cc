@@ -1,6 +1,8 @@
 #include "serve/engine.h"
 
+#include <condition_variable>
 #include <functional>
+#include <mutex>
 #include <utility>
 
 #include "common/check.h"
@@ -13,7 +15,8 @@ QueryEngine::QueryEngine(const core::Traj2Hash* model,
     : model_(model),
       index_(options.num_shards, model != nullptr ? model->config().dim : 1,
              options.strategy, options.mih_substrings),
-      pool_(options.num_threads) {
+      pool_(options.num_threads),
+      admission_(options.queue_depth, options.overload_policy) {
   T2H_CHECK(model != nullptr);
 }
 
@@ -42,56 +45,136 @@ void QueryEngine::InsertAll(const std::vector<traj::Trajectory>& ts) {
 }
 
 QueryResult QueryEngine::RunQuery(const traj::Trajectory& query, int k,
-                                  bool parallel_fanout) {
+                                  bool parallel_fanout,
+                                  const QueryOptions& options) {
   T2H_CHECK_GE(k, 1);
   Stopwatch total;
   Stopwatch stage;
+  QueryResult result;
+  // Fail fast: a deadline that is already gone buys nothing from encoding.
+  if (options.deadline.Expired()) {
+    result.complete = false;
+    result.status =
+        Status::DeadlineExceeded("deadline expired before the encode stage");
+    return result;
+  }
   const search::Code code = model_->HashCode(query);
   stats_.Record(Stage::kEncode, stage.ElapsedMicros());
 
   const int s = index_.num_shards();
   std::vector<std::vector<search::Neighbor>> per_shard(s);
+  // Per-shard completion flags (uint8_t: pool tasks write them
+  // concurrently, which vector<bool> cannot take). A shard is incomplete if
+  // the deadline expired before its probe started (the probe loop check,
+  // fault point faults::kShardProbe) or mid-probe inside MIH.
+  std::vector<uint8_t> shard_complete(s, 1);
   stage.Restart();
   if (parallel_fanout && s > 1) {
     std::vector<std::function<void()>> tasks;
     tasks.reserve(s);
     for (int i = 0; i < s; ++i) {
-      tasks.push_back([this, i, &code, k, &per_shard] {
-        per_shard[i] = index_.ShardTopK(i, code, k);
+      tasks.push_back([this, i, &code, k, &per_shard, &shard_complete,
+                       &options] {
+        if (options.deadline.Expired(faults::kShardProbe)) {
+          shard_complete[i] = 0;
+          return;
+        }
+        bool complete = true;
+        per_shard[i] =
+            index_.ShardTopK(i, code, k, options.deadline, &complete);
+        shard_complete[i] = complete ? 1 : 0;
       });
     }
     pool_.RunAll(std::move(tasks));
   } else {
-    for (int i = 0; i < s; ++i) per_shard[i] = index_.ShardTopK(i, code, k);
+    for (int i = 0; i < s; ++i) {
+      if (options.deadline.Expired(faults::kShardProbe)) {
+        // Expired between shards: the remaining shards are skipped, so the
+        // merge below degrades to "completed shards only".
+        for (int j = i; j < s; ++j) shard_complete[j] = 0;
+        break;
+      }
+      bool complete = true;
+      per_shard[i] = index_.ShardTopK(i, code, k, options.deadline, &complete);
+      shard_complete[i] = complete ? 1 : 0;
+    }
   }
   stats_.Record(Stage::kProbe, stage.ElapsedMicros());
 
   stage.Restart();
-  QueryResult result;
-  result.neighbors = ShardedIndex::MergeTopK(per_shard, k);
+  bool all_complete = true;
+  for (int i = 0; i < s; ++i) all_complete &= shard_complete[i] != 0;
+  if (all_complete) {
+    result.neighbors = ShardedIndex::MergeTopK(per_shard, k);
+  } else {
+    result.complete = false;
+    result.status = Status::DeadlineExceeded(
+        "deadline expired mid-probe; " +
+        std::string(options.allow_partial
+                        ? "returning best-effort partial result"
+                        : "partial results disallowed"));
+    if (options.allow_partial) {
+      // Still the k best of everything that was collected, in the same
+      // (distance, id) order a complete query would use.
+      result.neighbors = ShardedIndex::MergeTopK(per_shard, k);
+    }
+  }
   stats_.Record(Stage::kRank, stage.ElapsedMicros());
   stats_.Record(Stage::kTotal, total.ElapsedMicros());
   return result;
 }
 
-QueryResult QueryEngine::Query(const traj::Trajectory& query, int k) {
-  return RunQuery(query, k, /*parallel_fanout=*/true);
+QueryResult QueryEngine::Query(const traj::Trajectory& query, int k,
+                               const QueryOptions& options) {
+  const Status admitted = admission_.Admit();
+  if (!admitted.ok()) {
+    QueryResult shed;
+    shed.complete = false;
+    shed.status = admitted;
+    return shed;
+  }
+  QueryResult result = RunQuery(query, k, /*parallel_fanout=*/true, options);
+  admission_.Release();
+  return result;
 }
 
 std::vector<QueryResult> QueryEngine::QueryBatch(
-    const std::vector<traj::Trajectory>& queries, int k) {
+    const std::vector<traj::Trajectory>& queries, int k,
+    const QueryOptions& options) {
   std::vector<QueryResult> results(queries.size());
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(queries.size());
+  // Admission runs at submission time on this thread, so under a full
+  // queue the shed pattern is deterministic: the first `queue_depth`
+  // arrivals are admitted, later ones shed (kReject) or wait here (kBlock,
+  // which cannot deadlock — admitted tasks are already submitted and
+  // release their slots as workers finish them). Tasks are therefore
+  // submitted one by one instead of through the RunAll barrier.
+  std::mutex mu;
+  std::condition_variable all_done;
+  int outstanding = 0;
   for (size_t i = 0; i < queries.size(); ++i) {
+    const Status admitted = admission_.Admit();
+    if (!admitted.ok()) {
+      results[i].complete = false;
+      results[i].status = admitted;
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++outstanding;
+    }
     // Serial fan-out inside each task: a worker probing its own shards
     // cannot wait on the pool, so batches cannot deadlock and throughput
     // comes from query-level parallelism.
-    tasks.push_back([this, &queries, &results, k, i] {
-      results[i] = RunQuery(queries[i], k, /*parallel_fanout=*/false);
+    pool_.Submit([this, &queries, &results, k, i, &options, &mu, &all_done,
+                  &outstanding] {
+      results[i] = RunQuery(queries[i], k, /*parallel_fanout=*/false, options);
+      admission_.Release();
+      std::lock_guard<std::mutex> lock(mu);
+      if (--outstanding == 0) all_done.notify_all();
     });
   }
-  pool_.RunAll(std::move(tasks));
+  std::unique_lock<std::mutex> lock(mu);
+  all_done.wait(lock, [&outstanding] { return outstanding == 0; });
   return results;
 }
 

@@ -2,11 +2,15 @@
 #define TRAJ2HASH_SERVE_ENGINE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/status.h"
 #include "core/model.h"
 #include "search/knn.h"
 #include "search/strategy.h"
+#include "serve/admission.h"
 #include "serve/sharded_index.h"
 #include "serve/stats.h"
 #include "serve/thread_pool.h"
@@ -22,11 +26,35 @@ struct QueryEngineOptions {
   /// the reference oracles.
   search::SearchStrategy strategy = search::SearchStrategy::kMih;
   int mih_substrings = 0;  ///< MIH substring count (0 = ceil(B/16))
+  /// Admission control (DESIGN.md §11): at most this many queries in flight
+  /// at once; extra arrivals are shed (kReject -> kUnavailable) or block
+  /// the submitter (kBlock). 0 = unbounded, the historical behaviour.
+  int queue_depth = 0;
+  OverloadPolicy overload_policy = OverloadPolicy::kReject;
+};
+
+/// Per-query degradation knobs, threaded through Query/QueryBatch down to
+/// the per-shard probe loop. Defaults (infinite deadline, partials allowed)
+/// reproduce the historical behaviour bit-for-bit.
+struct QueryOptions {
+  /// Stop probing once this expires; MIH additionally checks it between
+  /// radius rounds inside a shard. Infinite by default.
+  Deadline deadline;
+  /// On expiry: true returns the best-effort merge of the completed shard
+  /// probes (sorted, possibly missing true neighbours); false returns an
+  /// empty result. Either way `QueryResult::complete` is false and `status`
+  /// is kDeadlineExceeded.
+  bool allow_partial = true;
 };
 
 /// Result of one top-k query.
 struct QueryResult {
   std::vector<search::Neighbor> neighbors;  ///< sorted by (distance, id)
+  /// False when the result may be missing neighbours: the deadline expired
+  /// mid-query (status kDeadlineExceeded) or admission shed the query
+  /// before it ran (status kUnavailable, neighbors empty).
+  bool complete = true;
+  Status status;  ///< OK exactly when `complete`
 };
 
 /// Concurrent query-serving engine over a trained Traj2Hash model and a
@@ -41,6 +69,11 @@ struct QueryResult {
 /// one pool task per query (each probing its shards serially), which is the
 /// throughput-optimal shape when queries outnumber workers. Model encoding
 /// is read-only over the trained parameters, so it parallelises freely.
+///
+/// Robustness (DESIGN.md §11): queries carry an optional deadline and
+/// degrade to explicit partial results instead of blocking; admission
+/// control bounds in-flight queries; the encoded corpus can be checkpointed
+/// to a crash-safe snapshot and restored on boot.
 class QueryEngine {
  public:
   /// `model` must be trained (or at least constructed) and outlive the
@@ -58,13 +91,28 @@ class QueryEngine {
 
   /// Single top-k query with parallel shard fan-out. Must not be called
   /// from inside a pool task (see ThreadPool::RunAll); external callers may
-  /// overlap freely.
-  QueryResult Query(const traj::Trajectory& query, int k);
+  /// overlap freely. Subject to admission control; an admitted query with
+  /// the default options always returns complete.
+  QueryResult Query(const traj::Trajectory& query, int k,
+                    const QueryOptions& options = QueryOptions());
 
   /// Batched top-k: one worker task per query, serial fan-out inside each.
-  /// Results are positionally aligned with `queries`.
+  /// Results are positionally aligned with `queries`. Admission is checked
+  /// per query at submission time; shed queries get kUnavailable results
+  /// without occupying a worker.
   std::vector<QueryResult> QueryBatch(
-      const std::vector<traj::Trajectory>& queries, int k);
+      const std::vector<traj::Trajectory>& queries, int k,
+      const QueryOptions& options = QueryOptions());
+
+  /// Checkpoints the encoded corpus (codes + embeddings, crash-safely) /
+  /// restores it without re-encoding. Load requires an empty engine; see
+  /// ShardedIndex::{Save,Load}Snapshot for the format and failure modes.
+  Status SaveSnapshot(const std::string& path) const {
+    return index_.SaveSnapshot(path);
+  }
+  Status LoadSnapshot(const std::string& path) {
+    return index_.LoadSnapshot(path);
+  }
 
   /// Per-stage latency snapshot (thread-safe while serving).
   ServeStats::Snapshot stats() const { return stats_.Summarize(); }
@@ -75,16 +123,19 @@ class QueryEngine {
   const ShardedIndex& index() const { return index_; }
   int size() const { return index_.size(); }
   int num_threads() const { return pool_.num_threads(); }
+  /// Queries shed by admission control since construction.
+  int64_t shed_count() const { return admission_.shed_count(); }
 
  private:
   /// encode -> probe -> rank with per-stage timing. `parallel_fanout`
   /// selects pool fan-out (single queries) vs serial probes (batch tasks).
   QueryResult RunQuery(const traj::Trajectory& query, int k,
-                       bool parallel_fanout);
+                       bool parallel_fanout, const QueryOptions& options);
 
   const core::Traj2Hash* model_;
   ShardedIndex index_;
   ThreadPool pool_;
+  AdmissionController admission_;
   ServeStats stats_;
 };
 

@@ -1,10 +1,14 @@
 #include "serve/sharded_index.h"
 
 #include <algorithm>
+#include <cstring>
 #include <functional>
 #include <mutex>
 
 #include "common/check.h"
+#include "common/crc32.h"
+#include "common/file_util.h"
+#include "common/serialize.h"
 
 namespace traj2hash::serve {
 
@@ -49,7 +53,15 @@ int ShardedIndex::Insert(search::Code code, std::vector<float> embedding) {
 
 std::vector<search::Neighbor> ShardedIndex::ShardTopK(
     int shard_id, const search::Code& query, int k) const {
+  bool complete = true;
+  return ShardTopK(shard_id, query, k, Deadline::Infinite(), &complete);
+}
+
+std::vector<search::Neighbor> ShardedIndex::ShardTopK(
+    int shard_id, const search::Code& query, int k, const Deadline& deadline,
+    bool* complete) const {
   T2H_CHECK(shard_id >= 0 && shard_id < num_shards());
+  *complete = true;
   const Shard& shard = *shards_[shard_id];
   std::shared_lock<std::shared_mutex> lock(shard.mu);
   std::vector<search::Neighbor> local;
@@ -61,7 +73,7 @@ std::vector<search::Neighbor> ShardedIndex::ShardTopK(
       local = shard.hybrid->HybridTopK(query, k);
       break;
     case search::SearchStrategy::kMih:
-      local = shard.mih->TopK(query, k);
+      local = shard.mih->TopK(query, k, deadline, complete);
       break;
   }
   for (search::Neighbor& n : local) n.index = shard.global_ids[n.index];
@@ -101,6 +113,138 @@ std::vector<search::Neighbor> ShardedIndex::QueryTopK(
     pool->RunAll(std::move(tasks));
   }
   return MergeTopK(per_shard, k);
+}
+
+namespace {
+
+// Snapshot file layout (all integers little-endian, the only platform this
+// project targets):
+//   u64 magic "T2HSNAP1" | u32 version | u32 crc32 of everything after it |
+//   u32 num_bits | u64 count | count entries of
+//   { u32 embedding_len, words_per_code u64 code words, embedding floats }.
+// Entries appear in global-id order, so reloading through Insert reproduces
+// the exact id assignment for any shard count.
+constexpr uint64_t kSnapshotMagic = 0x31'50'41'4E'53'48'32'54ull;  // T2HSNAP1
+constexpr uint32_t kSnapshotVersion = 1;
+
+}  // namespace
+
+Status ShardedIndex::SaveSnapshot(const std::string& path) const {
+  // Capture the size first, then copy entries out under per-shard shared
+  // locks. Inserts racing this snapshot may leave the newest ids not yet
+  // visible in their shard, so the snapshot keeps the longest contiguous id
+  // prefix — a consistent database some moment ago.
+  const int snap_size = size();
+  struct Entry {
+    std::vector<uint64_t> words;
+    std::vector<float> embedding;
+    bool present = false;
+  };
+  std::vector<Entry> entries(snap_size);
+  const int words_per_code = (num_bits_ + 63) / 64;
+  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    const search::PackedCodes& codes =
+        shard.mih != nullptr ? shard.mih->codes() : shard.hybrid->codes();
+    for (size_t local = 0; local < shard.global_ids.size(); ++local) {
+      const int gid = shard.global_ids[local];
+      if (gid >= snap_size) continue;
+      Entry& e = entries[gid];
+      const uint64_t* row = codes.row(static_cast<int>(local));
+      e.words.assign(row, row + words_per_code);
+      e.embedding = shard.embeddings[local];
+      e.present = true;
+    }
+  }
+  uint64_t count = 0;
+  while (count < entries.size() && entries[count].present) ++count;
+
+  std::string buffer;
+  AppendPod(buffer, kSnapshotMagic);
+  AppendPod(buffer, kSnapshotVersion);
+  const size_t crc_pos = buffer.size();
+  AppendPod(buffer, uint32_t{0});  // CRC placeholder, patched below
+  AppendPod(buffer, static_cast<uint32_t>(num_bits_));
+  AppendPod(buffer, count);
+  for (uint64_t gid = 0; gid < count; ++gid) {
+    const Entry& e = entries[gid];
+    AppendPod(buffer, static_cast<uint32_t>(e.embedding.size()));
+    buffer.append(reinterpret_cast<const char*>(e.words.data()),
+                  e.words.size() * sizeof(uint64_t));
+    buffer.append(reinterpret_cast<const char*>(e.embedding.data()),
+                  e.embedding.size() * sizeof(float));
+  }
+  const uint32_t crc = Crc32(buffer.data() + crc_pos + sizeof(uint32_t),
+                             buffer.size() - crc_pos - sizeof(uint32_t));
+  std::memcpy(buffer.data() + crc_pos, &crc, sizeof(crc));
+  return AtomicWriteFile(path, buffer);
+}
+
+Status ShardedIndex::LoadSnapshot(const std::string& path) {
+  if (size() != 0) {
+    return Status::FailedPrecondition(
+        "LoadSnapshot requires an empty index (current size " +
+        std::to_string(size()) + ")");
+  }
+  Result<std::string> read = ReadFileToString(path);
+  if (!read.ok()) return read.status();
+  const std::string& buffer = read.value();
+
+  constexpr size_t kHeaderEnd =
+      sizeof(kSnapshotMagic) + sizeof(kSnapshotVersion) + sizeof(uint32_t);
+  PayloadReader header(buffer, 0);
+  const auto magic = header.Read<uint64_t>();
+  const auto version = header.Read<uint32_t>();
+  const auto stored_crc = header.Read<uint32_t>();
+  if (!header.ok() || magic != kSnapshotMagic) {
+    return Status::InvalidArgument("not a traj2hash snapshot file: " + path);
+  }
+  if (version != kSnapshotVersion) {
+    return Status::FailedPrecondition(
+        "snapshot " + path + " has format version " +
+        std::to_string(version) + ", this build reads version " +
+        std::to_string(kSnapshotVersion));
+  }
+  const uint32_t actual_crc =
+      Crc32(buffer.data() + kHeaderEnd, buffer.size() - kHeaderEnd);
+  if (actual_crc != stored_crc) {
+    return Status::DataLoss("snapshot checksum mismatch (torn write or "
+                            "bit-flip corruption): " + path);
+  }
+
+  PayloadReader reader(buffer, kHeaderEnd);
+  const auto num_bits = reader.Read<uint32_t>();
+  const auto count = reader.Read<uint64_t>();
+  if (reader.ok() && static_cast<int>(num_bits) != num_bits_) {
+    return Status::InvalidArgument(
+        "snapshot " + path + " stores " + std::to_string(num_bits) +
+        "-bit codes, index expects " + std::to_string(num_bits_));
+  }
+  const int words_per_code = (num_bits_ + 63) / 64;
+  std::vector<std::pair<search::Code, std::vector<float>>> loaded;
+  if (reader.ok()) loaded.reserve(count);
+  for (uint64_t gid = 0; reader.ok() && gid < count; ++gid) {
+    const auto embedding_len = reader.Read<uint32_t>();
+    search::Code code;
+    code.num_bits = num_bits_;
+    code.words.resize(words_per_code);
+    reader.ReadBytes(code.words.data(), words_per_code * sizeof(uint64_t));
+    std::vector<float> embedding(embedding_len);
+    reader.ReadBytes(embedding.data(), embedding_len * sizeof(float));
+    if (reader.ok()) loaded.emplace_back(std::move(code), std::move(embedding));
+  }
+  // The CRC already vouches for the bytes, so any parse overrun means the
+  // writer and reader disagree structurally — surface it as data loss too
+  // rather than loading a prefix. The index is only mutated after this
+  // point, so every failure path leaves it empty.
+  if (!reader.at_end()) {
+    return Status::DataLoss("snapshot payload is malformed: " + path);
+  }
+  for (auto& [code, embedding] : loaded) {
+    Insert(std::move(code), std::move(embedding));
+  }
+  return Status::Ok();
 }
 
 std::vector<float> ShardedIndex::EmbeddingOf(int id) const {

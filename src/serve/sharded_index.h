@@ -4,8 +4,11 @@
 #include <atomic>
 #include <memory>
 #include <shared_mutex>
+#include <string>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/status.h"
 #include "search/code.h"
 #include "search/hamming_index.h"
 #include "search/knn.h"
@@ -57,6 +60,32 @@ class ShardedIndex {
   std::vector<search::Neighbor> ShardTopK(int shard,
                                           const search::Code& query,
                                           int k) const;
+
+  /// Deadline-aware variant: the MIH strategy checks `deadline` between its
+  /// radius rounds and degrades to a best-effort (still sorted) partial
+  /// result, reported through `*complete`; the single-shot strategies
+  /// (brute, radius2) run to completion once started. An infinite deadline
+  /// makes this identical to the plain overload.
+  std::vector<search::Neighbor> ShardTopK(int shard,
+                                          const search::Code& query, int k,
+                                          const Deadline& deadline,
+                                          bool* complete) const;
+
+  /// Serialises every entry (global id order, codes + embeddings) into a
+  /// versioned, CRC32-checksummed snapshot written crash-safely (temp file +
+  /// fsync + atomic rename): a crash or failure at any point leaves an
+  /// existing snapshot at `path` untouched. Safe to call while serving; the
+  /// snapshot captures the longest contiguous id prefix visible at entry.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Rebuilds the index from a snapshot written by SaveSnapshot. The index
+  /// must be empty (kFailedPrecondition otherwise); the shard count and
+  /// strategy may differ from the writer's, because round-robin placement
+  /// and the strategy-independent probe make results bit-identical either
+  /// way. Truncated or bit-flipped files fail with kDataLoss, files of a
+  /// different format version with kFailedPrecondition, and a num_bits
+  /// mismatch with kInvalidArgument — in every case the index stays empty.
+  Status LoadSnapshot(const std::string& path);
 
   /// Deterministic merge used by QueryTopK: the k smallest candidates of the
   /// union under (distance, id); duplicate-free inputs assumed (shards are

@@ -24,32 +24,45 @@ Status SaveCsv(const std::vector<Trajectory>& ts, const std::string& path) {
   return Status::Ok();
 }
 
-Result<std::vector<Trajectory>> LoadCsv(const std::string& path) {
+Result<std::vector<Trajectory>> LoadCsv(const std::string& path,
+                                        int* skipped_lines) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open for reading: " + path);
   std::vector<Trajectory> out;
+  if (skipped_lines != nullptr) *skipped_lines = 0;
   std::string line;
   int line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    if (line.empty() || line[0] == '#') continue;
+    if (line.empty() || line[0] == '#') {
+      if (skipped_lines != nullptr) ++(*skipped_lines);
+      continue;
+    }
     std::stringstream ss(line);
     std::string field;
     Trajectory t;
     if (!std::getline(ss, field, ',')) continue;
     char* end = nullptr;
     t.id = std::strtoll(field.c_str(), &end, 10);
-    if (end == field.c_str()) {
-      return Status::InvalidArgument("bad id at line " +
+    // strtoll succeeding is not enough: "12abc" parses as 12 and leaves the
+    // garbage behind, so the whole field must have been consumed.
+    if (end == field.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad id '" + field + "' at line " +
                                      std::to_string(line_no));
     }
     std::vector<double> values;
     while (std::getline(ss, field, ',')) {
       end = nullptr;
       const double v = std::strtod(field.c_str(), &end);
-      if (end == field.c_str()) {
-        return Status::InvalidArgument("bad coordinate at line " +
-                                       std::to_string(line_no));
+      if (end == field.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad coordinate '" + field +
+                                       "' at line " + std::to_string(line_no));
+      }
+      if (!std::isfinite(v)) {
+        // NaN/Inf coordinates poison every downstream distance and grid
+        // computation; reject them at the trust boundary.
+        return Status::InvalidArgument("non-finite coordinate '" + field +
+                                       "' at line " + std::to_string(line_no));
       }
       values.push_back(v);
     }

@@ -15,9 +15,14 @@ namespace traj2hash::traj {
 Status SaveCsv(const std::vector<Trajectory>& ts, const std::string& path);
 
 /// Loads trajectories from the CSV format written by SaveCsv. Lines that are
-/// empty or start with '#' are skipped. Returns IoError if the file cannot
-/// be opened and InvalidArgument on malformed rows.
-Result<std::vector<Trajectory>> LoadCsv(const std::string& path);
+/// empty or start with '#' are skipped (counted into `skipped_lines` when
+/// given, so callers can report how much of an untrusted file was ignored).
+/// Returns IoError if the file cannot be opened and InvalidArgument — with
+/// the 1-based line number — on malformed rows: non-numeric or
+/// partially-numeric fields ("1.5x"), NaN/Inf coordinates, and odd
+/// coordinate counts are all rejected rather than silently accepted.
+Result<std::vector<Trajectory>> LoadCsv(const std::string& path,
+                                        int* skipped_lines = nullptr);
 
 /// Projects a (lat, lon) degree pair to local planar metres with an
 /// equirectangular projection anchored at (lat0, lon0). Adequate at city

@@ -1,0 +1,48 @@
+#include "common/crc32.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace traj2hash {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // The canonical CRC-32/IEEE check value.
+  EXPECT_EQ(Crc32(std::string("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32(std::string("")), 0x00000000u);
+  EXPECT_EQ(Crc32(std::string("a")), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32(std::string("The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string payload = "incremental checksumming over chunks";
+  uint32_t state = kCrc32Init;
+  for (size_t i = 0; i < payload.size(); i += 7) {
+    const size_t n = std::min<size_t>(7, payload.size() - i);
+    state = Crc32Update(state, payload.data() + i, n);
+  }
+  EXPECT_EQ(Crc32Finish(state), Crc32(payload));
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string payload(256, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>(i * 31 + 7);
+  }
+  const uint32_t clean = Crc32(payload);
+  for (const size_t byte : {size_t{0}, payload.size() / 2, payload.size() - 1}) {
+    std::string corrupted = payload;
+    corrupted[byte] ^= 0x10;
+    EXPECT_NE(Crc32(corrupted), clean) << "flip at byte " << byte;
+  }
+}
+
+TEST(Crc32Test, BinaryOverloadMatchesStringOverload) {
+  const std::string payload = "same bytes, two entry points";
+  EXPECT_EQ(Crc32(payload.data(), payload.size()), Crc32(payload));
+}
+
+}  // namespace
+}  // namespace traj2hash

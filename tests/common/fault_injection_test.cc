@@ -1,0 +1,137 @@
+#include "common/fault_injection.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/deadline.h"
+#include "common/file_util.h"
+#include "common/status.h"
+
+namespace traj2hash {
+namespace {
+
+TEST(FaultInjectionTest, InactiveInjectorNeverFires) {
+  EXPECT_FALSE(FaultInjector::Fire(faults::kFileWrite));
+  EXPECT_FALSE(FaultInjector::Fire("made.up.point"));
+}
+
+TEST(FaultInjectionTest, UnarmedPointsPassThrough) {
+  FaultInjector fi;
+  fi.Arm(faults::kFileWrite);
+  FaultInjector::Scope scope(&fi);
+  EXPECT_FALSE(FaultInjector::Fire(faults::kFileRename));
+  EXPECT_TRUE(FaultInjector::Fire(faults::kFileWrite));
+}
+
+TEST(FaultInjectionTest, CountedArmingSkipsThenFiresThenPasses) {
+  FaultInjector fi;
+  fi.Arm("p", /*skip=*/2, /*fire=*/3);
+  FaultInjector::Scope scope(&fi);
+  std::vector<bool> observed;
+  for (int i = 0; i < 7; ++i) observed.push_back(FaultInjector::Fire("p"));
+  EXPECT_EQ(observed, (std::vector<bool>{false, false, true, true, true,
+                                         false, false}));
+  EXPECT_EQ(fi.hits("p"), 7);
+  EXPECT_EQ(fi.fired("p"), 3);
+}
+
+TEST(FaultInjectionTest, ProbabilisticArmingIsSeedDeterministic) {
+  auto sequence = [](uint64_t seed) {
+    FaultInjector fi;
+    fi.ArmProbability("p", 0.5, seed);
+    FaultInjector::Scope scope(&fi);
+    std::vector<bool> out;
+    for (int i = 0; i < 64; ++i) out.push_back(FaultInjector::Fire("p"));
+    return out;
+  };
+  EXPECT_EQ(sequence(11), sequence(11));
+  EXPECT_NE(sequence(11), sequence(12));  // astronomically unlikely to match
+}
+
+TEST(FaultInjectionTest, ScopeRestoresPreviousInjector) {
+  FaultInjector outer;
+  outer.Arm("p");
+  FaultInjector::Scope outer_scope(&outer);
+  {
+    FaultInjector inner;  // nothing armed
+    FaultInjector::Scope inner_scope(&inner);
+    EXPECT_FALSE(FaultInjector::Fire("p"));
+  }
+  EXPECT_TRUE(FaultInjector::Fire("p"));
+}
+
+TEST(FaultInjectionTest, GateBlocksUntilOpened) {
+  FaultInjector fi;
+  fi.ArmGate("p");
+  FaultInjector::Scope scope(&fi);
+  std::atomic<bool> passed{false};
+  std::thread worker([&passed] {
+    EXPECT_FALSE(FaultInjector::Fire("p"));  // gates never report a fault
+    passed = true;
+  });
+  // The worker must be parked inside Fire until the gate opens. Spin until
+  // the hit registers, then assert it has not passed.
+  while (fi.hits("p") == 0) std::this_thread::yield();
+  EXPECT_FALSE(passed.load());
+  fi.OpenGate("p");
+  worker.join();
+  EXPECT_TRUE(passed.load());
+  // Post-open hits pass straight through.
+  EXPECT_FALSE(FaultInjector::Fire("p"));
+}
+
+TEST(FaultInjectionTest, DeadlineConsultsFaultPoint) {
+  const Deadline infinite = Deadline::Infinite();
+  EXPECT_FALSE(infinite.Expired(faults::kShardProbe));
+  FaultInjector fi;
+  fi.Arm(faults::kShardProbe, /*skip=*/1, /*fire=*/1);
+  FaultInjector::Scope scope(&fi);
+  EXPECT_FALSE(infinite.Expired(faults::kShardProbe));
+  EXPECT_TRUE(infinite.Expired(faults::kShardProbe))
+      << "an armed point forces expiry even on an infinite deadline";
+  EXPECT_FALSE(infinite.Expired(faults::kShardProbe));
+  EXPECT_FALSE(infinite.Expired()) << "unnamed checks never consult faults";
+}
+
+TEST(FaultInjectionTest, AtomicWriteTornByInjectedFault) {
+  const std::string path =
+      ::testing::TempDir() + "/fault_injection_torn_write.bin";
+  const std::string first(1000, 'A');
+  ASSERT_TRUE(AtomicWriteFile(path, first).ok());
+
+  FaultInjector fi;
+  fi.Arm(faults::kFileWrite);
+  {
+    FaultInjector::Scope scope(&fi);
+    const Status s = AtomicWriteFile(path, std::string(1000, 'B'));
+    EXPECT_EQ(s.code(), StatusCode::kIoError);
+  }
+  // The torn write must leave the previous contents fully intact and no
+  // temp file behind.
+  Result<std::string> after = ReadFileToString(path);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value(), first);
+  EXPECT_FALSE(ReadFileToString(path + ".tmp").ok());
+}
+
+TEST(FaultInjectionTest, AtomicWriteRenameFaultKeepsTarget) {
+  const std::string path =
+      ::testing::TempDir() + "/fault_injection_rename.bin";
+  ASSERT_TRUE(AtomicWriteFile(path, "old contents").ok());
+  FaultInjector fi;
+  fi.Arm(faults::kFileRename);
+  {
+    FaultInjector::Scope scope(&fi);
+    EXPECT_EQ(AtomicWriteFile(path, "new contents").code(),
+              StatusCode::kIoError);
+  }
+  Result<std::string> after = ReadFileToString(path);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value(), "old contents");
+}
+
+}  // namespace
+}  // namespace traj2hash

@@ -1,0 +1,100 @@
+#include "common/retry.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace traj2hash {
+namespace {
+
+TEST(RetryTest, BackoffGrowsExponentiallyWithoutJitter) {
+  RetryOptions options;
+  options.initial_backoff_ms = 10.0;
+  options.multiplier = 2.0;
+  options.max_backoff_ms = 45.0;
+  options.jitter = 0.0;
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(BackoffMillis(options, 1, rng), 10.0);
+  EXPECT_DOUBLE_EQ(BackoffMillis(options, 2, rng), 20.0);
+  EXPECT_DOUBLE_EQ(BackoffMillis(options, 3, rng), 40.0);
+  EXPECT_DOUBLE_EQ(BackoffMillis(options, 4, rng), 45.0);  // capped
+  EXPECT_DOUBLE_EQ(BackoffMillis(options, 9, rng), 45.0);
+}
+
+TEST(RetryTest, JitterStaysInBandAndIsSeedDeterministic) {
+  RetryOptions options;
+  options.initial_backoff_ms = 100.0;
+  options.jitter = 0.25;
+  Rng rng_a(7);
+  Rng rng_b(7);
+  for (int attempt = 1; attempt <= 4; ++attempt) {
+    const double a = BackoffMillis(options, attempt, rng_a);
+    const double b = BackoffMillis(options, attempt, rng_b);
+    EXPECT_DOUBLE_EQ(a, b) << "same seed must give the same schedule";
+    const double base = std::min(options.max_backoff_ms,
+                                 100.0 * std::pow(2.0, attempt - 1));
+    EXPECT_GE(a, base * 0.75);
+    EXPECT_LE(a, base * 1.25);
+  }
+}
+
+TEST(RetryTest, RetriesTransientFailuresThenSucceeds) {
+  Rng rng(3);
+  RetryOptions options;
+  options.max_attempts = 5;
+  int calls = 0;
+  std::vector<double> sleeps;
+  const Status s = RetryWithBackoff(
+      options, rng,
+      [&calls] {
+        ++calls;
+        return calls < 3 ? Status::Unavailable("busy") : Status::Ok();
+      },
+      [&sleeps](double ms) { sleeps.push_back(ms); });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  ASSERT_EQ(sleeps.size(), 2u);  // slept after each of the two failures
+  EXPECT_GT(sleeps[0], 0.0);
+  EXPECT_GT(sleeps[1], 0.0);
+}
+
+TEST(RetryTest, GivesUpAfterAttemptBudget) {
+  Rng rng(3);
+  RetryOptions options;
+  options.max_attempts = 3;
+  int calls = 0;
+  const Status s = RetryWithBackoff(
+      options, rng,
+      [&calls] {
+        ++calls;
+        return Status::IoError("disk flaking");
+      },
+      [](double) {});
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, DoesNotRetryNonRetryableCodes) {
+  Rng rng(3);
+  int calls = 0;
+  const Status s = RetryWithBackoff(
+      RetryOptions{}, rng,
+      [&calls] {
+        ++calls;
+        return Status::DataLoss("corrupt snapshot");
+      },
+      [](double) {});
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(calls, 1) << "corruption must not be retried";
+}
+
+TEST(RetryTest, IsRetryableClassification) {
+  EXPECT_TRUE(IsRetryable(StatusCode::kUnavailable));
+  EXPECT_TRUE(IsRetryable(StatusCode::kIoError));
+  EXPECT_FALSE(IsRetryable(StatusCode::kDataLoss));
+  EXPECT_FALSE(IsRetryable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetryable(StatusCode::kDeadlineExceeded));
+}
+
+}  // namespace
+}  // namespace traj2hash

@@ -1,5 +1,8 @@
 #include "core/trainer.h"
 
+#include <cstring>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "eval/metrics.h"
@@ -171,6 +174,50 @@ TEST(TrainerTest, AblationsTrainWithoutCrashing) {
       EXPECT_TRUE(trainer.Fit(f.data, rng).ok())
           << "grids=" << grids << " rev=" << rev;
     }
+  }
+}
+
+TEST(TrainerTest, DivergenceGuardAbortsOnExplodingLearningRate) {
+  Rng rng(31);
+  Fixture f = MakeFixture(dist::Measure::kFrechet);
+  f.cfg.lr = 1e30f;  // guarantees overflow to inf/NaN within a step or two
+  f.cfg.epochs = 4;
+  auto model = std::move(Traj2Hash::Create(f.cfg, f.corpus, rng).value());
+  TrainerOptions options;
+  options.refine_epochs = 0;
+  options.max_bad_steps = 1;
+  Trainer trainer(model.get(), options);
+  const auto report = trainer.Fit(f.data, rng);
+  ASSERT_FALSE(report.ok()) << "divergence must surface as a Status";
+  EXPECT_EQ(report.status().code(), StatusCode::kInternal);
+}
+
+TEST(TrainerTest, NonFiniteBatchesAreSkippedWithoutStepping) {
+  Rng rng(32);
+  Fixture f = MakeFixture(dist::Measure::kFrechet);
+  f.cfg.epochs = 1;
+  auto model = std::move(Traj2Hash::Create(f.cfg, f.corpus, rng).value());
+  // Poison one weight: every batch's loss is NaN, so every batch must be
+  // skipped — and with a roomy max_bad_steps budget Fit still completes.
+  model->TrainableParameters()[0]->value()[0] =
+      std::numeric_limits<float>::quiet_NaN();
+  const auto before = model->SnapshotParameters();
+  TrainerOptions options;
+  options.refine_epochs = 0;
+  options.max_bad_steps = 1000;
+  Trainer trainer(model.get(), options);
+  const auto report = trainer.Fit(f.data, rng);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // No optimiser step ran, so parameters are bit-identical (memcmp: NaN
+  // compares unequal to itself under operator==).
+  const auto after = model->SnapshotParameters();
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    ASSERT_EQ(before[i].size(), after[i].size());
+    EXPECT_EQ(std::memcmp(before[i].data(), after[i].data(),
+                          before[i].size() * sizeof(float)),
+              0)
+        << "tensor " << i << " was stepped during a poisoned batch";
   }
 }
 

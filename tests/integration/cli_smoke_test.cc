@@ -6,12 +6,17 @@
 #include <cstdio>
 #include <filesystem>
 
+#include <fstream>
+
 #include <gtest/gtest.h>
 
+#include "common/file_util.h"
 #include "core/index.h"
 #include "core/trainer.h"
 #include "distance/distance.h"
 #include "search/strategy.h"
+#include "serve/admission.h"
+#include "serve/engine.h"
 #include "traj/io.h"
 #include "traj/synthetic.h"
 
@@ -137,6 +142,118 @@ TEST(CliStrategyFlagTest, QueryStrategiesReturnIdenticalResults) {
       }
     }
   }
+}
+
+TEST(CliRobustnessTest, BadDataPathAndMalformedCsvAreLoudErrors) {
+  // `t2h_cli train --data <missing>` exits non-zero because LoadCsv's Status
+  // propagates straight to Fail(); same funnel for malformed rows.
+  const auto missing = traj::LoadCsv("/nonexistent/cli/data.csv");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
+
+  const std::string path = TempPath("t2h_cli_malformed.csv");
+  {
+    std::ofstream out(path);
+    out << "1,0.0,0.0\n2,bogus,3.0\n";
+  }
+  const auto malformed = traj::LoadCsv(path);
+  ASSERT_FALSE(malformed.ok());
+  EXPECT_EQ(malformed.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CliRobustnessTest, CorruptModelFileFailsWithDataLoss) {
+  // `t2h_cli query --model <corrupt>` must refuse to serve from a damaged
+  // checkpoint rather than answering queries with garbage weights.
+  Rng rng(96);
+  traj::CityConfig city = traj::CityConfig::PortoLike();
+  city.max_points = 10;
+  const auto corpus = GenerateTrips(city, 40, rng);
+  core::Traj2HashConfig cfg;
+  cfg.dim = 8;
+  cfg.num_blocks = 1;
+  cfg.num_heads = 2;
+  auto model = std::move(core::Traj2Hash::Create(cfg, corpus, rng).value());
+  const std::string path = TempPath("t2h_cli_corrupt_model.bin");
+  ASSERT_TRUE(model->Save(path).ok());
+
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  std::string corrupt = bytes.value();
+  corrupt[corrupt.size() - 9] ^= 0x20;
+  ASSERT_TRUE(AtomicWriteFile(path, corrupt).ok());
+
+  Rng fresh_rng(97);
+  auto victim = std::move(core::Traj2Hash::Create(cfg, corpus, fresh_rng).value());
+  const Status s = victim->Load(path);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(CliRobustnessTest, ServeBenchSnapshotAndDeadlineFlagsPath) {
+  // The exact sequence `serve-bench --snapshot F --deadline-ms M
+  // --queue-depth N` performs: try restore, else ingest + save; then query
+  // with a per-request deadline.
+  Rng rng(98);
+  traj::CityConfig city = traj::CityConfig::PortoLike();
+  city.max_points = 10;
+  const auto corpus = GenerateTrips(city, 60, rng);
+  core::Traj2HashConfig cfg;
+  cfg.dim = 8;
+  cfg.num_blocks = 1;
+  cfg.num_heads = 2;
+  auto model = std::move(core::Traj2Hash::Create(cfg, corpus, rng).value());
+
+  serve::QueryEngineOptions options;
+  options.num_threads = 2;
+  options.num_shards = 2;
+  options.queue_depth = 4;
+  options.overload_policy = serve::OverloadPolicy::kReject;
+  const std::string snap = TempPath("t2h_cli_snapshot.bin");
+  std::remove(snap.c_str());
+  {
+    serve::QueryEngine engine(model.get(), options);
+    // Cold start: restore fails with kIoError (no snapshot yet) -> ingest.
+    EXPECT_EQ(engine.LoadSnapshot(snap).code(), StatusCode::kIoError);
+    engine.InsertAll({corpus.begin(), corpus.begin() + 50});
+    ASSERT_TRUE(engine.SaveSnapshot(snap).ok());
+  }
+  serve::QueryEngine warm(model.get(), options);
+  ASSERT_TRUE(warm.LoadSnapshot(snap).ok());
+  EXPECT_EQ(warm.size(), 50);
+  serve::QueryOptions per_query;
+  per_query.deadline = Deadline::AfterMillis(10'000);
+  const serve::QueryResult result = warm.Query(corpus[0], 5, per_query);
+  EXPECT_TRUE(result.complete) << result.status.ToString();
+  EXPECT_EQ(result.neighbors.size(), 5u);
+
+  // A corrupt snapshot at startup is a hard Fail() in the CLI, never a
+  // silent empty database.
+  auto bytes = ReadFileToString(snap);
+  ASSERT_TRUE(bytes.ok());
+  std::string corrupt = bytes.value();
+  corrupt[corrupt.size() / 3] ^= 0x01;
+  ASSERT_TRUE(AtomicWriteFile(snap, corrupt).ok());
+  serve::QueryEngine victim(model.get(), options);
+  EXPECT_EQ(victim.LoadSnapshot(snap).code(), StatusCode::kDataLoss);
+  EXPECT_EQ(victim.size(), 0);
+  std::remove(snap.c_str());
+}
+
+TEST(CliOverloadFlagTest, ParsesPoliciesAndRejectsUnknown) {
+  // `--overload reject|block` funnels through serve::ParseOverloadPolicy.
+  EXPECT_EQ(serve::ParseOverloadPolicy("reject").value(),
+            serve::OverloadPolicy::kReject);
+  EXPECT_EQ(serve::ParseOverloadPolicy("block").value(),
+            serve::OverloadPolicy::kBlock);
+  for (const char* bad : {"", "REJECT", "drop", "shed"}) {
+    const auto result = serve::ParseOverloadPolicy(bad);
+    ASSERT_FALSE(result.ok()) << bad;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+  EXPECT_STREQ(serve::OverloadPolicyName(serve::OverloadPolicy::kBlock),
+               "block");
 }
 
 }  // namespace

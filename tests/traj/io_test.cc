@@ -73,6 +73,59 @@ TEST(IoTest, LoadRejectsNonNumericId) {
   std::remove(path.c_str());
 }
 
+TEST(IoTest, LoadRejectsTrailingGarbageInFields) {
+  const std::string path = TempPath("t2h_io_garbage.csv");
+  {
+    std::ofstream out(path);
+    out << "1,0.0,0.0\n";
+    out << "2,1.5x,2.0\n";  // "1.5x" parses as 1.5 under plain strtod
+  }
+  const auto r = LoadCsv(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().ToString().find("line 2"), std::string::npos)
+      << r.status().ToString();
+
+  {
+    std::ofstream out(path);
+    out << "3x,0.0,0.0\n";  // partially-numeric id
+  }
+  const auto bad_id = LoadCsv(path);
+  ASSERT_FALSE(bad_id.ok());
+  EXPECT_EQ(bad_id.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadRejectsNonFiniteCoordinates) {
+  const std::string path = TempPath("t2h_io_nonfinite.csv");
+  for (const std::string bad : {"nan", "inf", "-inf", "NAN"}) {
+    {
+      std::ofstream out(path);
+      out << "# ok line first\n1,0.0,0.0\n2,5.0," << bad << "\n";
+    }
+    const auto r = LoadCsv(path);
+    ASSERT_FALSE(r.ok()) << bad;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << bad;
+    EXPECT_NE(r.status().ToString().find("line 3"), std::string::npos)
+        << r.status().ToString();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadCountsSkippedLines) {
+  const std::string path = TempPath("t2h_io_skipped.csv");
+  {
+    std::ofstream out(path);
+    out << "# header\n\n1,0.0,0.0\n# trailing comment\n\n2,1.0,1.0\n";
+  }
+  int skipped = -1;
+  const auto r = LoadCsv(path, &skipped);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().size(), 2u);
+  EXPECT_EQ(skipped, 4);  // two comments + two blanks
+  std::remove(path.c_str());
+}
+
 TEST(ProjectionTest, AnchorMapsToOrigin) {
   const Point p = ProjectLatLon(41.15, -8.61, 41.15, -8.61);
   EXPECT_NEAR(p.x, 0.0, 1e-9);

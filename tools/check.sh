@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Full verification sweep: plain, AddressSanitizer and ThreadSanitizer
+# build+test lanes. Usage:
+#
+#   tools/check.sh           # all three lanes
+#   tools/check.sh plain     # just one lane: plain | asan | tsan
+#
+# Each lane configures into its own build directory (build, build-asan,
+# build-tsan), so incremental re-runs are cheap. A lane failing stops the
+# sweep with that lane's ctest output on screen.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_lane() {
+  local lane="$1" dir="$2" sanitize="$3"
+  echo "==== lane: ${lane} (${dir}) ===="
+  cmake -B "${dir}" -S . -DT2H_SANITIZE="${sanitize}" >/dev/null
+  cmake --build "${dir}" -j "$(nproc)"
+  ctest --test-dir "${dir}" --output-on-failure -j "$(nproc)"
+}
+
+lanes="${1:-all}"
+case "${lanes}" in
+  plain) run_lane plain build "" ;;
+  asan)  run_lane asan build-asan address ;;
+  tsan)  run_lane tsan build-tsan thread ;;
+  all)
+    run_lane plain build ""
+    run_lane asan build-asan address
+    run_lane tsan build-tsan thread
+    ;;
+  *)
+    echo "usage: tools/check.sh [plain|asan|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+echo "==== all requested lanes passed ===="

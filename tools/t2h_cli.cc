@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/stopwatch.h"
 #include "core/trainer.h"
 #include "distance/distance.h"
@@ -105,7 +106,11 @@ int Usage() {
                "           [--k K] [--queries N] [--rounds R] [--dim D]"
                " [--seed S]\n"
                "           [--strategy brute|radius2|mih]"
-               " [--mih-substrings M]\n");
+               " [--mih-substrings M]\n"
+               "           [--deadline-ms MS] [--queue-depth N]"
+               " [--overload reject|block]\n"
+               "           [--snapshot F]  (load encoded db from F if it"
+               " exists, else build+save)\n");
   return 2;
 }
 
@@ -327,30 +332,91 @@ int RunServeBench(const Args& args) {
   if (!strategy.ok()) return Fail(strategy.status().ToString());
   const int mih_substrings = args.GetInt("mih-substrings", 0);
   if (mih_substrings < 0) return Fail("--mih-substrings must be >= 0");
+  const int deadline_ms = args.GetInt("deadline-ms", 0);
+  const int queue_depth = args.GetInt("queue-depth", 0);
+  if (deadline_ms < 0 || queue_depth < 0) {
+    return Fail("--deadline-ms/--queue-depth must be >= 0");
+  }
+  const auto policy =
+      t2h::serve::ParseOverloadPolicy(args.Get("overload", "reject"));
+  if (!policy.ok()) return Fail(policy.status().ToString());
 
   t2h::serve::QueryEngine engine(model.get(),
                                  {.num_threads = threads,
                                   .num_shards = shards,
                                   .strategy = strategy.value(),
-                                  .mih_substrings = mih_substrings});
+                                  .mih_substrings = mih_substrings,
+                                  .queue_depth = queue_depth,
+                                  .overload_policy = policy.value()});
+
+  // With --snapshot, a readable snapshot replaces the encode-heavy
+  // InsertAll; otherwise the database is built and then checkpointed (the
+  // save retries with backoff: a transient IO failure should not waste the
+  // encode work just done). A present-but-corrupt snapshot is an error —
+  // silently rebuilding would mask data loss.
+  const std::string snapshot_path = args.Get("snapshot", "");
   t2h::Stopwatch ingest;
-  engine.InsertAll(corpus);
-  std::printf("ingested %d trajectories into %d shards in %.2f s\n",
-              engine.size(), shards, ingest.ElapsedSeconds());
+  bool restored = false;
+  if (!snapshot_path.empty()) {
+    const t2h::Status s = engine.LoadSnapshot(snapshot_path);
+    if (s.ok()) {
+      restored = true;
+    } else if (s.code() != t2h::StatusCode::kIoError) {
+      return Fail("cannot restore snapshot: " + s.ToString());
+    }
+  }
+  if (!restored) {
+    engine.InsertAll(corpus);
+    if (!snapshot_path.empty()) {
+      t2h::Rng retry_rng(args.GetInt("seed", 42) + 1);
+      const t2h::Status s = t2h::RetryWithBackoff(
+          t2h::RetryOptions{}, retry_rng,
+          [&] { return engine.SaveSnapshot(snapshot_path); });
+      if (!s.ok()) return Fail("cannot save snapshot: " + s.ToString());
+      std::printf("snapshot written to %s\n", snapshot_path.c_str());
+    }
+  }
+  std::printf("%s %d trajectories into %d shards in %.2f s\n",
+              restored ? "restored" : "ingested", engine.size(), shards,
+              ingest.ElapsedSeconds());
+  if (engine.size() < num_queries) return Fail("snapshot smaller than --queries");
 
   // Replay the first --queries trajectories of the database as query load.
   const std::vector<t2h::traj::Trajectory> queries(
       corpus.begin(), corpus.begin() + num_queries);
-  engine.QueryBatch(queries, k);  // warm-up
+  auto run_round = [&] {
+    t2h::serve::QueryOptions options;
+    if (deadline_ms > 0) {
+      options.deadline = t2h::Deadline::AfterMillis(deadline_ms);
+    }
+    // Shed queries also report complete=false; count only genuine
+    // deadline expiries here (the shed total comes from the engine).
+    int64_t incomplete = 0;
+    for (const t2h::serve::QueryResult& r :
+         engine.QueryBatch(queries, k, options)) {
+      if (!r.complete &&
+          r.status.code() != t2h::StatusCode::kUnavailable) {
+        ++incomplete;
+      }
+    }
+    return incomplete;
+  };
+  run_round();  // warm-up
   engine.ResetStats();
   t2h::Stopwatch wall;
-  for (int r = 0; r < rounds; ++r) engine.QueryBatch(queries, k);
+  int64_t incomplete = 0;
+  for (int r = 0; r < rounds; ++r) incomplete += run_round();
   const double seconds = wall.ElapsedSeconds();
   const int total = rounds * num_queries;
 
   std::printf("%d queries (top-%d, %d threads, %d shards, %s): %.1f QPS\n",
               total, k, threads, shards,
               t2h::search::StrategyName(strategy.value()), total / seconds);
+  if (deadline_ms > 0 || queue_depth > 0) {
+    std::printf("degraded: %lld partial/deadline-expired, %lld shed\n",
+                static_cast<long long>(incomplete),
+                static_cast<long long>(engine.shed_count()));
+  }
   std::printf("%s", engine.stats().ToString().c_str());
   return 0;
 }
@@ -372,7 +438,8 @@ int main(int argc, char** argv) {
       {"distance", {"data", "a", "b"}},
       {"serve-bench",
        {"data", "model", "threads", "shards", "k", "queries", "rounds",
-        "dim", "seed", "strategy", "mih-substrings"}},
+        "dim", "seed", "strategy", "mih-substrings", "deadline-ms",
+        "queue-depth", "overload", "snapshot"}},
   };
   const auto known = kKnownFlags.find(command);
   if (known == kKnownFlags.end()) return Usage();
