@@ -7,17 +7,26 @@
 // scaling surface); encode dominates per-query latency at model dims, so
 // shard count mostly moves the probe tail, not the mean.
 //
+// A second phase measures serving throughput while a mutator thread churns
+// the index (insert/remove/update through the live-mutation path, see
+// src/ingest/), and verifies afterwards that the quiescent index answers
+// bit-identically to brute force — mutation never costs correctness.
+//
 // Scale: T2H_BENCH_SCALE=tiny shrinks the database/queries by ~4x; `large`
 // grows them ~4x.
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "core/model.h"
+#include "search/code.h"
 #include "serve/engine.h"
 #include "traj/synthetic.h"
 
@@ -83,7 +92,7 @@ int main() {
     for (const int shards : {1, 4}) {
       t2h::serve::QueryEngine engine(
           model.get(), {.num_threads = threads, .num_shards = shards});
-      engine.InsertAll(db);
+      if (!engine.InsertAll(db).ok()) return 1;
       // Warm-up round, then measure fresh stats.
       engine.QueryBatch(queries, 10);
       engine.ResetStats();
@@ -103,6 +112,79 @@ int main() {
       PrintStageRow("rank", snapshot.Of(t2h::serve::Stage::kRank));
       PrintStageRow("total", snapshot.Of(t2h::serve::Stage::kTotal));
     }
+  }
+
+  // Phase 2: query throughput while the index is being mutated.
+  {
+    const int churn_ops = scale.db_size / 2;
+    t2h::serve::QueryEngine engine(
+        model.get(), {.num_threads = 4, .num_shards = 4});
+    if (!engine.InsertAll(db).ok()) return 1;
+    engine.QueryBatch(queries, 10);
+    engine.ResetStats();
+
+    std::atomic<int64_t> mutations{0};
+    t2h::Stopwatch churn_wall;
+    std::thread mutator([&engine, &db, &mutations, churn_ops] {
+      t2h::Rng mut_rng(4243);
+      for (int i = 0; i < churn_ops; ++i) {
+        const double dice = mut_rng.Uniform(0.0, 1.0);
+        t2h::Status s;
+        if (dice < 0.5) {
+          s = engine.Insert(db[i % db.size()]).status();
+        } else {
+          const int id = static_cast<int>(
+              mut_rng.Uniform(0.0, static_cast<double>(engine.size())));
+          // kNotFound = the picked id was already removed; not a failure.
+          s = dice < 0.75 ? engine.Remove(id)
+                          : engine.Update(id, db[i % db.size()]);
+        }
+        if (s.ok()) mutations.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    t2h::Stopwatch wall;
+    for (int r = 0; r < scale.rounds; ++r) {
+      engine.QueryBatch(queries, 10);
+    }
+    const double query_seconds = wall.ElapsedSeconds();
+    mutator.join();
+    const double churn_seconds = churn_wall.ElapsedSeconds();
+    const int total_queries = scale.rounds * scale.num_queries;
+
+    // Quiescent correctness: top-k must match brute force over the shards'
+    // own snapshots (same check the churn tests make, here as a bench gate).
+    std::vector<int> ids;
+    std::vector<t2h::search::Code> codes;
+    for (int s = 0; s < engine.index().num_shards(); ++s) {
+      for (const auto& entry : engine.index().shard(s).SnapshotEntries()) {
+        ids.push_back(entry.id);
+        codes.push_back(entry.code);
+      }
+    }
+    bool exact = true;
+    for (int q = 0; q < std::min(scale.num_queries, 16) && exact; ++q) {
+      const t2h::search::Code code = model->HashCode(queries[q]);
+      std::vector<t2h::search::Neighbor> want;
+      for (size_t i = 0; i < codes.size(); ++i) {
+        want.push_back({ids[i], static_cast<double>(t2h::search::
+                                    HammingDistance(codes[i], code))});
+      }
+      std::sort(want.begin(), want.end(), t2h::search::NeighborLess);
+      if (want.size() > 10) want.resize(10);
+      const auto got = engine.index().QueryTopK(code, 10);
+      exact = got.size() == want.size();
+      for (size_t i = 0; exact && i < want.size(); ++i) {
+        exact = got[i].index == want[i].index &&
+                got[i].distance == want[i].distance;
+      }
+    }
+    std::printf(
+        "under churn (4 threads, 4 shards): %.1f QPS, %.1f mutations/s "
+        "(%lld applied), %d compactions, post-churn queries %s\n",
+        total_queries / query_seconds, mutations.load() / churn_seconds,
+        static_cast<long long>(mutations.load()),
+        engine.index().compactions_run(), exact ? "exact" : "NOT EXACT");
+    if (!exact) return 1;
   }
   return 0;
 }

@@ -29,6 +29,20 @@ inline constexpr char kMihRadiusRound[] = "search.mih_radius_round";
 /// ThreadPool::RunAll — the task is dropped at start (never runs; the batch
 /// barrier still completes), simulating a lost unit of pool work.
 inline constexpr char kPoolTaskStart[] = "pool.task_start";
+/// AppendableFile::Append (the WAL write path) — only the first half of the
+/// buffered bytes reach the file before the append fails, leaving a torn
+/// frame at the tail exactly as a crash mid-write would.
+inline constexpr char kWalAppend[] = "ingest.wal_append";
+/// serve::ShardedIndex durable mutations — the process "crashes" after the
+/// WAL record is durably synced but before it is applied to the in-memory
+/// index (the mutation returns kInternal, un-acknowledged). Recovery must
+/// replay the record; the caller may observe either outcome, like any write
+/// that raced a real crash.
+inline constexpr char kWalApply[] = "ingest.wal_apply";
+/// ingest::LiveIndex compaction — the rebuilt base is abandoned just before
+/// the install (view swap), as if the compacting thread died. The index
+/// keeps serving from the old base + delta; nothing is lost.
+inline constexpr char kCompactionInstall[] = "ingest.compaction_install";
 }  // namespace faults
 
 /// Deterministic fault-injection harness for robustness tests.

@@ -79,4 +79,73 @@ Result<std::string> ReadFileToString(const std::string& path) {
   return buffer.str();
 }
 
+bool FileExists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+AppendableFile::AppendableFile(int fd, std::string path, uint64_t size)
+    : fd_(fd), path_(std::move(path)), size_(size) {}
+
+AppendableFile::~AppendableFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<AppendableFile>> AppendableFile::Open(
+    const std::string& path, uint64_t size) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) return IoErrorWithErrno("cannot open for appending", path);
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    const Status status = IoErrorWithErrno("truncate failed for", path);
+    ::close(fd);
+    return status;
+  }
+  if (::lseek(fd, static_cast<off_t>(size), SEEK_SET) < 0) {
+    const Status status = IoErrorWithErrno("seek failed for", path);
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<AppendableFile>(new AppendableFile(fd, path, size));
+}
+
+Status AppendableFile::Append(const std::string& data) {
+  if (FaultInjector::Fire(faults::kWalAppend)) {
+    const size_t torn = data.size() / 2;
+    if (torn > 0) {
+      [[maybe_unused]] ssize_t ignored = ::write(fd_, data.data(), torn);
+      size_ += torn;
+    }
+    return Status::IoError("injected torn append: " + path_);
+  }
+  const char* p = data.data();
+  size_t to_write = data.size();
+  while (to_write > 0) {
+    const ssize_t n = ::write(fd_, p, to_write);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoErrorWithErrno("append failed for", path_);
+    }
+    p += n;
+    to_write -= static_cast<size_t>(n);
+    size_ += static_cast<uint64_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status AppendableFile::Sync() {
+  if (::fsync(fd_) != 0) return IoErrorWithErrno("fsync failed for", path_);
+  return Status::Ok();
+}
+
+Status AppendableFile::TruncateTo(uint64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return IoErrorWithErrno("truncate failed for", path_);
+  }
+  if (::lseek(fd_, static_cast<off_t>(size), SEEK_SET) < 0) {
+    return IoErrorWithErrno("seek failed for", path_);
+  }
+  if (::fsync(fd_) != 0) return IoErrorWithErrno("fsync failed for", path_);
+  size_ = size;
+  return Status::Ok();
+}
+
 }  // namespace traj2hash

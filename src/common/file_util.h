@@ -1,6 +1,8 @@
 #ifndef TRAJ2HASH_COMMON_FILE_UTIL_H_
 #define TRAJ2HASH_COMMON_FILE_UTIL_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 
 #include "common/status.h"
@@ -18,6 +20,47 @@ Status AtomicWriteFile(const std::string& path, const std::string& payload);
 /// Reads a whole file (binary) into a string. kIoError when the file cannot
 /// be opened or read.
 Result<std::string> ReadFileToString(const std::string& path);
+
+/// True when `path` exists (any file type). Errors other than "not there"
+/// also report false; callers that must distinguish should open the file.
+bool FileExists(const std::string& path);
+
+/// Append-oriented file handle for write-ahead logs: opens `path` (creating
+/// it if absent), truncates it to `size` — how a log discards a torn tail
+/// its replay found — and then appends with an explicit durability barrier.
+/// Not thread-safe; the owning log serialises access.
+class AppendableFile {
+ public:
+  /// kIoError when the file cannot be opened or truncated.
+  static Result<std::unique_ptr<AppendableFile>> Open(const std::string& path,
+                                                      uint64_t size);
+  ~AppendableFile();
+  AppendableFile(const AppendableFile&) = delete;
+  AppendableFile& operator=(const AppendableFile&) = delete;
+
+  /// Appends `data` at the end of the file. Honours faults::kWalAppend: an
+  /// injected fault writes only the first half of `data` (a torn append, as
+  /// if the process crashed mid-write) and reports kIoError. Bytes are not
+  /// durable until Sync.
+  Status Append(const std::string& data);
+
+  /// fsync barrier: everything appended so far survives a crash.
+  Status Sync();
+
+  /// Drops the file back to `size` bytes (fsynced). Used by log resets
+  /// after a checkpoint made the records redundant.
+  Status TruncateTo(uint64_t size);
+
+  /// Bytes written so far (including not-yet-synced appends).
+  uint64_t size() const { return size_; }
+
+ private:
+  AppendableFile(int fd, std::string path, uint64_t size);
+
+  int fd_;
+  std::string path_;
+  uint64_t size_;
+};
 
 }  // namespace traj2hash
 

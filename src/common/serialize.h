@@ -2,8 +2,11 @@
 #define TRAJ2HASH_COMMON_SERIALIZE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <string>
+
+#include "common/crc32.h"
 
 namespace traj2hash {
 
@@ -50,6 +53,46 @@ class PayloadReader {
   size_t pos_;
   bool ok_ = true;
 };
+
+/// CRC32 framing for append-only logs. Each frame is
+///   u32 payload_len | u32 crc32(payload) | payload_len bytes
+/// so a reader can walk a log file frame by frame and tell a torn tail (a
+/// crash mid-append: the remaining bytes cannot hold the declared frame)
+/// apart from mid-file corruption (a full frame whose checksum fails).
+inline void AppendCrcFrame(std::string& out, const std::string& payload) {
+  AppendPod(out, static_cast<uint32_t>(payload.size()));
+  AppendPod(out, Crc32(payload));
+  out.append(payload);
+}
+
+/// Outcome of parsing one frame at an offset of a log buffer.
+enum class FrameParse {
+  kFrame,     ///< a complete, checksum-verified frame; `payload` is set
+  kEnd,       ///< the offset is exactly the end of the buffer (clean tail)
+  kTornTail,  ///< the remaining bytes cannot hold the declared frame
+  kCorrupt,   ///< a complete frame whose checksum does not match
+};
+
+/// Parses the frame starting at `*pos`. On kFrame, `*payload` receives the
+/// payload bytes and `*pos` advances past the frame; on every other outcome
+/// `*pos` is left at the frame start (for kTornTail that is the length of
+/// the durable prefix).
+inline FrameParse ReadCrcFrame(const std::string& buffer, size_t* pos,
+                               std::string* payload) {
+  if (*pos == buffer.size()) return FrameParse::kEnd;
+  constexpr size_t kFrameHeader = 2 * sizeof(uint32_t);
+  if (buffer.size() - *pos < kFrameHeader) return FrameParse::kTornTail;
+  uint32_t len = 0;
+  uint32_t crc = 0;
+  std::memcpy(&len, buffer.data() + *pos, sizeof(len));
+  std::memcpy(&crc, buffer.data() + *pos + sizeof(len), sizeof(crc));
+  if (buffer.size() - *pos - kFrameHeader < len) return FrameParse::kTornTail;
+  const char* data = buffer.data() + *pos + kFrameHeader;
+  if (Crc32(data, len) != crc) return FrameParse::kCorrupt;
+  payload->assign(data, len);
+  *pos += kFrameHeader + len;
+  return FrameParse::kFrame;
+}
 
 }  // namespace traj2hash
 

@@ -1,0 +1,421 @@
+#include "ingest/live_index.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "common/check.h"
+#include "common/fault_injection.h"
+#include "search/kernels.h"
+
+namespace traj2hash::ingest {
+
+LiveIndex::Base::Base(const LiveIndexOptions& options)
+    : brute_codes(options.num_bits) {
+  switch (options.strategy) {
+    case search::SearchStrategy::kMih:
+      mih = std::make_unique<search::MihIndex>(options.num_bits,
+                                               options.mih_substrings);
+      break;
+    case search::SearchStrategy::kRadius2:
+      hybrid = std::make_unique<search::HammingIndex>(options.num_bits);
+      break;
+    case search::SearchStrategy::kBrute:
+      break;  // brute scans need only the packed rows
+  }
+}
+
+const search::PackedCodes& LiveIndex::Base::codes() const {
+  if (mih != nullptr) return mih->codes();
+  if (hybrid != nullptr) return hybrid->codes();
+  return brute_codes;
+}
+
+LiveIndex::LiveIndex(const LiveIndexOptions& options)
+    : options_(options),
+      base_(std::make_shared<const Base>(options)),
+      delta_codes_(options.num_bits) {
+  T2H_CHECK_GT(options.num_bits, 0);
+  T2H_CHECK_GE(options.compact_min_ops, 1);
+  T2H_CHECK_GT(options.compact_ratio, 0.0);
+}
+
+void LiveIndex::AppendDeltaLocked(int id, search::Code code,
+                                  std::vector<float> embedding) {
+  const int row = delta_codes_.Append(code);
+  delta_ids_.push_back(id);
+  delta_dead_.push_back(0);
+  delta_embeddings_.push_back(std::move(embedding));
+  loc_[id] = Loc{/*in_delta=*/true, row};
+}
+
+Status LiveIndex::Insert(int id, search::Code code,
+                         std::vector<float> embedding) {
+  T2H_CHECK_GE(id, 0);
+  T2H_CHECK_EQ(code.num_bits, options_.num_bits);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (loc_.find(id) != loc_.end()) {
+    return Status::InvalidArgument("id " + std::to_string(id) +
+                                   " is already live");
+  }
+  AppendDeltaLocked(id, std::move(code), std::move(embedding));
+  return Status::Ok();
+}
+
+Status LiveIndex::Remove(int id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const auto it = loc_.find(id);
+  if (it == loc_.end()) {
+    return Status::NotFound("id " + std::to_string(id) + " is not live");
+  }
+  const Loc loc = it->second;
+  if (loc.in_delta) {
+    delta_dead_[loc.row] = 1;
+    ++delta_dead_count_;
+  } else {
+    base_dead_[loc.row] = 1;
+    ++base_dead_count_;
+  }
+  loc_.erase(it);
+  return Status::Ok();
+}
+
+Status LiveIndex::Update(int id, search::Code code,
+                         std::vector<float> embedding) {
+  T2H_CHECK_EQ(code.num_bits, options_.num_bits);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const auto it = loc_.find(id);
+  if (it == loc_.end()) {
+    return Status::NotFound("id " + std::to_string(id) + " is not live");
+  }
+  // Tombstone the old row, re-point the id at a fresh delta row.
+  const Loc loc = it->second;
+  if (loc.in_delta) {
+    delta_dead_[loc.row] = 1;
+    ++delta_dead_count_;
+  } else {
+    base_dead_[loc.row] = 1;
+    ++base_dead_count_;
+  }
+  loc_.erase(it);
+  AppendDeltaLocked(id, std::move(code), std::move(embedding));
+  return Status::Ok();
+}
+
+void LiveIndex::Upsert(int id, search::Code code,
+                       std::vector<float> embedding) {
+  T2H_CHECK_GE(id, 0);
+  T2H_CHECK_EQ(code.num_bits, options_.num_bits);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const auto it = loc_.find(id);
+  if (it != loc_.end()) {
+    const Loc loc = it->second;
+    if (loc.in_delta) {
+      delta_dead_[loc.row] = 1;
+      ++delta_dead_count_;
+    } else {
+      base_dead_[loc.row] = 1;
+      ++base_dead_count_;
+    }
+    loc_.erase(it);
+  }
+  AppendDeltaLocked(id, std::move(code), std::move(embedding));
+}
+
+bool LiveIndex::RemoveIfPresent(int id) { return Remove(id).ok(); }
+
+std::vector<search::Neighbor> LiveIndex::BaseTopKLocked(
+    const search::Code& query, int k, const Deadline& deadline,
+    bool* complete) const {
+  const Base& base = *base_;
+  if (base.size() == 0) return {};
+  const uint8_t* skip = base_dead_count_ > 0 ? base_dead_.data() : nullptr;
+  std::vector<search::Neighbor> out;
+  switch (options_.strategy) {
+    case search::SearchStrategy::kBrute:
+      out = search::TopKHamming(base.codes(), query, k, skip);
+      break;
+    case search::SearchStrategy::kRadius2:
+      out = base.hybrid->HybridTopK(query, k, skip);
+      break;
+    case search::SearchStrategy::kMih:
+      out = base.mih->TopK(query, k, deadline, complete, skip,
+                           base_dead_count_);
+      break;
+  }
+  // Base rows are ascending by id (compaction sorts), so the engines'
+  // (distance, row) selection already equals (distance, id); the map below
+  // is monotone and order-preserving.
+  for (search::Neighbor& n : out) n.index = base.ids[n.index];
+  return out;
+}
+
+std::vector<search::Neighbor> LiveIndex::DeltaTopKLocked(
+    const search::Code& query, int k) const {
+  const int n = delta_codes_.size();
+  if (n == 0) return {};
+  std::vector<int32_t> dist(n);
+  search::kernels::HammingScan(delta_codes_.data(), query.words.data(), n,
+                               delta_codes_.words_per_code(), dist.data());
+  std::vector<int> rows;
+  rows.reserve(n - delta_dead_count_);
+  for (int i = 0; i < n; ++i) {
+    if (delta_dead_[i] == 0) rows.push_back(i);
+  }
+  const int live = static_cast<int>(rows.size());
+  k = std::min(k, live);
+  if (k <= 0) return {};
+  // Delta rows can arrive out of id order under concurrent ingest, so the
+  // tie-break selects on the mapped id, not the row.
+  const auto less = [&](int a, int b) {
+    if (dist[a] != dist[b]) return dist[a] < dist[b];
+    return delta_ids_[a] < delta_ids_[b];
+  };
+  if (k < live) {
+    std::nth_element(rows.begin(), rows.begin() + (k - 1), rows.end(), less);
+    rows.resize(k);
+  }
+  std::sort(rows.begin(), rows.end(), less);
+  std::vector<search::Neighbor> out;
+  out.reserve(k);
+  for (const int row : rows) {
+    out.push_back({delta_ids_[row], static_cast<double>(dist[row])});
+  }
+  return out;
+}
+
+std::vector<search::Neighbor> LiveIndex::TopK(const search::Code& query,
+                                              int k) const {
+  bool complete = true;
+  return TopK(query, k, Deadline::Infinite(), &complete);
+}
+
+std::vector<search::Neighbor> LiveIndex::TopK(const search::Code& query,
+                                              int k, const Deadline& deadline,
+                                              bool* complete) const {
+  T2H_CHECK_GE(k, 1);
+  T2H_CHECK_EQ(query.num_bits, options_.num_bits);
+  *complete = true;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<search::Neighbor> merged =
+      BaseTopKLocked(query, k, deadline, complete);
+  const std::vector<search::Neighbor> delta_part = DeltaTopKLocked(query, k);
+  // Both parts are the exact top-k of their half under (distance, id); the
+  // k best of their union is the logical corpus' top-k.
+  merged.insert(merged.end(), delta_part.begin(), delta_part.end());
+  std::sort(merged.begin(), merged.end(), search::NeighborLess);
+  if (static_cast<int>(merged.size()) > k) merged.resize(k);
+  return merged;
+}
+
+bool LiveIndex::Contains(int id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return loc_.find(id) != loc_.end();
+}
+
+std::vector<float> LiveIndex::EmbeddingOf(int id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = loc_.find(id);
+  if (it == loc_.end()) return {};
+  const Loc loc = it->second;
+  return loc.in_delta ? delta_embeddings_[loc.row]
+                      : base_->embeddings[loc.row];
+}
+
+std::vector<LiveIndex::Entry> LiveIndex::SnapshotEntries() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(loc_.size());
+  for (const auto& [id, loc] : loc_) {
+    Entry e;
+    e.id = id;
+    if (loc.in_delta) {
+      e.code = delta_codes_.CodeAt(loc.row);
+      e.embedding = delta_embeddings_[loc.row];
+    } else {
+      e.code = base_->codes().CodeAt(loc.row);
+      e.embedding = base_->embeddings[loc.row];
+    }
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.id < b.id; });
+  return out;
+}
+
+int LiveIndex::live_size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return static_cast<int>(loc_.size());
+}
+
+int LiveIndex::tombstone_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return base_dead_count_ + delta_dead_count_;
+}
+
+int LiveIndex::delta_size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return delta_codes_.size();
+}
+
+bool LiveIndex::NeedsCompactionLocked() const {
+  // Rows a compaction would reclaim (tombstones) or index properly (delta
+  // rows — each counted once even when both apply).
+  const int pending = base_dead_count_ + delta_codes_.size();
+  const int total = base_->size() + delta_codes_.size();
+  return pending >= options_.compact_min_ops &&
+         pending > options_.compact_ratio * total;
+}
+
+bool LiveIndex::NeedsCompaction() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return NeedsCompactionLocked();
+}
+
+bool LiveIndex::ClaimCompaction() {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (!NeedsCompactionLocked()) return false;
+  }
+  return !compaction_in_flight_.exchange(true, std::memory_order_acq_rel);
+}
+
+void LiveIndex::Compact() {
+  // No-op when a background compaction is already in flight — it will fold
+  // in everything this call would have.
+  if (compaction_in_flight_.exchange(true, std::memory_order_acq_rel)) return;
+  RunClaimedCompaction();
+}
+
+void LiveIndex::RunClaimedCompaction() {
+  // Phase 1 — capture an epoch snapshot under the shared lock: the base
+  // pointer (immutable; the shared_ptr pins it against a racing install,
+  // though claims are single-flight anyway), copies of the tombstone flags
+  // and the current delta prefix. Mutations keep flowing while we build.
+  std::shared_ptr<const Base> base;
+  std::vector<uint8_t> base_dead;
+  int captured_delta = 0;
+  search::PackedCodes delta_codes(options_.num_bits);
+  std::vector<int> delta_ids;
+  std::vector<uint8_t> delta_dead;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    base = base_;
+    base_dead = base_dead_;
+    captured_delta = delta_codes_.size();
+    delta_ids.assign(delta_ids_.begin(), delta_ids_.begin() + captured_delta);
+    delta_dead.assign(delta_dead_.begin(),
+                      delta_dead_.begin() + captured_delta);
+    for (int row = 0; row < captured_delta; ++row) {
+      delta_codes.Append(delta_codes_.CodeAt(row));
+    }
+  }
+
+  // Phase 2 — build the new base outside any lock: captured live entries,
+  // sorted by id so the new base rows are ascending by id (the invariant
+  // BaseTopKLocked relies on). Embeddings are fetched at install time from
+  // the live arrays via loc_, so none are copied twice here.
+  struct Pending {
+    int id;
+    bool from_delta;
+    int row;
+  };
+  std::vector<Pending> live;
+  live.reserve(base->size() + captured_delta);
+  for (int row = 0; row < base->size(); ++row) {
+    if (base_dead[row] == 0) live.push_back({base->ids[row], false, row});
+  }
+  for (int row = 0; row < captured_delta; ++row) {
+    if (delta_dead[row] == 0) live.push_back({delta_ids[row], true, row});
+  }
+  std::sort(live.begin(), live.end(),
+            [](const Pending& a, const Pending& b) { return a.id < b.id; });
+  auto fresh = std::make_shared<Base>(options_);
+  fresh->ids.reserve(live.size());
+  fresh->embeddings.resize(live.size());
+  for (const Pending& p : live) {
+    const search::Code code = p.from_delta ? delta_codes.CodeAt(p.row)
+                                           : base->codes().CodeAt(p.row);
+    switch (options_.strategy) {
+      case search::SearchStrategy::kMih:
+        fresh->mih->Insert(code);
+        break;
+      case search::SearchStrategy::kRadius2:
+        fresh->hybrid->Insert(code);
+        break;
+      case search::SearchStrategy::kBrute:
+        fresh->brute_codes.Append(code);
+        break;
+    }
+    fresh->ids.push_back(p.id);
+  }
+
+  // Simulated crash of the compacting thread: abandon the rebuilt base.
+  // Nothing was installed, so the index keeps serving base+delta unchanged
+  // and a later compaction (or recovery) redoes the work.
+  if (FaultInjector::Fire(faults::kCompactionInstall)) {
+    compaction_in_flight_.store(false, std::memory_order_release);
+    return;
+  }
+
+  // Phase 3 — install under one short exclusive section, reconciling
+  // mutations that raced the rebuild through loc_: an id is live in the new
+  // base iff it is still live *and* not superseded by a delta row appended
+  // after the capture (an update/re-insert during the rebuild).
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    const int new_n = fresh->size();
+    std::vector<uint8_t> new_base_dead(new_n, 0);
+    int new_base_dead_count = 0;
+    for (int row = 0; row < new_n; ++row) {
+      const int id = fresh->ids[row];
+      const auto it = loc_.find(id);
+      const bool alive =
+          it != loc_.end() &&
+          !(it->second.in_delta && it->second.row >= captured_delta);
+      if (alive) {
+        const Loc old = it->second;
+        fresh->embeddings[row] = old.in_delta
+                                     ? std::move(delta_embeddings_[old.row])
+                                     : base_->embeddings[old.row];
+        it->second = Loc{/*in_delta=*/false, row};
+      } else {
+        new_base_dead[row] = 1;
+        ++new_base_dead_count;
+      }
+    }
+    // The new delta is the suffix appended while we were building.
+    const int cur = delta_codes_.size();
+    search::PackedCodes new_delta_codes(options_.num_bits);
+    std::vector<int> new_delta_ids;
+    std::vector<uint8_t> new_delta_dead;
+    std::vector<std::vector<float>> new_delta_embeddings;
+    new_delta_ids.reserve(cur - captured_delta);
+    int new_delta_dead_count = 0;
+    for (int old_row = captured_delta; old_row < cur; ++old_row) {
+      const int new_row = new_delta_codes.Append(delta_codes_.CodeAt(old_row));
+      const int id = delta_ids_[old_row];
+      new_delta_ids.push_back(id);
+      new_delta_dead.push_back(delta_dead_[old_row]);
+      if (delta_dead_[old_row] != 0) ++new_delta_dead_count;
+      new_delta_embeddings.push_back(std::move(delta_embeddings_[old_row]));
+      const auto it = loc_.find(id);
+      if (it != loc_.end() && it->second.in_delta &&
+          it->second.row == old_row) {
+        it->second.row = new_row;
+      }
+    }
+    base_ = std::move(fresh);
+    base_dead_ = std::move(new_base_dead);
+    base_dead_count_ = new_base_dead_count;
+    delta_codes_ = std::move(new_delta_codes);
+    delta_ids_ = std::move(new_delta_ids);
+    delta_dead_ = std::move(new_delta_dead);
+    delta_dead_count_ = new_delta_dead_count;
+    delta_embeddings_ = std::move(new_delta_embeddings);
+  }
+  compactions_run_.fetch_add(1, std::memory_order_acq_rel);
+  compaction_in_flight_.store(false, std::memory_order_release);
+}
+
+}  // namespace traj2hash::ingest

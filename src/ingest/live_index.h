@@ -1,0 +1,184 @@
+#ifndef TRAJ2HASH_INGEST_LIVE_INDEX_H_
+#define TRAJ2HASH_INGEST_LIVE_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/status.h"
+#include "search/code.h"
+#include "search/flat_storage.h"
+#include "search/hamming_index.h"
+#include "search/knn.h"
+#include "search/mih.h"
+#include "search/strategy.h"
+
+namespace traj2hash::ingest {
+
+struct LiveIndexOptions {
+  int num_bits = 0;
+  search::SearchStrategy strategy = search::SearchStrategy::kMih;
+  int mih_substrings = 0;  ///< MIH substring count (0 = ceil(B/16))
+  /// Compaction trigger (DESIGN.md §12): rebuild the base once at least
+  /// `compact_min_ops` rows are reclaimable (tombstones) or bypassed (delta
+  /// rows) AND they exceed `compact_ratio` of all physical rows. Both gates
+  /// keep tiny indexes from compacting on every mutation.
+  int compact_min_ops = 64;
+  double compact_ratio = 0.25;
+};
+
+/// One shard of a mutable Hamming database: an immutable base (indexed by
+/// the configured search strategy) plus a small append-only delta (flat
+/// scan) and tombstone flags over both. Ids are arbitrary non-negative
+/// integers assigned by the caller (serve::ShardedIndex passes global ids),
+/// never reused, and unique among live entries.
+///
+/// Exactness: `TopK` merges the strategy engine's probe of base∖tombstones
+/// with a flat scan of delta∖tombstones under the repo-wide (distance, id)
+/// order — bit-identical to a brute-force scan of the logical corpus (the
+/// live entries), for every strategy. Two invariants make the per-part
+/// selections composable: base rows are ordered by ascending id (compaction
+/// sorts), so the engines' (distance, row) tie-break equals (distance, id);
+/// and the delta scan tie-breaks on the mapped id directly, because
+/// concurrent ingest can append delta rows out of id order.
+///
+/// Concurrency: all methods are thread-safe behind an internal
+/// `shared_mutex` — queries share, mutations are exclusive and O(delta
+/// append). Compaction (RunClaimedCompaction) rebuilds the base *outside*
+/// the lock from an epoch snapshot (`shared_ptr` base + copied delta), then
+/// installs under one short exclusive section that reconciles mutations
+/// that raced the rebuild; readers are never blocked by the rebuild itself.
+class LiveIndex {
+ public:
+  explicit LiveIndex(const LiveIndexOptions& options);
+
+  /// Adds a new entry. kInvalidArgument if `id` is already live (ids of
+  /// removed entries may be re-inserted; the serving layer never does).
+  Status Insert(int id, search::Code code, std::vector<float> embedding);
+
+  /// Tombstones a live entry. kNotFound if `id` is not live.
+  Status Remove(int id);
+
+  /// Replaces a live entry's code + embedding, keeping its id. kNotFound if
+  /// `id` is not live.
+  Status Update(int id, search::Code code, std::vector<float> embedding);
+
+  /// Replay-idempotent mutation pair: Upsert inserts or replaces, and
+  /// RemoveIfPresent returns whether anything was removed. Re-applying a
+  /// whole WAL through these converges to the final state (last op per id
+  /// wins) regardless of which prefix a snapshot already contains.
+  void Upsert(int id, search::Code code, std::vector<float> embedding);
+  bool RemoveIfPresent(int id);
+
+  /// Exact top-k over the live entries; `Neighbor::index` is the entry id.
+  std::vector<search::Neighbor> TopK(const search::Code& query, int k) const;
+
+  /// Deadline-aware variant: the MIH base probe checks `deadline` between
+  /// radius rounds (see search::MihIndex::TopK); the delta scan always runs
+  /// to completion. `*complete` is false when the base probe was cut short.
+  std::vector<search::Neighbor> TopK(const search::Code& query, int k,
+                                     const Deadline& deadline,
+                                     bool* complete) const;
+
+  bool Contains(int id) const;
+
+  /// Copy of the stored embedding of a live `id` (empty if none was
+  /// supplied, or if `id` is not live).
+  std::vector<float> EmbeddingOf(int id) const;
+
+  /// One live entry as stored.
+  struct Entry {
+    int id = -1;
+    search::Code code;
+    std::vector<float> embedding;
+  };
+
+  /// All live entries, ascending id — the shard's contribution to a
+  /// snapshot, internally consistent under the shard lock.
+  std::vector<Entry> SnapshotEntries() const;
+
+  int live_size() const;
+  /// Physical dead rows (base + delta) pending compaction; drops to zero
+  /// after a completed compaction.
+  int tombstone_count() const;
+  int delta_size() const;
+  int compactions_run() const {
+    return compactions_run_.load(std::memory_order_acquire);
+  }
+
+  /// True when the compaction trigger (see LiveIndexOptions) is met.
+  bool NeedsCompaction() const;
+
+  /// Single-flight claim: true when the trigger is met and no compaction is
+  /// in flight — the caller then owns the obligation to call
+  /// RunClaimedCompaction (typically as a background pool task).
+  bool ClaimCompaction();
+
+  /// Rebuilds the base from base+delta−tombstones and installs it. Must be
+  /// paired with a successful ClaimCompaction. Honours
+  /// faults::kCompactionInstall (the rebuilt base is abandoned before the
+  /// install, as a crash there would; the index keeps serving unchanged).
+  void RunClaimedCompaction();
+
+  /// Synchronous convenience for tests/tools: claim-if-idle + run,
+  /// regardless of the trigger.
+  void Compact();
+
+  int num_bits() const { return options_.num_bits; }
+
+ private:
+  /// The immutable base epoch: codes indexed by the strategy engine, plus
+  /// id/embedding sidecars by row. Ids are ascending by row (see class
+  /// comment). Never mutated after construction — compaction installs a
+  /// fresh one and readers/compactors pin the old epoch via shared_ptr.
+  struct Base {
+    explicit Base(const LiveIndexOptions& options);
+    const search::PackedCodes& codes() const;
+    int size() const { return static_cast<int>(ids.size()); }
+
+    std::unique_ptr<search::MihIndex> mih;        // kMih
+    std::unique_ptr<search::HammingIndex> hybrid; // kRadius2
+    search::PackedCodes brute_codes;              // kBrute
+    std::vector<int> ids;                         // row -> id
+    std::vector<std::vector<float>> embeddings;   // row -> embedding
+  };
+
+  /// Where a live id is stored.
+  struct Loc {
+    bool in_delta = false;
+    int row = -1;
+  };
+
+  void AppendDeltaLocked(int id, search::Code code,
+                         std::vector<float> embedding);
+  bool NeedsCompactionLocked() const;
+  std::vector<search::Neighbor> BaseTopKLocked(const search::Code& query,
+                                               int k, const Deadline& deadline,
+                                               bool* complete) const;
+  std::vector<search::Neighbor> DeltaTopKLocked(const search::Code& query,
+                                                int k) const;
+
+  const LiveIndexOptions options_;
+
+  mutable std::shared_mutex mu_;
+  std::shared_ptr<const Base> base_;     // guarded by mu_ (swap on install)
+  std::vector<uint8_t> base_dead_;       // by base row
+  int base_dead_count_ = 0;
+  search::PackedCodes delta_codes_;
+  std::vector<int> delta_ids_;           // delta row -> id
+  std::vector<uint8_t> delta_dead_;      // by delta row
+  int delta_dead_count_ = 0;
+  std::vector<std::vector<float>> delta_embeddings_;
+  std::unordered_map<int, Loc> loc_;     // live ids only
+
+  std::atomic<bool> compaction_in_flight_{false};
+  std::atomic<int> compactions_run_{0};
+};
+
+}  // namespace traj2hash::ingest
+
+#endif  // TRAJ2HASH_INGEST_LIVE_INDEX_H_

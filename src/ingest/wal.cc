@@ -1,0 +1,193 @@
+#include "ingest/wal.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/serialize.h"
+
+namespace traj2hash::ingest {
+namespace {
+
+// Record payload layout (inside one CRC frame, all little-endian):
+//   u64 seq | u8 type | i32 id |
+//   [insert/update only: i32 num_bits, words_per_code u64 words,
+//    u32 embedding_len, embedding floats]
+std::string EncodeRecord(const WalRecord& record) {
+  std::string payload;
+  AppendPod(payload, record.seq);
+  AppendPod(payload, static_cast<uint8_t>(record.type));
+  AppendPod(payload, record.id);
+  if (record.type != WalRecordType::kRemove) {
+    AppendPod(payload, static_cast<int32_t>(record.code.num_bits));
+    payload.append(reinterpret_cast<const char*>(record.code.words.data()),
+                   record.code.words.size() * sizeof(uint64_t));
+    AppendPod(payload, static_cast<uint32_t>(record.embedding.size()));
+    payload.append(reinterpret_cast<const char*>(record.embedding.data()),
+                   record.embedding.size() * sizeof(float));
+  }
+  return payload;
+}
+
+Status DecodeRecord(const std::string& payload, WalRecord* record) {
+  PayloadReader reader(payload, 0);
+  record->seq = reader.Read<uint64_t>();
+  const auto type = reader.Read<uint8_t>();
+  record->id = reader.Read<int32_t>();
+  if (type != static_cast<uint8_t>(WalRecordType::kInsert) &&
+      type != static_cast<uint8_t>(WalRecordType::kRemove) &&
+      type != static_cast<uint8_t>(WalRecordType::kUpdate)) {
+    return Status::DataLoss("WAL record has unknown type " +
+                            std::to_string(type));
+  }
+  record->type = static_cast<WalRecordType>(type);
+  record->code = search::Code{};
+  record->embedding.clear();
+  if (record->type != WalRecordType::kRemove) {
+    const auto num_bits = reader.Read<int32_t>();
+    if (reader.ok() && (num_bits <= 0 || num_bits > 1 << 20)) {
+      return Status::DataLoss("WAL record has implausible code width " +
+                              std::to_string(num_bits));
+    }
+    record->code.num_bits = num_bits;
+    record->code.words.resize((num_bits + 63) / 64);
+    reader.ReadBytes(record->code.words.data(),
+                     record->code.words.size() * sizeof(uint64_t));
+    const auto embedding_len = reader.Read<uint32_t>();
+    if (reader.ok() &&
+        embedding_len * sizeof(float) > payload.size()) {
+      return Status::DataLoss("WAL record declares an embedding larger than "
+                              "its frame");
+    }
+    record->embedding.resize(embedding_len);
+    reader.ReadBytes(record->embedding.data(), embedding_len * sizeof(float));
+  }
+  // The frame CRC already matched, so a structural overrun or leftover bytes
+  // mean writer/reader disagreement — data loss, not a torn tail.
+  if (!reader.at_end()) {
+    return Status::DataLoss("WAL record payload is malformed");
+  }
+  return Status::Ok();
+}
+
+Result<WalReplay> ReplayBuffer(const std::string& buffer,
+                               const std::string& path) {
+  WalReplay replay;
+  size_t pos = 0;
+  std::string payload;
+  while (true) {
+    const FrameParse parse = ReadCrcFrame(buffer, &pos, &payload);
+    if (parse == FrameParse::kEnd) break;
+    if (parse == FrameParse::kTornTail) {
+      // A crash mid-append: the frame before this offset was the last one
+      // acknowledged, everything after is an un-acked partial write.
+      replay.tail_truncated = true;
+      break;
+    }
+    if (parse == FrameParse::kCorrupt) {
+      return Status::DataLoss(
+          "WAL frame checksum mismatch (bit-flip corruption of an "
+          "acknowledged record): " + path);
+    }
+    WalRecord record;
+    const Status decoded = DecodeRecord(payload, &record);
+    if (!decoded.ok()) {
+      return Status(decoded.code(), decoded.message() + ": " + path);
+    }
+    if (record.seq != replay.last_seq + 1 && !replay.records.empty()) {
+      return Status::DataLoss("WAL sequence numbers are not contiguous (" +
+                              std::to_string(replay.last_seq) + " -> " +
+                              std::to_string(record.seq) + "): " + path);
+    }
+    replay.last_seq = record.seq;
+    replay.records.push_back(std::move(record));
+    replay.valid_bytes = pos;
+  }
+  return replay;
+}
+
+}  // namespace
+
+const char* WalRecordTypeName(WalRecordType type) {
+  switch (type) {
+    case WalRecordType::kInsert:
+      return "insert";
+    case WalRecordType::kRemove:
+      return "remove";
+    case WalRecordType::kUpdate:
+      return "update";
+  }
+  return "unknown";
+}
+
+Wal::Wal(std::unique_ptr<AppendableFile> file, std::string path,
+         uint64_t last_seq)
+    : file_(std::move(file)), path_(std::move(path)), last_seq_(last_seq) {}
+
+Result<WalReplay> Wal::Replay(const std::string& path) {
+  if (!FileExists(path)) return WalReplay{};  // a missing log is an empty log
+  Result<std::string> read = ReadFileToString(path);
+  if (!read.ok()) return read.status();
+  return ReplayBuffer(read.value(), path);
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
+                                       WalReplay* replay_out) {
+  Result<WalReplay> replayed = Replay(path);
+  if (!replayed.ok()) return replayed.status();
+  WalReplay& replay = replayed.value();
+  // Opening truncates to the durable prefix, dropping any torn tail so the
+  // next append starts on a clean frame boundary.
+  Result<std::unique_ptr<AppendableFile>> file =
+      AppendableFile::Open(path, replay.valid_bytes);
+  if (!file.ok()) return file.status();
+  std::unique_ptr<Wal> wal(
+      new Wal(std::move(file).value(), path, replay.last_seq));
+  if (replay_out != nullptr) *replay_out = std::move(replay);
+  return wal;
+}
+
+Status Wal::Append(WalRecord record) {
+  if (broken_) {
+    return Status::FailedPrecondition(
+        "WAL is poisoned after a failed sync; reopen to recover: " + path_);
+  }
+  record.seq = last_seq_ + 1;
+  if (record.type != WalRecordType::kRemove) {
+    T2H_CHECK_GT(record.code.num_bits, 0);
+    T2H_CHECK_EQ(static_cast<int>(record.code.words.size()),
+                 (record.code.num_bits + 63) / 64);
+  }
+  AppendCrcFrame(pending_, EncodeRecord(record));
+  ++last_seq_;
+  return Status::Ok();
+}
+
+Status Wal::Sync() {
+  if (broken_) {
+    return Status::FailedPrecondition(
+        "WAL is poisoned after a failed sync; reopen to recover: " + path_);
+  }
+  if (pending_.empty()) return Status::Ok();
+  Status status = file_->Append(pending_);
+  if (status.ok()) status = file_->Sync();
+  if (!status.ok()) {
+    // The file may now end in a torn frame; nothing past the last durable
+    // Sync was acknowledged, so the reopen-time truncation loses no acked
+    // record. Refuse further writes until then.
+    broken_ = true;
+    return status;
+  }
+  pending_.clear();
+  return Status::Ok();
+}
+
+Status Wal::Reset() {
+  if (broken_) {
+    return Status::FailedPrecondition(
+        "WAL is poisoned after a failed sync; reopen to recover: " + path_);
+  }
+  pending_.clear();
+  return file_->TruncateTo(0);
+}
+
+}  // namespace traj2hash::ingest

@@ -1,0 +1,113 @@
+#ifndef TRAJ2HASH_INGEST_WAL_H_
+#define TRAJ2HASH_INGEST_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/file_util.h"
+#include "common/status.h"
+#include "search/code.h"
+
+namespace traj2hash::ingest {
+
+/// One logged mutation. Insert and Update carry the new code + embedding;
+/// Remove carries only the id.
+enum class WalRecordType : uint8_t {
+  kInsert = 1,
+  kRemove = 2,
+  kUpdate = 3,
+};
+
+/// Canonical lower-case name ("insert" / "remove" / "update").
+const char* WalRecordTypeName(WalRecordType type);
+
+struct WalRecord {
+  /// Monotone sequence number, assigned by Wal::Append. Replay order ==
+  /// sequence order == the order mutations were acknowledged.
+  uint64_t seq = 0;
+  WalRecordType type = WalRecordType::kInsert;
+  int32_t id = -1;
+  search::Code code;             ///< insert/update only
+  std::vector<float> embedding;  ///< insert/update only (may be empty)
+};
+
+/// Result of walking a log file: the durable record prefix plus what the
+/// walk learned about the tail.
+struct WalReplay {
+  std::vector<WalRecord> records;  ///< in append (= sequence) order
+  uint64_t last_seq = 0;           ///< 0 when the log is empty
+  /// Bytes of the durable prefix; anything past this was a torn tail.
+  uint64_t valid_bytes = 0;
+  /// True when a torn tail (crash mid-append) was found and dropped. Never
+  /// set for mid-file corruption — that is kDataLoss, not a clean replay.
+  bool tail_truncated = false;
+};
+
+/// CRC32-framed write-ahead log for live index mutations (DESIGN.md §12).
+///
+/// On disk the log is a sequence of frames (common/serialize.h):
+///   u32 payload_len | u32 crc32(payload) | payload
+/// where the payload serialises one WalRecord. A crash mid-append leaves a
+/// torn final frame, which Open detects, reports and truncates away — the
+/// records before it are intact by construction (each one was fully written
+/// and fsynced before its mutation was acknowledged). A checksum failure on
+/// a *complete* frame in the middle of the file means the storage itself
+/// corrupted acknowledged data, and surfaces as kDataLoss.
+///
+/// Durability protocol: `Append` only buffers (group commit); `Sync` writes
+/// the buffer and fsyncs. A mutation must not be acknowledged before Sync
+/// returns OK. After a failed Sync the file may hold a torn frame, so the
+/// log poisons itself (kFailedPrecondition on further use) until reopened —
+/// exactly the "crash and recover" path a real IO error forces anyway.
+///
+/// Not thread-safe; the owning index serialises access (wal_mu_ in
+/// serve::ShardedIndex).
+class Wal {
+ public:
+  /// Opens `path` for appending, creating it if absent. Replays existing
+  /// contents (optionally returned via `replay`) to find the durable
+  /// prefix, truncates a torn tail, and positions writes after the last
+  /// valid frame. kDataLoss on mid-file corruption; kIoError on IO errors.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& path,
+                                           WalReplay* replay = nullptr);
+
+  /// Read-only walk of a log file (recovery inspection, `t2h_cli
+  /// wal-replay`). Does not modify the file. Same error contract as Open.
+  static Result<WalReplay> Replay(const std::string& path);
+
+  /// Serialises `record` into the pending buffer and assigns it the next
+  /// sequence number (returned through `record.seq` being ignored on input).
+  /// Nothing is durable until Sync. kFailedPrecondition once poisoned.
+  Status Append(WalRecord record);
+
+  /// Writes and fsyncs everything buffered since the last Sync. On failure
+  /// (including the injected torn append, faults::kWalAppend) the log is
+  /// poisoned and must be reopened; the unacknowledged tail will be
+  /// truncated by that reopen.
+  Status Sync();
+
+  /// Empties the log after a checkpoint made its records redundant. The
+  /// sequence counter keeps counting up, so records never reuse a seq.
+  Status Reset();
+
+  uint64_t last_seq() const { return last_seq_; }
+  const std::string& path() const { return path_; }
+  /// Durable bytes on disk (excludes the pending buffer).
+  uint64_t size_bytes() const { return file_->size(); }
+
+ private:
+  Wal(std::unique_ptr<AppendableFile> file, std::string path,
+      uint64_t last_seq);
+
+  std::unique_ptr<AppendableFile> file_;
+  std::string path_;
+  uint64_t last_seq_;
+  std::string pending_;
+  bool broken_ = false;
+};
+
+}  // namespace traj2hash::ingest
+
+#endif  // TRAJ2HASH_INGEST_WAL_H_

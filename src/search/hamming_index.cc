@@ -92,14 +92,19 @@ std::vector<int> HammingIndex::ProbeWithinRadius2(const Code& query) const {
   return out;
 }
 
-std::vector<Neighbor> HammingIndex::HybridTopK(const Code& query,
-                                               int k) const {
+std::vector<Neighbor> HammingIndex::HybridTopK(const Code& query, int k,
+                                               const uint8_t* skip) const {
   T2H_CHECK_GE(k, 1);
   std::vector<int> candidates = ProbeWithinRadius2(query);
+  if (skip != nullptr) {
+    candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
+                                    [skip](int id) { return skip[id] != 0; }),
+                     candidates.end());
+  }
   if (static_cast<int>(candidates.size()) < k) {
-    // Not enough neighbours within radius 2: degrade to brute force, as the
-    // paper's Hamming-Hybrid does.
-    return BruteForceTopK(query, k);
+    // Not enough (live) neighbours within radius 2: degrade to brute force,
+    // as the paper's Hamming-Hybrid does.
+    return BruteForceTopK(query, k, skip);
   }
   // Rank candidates on integer distances against the packed rows; only the
   // k survivors are widened into Neighbors.
@@ -127,11 +132,11 @@ std::vector<Neighbor> HammingIndex::HybridTopK(const Code& query,
   return ranked;
 }
 
-std::vector<Neighbor> HammingIndex::BruteForceTopK(const Code& query,
-                                                   int k) const {
+std::vector<Neighbor> HammingIndex::BruteForceTopK(const Code& query, int k,
+                                                   const uint8_t* skip) const {
   T2H_CHECK_GE(k, 1);
   if (codes_.size() == 0) return {};
-  return TopKHamming(codes_, query, k);
+  return TopKHamming(codes_, query, k, skip);
 }
 
 std::vector<int> HammingIndex::ProbeAtRadius(const Code& query,

@@ -39,11 +39,19 @@ class HammingIndex {
   /// (1 + b + b(b-1)/2 bucket probes for b-bit codes).
   std::vector<int> ProbeWithinRadius2(const Code& query) const;
 
-  /// Hamming-Hybrid top-k (see class comment).
-  std::vector<Neighbor> HybridTopK(const Code& query, int k) const;
+  /// Hamming-Hybrid top-k (see class comment). `skip` is an optional
+  /// tombstone filter (ingest::LiveIndex): when non-null it points at
+  /// `size()` flags; flagged rows are dropped from the radius-2 candidate
+  /// set before the >= k test, and excluded from the brute-force fallback,
+  /// so the result equals the hybrid search over the live rows alone.
+  /// nullptr (the default) is bit-identical to the historical behaviour.
+  std::vector<Neighbor> HybridTopK(const Code& query, int k,
+                                   const uint8_t* skip = nullptr) const;
 
   /// Plain brute force over the stored codes (Hamming-BF), for comparison.
-  std::vector<Neighbor> BruteForceTopK(const Code& query, int k) const;
+  /// `skip` filters tombstoned rows as in HybridTopK.
+  std::vector<Neighbor> BruteForceTopK(const Code& query, int k,
+                                       const uint8_t* skip = nullptr) const;
 
   /// Ids in buckets at exactly Hamming radius `radius` from `query`
   /// (C(num_bits, radius) probes — explodes quickly with the radius).

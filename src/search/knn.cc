@@ -63,24 +63,31 @@ std::vector<Neighbor> TopKEuclidean(const std::vector<std::vector<float>>& db,
 }
 
 std::vector<Neighbor> TopKHamming(const PackedCodes& db, const Code& query,
-                                  int k) {
+                                  int k, const uint8_t* skip) {
   T2H_CHECK_GE(k, 1);
   T2H_CHECK_EQ(query.num_bits, db.num_bits());
   const int n = db.size();
-  k = std::min(k, n);
-  if (k <= 0) return {};
+  if (n == 0) return {};
   std::vector<int32_t> dist(n);
   kernels::HammingScan(db.data(), query.words.data(), n, db.words_per_code(),
                        dist.data());
   // Select over (int distance, index) pairs — no per-candidate double
-  // round-trip; only the k survivors are widened into Neighbors.
-  std::vector<int> ids(n);
-  for (int i = 0; i < n; ++i) ids[i] = i;
+  // round-trip; only the k survivors are widened into Neighbors. Tombstoned
+  // rows never enter the id pool, so selection order among the survivors is
+  // unchanged.
+  std::vector<int> ids;
+  ids.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    if (skip == nullptr || skip[i] == 0) ids.push_back(i);
+  }
+  const int live = static_cast<int>(ids.size());
+  k = std::min(k, live);
+  if (k <= 0) return {};
   const auto int_less = [&dist](int a, int b) {
     if (dist[a] != dist[b]) return dist[a] < dist[b];
     return a < b;
   };
-  if (k < n) {
+  if (k < live) {
     std::nth_element(ids.begin(), ids.begin() + (k - 1), ids.end(), int_less);
     ids.resize(k);
   }

@@ -1,6 +1,7 @@
 #ifndef TRAJ2HASH_SEARCH_KNN_H_
 #define TRAJ2HASH_SEARCH_KNN_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "search/code.h"
@@ -40,8 +41,14 @@ std::vector<Neighbor> TopKEuclidean(const std::vector<std::vector<float>>& db,
 /// routed through the word-unrolled popcount scan kernel. Distances are
 /// selected as integers and widened to the Neighbor's double only for the k
 /// survivors.
+///
+/// `skip` is an optional tombstone filter for live indexes (ingest::
+/// LiveIndex): when non-null it points at `db.size()` flags and rows with a
+/// non-zero flag are excluded from selection (the scan kernel still computes
+/// their distance — cheaper than a branch per row). nullptr (the default)
+/// is bit-identical to the historical unfiltered scan.
 std::vector<Neighbor> TopKHamming(const PackedCodes& db, const Code& query,
-                                  int k);
+                                  int k, const uint8_t* skip = nullptr);
 
 /// Unpacked convenience overload (packs, then scans).
 std::vector<Neighbor> TopKHamming(const std::vector<Code>& db,

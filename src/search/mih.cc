@@ -133,14 +133,17 @@ std::vector<Neighbor> MihIndex::TopK(const Code& query, int k) const {
 }
 
 std::vector<Neighbor> MihIndex::TopK(const Code& query, int k,
-                                     const Deadline& deadline,
-                                     bool* complete) const {
+                                     const Deadline& deadline, bool* complete,
+                                     const uint8_t* skip,
+                                     int num_skipped) const {
   T2H_CHECK_GE(k, 1);
   T2H_CHECK_EQ(query.num_bits, codes_.num_bits());
   *complete = true;
   const int n = codes_.size();
-  if (n == 0) return {};
-  k = std::min(k, n);
+  // Rows that can still become candidates: everything not tombstoned.
+  const int live_total = n - num_skipped;
+  if (live_total <= 0) return {};
+  k = std::min(k, live_total);
 
   const int m = num_substrings();
   const int words = codes_.words_per_code();
@@ -175,14 +178,14 @@ std::vector<Neighbor> MihIndex::TopK(const Code& query, int k,
     // fires. Once enumeration costs more than scanning the unseen remainder,
     // scan it directly — identical (still exact: every row becomes a
     // candidate) and the worst case stays within ~2x of BruteForceTopK.
-    const int64_t remaining = n - static_cast<int64_t>(cand_ids.size());
+    const int64_t remaining = live_total - static_cast<int64_t>(cand_ids.size());
     int64_t probe_cost = 0;
     for (const Table& t : tables_) {
       if (radius <= t.bits) probe_cost += Combinations(t.bits, radius);
     }
     if (probe_cost > remaining) {
       for (int id = 0; id < n; ++id) {
-        if (seen[id]) continue;
+        if (seen[id] || (skip != nullptr && skip[id] != 0)) continue;
         cand_ids.push_back(id);
         cand_dist.push_back(
             kernels::HammingDistanceRow(codes_.row(id), qwords, words));
@@ -197,7 +200,8 @@ std::vector<Neighbor> MihIndex::TopK(const Code& query, int k,
         if (bucket == nullptr) return;
         for (const int id : *bucket) {
           if (seen[id]) continue;
-          seen[id] = 1;
+          seen[id] = 1;  // tombstoned rows are marked too: one check per id
+          if (skip != nullptr && skip[id] != 0) continue;
           cand_ids.push_back(id);
           cand_dist.push_back(
               kernels::HammingDistanceRow(codes_.row(id), qwords, words));
@@ -210,7 +214,7 @@ std::vector<Neighbor> MihIndex::TopK(const Code& query, int k,
     // current k-th best distance is strictly below that — no unseen code can
     // then displace or tie into the top-k.
     const int count = static_cast<int>(cand_ids.size());
-    if (count == n) break;
+    if (count == live_total) break;
     if (count >= k) {
       kth_scratch = cand_dist;
       std::nth_element(kth_scratch.begin(), kth_scratch.begin() + (k - 1),

@@ -53,8 +53,18 @@ class MihIndex {
   /// neighbours — with `*complete` set to false. Radius 0 always runs, so
   /// an expiring probe degrades gracefully instead of returning nothing.
   /// With an infinite deadline this is exactly TopK (`*complete` = true).
+  ///
+  /// `skip` is an optional tombstone filter (ingest::LiveIndex): when
+  /// non-null it points at `size()` flags and flagged rows never become
+  /// candidates, so the result equals MIH over the live rows alone.
+  /// `num_skipped` must then count the flagged rows — it keeps the
+  /// cost-guard and termination accounting exact without an O(n) rescan
+  /// per query. The pigeonhole pruning bound is untouched (it reasons about
+  /// unseen rows, and dropping rows only shrinks the candidate pool).
   std::vector<Neighbor> TopK(const Code& query, int k,
-                             const Deadline& deadline, bool* complete) const;
+                             const Deadline& deadline, bool* complete,
+                             const uint8_t* skip = nullptr,
+                             int num_skipped = 0) const;
 
   /// Default substring count for a code width: 16-bit substrings.
   static int DefaultSubstrings(int num_bits);

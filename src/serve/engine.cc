@@ -14,22 +14,26 @@ QueryEngine::QueryEngine(const core::Traj2Hash* model,
                          const QueryEngineOptions& options)
     : model_(model),
       index_(options.num_shards, model != nullptr ? model->config().dim : 1,
-             options.strategy, options.mih_substrings),
+             options.strategy, options.mih_substrings,
+             options.compact_min_ops, options.compact_ratio),
       pool_(options.num_threads),
       admission_(options.queue_depth, options.overload_policy) {
   T2H_CHECK(model != nullptr);
 }
 
-int QueryEngine::Insert(const traj::Trajectory& t) {
+Result<int> QueryEngine::Insert(const traj::Trajectory& t) {
   std::vector<float> embedding = model_->Embed(t);
   search::Code code = search::PackSigns(embedding);
-  return index_.Insert(std::move(code), std::move(embedding));
+  Result<int> id = index_.Insert(std::move(code), std::move(embedding));
+  if (id.ok()) MaybeScheduleCompaction();
+  return id;
 }
 
-void QueryEngine::InsertAll(const std::vector<traj::Trajectory>& ts) {
-  if (ts.empty()) return;
+Status QueryEngine::InsertAll(const std::vector<traj::Trajectory>& ts) {
+  if (ts.empty()) return Status::Ok();
   // Encode in parallel (the dominant cost), insert sequentially so global
-  // ids deterministically follow input order.
+  // ids deterministically follow input order. Under a WAL the whole batch
+  // commits with one fsync (ShardedIndex::InsertBatch).
   std::vector<std::vector<float>> embeddings(ts.size());
   std::vector<std::function<void()>> tasks;
   tasks.reserve(ts.size());
@@ -38,9 +42,39 @@ void QueryEngine::InsertAll(const std::vector<traj::Trajectory>& ts) {
         [this, &ts, &embeddings, i] { embeddings[i] = model_->Embed(ts[i]); });
   }
   pool_.RunAll(std::move(tasks));
-  for (std::vector<float>& embedding : embeddings) {
-    search::Code code = search::PackSigns(embedding);
-    index_.Insert(std::move(code), std::move(embedding));
+  std::vector<search::Code> codes;
+  codes.reserve(embeddings.size());
+  for (const std::vector<float>& embedding : embeddings) {
+    codes.push_back(search::PackSigns(embedding));
+  }
+  const Status inserted =
+      index_.InsertBatch(std::move(codes), std::move(embeddings));
+  if (inserted.ok()) MaybeScheduleCompaction();
+  return inserted;
+}
+
+Status QueryEngine::Remove(int id) {
+  const Status removed = index_.Remove(id);
+  if (removed.ok()) MaybeScheduleCompaction();
+  return removed;
+}
+
+Status QueryEngine::Update(int id, const traj::Trajectory& t) {
+  std::vector<float> embedding = model_->Embed(t);
+  search::Code code = search::PackSigns(embedding);
+  const Status updated =
+      index_.Update(id, std::move(code), std::move(embedding));
+  if (updated.ok()) MaybeScheduleCompaction();
+  return updated;
+}
+
+void QueryEngine::MaybeScheduleCompaction() {
+  for (int s = 0; s < index_.num_shards(); ++s) {
+    // ClaimCompaction is single-flight per shard, so at most one rebuild of
+    // a shard is ever queued; the claim obliges the task to run.
+    if (index_.ClaimCompaction(s)) {
+      pool_.Submit([this, s] { index_.RunClaimedCompaction(s); });
+    }
   }
 }
 

@@ -31,6 +31,11 @@ struct QueryEngineOptions {
   /// the submitter (kBlock). 0 = unbounded, the historical behaviour.
   int queue_depth = 0;
   OverloadPolicy overload_policy = OverloadPolicy::kReject;
+  /// Per-shard background-compaction trigger (ingest::LiveIndexOptions):
+  /// rebuild a shard's base once this many rows are tombstoned or sitting in
+  /// the delta AND they exceed `compact_ratio` of the shard's physical rows.
+  int compact_min_ops = 64;
+  double compact_ratio = 0.25;
 };
 
 /// Per-query degradation knobs, threaded through Query/QueryBatch down to
@@ -63,8 +68,10 @@ struct QueryResult {
 /// rank (deterministic merge) — with per-stage latency recorded into a
 /// `ServeStats` that can be snapshot while serving.
 ///
-/// Concurrency model: `Insert`, `Query` and `QueryBatch` are all safe to
-/// call from any number of external threads at once. A single `Query` fans
+/// Concurrency model: `Insert`, `Remove`, `Update`, `Query` and
+/// `QueryBatch` are all safe to call from any number of external threads at
+/// once; shard compactions triggered by mutations run as background pool
+/// tasks without blocking readers. A single `Query` fans
 /// its shard probes out across the worker pool; `QueryBatch` instead runs
 /// one pool task per query (each probing its shards serially), which is the
 /// throughput-optimal shape when queries outnumber workers. Model encoding
@@ -81,13 +88,24 @@ class QueryEngine {
   QueryEngine(const core::Traj2Hash* model, const QueryEngineOptions& options);
 
   /// Encodes, hashes and stores one trajectory; returns its global id.
-  /// Thread-safe against concurrent queries and inserts.
-  int Insert(const traj::Trajectory& t);
+  /// Thread-safe against concurrent queries and mutations. Only fails when
+  /// a WAL is attached (Recover) and the record cannot be made durable.
+  Result<int> Insert(const traj::Trajectory& t);
 
   /// Bulk load: trajectories are encoded in parallel on the worker pool but
-  /// inserted in order, so ids always equal the input positions (offset by
-  /// the current size). Must not be called from inside a pool task.
-  void InsertAll(const std::vector<traj::Trajectory>& ts);
+  /// inserted in order (one group commit under a WAL), so ids always equal
+  /// the input positions (offset by the current size). Must not be called
+  /// from inside a pool task.
+  Status InsertAll(const std::vector<traj::Trajectory>& ts);
+
+  /// Tombstones entry `id`; it stops appearing in query results
+  /// immediately. kNotFound if `id` was never assigned or already removed.
+  /// May schedule a background compaction of the affected shard.
+  Status Remove(int id);
+
+  /// Re-encodes `t` and replaces entry `id` in place (same global id).
+  /// kNotFound if `id` is not live.
+  Status Update(int id, const traj::Trajectory& t);
 
   /// Single top-k query with parallel shard fan-out. Must not be called
   /// from inside a pool task (see ThreadPool::RunAll); external callers may
@@ -114,14 +132,39 @@ class QueryEngine {
     return index_.LoadSnapshot(path);
   }
 
+  /// Boot-time recovery (DESIGN.md §12): loads `snapshot_path` if that file
+  /// exists, replays `wal_path`, and keeps the WAL attached — every later
+  /// mutation is then logged + fsynced before it is acknowledged. Requires
+  /// an empty engine.
+  Status Recover(const std::string& snapshot_path, const std::string& wal_path) {
+    return index_.Recover(snapshot_path, wal_path);
+  }
+
+  /// Durable checkpoint: snapshot + WAL reset as one cut (see
+  /// ShardedIndex::Checkpoint). Without a WAL this is just SaveSnapshot.
+  Status Checkpoint(const std::string& path) { return index_.Checkpoint(path); }
+
+  /// Synchronously rebuilds every shard's strategy base from its delta +
+  /// tombstones. Mutations normally compact in the background once the
+  /// per-shard trigger fires; this forces the rebuild now — e.g. right
+  /// after a bulk load, so queries hit the strategy engine instead of the
+  /// delta's flat scan.
+  void CompactAll() { index_.CompactAll(); }
+
   /// Per-stage latency snapshot (thread-safe while serving).
   ServeStats::Snapshot stats() const { return stats_.Summarize(); }
 
-  /// Clears stage statistics. Quiescent use only (no in-flight queries).
+  /// Clears stage statistics. Safe while serving (see
+  /// LatencyHistogram::Reset); in-flight queries may contribute a few
+  /// samples to the new epoch.
   void ResetStats() { stats_.Reset(); }
 
   const ShardedIndex& index() const { return index_; }
   int size() const { return index_.size(); }
+  /// Entries currently live (size() minus removals).
+  int live_size() const { return index_.live_size(); }
+  /// Physical tombstoned rows awaiting compaction.
+  int tombstone_count() const { return index_.tombstone_count(); }
   int num_threads() const { return pool_.num_threads(); }
   /// Queries shed by admission control since construction.
   int64_t shed_count() const { return admission_.shed_count(); }
@@ -131,6 +174,11 @@ class QueryEngine {
   /// selects pool fan-out (single queries) vs serial probes (batch tasks).
   QueryResult RunQuery(const traj::Trajectory& query, int k,
                        bool parallel_fanout, const QueryOptions& options);
+
+  /// After a mutation: claims any shard whose compaction trigger fired and
+  /// rebuilds it on the worker pool, off the mutator's thread. Queries keep
+  /// serving the old base until the new one is installed.
+  void MaybeScheduleCompaction();
 
   const core::Traj2Hash* model_;
   ShardedIndex index_;

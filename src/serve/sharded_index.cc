@@ -3,52 +3,183 @@
 #include <algorithm>
 #include <cstring>
 #include <functional>
-#include <mutex>
+#include <utility>
 
 #include "common/check.h"
 #include "common/crc32.h"
+#include "common/fault_injection.h"
 #include "common/file_util.h"
 #include "common/serialize.h"
 
 namespace traj2hash::serve {
 
-ShardedIndex::Shard::Shard(int num_bits, search::SearchStrategy strategy,
-                           int mih_substrings) {
-  if (strategy == search::SearchStrategy::kMih) {
-    mih = std::make_unique<search::MihIndex>(num_bits, mih_substrings);
-  } else {
-    hybrid = std::make_unique<search::HammingIndex>(num_bits);
-  }
-}
-
 ShardedIndex::ShardedIndex(int num_shards, int num_bits,
-                           search::SearchStrategy strategy,
-                           int mih_substrings)
+                           search::SearchStrategy strategy, int mih_substrings,
+                           int compact_min_ops, double compact_ratio)
     : num_bits_(num_bits), strategy_(strategy) {
   T2H_CHECK_GE(num_shards, 1);
   T2H_CHECK_GT(num_bits, 0);
+  ingest::LiveIndexOptions options;
+  options.num_bits = num_bits;
+  options.strategy = strategy;
+  options.mih_substrings = mih_substrings;
+  options.compact_min_ops = compact_min_ops;
+  options.compact_ratio = compact_ratio;
   shards_.reserve(num_shards);
   for (int s = 0; s < num_shards; ++s) {
-    shards_.push_back(
-        std::make_unique<Shard>(num_bits, strategy, mih_substrings));
+    shards_.push_back(std::make_unique<ingest::LiveIndex>(options));
   }
 }
 
-int ShardedIndex::Insert(search::Code code, std::vector<float> embedding) {
-  T2H_CHECK_EQ(code.num_bits, num_bits_);
-  const int id = next_id_.fetch_add(1, std::memory_order_acq_rel);
-  Shard& shard = *shards_[ShardOf(id)];
-  std::unique_lock<std::shared_mutex> lock(shard.mu);
-  // Concurrent inserts can reach the same shard out of global-id order, so
-  // the local->global mapping is stored, not derived from the local id.
-  if (shard.mih != nullptr) {
-    shard.mih->Insert(code);
-  } else {
-    shard.hybrid->Insert(std::move(code));
+Status ShardedIndex::CommitLocked(std::vector<ingest::WalRecord> records) {
+  for (ingest::WalRecord& record : records) {
+    const Status appended = wal_->Append(std::move(record));
+    if (!appended.ok()) return appended;
   }
-  shard.global_ids.push_back(id);
-  shard.embeddings.push_back(std::move(embedding));
+  // Group commit: one durability barrier for the whole batch.
+  return wal_->Sync();
+}
+
+Result<int> ShardedIndex::Insert(search::Code code,
+                                 std::vector<float> embedding) {
+  T2H_CHECK_EQ(code.num_bits, num_bits_);
+  if (wal_ == nullptr) {
+    // Historical fast path: inserts to different shards never contend.
+    const int id = next_id_.fetch_add(1, std::memory_order_acq_rel);
+    const Status applied =
+        shards_[ShardOf(id)]->Insert(id, std::move(code),
+                                     std::move(embedding));
+    T2H_CHECK_MSG(applied.ok(), "fresh global ids cannot collide");
+    return id;
+  }
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  const int id = next_id_.load(std::memory_order_acquire);
+  ingest::WalRecord record;
+  record.type = ingest::WalRecordType::kInsert;
+  record.id = id;
+  record.code = code;
+  record.embedding = embedding;
+  std::vector<ingest::WalRecord> batch;
+  batch.push_back(std::move(record));
+  const Status committed = CommitLocked(std::move(batch));
+  // Not durable => not applied and the id was not consumed: the index is
+  // exactly as if the call never happened (though the WAL needs a reopen).
+  if (!committed.ok()) return committed;
+  next_id_.store(id + 1, std::memory_order_release);
+  if (FaultInjector::Fire(faults::kWalApply)) {
+    return Status::Internal(
+        "injected crash between WAL append and index apply");
+  }
+  const Status applied =
+      shards_[ShardOf(id)]->Insert(id, std::move(code), std::move(embedding));
+  T2H_CHECK_MSG(applied.ok(), "fresh global ids cannot collide");
   return id;
+}
+
+Status ShardedIndex::InsertBatch(std::vector<search::Code> codes,
+                                 std::vector<std::vector<float>> embeddings) {
+  T2H_CHECK_EQ(codes.size(), embeddings.size());
+  if (codes.empty()) return Status::Ok();
+  for (const search::Code& code : codes) {
+    T2H_CHECK_EQ(code.num_bits, num_bits_);
+  }
+  if (wal_ == nullptr) {
+    for (size_t i = 0; i < codes.size(); ++i) {
+      const Result<int> inserted =
+          Insert(std::move(codes[i]), std::move(embeddings[i]));
+      T2H_CHECK(inserted.ok());
+    }
+    return Status::Ok();
+  }
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  const int first = next_id_.load(std::memory_order_acquire);
+  std::vector<ingest::WalRecord> batch;
+  batch.reserve(codes.size());
+  for (size_t i = 0; i < codes.size(); ++i) {
+    ingest::WalRecord record;
+    record.type = ingest::WalRecordType::kInsert;
+    record.id = first + static_cast<int>(i);
+    record.code = codes[i];
+    record.embedding = embeddings[i];
+    batch.push_back(std::move(record));
+  }
+  const Status committed = CommitLocked(std::move(batch));
+  if (!committed.ok()) return committed;
+  next_id_.store(first + static_cast<int>(codes.size()),
+                 std::memory_order_release);
+  if (FaultInjector::Fire(faults::kWalApply)) {
+    return Status::Internal(
+        "injected crash between WAL append and index apply");
+  }
+  for (size_t i = 0; i < codes.size(); ++i) {
+    const int id = first + static_cast<int>(i);
+    const Status applied = shards_[ShardOf(id)]->Insert(
+        id, std::move(codes[i]), std::move(embeddings[i]));
+    T2H_CHECK_MSG(applied.ok(), "fresh global ids cannot collide");
+  }
+  return Status::Ok();
+}
+
+Status ShardedIndex::Remove(int id) {
+  if (id < 0 || id >= size()) {
+    return Status::NotFound("id " + std::to_string(id) +
+                            " was never assigned");
+  }
+  if (wal_ == nullptr) return shards_[ShardOf(id)]->Remove(id);
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  // Liveness is checked before logging so a no-op remove never reaches the
+  // log (replay would otherwise tombstone an id a racing recovery inserted).
+  if (!shards_[ShardOf(id)]->Contains(id)) {
+    return Status::NotFound("id " + std::to_string(id) + " is not live");
+  }
+  ingest::WalRecord record;
+  record.type = ingest::WalRecordType::kRemove;
+  record.id = id;
+  std::vector<ingest::WalRecord> batch;
+  batch.push_back(std::move(record));
+  const Status committed = CommitLocked(std::move(batch));
+  if (!committed.ok()) return committed;
+  if (FaultInjector::Fire(faults::kWalApply)) {
+    return Status::Internal(
+        "injected crash between WAL append and index apply");
+  }
+  const Status applied = shards_[ShardOf(id)]->Remove(id);
+  T2H_CHECK_MSG(applied.ok(), "liveness was checked under the commit mutex");
+  return Status::Ok();
+}
+
+Status ShardedIndex::Update(int id, search::Code code,
+                            std::vector<float> embedding) {
+  T2H_CHECK_EQ(code.num_bits, num_bits_);
+  if (id < 0 || id >= size()) {
+    return Status::NotFound("id " + std::to_string(id) +
+                            " was never assigned");
+  }
+  if (wal_ == nullptr) {
+    return shards_[ShardOf(id)]->Update(id, std::move(code),
+                                        std::move(embedding));
+  }
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  if (!shards_[ShardOf(id)]->Contains(id)) {
+    return Status::NotFound("id " + std::to_string(id) + " is not live");
+  }
+  ingest::WalRecord record;
+  record.type = ingest::WalRecordType::kUpdate;
+  record.id = id;
+  record.code = code;
+  record.embedding = embedding;
+  std::vector<ingest::WalRecord> batch;
+  batch.push_back(std::move(record));
+  const Status committed = CommitLocked(std::move(batch));
+  if (!committed.ok()) return committed;
+  if (FaultInjector::Fire(faults::kWalApply)) {
+    return Status::Internal(
+        "injected crash between WAL append and index apply");
+  }
+  const Status applied = shards_[ShardOf(id)]->Update(id, std::move(code),
+                                                      std::move(embedding));
+  T2H_CHECK_MSG(applied.ok(), "liveness was checked under the commit mutex");
+  return Status::Ok();
 }
 
 std::vector<search::Neighbor> ShardedIndex::ShardTopK(
@@ -62,22 +193,7 @@ std::vector<search::Neighbor> ShardedIndex::ShardTopK(
     bool* complete) const {
   T2H_CHECK(shard_id >= 0 && shard_id < num_shards());
   *complete = true;
-  const Shard& shard = *shards_[shard_id];
-  std::shared_lock<std::shared_mutex> lock(shard.mu);
-  std::vector<search::Neighbor> local;
-  switch (strategy_) {
-    case search::SearchStrategy::kBrute:
-      local = shard.hybrid->BruteForceTopK(query, k);
-      break;
-    case search::SearchStrategy::kRadius2:
-      local = shard.hybrid->HybridTopK(query, k);
-      break;
-    case search::SearchStrategy::kMih:
-      local = shard.mih->TopK(query, k, deadline, complete);
-      break;
-  }
-  for (search::Neighbor& n : local) n.index = shard.global_ids[n.index];
-  return local;
+  return shards_[shard_id]->TopK(query, k, deadline, complete);
 }
 
 std::vector<search::Neighbor> ShardedIndex::MergeTopK(
@@ -120,45 +236,39 @@ namespace {
 // Snapshot file layout (all integers little-endian, the only platform this
 // project targets):
 //   u64 magic "T2HSNAP1" | u32 version | u32 crc32 of everything after it |
-//   u32 num_bits | u64 count | count entries of
-//   { u32 embedding_len, words_per_code u64 code words, embedding floats }.
-// Entries appear in global-id order, so reloading through Insert reproduces
-// the exact id assignment for any shard count.
+//   version 2 (current): u32 num_bits | u64 next_id | u64 count |
+//     count entries of { u64 global_id, u32 embedding_len,
+//                        words_per_code u64 code words, embedding floats }
+//     in ascending global-id order. Ids in [0, next_id) that are absent are
+//     tombstones — removed (or never-applied) entries stay removed across a
+//     reload, and next_id keeps new inserts from reusing their ids.
+//   version 1 (legacy, read-only): u32 num_bits | u64 count | count entries
+//     without the id field; ids are dense 0..count-1.
 constexpr uint64_t kSnapshotMagic = 0x31'50'41'4E'53'48'32'54ull;  // T2HSNAP1
-constexpr uint32_t kSnapshotVersion = 1;
+constexpr uint32_t kSnapshotVersion = 2;
+constexpr uint32_t kSnapshotVersionLegacy = 1;
 
 }  // namespace
 
 Status ShardedIndex::SaveSnapshot(const std::string& path) const {
-  // Capture the size first, then copy entries out under per-shard shared
-  // locks. Inserts racing this snapshot may leave the newest ids not yet
-  // visible in their shard, so the snapshot keeps the longest contiguous id
-  // prefix — a consistent database some moment ago.
-  const int snap_size = size();
-  struct Entry {
-    std::vector<uint64_t> words;
-    std::vector<float> embedding;
-    bool present = false;
-  };
-  std::vector<Entry> entries(snap_size);
-  const int words_per_code = (num_bits_ + 63) / 64;
-  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
-    const Shard& shard = *shard_ptr;
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
-    const search::PackedCodes& codes =
-        shard.mih != nullptr ? shard.mih->codes() : shard.hybrid->codes();
-    for (size_t local = 0; local < shard.global_ids.size(); ++local) {
-      const int gid = shard.global_ids[local];
-      if (gid >= snap_size) continue;
-      Entry& e = entries[gid];
-      const uint64_t* row = codes.row(static_cast<int>(local));
-      e.words.assign(row, row + words_per_code);
-      e.embedding = shard.embeddings[local];
-      e.present = true;
-    }
+  // Each shard's contribution is captured under its own lock, so every
+  // entry is internally consistent; Checkpoint holds the commit mutex for a
+  // point-in-time cut across shards.
+  const uint64_t watermark = static_cast<uint64_t>(size());
+  std::vector<ingest::LiveIndex::Entry> entries;
+  for (const std::unique_ptr<ingest::LiveIndex>& shard : shards_) {
+    std::vector<ingest::LiveIndex::Entry> part = shard->SnapshotEntries();
+    entries.insert(entries.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
   }
-  uint64_t count = 0;
-  while (count < entries.size() && entries[count].present) ++count;
+  std::sort(entries.begin(), entries.end(),
+            [](const ingest::LiveIndex::Entry& a,
+               const ingest::LiveIndex::Entry& b) { return a.id < b.id; });
+  uint64_t next_id = watermark;
+  if (!entries.empty()) {
+    next_id = std::max(next_id,
+                       static_cast<uint64_t>(entries.back().id) + 1);
+  }
 
   std::string buffer;
   AppendPod(buffer, kSnapshotMagic);
@@ -166,12 +276,13 @@ Status ShardedIndex::SaveSnapshot(const std::string& path) const {
   const size_t crc_pos = buffer.size();
   AppendPod(buffer, uint32_t{0});  // CRC placeholder, patched below
   AppendPod(buffer, static_cast<uint32_t>(num_bits_));
-  AppendPod(buffer, count);
-  for (uint64_t gid = 0; gid < count; ++gid) {
-    const Entry& e = entries[gid];
+  AppendPod(buffer, next_id);
+  AppendPod(buffer, static_cast<uint64_t>(entries.size()));
+  for (const ingest::LiveIndex::Entry& e : entries) {
+    AppendPod(buffer, static_cast<uint64_t>(e.id));
     AppendPod(buffer, static_cast<uint32_t>(e.embedding.size()));
-    buffer.append(reinterpret_cast<const char*>(e.words.data()),
-                  e.words.size() * sizeof(uint64_t));
+    buffer.append(reinterpret_cast<const char*>(e.code.words.data()),
+                  e.code.words.size() * sizeof(uint64_t));
     buffer.append(reinterpret_cast<const char*>(e.embedding.data()),
                   e.embedding.size() * sizeof(float));
   }
@@ -192,7 +303,7 @@ Status ShardedIndex::LoadSnapshot(const std::string& path) {
   const std::string& buffer = read.value();
 
   constexpr size_t kHeaderEnd =
-      sizeof(kSnapshotMagic) + sizeof(kSnapshotVersion) + sizeof(uint32_t);
+      sizeof(kSnapshotMagic) + sizeof(uint32_t) + sizeof(uint32_t);
   PayloadReader header(buffer, 0);
   const auto magic = header.Read<uint64_t>();
   const auto version = header.Read<uint32_t>();
@@ -200,10 +311,11 @@ Status ShardedIndex::LoadSnapshot(const std::string& path) {
   if (!header.ok() || magic != kSnapshotMagic) {
     return Status::InvalidArgument("not a traj2hash snapshot file: " + path);
   }
-  if (version != kSnapshotVersion) {
+  if (version != kSnapshotVersion && version != kSnapshotVersionLegacy) {
     return Status::FailedPrecondition(
         "snapshot " + path + " has format version " +
-        std::to_string(version) + ", this build reads version " +
+        std::to_string(version) + ", this build reads versions " +
+        std::to_string(kSnapshotVersionLegacy) + " and " +
         std::to_string(kSnapshotVersion));
   }
   const uint32_t actual_crc =
@@ -215,6 +327,8 @@ Status ShardedIndex::LoadSnapshot(const std::string& path) {
 
   PayloadReader reader(buffer, kHeaderEnd);
   const auto num_bits = reader.Read<uint32_t>();
+  const uint64_t next_id =
+      version == kSnapshotVersion ? reader.Read<uint64_t>() : 0;
   const auto count = reader.Read<uint64_t>();
   if (reader.ok() && static_cast<int>(num_bits) != num_bits_) {
     return Status::InvalidArgument(
@@ -222,42 +336,148 @@ Status ShardedIndex::LoadSnapshot(const std::string& path) {
         "-bit codes, index expects " + std::to_string(num_bits_));
   }
   const int words_per_code = (num_bits_ + 63) / 64;
-  std::vector<std::pair<search::Code, std::vector<float>>> loaded;
-  if (reader.ok()) loaded.reserve(count);
-  for (uint64_t gid = 0; reader.ok() && gid < count; ++gid) {
-    const auto embedding_len = reader.Read<uint32_t>();
+  struct Loaded {
+    int id;
     search::Code code;
-    code.num_bits = num_bits_;
-    code.words.resize(words_per_code);
-    reader.ReadBytes(code.words.data(), words_per_code * sizeof(uint64_t));
-    std::vector<float> embedding(embedding_len);
-    reader.ReadBytes(embedding.data(), embedding_len * sizeof(float));
-    if (reader.ok()) loaded.emplace_back(std::move(code), std::move(embedding));
+    std::vector<float> embedding;
+  };
+  std::vector<Loaded> loaded;
+  if (reader.ok()) loaded.reserve(count);
+  int64_t previous_id = -1;
+  for (uint64_t i = 0; reader.ok() && i < count; ++i) {
+    Loaded entry;
+    entry.id = version == kSnapshotVersion
+                   ? static_cast<int>(reader.Read<uint64_t>())
+                   : static_cast<int>(i);
+    const auto embedding_len = reader.Read<uint32_t>();
+    entry.code.num_bits = num_bits_;
+    entry.code.words.resize(words_per_code);
+    reader.ReadBytes(entry.code.words.data(),
+                     words_per_code * sizeof(uint64_t));
+    entry.embedding.resize(embedding_len);
+    reader.ReadBytes(entry.embedding.data(), embedding_len * sizeof(float));
+    if (!reader.ok()) break;
+    // The CRC vouches for the bytes, so structurally impossible ids mean
+    // writer/reader disagreement: surface as data loss, load nothing.
+    if (entry.id <= previous_id ||
+        (version == kSnapshotVersion &&
+         static_cast<uint64_t>(entry.id) >= next_id)) {
+      return Status::DataLoss("snapshot ids are not ascending below the "
+                              "next-id watermark: " + path);
+    }
+    previous_id = entry.id;
+    loaded.push_back(std::move(entry));
   }
-  // The CRC already vouches for the bytes, so any parse overrun means the
-  // writer and reader disagree structurally — surface it as data loss too
-  // rather than loading a prefix. The index is only mutated after this
-  // point, so every failure path leaves it empty.
   if (!reader.at_end()) {
     return Status::DataLoss("snapshot payload is malformed: " + path);
   }
-  for (auto& [code, embedding] : loaded) {
-    Insert(std::move(code), std::move(embedding));
+  // The index is only mutated after the full parse, so every failure path
+  // above leaves it empty.
+  for (Loaded& entry : loaded) {
+    const Status applied = shards_[ShardOf(entry.id)]->Insert(
+        entry.id, std::move(entry.code), std::move(entry.embedding));
+    T2H_CHECK_MSG(applied.ok(), "snapshot ids are unique by construction");
+  }
+  next_id_.store(version == kSnapshotVersion
+                     ? static_cast<int>(next_id)
+                     : static_cast<int>(count),
+                 std::memory_order_release);
+  return Status::Ok();
+}
+
+Status ShardedIndex::ApplyReplayed(const ingest::WalRecord& record) {
+  const int id = record.id;
+  if (id < 0) {
+    return Status::DataLoss("WAL record has negative id " +
+                            std::to_string(id));
+  }
+  if (record.type == ingest::WalRecordType::kRemove) {
+    // Tolerant: the snapshot may already reflect this remove.
+    shards_[ShardOf(id)]->RemoveIfPresent(id);
+  } else {
+    if (record.code.num_bits != num_bits_) {
+      return Status::DataLoss(
+          "WAL record stores " + std::to_string(record.code.num_bits) +
+          "-bit codes, index expects " + std::to_string(num_bits_));
+    }
+    // Upsert: the snapshot may already contain this record's effect (or an
+    // older code for the same id) — last record per id wins either way.
+    shards_[ShardOf(id)]->Upsert(id, record.code, record.embedding);
+  }
+  if (id >= next_id_.load(std::memory_order_acquire)) {
+    next_id_.store(id + 1, std::memory_order_release);
   }
   return Status::Ok();
 }
 
+Status ShardedIndex::Recover(const std::string& snapshot_path,
+                             const std::string& wal_path) {
+  T2H_CHECK_MSG(!wal_path.empty(), "Recover needs a WAL path");
+  if (wal_ != nullptr) {
+    return Status::FailedPrecondition("a WAL is already attached");
+  }
+  if (size() != 0) {
+    return Status::FailedPrecondition(
+        "Recover requires an empty index (current size " +
+        std::to_string(size()) + ")");
+  }
+  if (!snapshot_path.empty() && FileExists(snapshot_path)) {
+    const Status loaded = LoadSnapshot(snapshot_path);
+    if (!loaded.ok()) return loaded;
+  }
+  ingest::WalReplay replay;
+  Result<std::unique_ptr<ingest::Wal>> opened =
+      ingest::Wal::Open(wal_path, &replay);
+  if (!opened.ok()) return opened.status();
+  for (const ingest::WalRecord& record : replay.records) {
+    const Status applied = ApplyReplayed(record);
+    if (!applied.ok()) return applied;
+  }
+  wal_ = std::move(opened).value();
+  return Status::Ok();
+}
+
+Status ShardedIndex::AttachWal(const std::string& wal_path) {
+  return Recover("", wal_path);
+}
+
+Status ShardedIndex::Checkpoint(const std::string& path) {
+  if (wal_ == nullptr) return SaveSnapshot(path);
+  // Under the commit mutex no mutation can be between its WAL append and
+  // its apply, so the snapshot is an exact cut; resetting the log after a
+  // successful save cannot drop an acknowledged write. A crash between the
+  // two steps merely replays the whole (idempotent) log over the snapshot.
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  const Status saved = SaveSnapshot(path);
+  if (!saved.ok()) return saved;
+  return wal_->Reset();
+}
+
 std::vector<float> ShardedIndex::EmbeddingOf(int id) const {
   T2H_CHECK(id >= 0 && id < size());
-  const Shard& shard = *shards_[ShardOf(id)];
-  std::shared_lock<std::shared_mutex> lock(shard.mu);
-  // Linear scan of the local id map: shards stay small relative to the
-  // database, and this accessor is off the serving hot path.
-  for (size_t local = 0; local < shard.global_ids.size(); ++local) {
-    if (shard.global_ids[local] == id) return shard.embeddings[local];
-  }
-  T2H_CHECK_MSG(false, "id assigned but not yet visible in its shard");
-  return {};
+  return shards_[ShardOf(id)]->EmbeddingOf(id);
+}
+
+int ShardedIndex::live_size() const {
+  int total = 0;
+  for (const auto& shard : shards_) total += shard->live_size();
+  return total;
+}
+
+int ShardedIndex::tombstone_count() const {
+  int total = 0;
+  for (const auto& shard : shards_) total += shard->tombstone_count();
+  return total;
+}
+
+int ShardedIndex::compactions_run() const {
+  int total = 0;
+  for (const auto& shard : shards_) total += shard->compactions_run();
+  return total;
+}
+
+void ShardedIndex::CompactAll() {
+  for (const auto& shard : shards_) shard->Compact();
 }
 
 }  // namespace traj2hash::serve

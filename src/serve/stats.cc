@@ -67,10 +67,16 @@ LatencyHistogram::Summary LatencyHistogram::Summarize() const {
 }
 
 void LatencyHistogram::Reset() {
-  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-  sum_nanos_.store(0, std::memory_order_relaxed);
-  max_nanos_.store(0, std::memory_order_relaxed);
+  // Exchange-based drain: each counter is atomically read-and-zeroed, so an
+  // increment that raced in is either drained here or survives into the new
+  // epoch — never lost and never double-counted. A single Record racing the
+  // reset may land split across the epoch boundary (its bucket drained but
+  // its sum retained, say), which transiently skews the post-reset mean by
+  // at most that one sample — fine for monitoring.
+  for (auto& b : buckets_) b.exchange(0, std::memory_order_relaxed);
+  count_.exchange(0, std::memory_order_relaxed);
+  sum_nanos_.exchange(0, std::memory_order_relaxed);
+  max_nanos_.exchange(0, std::memory_order_relaxed);
 }
 
 std::string StageName(Stage stage) {

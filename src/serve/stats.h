@@ -42,8 +42,11 @@ class LatencyHistogram {
   /// Snapshot of the distribution so far. Thread-safe against Record.
   Summary Summarize() const;
 
-  /// Zeroes every counter. NOT safe against concurrent Record; call only
-  /// while the histogram is quiescent (e.g. between bench sweeps).
+  /// Zeroes every counter with an atomic exchange-based drain. Safe against
+  /// concurrent Record: no increment is lost or double-counted, though a
+  /// single racing sample may land split across the reset (one counter
+  /// drained, another retained) — a one-sample skew, acceptable for
+  /// monitoring.
   void Reset();
 
  private:
@@ -67,7 +70,8 @@ constexpr int kNumStages = 4;
 std::string StageName(Stage stage);
 
 /// Per-stage latency statistics of a running engine. All methods are
-/// thread-safe except Reset (quiescent only, see LatencyHistogram::Reset).
+/// thread-safe, including Reset (see LatencyHistogram::Reset for the
+/// one-racing-sample caveat).
 class ServeStats {
  public:
   void Record(Stage stage, double micros) {

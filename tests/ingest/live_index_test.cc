@@ -1,0 +1,215 @@
+// Unit tests for ingest::LiveIndex (base + delta + tombstones): mutation
+// semantics, exact top-k against a brute-force oracle over the logical
+// corpus across every strategy, compaction (trigger, equivalence, the
+// abandoned-install fault) and the replay-idempotent Upsert /
+// RemoveIfPresent pair.
+#include "ingest/live_index.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "search/code.h"
+
+namespace traj2hash::ingest {
+namespace {
+
+search::Code RandomCode(int bits, Rng& rng) {
+  std::vector<float> v(bits);
+  for (float& x : v) x = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+  return search::PackSigns(v);
+}
+
+LiveIndexOptions Options(search::SearchStrategy strategy, int bits = 32) {
+  LiveIndexOptions options;
+  options.num_bits = bits;
+  options.strategy = strategy;
+  return options;
+}
+
+/// The ground truth: brute-force top-k over the live entries, ranked by the
+/// repo-wide (distance, id) order.
+std::vector<search::Neighbor> Oracle(
+    const std::map<int, search::Code>& live, const search::Code& query,
+    int k) {
+  std::vector<search::Neighbor> all;
+  for (const auto& [id, code] : live) {
+    all.push_back({id, static_cast<double>(HammingDistance(code, query))});
+  }
+  std::sort(all.begin(), all.end(), search::NeighborLess);
+  if (static_cast<int>(all.size()) > k) all.resize(k);
+  return all;
+}
+
+void ExpectIdentical(const std::vector<search::Neighbor>& got,
+                     const std::vector<search::Neighbor>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].index, want[i].index) << "rank " << i;
+    EXPECT_EQ(got[i].distance, want[i].distance) << "rank " << i;
+  }
+}
+
+class LiveIndexStrategyTest
+    : public ::testing::TestWithParam<search::SearchStrategy> {};
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, LiveIndexStrategyTest,
+                         ::testing::Values(search::SearchStrategy::kBrute,
+                                           search::SearchStrategy::kRadius2,
+                                           search::SearchStrategy::kMih));
+
+TEST_P(LiveIndexStrategyTest, MutationsTrackABruteForceOracle) {
+  Rng rng(31);
+  LiveIndex index(Options(GetParam()));
+  std::map<int, search::Code> live;
+  // Interleave inserts, removes, updates and occasional forced compactions,
+  // checking exactness at every step.
+  for (int step = 0; step < 120; ++step) {
+    const double dice = rng.Uniform(0.0, 1.0);
+    if (dice < 0.55 || live.empty()) {
+      const int id = step;
+      const search::Code code = RandomCode(32, rng);
+      ASSERT_TRUE(index.Insert(id, code, {}).ok());
+      live[id] = code;
+    } else if (dice < 0.75) {
+      const int victim = std::next(live.begin(), step % live.size())->first;
+      ASSERT_TRUE(index.Remove(victim).ok());
+      live.erase(victim);
+    } else if (dice < 0.95) {
+      const int victim = std::next(live.begin(), step % live.size())->first;
+      const search::Code code = RandomCode(32, rng);
+      ASSERT_TRUE(index.Update(victim, code, {}).ok());
+      live[victim] = code;
+    } else {
+      index.Compact();
+      EXPECT_EQ(index.tombstone_count(), 0);
+    }
+    ASSERT_EQ(index.live_size(), static_cast<int>(live.size()));
+    const search::Code query = RandomCode(32, rng);
+    ExpectIdentical(index.TopK(query, 5), Oracle(live, query, 5));
+  }
+  // And once more after a final compaction folds everything into the base.
+  index.Compact();
+  const search::Code query = RandomCode(32, rng);
+  ExpectIdentical(index.TopK(query, 10), Oracle(live, query, 10));
+}
+
+TEST(LiveIndexTest, MutationErrorTaxonomy) {
+  Rng rng(32);
+  LiveIndex index(Options(search::SearchStrategy::kMih));
+  const search::Code code = RandomCode(32, rng);
+  ASSERT_TRUE(index.Insert(7, code, {1.0f}).ok());
+  EXPECT_EQ(index.Insert(7, code, {}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(index.Remove(8).code(), StatusCode::kNotFound);
+  EXPECT_EQ(index.Update(8, code, {}).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(index.Remove(7).ok());
+  EXPECT_EQ(index.Remove(7).code(), StatusCode::kNotFound);
+  EXPECT_FALSE(index.Contains(7));
+  EXPECT_TRUE(index.EmbeddingOf(7).empty());
+}
+
+TEST(LiveIndexTest, EmbeddingsSurviveUpdateAndCompaction) {
+  Rng rng(33);
+  LiveIndex index(Options(search::SearchStrategy::kRadius2));
+  ASSERT_TRUE(index.Insert(0, RandomCode(32, rng), {1.0f, 2.0f}).ok());
+  ASSERT_TRUE(index.Insert(1, RandomCode(32, rng), {3.0f}).ok());
+  ASSERT_TRUE(index.Update(0, RandomCode(32, rng), {4.0f}).ok());
+  EXPECT_EQ(index.EmbeddingOf(0), (std::vector<float>{4.0f}));
+  index.Compact();
+  EXPECT_EQ(index.EmbeddingOf(0), (std::vector<float>{4.0f}));
+  EXPECT_EQ(index.EmbeddingOf(1), (std::vector<float>{3.0f}));
+}
+
+TEST(LiveIndexTest, CompactionTriggerNeedsBothGates) {
+  Rng rng(34);
+  LiveIndexOptions options = Options(search::SearchStrategy::kMih);
+  options.compact_min_ops = 8;
+  options.compact_ratio = 0.25;
+  LiveIndex index(options);
+  // 7 delta rows: below min_ops, no trigger even at 100% ratio.
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(index.Insert(i, RandomCode(32, rng), {}).ok());
+  }
+  EXPECT_FALSE(index.NeedsCompaction());
+  ASSERT_TRUE(index.Insert(7, RandomCode(32, rng), {}).ok());
+  EXPECT_TRUE(index.NeedsCompaction());
+  ASSERT_TRUE(index.ClaimCompaction());
+  EXPECT_FALSE(index.ClaimCompaction()) << "single-flight";
+  index.RunClaimedCompaction();
+  EXPECT_EQ(index.delta_size(), 0);
+  EXPECT_EQ(index.compactions_run(), 1);
+  // Everything now sits in the base: 8 live rows, 0 pending ops.
+  EXPECT_FALSE(index.NeedsCompaction());
+}
+
+TEST(LiveIndexTest, AbandonedCompactionInstallKeepsServingUnchanged) {
+  Rng rng(35);
+  LiveIndex index(Options(search::SearchStrategy::kMih));
+  std::map<int, search::Code> live;
+  for (int i = 0; i < 30; ++i) {
+    const search::Code code = RandomCode(32, rng);
+    ASSERT_TRUE(index.Insert(i, code, {}).ok());
+    live[i] = code;
+  }
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(index.Remove(i * 3).ok());
+    live.erase(i * 3);
+  }
+  FaultInjector fi;
+  fi.Arm(faults::kCompactionInstall, /*skip=*/0, /*fire=*/1);
+  {
+    FaultInjector::Scope scope(&fi);
+    index.Compact();  // the rebuilt base is thrown away before the swap
+  }
+  EXPECT_EQ(fi.fired(faults::kCompactionInstall), 1);
+  EXPECT_EQ(index.compactions_run(), 0);
+  EXPECT_GT(index.tombstone_count(), 0) << "nothing was installed";
+  const search::Code query = RandomCode(32, rng);
+  ExpectIdentical(index.TopK(query, 8), Oracle(live, query, 8));
+  // The abandoned claim was released: a later compaction goes through.
+  index.Compact();
+  EXPECT_EQ(index.compactions_run(), 1);
+  EXPECT_EQ(index.tombstone_count(), 0);
+  ExpectIdentical(index.TopK(query, 8), Oracle(live, query, 8));
+}
+
+TEST(LiveIndexTest, UpsertAndRemoveIfPresentAreReplayIdempotent) {
+  Rng rng(36);
+  LiveIndex index(Options(search::SearchStrategy::kBrute));
+  const search::Code first = RandomCode(32, rng);
+  const search::Code second = RandomCode(32, rng);
+  index.Upsert(5, first, {1.0f});
+  index.Upsert(5, second, {2.0f});  // replay over an applied prefix
+  EXPECT_EQ(index.live_size(), 1);
+  EXPECT_EQ(index.EmbeddingOf(5), (std::vector<float>{2.0f}));
+  EXPECT_TRUE(index.RemoveIfPresent(5));
+  EXPECT_FALSE(index.RemoveIfPresent(5));  // already gone: no-op, no error
+  EXPECT_EQ(index.live_size(), 0);
+  index.Upsert(5, first, {});  // a removed id may come back via replay
+  EXPECT_TRUE(index.Contains(5));
+}
+
+TEST(LiveIndexTest, SnapshotEntriesAreAscendingAndLiveOnly) {
+  Rng rng(37);
+  LiveIndex index(Options(search::SearchStrategy::kMih));
+  // Insert out of id order (as round-robin sharding produces), remove some.
+  for (const int id : {9, 2, 14, 5, 11, 0}) {
+    ASSERT_TRUE(index.Insert(id, RandomCode(32, rng), {float(id)}).ok());
+  }
+  ASSERT_TRUE(index.Remove(14).ok());
+  ASSERT_TRUE(index.Remove(2).ok());
+  const auto entries = index.SnapshotEntries();
+  ASSERT_EQ(entries.size(), 4u);
+  const std::vector<int> want = {0, 5, 9, 11};
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].id, want[i]);
+    EXPECT_EQ(entries[i].embedding, std::vector<float>{float(want[i])});
+  }
+}
+
+}  // namespace
+}  // namespace traj2hash::ingest

@@ -1,0 +1,314 @@
+// Crash-recovery acceptance tests (ISSUE: durability): after a simulated
+// kill at every armed fault point — torn WAL append, crash between the
+// durable append and the in-memory apply, crash mid-compaction, failed
+// checkpoint rename — recovery must restore every acknowledged write and
+// must never resurrect a removed entry. Crashes are simulated by dropping
+// the in-memory ShardedIndex and re-running Recover over the on-disk
+// snapshot + WAL, which is exactly what a restarted process does.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "common/file_util.h"
+#include "common/rng.h"
+#include "search/code.h"
+#include "serve/sharded_index.h"
+
+namespace traj2hash::serve {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+search::Code RandomCode(int bits, Rng& rng) {
+  std::vector<float> v(bits);
+  for (float& x : v) x = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+  return search::PackSigns(v);
+}
+
+/// Gathers the full live state {id -> code} straight from the shards.
+std::map<int, search::Code> LiveState(const ShardedIndex& index) {
+  std::map<int, search::Code> live;
+  for (int s = 0; s < index.num_shards(); ++s) {
+    for (const auto& entry : index.shard(s).SnapshotEntries()) {
+      live[entry.id] = entry.code;
+    }
+  }
+  return live;
+}
+
+void ExpectSameState(const ShardedIndex& recovered,
+                     const std::map<int, search::Code>& want,
+                     int want_watermark) {
+  EXPECT_EQ(LiveState(recovered), want);
+  EXPECT_EQ(recovered.size(), want_watermark)
+      << "the id watermark must survive recovery so ids are never reused";
+}
+
+TEST(RecoveryTest, WalOnlyRecoveryRestoresEveryAcknowledgedMutation) {
+  const std::string wal = TempPath("recover1.wal");
+  Rng rng(81);
+  std::map<int, search::Code> acked;
+  int watermark = 0;
+  {
+    ShardedIndex index(3, 32);
+    ASSERT_TRUE(index.AttachWal(wal).ok());
+    for (int i = 0; i < 40; ++i) {
+      const search::Code code = RandomCode(32, rng);
+      const Result<int> id = index.Insert(code, {});
+      ASSERT_TRUE(id.ok());
+      acked[id.value()] = code;
+    }
+    for (int i = 0; i < 40; i += 4) {
+      ASSERT_TRUE(index.Remove(i).ok());
+      acked.erase(i);
+    }
+    for (int i = 1; i < 40; i += 8) {
+      const search::Code code = RandomCode(32, rng);
+      ASSERT_TRUE(index.Update(i, code, {}).ok());
+      acked[i] = code;
+    }
+    watermark = index.size();
+    // No checkpoint, no clean shutdown: the WAL is the only durable state.
+  }
+  // Recover into a different shard count — ids route by id, not by history.
+  ShardedIndex recovered(4, 32);
+  ASSERT_TRUE(recovered.Recover("", wal).ok());
+  ExpectSameState(recovered, acked, watermark);
+  EXPECT_TRUE(recovered.wal_attached());
+  // Recovery leaves the log writable: new mutations append after replay.
+  ASSERT_TRUE(recovered.Insert(RandomCode(32, rng), {}).ok());
+  EXPECT_EQ(recovered.size(), watermark + 1);
+}
+
+TEST(RecoveryTest, SnapshotPlusWalTailRecoversAndReplayIsIdempotent) {
+  const std::string wal = TempPath("recover2.wal");
+  const std::string snapshot = TempPath("recover2.snap");
+  Rng rng(82);
+  std::map<int, search::Code> acked;
+  int watermark = 0;
+  std::string pre_checkpoint_wal_bytes;
+  {
+    ShardedIndex index(2, 32);
+    ASSERT_TRUE(index.AttachWal(wal).ok());
+    for (int i = 0; i < 20; ++i) {
+      const Result<int> id = index.Insert(RandomCode(32, rng), {});
+      ASSERT_TRUE(id.ok());
+      acked[id.value()] = LiveState(index)[id.value()];
+    }
+    ASSERT_TRUE(index.Remove(3).ok());
+    acked.erase(3);
+    // Keep the pre-checkpoint log around to simulate a crash BETWEEN
+    // SaveSnapshot and Wal::Reset inside Checkpoint.
+    pre_checkpoint_wal_bytes = std::move(ReadFileToString(wal).value());
+    ASSERT_TRUE(index.Checkpoint(snapshot).ok());
+    EXPECT_EQ(std::move(ReadFileToString(wal).value()).size(), 0u)
+        << "checkpoint resets the log";
+    // Post-checkpoint tail: more mutations land only in the fresh WAL.
+    for (int i = 0; i < 10; ++i) {
+      const Result<int> id = index.Insert(RandomCode(32, rng), {});
+      ASSERT_TRUE(id.ok());
+      acked[id.value()] = LiveState(index)[id.value()];
+    }
+    ASSERT_TRUE(index.Remove(25).ok());
+    acked.erase(25);
+    watermark = index.size();
+  }
+  {
+    ShardedIndex recovered(2, 32);
+    ASSERT_TRUE(recovered.Recover(snapshot, wal).ok());
+    ExpectSameState(recovered, acked, watermark);
+  }
+  // The crash-between-checkpoint-steps shape: snapshot written, log NOT yet
+  // reset. Replaying the full pre-checkpoint log over the snapshot must
+  // converge to the checkpoint state (upsert/tolerant-remove idempotence),
+  // not double-apply or resurrect id 3.
+  const std::string stale_wal = TempPath("recover2_stale.wal");
+  ASSERT_TRUE(AtomicWriteFile(stale_wal, pre_checkpoint_wal_bytes).ok());
+  ShardedIndex converged(2, 32);
+  ASSERT_TRUE(converged.Recover(snapshot, stale_wal).ok());
+  auto live = LiveState(converged);
+  EXPECT_EQ(live.count(3), 0u) << "a removed entry must stay removed";
+  EXPECT_EQ(static_cast<int>(live.size()), 20 - 1)
+      << "snapshot state + an already-applied log prefix = snapshot state";
+}
+
+TEST(RecoveryTest, TornWalAppendLosesOnlyTheUnacknowledgedWrite) {
+  const std::string wal = TempPath("recover3.wal");
+  Rng rng(83);
+  std::map<int, search::Code> acked;
+  int watermark = 0;
+  {
+    ShardedIndex index(2, 32);
+    ASSERT_TRUE(index.AttachWal(wal).ok());
+    for (int i = 0; i < 10; ++i) {
+      const Result<int> id = index.Insert(RandomCode(32, rng), {});
+      ASSERT_TRUE(id.ok());
+      acked[id.value()] = LiveState(index)[id.value()];
+    }
+    watermark = index.size();
+    FaultInjector fi;
+    fi.Arm(faults::kWalAppend, /*skip=*/0, /*fire=*/1);
+    FaultInjector::Scope scope(&fi);
+    // The append tears mid-write: the insert fails, is NOT acknowledged,
+    // and no id is consumed.
+    const Result<int> failed = index.Insert(RandomCode(32, rng), {});
+    EXPECT_EQ(failed.status().code(), StatusCode::kIoError);
+    EXPECT_EQ(fi.fired(faults::kWalAppend), 1);
+    EXPECT_EQ(index.size(), watermark) << "a failed insert burns no id";
+  }
+  ShardedIndex recovered(2, 32);
+  ASSERT_TRUE(recovered.Recover("", wal).ok())
+      << "the torn tail is truncated, not fatal";
+  ExpectSameState(recovered, acked, watermark);
+}
+
+TEST(RecoveryTest, CrashBetweenDurableAppendAndApplyReplaysTheRecord) {
+  const std::string wal = TempPath("recover4.wal");
+  Rng rng(84);
+  std::map<int, search::Code> acked;
+  {
+    ShardedIndex index(2, 32);
+    ASSERT_TRUE(index.AttachWal(wal).ok());
+    for (int i = 0; i < 6; ++i) {
+      const Result<int> id = index.Insert(RandomCode(32, rng), {});
+      ASSERT_TRUE(id.ok());
+      acked[id.value()] = LiveState(index)[id.value()];
+    }
+    FaultInjector fi;
+    fi.Arm(faults::kWalApply, /*skip=*/0, /*fire=*/1);
+    FaultInjector::Scope scope(&fi);
+    // Durably logged, then the "process dies" before the in-memory apply:
+    // the caller sees an error (un-acked), but the record IS in the log.
+    const search::Code phantom = RandomCode(32, rng);
+    const Result<int> failed = index.Insert(phantom, {});
+    EXPECT_EQ(failed.status().code(), StatusCode::kInternal);
+    EXPECT_EQ(fi.fired(faults::kWalApply), 1);
+    // Like any write racing a real crash, either outcome is legal after
+    // recovery; this implementation's contract is that a durable record is
+    // always replayed, so the phantom MUST appear. Record it as id 6 (ids
+    // are assigned in WAL order).
+    acked[6] = phantom;
+  }
+  ShardedIndex recovered(2, 32);
+  ASSERT_TRUE(recovered.Recover("", wal).ok());
+  EXPECT_EQ(LiveState(recovered), acked);
+  EXPECT_EQ(recovered.size(), 7) << "the durable id is consumed forever";
+}
+
+TEST(RecoveryTest, CrashMidCompactionLosesNothing) {
+  const std::string wal = TempPath("recover5.wal");
+  Rng rng(85);
+  std::map<int, search::Code> acked;
+  int watermark = 0;
+  {
+    ShardedIndex index(2, 32, search::SearchStrategy::kMih,
+                       /*mih_substrings=*/0,
+                       /*compact_min_ops=*/4, /*compact_ratio=*/0.1);
+    ASSERT_TRUE(index.AttachWal(wal).ok());
+    for (int i = 0; i < 24; ++i) {
+      const Result<int> id = index.Insert(RandomCode(32, rng), {});
+      ASSERT_TRUE(id.ok());
+      acked[id.value()] = LiveState(index)[id.value()];
+    }
+    for (int i = 0; i < 24; i += 3) {
+      ASSERT_TRUE(index.Remove(i).ok());
+      acked.erase(i);
+    }
+    watermark = index.size();
+    FaultInjector fi;
+    fi.Arm(faults::kCompactionInstall);
+    FaultInjector::Scope scope(&fi);
+    // The compacting "thread dies" just before every install: the rebuilt
+    // bases are abandoned. Compaction is purely in-memory, so the WAL (and
+    // thus recovery) cannot be affected — and the live index keeps serving.
+    index.CompactAll();
+    EXPECT_GT(fi.fired(faults::kCompactionInstall), 0);
+    EXPECT_EQ(LiveState(index), acked);
+  }
+  ShardedIndex recovered(2, 32);
+  ASSERT_TRUE(recovered.Recover("", wal).ok());
+  ExpectSameState(recovered, acked, watermark);
+}
+
+TEST(RecoveryTest, FailedCheckpointRenameLeavesOldSnapshotAndFullWal) {
+  const std::string wal = TempPath("recover6.wal");
+  const std::string snapshot = TempPath("recover6.snap");
+  Rng rng(86);
+  std::map<int, search::Code> acked;
+  int watermark = 0;
+  {
+    ShardedIndex index(2, 32);
+    ASSERT_TRUE(index.AttachWal(wal).ok());
+    for (int i = 0; i < 8; ++i) {
+      const Result<int> id = index.Insert(RandomCode(32, rng), {});
+      ASSERT_TRUE(id.ok());
+      acked[id.value()] = LiveState(index)[id.value()];
+    }
+    ASSERT_TRUE(index.Checkpoint(snapshot).ok());
+    for (int i = 0; i < 8; ++i) {
+      const Result<int> id = index.Insert(RandomCode(32, rng), {});
+      ASSERT_TRUE(id.ok());
+      acked[id.value()] = LiveState(index)[id.value()];
+    }
+    watermark = index.size();
+    FaultInjector fi;
+    fi.Arm(faults::kFileRename, /*skip=*/0, /*fire=*/1);
+    FaultInjector::Scope scope(&fi);
+    // The checkpoint's atomic rename fails: the old snapshot survives
+    // untouched AND the WAL must NOT be reset (its records are still the
+    // only durable copy of the post-checkpoint inserts).
+    EXPECT_EQ(index.Checkpoint(snapshot).code(), StatusCode::kIoError);
+    EXPECT_GT(std::move(ReadFileToString(wal).value()).size(), 0u)
+        << "a failed snapshot must not reset the log";
+  }
+  ShardedIndex recovered(2, 32);
+  ASSERT_TRUE(recovered.Recover(snapshot, wal).ok());
+  ExpectSameState(recovered, acked, watermark);
+}
+
+TEST(RecoveryTest, SnapshotV2PreservesTombstonesWithoutAWal) {
+  const std::string snapshot = TempPath("recover7.snap");
+  Rng rng(87);
+  ShardedIndex index(3, 32);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(index.Insert(RandomCode(32, rng), {}).ok());
+  }
+  ASSERT_TRUE(index.Remove(5).ok());
+  ASSERT_TRUE(index.Remove(11).ok());
+  const auto want = LiveState(index);
+  ASSERT_TRUE(index.SaveSnapshot(snapshot).ok());
+
+  ShardedIndex restored(3, 32);
+  ASSERT_TRUE(restored.LoadSnapshot(snapshot).ok());
+  EXPECT_EQ(LiveState(restored), want);
+  EXPECT_FALSE(restored.shard(5 % 3).Contains(5))
+      << "a tombstoned id must not be resurrected by a reload";
+  EXPECT_EQ(restored.size(), 12)
+      << "the watermark covers removed ids, so new inserts cannot reuse 11";
+  const Result<int> next = restored.Insert(RandomCode(32, rng), {});
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next.value(), 12);
+}
+
+TEST(RecoveryTest, RecoverRequiresAnEmptyIndexAndNoAttachedWal) {
+  const std::string wal = TempPath("recover8.wal");
+  Rng rng(88);
+  ShardedIndex index(2, 32);
+  ASSERT_TRUE(index.AttachWal(wal).ok());
+  EXPECT_EQ(index.AttachWal(wal).code(), StatusCode::kFailedPrecondition);
+  ShardedIndex filled(2, 32);
+  ASSERT_TRUE(filled.Insert(RandomCode(32, rng), {}).ok());
+  EXPECT_EQ(filled.AttachWal(TempPath("recover8b.wal")).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace traj2hash::serve

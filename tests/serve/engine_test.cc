@@ -39,7 +39,7 @@ TEST(QueryEngineTest, ColdStartThenServe) {
   EXPECT_EQ(engine.size(), 0);
   EXPECT_TRUE(engine.Query(env.corpus[0], 5).neighbors.empty());
 
-  const int id = engine.Insert(env.corpus[0]);
+  const int id = engine.Insert(env.corpus[0]).value();
   EXPECT_EQ(id, 0);
   const auto result = engine.Query(env.corpus[0], 5);
   ASSERT_EQ(result.neighbors.size(), 1u);

@@ -118,6 +118,9 @@ TEST(RobustnessTest, MihDeadlineExpiresBetweenRadiusRounds) {
                       .num_shards = 2,
                       .strategy = search::SearchStrategy::kMih});
   engine.InsertAll({env.corpus.begin(), env.corpus.begin() + 100});
+  // Move the bulk-loaded entries from the per-shard deltas (flat scan, no
+  // radius rounds) into the MIH base the radius loop actually probes.
+  engine.CompactAll();
   const QueryResult full = engine.Query(env.corpus[3], 8);
   ASSERT_TRUE(full.complete);
 

@@ -41,7 +41,7 @@ TEST(ShardedIndexTest, StartsColdAndGrows) {
   const search::Code probe = search::PackSigns(std::vector<float>(8, 1.0f));
   EXPECT_TRUE(index.QueryTopK(probe, 3).empty());
 
-  EXPECT_EQ(index.Insert(probe, {}), 0);
+  EXPECT_EQ(index.Insert(probe, {}).value(), 0);
   EXPECT_EQ(index.size(), 1);
   const auto hits = index.QueryTopK(probe, 3);
   ASSERT_EQ(hits.size(), 1u);
@@ -53,7 +53,7 @@ TEST(ShardedIndexTest, RoundRobinAssignsDenseIds) {
   ShardedIndex index(3, 8);
   const search::Code code = search::PackSigns(std::vector<float>(8, -1.0f));
   for (int i = 0; i < 10; ++i) {
-    EXPECT_EQ(index.Insert(code, {}), i);
+    EXPECT_EQ(index.Insert(code, {}).value(), i);
   }
   EXPECT_EQ(index.size(), 10);
 }
@@ -232,7 +232,7 @@ TEST(ShardedIndexTest, EmbeddingRoundTrips) {
   ShardedIndex index(2, env.model->config().dim);
   const std::vector<float> embedding = env.model->Embed(env.corpus[0]);
   const int id =
-      index.Insert(search::PackSigns(embedding), embedding);
+      index.Insert(search::PackSigns(embedding), embedding).value();
   EXPECT_EQ(index.EmbeddingOf(id), embedding);
 }
 

@@ -1,27 +1,33 @@
 #!/usr/bin/env bash
 # Full verification sweep: plain, AddressSanitizer and ThreadSanitizer
-# build+test lanes. Usage:
+# build+test lanes, plus a quick tier-1 lane for inner-loop development.
+# Usage:
 #
-#   tools/check.sh           # all three lanes
-#   tools/check.sh plain     # just one lane: plain | asan | tsan
+#   tools/check.sh           # all three full lanes
+#   tools/check.sh plain     # just one lane: fast | plain | asan | tsan
+#   tools/check.sh fast      # plain build + only the tier1-labelled tests
+#                            # (the fast, dependency-light unit tests —
+#                            # see tests/CMakeLists.txt)
 #
 # Each lane configures into its own build directory (build, build-asan,
-# build-tsan), so incremental re-runs are cheap. A lane failing stops the
-# sweep with that lane's ctest output on screen.
+# build-tsan; fast shares build), so incremental re-runs are cheap. A lane
+# failing stops the sweep with that lane's ctest output on screen.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_lane() {
   local lane="$1" dir="$2" sanitize="$3"
+  shift 3
   echo "==== lane: ${lane} (${dir}) ===="
   cmake -B "${dir}" -S . -DT2H_SANITIZE="${sanitize}" >/dev/null
   cmake --build "${dir}" -j "$(nproc)"
-  ctest --test-dir "${dir}" --output-on-failure -j "$(nproc)"
+  ctest --test-dir "${dir}" --output-on-failure -j "$(nproc)" "$@"
 }
 
 lanes="${1:-all}"
 case "${lanes}" in
+  fast)  run_lane fast build "" -L tier1 ;;
   plain) run_lane plain build "" ;;
   asan)  run_lane asan build-asan address ;;
   tsan)  run_lane tsan build-tsan thread ;;
@@ -31,7 +37,7 @@ case "${lanes}" in
     run_lane tsan build-tsan thread
     ;;
   *)
-    echo "usage: tools/check.sh [plain|asan|tsan|all]" >&2
+    echo "usage: tools/check.sh [fast|plain|asan|tsan|all]" >&2
     exit 2
     ;;
 esac

@@ -7,19 +7,26 @@
 //   t2h_cli query       --data trips.csv --model model.bin --query-id 5 --k 10
 //   t2h_cli distance    --data trips.csv --a 3 --b 7
 //   t2h_cli serve-bench --data trips.csv --threads 4 --shards 4
+//   t2h_cli serve-bench --data trips.csv --churn 500 --stats-json stats.json
+//   t2h_cli wal-replay  --wal serve.wal
 //
 // `train` and `query` must be given the same --data / --dim / --measure
 // flags: the model file stores parameters only, while normaliser and grid
 // statistics are re-fitted deterministically from the data file.
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/file_util.h"
 #include "common/retry.h"
 #include "common/stopwatch.h"
+#include "ingest/wal.h"
 #include "core/trainer.h"
 #include "distance/distance.h"
 #include "search/hamming_index.h"
@@ -110,7 +117,19 @@ int Usage() {
                "           [--deadline-ms MS] [--queue-depth N]"
                " [--overload reject|block]\n"
                "           [--snapshot F]  (load encoded db from F if it"
-               " exists, else build+save)\n");
+               " exists, else build+save)\n"
+               "           [--wal F]       (durable mode: recover from"
+               " snapshot+WAL, fsync every\n"
+               "                            mutation, checkpoint at exit"
+               " when --snapshot is set)\n"
+               "           [--churn OPS]   (run OPS concurrent mutations"
+               " during the query rounds,\n"
+               "                            then verify queries stayed"
+               " exact)\n"
+               "           [--stats-json F] (dump the per-stage latency"
+               " snapshot as JSON)\n"
+               "  wal-replay --wal F  (walk a write-ahead log, print its"
+               " records and tail state)\n");
   return 2;
 }
 
@@ -355,9 +374,19 @@ int RunServeBench(const Args& args) {
   // encode work just done). A present-but-corrupt snapshot is an error —
   // silently rebuilding would mask data loss.
   const std::string snapshot_path = args.Get("snapshot", "");
+  const std::string wal_path = args.Get("wal", "");
   t2h::Stopwatch ingest;
   bool restored = false;
-  if (!snapshot_path.empty()) {
+  if (!wal_path.empty()) {
+    // Durable mode: boot from snapshot + WAL replay, then keep logging.
+    // Every mutation below (ingest and --churn) is fsynced before it is
+    // acknowledged; `t2h_cli wal-replay --wal F` can inspect the log after.
+    if (const t2h::Status s = engine.Recover(snapshot_path, wal_path);
+        !s.ok()) {
+      return Fail("cannot recover: " + s.ToString());
+    }
+    restored = engine.size() > 0;
+  } else if (!snapshot_path.empty()) {
     const t2h::Status s = engine.LoadSnapshot(snapshot_path);
     if (s.ok()) {
       restored = true;
@@ -366,8 +395,10 @@ int RunServeBench(const Args& args) {
     }
   }
   if (!restored) {
-    engine.InsertAll(corpus);
-    if (!snapshot_path.empty()) {
+    if (const t2h::Status s = engine.InsertAll(corpus); !s.ok()) {
+      return Fail("ingest failed: " + s.ToString());
+    }
+    if (!snapshot_path.empty() && wal_path.empty()) {
       t2h::Rng retry_rng(args.GetInt("seed", 42) + 1);
       const t2h::Status s = t2h::RetryWithBackoff(
           t2h::RetryOptions{}, retry_rng,
@@ -401,12 +432,40 @@ int RunServeBench(const Args& args) {
     }
     return incomplete;
   };
+  const int churn_ops = args.GetInt("churn", 0);
+  if (churn_ops < 0) return Fail("--churn must be >= 0");
+
   run_round();  // warm-up
   engine.ResetStats();
+  // With --churn, a mutator thread interleaves inserts / removes / updates
+  // with the query rounds — the live-mutation serving shape (DESIGN.md §12).
+  std::atomic<int64_t> mutations{0};
+  std::thread mutator;
+  if (churn_ops > 0) {
+    mutator = std::thread([&engine, &corpus, &mutations, churn_ops, &args] {
+      t2h::Rng mut_rng(args.GetInt("seed", 42) + 7);
+      for (int i = 0; i < churn_ops; ++i) {
+        const double dice = mut_rng.Uniform(0.0, 1.0);
+        t2h::Status s;
+        if (dice < 0.5) {
+          const auto& t = corpus[i % corpus.size()];
+          s = engine.Insert(t).status();
+        } else {
+          const int id = static_cast<int>(mut_rng.Uniform(
+              0.0, static_cast<double>(engine.size())));
+          s = dice < 0.75 ? engine.Remove(id)
+                          : engine.Update(id, corpus[i % corpus.size()]);
+        }
+        // kNotFound just means the randomly picked id was already removed.
+        if (s.ok()) mutations.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
   t2h::Stopwatch wall;
   int64_t incomplete = 0;
   for (int r = 0; r < rounds; ++r) incomplete += run_round();
   const double seconds = wall.ElapsedSeconds();
+  if (mutator.joinable()) mutator.join();
   const int total = rounds * num_queries;
 
   std::printf("%d queries (top-%d, %d threads, %d shards, %s): %.1f QPS\n",
@@ -417,7 +476,119 @@ int RunServeBench(const Args& args) {
                 static_cast<long long>(incomplete),
                 static_cast<long long>(engine.shed_count()));
   }
+  if (churn_ops > 0) {
+    // The index is quiescent again: every query must now be bit-identical
+    // to a brute-force oracle over the surviving entries.
+    std::vector<int> oracle_ids;
+    std::vector<t2h::search::Code> oracle_codes;
+    for (int s = 0; s < engine.index().num_shards(); ++s) {
+      for (const auto& entry : engine.index().shard(s).SnapshotEntries()) {
+        oracle_ids.push_back(entry.id);
+        oracle_codes.push_back(entry.code);
+      }
+    }
+    bool exact = true;
+    for (int q = 0; q < std::min(num_queries, 16) && exact; ++q) {
+      const t2h::search::Code code = model->HashCode(corpus[q]);
+      std::vector<t2h::search::Neighbor> want;
+      for (size_t i = 0; i < oracle_codes.size(); ++i) {
+        want.push_back({oracle_ids[i],
+                        static_cast<double>(t2h::search::HammingDistance(
+                            oracle_codes[i], code))});
+      }
+      std::sort(want.begin(), want.end(), t2h::search::NeighborLess);
+      if (static_cast<int>(want.size()) > k) want.resize(k);
+      const auto got = engine.index().QueryTopK(code, k);
+      exact = got.size() == want.size();
+      for (size_t i = 0; exact && i < want.size(); ++i) {
+        exact = got[i].index == want[i].index &&
+                got[i].distance == want[i].distance;
+      }
+    }
+    std::printf("churn: %lld mutations applied concurrently; live %d of %d"
+                " assigned ids; post-churn queries %s\n",
+                static_cast<long long>(mutations.load()), engine.live_size(),
+                engine.size(), exact ? "exact" : "NOT EXACT");
+    if (!exact) return Fail("post-churn queries diverged from brute force");
+  }
   std::printf("%s", engine.stats().ToString().c_str());
+
+  if (!wal_path.empty() && !snapshot_path.empty()) {
+    // Fold the log into the snapshot so the next boot replays nothing.
+    if (const t2h::Status s = engine.Checkpoint(snapshot_path); !s.ok()) {
+      return Fail("checkpoint failed: " + s.ToString());
+    }
+    std::printf("checkpointed to %s (WAL reset)\n", snapshot_path.c_str());
+  }
+
+  const std::string stats_json = args.Get("stats-json", "");
+  if (!stats_json.empty()) {
+    const auto snapshot = engine.stats();
+    std::string json = "{\n  \"bench\": \"serve\",\n";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"threads\": %d, \"shards\": %d, \"k\": %d,"
+                  " \"queries\": %d, \"qps\": %.1f,\n",
+                  threads, shards, k, total, total / seconds);
+    json += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"size\": %d, \"live_size\": %d, \"churn_mutations\":"
+                  " %lld,\n",
+                  engine.size(), engine.live_size(),
+                  static_cast<long long>(mutations.load()));
+    json += buf;
+    json += "  \"stages\": {\n";
+    for (int i = 0; i < t2h::serve::kNumStages; ++i) {
+      const auto& s =
+          snapshot.Of(static_cast<t2h::serve::Stage>(i));
+      std::snprintf(
+          buf, sizeof(buf),
+          "    \"%s\": {\"count\": %llu, \"mean_us\": %.2f, \"p50_us\":"
+          " %.2f, \"p95_us\": %.2f, \"p99_us\": %.2f, \"max_us\": %.2f}%s\n",
+          t2h::serve::StageName(static_cast<t2h::serve::Stage>(i)).c_str(),
+          static_cast<unsigned long long>(s.count), s.mean_us, s.p50_us,
+          s.p95_us, s.p99_us, s.max_us,
+          i + 1 < t2h::serve::kNumStages ? "," : "");
+      json += buf;
+    }
+    json += "  }\n}\n";
+    if (const t2h::Status s = t2h::AtomicWriteFile(stats_json, json);
+        !s.ok()) {
+      return Fail("cannot write --stats-json: " + s.ToString());
+    }
+    std::printf("stats written to %s\n", stats_json.c_str());
+  }
+  return 0;
+}
+
+int RunWalReplay(const Args& args) {
+  const std::string path = args.Get("wal", "");
+  if (path.empty()) return Fail("--wal is required");
+  // Read-only walk: prints what boot-time recovery would replay without
+  // touching the file (Wal::Open would truncate a torn tail; this does not).
+  const auto replayed = t2h::ingest::Wal::Replay(path);
+  if (!replayed.ok()) return Fail(replayed.status().ToString());
+  const t2h::ingest::WalReplay& replay = replayed.value();
+  for (const t2h::ingest::WalRecord& r : replay.records) {
+    if (r.type == t2h::ingest::WalRecordType::kRemove) {
+      std::printf("seq=%-8llu %-6s id=%d\n",
+                  static_cast<unsigned long long>(r.seq),
+                  t2h::ingest::WalRecordTypeName(r.type), r.id);
+    } else {
+      std::printf("seq=%-8llu %-6s id=%-8d bits=%d emb_len=%zu\n",
+                  static_cast<unsigned long long>(r.seq),
+                  t2h::ingest::WalRecordTypeName(r.type), r.id,
+                  r.code.num_bits, r.embedding.size());
+    }
+  }
+  std::printf("%zu records, last_seq=%llu, durable_bytes=%llu%s\n",
+              replay.records.size(),
+              static_cast<unsigned long long>(replay.last_seq),
+              static_cast<unsigned long long>(replay.valid_bytes),
+              replay.tail_truncated
+                  ? " (torn tail found: a crash interrupted the final"
+                    " append; recovery will truncate it)"
+                  : "");
   return 0;
 }
 
@@ -439,7 +610,9 @@ int main(int argc, char** argv) {
       {"serve-bench",
        {"data", "model", "threads", "shards", "k", "queries", "rounds",
         "dim", "seed", "strategy", "mih-substrings", "deadline-ms",
-        "queue-depth", "overload", "snapshot"}},
+        "queue-depth", "overload", "snapshot", "wal", "churn",
+        "stats-json"}},
+      {"wal-replay", {"wal"}},
   };
   const auto known = kKnownFlags.find(command);
   if (known == kKnownFlags.end()) return Usage();
@@ -449,5 +622,6 @@ int main(int argc, char** argv) {
   if (command == "query") return RunQuery(args);
   if (command == "distance") return RunDistance(args);
   if (command == "serve-bench") return RunServeBench(args);
+  if (command == "wal-replay") return RunWalReplay(args);
   return Usage();
 }
