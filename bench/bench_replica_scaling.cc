@@ -1,0 +1,175 @@
+// Replication read-scaling bench (repo extension, not a paper figure):
+// measures router read-QPS against a WAL-shipped replica group as the
+// replica count grows R=1 -> 3, with a fixed reader-thread pool. The encode
+// stage is skipped on purpose — queries are pre-hashed random codes — so
+// the number isolates the replicated read path (router pick + replica
+// epoch-load + sharded top-k), not the model.
+//
+// Expected shape: on a multi-core box QPS grows with R until the reader
+// pool or core count saturates; on this (likely single-core) container the
+// sweep mostly demonstrates that adding replicas costs nothing — the
+// routed-read path has no cross-replica locks.
+//
+// Like the other benches this doubles as a correctness gate: after the
+// sweep every replica must be caught up and bit-identical to the primary
+// (exit non-zero otherwise).
+//
+// Scale: T2H_BENCH_SCALE=tiny shrinks the database/queries by ~4x; `large`
+// grows them ~4x.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "replica/replica.h"
+#include "replica/router.h"
+#include "search/code.h"
+#include "serve/sharded_index.h"
+
+namespace t2h = traj2hash;
+
+namespace {
+
+struct ReplicaScale {
+  int db_size = 2000;
+  int num_queries = 128;
+  int rounds = 4;
+  int reader_threads = 4;
+};
+
+ReplicaScale GetReplicaScale() {
+  const char* env = std::getenv("T2H_BENCH_SCALE");
+  const std::string scale = env != nullptr ? env : "small";
+  ReplicaScale s;
+  if (scale == "tiny") {
+    s.db_size = 500;
+    s.num_queries = 32;
+    s.rounds = 2;
+    s.reader_threads = 2;
+  } else if (scale == "large") {
+    s.db_size = 8000;
+    s.num_queries = 512;
+    s.rounds = 8;
+  }
+  return s;
+}
+
+t2h::search::Code RandomCode(int bits, t2h::Rng& rng) {
+  std::vector<float> signs(bits);
+  for (float& x : signs) x = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+  return t2h::search::PackSigns(signs);
+}
+
+}  // namespace
+
+int main() {
+  const ReplicaScale scale = GetReplicaScale();
+  constexpr int kBits = 64;
+  std::printf(
+      "replica read-scaling bench: db=%d queries=%d rounds=%d readers=%d\n",
+      scale.db_size, scale.num_queries, scale.rounds, scale.reader_threads);
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "t2h_bench_replica";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string wal_path = (dir / "primary.wal").string();
+
+  // Primary: a WAL-attached sharded index filled with random codes. No
+  // model — the bench prices the replicated read path only.
+  t2h::Rng rng(4242);
+  t2h::serve::ShardedIndex index(4, kBits);
+  if (!index.AttachWal(wal_path).ok()) return 1;
+  for (int i = 0; i < scale.db_size; ++i) {
+    if (!index.Insert(RandomCode(kBits, rng), {}).ok()) return 1;
+  }
+  t2h::replica::Primary primary(&index, wal_path);
+
+  std::vector<t2h::search::Code> queries;
+  for (int q = 0; q < scale.num_queries; ++q) {
+    queries.push_back(RandomCode(kBits, rng));
+  }
+
+  std::printf("%9s %12s %14s\n", "replicas", "QPS", "queries_ok");
+  bool all_ok = true;
+  for (const int replicas : {1, 2, 3}) {
+    std::vector<std::unique_ptr<t2h::replica::Replica>> group;
+    std::vector<t2h::replica::Replica*> members;
+    for (int r = 0; r < replicas; ++r) {
+      group.push_back(std::make_unique<t2h::replica::Replica>(
+          &primary, t2h::replica::ReplicaOptions{},
+          "replica-" + std::to_string(r)));
+      const std::string boot =
+          (dir / ("boot_r" + std::to_string(r) + ".snap")).string();
+      if (!group.back()->Bootstrap(boot).ok()) return 1;
+      members.push_back(group.back().get());
+    }
+    t2h::replica::ReadRouter router(
+        members, {.max_attempts = replicas + 1});
+
+    // Warm-up round, then the measured rounds from a fixed reader pool.
+    for (const auto& code : queries) router.Query(code, 10);
+    std::atomic<int64_t> ok{0};
+    t2h::Stopwatch wall;
+    std::vector<std::thread> readers;
+    for (int t = 0; t < scale.reader_threads; ++t) {
+      readers.emplace_back([&router, &queries, &ok, &scale] {
+        for (int r = 0; r < scale.rounds; ++r) {
+          for (const auto& code : queries) {
+            if (router.Query(code, 10).status.ok()) {
+              ok.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      });
+    }
+    for (auto& th : readers) th.join();
+    const double seconds = wall.ElapsedSeconds();
+    const int64_t total =
+        static_cast<int64_t>(scale.reader_threads) * scale.rounds *
+        scale.num_queries;
+    std::printf("%9d %12.1f %10lld/%lld\n", replicas, total / seconds,
+                static_cast<long long>(ok.load()),
+                static_cast<long long>(total));
+    all_ok = all_ok && ok.load() == total;
+
+    // Correctness gate: every replica caught up and bit-identical to the
+    // primary on the query set's head.
+    for (const auto& rep : group) {
+      if (!rep->CatchUp().ok() ||
+          rep->applied_seq() != primary.committed_seq()) {
+        std::printf("replica %s NOT caught up\n", rep->name().c_str());
+        all_ok = false;
+        continue;
+      }
+      for (int q = 0; q < std::min(scale.num_queries, 16); ++q) {
+        const auto want = index.QueryTopK(queries[q], 10);
+        const auto got = rep->Query(queries[q], 10);
+        bool same = got.ok() && got.value().size() == want.size();
+        for (size_t i = 0; same && i < want.size(); ++i) {
+          same = got.value()[i].index == want[i].index &&
+                 got.value()[i].distance == want[i].distance;
+        }
+        if (!same) {
+          std::printf("replica %s DIVERGED on query %d\n",
+                      rep->name().c_str(), q);
+          all_ok = false;
+          break;
+        }
+      }
+    }
+  }
+
+  std::filesystem::remove_all(dir);
+  if (!all_ok) {
+    std::printf("replica scaling bench FAILED correctness gate\n");
+    return 1;
+  }
+  return 0;
+}

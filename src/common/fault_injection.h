@@ -43,6 +43,19 @@ inline constexpr char kWalApply[] = "ingest.wal_apply";
 /// the install (view swap), as if the compacting thread died. The index
 /// keeps serving from the old base + delta; nothing is lost.
 inline constexpr char kCompactionInstall[] = "ingest.compaction_install";
+/// ingest::WalCursor::Poll (replication shipping, DESIGN.md §13) — the poll
+/// fails with kIoError before reading anything, as a dropped transport or an
+/// unreadable primary log would. The cursor position is untouched, so a
+/// later poll resumes exactly where this one would have.
+inline constexpr char kReplicaShip[] = "replica.ship";
+/// replica::Replica ship-apply loop — applying a shipped record fails after
+/// it was read; the replica marks itself down (stale) rather than serve a
+/// state that silently diverged from the primary's log.
+inline constexpr char kReplicaApply[] = "replica.apply";
+/// replica::Replica::Query — the replica "dies" at query entry: it reports
+/// kUnavailable and transitions to kDown, which is how tests kill one member
+/// of a group mid-burst and watch the router fail over.
+inline constexpr char kReplicaDown[] = "replica.down";
 }  // namespace faults
 
 /// Deterministic fault-injection harness for robustness tests.

@@ -1,0 +1,52 @@
+#ifndef TRAJ2HASH_COMMON_ZIPF_H_
+#define TRAJ2HASH_COMMON_ZIPF_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace traj2hash {
+
+/// Deterministic Zipfian sampler over ranks {0, ..., n-1}:
+/// P(rank r) ∝ 1 / (r + 1)^s. Skew `s = 0` degenerates to uniform; real
+/// query streams sit around s ≈ 0.8–1.2. Used by serve-bench's
+/// `--query-dist zipf:<s>` to produce the hot-key skew that uniform replay
+/// cannot — without it, hot-replica routing and (future) result caching
+/// measure as no-ops.
+///
+/// The CDF is precomputed once (O(n)); each Sample is one Rng draw plus a
+/// binary search, so sequences are reproducible from the Rng seed alone.
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double s) {
+    T2H_CHECK_GE(n, 1);
+    T2H_CHECK_GE(s, 0.0);
+    cdf_.reserve(n);
+    double total = 0.0;
+    for (int r = 0; r < n; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      cdf_.push_back(total);
+    }
+    for (double& c : cdf_) c /= total;
+    cdf_.back() = 1.0;  // guard against rounding at the tail
+  }
+
+  /// One rank draw; consumes exactly one Uniform draw from `rng`.
+  int Sample(Rng& rng) const {
+    const double u = rng.Uniform(0.0, 1.0);
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<int>(it - cdf_.begin());
+  }
+
+  int size() const { return static_cast<int>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;  ///< cdf_[r] = P(rank <= r)
+};
+
+}  // namespace traj2hash
+
+#endif  // TRAJ2HASH_COMMON_ZIPF_H_

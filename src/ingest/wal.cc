@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/serialize.h"
 
 namespace traj2hash::ingest {
@@ -188,6 +189,56 @@ Status Wal::Reset() {
   }
   pending_.clear();
   return file_->TruncateTo(0);
+}
+
+Status WalCursor::Poll(std::vector<WalRecord>* out) {
+  T2H_CHECK(out != nullptr);
+  if (FaultInjector::Fire(faults::kReplicaShip)) {
+    return Status::IoError("injected ship failure polling " + path_);
+  }
+  if (!FileExists(path_)) return Status::Ok();  // nothing committed yet
+  Result<std::string> read = ReadFileToString(path_);
+  if (!read.ok()) return read.status();
+  const std::string& buffer = read.value();
+  if (buffer.size() < offset_) {
+    return Status::FailedPrecondition(
+        "WAL shrank below the cursor offset (" + std::to_string(offset_) +
+        " -> " + std::to_string(buffer.size()) +
+        " bytes): the primary reset its log after a checkpoint; Rewind if "
+        "caught up, re-bootstrap otherwise: " + path_);
+  }
+  size_t pos = offset_;
+  std::string payload;
+  while (true) {
+    const FrameParse parse = ReadCrcFrame(buffer, &pos, &payload);
+    // A torn tail on a live log is an append still in flight (or a crashed
+    // primary's un-acked tail): not durable, not an error — retry later.
+    if (parse == FrameParse::kEnd || parse == FrameParse::kTornTail) break;
+    if (parse == FrameParse::kCorrupt) {
+      return Status::DataLoss(
+          "WAL frame checksum mismatch while tailing (bit-flip corruption of "
+          "an acknowledged record): " + path_);
+    }
+    WalRecord record;
+    const Status decoded = DecodeRecord(payload, &record);
+    if (!decoded.ok()) {
+      return Status(decoded.code(), decoded.message() + ": " + path_);
+    }
+    if (record.seq <= last_seq_) {
+      // Re-read after a Rewind; the consumer already applied it.
+      offset_ = pos;
+      continue;
+    }
+    if (last_seq_ != 0 && record.seq != last_seq_ + 1) {
+      return Status::DataLoss(
+          "WAL sequence gap while tailing (" + std::to_string(last_seq_) +
+          " -> " + std::to_string(record.seq) + "): " + path_);
+    }
+    last_seq_ = record.seq;
+    offset_ = pos;
+    out->push_back(std::move(record));
+  }
+  return Status::Ok();
 }
 
 }  // namespace traj2hash::ingest

@@ -108,6 +108,55 @@ class Wal {
   bool broken_ = false;
 };
 
+/// Incremental tail reader over a (possibly live) WAL file — the shipping
+/// side of replication (DESIGN.md §13). A cursor remembers the byte offset
+/// of the durable prefix it has consumed plus the last sequence number it
+/// returned, and each `Poll` parses only the frames appended since.
+///
+/// The torn-tail / valid_bytes contract carries over from Wal::Open:
+///   - An incomplete frame at the tail stops the walk *without error*. On a
+///     live log those bytes are simply a not-yet-synced append in progress;
+///     on a crashed log they are the un-acked tail the primary's own reopen
+///     will truncate. Either way nothing past them was acknowledged, so the
+///     cursor just retries from the same offset next poll.
+///   - A checksum failure on a complete mid-file frame is kDataLoss: the
+///     storage corrupted acknowledged data and the consumer must
+///     re-bootstrap from a snapshot.
+///   - The file shrinking below the cursor's offset means the primary reset
+///     its log (Wal::Reset after a checkpoint): kFailedPrecondition. A
+///     consumer that had already applied everything may simply `Rewind` and
+///     keep tailing (sequence numbers keep counting across resets); one that
+///     was lagging lost records and must re-bootstrap.
+///
+/// Not thread-safe; the owning replica serialises polls.
+class WalCursor {
+ public:
+  explicit WalCursor(std::string path) : path_(std::move(path)) {}
+
+  /// Appends every newly durable record (in sequence order) to `out` and
+  /// advances the cursor past them. A missing file is an empty log (OK, no
+  /// records). Records at-or-below the seq watermark — re-read after a
+  /// Rewind — are skipped; a sequence gap above it is kDataLoss. Honours
+  /// faults::kReplicaShip (kIoError before anything is read).
+  Status Poll(std::vector<WalRecord>* out);
+
+  /// Repositions at the start of the file, keeping the seq watermark so
+  /// already-returned records are not returned again. The recovery move
+  /// after Poll reports kFailedPrecondition.
+  void Rewind() { offset_ = 0; }
+
+  /// Last sequence number returned by Poll (0 before any).
+  uint64_t last_seq() const { return last_seq_; }
+  /// Byte offset of the consumed durable prefix.
+  uint64_t offset() const { return offset_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  uint64_t offset_ = 0;
+  uint64_t last_seq_ = 0;
+};
+
 }  // namespace traj2hash::ingest
 
 #endif  // TRAJ2HASH_INGEST_WAL_H_

@@ -1,0 +1,252 @@
+#include "replica/replica.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+#include "common/fault_injection.h"
+
+namespace traj2hash::replica {
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Primary::Primary(serve::ShardedIndex* index, std::string wal_path)
+    : index_(index), wal_path_(std::move(wal_path)) {
+  T2H_CHECK(index_ != nullptr);
+  T2H_CHECK(index_->wal_attached());
+}
+
+const char* ReplicaStateName(ReplicaState state) {
+  switch (state) {
+    case ReplicaState::kEmpty:
+      return "empty";
+    case ReplicaState::kCatchingUp:
+      return "catching-up";
+    case ReplicaState::kHealthy:
+      return "healthy";
+    case ReplicaState::kDown:
+      return "down";
+  }
+  return "unknown";
+}
+
+Replica::Replica(const Primary* primary, const ReplicaOptions& options,
+                 std::string name)
+    : primary_(primary), options_(options), name_(std::move(name)) {
+  T2H_CHECK(primary_ != nullptr);
+}
+
+std::shared_ptr<serve::ShardedIndex> Replica::MakeIndex() const {
+  return std::make_shared<serve::ShardedIndex>(
+      options_.num_shards, primary_->num_bits(), options_.strategy,
+      options_.mih_substrings);
+}
+
+std::shared_ptr<const serve::ShardedIndex> Replica::index() const {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  return index_;
+}
+
+Status Replica::Bootstrap(const std::string& snapshot_path) {
+  std::lock_guard<std::mutex> ship(ship_mu_);
+  Status wrote = primary_->WriteBootstrapSnapshot(snapshot_path);
+  if (!wrote.ok()) return wrote;
+
+  auto fresh = MakeIndex();
+  Status loaded = fresh->LoadSnapshot(snapshot_path);
+  if (!loaded.ok()) return loaded;
+
+  // The snapshot reflects some log prefix; replaying the whole log over it
+  // converges because apply is idempotent and last-op-per-id wins. A fresh
+  // cursor (seq watermark 0) therefore starts at offset 0.
+  cursor_ = std::make_unique<ingest::WalCursor>(primary_->wal_path());
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    index_ = std::move(fresh);
+  }
+  applied_seq_.store(0, std::memory_order_release);
+  SetState(ReplicaState::kCatchingUp);
+  return CatchUpLocked();
+}
+
+Status Replica::Restart(const std::string& snapshot_path) {
+  std::lock_guard<std::mutex> ship(ship_mu_);
+  auto fresh = MakeIndex();
+  if (FileExists(snapshot_path)) {
+    Status loaded = fresh->LoadSnapshot(snapshot_path);
+    if (!loaded.ok()) return loaded;
+  }
+  cursor_ = std::make_unique<ingest::WalCursor>(primary_->wal_path());
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    index_ = std::move(fresh);
+  }
+  applied_seq_.store(0, std::memory_order_release);
+  SetState(ReplicaState::kCatchingUp);
+  return CatchUpLocked();
+}
+
+void Replica::SimulateCrash() {
+  SetState(ReplicaState::kDown);
+  std::lock_guard<std::mutex> ship(ship_mu_);
+  cursor_.reset();
+  std::lock_guard<std::mutex> lock(index_mu_);
+  index_.reset();
+  applied_seq_.store(0, std::memory_order_release);
+}
+
+Status Replica::Checkpoint(const std::string& path) const {
+  auto epoch = index();
+  if (epoch == nullptr) {
+    return Status::FailedPrecondition("checkpoint of a replica with no state");
+  }
+  return epoch->SaveSnapshot(path);
+}
+
+Result<int> Replica::PollApplyOnce() {
+  std::lock_guard<std::mutex> ship(ship_mu_);
+  return PollApplyLocked();
+}
+
+Result<int> Replica::PollApplyLocked() {
+  if (state() == ReplicaState::kDown || cursor_ == nullptr) {
+    return Status::FailedPrecondition("replica " + name_ +
+                                      " is down; bootstrap or restart first");
+  }
+  std::vector<ingest::WalRecord> records;
+  Status polled = cursor_->Poll(&records);
+  if (polled.code() == StatusCode::kFailedPrecondition) {
+    // The primary reset its log (checkpoint). If we had applied everything
+    // up to some committed seq, the reset log holds only records above our
+    // watermark — rewinding and re-polling is lossless. If we were lagging,
+    // records we never saw are gone: re-bootstrap.
+    cursor_->Rewind();
+    records.clear();
+    polled = cursor_->Poll(&records);
+    if (polled.ok() && !records.empty() &&
+        records.front().seq > applied_seq_.load(std::memory_order_acquire) + 1) {
+      SetState(ReplicaState::kDown);
+      return Status::DataLoss(
+          "replica " + name_ +
+          ": primary log was reset past our apply point; re-bootstrap");
+    }
+  }
+  if (!polled.ok()) {
+    if (polled.code() == StatusCode::kDataLoss) SetState(ReplicaState::kDown);
+    return polled;
+  }
+  Status applied = ApplyLocked(records);
+  if (!applied.ok()) return applied;
+  NoteCaughtUpIfCurrent();
+  return static_cast<int>(records.size());
+}
+
+Status Replica::ApplyLocked(const std::vector<ingest::WalRecord>& records) {
+  std::shared_ptr<serve::ShardedIndex> epoch;
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    epoch = index_;
+  }
+  T2H_CHECK(epoch != nullptr);
+  for (const ingest::WalRecord& record : records) {
+    if (FaultInjector::Fire(faults::kReplicaApply)) {
+      SetState(ReplicaState::kDown);
+      return Status::Internal("replica " + name_ +
+                              ": injected apply failure; replica is down");
+    }
+    Status applied = epoch->ApplyShipped(record);
+    if (!applied.ok()) {
+      // A record the primary committed but we cannot apply means our state
+      // diverged from the log; serving reads would silently return stale or
+      // wrong results, so go down instead.
+      SetState(ReplicaState::kDown);
+      return applied;
+    }
+    applied_seq_.store(record.seq, std::memory_order_release);
+  }
+  return Status::Ok();
+}
+
+void Replica::NoteCaughtUpIfCurrent() {
+  if (applied_seq_.load(std::memory_order_acquire) >=
+      primary_->committed_seq()) {
+    caught_up_ns_.store(NowNs(), std::memory_order_release);
+    if (state() == ReplicaState::kCatchingUp) {
+      SetState(ReplicaState::kHealthy);
+    }
+  }
+}
+
+Status Replica::CatchUp() {
+  std::lock_guard<std::mutex> ship(ship_mu_);
+  return CatchUpLocked();
+}
+
+Status Replica::CatchUpLocked() {
+  // Chase the commit seq observed *at entry*; the continuous ship loop is
+  // responsible for a primary that keeps moving. The idle-round guard turns
+  // "the log stopped producing our target" (poisoned WAL, truncated file)
+  // into an error instead of a spin.
+  const uint64_t target = primary_->committed_seq();
+  int idle_rounds = 0;
+  while (applied_seq_.load(std::memory_order_acquire) < target) {
+    Result<int> round = PollApplyLocked();
+    if (!round.ok()) return round.status();
+    if (round.value() == 0) {
+      if (++idle_rounds > 3) {
+        return Status::DeadlineExceeded(
+            "replica " + name_ + ": log stopped short of seq " +
+            std::to_string(target) + " at " +
+            std::to_string(applied_seq_.load(std::memory_order_acquire)));
+      }
+    } else {
+      idle_rounds = 0;
+    }
+  }
+  NoteCaughtUpIfCurrent();
+  if (state() == ReplicaState::kCatchingUp) SetState(ReplicaState::kHealthy);
+  return Status::Ok();
+}
+
+Result<std::vector<search::Neighbor>> Replica::Query(const search::Code& query,
+                                                     int k) {
+  if (FaultInjector::Fire(faults::kReplicaDown)) {
+    SetState(ReplicaState::kDown);
+    return Status::Unavailable("replica " + name_ + " died (injected)");
+  }
+  if (state() != ReplicaState::kHealthy) {
+    return Status::Unavailable("replica " + name_ + " is " +
+                               std::string(ReplicaStateName(state())));
+  }
+  auto epoch = index();
+  if (epoch == nullptr) {
+    return Status::Unavailable("replica " + name_ + " has no state");
+  }
+  std::vector<search::Neighbor> neighbors = epoch->QueryTopK(query, k);
+  queries_.fetch_add(1, std::memory_order_acq_rel);
+  return neighbors;
+}
+
+int64_t Replica::lag_records() const {
+  const int64_t committed =
+      static_cast<int64_t>(primary_->committed_seq());
+  const int64_t applied =
+      static_cast<int64_t>(applied_seq_.load(std::memory_order_acquire));
+  return committed > applied ? committed - applied : 0;
+}
+
+double Replica::lag_ms() const {
+  if (lag_records() == 0) return 0.0;
+  const int64_t since = caught_up_ns_.load(std::memory_order_acquire);
+  if (since == 0) return 0.0;  // never caught up yet: lag_records tells the story
+  return static_cast<double>(NowNs() - since) / 1e6;
+}
+
+}  // namespace traj2hash::replica

@@ -1,0 +1,202 @@
+#ifndef TRAJ2HASH_REPLICA_REPLICA_H_
+#define TRAJ2HASH_REPLICA_REPLICA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ingest/wal.h"
+#include "search/code.h"
+#include "search/knn.h"
+#include "search/strategy.h"
+#include "serve/sharded_index.h"
+
+namespace traj2hash::replica {
+
+/// The primary role of a replicated shard group (DESIGN.md §13). A primary
+/// is an ordinary WAL-attached serve::ShardedIndex — the same CRC-framed,
+/// group-committed log that makes mutations durable (DESIGN.md §12) doubles
+/// as the replication stream, so replication costs the write path nothing.
+/// Replicas bootstrap from a snapshot the primary writes on demand and then
+/// tail the log with an ingest::WalCursor.
+///
+/// The primary must not Checkpoint (which resets the WAL) while replicas
+/// are lagging: a caught-up replica recovers by rewinding its cursor, but a
+/// lagging one loses records and has to re-bootstrap. Rolling maintenance
+/// therefore checkpoints replicas, not the primary.
+class Primary {
+ public:
+  /// `index` must already have a WAL attached (Recover / AttachWal) at
+  /// `wal_path`, and must outlive the primary and every replica.
+  Primary(serve::ShardedIndex* index, std::string wal_path);
+
+  /// Writes a bootstrap snapshot for a new replica. Safe while serving:
+  /// replay idempotence makes the overlap between the snapshot contents and
+  /// the log tail harmless — the replica replays the whole log over it and
+  /// converges to the same state either way.
+  Status WriteBootstrapSnapshot(const std::string& path) const {
+    return index_->SaveSnapshot(path);
+  }
+
+  /// Highest sequence number committed (appended + fsynced + applied). A
+  /// replica whose applied_seq reaches this value serves reads bit-identical
+  /// to the primary's at that seq.
+  uint64_t committed_seq() const { return index_->wal_last_seq(); }
+
+  const std::string& wal_path() const { return wal_path_; }
+  const serve::ShardedIndex& index() const { return *index_; }
+  int num_bits() const { return index_->num_bits(); }
+
+ private:
+  serve::ShardedIndex* index_;
+  std::string wal_path_;
+};
+
+/// Lifecycle of one replica.
+enum class ReplicaState {
+  kEmpty = 0,     ///< constructed, never bootstrapped
+  kCatchingUp,    ///< has an index, applying the log tail; not serving
+  kHealthy,       ///< caught up at least once; serving reads
+  kDown,          ///< crashed / fault-killed / apply-diverged; not serving
+};
+
+/// Canonical lower-case name ("empty" / "catching-up" / "healthy" / "down").
+const char* ReplicaStateName(ReplicaState state);
+
+struct ReplicaOptions {
+  /// Shard count of the replica's own index — independent of the primary's,
+  /// because snapshots and WAL records carry global ids (id-routed placement
+  /// keeps results bit-identical across any shard count).
+  int num_shards = 4;
+  search::SearchStrategy strategy = search::SearchStrategy::kMih;
+  int mih_substrings = 0;
+};
+
+/// The replica role: a read-only copy of the primary's database that
+/// bootstraps from a snapshot, tails the primary's WAL through a WalCursor,
+/// applies records idempotently via ShardedIndex::ApplyShipped, and serves
+/// top-k reads with a tracked apply lag.
+///
+/// Correctness contract: once `applied_seq() >= S` for a committed seq S,
+/// the replica's QueryTopK results are bit-identical to the primary's at S
+/// — replay order equals commit order, apply is idempotent, and id-routed
+/// placement makes results shard-count-independent.
+///
+/// Concurrency: `Query` may be called from any number of router threads
+/// concurrently with one ship loop calling `PollApplyOnce` / `CatchUp`, and
+/// with `Checkpoint` / `Restart` / `Bootstrap` from a maintenance thread.
+/// The index pointer is swapped atomically on restart; in-flight queries
+/// keep the old epoch alive through a shared_ptr.
+class Replica {
+ public:
+  Replica(const Primary* primary, const ReplicaOptions& options,
+          std::string name);
+
+  /// Cold bootstrap: asks the primary for a fresh snapshot at
+  /// `snapshot_path`, loads it into a new index, opens a cursor at the
+  /// start of the log and catches up. Ends kHealthy on success. Also the
+  /// recovery path after SimulateCrash or a kDown transition.
+  Status Bootstrap(const std::string& snapshot_path);
+
+  /// One ship round: polls the cursor and applies every newly durable
+  /// record. Returns the number applied. kFailedPrecondition when the
+  /// replica is down or was never bootstrapped; a cursor kFailedPrecondition
+  /// (log reset) is absorbed by a Rewind when the replica was caught up.
+  /// Honours faults::kReplicaApply (the replica marks itself kDown).
+  Result<int> PollApplyOnce();
+
+  /// Polls until caught up with the primary's commit seq observed at entry
+  /// (a moving primary keeps the *continuous* ship loop busy; this just
+  /// closes the gap that existed when it was called). kDeadlineExceeded if
+  /// the log stops making progress toward that seq.
+  Status CatchUp();
+
+  /// Serves one top-k read over the replica's current state. kUnavailable
+  /// unless kHealthy. Honours faults::kReplicaDown: an injected hit makes
+  /// the replica report kUnavailable and go kDown, as a process death would.
+  Result<std::vector<search::Neighbor>> Query(const search::Code& query,
+                                              int k);
+
+  /// Replica-side snapshot of the applied state (crash-safe write). The
+  /// input to a rolling Checkpoint+restart: Restart(path) reloads it and
+  /// replays the log tail over it instead of re-shipping the whole database
+  /// from the primary.
+  Status Checkpoint(const std::string& path) const;
+
+  /// Rebuilds from a replica-side checkpoint (or from scratch when the file
+  /// is missing), rewinds the cursor to the start of the log, and catches
+  /// up. Ends kHealthy on success. In-flight queries against the old state
+  /// finish safely on the old index epoch.
+  Status Restart(const std::string& snapshot_path);
+
+  /// Drops the in-memory state and goes kDown, as an abrupt process death
+  /// would. Queries fail with kUnavailable until Bootstrap/Restart.
+  void SimulateCrash();
+
+  ReplicaState state() const {
+    return static_cast<ReplicaState>(state_.load(std::memory_order_acquire));
+  }
+  /// Last WAL seq applied to the local index (0 before bootstrap).
+  uint64_t applied_seq() const {
+    return applied_seq_.load(std::memory_order_acquire);
+  }
+  /// Commit seq on the primary minus applied_seq — records not yet applied
+  /// here. 0 when caught up.
+  int64_t lag_records() const;
+  /// Milliseconds since this replica last observed itself fully caught up;
+  /// 0 while caught up (and before the first bootstrap).
+  double lag_ms() const;
+  /// Reads served (successful Query calls) since construction.
+  int64_t queries_served() const {
+    return queries_.load(std::memory_order_acquire);
+  }
+  const std::string& name() const { return name_; }
+  const Primary* primary() const { return primary_; }
+
+  /// The replica's current index epoch (tests; may be null before
+  /// bootstrap). Holding the returned pointer keeps the epoch alive across
+  /// a concurrent Restart.
+  std::shared_ptr<const serve::ShardedIndex> index() const;
+
+ private:
+  std::shared_ptr<serve::ShardedIndex> MakeIndex() const;
+  void SetState(ReplicaState state) {
+    state_.store(static_cast<int>(state), std::memory_order_release);
+  }
+  /// Bodies of PollApplyOnce / CatchUp; caller holds ship_mu_.
+  Result<int> PollApplyLocked();
+  Status CatchUpLocked();
+  /// Applies `records` in order; updates applied_seq_ and the caught-up
+  /// clock. Caller holds ship_mu_.
+  Status ApplyLocked(const std::vector<ingest::WalRecord>& records);
+  void NoteCaughtUpIfCurrent();
+
+  const Primary* primary_;
+  const ReplicaOptions options_;
+  const std::string name_;
+
+  /// Guards the index_ pointer swap only — queries copy the shared_ptr
+  /// under it and then run lock-free on their epoch.
+  mutable std::mutex index_mu_;
+  std::shared_ptr<serve::ShardedIndex> index_;
+
+  /// Serialises the ship/maintenance side: Bootstrap, PollApplyOnce,
+  /// CatchUp, Restart. Never held while executing a query.
+  std::mutex ship_mu_;
+  std::unique_ptr<ingest::WalCursor> cursor_;
+
+  std::atomic<int> state_{static_cast<int>(ReplicaState::kEmpty)};
+  std::atomic<uint64_t> applied_seq_{0};
+  /// steady_clock nanos of the last moment applied_seq_ covered the
+  /// primary's committed seq; 0 = never.
+  std::atomic<int64_t> caught_up_ns_{0};
+  std::atomic<int64_t> queries_{0};
+};
+
+}  // namespace traj2hash::replica
+
+#endif  // TRAJ2HASH_REPLICA_REPLICA_H_

@@ -1,0 +1,115 @@
+#include "replica/router.h"
+
+#include <utility>
+
+#include "common/retry.h"
+
+namespace traj2hash::replica {
+
+ReadRouter::ReadRouter(std::vector<Replica*> replicas,
+                       const ReadRouterOptions& options)
+    : replicas_(std::move(replicas)),
+      options_(options),
+      admission_(options.queue_depth, options.overload_policy) {
+  routable_.reserve(replicas_.size());
+  routed_.reserve(replicas_.size());
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    routable_.push_back(std::make_unique<std::atomic<bool>>(true));
+    routed_.push_back(std::make_unique<std::atomic<int64_t>>(0));
+  }
+}
+
+void ReadRouter::MarkDown(int i) {
+  routable_[i]->store(false, std::memory_order_release);
+}
+
+void ReadRouter::MarkHealthy(int i) {
+  routable_[i]->store(true, std::memory_order_release);
+}
+
+bool ReadRouter::IsRoutable(int i) const {
+  return routable_[i]->load(std::memory_order_acquire);
+}
+
+int ReadRouter::PickReplica() {
+  const int n = num_replicas();
+  if (n == 0) return -1;
+  // One round-robin ticket per call keeps concurrent queries spread even
+  // when they all succeed on their first attempt.
+  const uint64_t start = next_.fetch_add(1, std::memory_order_acq_rel);
+  for (int step = 0; step < n; ++step) {
+    const int i = static_cast<int>((start + step) % n);
+    if (routable_[i]->load(std::memory_order_acquire) &&
+        replicas_[i]->state() == ReplicaState::kHealthy) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+RoutedRead ReadRouter::Query(const search::Code& query, int k) {
+  RoutedRead out;
+  Status admitted = admission_.Admit();
+  if (!admitted.ok()) {
+    out.status = admitted;
+    return out;
+  }
+
+  // Failover loop as a retry policy: each attempt picks the next healthy
+  // replica. Backoff is zero — the alternative replica is ready *now*; the
+  // retry machinery contributes only the attempt budget and the retryable /
+  // permanent split (kUnavailable retries, kDataLoss etc. does not).
+  RetryOptions retry;
+  retry.max_attempts = options_.max_attempts;
+  retry.initial_backoff_ms = 0.0;
+  retry.max_backoff_ms = 0.0;
+  retry.jitter = 0.0;  // consumes no Rng draws
+  const auto no_sleep = [](double) {};
+
+  // Zero jitter consumes no Rng draws, so a query-local Rng keeps Query
+  // lock-free across threads without perturbing any shared stream.
+  Rng rng(options_.seed);
+  out.status = RetryWithBackoff(
+      retry, rng,
+      [&]() -> Status {
+        ++out.attempts;
+        const int i = PickReplica();
+        if (i < 0) {
+          return Status::Unavailable("no healthy replica in rotation");
+        }
+        Result<std::vector<search::Neighbor>> served =
+            replicas_[i]->Query(query, k);
+        if (!served.ok()) {
+          // The replica lied about being healthy (it died between the
+          // pick and the query, or an injected fault killed it): stop
+          // routing to it and fail over.
+          routable_[i]->store(false, std::memory_order_release);
+          failovers_.fetch_add(1, std::memory_order_acq_rel);
+          return served.status();
+        }
+        out.neighbors = std::move(served).value();
+        out.replica = i;
+        routed_[i]->fetch_add(1, std::memory_order_acq_rel);
+        return Status::Ok();
+      },
+      no_sleep);
+  admission_.Release();
+  return out;
+}
+
+Status ReadRouter::RollingRestart(int i, const std::string& snapshot_path) {
+  MarkDown(i);  // from here on no new query is routed to `i`
+  Replica* r = replicas_[i];
+  Status checkpointed = r->Checkpoint(snapshot_path);
+  if (!checkpointed.ok()) return checkpointed;
+  Status restarted = r->Restart(snapshot_path);
+  if (!restarted.ok()) return restarted;
+  // Restart already caught up to the commit seq it observed; one more pass
+  // closes the gap mutations opened while it was reloading.
+  Status caught_up = r->CatchUp();
+  if (!caught_up.ok()) return caught_up;
+  MarkHealthy(i);
+  return Status::Ok();
+}
+
+}  // namespace traj2hash::replica

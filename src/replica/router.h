@@ -1,0 +1,115 @@
+#ifndef TRAJ2HASH_REPLICA_ROUTER_H_
+#define TRAJ2HASH_REPLICA_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "replica/replica.h"
+#include "search/knn.h"
+#include "serve/admission.h"
+
+namespace traj2hash::replica {
+
+struct ReadRouterOptions {
+  /// Total routing attempts per query (first try + failovers). Each attempt
+  /// picks the next healthy replica, so with R replicas and max_attempts >=
+  /// R a query only fails when every replica is unhealthy.
+  int max_attempts = 3;
+  /// Router-level admission control, pooled across all replicas: at most
+  /// this many queries in flight through the router at once. 0 = unbounded.
+  int queue_depth = 0;
+  serve::OverloadPolicy overload_policy = serve::OverloadPolicy::kReject;
+  /// Seed for the retry-backoff jitter Rng (deterministic failover
+  /// schedules in tests).
+  uint64_t seed = 42;
+};
+
+/// Outcome of one routed read.
+struct RoutedRead {
+  std::vector<search::Neighbor> neighbors;
+  Status status;      ///< OK exactly when a replica served the query
+  int replica = -1;   ///< index of the replica that answered (-1 = none)
+  int attempts = 0;   ///< routing attempts consumed (1 = first try worked)
+};
+
+/// Health-aware read router over a group of replicas (DESIGN.md §13).
+///
+/// Queries spread round-robin across replicas that are both router-routable
+/// and kHealthy. A replica that errors or reports kUnavailable is marked
+/// unroutable on the spot and the query retries on the survivors
+/// (common/retry.h with zero backoff — the next replica is immediately
+/// available, so waiting would only add latency). The router never invents
+/// results: a query either returns some healthy replica's answer — which the
+/// replication contract makes bit-identical to the primary's at the
+/// replica's applied seq — or an explicit error after every attempt failed.
+///
+/// Zero-downtime maintenance: `RollingRestart` takes one replica out of
+/// rotation, checkpoints + restarts + catches it up, and only then routes to
+/// it again. Because unroutable replicas are never picked, concurrent
+/// queries fail over instead of dropping; with >= 2 replicas a rolling
+/// restart drops zero queries.
+///
+/// Thread-safe: Query may be called from any number of threads concurrently
+/// with MarkDown/MarkHealthy/RollingRestart.
+class ReadRouter {
+ public:
+  /// `replicas` must outlive the router. Replicas join routable; a replica
+  /// that is not yet kHealthy is skipped by routing until it is.
+  ReadRouter(std::vector<Replica*> replicas, const ReadRouterOptions& options);
+
+  /// Routes one top-k read. kUnavailable when admission sheds it or no
+  /// healthy replica remains within the attempt budget.
+  RoutedRead Query(const search::Code& query, int k);
+
+  /// Takes replica `i` out of / back into rotation. MarkHealthy only
+  /// re-admits it to routing — the replica itself must also be kHealthy
+  /// before it receives queries.
+  void MarkDown(int i);
+  void MarkHealthy(int i);
+  bool IsRoutable(int i) const;
+
+  /// Zero-downtime maintenance of replica `i`: unroute -> checkpoint its
+  /// applied state to `snapshot_path` -> restart from that checkpoint ->
+  /// catch up to the live log -> route again. Concurrent queries keep being
+  /// served by the other replicas throughout. On failure the replica stays
+  /// unroutable and the error is returned.
+  Status RollingRestart(int i, const std::string& snapshot_path);
+
+  int num_replicas() const { return static_cast<int>(replicas_.size()); }
+  Replica* replica(int i) { return replicas_[i]; }
+  /// Queries answered by replica `i` via this router.
+  int64_t routed_to(int i) const {
+    return routed_[i]->load(std::memory_order_acquire);
+  }
+  /// Mid-query failovers: attempts that hit a dead replica and moved on.
+  int64_t failovers() const {
+    return failovers_.load(std::memory_order_acquire);
+  }
+  /// Queries shed by router admission control.
+  int64_t shed_count() const { return admission_.shed_count(); }
+
+ private:
+  /// Next routable + healthy replica at-or-after the round-robin cursor;
+  /// -1 when none.
+  int PickReplica();
+
+  std::vector<Replica*> replicas_;
+  const ReadRouterOptions options_;
+  serve::AdmissionController admission_;
+
+  /// Per-replica routable flag (router-side health view). Heap-allocated
+  /// atomics so the vector never moves them.
+  std::vector<std::unique_ptr<std::atomic<bool>>> routable_;
+  std::vector<std::unique_ptr<std::atomic<int64_t>>> routed_;
+  std::atomic<uint64_t> next_{0};
+  std::atomic<int64_t> failovers_{0};
+};
+
+}  // namespace traj2hash::replica
+
+#endif  // TRAJ2HASH_REPLICA_ROUTER_H_

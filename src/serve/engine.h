@@ -160,6 +160,10 @@ class QueryEngine {
   void ResetStats() { stats_.Reset(); }
 
   const ShardedIndex& index() const { return index_; }
+  /// Mutable index access for the replication layer: replica::Primary wraps
+  /// this index so its WAL doubles as the shipping stream (DESIGN.md §13).
+  /// Ordinary mutation must still go through Insert/Remove/Update above.
+  ShardedIndex* mutable_index() { return &index_; }
   int size() const { return index_.size(); }
   /// Entries currently live (size() minus removals).
   int live_size() const { return index_.live_size(); }

@@ -441,6 +441,23 @@ Status ShardedIndex::AttachWal(const std::string& wal_path) {
   return Recover("", wal_path);
 }
 
+Status ShardedIndex::ApplyShipped(const ingest::WalRecord& record) {
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    if (wal_ != nullptr) {
+      return Status::FailedPrecondition(
+          "ApplyShipped on an index with its own WAL: a replica must not "
+          "re-log the primary's records");
+    }
+  }
+  return ApplyReplayed(record);
+}
+
+uint64_t ShardedIndex::wal_last_seq() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return wal_ != nullptr ? wal_->last_seq() : 0;
+}
+
 Status ShardedIndex::Checkpoint(const std::string& path) {
   if (wal_ == nullptr) return SaveSnapshot(path);
   // Under the commit mutex no mutation can be between its WAL append and

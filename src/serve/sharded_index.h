@@ -131,6 +131,21 @@ class ShardedIndex {
   /// `Recover("", wal_path)`.
   Status AttachWal(const std::string& wal_path);
 
+  /// Replication apply path (DESIGN.md §13): applies one WAL record shipped
+  /// from a primary, with the same idempotent upsert / tolerant-remove
+  /// semantics as boot-time replay. Refused (kFailedPrecondition) when this
+  /// index has its own WAL attached — a replica must never re-log the
+  /// primary's records, or a checkpoint race could fork the two histories.
+  /// Thread-safe against concurrent queries; the caller (one ship loop per
+  /// replica) serialises apply order.
+  Status ApplyShipped(const ingest::WalRecord& record);
+
+  /// Highest WAL sequence number committed (appended + fsynced + applied)
+  /// so far; 0 without a WAL. Taken under the commit mutex, so it never
+  /// reports a record that is still mid-commit — a replica caught up to
+  /// this seq has applied every acknowledged mutation.
+  uint64_t wal_last_seq() const;
+
   /// Durable checkpoint: under the commit mutex (no mutation can be mid-
   /// commit), saves a snapshot and then resets the WAL. A crash between the
   /// two steps is safe — recovery replays the whole WAL over the new

@@ -1,0 +1,78 @@
+// Unit tests for the Zipfian rank sampler (common/zipf.h) behind
+// serve-bench's --query-dist zipf:<s>: rank 0 dominates under positive
+// skew, s = 0 degenerates to uniform, draws are deterministic from the Rng
+// seed, and the CDF covers every rank.
+#include "common/zipf.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace traj2hash {
+namespace {
+
+std::vector<int> Histogram(const ZipfSampler& sampler, int draws,
+                           uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> counts(sampler.size(), 0);
+  for (int i = 0; i < draws; ++i) {
+    const int r = sampler.Sample(rng);
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, sampler.size());
+    ++counts[r];
+  }
+  return counts;
+}
+
+TEST(ZipfSamplerTest, RankZeroDominatesUnderSkew) {
+  const ZipfSampler sampler(100, 1.0);
+  const std::vector<int> counts = Histogram(sampler, 20000, 7);
+  // Under s=1 over 100 ranks, P(0) ≈ 1/H_100 ≈ 0.193 and the frequencies
+  // decay monotonically in expectation; check the strong ordering between
+  // head and tail rather than exact probabilities.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[99]);
+  EXPECT_GT(counts[0], 20000 / 10);  // well above the uniform 200
+}
+
+TEST(ZipfSamplerTest, ZeroSkewIsUniform) {
+  const ZipfSampler sampler(50, 0.0);
+  const std::vector<int> counts = Histogram(sampler, 50000, 11);
+  // Every rank is equally likely (1000 expected); allow generous slack.
+  for (int r = 0; r < 50; ++r) {
+    EXPECT_GT(counts[r], 700) << "rank " << r;
+    EXPECT_LT(counts[r], 1300) << "rank " << r;
+  }
+}
+
+TEST(ZipfSamplerTest, DeterministicFromTheSeed) {
+  const ZipfSampler sampler(64, 0.8);
+  Rng a(42), b(42), c(43);
+  bool diverged = false;
+  for (int i = 0; i < 256; ++i) {
+    const int x = sampler.Sample(a);
+    EXPECT_EQ(x, sampler.Sample(b));
+    diverged = diverged || x != sampler.Sample(c);
+  }
+  EXPECT_TRUE(diverged);  // a different seed gives a different stream
+}
+
+TEST(ZipfSamplerTest, SingleRankAlwaysSampled) {
+  const ZipfSampler sampler(1, 1.2);
+  Rng rng(3);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(sampler.Sample(rng), 0);
+  }
+}
+
+TEST(ZipfSamplerTest, ExtremeSkewCollapsesOntoTheHead) {
+  const ZipfSampler sampler(1000, 4.0);
+  const std::vector<int> counts = Histogram(sampler, 5000, 17);
+  // With s=4 essentially all mass is on the first few ranks.
+  EXPECT_GT(counts[0], 4000);
+}
+
+}  // namespace
+}  // namespace traj2hash

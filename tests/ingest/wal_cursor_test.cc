@@ -1,0 +1,243 @@
+// Unit tests for the WAL tail-reader cursor (ingest::WalCursor), the
+// shipping side of replication: incremental polls see exactly the durable
+// prefix, a torn tail stops the walk without error and is re-read once the
+// frame completes, mid-file corruption is kDataLoss, a log reset
+// (Wal::Reset) surfaces as kFailedPrecondition and is survivable with
+// Rewind, and the kReplicaShip fault point fails a poll without moving the
+// cursor.
+#include "ingest/wal.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "search/code.h"
+
+namespace traj2hash::ingest {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+search::Code RandomCode(int bits, Rng& rng) {
+  std::vector<float> v(bits);
+  for (float& x : v) x = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+  return search::PackSigns(v);
+}
+
+WalRecord Insert(int id, const search::Code& code,
+                 std::vector<float> embedding = {}) {
+  WalRecord r;
+  r.type = WalRecordType::kInsert;
+  r.id = id;
+  r.code = code;
+  r.embedding = std::move(embedding);
+  return r;
+}
+
+/// Appends `n` insert records (ids starting at `first_id`) and syncs.
+void CommitInserts(Wal* wal, int first_id, int n, Rng& rng) {
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(wal->Append(Insert(first_id + i, RandomCode(16, rng))).ok());
+  }
+  ASSERT_TRUE(wal->Sync().ok());
+}
+
+TEST(WalCursorTest, MissingFileIsAnEmptyLog) {
+  WalCursor cursor(TempPath("cursor_missing.wal"));
+  std::vector<WalRecord> out;
+  ASSERT_TRUE(cursor.Poll(&out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(cursor.last_seq(), 0u);
+  EXPECT_EQ(cursor.offset(), 0u);
+}
+
+TEST(WalCursorTest, PollSeesEachCommitIncrementally) {
+  const std::string path = TempPath("cursor_incremental.wal");
+  Rng rng(7);
+  auto wal = std::move(Wal::Open(path).value());
+  WalCursor cursor(path);
+  std::vector<WalRecord> out;
+
+  CommitInserts(wal.get(), 0, 3, rng);
+  ASSERT_TRUE(cursor.Poll(&out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.front().seq, 1u);
+  EXPECT_EQ(cursor.last_seq(), 3u);
+
+  // Nothing new: a poll is a no-op, not an error.
+  out.clear();
+  ASSERT_TRUE(cursor.Poll(&out).ok());
+  EXPECT_TRUE(out.empty());
+
+  CommitInserts(wal.get(), 3, 2, rng);
+  ASSERT_TRUE(cursor.Poll(&out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.front().seq, 4u);
+  EXPECT_EQ(out.back().seq, 5u);
+  EXPECT_EQ(cursor.last_seq(), 5u);
+  EXPECT_EQ(cursor.offset(), wal->size_bytes());
+}
+
+TEST(WalCursorTest, UnsyncedAppendsAreInvisible) {
+  const std::string path = TempPath("cursor_unsynced.wal");
+  Rng rng(7);
+  auto wal = std::move(Wal::Open(path).value());
+  ASSERT_TRUE(wal->Append(Insert(0, RandomCode(16, rng))).ok());
+  // Append without Sync: nothing is durable, so the cursor sees nothing.
+  WalCursor cursor(path);
+  std::vector<WalRecord> out;
+  ASSERT_TRUE(cursor.Poll(&out).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(wal->Sync().ok());
+  ASSERT_TRUE(cursor.Poll(&out).ok());
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(WalCursorTest, TornTailStopsWithoutErrorAndRereadsWhenComplete) {
+  const std::string path = TempPath("cursor_torn.wal");
+  Rng rng(7);
+  auto wal = std::move(Wal::Open(path).value());
+  WalCursor cursor(path);
+  std::vector<WalRecord> out;
+  CommitInserts(wal.get(), 0, 2, rng);
+  ASSERT_TRUE(cursor.Poll(&out).ok());
+  ASSERT_EQ(out.size(), 2u);
+
+  // A torn frame at the tail — as an in-progress append or a crashed
+  // primary would leave — must stop the walk silently, not fail it.
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    const char torn[] = "\xff\xff\x00\x00garbage";
+    f.write(torn, sizeof(torn) - 1);
+  }
+  out.clear();
+  const uint64_t offset_before = cursor.offset();
+  ASSERT_TRUE(cursor.Poll(&out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(cursor.offset(), offset_before);
+  EXPECT_EQ(cursor.last_seq(), 2u);
+}
+
+TEST(WalCursorTest, MidFileCorruptionIsDataLoss) {
+  const std::string path = TempPath("cursor_corrupt.wal");
+  Rng rng(7);
+  {
+    auto wal = std::move(Wal::Open(path).value());
+    CommitInserts(wal.get(), 0, 4, rng);
+  }
+  // Flip one payload byte in the middle of the file: a complete frame whose
+  // checksum no longer matches is corrupted acknowledged data.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(20);
+    char byte;
+    f.seekg(20);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(20);
+    f.write(&byte, 1);
+  }
+  WalCursor cursor(path);
+  std::vector<WalRecord> out;
+  EXPECT_EQ(cursor.Poll(&out).code(), StatusCode::kDataLoss);
+}
+
+TEST(WalCursorTest, ResetSurfacesAsFailedPreconditionAndRewindRecovers) {
+  const std::string path = TempPath("cursor_reset.wal");
+  Rng rng(7);
+  auto wal = std::move(Wal::Open(path).value());
+  WalCursor cursor(path);
+  std::vector<WalRecord> out;
+  CommitInserts(wal.get(), 0, 3, rng);
+  ASSERT_TRUE(cursor.Poll(&out).ok());
+  ASSERT_EQ(cursor.last_seq(), 3u);
+
+  // Checkpoint on the primary: the log is emptied but seqs keep counting.
+  ASSERT_TRUE(wal->Reset().ok());
+  CommitInserts(wal.get(), 3, 2, rng);  // seqs 4, 5
+
+  out.clear();
+  EXPECT_EQ(cursor.Poll(&out).code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(out.empty());
+
+  // The cursor was caught up at the reset, so a rewind loses nothing: the
+  // new log's records continue the seq sequence it already has.
+  cursor.Rewind();
+  ASSERT_TRUE(cursor.Poll(&out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.front().seq, 4u);
+  EXPECT_EQ(out.back().seq, 5u);
+  EXPECT_EQ(cursor.last_seq(), 5u);
+}
+
+TEST(WalCursorTest, RewindSkipsRecordsAlreadyReturned) {
+  const std::string path = TempPath("cursor_rewind_skip.wal");
+  Rng rng(7);
+  auto wal = std::move(Wal::Open(path).value());
+  WalCursor cursor(path);
+  std::vector<WalRecord> out;
+  CommitInserts(wal.get(), 0, 3, rng);
+  ASSERT_TRUE(cursor.Poll(&out).ok());
+  ASSERT_EQ(out.size(), 3u);
+
+  // Rewind without a reset: the seq watermark suppresses duplicates.
+  cursor.Rewind();
+  out.clear();
+  ASSERT_TRUE(cursor.Poll(&out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(cursor.last_seq(), 3u);
+}
+
+TEST(WalCursorTest, SequenceGapIsDataLoss) {
+  const std::string path = TempPath("cursor_gap.wal");
+  Rng rng(7);
+  auto wal = std::move(Wal::Open(path).value());
+  WalCursor cursor(path);
+  std::vector<WalRecord> out;
+  CommitInserts(wal.get(), 0, 2, rng);
+  ASSERT_TRUE(cursor.Poll(&out).ok());
+
+  // A reset followed by more commits than the cursor ever saw would leave a
+  // contiguous sequence; fake a *gap* instead by resetting twice with an
+  // unseen commit in between — the rewound cursor then finds records whose
+  // seqs skip past its watermark + 1.
+  ASSERT_TRUE(wal->Reset().ok());
+  CommitInserts(wal.get(), 2, 1, rng);  // seq 3, never polled
+  ASSERT_TRUE(wal->Reset().ok());
+  CommitInserts(wal.get(), 3, 1, rng);  // seq 4
+  cursor.Rewind();
+  out.clear();
+  EXPECT_EQ(cursor.Poll(&out).code(), StatusCode::kDataLoss);
+}
+
+TEST(WalCursorTest, ShipFaultFailsPollWithoutMovingTheCursor) {
+  const std::string path = TempPath("cursor_fault.wal");
+  Rng rng(7);
+  auto wal = std::move(Wal::Open(path).value());
+  WalCursor cursor(path);
+  CommitInserts(wal.get(), 0, 2, rng);
+
+  FaultInjector fi;
+  fi.Arm(faults::kReplicaShip, /*skip=*/0, /*fire=*/1);
+  FaultInjector::Scope scope(&fi);
+  std::vector<WalRecord> out;
+  EXPECT_EQ(cursor.Poll(&out).code(), StatusCode::kIoError);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(cursor.offset(), 0u);
+  // The transport recovered: the next poll resumes exactly where the failed
+  // one would have started.
+  ASSERT_TRUE(cursor.Poll(&out).ok());
+  EXPECT_EQ(out.size(), 2u);
+}
+
+}  // namespace
+}  // namespace traj2hash::ingest

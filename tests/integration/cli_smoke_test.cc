@@ -14,6 +14,9 @@
 #include "core/index.h"
 #include "core/trainer.h"
 #include "distance/distance.h"
+#include "ingest/wal.h"
+#include "replica/replica.h"
+#include "replica/router.h"
 #include "search/strategy.h"
 #include "serve/admission.h"
 #include "serve/engine.h"
@@ -239,6 +242,92 @@ TEST(CliRobustnessTest, ServeBenchSnapshotAndDeadlineFlagsPath) {
   EXPECT_EQ(victim.LoadSnapshot(snap).code(), StatusCode::kDataLoss);
   EXPECT_EQ(victim.size(), 0);
   std::remove(snap.c_str());
+}
+
+TEST(CliRobustnessTest, WalReplayReportsSeqRangeAndTornTail) {
+  // The call sequence behind `t2h_cli wal-replay --wal F`: a clean log
+  // replays with the full seq range and no truncation flag; a log with a
+  // torn tail sets tail_truncated, which the CLI turns into a warning and
+  // exit code 3.
+  const std::string wal_path = TempPath("t2h_cli_walreplay.wal");
+  std::remove(wal_path.c_str());
+  {
+    auto wal = std::move(ingest::Wal::Open(wal_path).value());
+    for (int i = 0; i < 5; ++i) {
+      ingest::WalRecord r;
+      r.type = ingest::WalRecordType::kInsert;
+      r.id = i;
+      r.code.num_bits = 16;
+      r.code.words = {static_cast<uint64_t>(i)};
+      ASSERT_TRUE(wal->Append(r).ok());
+    }
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  const auto clean = ingest::Wal::Replay(wal_path);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean.value().records.front().seq, 1u);
+  EXPECT_EQ(clean.value().last_seq, 5u);
+  EXPECT_FALSE(clean.value().tail_truncated);
+
+  // Append a torn frame as a crash mid-append would leave.
+  {
+    std::ofstream out(wal_path, std::ios::binary | std::ios::app);
+    out << "\xff\xff\xff\x7ftorn";
+  }
+  const auto torn = ingest::Wal::Replay(wal_path);
+  ASSERT_TRUE(torn.ok());
+  EXPECT_TRUE(torn.value().tail_truncated);  // -> CLI warning + exit 3
+  EXPECT_EQ(torn.value().last_seq, 5u);
+  EXPECT_EQ(torn.value().valid_bytes, clean.value().valid_bytes);
+  std::remove(wal_path.c_str());
+}
+
+TEST(CliRobustnessTest, ServeBenchReplicaFlagsPath) {
+  // The wiring behind `serve-bench --wal F --replicas 2`: recover a durable
+  // engine, wrap its index in a replica::Primary, bootstrap replicas, route
+  // reads, and verify the routed answers equal the primary's.
+  Rng rng(99);
+  traj::CityConfig city = traj::CityConfig::PortoLike();
+  city.max_points = 10;
+  const auto corpus = GenerateTrips(city, 50, rng);
+  core::Traj2HashConfig cfg;
+  cfg.dim = 8;
+  cfg.num_blocks = 1;
+  cfg.num_heads = 2;
+  auto model = std::move(core::Traj2Hash::Create(cfg, corpus, rng).value());
+
+  serve::QueryEngineOptions options;
+  options.num_threads = 1;
+  options.num_shards = 2;
+  serve::QueryEngine engine(model.get(), options);
+  const std::string wal_path = TempPath("t2h_cli_replicas.wal");
+  std::remove(wal_path.c_str());
+  ASSERT_TRUE(engine.Recover("", wal_path).ok());
+  ASSERT_TRUE(engine.InsertAll({corpus.begin(), corpus.begin() + 40}).ok());
+
+  replica::Primary primary(engine.mutable_index(), wal_path);
+  replica::Replica r0(&primary, replica::ReplicaOptions{}, "cli-r0");
+  replica::Replica r1(&primary, replica::ReplicaOptions{}, "cli-r1");
+  const std::string boot = TempPath("t2h_cli_replicas.boot.snap");
+  ASSERT_TRUE(r0.Bootstrap(boot).ok());
+  ASSERT_TRUE(r1.Bootstrap(boot).ok());
+  replica::ReadRouter router({&r0, &r1}, {});
+  for (int q = 0; q < 8; ++q) {
+    const search::Code code = model->HashCode(corpus[q]);
+    const replica::RoutedRead read = router.Query(code, 5);
+    ASSERT_TRUE(read.status.ok()) << read.status.ToString();
+    const auto want = engine.index().QueryTopK(code, 5);
+    ASSERT_EQ(read.neighbors.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(read.neighbors[i].index, want[i].index);
+      EXPECT_EQ(read.neighbors[i].distance, want[i].distance);
+    }
+  }
+  EXPECT_EQ(router.routed_to(0) + router.routed_to(1), 8);
+  EXPECT_EQ(r0.lag_records(), 0);
+  EXPECT_EQ(r1.lag_records(), 0);
+  std::remove(wal_path.c_str());
+  std::remove(boot.c_str());
 }
 
 TEST(CliOverloadFlagTest, ParsesPoliciesAndRejectsUnknown) {

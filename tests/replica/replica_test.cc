@@ -1,0 +1,216 @@
+// Unit tests for the replica role (replica::Replica): snapshot bootstrap +
+// log-tail catch-up yields a state bit-identical to the primary's — across
+// different shard counts — continuous shipping tracks live mutations, lag
+// accounting, the kReplicaApply fault marks the replica down and a restart
+// recovers it, and a checkpoint+restart converges while the primary keeps
+// committing.
+#include "replica/replica.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "search/code.h"
+#include "serve/sharded_index.h"
+
+namespace traj2hash::replica {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+search::Code RandomCode(int bits, Rng& rng) {
+  std::vector<float> v(bits);
+  for (float& x : v) x = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+  return search::PackSigns(v);
+}
+
+/// A WAL-attached primary index pre-filled with `count` random 16-bit codes.
+struct Env {
+  Env(const std::string& tag, int count, int primary_shards = 3)
+      : index(primary_shards, 16),
+        wal_path(TempPath(tag + ".wal")),
+        rng(17) {
+    EXPECT_TRUE(index.AttachWal(wal_path).ok());
+    for (int i = 0; i < count; ++i) {
+      EXPECT_TRUE(index.Insert(RandomCode(16, rng), {}).ok());
+    }
+    primary = std::make_unique<Primary>(&index, wal_path);
+  }
+
+  serve::ShardedIndex index;
+  std::string wal_path;
+  Rng rng;
+  std::unique_ptr<Primary> primary;
+};
+
+/// Expects both sides to return the same (distance, id) sequence.
+void ExpectIdentical(const serve::ShardedIndex& want_index, Replica& replica,
+                     Rng& rng, int probes = 8, int k = 10) {
+  for (int q = 0; q < probes; ++q) {
+    const search::Code code = RandomCode(16, rng);
+    const auto want = want_index.QueryTopK(code, k);
+    const auto got = replica.Query(code, k);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(got.value().size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got.value()[i].index, want[i].index);
+      EXPECT_EQ(got.value()[i].distance, want[i].distance);
+    }
+  }
+}
+
+TEST(ReplicaTest, BootstrapCatchesUpBitIdentical) {
+  Env env("replica_boot", 60);
+  Replica replica(env.primary.get(), ReplicaOptions{}, "r0");
+  EXPECT_EQ(replica.state(), ReplicaState::kEmpty);
+  ASSERT_TRUE(replica.Bootstrap(TempPath("replica_boot.snap")).ok());
+  EXPECT_EQ(replica.state(), ReplicaState::kHealthy);
+  EXPECT_EQ(replica.applied_seq(), env.primary->committed_seq());
+  EXPECT_EQ(replica.lag_records(), 0);
+  ExpectIdentical(env.index, replica, env.rng);
+}
+
+TEST(ReplicaTest, ShardCountIndependentOfPrimary) {
+  Env env("replica_shards", 50, /*primary_shards=*/3);
+  for (const int shards : {1, 4, 7}) {
+    ReplicaOptions options;
+    options.num_shards = shards;
+    Replica replica(env.primary.get(), options,
+                    "r" + std::to_string(shards));
+    ASSERT_TRUE(
+        replica.Bootstrap(TempPath("replica_shards.snap")).ok());
+    ExpectIdentical(env.index, replica, env.rng);
+  }
+}
+
+TEST(ReplicaTest, ContinuousShippingTracksMutations) {
+  Env env("replica_ship", 30);
+  Replica replica(env.primary.get(), ReplicaOptions{}, "r0");
+  ASSERT_TRUE(replica.Bootstrap(TempPath("replica_ship.snap")).ok());
+
+  // Primary keeps mutating after the bootstrap: inserts, removes, updates.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(env.index.Insert(RandomCode(16, env.rng), {}).ok());
+  }
+  ASSERT_TRUE(env.index.Remove(5).ok());
+  ASSERT_TRUE(env.index.Update(7, RandomCode(16, env.rng), {}).ok());
+  EXPECT_GT(replica.lag_records(), 0);
+
+  // One ship round closes the gap.
+  const auto applied = replica.PollApplyOnce();
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(applied.value(), 22);
+  EXPECT_EQ(replica.lag_records(), 0);
+  EXPECT_EQ(replica.applied_seq(), env.primary->committed_seq());
+  ExpectIdentical(env.index, replica, env.rng);
+}
+
+TEST(ReplicaTest, QueryBeforeBootstrapIsUnavailable) {
+  Env env("replica_unboot", 10);
+  Replica replica(env.primary.get(), ReplicaOptions{}, "r0");
+  const auto got = replica.Query(RandomCode(16, env.rng), 5);
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ReplicaTest, ApplyFaultMarksDownAndBootstrapRecovers) {
+  Env env("replica_applyfault", 20);
+  Replica replica(env.primary.get(), ReplicaOptions{}, "r0");
+  ASSERT_TRUE(replica.Bootstrap(TempPath("replica_applyfault.snap")).ok());
+  ASSERT_TRUE(env.index.Insert(RandomCode(16, env.rng), {}).ok());
+
+  {
+    FaultInjector fi;
+    fi.Arm(faults::kReplicaApply, /*skip=*/0, /*fire=*/1);
+    FaultInjector::Scope scope(&fi);
+    const auto applied = replica.PollApplyOnce();
+    EXPECT_FALSE(applied.ok());
+    EXPECT_EQ(replica.state(), ReplicaState::kDown);
+  }
+  // Down replicas refuse reads and further shipping...
+  EXPECT_EQ(replica.Query(RandomCode(16, env.rng), 5).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(replica.PollApplyOnce().status().code(),
+            StatusCode::kFailedPrecondition);
+  // ...until a fresh bootstrap brings them back, fully caught up.
+  ASSERT_TRUE(replica.Bootstrap(TempPath("replica_applyfault2.snap")).ok());
+  EXPECT_EQ(replica.state(), ReplicaState::kHealthy);
+  ExpectIdentical(env.index, replica, env.rng);
+}
+
+TEST(ReplicaTest, SimulateCrashDropsStateAndRestartRebuilds) {
+  Env env("replica_crash", 25);
+  Replica replica(env.primary.get(), ReplicaOptions{}, "r0");
+  const std::string checkpoint = TempPath("replica_crash.ckpt");
+  ASSERT_TRUE(replica.Bootstrap(TempPath("replica_crash.snap")).ok());
+  ASSERT_TRUE(replica.Checkpoint(checkpoint).ok());
+
+  replica.SimulateCrash();
+  EXPECT_EQ(replica.state(), ReplicaState::kDown);
+  EXPECT_EQ(replica.Query(RandomCode(16, env.rng), 5).status().code(),
+            StatusCode::kUnavailable);
+
+  // The primary moves on while the replica is dead.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(env.index.Insert(RandomCode(16, env.rng), {}).ok());
+  }
+  // Restart from the replica's own checkpoint: the log tail replayed over
+  // it covers both the checkpoint overlap and the missed mutations.
+  ASSERT_TRUE(replica.Restart(checkpoint).ok());
+  EXPECT_EQ(replica.state(), ReplicaState::kHealthy);
+  EXPECT_EQ(replica.applied_seq(), env.primary->committed_seq());
+  ExpectIdentical(env.index, replica, env.rng);
+}
+
+TEST(ReplicaTest, RestartWithoutCheckpointReplaysFromScratch) {
+  Env env("replica_scratch", 15);
+  Replica replica(env.primary.get(), ReplicaOptions{}, "r0");
+  ASSERT_TRUE(replica.Bootstrap(TempPath("replica_scratch.snap")).ok());
+  replica.SimulateCrash();
+  // A missing checkpoint file degrades to a full log replay (the log has
+  // never been checkpointed away, so it still holds every record).
+  ASSERT_TRUE(replica.Restart(TempPath("replica_scratch_missing.ckpt")).ok());
+  EXPECT_EQ(replica.state(), ReplicaState::kHealthy);
+  ExpectIdentical(env.index, replica, env.rng);
+}
+
+TEST(ReplicaTest, LagAccountingCountsUnappliedRecords) {
+  Env env("replica_lag", 10);
+  Replica replica(env.primary.get(), ReplicaOptions{}, "r0");
+  ASSERT_TRUE(replica.Bootstrap(TempPath("replica_lag.snap")).ok());
+  EXPECT_EQ(replica.lag_records(), 0);
+  EXPECT_EQ(replica.lag_ms(), 0.0);
+
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(env.index.Insert(RandomCode(16, env.rng), {}).ok());
+  }
+  EXPECT_EQ(replica.lag_records(), 4);
+  ASSERT_TRUE(replica.CatchUp().ok());
+  EXPECT_EQ(replica.lag_records(), 0);
+  EXPECT_EQ(replica.lag_ms(), 0.0);
+}
+
+TEST(ReplicaTest, ApplyShippedRefusedOnWalAttachedIndex) {
+  // The guard behind the replica contract: an index that logs its own
+  // mutations must never accept shipped records, or a checkpoint race could
+  // fork the histories.
+  Env env("replica_refuse", 5);
+  ingest::WalRecord record;
+  record.seq = 999;
+  record.type = ingest::WalRecordType::kInsert;
+  record.id = 100;
+  record.code = RandomCode(16, env.rng);
+  EXPECT_EQ(env.index.ApplyShipped(record).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace traj2hash::replica

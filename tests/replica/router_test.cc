@@ -1,0 +1,250 @@
+// Unit tests for the health-aware read router (replica::ReadRouter):
+// round-robin spread over healthy replicas, automatic failover when a
+// replica dies mid-query (faults::kReplicaDown), the all-down error path,
+// router-level admission control, zero-downtime rolling restart, and a
+// multi-threaded rolling-restart-under-churn stress (the tsan lane's
+// replica failover stress test — see tools/check.sh).
+#include "replica/router.h"
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "replica/replica.h"
+#include "search/code.h"
+#include "serve/sharded_index.h"
+
+namespace traj2hash::replica {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+search::Code RandomCode(int bits, Rng& rng) {
+  std::vector<float> v(bits);
+  for (float& x : v) x = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+  return search::PackSigns(v);
+}
+
+/// A primary plus `n` bootstrapped healthy replicas behind a router.
+struct Group {
+  Group(const std::string& tag, int n, int count,
+        ReadRouterOptions router_options = ReadRouterOptions{})
+      : index(3, 16), wal_path(TempPath(tag + ".wal")), rng(23) {
+    EXPECT_TRUE(index.AttachWal(wal_path).ok());
+    for (int i = 0; i < count; ++i) {
+      EXPECT_TRUE(index.Insert(RandomCode(16, rng), {}).ok());
+    }
+    primary = std::make_unique<Primary>(&index, wal_path);
+    for (int i = 0; i < n; ++i) {
+      replicas.push_back(std::make_unique<Replica>(
+          primary.get(), ReplicaOptions{}, tag + "-r" + std::to_string(i)));
+      EXPECT_TRUE(
+          replicas.back()->Bootstrap(TempPath(tag + ".boot.snap")).ok());
+    }
+    std::vector<Replica*> members;
+    for (const auto& r : replicas) members.push_back(r.get());
+    router = std::make_unique<ReadRouter>(members, router_options);
+  }
+
+  serve::ShardedIndex index;
+  std::string wal_path;
+  Rng rng;
+  std::unique_ptr<Primary> primary;
+  std::vector<std::unique_ptr<Replica>> replicas;
+  std::unique_ptr<ReadRouter> router;
+};
+
+TEST(ReadRouterTest, SpreadsQueriesRoundRobin) {
+  Group g("router_spread", 3, 40);
+  for (int q = 0; q < 30; ++q) {
+    const RoutedRead read = g.router->Query(RandomCode(16, g.rng), 5);
+    ASSERT_TRUE(read.status.ok()) << read.status.ToString();
+    EXPECT_EQ(read.attempts, 1);
+  }
+  // Perfect rotation: every replica answered exactly a third of the load.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(g.router->routed_to(i), 10);
+  }
+  EXPECT_EQ(g.router->failovers(), 0);
+}
+
+TEST(ReadRouterTest, ResultsMatchThePrimary) {
+  Group g("router_exact", 2, 50);
+  for (int q = 0; q < 10; ++q) {
+    const search::Code code = RandomCode(16, g.rng);
+    const auto want = g.index.QueryTopK(code, 10);
+    const RoutedRead read = g.router->Query(code, 10);
+    ASSERT_TRUE(read.status.ok());
+    ASSERT_EQ(read.neighbors.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(read.neighbors[i].index, want[i].index);
+      EXPECT_EQ(read.neighbors[i].distance, want[i].distance);
+    }
+  }
+}
+
+TEST(ReadRouterTest, FailsOverWhenAReplicaDiesMidQuery) {
+  Group g("router_failover", 3, 30);
+  // The first routed query kills its replica at entry; the router must
+  // retry onto a survivor and still answer, then never route back.
+  FaultInjector fi;
+  fi.Arm(faults::kReplicaDown, /*skip=*/0, /*fire=*/1);
+  FaultInjector::Scope scope(&fi);
+  for (int q = 0; q < 20; ++q) {
+    const RoutedRead read = g.router->Query(RandomCode(16, g.rng), 5);
+    ASSERT_TRUE(read.status.ok()) << "query " << q << ": "
+                                  << read.status.ToString();
+  }
+  EXPECT_EQ(g.router->failovers(), 1);
+  // Exactly one replica took the hit and went down.
+  int down = 0;
+  for (const auto& r : g.replicas) {
+    down += r->state() == ReplicaState::kDown ? 1 : 0;
+  }
+  EXPECT_EQ(down, 1);
+}
+
+TEST(ReadRouterTest, AllDownIsUnavailable) {
+  Group g("router_alldown", 2, 10);
+  for (auto& r : g.replicas) r->SimulateCrash();
+  const RoutedRead read = g.router->Query(RandomCode(16, g.rng), 5);
+  EXPECT_EQ(read.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(read.replica, -1);
+  EXPECT_TRUE(read.neighbors.empty());
+}
+
+TEST(ReadRouterTest, MarkDownTakesAReplicaOutOfRotation) {
+  Group g("router_markdown", 2, 20);
+  g.router->MarkDown(0);
+  EXPECT_FALSE(g.router->IsRoutable(0));
+  for (int q = 0; q < 6; ++q) {
+    const RoutedRead read = g.router->Query(RandomCode(16, g.rng), 5);
+    ASSERT_TRUE(read.status.ok());
+    EXPECT_EQ(read.replica, 1);
+  }
+  g.router->MarkHealthy(0);
+  EXPECT_TRUE(g.router->IsRoutable(0));
+}
+
+TEST(ReadRouterTest, AdmissionShedsWhenTheGroupIsSaturated) {
+  ReadRouterOptions options;
+  options.queue_depth = 1;
+  Group g("router_admission", 2, 20, options);
+  // Pin one query inside a replica with a gate on the kReplicaDown point
+  // (gates block, then pass). A second query arriving behind it must be
+  // shed by router admission, not queued.
+  FaultInjector fi;
+  fi.ArmGate(faults::kReplicaDown);
+  FaultInjector::Scope scope(&fi);
+
+  std::atomic<bool> first_done{false};
+  std::thread pinned([&] {
+    const RoutedRead read = g.router->Query(RandomCode(16, g.rng), 5);
+    EXPECT_TRUE(read.status.ok());
+    first_done.store(true);
+  });
+  // Wait until the pinned query holds the admission slot (it blocks inside
+  // the gate with the slot claimed).
+  while (fi.hits(faults::kReplicaDown) == 0) std::this_thread::yield();
+  Rng rng2(99);
+  const RoutedRead shed = g.router->Query(RandomCode(16, rng2), 5);
+  EXPECT_EQ(shed.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(g.router->shed_count(), 1);
+  fi.OpenGate(faults::kReplicaDown);
+  pinned.join();
+  EXPECT_TRUE(first_done.load());
+}
+
+TEST(ReadRouterTest, RollingRestartDropsNothing) {
+  Group g("router_rolling", 2, 40);
+  // Restart replica 0 through the router while nothing else runs: the
+  // sequencing alone must leave it healthy, caught up and routable.
+  ASSERT_TRUE(
+      g.router->RollingRestart(0, TempPath("router_rolling.ckpt")).ok());
+  EXPECT_TRUE(g.router->IsRoutable(0));
+  EXPECT_EQ(g.replicas[0]->state(), ReplicaState::kHealthy);
+  EXPECT_EQ(g.replicas[0]->applied_seq(), g.primary->committed_seq());
+}
+
+// The tsan-lane stress: queries hammer the router from two threads while a
+// third thread rolling-restarts each replica in turn and a fourth keeps the
+// primary committing. Zero queries may fail — there is always at least one
+// healthy replica — and afterwards both replicas converge to the primary.
+TEST(ReadRouterTest, RollingRestartUnderChurnStress) {
+  Group g("router_stress", 2, 60);
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> failed{0};
+
+  // Continuous shipping keeps both replicas near the tip.
+  std::thread shipper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (auto& r : g.replicas) {
+        if (r->state() != ReplicaState::kDown) (void)r->PollApplyOnce();
+      }
+      std::this_thread::yield();
+    }
+  });
+  std::thread mutator([&] {
+    Rng rng(31);
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)g.index.Insert(RandomCode(16, rng), {});
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(100 + t);
+      while (!stop.load(std::memory_order_acquire)) {
+        const RoutedRead read = g.router->Query(RandomCode(16, rng), 5);
+        if (!read.status.ok()) failed.fetch_add(1);
+      }
+    });
+  }
+  // Roll through the whole group, one replica at a time.
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < g.router->num_replicas(); ++i) {
+      ASSERT_TRUE(g.router
+                      ->RollingRestart(i, TempPath("router_stress.ckpt"))
+                      .ok());
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  mutator.join();
+  shipper.join();
+
+  EXPECT_EQ(failed.load(), 0) << "rolling restarts dropped queries";
+  for (auto& r : g.replicas) {
+    ASSERT_TRUE(r->CatchUp().ok());
+    EXPECT_EQ(r->applied_seq(), g.primary->committed_seq());
+  }
+  Rng rng(7);
+  for (int q = 0; q < 5; ++q) {
+    const search::Code code = RandomCode(16, rng);
+    const auto want = g.index.QueryTopK(code, 10);
+    for (auto& r : g.replicas) {
+      const auto got = r->Query(code, 10);
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(got.value().size(), want.size());
+      for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got.value()[i].index, want[i].index);
+        EXPECT_EQ(got.value()[i].distance, want[i].distance);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace traj2hash::replica

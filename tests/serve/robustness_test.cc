@@ -14,6 +14,8 @@
 
 #include "common/fault_injection.h"
 #include "common/file_util.h"
+#include "replica/replica.h"
+#include "replica/router.h"
 #include "serve/engine.h"
 #include "traj/synthetic.h"
 
@@ -390,6 +392,101 @@ TEST(RobustnessTest, SnapshotLoadRequiresEmptyEngineAndMatchingWidth) {
                          WithStrategy(search::SearchStrategy::kMih));
   EXPECT_EQ(mismatched.LoadSnapshot(path).code(),
             StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Replication failover drill (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+// The FaultInjector kills one replica of a 1-primary/3-replica group in the
+// middle of a query burst. The router's retries must route every query in
+// the burst to the survivors — zero dropped, zero incorrect — and the dead
+// replica, restarted from its own checkpoint, must catch back up to the
+// live commit seq even though the primary mutated while it was down.
+TEST(RobustnessTest, ReplicationFailoverDrillDropsNothing) {
+  Env env = MakeEnv(80);
+  QueryEngine engine(env.model.get(), {.num_threads = 1, .num_shards = 3});
+  const std::string wal_path = TempPath("failover_drill.wal");
+  std::remove(wal_path.c_str());
+  ASSERT_TRUE(engine.Recover("", wal_path).ok());
+  ASSERT_TRUE(
+      engine.InsertAll({env.corpus.begin(), env.corpus.begin() + 60}).ok());
+
+  replica::Primary primary(engine.mutable_index(), wal_path);
+  std::vector<std::unique_ptr<replica::Replica>> group;
+  std::vector<replica::Replica*> members;
+  for (int i = 0; i < 3; ++i) {
+    group.push_back(std::make_unique<replica::Replica>(
+        &primary, replica::ReplicaOptions{},
+        "drill-r" + std::to_string(i)));
+    ASSERT_TRUE(group.back()->Bootstrap(TempPath("drill.boot.snap")).ok());
+    members.push_back(group.back().get());
+  }
+  replica::ReadRouter router(members, {.max_attempts = 4});
+  const std::string checkpoint = TempPath("drill.r.ckpt");
+  ASSERT_TRUE(group[0]->Checkpoint(checkpoint).ok());
+
+  // Kill one replica mid-burst: the 8th routed replica-query dies at entry.
+  FaultInjector fi;
+  fi.Arm(faults::kReplicaDown, /*skip=*/7, /*fire=*/1);
+  FaultInjector::Scope scope(&fi);
+
+  int64_t dropped = 0;
+  for (int q = 0; q < 40; ++q) {
+    const search::Code code = env.model->HashCode(env.corpus[q % 60]);
+    const replica::RoutedRead read = router.Query(code, 10);
+    if (!read.status.ok()) {
+      ++dropped;
+      continue;
+    }
+    // Correctness under failover: the survivors are caught up (no churn is
+    // racing this loop), so every answer must equal the primary's.
+    const auto want = engine.index().QueryTopK(code, 10);
+    ASSERT_EQ(read.neighbors.size(), want.size()) << "query " << q;
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(read.neighbors[i].index, want[i].index);
+      EXPECT_EQ(read.neighbors[i].distance, want[i].distance);
+    }
+  }
+  EXPECT_EQ(dropped, 0) << "failover must be invisible to callers";
+  EXPECT_EQ(router.failovers(), 1);
+  EXPECT_EQ(fi.fired(faults::kReplicaDown), 1);
+
+  // Exactly one replica died; find it and bring it back while the primary
+  // keeps committing underneath.
+  int dead = -1;
+  for (int i = 0; i < 3; ++i) {
+    if (group[i]->state() == replica::ReplicaState::kDown) {
+      ASSERT_EQ(dead, -1) << "only one replica may have died";
+      dead = i;
+    }
+  }
+  ASSERT_NE(dead, -1);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine.Insert(env.corpus[60 + (i % 20)]).ok());
+  }
+  ASSERT_TRUE(group[dead]->Restart(checkpoint).ok());
+  EXPECT_EQ(group[dead]->state(), replica::ReplicaState::kHealthy);
+  EXPECT_EQ(group[dead]->applied_seq(), primary.committed_seq());
+  router.MarkHealthy(dead);
+
+  // The whole group converges: every replica answers like the primary.
+  for (auto& r : group) {
+    ASSERT_TRUE(r->CatchUp().ok());
+  }
+  for (int q = 0; q < 8; ++q) {
+    const search::Code code = env.model->HashCode(env.corpus[q]);
+    const auto want = engine.index().QueryTopK(code, 10);
+    for (auto& r : group) {
+      const auto got = r->Query(code, 10);
+      ASSERT_TRUE(got.ok()) << r->name() << ": " << got.status().ToString();
+      ASSERT_EQ(got.value().size(), want.size());
+      for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got.value()[i].index, want[i].index);
+        EXPECT_EQ(got.value()[i].distance, want[i].distance);
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,112 @@
+// Cross-version snapshot compatibility: a checked-in legacy v1 snapshot
+// (tests/data/snapshot_v1_16bit.snap — dense ids, no next-id watermark)
+// must keep loading under the v2 reader, across shard counts, with results
+// bit-identical to an index rebuilt from the fixture's documented recipe.
+// Guards against the v2 writer evolving in a way that silently drops v1
+// readability.
+//
+// Fixture recipe (the generator is reproducible from this comment alone):
+// 40 entries with dense ids 0..39; entry i's 16-bit code is
+// PackSigns(sixteen ±1 floats drawn by Rng(77).Bernoulli(0.5), in order);
+// its embedding is {i*0.5f, -i*0.25f} when i % 3 == 0, else empty.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "search/code.h"
+#include "serve/sharded_index.h"
+
+namespace traj2hash::serve {
+namespace {
+
+const char* FixturePath() {
+  return T2H_TEST_DATA_DIR "/snapshot_v1_16bit.snap";
+}
+
+/// Recomputes the fixture's entries from the documented recipe.
+struct FixtureEntry {
+  search::Code code;
+  std::vector<float> embedding;
+};
+std::vector<FixtureEntry> RecomputeFixture() {
+  Rng rng(77);
+  std::vector<FixtureEntry> entries;
+  for (int i = 0; i < 40; ++i) {
+    std::vector<float> signs(16);
+    for (float& x : signs) x = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+    FixtureEntry e;
+    e.code = search::PackSigns(signs);
+    if (i % 3 == 0) {
+      e.embedding = {i * 0.5f, -i * 0.25f};
+    }
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+TEST(SnapshotCompatTest, V1FixtureLoadsUnderV2Reader) {
+  ShardedIndex index(3, 16);
+  ASSERT_TRUE(index.LoadSnapshot(FixturePath()).ok());
+  EXPECT_EQ(index.size(), 40);
+  EXPECT_EQ(index.live_size(), 40);
+  EXPECT_EQ(index.num_bits(), 16);
+
+  // Every entry must round-trip exactly: codes via a zero-distance self
+  // query, embeddings byte-for-byte.
+  const std::vector<FixtureEntry> want = RecomputeFixture();
+  for (int i = 0; i < 40; ++i) {
+    const auto top = index.QueryTopK(want[i].code, 1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].distance, 0.0) << "entry " << i;
+    EXPECT_EQ(index.EmbeddingOf(i), want[i].embedding) << "entry " << i;
+  }
+}
+
+TEST(SnapshotCompatTest, V1FixtureIsShardCountIndependent) {
+  // The fixture was written by a single-index (pre-sharding) build; the
+  // id-routed reader must produce bit-identical results for any shard
+  // count. Compare every shard count against a freshly built oracle.
+  const std::vector<FixtureEntry> want = RecomputeFixture();
+  ShardedIndex oracle(1, 16, search::SearchStrategy::kBrute);
+  for (const FixtureEntry& e : want) {
+    ASSERT_TRUE(oracle.Insert(e.code, e.embedding).ok());
+  }
+
+  Rng probe_rng(123);
+  for (const int shards : {1, 3, 4}) {
+    ShardedIndex index(shards, 16);
+    ASSERT_TRUE(index.LoadSnapshot(FixturePath()).ok())
+        << "shards=" << shards;
+    for (int q = 0; q < 10; ++q) {
+      std::vector<float> signs(16);
+      for (float& x : signs) x = probe_rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+      const search::Code code = search::PackSigns(signs);
+      const auto got = index.QueryTopK(code, 10);
+      const auto expect = oracle.QueryTopK(code, 10);
+      ASSERT_EQ(got.size(), expect.size()) << "shards=" << shards;
+      for (size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_EQ(got[i].index, expect[i].index);
+        EXPECT_EQ(got[i].distance, expect[i].distance);
+      }
+    }
+  }
+}
+
+TEST(SnapshotCompatTest, V1LoadStaysMutable) {
+  // A legacy snapshot is a full database, not a frozen archive: inserts
+  // after the load must take fresh ids above the dense range, and removes
+  // of fixture entries must stick.
+  ShardedIndex index(4, 16);
+  ASSERT_TRUE(index.LoadSnapshot(FixturePath()).ok());
+  const std::vector<FixtureEntry> want = RecomputeFixture();
+  const auto inserted = index.Insert(want[0].code, {});
+  ASSERT_TRUE(inserted.ok());
+  EXPECT_EQ(inserted.value(), 40);  // v1 count seeds the id watermark
+  ASSERT_TRUE(index.Remove(7).ok());
+  EXPECT_EQ(index.live_size(), 40);  // 40 + 1 insert - 1 remove
+}
+
+}  // namespace
+}  // namespace traj2hash::serve

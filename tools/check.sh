@@ -25,16 +25,32 @@ run_lane() {
   ctest --test-dir "${dir}" --output-on-failure -j "$(nproc)" "$@"
 }
 
+# The replica failover stress (ReadRouterTest.RollingRestartUnderChurnStress:
+# concurrent readers + mutator + shipper across a rolling restart) is the
+# most race-prone test in the tree; the tsan lane gives it a dedicated
+# repeated run on top of the full sweep.
+replica_stress() {
+  echo "==== lane: tsan-replica-stress (build-tsan) ===="
+  ctest --test-dir build-tsan --output-on-failure \
+    -R 'RollingRestartUnderChurnStress' --repeat until-fail:3
+}
+
+# Note: the fast lane filters by label, not by name, so new tier1-labelled
+# suites (e.g. the replica/ and router tests) are picked up automatically.
 lanes="${1:-all}"
 case "${lanes}" in
   fast)  run_lane fast build "" -L tier1 ;;
   plain) run_lane plain build "" ;;
   asan)  run_lane asan build-asan address ;;
-  tsan)  run_lane tsan build-tsan thread ;;
+  tsan)
+    run_lane tsan build-tsan thread
+    replica_stress
+    ;;
   all)
     run_lane plain build ""
     run_lane asan build-asan address
     run_lane tsan build-tsan thread
+    replica_stress
     ;;
   *)
     echo "usage: tools/check.sh [fast|plain|asan|tsan|all]" >&2

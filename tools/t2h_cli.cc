@@ -16,8 +16,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
@@ -26,7 +29,10 @@
 #include "common/file_util.h"
 #include "common/retry.h"
 #include "common/stopwatch.h"
+#include "common/zipf.h"
 #include "ingest/wal.h"
+#include "replica/replica.h"
+#include "replica/router.h"
 #include "core/trainer.h"
 #include "distance/distance.h"
 #include "search/hamming_index.h"
@@ -126,10 +132,23 @@ int Usage() {
                " during the query rounds,\n"
                "                            then verify queries stayed"
                " exact)\n"
+               "           [--query-dist uniform|zipf:<s>] (query key"
+               " distribution; zipf skews\n"
+               "                            the load onto hot keys with"
+               " exponent s)\n"
+               "           [--replicas N]  (requires --wal: ship the log to"
+               " N replicas and route\n"
+               "                            the query rounds across them;"
+               " DESIGN.md 13)\n"
+               "           [--drill none|rolling|kill] (with --replicas:"
+               " rolling-restart or\n"
+               "                            crash+rebootstrap one replica"
+               " mid-burst)\n"
                "           [--stats-json F] (dump the per-stage latency"
                " snapshot as JSON)\n"
                "  wal-replay --wal F  (walk a write-ahead log, print its"
-               " records and tail state)\n");
+               " records and tail state;\n"
+               "                       exit 3 when a torn tail was found)\n");
   return 2;
 }
 
@@ -359,6 +378,25 @@ int RunServeBench(const Args& args) {
   const auto policy =
       t2h::serve::ParseOverloadPolicy(args.Get("overload", "reject"));
   if (!policy.ok()) return Fail(policy.status().ToString());
+  const int replicas = args.GetInt("replicas", 0);
+  if (replicas < 0) return Fail("--replicas must be >= 0");
+  const std::string drill = args.Get("drill", "none");
+  if (drill != "none" && drill != "rolling" && drill != "kill") {
+    return Fail("--drill must be none, rolling or kill");
+  }
+  if (drill != "none" && replicas < 2) {
+    return Fail("--drill needs --replicas >= 2 (survivors must keep serving)");
+  }
+  // --query-dist uniform (historical first-N replay) or zipf:<s> (hot-key
+  // skew: rank r of the first N trajectories drawn with P ∝ 1/(r+1)^s).
+  const std::string query_dist = args.Get("query-dist", "uniform");
+  double zipf_s = -1.0;
+  if (query_dist.rfind("zipf:", 0) == 0) {
+    zipf_s = std::atof(query_dist.substr(5).c_str());
+    if (zipf_s < 0.0) return Fail("--query-dist zipf:<s> needs s >= 0");
+  } else if (query_dist != "uniform") {
+    return Fail("--query-dist must be uniform or zipf:<s>");
+  }
 
   t2h::serve::QueryEngine engine(model.get(),
                                  {.num_threads = threads,
@@ -375,6 +413,9 @@ int RunServeBench(const Args& args) {
   // silently rebuilding would mask data loss.
   const std::string snapshot_path = args.Get("snapshot", "");
   const std::string wal_path = args.Get("wal", "");
+  if (replicas > 0 && wal_path.empty()) {
+    return Fail("--replicas needs --wal: the WAL is the shipping stream");
+  }
   t2h::Stopwatch ingest;
   bool restored = false;
   if (!wal_path.empty()) {
@@ -412,9 +453,21 @@ int RunServeBench(const Args& args) {
               ingest.ElapsedSeconds());
   if (engine.size() < num_queries) return Fail("snapshot smaller than --queries");
 
-  // Replay the first --queries trajectories of the database as query load.
-  const std::vector<t2h::traj::Trajectory> queries(
-      corpus.begin(), corpus.begin() + num_queries);
+  // Query load over the first --queries trajectories of the database:
+  // uniform replays them in order (the historical load); zipf draws
+  // --queries ranks from that prefix so a few hot keys dominate, which is
+  // what real query streams look like.
+  std::vector<t2h::traj::Trajectory> queries;
+  queries.reserve(num_queries);
+  if (zipf_s >= 0.0) {
+    const t2h::ZipfSampler sampler(num_queries, zipf_s);
+    t2h::Rng query_rng(args.GetInt("seed", 42) + 3);
+    for (int i = 0; i < num_queries; ++i) {
+      queries.push_back(corpus[sampler.Sample(query_rng)]);
+    }
+  } else {
+    queries.assign(corpus.begin(), corpus.begin() + num_queries);
+  }
   auto run_round = [&] {
     t2h::serve::QueryOptions options;
     if (deadline_ms > 0) {
@@ -513,6 +566,171 @@ int RunServeBench(const Args& args) {
   }
   std::printf("%s", engine.stats().ToString().c_str());
 
+  // --replicas: ship the primary's WAL to a replica group and route the
+  // same query load through a health-aware ReadRouter (DESIGN.md §13),
+  // optionally running a failover drill mid-burst. The primary keeps
+  // mutating underneath (another --churn burst) so the replicas chase a
+  // moving log; afterwards every replica must be caught up and bit-identical
+  // to the primary — which the --churn block above already proved exact
+  // against a brute-force oracle.
+  double replica_qps = 0.0;
+  int64_t replica_dropped = 0;
+  int64_t replica_total = 0;
+  std::vector<long long> replica_routed;
+  std::vector<long long> replica_lag_records;
+  std::vector<double> replica_lag_ms;
+  long long replica_failovers = 0;
+  bool replicas_caught_up = false;
+  if (replicas > 0) {
+    t2h::replica::Primary primary(engine.mutable_index(), wal_path);
+    std::vector<std::unique_ptr<t2h::replica::Replica>> group;
+    for (int i = 0; i < replicas; ++i) {
+      group.push_back(std::make_unique<t2h::replica::Replica>(
+          &primary, t2h::replica::ReplicaOptions{.num_shards = shards},
+          "replica-" + std::to_string(i)));
+      if (const t2h::Status s =
+              group.back()->Bootstrap(wal_path + ".boot.snap");
+          !s.ok()) {
+        return Fail("replica bootstrap failed: " + s.ToString());
+      }
+    }
+    std::vector<t2h::replica::Replica*> members;
+    for (const auto& r : group) members.push_back(r.get());
+    t2h::replica::ReadRouter router(
+        members, {.max_attempts = replicas + 1,
+                  .queue_depth = queue_depth,
+                  .overload_policy = policy.value()});
+
+    // Continuous ship loop: one thread tails the log for every replica.
+    std::atomic<bool> stop_ship{false};
+    std::thread shipper([&group, &stop_ship] {
+      while (!stop_ship.load(std::memory_order_acquire)) {
+        for (const auto& r : group) {
+          if (r->state() != t2h::replica::ReplicaState::kDown) {
+            (void)r->PollApplyOnce();
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    // The primary keeps committing while replicas serve (the replication
+    // shape of --churn). Reuses the corpus; kNotFound from racing removes
+    // is expected.
+    std::atomic<bool> stop_churn{false};
+    std::thread replica_mutator;
+    if (churn_ops > 0) {
+      replica_mutator = std::thread([&engine, &corpus, &stop_churn, &args] {
+        t2h::Rng mut_rng(args.GetInt("seed", 42) + 11);
+        while (!stop_churn.load(std::memory_order_acquire)) {
+          const auto& t = corpus[mut_rng.UniformInt(
+              0, static_cast<int>(corpus.size()) - 1)];
+          if (mut_rng.Bernoulli(0.5)) {
+            (void)engine.Insert(t);
+          } else {
+            (void)engine.Remove(mut_rng.UniformInt(0, engine.size() - 1));
+          }
+        }
+      });
+    }
+    // Failover drill mid-burst: rolling = zero-downtime checkpoint+restart
+    // of replica 0 through the router; kill = abrupt crash, then recovery
+    // via a fresh bootstrap. Either way the survivors carry the load.
+    std::thread drill_thread;
+    if (drill == "rolling") {
+      drill_thread = std::thread([&router, &wal_path] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        const t2h::Status s =
+            router.RollingRestart(0, wal_path + ".replica0.snap");
+        if (!s.ok()) {
+          std::fprintf(stderr, "rolling restart failed: %s\n",
+                       s.ToString().c_str());
+        }
+      });
+    } else if (drill == "kill") {
+      drill_thread = std::thread([&router, &group, &wal_path] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        group[0]->SimulateCrash();  // router notices on the next query
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        router.MarkDown(0);
+        if (const t2h::Status s =
+                group[0]->Bootstrap(wal_path + ".boot.snap");
+            s.ok()) {
+          router.MarkHealthy(0);
+        } else {
+          std::fprintf(stderr, "replica re-bootstrap failed: %s\n",
+                       s.ToString().c_str());
+        }
+      });
+    }
+
+    std::vector<t2h::search::Code> query_codes;
+    query_codes.reserve(queries.size());
+    for (const auto& q : queries) query_codes.push_back(model->HashCode(q));
+    t2h::Stopwatch replica_wall;
+    for (int r = 0; r < rounds; ++r) {
+      for (const t2h::search::Code& code : query_codes) {
+        const t2h::replica::RoutedRead read = router.Query(code, k);
+        ++replica_total;
+        if (!read.status.ok()) ++replica_dropped;
+      }
+    }
+    const double replica_seconds = replica_wall.ElapsedSeconds();
+    if (drill_thread.joinable()) drill_thread.join();
+    stop_churn.store(true, std::memory_order_release);
+    if (replica_mutator.joinable()) replica_mutator.join();
+    stop_ship.store(true, std::memory_order_release);
+    shipper.join();
+
+    // Drain: every replica must reach the primary's final commit seq, then
+    // answer bit-identically to it.
+    replicas_caught_up = true;
+    for (const auto& r : group) {
+      if (const t2h::Status s = r->CatchUp(); !s.ok()) {
+        return Fail("replica " + r->name() +
+                    " cannot catch up: " + s.ToString());
+      }
+      replicas_caught_up = replicas_caught_up &&
+                           r->applied_seq() == primary.committed_seq();
+    }
+    bool identical = true;
+    for (size_t q = 0; q < query_codes.size() && q < 16 && identical; ++q) {
+      const auto want = engine.index().QueryTopK(query_codes[q], k);
+      for (const auto& r : group) {
+        const auto epoch = r->index();
+        const auto got = epoch->QueryTopK(query_codes[q], k);
+        identical = got.size() == want.size();
+        for (size_t i = 0; identical && i < want.size(); ++i) {
+          identical = got[i].index == want[i].index &&
+                      got[i].distance == want[i].distance;
+        }
+        if (!identical) break;
+      }
+    }
+    replica_qps = replica_total / replica_seconds;
+    for (int i = 0; i < replicas; ++i) {
+      replica_routed.push_back(router.routed_to(i));
+      replica_lag_records.push_back(group[i]->lag_records());
+      replica_lag_ms.push_back(group[i]->lag_ms());
+    }
+    replica_failovers = router.failovers();
+    std::printf(
+        "replication: %d replicas, %lld routed reads at %.1f QPS, %lld"
+        " dropped, %lld failovers (drill=%s); caught up: %s; results %s\n",
+        replicas, static_cast<long long>(replica_total), replica_qps,
+        static_cast<long long>(replica_dropped), replica_failovers,
+        drill.c_str(), replicas_caught_up ? "yes" : "NO",
+        identical ? "bit-identical to primary" : "DIVERGED");
+    if (!identical) return Fail("replica results diverged from the primary");
+    if (!replicas_caught_up) return Fail("a replica failed to catch up");
+    // Both drills must be invisible to callers: the router retries every
+    // failed attempt onto a survivor, so no query may surface an error.
+    if (drill != "none" && replica_dropped > 0) {
+      return Fail("failover drill dropped " +
+                  std::to_string(replica_dropped) +
+                  " queries; zero-downtime contract violated");
+    }
+  }
+
   if (!wal_path.empty() && !snapshot_path.empty()) {
     // Fold the log into the snapshot so the next boot replays nothing.
     if (const t2h::Status s = engine.Checkpoint(snapshot_path); !s.ok()) {
@@ -537,6 +755,36 @@ int RunServeBench(const Args& args) {
                   engine.size(), engine.live_size(),
                   static_cast<long long>(mutations.load()));
     json += buf;
+    if (replicas > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "  \"replication\": {\"replicas\": %d, \"read_qps\":"
+                    " %.1f, \"dropped\": %lld, \"failovers\": %lld,"
+                    " \"caught_up\": %s, \"drill\": \"%s\",\n",
+                    replicas, replica_qps,
+                    static_cast<long long>(replica_dropped),
+                    replica_failovers, replicas_caught_up ? "true" : "false",
+                    drill.c_str());
+      json += buf;
+      json += "    \"lag_records\": [";
+      for (int i = 0; i < replicas; ++i) {
+        std::snprintf(buf, sizeof(buf), "%s%lld", i ? ", " : "",
+                      replica_lag_records[i]);
+        json += buf;
+      }
+      json += "], \"lag_ms\": [";
+      for (int i = 0; i < replicas; ++i) {
+        std::snprintf(buf, sizeof(buf), "%s%.2f", i ? ", " : "",
+                      replica_lag_ms[i]);
+        json += buf;
+      }
+      json += "], \"routed\": [";
+      for (int i = 0; i < replicas; ++i) {
+        std::snprintf(buf, sizeof(buf), "%s%lld", i ? ", " : "",
+                      replica_routed[i]);
+        json += buf;
+      }
+      json += "]},\n";
+    }
     json += "  \"stages\": {\n";
     for (int i = 0; i < t2h::serve::kNumStages; ++i) {
       const auto& s =
@@ -581,14 +829,27 @@ int RunWalReplay(const Args& args) {
                   r.code.num_bits, r.embedding.size());
     }
   }
-  std::printf("%zu records, last_seq=%llu, durable_bytes=%llu%s\n",
-              replay.records.size(),
-              static_cast<unsigned long long>(replay.last_seq),
-              static_cast<unsigned long long>(replay.valid_bytes),
-              replay.tail_truncated
-                  ? " (torn tail found: a crash interrupted the final"
-                    " append; recovery will truncate it)"
-                  : "");
+  if (replay.records.empty()) {
+    std::printf("replayed 0 records, durable_bytes=%llu\n",
+                static_cast<unsigned long long>(replay.valid_bytes));
+  } else {
+    std::printf("replayed seq=%llu..%llu (%zu records),"
+                " durable_bytes=%llu\n",
+                static_cast<unsigned long long>(replay.records.front().seq),
+                static_cast<unsigned long long>(replay.last_seq),
+                replay.records.size(),
+                static_cast<unsigned long long>(replay.valid_bytes));
+  }
+  if (replay.tail_truncated) {
+    // A torn tail is a real (if expected) loss signal: the final append was
+    // interrupted and its mutation was never acknowledged. Exit non-zero so
+    // scripts notice; recovery (Wal::Open) will truncate the tail.
+    std::fprintf(stderr,
+                 "warning: torn tail after byte %llu — a crash interrupted"
+                 " the final append; recovery will truncate it\n",
+                 static_cast<unsigned long long>(replay.valid_bytes));
+    return 3;
+  }
   return 0;
 }
 
@@ -611,7 +872,7 @@ int main(int argc, char** argv) {
        {"data", "model", "threads", "shards", "k", "queries", "rounds",
         "dim", "seed", "strategy", "mih-substrings", "deadline-ms",
         "queue-depth", "overload", "snapshot", "wal", "churn",
-        "stats-json"}},
+        "query-dist", "replicas", "drill", "stats-json"}},
       {"wal-replay", {"wal"}},
   };
   const auto known = kKnownFlags.find(command);
