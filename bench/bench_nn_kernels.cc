@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cpu_features.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "nn/kernels.h"
@@ -167,12 +168,97 @@ KernelResult RunCase(const std::string& name, int n, int k, int m, int reps,
   return res;
 }
 
+// ---- Per-ISA sweep (DESIGN.md §14).
+
+struct IsaSweepResult {
+  std::string kernel;
+  std::string isa;
+  double ms = 0.0;
+  double speedup_vs_scalar = 0.0;
+  bool contract_ok = false;  ///< bitwise (elementwise) or 1e-4 rel (matmul)
+};
+
+std::vector<t2h::KernelIsa> AvailableIsas() {
+  std::vector<t2h::KernelIsa> isas;
+  for (const t2h::KernelIsa isa :
+       {t2h::KernelIsa::kScalar, t2h::KernelIsa::kSse2,
+        t2h::KernelIsa::kAvx2}) {
+    if (t2h::KernelIsaAvailable(isa)) isas.push_back(isa);
+  }
+  return isas;
+}
+
+double MaxRelDiff(const std::vector<float>& a, const std::vector<float>& b) {
+  double worst = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double denom = std::max(1.0, std::fabs(static_cast<double>(a[i])));
+    worst = std::max(worst, std::fabs(static_cast<double>(a[i]) - b[i]) / denom);
+  }
+  return worst;
+}
+
+/// Times `kernel` under each available ISA and gates the cross-path
+/// contract against the scalar output: `bitwise` kernels must match
+/// exactly, reductions within 1e-4 relative.
+template <typename KernelFn>
+void SweepKernel(const std::string& name, size_t out_size, int reps,
+                 bool bitwise, KernelFn kernel,
+                 std::vector<IsaSweepResult>& out) {
+  std::vector<float> scalar_ref(out_size, 0.0f);
+  double scalar_ms = 0.0;
+  for (const t2h::KernelIsa isa : AvailableIsas()) {
+    t2h::ScopedKernelIsa pin(isa);
+    std::vector<float> got(out_size, 0.0f);
+    kernel(got.data());
+
+    std::vector<float> scratch(out_size);
+    t2h::Stopwatch sw;
+    for (int r = 0; r < reps; ++r) {
+      std::fill(scratch.begin(), scratch.end(), 0.0f);
+      kernel(scratch.data());
+      sink = sink + scratch[0];
+    }
+    const double ms = sw.ElapsedSeconds() * 1e3 / reps;
+
+    IsaSweepResult res;
+    res.kernel = name;
+    res.isa = t2h::KernelIsaName(isa);
+    res.ms = ms;
+    if (isa == t2h::KernelIsa::kScalar) {
+      scalar_ref = got;
+      scalar_ms = ms;
+      res.speedup_vs_scalar = 1.0;
+      res.contract_ok = true;
+    } else {
+      res.speedup_vs_scalar = ms > 0.0 ? scalar_ms / ms : 0.0;
+      res.contract_ok =
+          bitwise ? std::memcmp(scalar_ref.data(), got.data(),
+                                out_size * sizeof(float)) == 0
+                  : MaxRelDiff(scalar_ref, got) <= 1e-4;
+    }
+    std::fprintf(stderr, "  [isa] %-18s %-6s %8.4f ms  %5.2fx %s\n",
+                 name.c_str(), res.isa.c_str(), ms, res.speedup_vs_scalar,
+                 res.contract_ok ? "" : "  ** CONTRACT VIOLATION **");
+    out.push_back(std::move(res));
+  }
+}
+
 }  // namespace
 
 int main() {
   const BenchScale scale = GetBenchScale();
-  std::fprintf(stderr, "nn kernel bench: scale=%s d=%d rows=%d reps=%d\n",
-               scale.name.c_str(), scale.d, scale.rows, scale.reps);
+  const t2h::KernelIsaSelection isa_sel = t2h::CurrentKernelIsa();
+  std::fprintf(stderr,
+               "nn kernel bench: scale=%s d=%d rows=%d reps=%d "
+               "isa=%s (detected %s, %s)\n",
+               scale.name.c_str(), scale.d, scale.rows, scale.reps,
+               t2h::KernelIsaName(isa_sel.selected),
+               t2h::KernelIsaName(isa_sel.detected), isa_sel.source.c_str());
+
+  // The naive-vs-kernel section below gates bit-identity against the seed
+  // loops — the SCALAR backend's contract — so pin scalar for all of it;
+  // the per-ISA sweep afterwards re-pins each backend explicitly.
+  t2h::ScopedKernelIsa pin_scalar(t2h::KernelIsa::kScalar);
 
   t2h::Rng rng(1234);
   const int d = scale.d;
@@ -224,9 +310,50 @@ int main() {
         [&](float* out) { kernels::SoftmaxRowsFwd(x.data(), out, rows, d); }));
   }
 
+  // --- Per-ISA backend sweep (collected into BENCH_simd.json): the square
+  // MatMul shapes under every compiled+supported backend, scalar as the
+  // baseline, cross-path contract gated (bitwise for elementwise kernels,
+  // 1e-4 relative for FMA'd reductions).
+  std::vector<IsaSweepResult> sweep;
+  bool contract_ok = true;
+  {
+    const auto a = RandomMatrix(d, d, rng);
+    const auto b = RandomMatrix(d, d, rng);
+    SweepKernel(
+        "matmul_accum", static_cast<size_t>(d) * d, scale.reps, false,
+        [&](float* out) { kernels::MatMulAccum(a.data(), b.data(), out, d, d, d); },
+        sweep);
+    SweepKernel(
+        "matmul_grad_a", static_cast<size_t>(d) * d, scale.reps, false,
+        [&](float* out) { kernels::MatMulGradA(a.data(), b.data(), out, d, d, d); },
+        sweep);
+    SweepKernel(
+        "matmul_grad_b", static_cast<size_t>(d) * d, scale.reps, false,
+        [&](float* out) { kernels::MatMulGradB(a.data(), b.data(), out, d, d, d); },
+        sweep);
+    const size_t vec_n = static_cast<size_t>(d) * d;
+    SweepKernel(
+        "axpy_into", vec_n, scale.reps * 4, true,
+        [&](float* out) {
+          kernels::AxpyInto(out, a.data(), 0.37f, static_cast<int>(vec_n));
+        },
+        sweep);
+    SweepKernel(
+        "mul_into", vec_n, scale.reps * 4, true,
+        [&](float* out) {
+          kernels::MulInto(out, a.data(), b.data(), static_cast<int>(vec_n));
+        },
+        sweep);
+    for (const IsaSweepResult& r : sweep) contract_ok = contract_ok && r.contract_ok;
+  }
+
   bool all_identical = true;
   std::printf("{\n  \"bench\": \"nn_kernels\",\n  \"scale\": \"%s\",\n",
               scale.name.c_str());
+  std::printf("  \"kernel_isa\": {\"detected\": \"%s\", \"selected\": \"%s\", "
+              "\"source\": \"%s\"},\n",
+              t2h::KernelIsaName(isa_sel.detected),
+              t2h::KernelIsaName(isa_sel.selected), isa_sel.source.c_str());
   std::printf("  \"results\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const KernelResult& r = results[i];
@@ -242,11 +369,25 @@ int main() {
                  r.name.c_str(), r.naive_ms, r.kernel_ms, speedup,
                  r.bit_identical ? "" : "  ** MISMATCH **");
   }
-  std::printf("  ],\n  \"all_bit_identical\": %s\n}\n",
-              all_identical ? "true" : "false");
+  std::printf("  ],\n");
+  std::printf("  \"isa_sweep\": [\n");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const IsaSweepResult& r = sweep[i];
+    std::printf("    {\"kernel\": \"%s\", \"isa\": \"%s\", \"ms\": %.5f, "
+                "\"speedup_vs_scalar\": %.2f, \"contract_ok\": %s}%s\n",
+                r.kernel.c_str(), r.isa.c_str(), r.ms, r.speedup_vs_scalar,
+                r.contract_ok ? "true" : "false",
+                i + 1 < sweep.size() ? "," : "");
+  }
+  std::printf("  ],\n  \"all_bit_identical\": %s,\n  \"isa_contract_ok\": %s\n}\n",
+              all_identical ? "true" : "false", contract_ok ? "true" : "false");
 
   if (!all_identical) {
     std::fprintf(stderr, "FAILED: kernel output differs from seed loops\n");
+    return 1;
+  }
+  if (!contract_ok) {
+    std::fprintf(stderr, "FAILED: an ISA backend violates the cross-path contract\n");
     return 1;
   }
   return 0;

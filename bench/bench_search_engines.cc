@@ -14,15 +14,20 @@
 // Output: one JSON object on stdout (collected into BENCH_search.json);
 // human-oriented progress goes to stderr.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/cpu_features.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "search/code.h"
+#include "search/flat_storage.h"
 #include "search/hamming_index.h"
+#include "search/kernels.h"
 #include "search/mih.h"
 #include "search/strategy.h"
 
@@ -116,12 +121,128 @@ struct CaseResult {
 // `sink` defeats dead-code elimination of the timed query loops.
 volatile int sink = 0;
 
+// ---- Per-ISA raw-kernel sweep (DESIGN.md §14, collected into
+// BENCH_simd.json): HammingScan and SquaredL2Scan timed under every
+// compiled+supported backend, exactness-gated against the scalar path.
+
+struct IsaSweepResult {
+  std::string kernel;
+  std::string isa;
+  int n = 0;
+  double ms_per_scan = 0.0;
+  double speedup_vs_scalar = 0.0;
+  bool exact = false;  ///< Hamming: bitwise; L2: 1e-7 relative
+};
+
+std::vector<t2h::KernelIsa> AvailableIsas() {
+  std::vector<t2h::KernelIsa> isas;
+  for (const t2h::KernelIsa isa :
+       {t2h::KernelIsa::kScalar, t2h::KernelIsa::kSse2,
+        t2h::KernelIsa::kAvx2}) {
+    if (t2h::KernelIsaAvailable(isa)) isas.push_back(isa);
+  }
+  return isas;
+}
+
+void SweepHammingScan(const t2h::search::PackedCodes& packed,
+                      const Code& query, int reps,
+                      std::vector<IsaSweepResult>& out) {
+  const int n = packed.size();
+  std::vector<int32_t> scalar_dist(n);
+  double scalar_ms = 0.0;
+  for (const t2h::KernelIsa isa : AvailableIsas()) {
+    t2h::ScopedKernelIsa pin(isa);
+    std::vector<int32_t> dist(n);
+    t2h::search::kernels::HammingScan(packed.data(), query.words.data(), n,
+                                      packed.words_per_code(),
+                                      packed.stride_words(), dist.data());
+    t2h::Stopwatch sw;
+    for (int r = 0; r < reps; ++r) {
+      t2h::search::kernels::HammingScan(packed.data(), query.words.data(), n,
+                                        packed.words_per_code(),
+                                        packed.stride_words(), dist.data());
+      sink = sink + dist[static_cast<size_t>(r) % n];
+    }
+    const double ms = sw.ElapsedSeconds() * 1e3 / reps;
+
+    IsaSweepResult res;
+    res.kernel = "hamming_scan";
+    res.isa = t2h::KernelIsaName(isa);
+    res.n = n;
+    res.ms_per_scan = ms;
+    if (isa == t2h::KernelIsa::kScalar) {
+      scalar_dist = dist;
+      scalar_ms = ms;
+      res.speedup_vs_scalar = 1.0;
+      res.exact = true;
+    } else {
+      res.speedup_vs_scalar = ms > 0.0 ? scalar_ms / ms : 0.0;
+      res.exact = std::memcmp(scalar_dist.data(), dist.data(),
+                              static_cast<size_t>(n) * sizeof(int32_t)) == 0;
+    }
+    std::fprintf(stderr, "  [isa] hamming_scan    %-6s n=%-7d %8.4f ms  %5.2fx %s\n",
+                 res.isa.c_str(), n, ms, res.speedup_vs_scalar,
+                 res.exact ? "" : "  ** MISMATCH **");
+    out.push_back(std::move(res));
+  }
+}
+
+void SweepSquaredL2Scan(const t2h::search::FlatMatrix& db,
+                        const std::vector<float>& query, int reps,
+                        std::vector<IsaSweepResult>& out) {
+  const int n = db.rows();
+  std::vector<double> scalar_sq(n);
+  double scalar_ms = 0.0;
+  for (const t2h::KernelIsa isa : AvailableIsas()) {
+    t2h::ScopedKernelIsa pin(isa);
+    std::vector<double> sq(n);
+    t2h::search::kernels::SquaredL2Scan(db.data(), query.data(), n, db.cols(),
+                                        db.stride(), sq.data());
+    t2h::Stopwatch sw;
+    for (int r = 0; r < reps; ++r) {
+      t2h::search::kernels::SquaredL2Scan(db.data(), query.data(), n,
+                                          db.cols(), db.stride(), sq.data());
+      sink = sink + static_cast<int>(sq[static_cast<size_t>(r) % n]);
+    }
+    const double ms = sw.ElapsedSeconds() * 1e3 / reps;
+
+    IsaSweepResult res;
+    res.kernel = "squared_l2_scan";
+    res.isa = t2h::KernelIsaName(isa);
+    res.n = n;
+    res.ms_per_scan = ms;
+    if (isa == t2h::KernelIsa::kScalar) {
+      scalar_sq = sq;
+      scalar_ms = ms;
+      res.speedup_vs_scalar = 1.0;
+      res.exact = true;
+    } else {
+      res.speedup_vs_scalar = ms > 0.0 ? scalar_ms / ms : 0.0;
+      bool ok = true;
+      for (int i = 0; i < n; ++i) {
+        const double denom = std::max(1.0, std::fabs(scalar_sq[i]));
+        ok = ok && std::fabs(scalar_sq[i] - sq[i]) / denom <= 1e-7;
+      }
+      res.exact = ok;
+    }
+    std::fprintf(stderr, "  [isa] squared_l2_scan %-6s n=%-7d %8.4f ms  %5.2fx %s\n",
+                 res.isa.c_str(), n, ms, res.speedup_vs_scalar,
+                 res.exact ? "" : "  ** CONTRACT VIOLATION **");
+    out.push_back(std::move(res));
+  }
+}
+
 }  // namespace
 
 int main() {
   const BenchScale scale = GetBenchScale();
-  std::fprintf(stderr, "search engine bench: scale=%s queries=%d\n",
-               scale.name.c_str(), scale.num_queries);
+  const t2h::KernelIsaSelection isa_sel = t2h::CurrentKernelIsa();
+  std::fprintf(stderr,
+               "search engine bench: scale=%s queries=%d isa=%s "
+               "(detected %s, %s)\n",
+               scale.name.c_str(), scale.num_queries,
+               t2h::KernelIsaName(isa_sel.selected),
+               t2h::KernelIsaName(isa_sel.detected), isa_sel.source.c_str());
 
   t2h::Rng rng(777);
   std::vector<CaseResult> results;
@@ -179,8 +300,70 @@ int main() {
     }
   }
 
+  // --- Per-ISA raw-kernel sweep + strategy exactness on every backend.
+  std::vector<IsaSweepResult> sweep;
+  std::vector<std::pair<std::string, bool>> strategy_exact_per_isa;
+  {
+    // HammingScan at the acceptance shape: 128-bit codes, the largest db
+    // size this scale sweeps (100k at "small"/"large").
+    const int hn = scale.db_sizes.back();
+    const std::vector<Code> hdb = ClusteredDb(hn, 128, rng);
+    const auto packed = t2h::search::PackedCodes::FromCodes(hdb);
+    const Code hquery = Perturbed(hdb[rng.UniformInt(0, hn - 1)], 2, rng);
+    const int scan_reps = scale.name == "tiny" ? 3 : 30;
+    SweepHammingScan(packed, hquery, scan_reps, sweep);
+
+    // SquaredL2Scan at the embedding re-rank shape (dim 128).
+    const int ln = std::min(hn, 20000);
+    t2h::search::FlatMatrix fdb(128);
+    std::vector<float> lquery(128);
+    {
+      t2h::Rng frng(778);
+      std::vector<float> row(128);
+      for (int i = 0; i < ln; ++i) {
+        for (float& v : row) v = static_cast<float>(frng.Uniform(-1.0, 1.0));
+        fdb.Append(row);
+      }
+      for (float& v : lquery) v = static_cast<float>(frng.Uniform(-1.0, 1.0));
+    }
+    SweepSquaredL2Scan(fdb, lquery, scan_reps, sweep);
+
+    // Every strategy must stay bit-identical to brute force on EVERY
+    // backend, not just the default one.
+    const int sn = std::min(hn, 10000);
+    const std::vector<Code> sdb(hdb.begin(), hdb.begin() + sn);
+    const HammingIndex sindex(sdb);
+    const MihIndex smih(sdb);
+    std::vector<Code> squeries;
+    for (int q = 0; q < std::min(scale.num_queries, 10); ++q) {
+      squeries.push_back(Perturbed(sdb[rng.UniformInt(0, sn - 1)], 2, rng));
+    }
+    for (const t2h::KernelIsa isa : AvailableIsas()) {
+      t2h::ScopedKernelIsa pin(isa);
+      bool exact = true;
+      for (const Code& q : squeries) {
+        const auto expected = sindex.BruteForceTopK(q, 10);
+        exact = exact && SameTopK(sindex.HybridTopK(q, 10), expected) &&
+                SameTopK(smih.TopK(q, 10), expected);
+      }
+      strategy_exact_per_isa.emplace_back(t2h::KernelIsaName(isa), exact);
+      std::fprintf(stderr, "  [isa] strategies      %-6s n=%-7d %s\n",
+                   t2h::KernelIsaName(isa), sn,
+                   exact ? "exact" : "** MISMATCH **");
+    }
+  }
+  bool isa_exact = true;
+  for (const IsaSweepResult& r : sweep) isa_exact = isa_exact && r.exact;
+  for (const auto& [isa, exact] : strategy_exact_per_isa) {
+    isa_exact = isa_exact && exact;
+  }
+
   std::printf("{\n  \"bench\": \"search_engines\",\n  \"scale\": \"%s\",\n",
               scale.name.c_str());
+  std::printf("  \"kernel_isa\": {\"detected\": \"%s\", \"selected\": \"%s\", "
+              "\"source\": \"%s\"},\n",
+              t2h::KernelIsaName(isa_sel.detected),
+              t2h::KernelIsaName(isa_sel.selected), isa_sel.source.c_str());
   std::printf("  \"results\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const CaseResult& r = results[i];
@@ -192,12 +375,35 @@ int main() {
                 r.bit_identical ? "true" : "false",
                 i + 1 < results.size() ? "," : "");
   }
-  std::printf("  ],\n  \"all_bit_identical\": %s\n}\n",
-              all_identical ? "true" : "false");
+  std::printf("  ],\n");
+  std::printf("  \"isa_sweep\": [\n");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const IsaSweepResult& r = sweep[i];
+    std::printf("    {\"kernel\": \"%s\", \"isa\": \"%s\", \"n\": %d, "
+                "\"ms_per_scan\": %.5f, \"speedup_vs_scalar\": %.2f, "
+                "\"exact\": %s}%s\n",
+                r.kernel.c_str(), r.isa.c_str(), r.n, r.ms_per_scan,
+                r.speedup_vs_scalar, r.exact ? "true" : "false",
+                i + 1 < sweep.size() ? "," : "");
+  }
+  std::printf("  ],\n  \"strategy_exact_per_isa\": [\n");
+  for (size_t i = 0; i < strategy_exact_per_isa.size(); ++i) {
+    std::printf("    {\"isa\": \"%s\", \"exact\": %s}%s\n",
+                strategy_exact_per_isa[i].first.c_str(),
+                strategy_exact_per_isa[i].second ? "true" : "false",
+                i + 1 < strategy_exact_per_isa.size() ? "," : "");
+  }
+  std::printf("  ],\n  \"all_bit_identical\": %s,\n  \"isa_exact\": %s\n}\n",
+              all_identical ? "true" : "false", isa_exact ? "true" : "false");
 
   if (!all_identical) {
     std::fprintf(stderr,
                  "FAILED: a strategy differs from BruteForceTopK\n");
+    return 1;
+  }
+  if (!isa_exact) {
+    std::fprintf(stderr,
+                 "FAILED: an ISA backend is inexact vs the scalar path\n");
     return 1;
   }
   return 0;

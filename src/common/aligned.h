@@ -1,0 +1,60 @@
+#ifndef TRAJ2HASH_COMMON_ALIGNED_H_
+#define TRAJ2HASH_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace traj2hash {
+
+/// All SIMD kernel row storage is aligned to this boundary (one AVX2
+/// vector), and row strides are padded to multiples of it, so the widest
+/// backend can use aligned full-vector loads with no scalar tail per row
+/// (DESIGN.md §14).
+inline constexpr std::size_t kKernelRowAlignment = 32;
+
+/// Minimal std::allocator drop-in that over-aligns every allocation.
+/// std::vector growth re-allocates through it, so the buffer stays aligned
+/// for the container's whole life.
+template <typename T, std::size_t Alignment = kKernelRowAlignment>
+class AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "alignment below the type's natural alignment");
+
+ public:
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// Contiguous storage whose data() is kKernelRowAlignment-aligned.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace traj2hash
+
+#endif  // TRAJ2HASH_COMMON_ALIGNED_H_

@@ -1,0 +1,143 @@
+#include "common/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/check.h"
+
+namespace traj2hash {
+namespace {
+
+/// Process-wide selection state. `selected` is the only field kernels read
+/// on the hot path, so it is atomic; `source` changes only under `mu`.
+struct IsaState {
+  KernelIsa detected;
+  std::atomic<int> selected;
+  std::mutex mu;
+  std::string source;
+};
+
+IsaState& State() {
+  // Resolved once, on the first kernel call or CurrentKernelIsa() query.
+  // The env override is part of resolution (not a later mutation) so that
+  // `T2H_KERNEL_ISA=sse2 ctest` pins every kernel in the test process
+  // before any dispatch table is consulted.
+  static IsaState* state = [] {
+    auto* s = new IsaState;
+    s->detected = DetectBestKernelIsa();
+    KernelIsa selected = s->detected;
+    s->source = "detected";
+    if (const char* env = std::getenv("T2H_KERNEL_ISA");
+        env != nullptr && env[0] != '\0') {
+      const Result<KernelIsa> parsed = ParseKernelIsa(env);
+      // An override that cannot be honoured is fatal, not a fallback: a
+      // forced-ISA CI lane must never quietly run a different backend.
+      T2H_CHECK_MSG(parsed.ok(),
+                    "T2H_KERNEL_ISA must be scalar, sse2 or avx2");
+      T2H_CHECK_MSG(KernelIsaAvailable(parsed.value()),
+                    "T2H_KERNEL_ISA names an ISA this CPU/build lacks; "
+                    "refusing to silently fall back");
+      selected = parsed.value();
+      s->source = "env:T2H_KERNEL_ISA";
+    }
+    s->selected.store(static_cast<int>(selected), std::memory_order_relaxed);
+    return s;
+  }();
+  return *state;
+}
+
+}  // namespace
+
+const char* KernelIsaName(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return "scalar";
+    case KernelIsa::kSse2:
+      return "sse2";
+    case KernelIsa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+Result<KernelIsa> ParseKernelIsa(const std::string& name) {
+  if (name == "scalar") return KernelIsa::kScalar;
+  if (name == "sse2") return KernelIsa::kSse2;
+  if (name == "avx2") return KernelIsa::kAvx2;
+  return Status::InvalidArgument("unknown kernel ISA '" + name +
+                                 "' (expected scalar, sse2 or avx2)");
+}
+
+bool KernelIsaAvailable(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return true;
+    case KernelIsa::kSse2:
+#if defined(T2H_HAVE_SSE2_BACKEND)
+      return __builtin_cpu_supports("sse2") != 0;
+#else
+      return false;
+#endif
+    case KernelIsa::kAvx2:
+#if defined(T2H_HAVE_AVX2_BACKEND)
+      // The AVX2 backend TUs also use FMA and POPCNT; every AVX2-era core
+      // (Haswell+/Zen+) has both, but check anyway — dispatch must never
+      // select a path the CPU cannot execute.
+      return __builtin_cpu_supports("avx2") != 0 &&
+             __builtin_cpu_supports("fma") != 0 &&
+             __builtin_cpu_supports("popcnt") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+KernelIsa DetectBestKernelIsa() {
+  if (KernelIsaAvailable(KernelIsa::kAvx2)) return KernelIsa::kAvx2;
+  if (KernelIsaAvailable(KernelIsa::kSse2)) return KernelIsa::kSse2;
+  return KernelIsa::kScalar;
+}
+
+KernelIsaSelection CurrentKernelIsa() {
+  IsaState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return {state.detected,
+          static_cast<KernelIsa>(state.selected.load(std::memory_order_relaxed)),
+          state.source};
+}
+
+Status SetKernelIsa(KernelIsa isa, std::string source) {
+  if (!KernelIsaAvailable(isa)) {
+    return Status::FailedPrecondition(
+        std::string("kernel ISA '") + KernelIsaName(isa) +
+        "' is not available on this CPU/build; refusing to silently fall "
+        "back (available: " + KernelIsaName(DetectBestKernelIsa()) +
+        " and below)");
+  }
+  IsaState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.selected.store(static_cast<int>(isa), std::memory_order_relaxed);
+  state.source = std::move(source);
+  return Status::Ok();
+}
+
+int KernelIsaIndex() {
+  return State().selected.load(std::memory_order_relaxed);
+}
+
+ScopedKernelIsa::ScopedKernelIsa(KernelIsa isa) {
+  const KernelIsaSelection cur = CurrentKernelIsa();
+  prev_ = cur.selected;
+  prev_source_ = cur.source;
+  const Status s = SetKernelIsa(isa, std::string("scoped:") +
+                                         KernelIsaName(isa));
+  T2H_CHECK_MSG(s.ok(), "ScopedKernelIsa: requested ISA unavailable");
+}
+
+ScopedKernelIsa::~ScopedKernelIsa() {
+  (void)SetKernelIsa(prev_, std::move(prev_source_));
+}
+
+}  // namespace traj2hash

@@ -1,0 +1,77 @@
+#ifndef TRAJ2HASH_COMMON_CPU_FEATURES_H_
+#define TRAJ2HASH_COMMON_CPU_FEATURES_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace traj2hash {
+
+/// Kernel instruction-set backends (DESIGN.md §14). Every micro-kernel TU in
+/// `nn::kernels` and `search::kernels` exists in up to three variants; which
+/// one runs is decided ONCE per process from (a) what this binary was
+/// compiled with, (b) what the CPU reports at runtime, and (c) an explicit
+/// override (`T2H_KERNEL_ISA` env var, `--kernel-isa` CLI flag, or
+/// `SetKernelIsa` from tests). Overrides naming an ISA that is unavailable
+/// fail loudly — the dispatcher never silently falls back, so a forced
+/// `T2H_KERNEL_ISA=avx2` run either runs AVX2 kernels or dies telling you
+/// it cannot.
+enum class KernelIsa {
+  kScalar = 0,  ///< strict-order portable loops (the pre-dispatch seed code)
+  kSse2 = 1,    ///< 128-bit vectors, SSE2 instructions only
+  kAvx2 = 2,    ///< 256-bit vectors (AVX2 + FMA + POPCNT)
+};
+inline constexpr int kNumKernelIsas = 3;
+
+/// Lower-case stable name ("scalar" | "sse2" | "avx2").
+const char* KernelIsaName(KernelIsa isa);
+
+/// Inverse of KernelIsaName; kInvalidArgument on anything else.
+Result<KernelIsa> ParseKernelIsa(const std::string& name);
+
+/// True when `isa` was compiled into this binary AND the running CPU
+/// supports it. kScalar is always available.
+bool KernelIsaAvailable(KernelIsa isa);
+
+/// The widest available ISA — what dispatch resolves to without an override.
+KernelIsa DetectBestKernelIsa();
+
+/// How the active ISA was chosen, for self-describing logs and bench JSON.
+struct KernelIsaSelection {
+  KernelIsa detected;   ///< DetectBestKernelIsa() at resolution time
+  KernelIsa selected;   ///< what kernels actually dispatch to
+  std::string source;   ///< "detected", "env:T2H_KERNEL_ISA", "cli:--kernel-isa", ...
+};
+
+/// Snapshot of the current selection (resolves the T2H_KERNEL_ISA override
+/// on first use; a malformed or unavailable env value is a fatal CHECK).
+KernelIsaSelection CurrentKernelIsa();
+
+/// Forces the dispatch target. Fails with kFailedPrecondition when `isa` is
+/// not available — callers must surface that, not downgrade. `source` is
+/// recorded verbatim in CurrentKernelIsa().
+Status SetKernelIsa(KernelIsa isa, std::string source);
+
+/// Hot-path accessor used by the kernel dispatch tables: the selected ISA as
+/// an index into a kNumKernelIsas-sized backend array. One relaxed atomic
+/// load; safe to call concurrently with SetKernelIsa.
+int KernelIsaIndex();
+
+/// RAII pin of the dispatch target for a test/bench scope; restores the
+/// previous selection on destruction. Fatal if `isa` is unavailable — check
+/// KernelIsaAvailable first and skip instead when probing optional paths.
+class ScopedKernelIsa {
+ public:
+  explicit ScopedKernelIsa(KernelIsa isa);
+  ~ScopedKernelIsa();
+  ScopedKernelIsa(const ScopedKernelIsa&) = delete;
+  ScopedKernelIsa& operator=(const ScopedKernelIsa&) = delete;
+
+ private:
+  KernelIsa prev_;
+  std::string prev_source_;
+};
+
+}  // namespace traj2hash
+
+#endif  // TRAJ2HASH_COMMON_CPU_FEATURES_H_

@@ -156,7 +156,8 @@ std::vector<search::Neighbor> LiveIndex::DeltaTopKLocked(
   if (n == 0) return {};
   std::vector<int32_t> dist(n);
   search::kernels::HammingScan(delta_codes_.data(), query.words.data(), n,
-                               delta_codes_.words_per_code(), dist.data());
+                               delta_codes_.words_per_code(),
+                               delta_codes_.stride_words(), dist.data());
   std::vector<int> rows;
   rows.reserve(n - delta_dead_count_);
   for (int i = 0; i < n; ++i) {

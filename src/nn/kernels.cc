@@ -3,85 +3,72 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/cpu_features.h"
+#include "nn/kernels_backend.h"
+
 namespace traj2hash::nn::kernels {
 namespace {
 
-/// Output-column tile width (floats). 128 floats = 512 B, so one C row tile
-/// plus the streaming B rows stay resident in L1 across the k loop while
-/// remaining wide enough to amortise loop overhead at this repo's dims
-/// (d = 16 … 256). Blocking only tiles the j loop; per output element the
-/// k-accumulation order is untouched (see kernels.h determinism contract).
-constexpr int kColTile = 128;
+/// One slot per KernelIsa value; unavailable backends alias the scalar
+/// entry, but dispatch can only reach them if common/cpu_features reported
+/// the ISA available — SetKernelIsa / the env override refuse otherwise, so
+/// the alias is a safety net, never a silent fallback.
+const Backend* const kBackends[kNumKernelIsas] = {
+    &ScalarBackend(),
+#if defined(T2H_HAVE_SSE2_BACKEND)
+    &Sse2Backend(),
+#else
+    &ScalarBackend(),
+#endif
+#if defined(T2H_HAVE_AVX2_BACKEND)
+    &Avx2Backend(),
+#else
+    &ScalarBackend(),
+#endif
+};
+
+inline const Backend& Active() { return *kBackends[KernelIsaIndex()]; }
 
 }  // namespace
 
 void MatMulAccum(const float* a, const float* b, float* c, int n, int k,
                  int m) {
-  for (int j0 = 0; j0 < m; j0 += kColTile) {
-    const int jb = std::min(kColTile, m - j0);
-    for (int i = 0; i < n; ++i) {
-      const float* __restrict arow = a + static_cast<long>(i) * k;
-      float* __restrict crow = c + static_cast<long>(i) * m + j0;
-      for (int kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        const float* __restrict brow = b + static_cast<long>(kk) * m + j0;
-        for (int j = 0; j < jb; ++j) crow[j] += av * brow[j];
-      }
-    }
-  }
+  Active().matmul_accum(a, b, c, n, k, m);
 }
 
 void MatMulGradA(const float* dc, const float* b, float* da, int n, int k,
                  int m) {
-  // dA[i,j] = <dC row i, B row j>: both rows contiguous, ascending c.
-  for (int i = 0; i < n; ++i) {
-    const float* __restrict dcrow = dc + static_cast<long>(i) * m;
-    float* __restrict darow = da + static_cast<long>(i) * k;
-    for (int j = 0; j < k; ++j) {
-      const float* __restrict brow = b + static_cast<long>(j) * m;
-      float acc = 0.0f;
-      for (int c = 0; c < m; ++c) acc += dcrow[c] * brow[c];
-      darow[j] += acc;
-    }
-  }
+  Active().matmul_grad_a(dc, b, da, n, k, m);
 }
 
 void MatMulGradB(const float* a, const float* dc, float* db, int n, int k,
                  int m) {
-  // dB[i,:] += A[r,i] * dC[r,:] for each r: rank-1 updates with contiguous
-  // rows, r ascending so each dB element accumulates in the naive order.
-  for (int r = 0; r < n; ++r) {
-    const float* __restrict arow = a + static_cast<long>(r) * k;
-    const float* __restrict dcrow = dc + static_cast<long>(r) * m;
-    for (int i = 0; i < k; ++i) {
-      const float av = arow[i];
-      float* __restrict dbrow = db + static_cast<long>(i) * m;
-      for (int j = 0; j < m; ++j) dbrow[j] += av * dcrow[j];
-    }
-  }
+  Active().matmul_grad_b(a, dc, db, n, k, m);
 }
 
 void AddInto(float* dst, const float* src, int n) {
-  for (int i = 0; i < n; ++i) dst[i] += src[i];
+  Active().add_into(dst, src, n);
 }
 
 void SubInto(float* dst, const float* src, int n) {
-  for (int i = 0; i < n; ++i) dst[i] -= src[i];
+  Active().sub_into(dst, src, n);
 }
 
 void AxpyInto(float* dst, const float* src, float s, int n) {
-  for (int i = 0; i < n; ++i) dst[i] += s * src[i];
+  Active().axpy_into(dst, src, s, n);
 }
 
 void MulInto(float* dst, const float* a, const float* b, int n) {
-  for (int i = 0; i < n; ++i) dst[i] += a[i] * b[i];
+  Active().mul_into(dst, a, b, n);
 }
 
 float Dot(const float* a, const float* b, int n) {
-  float acc = 0.0f;
-  for (int i = 0; i < n; ++i) acc += a[i] * b[i];
-  return acc;
+  return Active().dot(a, b, n);
 }
+
+// Softmax fwd/bwd are NOT dispatched: row reductions dominated by exp(), so
+// SIMD buys little, and keeping one implementation makes them bit-identical
+// across every ISA selection by construction.
 
 void SoftmaxRowsFwd(const float* x, float* out, int rows, int cols) {
   for (int r = 0; r < rows; ++r) {

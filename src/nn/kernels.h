@@ -5,17 +5,24 @@ namespace traj2hash::nn::kernels {
 
 /// Raw-pointer micro-kernels backing the hot ops in ops.cc.
 ///
-/// Design rules (DESIGN.md §8):
-///  - every inner loop walks contiguous memory with unit stride and no
-///    `at(r, c)` gather, so `-O3` auto-vectorises it;
-///  - matrix products are i-k-j ordered and cache-blocked over output
-///    columns, broadcasting one A element across a contiguous B row;
-///  - per output element, floating-point accumulation order is EXACTLY the
-///    ascending-index order of the naive triple loop, so results are
-///    bit-identical to the reference kernel (and therefore independent of
-///    the blocking parameters). Do not "optimise" a reduction into multiple
-///    accumulators here: that reorders the sum and breaks the repo-wide
-///    determinism contract that training and serving rely on.
+/// Each entry point dispatches to a per-ISA backend (scalar / SSE2 / AVX2)
+/// selected once per process by common/cpu_features — see DESIGN.md §14 and
+/// kernels_backend.h. Determinism contract (DESIGN.md §8 + §14):
+///  - every backend is deterministic: same inputs → bit-identical outputs,
+///    for any blocking, call-site batching, or thread count;
+///  - AddInto/SubInto/AxpyInto/MulInto are bit-identical ACROSS backends
+///    (one mul rounding + one add rounding per element; SIMD paths never
+///    use FMA for these);
+///  - MatMul*/Dot fix a per-backend accumulation order (scalar = the
+///    ascending-index naive order, unchanged from the pre-dispatch seed;
+///    SIMD = lane-parallel chains + a fixed-order horizontal fold), so
+///    results agree across backends to a relative epsilon (~1e-4 at this
+///    repo's dims) but not bitwise;
+///  - SoftmaxRowsFwd/Bwd are not dispatched at all — one implementation,
+///    identical under every ISA selection.
+/// Do not add nondeterministic shortcuts (e.g. data-dependent blocking) to
+/// any backend: per-path reproducibility is what training and serving rely
+/// on.
 ///
 /// All kernels ACCUMULATE into their destination (`+=`), matching autograd
 /// semantics; forward paths pass a zero-initialised destination.

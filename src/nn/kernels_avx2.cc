@@ -1,0 +1,263 @@
+// AVX2 backend for nn::kernels — 256-bit (8-float) vectors with FMA.
+//
+// Determinism (DESIGN.md §14): elementwise ops (AddInto/SubInto/AxpyInto/
+// MulInto) use separate mul + add intrinsics — never FMA — so each element
+// sees exactly one multiply rounding and one add rounding and the results
+// are bit-identical to the scalar backend. The matrix/reduction kernels DO
+// use FMA and lane-parallel accumulators for throughput; each is
+// deterministic for this path (fixed accumulation order, fixed-order
+// horizontal folds, blocking chosen per-element by position only), but
+// agrees with other backends only to a relative epsilon.
+//
+// Compiled with "-O3 -mavx2 -mfma -mpopcnt -ffp-contract=off" (see
+// src/nn/CMakeLists.txt); contraction is off so the ONLY fused operations
+// are the explicit _mm256_fmadd_ps calls below — scalar tails keep the
+// mul+add rounding the contract promises.
+
+#include <immintrin.h>
+
+#include "nn/kernels_backend.h"
+
+namespace traj2hash::nn::kernels {
+namespace avx2 {
+namespace {
+
+/// Fixed-order fold of the 8 accumulator lanes:
+/// (((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))) — the one documented order for
+/// this backend.
+inline float Hsum256(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  const __m128 s4 = _mm_add_ps(lo, hi);          // {l0+l4, l1+l5, l2+l6, l3+l7}
+  const __m128 s2 = _mm_add_ps(s4, _mm_movehl_ps(s4, s4));
+  return _mm_cvtss_f32(_mm_add_ss(s2, _mm_shuffle_ps(s2, s2, 0x1)));
+}
+
+/// 4-row × 16-column register-blocked micro-kernel: 8 ymm accumulators stay
+/// resident while A is broadcast and B streamed. Each C element accumulates
+/// ascending-k in a single fmadd chain seeded from C, so the result is
+/// independent of how callers batch rows.
+inline void Micro4x16(const float* a, const float* b, float* c, int k, int m,
+                      long i0, int j0) {
+  const float* a0 = a + (i0 + 0) * k;
+  const float* a1 = a + (i0 + 1) * k;
+  const float* a2 = a + (i0 + 2) * k;
+  const float* a3 = a + (i0 + 3) * k;
+  float* c0 = c + (i0 + 0) * m + j0;
+  float* c1 = c + (i0 + 1) * m + j0;
+  float* c2 = c + (i0 + 2) * m + j0;
+  float* c3 = c + (i0 + 3) * m + j0;
+  __m256 acc00 = _mm256_loadu_ps(c0), acc01 = _mm256_loadu_ps(c0 + 8);
+  __m256 acc10 = _mm256_loadu_ps(c1), acc11 = _mm256_loadu_ps(c1 + 8);
+  __m256 acc20 = _mm256_loadu_ps(c2), acc21 = _mm256_loadu_ps(c2 + 8);
+  __m256 acc30 = _mm256_loadu_ps(c3), acc31 = _mm256_loadu_ps(c3 + 8);
+  for (int kk = 0; kk < k; ++kk) {
+    const float* brow = b + static_cast<long>(kk) * m + j0;
+    const __m256 b0 = _mm256_loadu_ps(brow);
+    const __m256 b1 = _mm256_loadu_ps(brow + 8);
+    __m256 av = _mm256_set1_ps(a0[kk]);
+    acc00 = _mm256_fmadd_ps(av, b0, acc00);
+    acc01 = _mm256_fmadd_ps(av, b1, acc01);
+    av = _mm256_set1_ps(a1[kk]);
+    acc10 = _mm256_fmadd_ps(av, b0, acc10);
+    acc11 = _mm256_fmadd_ps(av, b1, acc11);
+    av = _mm256_set1_ps(a2[kk]);
+    acc20 = _mm256_fmadd_ps(av, b0, acc20);
+    acc21 = _mm256_fmadd_ps(av, b1, acc21);
+    av = _mm256_set1_ps(a3[kk]);
+    acc30 = _mm256_fmadd_ps(av, b0, acc30);
+    acc31 = _mm256_fmadd_ps(av, b1, acc31);
+  }
+  _mm256_storeu_ps(c0, acc00);
+  _mm256_storeu_ps(c0 + 8, acc01);
+  _mm256_storeu_ps(c1, acc10);
+  _mm256_storeu_ps(c1 + 8, acc11);
+  _mm256_storeu_ps(c2, acc20);
+  _mm256_storeu_ps(c2 + 8, acc21);
+  _mm256_storeu_ps(c3, acc30);
+  _mm256_storeu_ps(c3 + 8, acc31);
+}
+
+/// One-row fallback for row/column tails; same per-element chain shape.
+inline void Row1(const float* arow, const float* b, float* crow, int k, int m,
+                 int j0) {
+  int j = j0;
+  for (; j + 8 <= m; j += 8) {
+    __m256 acc = _mm256_loadu_ps(crow + j);
+    for (int kk = 0; kk < k; ++kk) {
+      acc = _mm256_fmadd_ps(_mm256_set1_ps(arow[kk]),
+                            _mm256_loadu_ps(b + static_cast<long>(kk) * m + j),
+                            acc);
+    }
+    _mm256_storeu_ps(crow + j, acc);
+  }
+  for (; j < m; ++j) {
+    float acc = crow[j];
+    for (int kk = 0; kk < k; ++kk)
+      acc += arow[kk] * b[static_cast<long>(kk) * m + j];
+    crow[j] = acc;
+  }
+}
+
+void MatMulAccum(const float* a, const float* b, float* c, int n, int k,
+                 int m) {
+  const int n4 = n & ~3;
+  const int m16 = m & ~15;
+  for (long i0 = 0; i0 < n4; i0 += 4) {
+    for (int j0 = 0; j0 < m16; j0 += 16) Micro4x16(a, b, c, k, m, i0, j0);
+    if (m16 < m) {
+      for (long i = i0; i < i0 + 4; ++i)
+        Row1(a + i * k, b, c + i * m, k, m, m16);
+    }
+  }
+  for (long i = n4; i < n; ++i) Row1(a + i * k, b, c + i * m, k, m, 0);
+}
+
+void MatMulGradA(const float* dc, const float* b, float* da, int n, int k,
+                 int m) {
+  const int m8 = m & ~7;
+  for (int i = 0; i < n; ++i) {
+    const float* __restrict dcrow = dc + static_cast<long>(i) * m;
+    float* __restrict darow = da + static_cast<long>(i) * k;
+    for (int j = 0; j < k; ++j) {
+      const float* __restrict brow = b + static_cast<long>(j) * m;
+      __m256 vacc = _mm256_setzero_ps();
+      for (int c = 0; c < m8; c += 8) {
+        vacc = _mm256_fmadd_ps(_mm256_loadu_ps(dcrow + c),
+                               _mm256_loadu_ps(brow + c), vacc);
+      }
+      float acc = Hsum256(vacc);
+      for (int c = m8; c < m; ++c) acc += dcrow[c] * brow[c];
+      darow[j] += acc;
+    }
+  }
+}
+
+void MatMulGradB(const float* a, const float* dc, float* db, int n, int k,
+                 int m) {
+  // Register-block 4 dB rows × 16 columns: 8 resident accumulators give 8
+  // INDEPENDENT fmadd chains per r step (a single chain per output block
+  // serializes on the ~4-cycle FMA latency and loses to the scalar rank-1
+  // loop). Per element the r-chain is still seeded from dB and ascends
+  // exactly like the scalar loop, so blocking cannot change any result.
+  const int m8 = m & ~7;
+  const int m16 = m & ~15;
+  const int k4 = k & ~3;
+  for (int i0 = 0; i0 < k4; i0 += 4) {
+    float* __restrict db0 = db + static_cast<long>(i0 + 0) * m;
+    float* __restrict db1 = db + static_cast<long>(i0 + 1) * m;
+    float* __restrict db2 = db + static_cast<long>(i0 + 2) * m;
+    float* __restrict db3 = db + static_cast<long>(i0 + 3) * m;
+    for (int j0 = 0; j0 < m16; j0 += 16) {
+      __m256 a00 = _mm256_loadu_ps(db0 + j0), a01 = _mm256_loadu_ps(db0 + j0 + 8);
+      __m256 a10 = _mm256_loadu_ps(db1 + j0), a11 = _mm256_loadu_ps(db1 + j0 + 8);
+      __m256 a20 = _mm256_loadu_ps(db2 + j0), a21 = _mm256_loadu_ps(db2 + j0 + 8);
+      __m256 a30 = _mm256_loadu_ps(db3 + j0), a31 = _mm256_loadu_ps(db3 + j0 + 8);
+      for (int r = 0; r < n; ++r) {
+        const float* arow = a + static_cast<long>(r) * k + i0;
+        const float* dcrow = dc + static_cast<long>(r) * m + j0;
+        const __m256 d0 = _mm256_loadu_ps(dcrow);
+        const __m256 d1 = _mm256_loadu_ps(dcrow + 8);
+        __m256 av = _mm256_set1_ps(arow[0]);
+        a00 = _mm256_fmadd_ps(av, d0, a00);
+        a01 = _mm256_fmadd_ps(av, d1, a01);
+        av = _mm256_set1_ps(arow[1]);
+        a10 = _mm256_fmadd_ps(av, d0, a10);
+        a11 = _mm256_fmadd_ps(av, d1, a11);
+        av = _mm256_set1_ps(arow[2]);
+        a20 = _mm256_fmadd_ps(av, d0, a20);
+        a21 = _mm256_fmadd_ps(av, d1, a21);
+        av = _mm256_set1_ps(arow[3]);
+        a30 = _mm256_fmadd_ps(av, d0, a30);
+        a31 = _mm256_fmadd_ps(av, d1, a31);
+      }
+      _mm256_storeu_ps(db0 + j0, a00); _mm256_storeu_ps(db0 + j0 + 8, a01);
+      _mm256_storeu_ps(db1 + j0, a10); _mm256_storeu_ps(db1 + j0 + 8, a11);
+      _mm256_storeu_ps(db2 + j0, a20); _mm256_storeu_ps(db2 + j0 + 8, a21);
+      _mm256_storeu_ps(db3 + j0, a30); _mm256_storeu_ps(db3 + j0 + 8, a31);
+    }
+  }
+  // Leftover dB rows (k % 4) over the 16-wide columns, plus the 8-wide and
+  // scalar column tails for every row.
+  for (int i = 0; i < k; ++i) {
+    float* __restrict dbrow = db + static_cast<long>(i) * m;
+    const int jstart = i < k4 ? m16 : 0;
+    for (int j0 = jstart; j0 < m8; j0 += 8) {
+      __m256 acc = _mm256_loadu_ps(dbrow + j0);
+      for (int r = 0; r < n; ++r) {
+        acc = _mm256_fmadd_ps(
+            _mm256_set1_ps(a[static_cast<long>(r) * k + i]),
+            _mm256_loadu_ps(dc + static_cast<long>(r) * m + j0), acc);
+      }
+      _mm256_storeu_ps(dbrow + j0, acc);
+    }
+    for (int j = m8; j < m; ++j) {
+      float acc = dbrow[j];
+      for (int r = 0; r < n; ++r)
+        acc += a[static_cast<long>(r) * k + i] * dc[static_cast<long>(r) * m + j];
+      dbrow[j] = acc;
+    }
+  }
+}
+
+void AddInto(float* dst, const float* src, int n) {
+  const int n8 = n & ~7;
+  for (int i = 0; i < n8; i += 8)
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_loadu_ps(dst + i),
+                                            _mm256_loadu_ps(src + i)));
+  for (int i = n8; i < n; ++i) dst[i] += src[i];
+}
+
+void SubInto(float* dst, const float* src, int n) {
+  const int n8 = n & ~7;
+  for (int i = 0; i < n8; i += 8)
+    _mm256_storeu_ps(dst + i, _mm256_sub_ps(_mm256_loadu_ps(dst + i),
+                                            _mm256_loadu_ps(src + i)));
+  for (int i = n8; i < n; ++i) dst[i] -= src[i];
+}
+
+void AxpyInto(float* dst, const float* src, float s, int n) {
+  // mul + add, NOT fmadd: one rounding per step, bit-identical to scalar.
+  const __m256 sv = _mm256_set1_ps(s);
+  const int n8 = n & ~7;
+  for (int i = 0; i < n8; i += 8)
+    _mm256_storeu_ps(dst + i,
+                     _mm256_add_ps(_mm256_loadu_ps(dst + i),
+                                   _mm256_mul_ps(sv, _mm256_loadu_ps(src + i))));
+  for (int i = n8; i < n; ++i) dst[i] += s * src[i];
+}
+
+void MulInto(float* dst, const float* a, const float* b, int n) {
+  const int n8 = n & ~7;
+  for (int i = 0; i < n8; i += 8)
+    _mm256_storeu_ps(dst + i,
+                     _mm256_add_ps(_mm256_loadu_ps(dst + i),
+                                   _mm256_mul_ps(_mm256_loadu_ps(a + i),
+                                                 _mm256_loadu_ps(b + i))));
+  for (int i = n8; i < n; ++i) dst[i] += a[i] * b[i];
+}
+
+float Dot(const float* a, const float* b, int n) {
+  const int n8 = n & ~7;
+  __m256 vacc = _mm256_setzero_ps();
+  for (int i = 0; i < n8; i += 8)
+    vacc = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           vacc);
+  float acc = Hsum256(vacc);
+  for (int i = n8; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace
+}  // namespace avx2
+
+const Backend& Avx2Backend() {
+  static const Backend backend = {
+      avx2::MatMulAccum, avx2::MatMulGradA, avx2::MatMulGradB,
+      avx2::AddInto,     avx2::SubInto,     avx2::AxpyInto,
+      avx2::MulInto,     avx2::Dot,
+  };
+  return backend;
+}
+
+}  // namespace traj2hash::nn::kernels

@@ -1,0 +1,49 @@
+#ifndef TRAJ2HASH_NN_KERNELS_BACKEND_H_
+#define TRAJ2HASH_NN_KERNELS_BACKEND_H_
+
+/// Internal per-ISA backend table for nn::kernels (DESIGN.md §14). Each
+/// backend lives in its own TU (`kernels_scalar.cc`, `kernels_sse2.cc`,
+/// `kernels_avx2.cc`) compiled with exactly that ISA's flags; `kernels.cc`
+/// resolves the active backend through common/cpu_features. Nothing outside
+/// src/nn includes this header.
+///
+/// Contract (enforced by tests/nn/kernels_isa_test.cc):
+///  - Every backend is deterministic: same inputs → bit-identical outputs,
+///    independent of blocking, for any call site or thread count.
+///  - AddInto/SubInto/AxpyInto/MulInto are bit-identical ACROSS backends
+///    (one rounding per element; SIMD backends use separate mul + add, never
+///    FMA, to preserve this).
+///  - MatMul*/Dot are reductions: each backend fixes its own accumulation
+///    order (scalar = ascending index; SIMD = per-lane chains + documented
+///    fixed-order horizontal fold), so results agree across backends only to
+///    a relative epsilon (~1e-4 at this repo's dims), not bitwise.
+
+namespace traj2hash::nn::kernels {
+
+struct Backend {
+  void (*matmul_accum)(const float* a, const float* b, float* c, int n,
+                       int k, int m);
+  void (*matmul_grad_a)(const float* dc, const float* b, float* da, int n,
+                        int k, int m);
+  void (*matmul_grad_b)(const float* a, const float* dc, float* db, int n,
+                        int k, int m);
+  void (*add_into)(float* dst, const float* src, int n);
+  void (*sub_into)(float* dst, const float* src, int n);
+  void (*axpy_into)(float* dst, const float* src, float s, int n);
+  void (*mul_into)(float* dst, const float* a, const float* b, int n);
+  float (*dot)(const float* a, const float* b, int n);
+};
+
+/// Strict ascending-order loops — bit-identical to the pre-dispatch seed.
+const Backend& ScalarBackend();
+
+#if defined(T2H_HAVE_SSE2_BACKEND)
+const Backend& Sse2Backend();
+#endif
+#if defined(T2H_HAVE_AVX2_BACKEND)
+const Backend& Avx2Backend();
+#endif
+
+}  // namespace traj2hash::nn::kernels
+
+#endif  // TRAJ2HASH_NN_KERNELS_BACKEND_H_

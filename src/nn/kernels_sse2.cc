@@ -1,0 +1,118 @@
+// SSE2 backend for nn::kernels — 128-bit (4-float) vectors, no FMA.
+//
+// Determinism (DESIGN.md §14): elementwise ops vectorise across independent
+// elements with separate mul + add, so they are bit-identical to the scalar
+// backend. MatMulAccum / MatMulGradB DELEGATE to the scalar backend
+// outright: SSE2 is the x86-64 baseline, so the scalar TU's autovectorised
+// k-outer streaming form already IS optimal 128-bit code, and a hand-rolled
+// j-blocked version that preserves the scalar per-element accumulation
+// order serializes on a single add chain and measures ~0.5x (bench_nn_
+// kernels isa_sweep). MatMulGradA / Dot reduce along the contiguous axis
+// with a 4-lane accumulator and a fixed-order horizontal fold, so they are
+// deterministic for this path but NOT bitwise equal to the scalar
+// reduction order.
+//
+// Compiled with "-O3 -msse2 -ffp-contract=off" (see src/nn/CMakeLists.txt);
+// contraction is disabled so no mul+add pair can silently fuse.
+
+#include <emmintrin.h>
+
+#include "nn/kernels_backend.h"
+
+namespace traj2hash::nn::kernels {
+namespace sse2 {
+namespace {
+
+/// Fixed-order fold of the 4 accumulator lanes:
+/// ((l0 + l2) + (l1 + l3)) — the one documented order for this backend.
+inline float Hsum128(__m128 v) {
+  const __m128 hi = _mm_movehl_ps(v, v);         // {l2, l3, l2, l3}
+  const __m128 s = _mm_add_ps(v, hi);            // {l0+l2, l1+l3, ..}
+  const __m128 sh = _mm_shuffle_ps(s, s, 0x1);   // {l1+l3, ..}
+  return _mm_cvtss_f32(_mm_add_ss(s, sh));
+}
+
+void MatMulGradA(const float* dc, const float* b, float* da, int n, int k,
+                 int m) {
+  const int m4 = m & ~3;
+  for (int i = 0; i < n; ++i) {
+    const float* __restrict dcrow = dc + static_cast<long>(i) * m;
+    float* __restrict darow = da + static_cast<long>(i) * k;
+    for (int j = 0; j < k; ++j) {
+      const float* __restrict brow = b + static_cast<long>(j) * m;
+      __m128 vacc = _mm_setzero_ps();
+      for (int c = 0; c < m4; c += 4) {
+        vacc = _mm_add_ps(
+            vacc, _mm_mul_ps(_mm_loadu_ps(dcrow + c), _mm_loadu_ps(brow + c)));
+      }
+      float acc = Hsum128(vacc);
+      for (int c = m4; c < m; ++c) acc += dcrow[c] * brow[c];
+      darow[j] += acc;
+    }
+  }
+}
+
+void AddInto(float* dst, const float* src, int n) {
+  const int n4 = n & ~3;
+  for (int i = 0; i < n4; i += 4)
+    _mm_storeu_ps(dst + i, _mm_add_ps(_mm_loadu_ps(dst + i),
+                                      _mm_loadu_ps(src + i)));
+  for (int i = n4; i < n; ++i) dst[i] += src[i];
+}
+
+void SubInto(float* dst, const float* src, int n) {
+  const int n4 = n & ~3;
+  for (int i = 0; i < n4; i += 4)
+    _mm_storeu_ps(dst + i, _mm_sub_ps(_mm_loadu_ps(dst + i),
+                                      _mm_loadu_ps(src + i)));
+  for (int i = n4; i < n; ++i) dst[i] -= src[i];
+}
+
+void AxpyInto(float* dst, const float* src, float s, int n) {
+  const __m128 sv = _mm_set1_ps(s);
+  const int n4 = n & ~3;
+  for (int i = 0; i < n4; i += 4)
+    _mm_storeu_ps(dst + i,
+                  _mm_add_ps(_mm_loadu_ps(dst + i),
+                             _mm_mul_ps(sv, _mm_loadu_ps(src + i))));
+  for (int i = n4; i < n; ++i) dst[i] += s * src[i];
+}
+
+void MulInto(float* dst, const float* a, const float* b, int n) {
+  const int n4 = n & ~3;
+  for (int i = 0; i < n4; i += 4)
+    _mm_storeu_ps(dst + i,
+                  _mm_add_ps(_mm_loadu_ps(dst + i),
+                             _mm_mul_ps(_mm_loadu_ps(a + i),
+                                        _mm_loadu_ps(b + i))));
+  for (int i = n4; i < n; ++i) dst[i] += a[i] * b[i];
+}
+
+float Dot(const float* a, const float* b, int n) {
+  const int n4 = n & ~3;
+  __m128 vacc = _mm_setzero_ps();
+  for (int i = 0; i < n4; i += 4)
+    vacc = _mm_add_ps(vacc,
+                      _mm_mul_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i)));
+  float acc = Hsum128(vacc);
+  for (int i = n4; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace
+}  // namespace sse2
+
+const Backend& Sse2Backend() {
+  static const Backend backend = {
+      // Delegated: the scalar TU's autovectorised form is the optimal
+      // SSE2 code for these two (see the header comment).
+      ScalarBackend().matmul_accum,
+      sse2::MatMulGradA,
+      ScalarBackend().matmul_grad_b,
+      sse2::AddInto,     sse2::SubInto,     sse2::AxpyInto,
+      sse2::MulInto,     sse2::Dot,
+  };
+  return backend;
+}
+
+}  // namespace traj2hash::nn::kernels

@@ -3,9 +3,23 @@
 #include "common/check.h"
 
 namespace traj2hash::search {
+namespace {
+
+/// Round `v` up to a multiple of `m` (power-of-two row padding).
+int RoundUp(int v, int m) { return (v + m - 1) / m * m; }
+
+/// 32 B of padding granularity in each element type.
+constexpr int kWordsPerRowBlock =
+    static_cast<int>(kKernelRowAlignment / sizeof(uint64_t));  // 4
+constexpr int kFloatsPerRowBlock =
+    static_cast<int>(kKernelRowAlignment / sizeof(float));  // 8
+
+}  // namespace
 
 PackedCodes::PackedCodes(int num_bits)
-    : num_bits_(num_bits), words_per_code_((num_bits + 63) / 64) {
+    : num_bits_(num_bits),
+      words_per_code_((num_bits + 63) / 64),
+      stride_words_(RoundUp((num_bits + 63) / 64, kWordsPerRowBlock)) {
   T2H_CHECK_GT(num_bits, 0);
 }
 
@@ -13,7 +27,7 @@ PackedCodes PackedCodes::FromCodes(const std::vector<Code>& codes) {
   T2H_CHECK_MSG(!codes.empty(),
                 "use PackedCodes(int num_bits) to start empty");
   PackedCodes packed(codes[0].num_bits);
-  packed.words_.reserve(codes.size() * packed.words_per_code_);
+  packed.words_.reserve(codes.size() * packed.stride_words_);
   for (const Code& code : codes) packed.Append(code);
   return packed;
 }
@@ -22,6 +36,9 @@ int PackedCodes::Append(const Code& code) {
   T2H_CHECK_EQ(code.num_bits, num_bits_);
   T2H_CHECK_EQ(static_cast<int>(code.words.size()), words_per_code_);
   words_.insert(words_.end(), code.words.begin(), code.words.end());
+  // Zero-filled stride padding: the SIMD fast paths fold whole 32 B blocks
+  // and rely on padding XORing/diffing to nothing (flat_storage.h contract).
+  words_.resize(words_.size() + (stride_words_ - words_per_code_), 0);
   return num_codes_++;
 }
 
@@ -33,12 +50,15 @@ Code PackedCodes::CodeAt(int i) const {
   return code;
 }
 
-FlatMatrix::FlatMatrix(int cols) : cols_(cols) { T2H_CHECK_GT(cols, 0); }
+FlatMatrix::FlatMatrix(int cols)
+    : cols_(cols), stride_(RoundUp(cols, kFloatsPerRowBlock)) {
+  T2H_CHECK_GT(cols, 0);
+}
 
 FlatMatrix FlatMatrix::FromRows(const std::vector<std::vector<float>>& rows,
                                 int cols) {
   FlatMatrix m(cols);
-  m.data_.reserve(rows.size() * static_cast<size_t>(cols));
+  m.data_.reserve(rows.size() * static_cast<size_t>(m.stride_));
   for (const std::vector<float>& row : rows) m.Append(row);
   return m;
 }
@@ -46,6 +66,7 @@ FlatMatrix FlatMatrix::FromRows(const std::vector<std::vector<float>>& rows,
 int FlatMatrix::Append(const std::vector<float>& row) {
   T2H_CHECK_EQ(static_cast<int>(row.size()), cols_);
   data_.insert(data_.end(), row.begin(), row.end());
+  data_.resize(data_.size() + (stride_ - cols_), 0.0f);
   return num_rows_++;
 }
 

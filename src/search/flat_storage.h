@@ -1,19 +1,26 @@
 #ifndef TRAJ2HASH_SEARCH_FLAT_STORAGE_H_
 #define TRAJ2HASH_SEARCH_FLAT_STORAGE_H_
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.h"
 #include "search/code.h"
 
 namespace traj2hash::search {
 
-/// Contiguous row-major storage for equal-width binary codes: row i occupies
-/// words [i*words_per_code, (i+1)*words_per_code). Replaces `vector<Code>`
-/// (one heap allocation + pointer chase per code) on every scan path, so the
-/// blocked kernels in search/kernels.h stream the whole database with unit
-/// stride.
+/// Contiguous row-major storage for equal-width binary codes. Replaces
+/// `vector<Code>` (one heap allocation + pointer chase per code) on every
+/// scan path, so the blocked kernels in search/kernels.h stream the whole
+/// database with unit stride.
+///
+/// SIMD layout contract (DESIGN.md §14): the buffer is 32-byte aligned and
+/// each row starts stride_words() words apart, with stride padded to a
+/// multiple of 4 words (32 B) and padding words zero-filled — so every row
+/// is itself 32-byte aligned and the AVX2 Hamming fast path can fold whole
+/// 256-bit blocks (padding XORs to zero).
 class PackedCodes {
  public:
   /// Empty storage for `num_bits`-bit codes (cold start, grows via Append).
@@ -25,31 +32,40 @@ class PackedCodes {
   /// Appends one code (width-checked); returns its row id.
   int Append(const Code& code);
 
-  /// First word of row `i`; the row is `words_per_code()` contiguous words.
+  /// First word of row `i`; the row is `words_per_code()` meaningful words
+  /// followed by zero padding up to `stride_words()`.
   const uint64_t* row(int i) const {
-    return words_.data() + static_cast<size_t>(i) * words_per_code_;
+    const uint64_t* r = words_.data() + static_cast<size_t>(i) * stride_words_;
+    assert((reinterpret_cast<uintptr_t>(r) & (kKernelRowAlignment - 1)) == 0);
+    return r;
   }
 
   /// Materialises row `i` back into an owning Code (off the hot path).
   Code CodeAt(int i) const;
 
-  /// All rows, contiguous (size() * words_per_code() words).
+  /// All rows, contiguous at stride_words() (size() * stride_words() words).
   const uint64_t* data() const { return words_.data(); }
 
   int size() const { return num_codes_; }
   int num_bits() const { return num_bits_; }
   int words_per_code() const { return words_per_code_; }
+  /// Words between consecutive row starts (words_per_code padded to 4).
+  int stride_words() const { return stride_words_; }
 
  private:
   int num_bits_ = 0;
   int words_per_code_ = 0;
+  int stride_words_ = 0;
   int num_codes_ = 0;
-  std::vector<uint64_t> words_;
+  AlignedVector<uint64_t> words_;
 };
 
 /// Contiguous row-major float matrix for embedding databases: the flat
 /// counterpart of `vector<vector<float>>`, sized once per row append so the
 /// squared-L2 scan kernel reads one dense block.
+///
+/// Same SIMD layout contract as PackedCodes: 32-byte-aligned buffer, row
+/// stride padded to a multiple of 8 floats (32 B), padding zero-filled.
 class FlatMatrix {
  public:
   /// Empty matrix with `cols` columns (grows via Append).
@@ -64,7 +80,9 @@ class FlatMatrix {
   int Append(const std::vector<float>& row);
 
   const float* row(int i) const {
-    return data_.data() + static_cast<size_t>(i) * cols_;
+    const float* r = data_.data() + static_cast<size_t>(i) * stride_;
+    assert((reinterpret_cast<uintptr_t>(r) & (kKernelRowAlignment - 1)) == 0);
+    return r;
   }
 
   /// Copies row `i` back out (accessors / tests, not the scan path).
@@ -73,11 +91,14 @@ class FlatMatrix {
   const float* data() const { return data_.data(); }
   int rows() const { return num_rows_; }
   int cols() const { return cols_; }
+  /// Floats between consecutive row starts (cols padded to 8).
+  int stride() const { return stride_; }
 
  private:
   int cols_ = 0;
+  int stride_ = 0;
   int num_rows_ = 0;
-  std::vector<float> data_;
+  AlignedVector<float> data_;
 };
 
 }  // namespace traj2hash::search

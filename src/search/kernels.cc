@@ -1,101 +1,46 @@
 #include "search/kernels.h"
 
-#include <bit>
+#include "common/cpu_features.h"
+#include "search/kernels_backend.h"
 
 namespace traj2hash::search::kernels {
 namespace {
 
-/// Fixed-width scan: `W` words per row known at compile time, so the popcount
-/// reduction fully unrolls and the row pointer advances by a constant.
-template <int W>
-void HammingScanFixed(const uint64_t* __restrict db,
-                      const uint64_t* __restrict query, int n,
-                      int32_t* __restrict out) {
-  for (int i = 0; i < n; ++i) {
-    const uint64_t* __restrict row = db + static_cast<long>(i) * W;
-    int32_t dist = 0;
-    for (int w = 0; w < W; ++w) dist += std::popcount(row[w] ^ query[w]);
-    out[i] = dist;
-  }
-}
+/// One slot per KernelIsa value; unavailable backends alias the scalar
+/// entry, but dispatch can only reach them if common/cpu_features reported
+/// the ISA available — SetKernelIsa / the env override refuse otherwise, so
+/// the alias is a safety net, never a silent fallback.
+const Backend* const kBackends[kNumKernelIsas] = {
+    &ScalarBackend(),
+#if defined(T2H_HAVE_SSE2_BACKEND)
+    &Sse2Backend(),
+#else
+    &ScalarBackend(),
+#endif
+#if defined(T2H_HAVE_AVX2_BACKEND)
+    &Avx2Backend(),
+#else
+    &ScalarBackend(),
+#endif
+};
+
+inline const Backend& Active() { return *kBackends[KernelIsaIndex()]; }
 
 }  // namespace
 
 void HammingScan(const uint64_t* db, const uint64_t* query, int n,
-                 int words_per_code, int32_t* out) {
-  switch (words_per_code) {
-    case 1:
-      HammingScanFixed<1>(db, query, n, out);
-      return;
-    case 2:
-      HammingScanFixed<2>(db, query, n, out);
-      return;
-    case 3:
-      HammingScanFixed<3>(db, query, n, out);
-      return;
-    case 4:
-      HammingScanFixed<4>(db, query, n, out);
-      return;
-    default:
-      break;
-  }
-  for (int i = 0; i < n; ++i) {
-    const uint64_t* __restrict row =
-        db + static_cast<long>(i) * words_per_code;
-    int32_t dist = 0;
-    for (int w = 0; w < words_per_code; ++w) {
-      dist += std::popcount(row[w] ^ query[w]);
-    }
-    out[i] = dist;
-  }
+                 int words_per_code, int stride_words, int32_t* out) {
+  Active().hamming_scan(db, query, n, words_per_code, stride_words, out);
 }
 
 int HammingDistanceRow(const uint64_t* a, const uint64_t* b,
                        int words_per_code) {
-  int dist = 0;
-  for (int w = 0; w < words_per_code; ++w) {
-    dist += std::popcount(a[w] ^ b[w]);
-  }
-  return dist;
+  return Active().hamming_distance_row(a, b, words_per_code);
 }
 
 void SquaredL2Scan(const float* db, const float* query, int n, int dim,
-                   double* out) {
-  int i = 0;
-  // 4-row blocks: four independent accumulator chains let the compiler keep
-  // the query row register-resident and overlap the (strictly ordered)
-  // per-row double adds across rows.
-  for (; i + 4 <= n; i += 4) {
-    const float* __restrict r0 = db + static_cast<long>(i) * dim;
-    const float* __restrict r1 = r0 + dim;
-    const float* __restrict r2 = r1 + dim;
-    const float* __restrict r3 = r2 + dim;
-    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-    for (int j = 0; j < dim; ++j) {
-      const double q = query[j];
-      const double d0 = static_cast<double>(r0[j]) - q;
-      const double d1 = static_cast<double>(r1[j]) - q;
-      const double d2 = static_cast<double>(r2[j]) - q;
-      const double d3 = static_cast<double>(r3[j]) - q;
-      a0 += d0 * d0;
-      a1 += d1 * d1;
-      a2 += d2 * d2;
-      a3 += d3 * d3;
-    }
-    out[i] = a0;
-    out[i + 1] = a1;
-    out[i + 2] = a2;
-    out[i + 3] = a3;
-  }
-  for (; i < n; ++i) {
-    const float* __restrict row = db + static_cast<long>(i) * dim;
-    double acc = 0.0;
-    for (int j = 0; j < dim; ++j) {
-      const double diff = static_cast<double>(row[j]) - query[j];
-      acc += diff * diff;
-    }
-    out[i] = acc;
-  }
+                   int stride, double* out) {
+  Active().squared_l2_scan(db, query, n, dim, stride, out);
 }
 
 }  // namespace traj2hash::search::kernels

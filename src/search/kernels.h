@@ -6,30 +6,38 @@
 namespace traj2hash::search::kernels {
 
 /// Raw-pointer scan micro-kernels backing the flat search paths
-/// (knn.cc, hamming_index.cc, mih.cc). Same design rules as nn::kernels
-/// (DESIGN.md §8/§9): contiguous unit-stride inner loops over `__restrict`
-/// pointers, compiled -O3 in this TU only, and a determinism contract —
-/// Hamming distances are exact integer popcount sums (order-free), while the
-/// squared-L2 scan keeps ONE double accumulator per row folded in ascending
-/// column order, so `TopKEuclidean` stays bit-identical to the seed's
-/// per-row scalar loop for any row blocking.
+/// (knn.cc, hamming_index.cc, mih.cc, live_index.cc).
+///
+/// Each entry point dispatches to a per-ISA backend (scalar / SSE2 / AVX2)
+/// selected once per process by common/cpu_features — see DESIGN.md §14 and
+/// kernels_backend.h. Determinism contract (DESIGN.md §8/§9 + §14):
+///  - Hamming kernels are exact integer popcount sums, bit-identical across
+///    EVERY backend — the exactness oracles in the search tests gate all of
+///    brute/radius2/mih on all ISA paths;
+///  - SquaredL2Scan fixes a per-backend accumulation order (scalar = the
+///    seed's ascending-j single double chain; SIMD = lane-parallel chains +
+///    a fixed-order fold), deterministic per path for any row blocking, and
+///    equal across paths only to a relative epsilon.
+///
+/// Rows may be PADDED: `stride_words` / `stride` give the distance between
+/// consecutive row starts, ≥ the logical width. When a row is padded, the
+/// padding MUST be zero-filled (PackedCodes/FlatMatrix guarantee this) —
+/// aligned SIMD fast paths fold whole blocks and rely on padding XOR/diff
+/// contributing nothing.
 
-/// out[i] = popcount Hamming distance between `query` and db row i, for n
-/// rows of `words_per_code` contiguous words each. Word-unrolled for the
-/// common widths (1..3 words = 64/128/192 bits).
+/// out[i] = popcount Hamming distance between `query` (words_per_code
+/// contiguous words) and db row i (rows start stride_words apart).
 void HammingScan(const uint64_t* db, const uint64_t* query, int n,
-                 int words_per_code, int32_t* out);
+                 int words_per_code, int stride_words, int32_t* out);
 
 /// Popcount Hamming distance of one packed row pair.
 int HammingDistanceRow(const uint64_t* a, const uint64_t* b,
                        int words_per_code);
 
-/// out[i] = squared Euclidean distance (double) between `query` and db row
-/// i, for n rows of `dim` contiguous floats. Rows are processed in blocks of
-/// 4 with one independent accumulator each — vectorisable across rows while
-/// each row's accumulation order stays the seed's ascending-j order.
+/// out[i] = squared Euclidean distance (double) between `query` (dim
+/// contiguous floats) and db row i (rows start `stride` floats apart).
 void SquaredL2Scan(const float* db, const float* query, int n, int dim,
-                   double* out);
+                   int stride, double* out);
 
 }  // namespace traj2hash::search::kernels
 

@@ -1,0 +1,236 @@
+// AVX2 backend for search::kernels.
+//
+// HammingScan fast path: when rows are 32-byte aligned with a
+// multiple-of-4-word stride (the PackedCodes layout — see
+// search/flat_storage.h and common/aligned.h), each row is scanned in whole
+// 256-bit blocks: one aligned load, one XOR against a zero-padded aligned
+// query copy, and a nibble-LUT popcount (_mm256_shuffle_epi8 +
+// _mm256_sad_epu8). Relies on the API precondition that padding words
+// beyond words_per_code are zero. Other layouts take a hardware-POPCNT
+// word loop (this TU is compiled with -mpopcnt, so std::popcount is a
+// single instruction — never the SWAR fallback). Both are exact integer
+// sums, bit-identical to every backend.
+//
+// SquaredL2Scan: 8 floats/step → 2×4 doubles with FMA into two lane
+// accumulators; fixed fold (lanes j%8∈{0..3} + j%8∈{4..7} pairwise, then
+// (l0+l2)+(l1+l3)); deterministic per path, epsilon vs other backends.
+//
+// Compiled with "-O3 -mavx2 -mfma -mpopcnt -ffp-contract=off".
+
+#include <bit>
+#include <cstdint>
+#include <immintrin.h>
+
+#include "search/kernels_backend.h"
+
+namespace traj2hash::search::kernels {
+namespace avx2 {
+namespace {
+
+/// Longest query (in words, rounded up to the 4-word block stride) the
+/// aligned fast path supports — 4096-bit codes, far above the repo's ≤256.
+constexpr int kMaxFastStrideWords = 64;
+
+/// Nibble-LUT popcount: per-byte counts via two shuffles, then
+/// _mm256_sad_epu8 folds them into the 4 epi64 lanes.
+inline __m256i Popcount256(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                      _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+/// Sum of the 4 epi64 lanes.
+inline int64_t Sum4x64(__m256i v) {
+  const __m128i s = _mm_add_epi64(_mm256_castsi256_si128(v),
+                                  _mm256_extracti128_si256(v, 1));
+  return _mm_cvtsi128_si64(_mm_add_epi64(s, _mm_unpackhi_epi64(s, s)));
+}
+
+/// Narrow-code fast path (≤128-bit codes at the PackedCodes 4-word stride):
+/// the data half of two consecutive rows is packed into one 256-bit vector
+/// (vperm2i128 of their aligned loads), so no popcount work is spent on the
+/// zero padding, and four row sums at a time are folded with cross-lane adds
+/// instead of a per-row horizontal reduction.
+void HammingScanPacked2(const uint64_t* __restrict db,
+                        const uint64_t* qbuf, int n, int32_t* out) {
+  const __m256i qq = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(qbuf)));
+  const __m256i pack_idx = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  // Packs rows 2r and 2r+1 into one vector by OR-ing an aligned load of row
+  // 2r ({a0,a1,0,0} — the padding is zero by contract) with a 2-word-shifted
+  // unaligned load ({0,0,b0,b1}): cheaper than a cross-lane permute and the
+  // bytes come straight from one 64-byte span. Unrolled 2x (8 rows) so two
+  // independent reduction chains overlap the popcount latency.
+  auto pack_pair = [&](const uint64_t* __restrict r) {
+    return _mm256_or_si256(
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(r)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r + 2)));
+  };
+  auto reduce4 = [&](__m256i p1, __m256i p2) {
+    // p1 = {A0,A1,B0,B1}, p2 = {C0,C1,D0,D1} -> 4 int32 row sums.
+    __m256i t = _mm256_add_epi64(_mm256_unpacklo_epi64(p1, p2),
+                                 _mm256_unpackhi_epi64(p1, p2));  // {A,C,B,D}
+    t = _mm256_permute4x64_epi64(t, _MM_SHUFFLE(3, 1, 2, 0));     // {A,B,C,D}
+    return _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(t, pack_idx));
+  };
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const uint64_t* __restrict r = db + static_cast<long>(i) * 4;
+    const __m256i p1 = Popcount256(_mm256_xor_si256(pack_pair(r), qq));
+    const __m256i p2 = Popcount256(_mm256_xor_si256(pack_pair(r + 8), qq));
+    const __m256i p3 = Popcount256(_mm256_xor_si256(pack_pair(r + 16), qq));
+    const __m256i p4 = Popcount256(_mm256_xor_si256(pack_pair(r + 24), qq));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), reduce4(p1, p2));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 4),
+                     reduce4(p3, p4));
+  }
+  for (; i + 4 <= n; i += 4) {
+    const uint64_t* __restrict r = db + static_cast<long>(i) * 4;
+    const __m256i p1 = Popcount256(_mm256_xor_si256(pack_pair(r), qq));
+    const __m256i p2 = Popcount256(_mm256_xor_si256(pack_pair(r + 8), qq));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), reduce4(p1, p2));
+  }
+  for (; i < n; ++i) {
+    const uint64_t* __restrict row = db + static_cast<long>(i) * 4;
+    out[i] = static_cast<int32_t>(std::popcount(row[0] ^ qbuf[0]) +
+                                  std::popcount(row[1] ^ qbuf[1]));
+  }
+}
+
+void HammingScan(const uint64_t* db, const uint64_t* query, int n,
+                 int words_per_code, int stride_words, int32_t* out) {
+  const bool aligned_rows =
+      (stride_words & 3) == 0 && stride_words <= kMaxFastStrideWords &&
+      (reinterpret_cast<uintptr_t>(db) & 31) == 0;
+  if (aligned_rows) {
+    // Zero-padded aligned query copy: XOR of the padding lanes against the
+    // rows' zero padding contributes nothing to the popcount.
+    alignas(32) uint64_t qbuf[kMaxFastStrideWords];
+    for (int w = 0; w < words_per_code; ++w) qbuf[w] = query[w];
+    for (int w = words_per_code; w < stride_words; ++w) qbuf[w] = 0;
+    if (words_per_code <= 2 && stride_words == 4) {
+      HammingScanPacked2(db, qbuf, n, out);
+      return;
+    }
+    const int blocks = stride_words >> 2;
+    int i = 0;
+    // Four rows per iteration: their block accumulators are reduced
+    // together with cross-lane adds (per 128-bit lane, then across lanes),
+    // replacing four serial horizontal sums.
+    for (; i + 4 <= n; i += 4) {
+      __m256i acc[4];
+      for (int r = 0; r < 4; ++r) {
+        const uint64_t* __restrict row =
+            db + static_cast<long>(i + r) * stride_words;
+        __m256i a = _mm256_setzero_si256();
+        for (int b = 0; b < blocks; ++b) {
+          const __m256i x = _mm256_xor_si256(
+              _mm256_load_si256(
+                  reinterpret_cast<const __m256i*>(row + 4 * b)),
+              _mm256_load_si256(
+                  reinterpret_cast<const __m256i*>(qbuf + 4 * b)));
+          a = _mm256_add_epi64(a, Popcount256(x));
+        }
+        acc[r] = a;
+      }
+      const __m256i s1 =
+          _mm256_add_epi64(_mm256_unpacklo_epi64(acc[0], acc[1]),
+                           _mm256_unpackhi_epi64(acc[0], acc[1]));
+      const __m256i s2 =
+          _mm256_add_epi64(_mm256_unpacklo_epi64(acc[2], acc[3]),
+                           _mm256_unpackhi_epi64(acc[2], acc[3]));
+      const __m256i t =
+          _mm256_add_epi64(_mm256_permute2x128_si256(s1, s2, 0x20),
+                           _mm256_permute2x128_si256(s1, s2, 0x31));
+      const __m256i pack_idx = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                       _mm256_castsi256_si128(
+                           _mm256_permutevar8x32_epi32(t, pack_idx)));
+    }
+    for (; i < n; ++i) {
+      const uint64_t* __restrict row =
+          db + static_cast<long>(i) * stride_words;
+      __m256i acc = _mm256_setzero_si256();
+      for (int b = 0; b < blocks; ++b) {
+        const __m256i x = _mm256_xor_si256(
+            _mm256_load_si256(
+                reinterpret_cast<const __m256i*>(row + 4 * b)),
+            _mm256_load_si256(
+                reinterpret_cast<const __m256i*>(qbuf + 4 * b)));
+        acc = _mm256_add_epi64(acc, Popcount256(x));
+      }
+      out[i] = static_cast<int32_t>(Sum4x64(acc));
+    }
+    return;
+  }
+  // Unaligned / oversize layouts: hardware-popcnt word loop.
+  for (int i = 0; i < n; ++i) {
+    const uint64_t* __restrict row = db + static_cast<long>(i) * stride_words;
+    int32_t dist = 0;
+    for (int w = 0; w < words_per_code; ++w)
+      dist += std::popcount(row[w] ^ query[w]);
+    out[i] = dist;
+  }
+}
+
+int HammingDistanceRow(const uint64_t* a, const uint64_t* b,
+                       int words_per_code) {
+  // Codes are 1–4 words: a hardware-popcnt loop beats any vector popcount
+  // at this length.
+  int dist = 0;
+  for (int w = 0; w < words_per_code; ++w) {
+    dist += std::popcount(a[w] ^ b[w]);
+  }
+  return dist;
+}
+
+void SquaredL2Scan(const float* db, const float* query, int n, int dim,
+                   int stride, double* out) {
+  const int d8 = dim & ~7;
+  for (int i = 0; i < n; ++i) {
+    const float* __restrict row = db + static_cast<long>(i) * stride;
+    __m256d acc_lo = _mm256_setzero_pd();
+    __m256d acc_hi = _mm256_setzero_pd();
+    for (int j = 0; j < d8; j += 8) {
+      const __m256 rf = _mm256_loadu_ps(row + j);
+      const __m256 qf = _mm256_loadu_ps(query + j);
+      const __m256d dlo =
+          _mm256_sub_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(rf)),
+                        _mm256_cvtps_pd(_mm256_castps256_ps128(qf)));
+      const __m256d dhi =
+          _mm256_sub_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(rf, 1)),
+                        _mm256_cvtps_pd(_mm256_extractf128_ps(qf, 1)));
+      acc_lo = _mm256_fmadd_pd(dlo, dlo, acc_lo);
+      acc_hi = _mm256_fmadd_pd(dhi, dhi, acc_hi);
+    }
+    const __m256d s4 = _mm256_add_pd(acc_lo, acc_hi);
+    const __m128d s2 = _mm_add_pd(_mm256_castpd256_pd128(s4),
+                                  _mm256_extractf128_pd(s4, 1));
+    double acc = _mm_cvtsd_f64(_mm_add_sd(s2, _mm_unpackhi_pd(s2, s2)));
+    for (int j = d8; j < dim; ++j) {
+      const double diff = static_cast<double>(row[j]) - query[j];
+      acc += diff * diff;
+    }
+    out[i] = acc;
+  }
+}
+
+}  // namespace
+}  // namespace avx2
+
+const Backend& Avx2Backend() {
+  static const Backend backend = {
+      avx2::HammingScan,
+      avx2::HammingDistanceRow,
+      avx2::SquaredL2Scan,
+  };
+  return backend;
+}
+
+}  // namespace traj2hash::search::kernels

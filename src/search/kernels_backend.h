@@ -1,0 +1,41 @@
+#ifndef TRAJ2HASH_SEARCH_KERNELS_BACKEND_H_
+#define TRAJ2HASH_SEARCH_KERNELS_BACKEND_H_
+
+#include <cstdint>
+
+/// Internal per-ISA backend table for search::kernels (DESIGN.md §14).
+/// Mirrors nn/kernels_backend.h: one TU per ISA, dispatched by kernels.cc
+/// through common/cpu_features. Nothing outside src/search includes this.
+///
+/// Contract (enforced by tests/search/kernels_isa_test.cc):
+///  - Hamming kernels are exact integer popcount sums — bit-identical
+///    across EVERY backend, no epsilon, ever.
+///  - SquaredL2Scan is a float→double reduction: each backend fixes its own
+///    accumulation order (scalar = ascending-j single chain; SIMD =
+///    lane-parallel chains + fixed-order fold), deterministic per path,
+///    equal across paths only to a relative epsilon.
+
+namespace traj2hash::search::kernels {
+
+struct Backend {
+  void (*hamming_scan)(const uint64_t* db, const uint64_t* query, int n,
+                       int words_per_code, int stride_words, int32_t* out);
+  int (*hamming_distance_row)(const uint64_t* a, const uint64_t* b,
+                              int words_per_code);
+  void (*squared_l2_scan)(const float* db, const float* query, int n, int dim,
+                          int stride, double* out);
+};
+
+/// Strict ascending-order loops — bit-identical to the pre-dispatch seed.
+const Backend& ScalarBackend();
+
+#if defined(T2H_HAVE_SSE2_BACKEND)
+const Backend& Sse2Backend();
+#endif
+#if defined(T2H_HAVE_AVX2_BACKEND)
+const Backend& Avx2Backend();
+#endif
+
+}  // namespace traj2hash::search::kernels
+
+#endif  // TRAJ2HASH_SEARCH_KERNELS_BACKEND_H_

@@ -1,0 +1,117 @@
+// Scalar backend for search::kernels — the pre-dispatch seed
+// implementations, moved here verbatim apart from the row stride parameter
+// (the seed assumed stride == words_per_code / dim; rows are now allowed to
+// be padded). Compiled with plain "-O3", no -m flags: this path is the
+// historical baseline and must stay bit-identical to it.
+
+#include <bit>
+
+#include "search/kernels_backend.h"
+
+namespace traj2hash::search::kernels {
+namespace scalar {
+namespace {
+
+/// Fixed-width scan: `W` words per row known at compile time, so the popcount
+/// reduction fully unrolls and the row pointer advances by a constant.
+template <int W>
+void HammingScanFixed(const uint64_t* __restrict db,
+                      const uint64_t* __restrict query, int n,
+                      int stride_words, int32_t* __restrict out) {
+  for (int i = 0; i < n; ++i) {
+    const uint64_t* __restrict row = db + static_cast<long>(i) * stride_words;
+    int32_t dist = 0;
+    for (int w = 0; w < W; ++w) dist += std::popcount(row[w] ^ query[w]);
+    out[i] = dist;
+  }
+}
+
+void HammingScan(const uint64_t* db, const uint64_t* query, int n,
+                 int words_per_code, int stride_words, int32_t* out) {
+  switch (words_per_code) {
+    case 1:
+      HammingScanFixed<1>(db, query, n, stride_words, out);
+      return;
+    case 2:
+      HammingScanFixed<2>(db, query, n, stride_words, out);
+      return;
+    case 3:
+      HammingScanFixed<3>(db, query, n, stride_words, out);
+      return;
+    case 4:
+      HammingScanFixed<4>(db, query, n, stride_words, out);
+      return;
+    default:
+      break;
+  }
+  for (int i = 0; i < n; ++i) {
+    const uint64_t* __restrict row = db + static_cast<long>(i) * stride_words;
+    int32_t dist = 0;
+    for (int w = 0; w < words_per_code; ++w) {
+      dist += std::popcount(row[w] ^ query[w]);
+    }
+    out[i] = dist;
+  }
+}
+
+int HammingDistanceRow(const uint64_t* a, const uint64_t* b,
+                       int words_per_code) {
+  int dist = 0;
+  for (int w = 0; w < words_per_code; ++w) {
+    dist += std::popcount(a[w] ^ b[w]);
+  }
+  return dist;
+}
+
+void SquaredL2Scan(const float* db, const float* query, int n, int dim,
+                   int stride, double* out) {
+  int i = 0;
+  // 4-row blocks: four independent accumulator chains let the compiler keep
+  // the query row register-resident and overlap the (strictly ordered)
+  // per-row double adds across rows.
+  for (; i + 4 <= n; i += 4) {
+    const float* __restrict r0 = db + static_cast<long>(i) * stride;
+    const float* __restrict r1 = r0 + stride;
+    const float* __restrict r2 = r1 + stride;
+    const float* __restrict r3 = r2 + stride;
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    for (int j = 0; j < dim; ++j) {
+      const double q = query[j];
+      const double d0 = static_cast<double>(r0[j]) - q;
+      const double d1 = static_cast<double>(r1[j]) - q;
+      const double d2 = static_cast<double>(r2[j]) - q;
+      const double d3 = static_cast<double>(r3[j]) - q;
+      a0 += d0 * d0;
+      a1 += d1 * d1;
+      a2 += d2 * d2;
+      a3 += d3 * d3;
+    }
+    out[i] = a0;
+    out[i + 1] = a1;
+    out[i + 2] = a2;
+    out[i + 3] = a3;
+  }
+  for (; i < n; ++i) {
+    const float* __restrict row = db + static_cast<long>(i) * stride;
+    double acc = 0.0;
+    for (int j = 0; j < dim; ++j) {
+      const double diff = static_cast<double>(row[j]) - query[j];
+      acc += diff * diff;
+    }
+    out[i] = acc;
+  }
+}
+
+}  // namespace
+}  // namespace scalar
+
+const Backend& ScalarBackend() {
+  static const Backend backend = {
+      scalar::HammingScan,
+      scalar::HammingDistanceRow,
+      scalar::SquaredL2Scan,
+  };
+  return backend;
+}
+
+}  // namespace traj2hash::search::kernels

@@ -1,0 +1,104 @@
+// SSE2 backend for search::kernels — 128-bit vectors, no POPCNT instruction.
+//
+// Hamming kernels use the classic SWAR byte-wise popcount on __m128i
+// (Wilkes–Wheeler–Gill bit-slices + _mm_sad_epu8), two 64-bit words per
+// step. Integer sums — bit-identical to every other backend by
+// construction. SquaredL2Scan converts 4 floats → 2+2 doubles per step with
+// two lane accumulators and the fixed fold (j%4∈{0,1} chain + j%4∈{2,3}
+// chain, then lane0+lane1): deterministic for this path, epsilon vs others.
+//
+// Compiled with "-O3 -msse2 -ffp-contract=off".
+
+#include <bit>
+#include <cstdint>
+#include <emmintrin.h>
+
+#include "search/kernels_backend.h"
+
+namespace traj2hash::search::kernels {
+namespace sse2 {
+namespace {
+
+/// Byte-wise SWAR popcount of both 64-bit lanes: returns {popcount(lane0),
+/// popcount(lane1)} as epi64.
+inline __m128i Popcount128(__m128i v) {
+  const __m128i m1 = _mm_set1_epi8(0x55);
+  const __m128i m2 = _mm_set1_epi8(0x33);
+  const __m128i m4 = _mm_set1_epi8(0x0f);
+  v = _mm_sub_epi8(v, _mm_and_si128(_mm_srli_epi64(v, 1), m1));
+  v = _mm_add_epi8(_mm_and_si128(v, m2),
+                   _mm_and_si128(_mm_srli_epi64(v, 2), m2));
+  v = _mm_and_si128(_mm_add_epi8(v, _mm_srli_epi64(v, 4)), m4);
+  return _mm_sad_epu8(v, _mm_setzero_si128());
+}
+
+void HammingScan(const uint64_t* db, const uint64_t* query, int n,
+                 int words_per_code, int stride_words, int32_t* out) {
+  const int w2 = words_per_code & ~1;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t* __restrict row = db + static_cast<long>(i) * stride_words;
+    __m128i acc = _mm_setzero_si128();
+    for (int w = 0; w < w2; w += 2) {
+      const __m128i x = _mm_xor_si128(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + w)),
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(query + w)));
+      acc = _mm_add_epi64(acc, Popcount128(x));
+    }
+    int32_t dist = static_cast<int32_t>(
+        _mm_cvtsi128_si64(_mm_add_epi64(acc, _mm_unpackhi_epi64(acc, acc))));
+    for (int w = w2; w < words_per_code; ++w)
+      dist += std::popcount(row[w] ^ query[w]);
+    out[i] = dist;
+  }
+}
+
+int HammingDistanceRow(const uint64_t* a, const uint64_t* b,
+                       int words_per_code) {
+  int dist = 0;
+  for (int w = 0; w < words_per_code; ++w) {
+    dist += std::popcount(a[w] ^ b[w]);
+  }
+  return dist;
+}
+
+void SquaredL2Scan(const float* db, const float* query, int n, int dim,
+                   int stride, double* out) {
+  const int d4 = dim & ~3;
+  for (int i = 0; i < n; ++i) {
+    const float* __restrict row = db + static_cast<long>(i) * stride;
+    __m128d acc_lo = _mm_setzero_pd();
+    __m128d acc_hi = _mm_setzero_pd();
+    for (int j = 0; j < d4; j += 4) {
+      const __m128 rf = _mm_loadu_ps(row + j);
+      const __m128 qf = _mm_loadu_ps(query + j);
+      const __m128d dlo =
+          _mm_sub_pd(_mm_cvtps_pd(rf), _mm_cvtps_pd(qf));
+      const __m128d dhi = _mm_sub_pd(_mm_cvtps_pd(_mm_movehl_ps(rf, rf)),
+                                     _mm_cvtps_pd(_mm_movehl_ps(qf, qf)));
+      acc_lo = _mm_add_pd(acc_lo, _mm_mul_pd(dlo, dlo));
+      acc_hi = _mm_add_pd(acc_hi, _mm_mul_pd(dhi, dhi));
+    }
+    const __m128d s = _mm_add_pd(acc_lo, acc_hi);
+    double acc =
+        _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+    for (int j = d4; j < dim; ++j) {
+      const double diff = static_cast<double>(row[j]) - query[j];
+      acc += diff * diff;
+    }
+    out[i] = acc;
+  }
+}
+
+}  // namespace
+}  // namespace sse2
+
+const Backend& Sse2Backend() {
+  static const Backend backend = {
+      sse2::HammingScan,
+      sse2::HammingDistanceRow,
+      sse2::SquaredL2Scan,
+  };
+  return backend;
+}
+
+}  // namespace traj2hash::search::kernels

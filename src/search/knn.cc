@@ -40,7 +40,8 @@ std::vector<Neighbor> TopKEuclidean(const FlatMatrix& db,
   T2H_CHECK_EQ(static_cast<int>(query.size()), db.cols());
   const int n = db.rows();
   std::vector<double> sq(n);
-  kernels::SquaredL2Scan(db.data(), query.data(), n, db.cols(), sq.data());
+  kernels::SquaredL2Scan(db.data(), query.data(), n, db.cols(), db.stride(),
+                         sq.data());
   return TopKGeneric(n, k, [&](int i) { return std::sqrt(sq[i]); });
 }
 
@@ -57,7 +58,7 @@ std::vector<Neighbor> TopKEuclidean(const std::vector<std::vector<float>>& db,
   const int dim = static_cast<int>(query.size());
   std::vector<double> sq(n);
   for (int i = 0; i < n; ++i) {
-    kernels::SquaredL2Scan(db[i].data(), query.data(), 1, dim, &sq[i]);
+    kernels::SquaredL2Scan(db[i].data(), query.data(), 1, dim, dim, &sq[i]);
   }
   return TopKGeneric(n, k, [&](int i) { return std::sqrt(sq[i]); });
 }
@@ -70,7 +71,7 @@ std::vector<Neighbor> TopKHamming(const PackedCodes& db, const Code& query,
   if (n == 0) return {};
   std::vector<int32_t> dist(n);
   kernels::HammingScan(db.data(), query.words.data(), n, db.words_per_code(),
-                       dist.data());
+                       db.stride_words(), dist.data());
   // Select over (int distance, index) pairs — no per-candidate double
   // round-trip; only the k survivors are widened into Neighbors. Tombstoned
   // rows never enter the id pool, so selection order among the survivors is

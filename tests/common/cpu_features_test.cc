@@ -1,0 +1,95 @@
+// Kernel ISA selection tests: name/parse round-trips, availability
+// invariants, the never-silently-fall-back contract of SetKernelIsa, and
+// ScopedKernelIsa's restore semantics. Pure selection-layer tests — the
+// numeric contracts of the backends themselves live in
+// tests/nn/kernels_isa_test.cc and tests/search/kernels_isa_test.cc.
+
+#include "common/cpu_features.h"
+
+#include <gtest/gtest.h>
+
+namespace traj2hash {
+namespace {
+
+constexpr KernelIsa kAllIsas[] = {KernelIsa::kScalar, KernelIsa::kSse2,
+                                  KernelIsa::kAvx2};
+
+TEST(KernelIsaTest, NamesRoundTripThroughParse) {
+  for (const KernelIsa isa : kAllIsas) {
+    const auto parsed = ParseKernelIsa(KernelIsaName(isa));
+    ASSERT_TRUE(parsed.ok()) << KernelIsaName(isa);
+    EXPECT_EQ(parsed.value(), isa);
+  }
+}
+
+TEST(KernelIsaTest, ParseRejectsUnknownNames) {
+  for (const char* bad : {"", "avx512", "AVX2", "scalar ", "neon"}) {
+    EXPECT_FALSE(ParseKernelIsa(bad).ok()) << "'" << bad << "'";
+  }
+}
+
+TEST(KernelIsaTest, ScalarIsAlwaysAvailable) {
+  EXPECT_TRUE(KernelIsaAvailable(KernelIsa::kScalar));
+}
+
+TEST(KernelIsaTest, DetectedBestIsAvailable) {
+  EXPECT_TRUE(KernelIsaAvailable(DetectBestKernelIsa()));
+}
+
+TEST(KernelIsaTest, CurrentSelectionIsAvailableAndSourced) {
+  const KernelIsaSelection sel = CurrentKernelIsa();
+  EXPECT_TRUE(KernelIsaAvailable(sel.selected));
+  EXPECT_EQ(sel.detected, DetectBestKernelIsa());
+  EXPECT_FALSE(sel.source.empty());
+  EXPECT_EQ(KernelIsaIndex(), static_cast<int>(sel.selected));
+}
+
+TEST(KernelIsaTest, SetToUnavailableIsaFailsAndChangesNothing) {
+  KernelIsa unavailable = KernelIsa::kScalar;
+  bool found = false;
+  for (const KernelIsa isa : kAllIsas) {
+    if (!KernelIsaAvailable(isa)) {
+      unavailable = isa;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    GTEST_SKIP() << "every compiled ISA is available on this host";
+  }
+  const KernelIsaSelection before = CurrentKernelIsa();
+  const Status s = SetKernelIsa(unavailable, "test:unavailable");
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition) << s.ToString();
+  const KernelIsaSelection after = CurrentKernelIsa();
+  EXPECT_EQ(after.selected, before.selected);
+  EXPECT_EQ(after.source, before.source);
+}
+
+TEST(KernelIsaTest, SetKernelIsaRecordsSourceVerbatim) {
+  const KernelIsaSelection before = CurrentKernelIsa();
+  ASSERT_TRUE(SetKernelIsa(KernelIsa::kScalar, "test:pin").ok());
+  EXPECT_EQ(CurrentKernelIsa().selected, KernelIsa::kScalar);
+  EXPECT_EQ(CurrentKernelIsa().source, "test:pin");
+  EXPECT_EQ(KernelIsaIndex(), 0);
+  ASSERT_TRUE(SetKernelIsa(before.selected, before.source).ok());
+}
+
+TEST(KernelIsaTest, ScopedPinRestoresSelectionAndSource) {
+  const KernelIsaSelection before = CurrentKernelIsa();
+  {
+    ScopedKernelIsa pin(KernelIsa::kScalar);
+    EXPECT_EQ(CurrentKernelIsa().selected, KernelIsa::kScalar);
+    {
+      // Nested pins restore in LIFO order.
+      ScopedKernelIsa inner(KernelIsa::kScalar);
+      EXPECT_EQ(CurrentKernelIsa().selected, KernelIsa::kScalar);
+    }
+    EXPECT_EQ(CurrentKernelIsa().selected, KernelIsa::kScalar);
+  }
+  const KernelIsaSelection after = CurrentKernelIsa();
+  EXPECT_EQ(after.selected, before.selected);
+  EXPECT_EQ(after.source, before.source);
+}
+
+}  // namespace
+}  // namespace traj2hash

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/cpu_features.h"
 #include "common/rng.h"
 #include "nn/grad_check.h"
 #include "nn/kernels.h"
@@ -54,7 +55,13 @@ std::vector<float> RandomVec(size_t n, Rng& rng) {
 // ---------------------------------------------------------------------------
 
 class MatMulKernelIdentityTest
-    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+ protected:
+  // Bit-identity vs the naive reference loops is the SCALAR backend's
+  // contract; SIMD backends fix their own accumulation orders and are
+  // gated by tests/nn/kernels_isa_test.cc instead.
+  ScopedKernelIsa pin_{KernelIsa::kScalar};
+};
 
 TEST_P(MatMulKernelIdentityTest, ForwardMatchesNaiveBitForBit) {
   const auto [n, k, m] = GetParam();

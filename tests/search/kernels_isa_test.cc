@@ -1,0 +1,205 @@
+// Per-ISA contract tests for search::kernels (DESIGN.md §14): every
+// available backend is forced via ScopedKernelIsa and checked against
+// exact oracles. Hamming kernels are integer popcount sums, so they must be
+// BIT-IDENTICAL on every backend and through every search strategy; the L2
+// scan is deterministic per backend and within epsilon of the exact value
+// across backends. Also pins the storage layout the fast paths rely on:
+// 32-byte-aligned rows and block-padded strides. Unavailable ISAs skip
+// visibly ("SKIPPED: no avx2"), never silently downgrade.
+
+#include "search/kernels.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/aligned.h"
+#include "common/cpu_features.h"
+#include "common/rng.h"
+#include "search/flat_storage.h"
+#include "search/hamming_index.h"
+#include "search/knn.h"
+#include "search/mih.h"
+
+namespace traj2hash::search {
+namespace {
+
+Code RandomCode(int bits, Rng& rng) {
+  std::vector<float> v(bits);
+  for (float& x : v) x = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+  return PackSigns(v);
+}
+
+class SearchKernelIsaTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    const auto parsed = ParseKernelIsa(GetParam());
+    ASSERT_TRUE(parsed.ok());
+    isa_ = parsed.value();
+    if (!KernelIsaAvailable(isa_)) {
+      GTEST_SKIP() << "SKIPPED: no " << GetParam()
+                   << " (not compiled in or unsupported by this CPU)";
+    }
+  }
+
+  KernelIsa isa_ = KernelIsa::kScalar;
+};
+
+/// All widths: 1..5 words covers the packed-2-rows AVX2 path (≤128 bits),
+/// the 4-row batched path (192/256 bits), and the >4-word generic tail;
+/// n values cover the 4-row blocking and its 1..3-row tails.
+TEST_P(SearchKernelIsaTest, HammingScanBitIdenticalToPerPairOracle) {
+  ScopedKernelIsa pin(isa_);
+  Rng rng(201);
+  for (const int bits : {17, 64, 100, 128, 192, 256, 320}) {
+    for (const int n : {1, 2, 3, 4, 5, 33}) {
+      std::vector<Code> codes;
+      for (int i = 0; i < n; ++i) codes.push_back(RandomCode(bits, rng));
+      const PackedCodes packed = PackedCodes::FromCodes(codes);
+      const Code query = RandomCode(bits, rng);
+      std::vector<int32_t> out(n);
+      kernels::HammingScan(packed.data(), query.words.data(), n,
+                           packed.words_per_code(), packed.stride_words(),
+                           out.data());
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(out[i], HammingDistance(codes[i], query))
+            << "bits=" << bits << " n=" << n << " i=" << i;
+        EXPECT_EQ(kernels::HammingDistanceRow(packed.row(i),
+                                              query.words.data(),
+                                              packed.words_per_code()),
+                  out[i]);
+      }
+    }
+  }
+}
+
+/// The unaligned/unpadded layout (stride == words_per_code, arbitrary base
+/// pointer) must take the generic path and still be exact.
+TEST_P(SearchKernelIsaTest, HammingScanExactOnUnpaddedLayout) {
+  ScopedKernelIsa pin(isa_);
+  Rng rng(202);
+  const int bits = 128, wpc = 2, n = 21;
+  std::vector<Code> codes;
+  for (int i = 0; i < n; ++i) codes.push_back(RandomCode(bits, rng));
+  // Tight rows at the natural word stride, deliberately NOT block-padded,
+  // shifted one word off any 32-byte boundary.
+  std::vector<uint64_t> raw(static_cast<size_t>(n) * wpc + 1, 0);
+  for (int i = 0; i < n; ++i) {
+    std::memcpy(raw.data() + 1 + static_cast<size_t>(i) * wpc,
+                codes[i].words.data(), wpc * sizeof(uint64_t));
+  }
+  const Code query = RandomCode(bits, rng);
+  std::vector<int32_t> out(n);
+  kernels::HammingScan(raw.data() + 1, query.words.data(), n, wpc, wpc,
+                       out.data());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], HammingDistance(codes[i], query)) << i;
+  }
+}
+
+TEST_P(SearchKernelIsaTest, SquaredL2ScanDeterministicAndNearExact) {
+  ScopedKernelIsa pin(isa_);
+  Rng rng(203);
+  for (const int dim : {1, 3, 8, 24, 128}) {
+    const int n = 17;
+    std::vector<std::vector<float>> rows(n, std::vector<float>(dim));
+    std::vector<float> query(dim);
+    for (auto& r : rows) {
+      for (float& v : r) v = static_cast<float>(rng.Uniform(-2.0, 2.0));
+    }
+    for (float& v : query) v = static_cast<float>(rng.Uniform(-2.0, 2.0));
+    const FlatMatrix db = FlatMatrix::FromRows(rows, dim);
+
+    std::vector<double> got(n), again(n);
+    kernels::SquaredL2Scan(db.data(), query.data(), n, dim, db.stride(),
+                           got.data());
+    kernels::SquaredL2Scan(db.data(), query.data(), n, dim, db.stride(),
+                           again.data());
+    EXPECT_EQ(0, std::memcmp(got.data(), again.data(), n * sizeof(double)))
+        << "nondeterministic at dim=" << dim;
+    for (int i = 0; i < n; ++i) {
+      double exact = 0.0;
+      for (int j = 0; j < dim; ++j) {
+        const double diff = static_cast<double>(rows[i][j]) - query[j];
+        exact += diff * diff;
+      }
+      const double denom = std::max(1.0, std::fabs(exact));
+      EXPECT_LE(std::fabs(got[i] - exact) / denom, 1e-12)
+          << "dim=" << dim << " i=" << i;
+    }
+  }
+}
+
+/// Every search strategy must return the same ids and distances as brute
+/// force under every ISA — the end-to-end form of Hamming bit-identity.
+TEST_P(SearchKernelIsaTest, StrategiesMatchBruteForceExactly) {
+  ScopedKernelIsa pin(isa_);
+  Rng rng(204);
+  const int bits = 128, n = 400, k = 9;
+  HammingIndex index(bits);
+  MihIndex mih(bits);
+  std::vector<Code> codes;
+  for (int i = 0; i < n; ++i) {
+    codes.push_back(RandomCode(bits, rng));
+    index.Insert(codes.back());
+    mih.Insert(codes.back());
+  }
+  for (int q = 0; q < 10; ++q) {
+    const Code query = RandomCode(bits, rng);
+    const auto brute = index.BruteForceTopK(query, k);
+    const auto hybrid = index.HybridTopK(query, k);
+    const auto from_mih = mih.TopK(query, k);
+    ASSERT_EQ(brute.size(), hybrid.size());
+    ASSERT_EQ(brute.size(), from_mih.size());
+    for (size_t i = 0; i < brute.size(); ++i) {
+      EXPECT_EQ(brute[i].index, hybrid[i].index) << q << ":" << i;
+      EXPECT_EQ(brute[i].distance, hybrid[i].distance) << q << ":" << i;
+      EXPECT_EQ(brute[i].index, from_mih[i].index) << q << ":" << i;
+      EXPECT_EQ(brute[i].distance, from_mih[i].distance) << q << ":" << i;
+    }
+  }
+}
+
+/// The SIMD fast paths assume this layout; if it regresses they fall back
+/// (slower) or — for a misreported stride — read padding as data. Pin it.
+TEST(KernelStorageLayoutTest, RowsAreAlignedAndBlockPadded) {
+  Rng rng(205);
+  PackedCodes packed(96);  // 2 words -> padded stride of 4
+  for (int i = 0; i < 9; ++i) packed.Append(RandomCode(96, rng));
+  EXPECT_EQ(packed.words_per_code(), 2);
+  EXPECT_EQ(packed.stride_words() % 4, 0);
+  for (int i = 0; i < packed.size(); ++i) {
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(packed.row(i)) %
+                  kKernelRowAlignment,
+              0u)
+        << i;
+    // Padding words beyond words_per_code must be zero (XOR-neutral).
+    for (int w = packed.words_per_code(); w < packed.stride_words(); ++w) {
+      EXPECT_EQ(packed.row(i)[w], 0u) << i << ":" << w;
+    }
+  }
+
+  FlatMatrix m(5);  // 5 floats -> padded stride of 8
+  m.Append({1, 2, 3, 4, 5});
+  m.Append({6, 7, 8, 9, 10});
+  EXPECT_EQ(m.stride() % 8, 0);
+  for (int i = 0; i < m.rows(); ++i) {
+    EXPECT_EQ(
+        reinterpret_cast<uintptr_t>(m.row(i)) % kKernelRowAlignment, 0u)
+        << i;
+    for (int j = m.cols(); j < m.stride(); ++j) {
+      EXPECT_EQ(m.row(i)[j], 0.0f) << i << ":" << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, SearchKernelIsaTest,
+                         ::testing::Values("scalar", "sse2", "avx2"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace traj2hash::search

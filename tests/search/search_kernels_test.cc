@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/check.h"
+#include "common/cpu_features.h"
 #include "common/rng.h"
 #include "search/flat_storage.h"
 #include "search/knn.h"
@@ -66,8 +68,9 @@ TEST(HammingScanTest, MatchesScalarDistanceAtAllWordWidths) {
     const PackedCodes packed = PackedCodes::FromCodes(codes);
     const Code query = RandomCode(bits, rng);
     std::vector<int32_t> out(codes.size());
-    kernels::HammingScan(packed.data(), query.words.data(),
-                         packed.size(), packed.words_per_code(), out.data());
+    kernels::HammingScan(packed.data(), query.words.data(), packed.size(),
+                         packed.words_per_code(), packed.stride_words(),
+                         out.data());
     for (size_t i = 0; i < codes.size(); ++i) {
       EXPECT_EQ(out[i], HammingDistance(codes[i], query)) << bits << ":" << i;
       EXPECT_EQ(kernels::HammingDistanceRow(packed.row(static_cast<int>(i)),
@@ -81,6 +84,9 @@ TEST(HammingScanTest, MatchesScalarDistanceAtAllWordWidths) {
 /// The 4-row blocking must not change a single bit of any distance: each
 /// row keeps one double accumulator in ascending column order.
 TEST(SquaredL2ScanTest, BitIdenticalToSeedAccumulationOrder) {
+  // The seed accumulation order is the SCALAR backend's contract; SIMD
+  // backends have their own fixed orders (tests/search/kernels_isa_test.cc).
+  ScopedKernelIsa pin(KernelIsa::kScalar);
   Rng rng(14);
   for (const int n : {1, 3, 4, 9, 32}) {
     const int dim = 24;
@@ -90,7 +96,7 @@ TEST(SquaredL2ScanTest, BitIdenticalToSeedAccumulationOrder) {
     for (float& v : query) v = static_cast<float>(rng.Uniform(-2.0, 2.0));
 
     std::vector<double> got(n);
-    kernels::SquaredL2Scan(db.data(), query.data(), n, dim, got.data());
+    kernels::SquaredL2Scan(db.data(), query.data(), n, dim, dim, got.data());
     for (int i = 0; i < n; ++i) {
       double acc = 0.0;  // the seed loop, transcribed
       for (int j = 0; j < dim; ++j) {

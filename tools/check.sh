@@ -3,11 +3,14 @@
 # build+test lanes, plus a quick tier-1 lane for inner-loop development.
 # Usage:
 #
-#   tools/check.sh           # all three full lanes
-#   tools/check.sh plain     # just one lane: fast | plain | asan | tsan
+#   tools/check.sh           # all three full lanes + the simd sweep
+#   tools/check.sh plain     # just one lane: fast | plain | asan | tsan | simd
 #   tools/check.sh fast      # plain build + only the tier1-labelled tests
 #                            # (the fast, dependency-light unit tests —
 #                            # see tests/CMakeLists.txt)
+#   tools/check.sh simd      # plain build + the kernels-labelled suites
+#                            # rerun once per available kernel ISA, forced
+#                            # via T2H_KERNEL_ISA (DESIGN.md 14)
 #
 # Each lane configures into its own build directory (build, build-asan,
 # build-tsan; fast shares build), so incremental re-runs are cheap. A lane
@@ -35,25 +38,52 @@ replica_stress() {
     -R 'RollingRestartUnderChurnStress' --repeat until-fail:3
 }
 
+# Reruns the kernels-labelled suites once per ISA this host can actually
+# run, each pass forced via T2H_KERNEL_ISA (an unavailable forced ISA is a
+# hard startup failure, never a silent fallback — so availability is probed
+# first with `t2h_cli version`). Guarantees the scalar and sse2 paths keep
+# passing on machines where avx2 would otherwise shadow them.
+simd_lane() {
+  echo "==== lane: simd (build) ===="
+  cmake -B build -S . -DT2H_SANITIZE="" >/dev/null
+  cmake --build build -j "$(nproc)"
+  local isa
+  for isa in scalar sse2 avx2; do
+    if T2H_KERNEL_ISA="${isa}" ./build/tools/t2h_cli version >/dev/null 2>&1; then
+      echo "---- simd: forcing T2H_KERNEL_ISA=${isa} ----"
+      T2H_KERNEL_ISA="${isa}" ctest --test-dir build --output-on-failure \
+        -j "$(nproc)" -L kernels
+    else
+      echo "---- simd: ${isa} unavailable on this host, SKIPPED ----"
+    fi
+  done
+}
+
 # Note: the fast lane filters by label, not by name, so new tier1-labelled
 # suites (e.g. the replica/ and router tests) are picked up automatically.
 lanes="${1:-all}"
 case "${lanes}" in
   fast)  run_lane fast build "" -L tier1 ;;
   plain) run_lane plain build "" ;;
-  asan)  run_lane asan build-asan address ;;
+  # The sanitizer lane pins the scalar backend: asan instruments the
+  # portable loops (the contract every SIMD path is checked against), and
+  # the vector paths' aligned whole-block loads would only re-test the
+  # same bytes at higher noise.
+  asan)  T2H_KERNEL_ISA=scalar run_lane asan build-asan address ;;
   tsan)
     run_lane tsan build-tsan thread
     replica_stress
     ;;
+  simd)  simd_lane ;;
   all)
     run_lane plain build ""
-    run_lane asan build-asan address
+    simd_lane
+    T2H_KERNEL_ISA=scalar run_lane asan build-asan address
     run_lane tsan build-tsan thread
     replica_stress
     ;;
   *)
-    echo "usage: tools/check.sh [fast|plain|asan|tsan|all]" >&2
+    echo "usage: tools/check.sh [fast|plain|asan|tsan|simd|all]" >&2
     exit 2
     ;;
 esac

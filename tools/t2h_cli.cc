@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cpu_features.h"
 #include "common/file_util.h"
 #include "common/retry.h"
 #include "common/stopwatch.h"
@@ -99,6 +100,45 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+/// One-line description of the resolved kernel dispatch, for startup logs
+/// and `version`: which ISA the kernels run on, what the CPU would support,
+/// why this one was chosen, and which backends this binary carries.
+std::string KernelIsaLine() {
+  const t2h::KernelIsaSelection sel = t2h::CurrentKernelIsa();
+  std::string line = "kernel isa: selected=";
+  line += t2h::KernelIsaName(sel.selected);
+  line += " detected=";
+  line += t2h::KernelIsaName(sel.detected);
+  line += " source=";
+  line += sel.source;
+  line += " available=";
+  bool first = true;
+  for (int i = 0; i < t2h::kNumKernelIsas; ++i) {
+    const auto isa = static_cast<t2h::KernelIsa>(i);
+    if (!t2h::KernelIsaAvailable(isa)) continue;
+    if (!first) line += ",";
+    line += t2h::KernelIsaName(isa);
+    first = false;
+  }
+  return line;
+}
+
+/// Applies --kernel-isa before any kernel dispatch. An unknown name or an
+/// ISA this binary/CPU cannot run is a hard error — the dispatcher never
+/// silently falls back to a different path than the one asked for.
+t2h::Status ApplyKernelIsaFlag(const Args& args) {
+  const std::string name = args.Get("kernel-isa", "");
+  if (name.empty()) return t2h::Status::Ok();
+  const t2h::Result<t2h::KernelIsa> isa = t2h::ParseKernelIsa(name);
+  if (!isa.ok()) return isa.status();
+  return t2h::SetKernelIsa(isa.value(), "cli:--kernel-isa");
+}
+
+int RunVersion(const Args&) {
+  std::printf("t2h_cli (traj2hash)\n%s\n", KernelIsaLine().c_str());
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: t2h_cli <command> [--flag value]...\n"
@@ -148,7 +188,13 @@ int Usage() {
                " snapshot as JSON)\n"
                "  wal-replay --wal F  (walk a write-ahead log, print its"
                " records and tail state;\n"
-               "                       exit 3 when a torn tail was found)\n");
+               "                       exit 3 when a torn tail was found)\n"
+               "  version  (print build info and the resolved kernel ISA)\n"
+               "train/query/serve-bench/version also take\n"
+               "  [--kernel-isa scalar|sse2|avx2] (force the SIMD kernel"
+               " backend; errors if\n"
+               "                            unavailable — same as the"
+               " T2H_KERNEL_ISA env var)\n");
   return 2;
 }
 
@@ -338,6 +384,8 @@ int RunDistance(const Args& args) {
 }
 
 int RunServeBench(const Args& args) {
+  // Self-describing startup: which kernel backend every scan below runs on.
+  std::printf("%s\n", KernelIsaLine().c_str());
   auto loaded = LoadData(args);
   if (!loaded.ok()) return Fail(loaded.status().ToString());
   const std::vector<t2h::traj::Trajectory> corpus =
@@ -744,6 +792,14 @@ int RunServeBench(const Args& args) {
     const auto snapshot = engine.stats();
     std::string json = "{\n  \"bench\": \"serve\",\n";
     char buf[256];
+    const t2h::KernelIsaSelection isa_sel = t2h::CurrentKernelIsa();
+    std::snprintf(buf, sizeof(buf),
+                  "  \"kernel_isa\": {\"selected\": \"%s\", \"detected\":"
+                  " \"%s\", \"source\": \"%s\"},\n",
+                  t2h::KernelIsaName(isa_sel.selected),
+                  t2h::KernelIsaName(isa_sel.detected),
+                  isa_sel.source.c_str());
+    json += buf;
     std::snprintf(buf, sizeof(buf),
                   "  \"threads\": %d, \"shards\": %d, \"k\": %d,"
                   " \"queries\": %d, \"qps\": %.1f,\n",
@@ -863,21 +919,26 @@ int main(int argc, char** argv) {
       {"generate", {"out", "city", "count", "max-points", "seed"}},
       {"train",
        {"data", "out", "measure", "seeds", "epochs", "dim", "seed",
-        "threads"}},
+        "threads", "kernel-isa"}},
       {"query",
        {"data", "model", "query-id", "k", "space", "dim", "seed", "strategy",
-        "mih-substrings"}},
+        "mih-substrings", "kernel-isa"}},
       {"distance", {"data", "a", "b"}},
       {"serve-bench",
        {"data", "model", "threads", "shards", "k", "queries", "rounds",
         "dim", "seed", "strategy", "mih-substrings", "deadline-ms",
         "queue-depth", "overload", "snapshot", "wal", "churn",
-        "query-dist", "replicas", "drill", "stats-json"}},
+        "query-dist", "replicas", "drill", "stats-json", "kernel-isa"}},
       {"wal-replay", {"wal"}},
+      {"version", {"kernel-isa"}},
   };
   const auto known = kKnownFlags.find(command);
   if (known == kKnownFlags.end()) return Usage();
   if (RejectBadFlags(args, known->second)) return 2;
+  if (const t2h::Status s = ApplyKernelIsaFlag(args); !s.ok()) {
+    return Fail("--kernel-isa: " + s.ToString());
+  }
+  if (command == "version") return RunVersion(args);
   if (command == "generate") return RunGenerate(args);
   if (command == "train") return RunTrain(args);
   if (command == "query") return RunQuery(args);
