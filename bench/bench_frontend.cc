@@ -1,0 +1,356 @@
+// Serve front-end bench (repo extension, not a paper figure): measures what
+// DESIGN.md §15's batched-encode coalescing + epoch-keyed result cache buy
+// under concurrent clients, sweeping the coalescer's bounded wait across a
+// uniform (all-unique queries: worst case for the cache, pure coalescing
+// win) and a zipf:1.1 (hot-key skew: the cache's case) workload, against the
+// frontend-off baseline.
+//
+// Expected shape: on zipf:1.1 the cache absorbs the hot keys (hit rate near
+// 1 on a quiescent index), multiplying QPS well past the baseline at equal
+// or better p99; on uniform the cache never hits and QPS stays within noise
+// of the baseline — the bounded wait must not buy batching with latency.
+// Batch occupancy rises with the wait setting while clients overlap.
+//
+// Each (dist, wait) cell runs under two arrival pacings: closed-loop (a
+// client re-issues the moment its previous query returns — arrivals
+// anti-correlate, so coalescable overlap is scarce and batches stay small)
+// and open-loop at 1.5x the measured closed-loop baseline capacity (requests
+// arrive on a schedule regardless of completions, the replayed-log shape
+// real serving sees). Open-loop overload is the coalescer's regime: the
+// pending queue stays deep, flushes run at max_batch, and throughput holds
+// at capacity instead of collapsing under context-switch thrash.
+//
+// Gates (exit non-zero, run by bench_smoke / ctest): every front-end
+// configuration must answer a query sample bit-identically to the baseline
+// engine, the zipf:1.1 hit rate must clear a floor that only an
+// epoch-correct cache reaches, and overloaded uniform at the widest wait
+// must coalesce (median occupancy > 1).
+//
+// Scale: T2H_BENCH_SCALE=tiny shrinks everything ~4x; `large` grows ~4x.
+// T2H_BENCH_JSON=<path> additionally writes the sweep as a JSON array
+// (tools/record_bench.sh-style artifact, see BENCH_frontend.json).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/zipf.h"
+#include "core/model.h"
+#include "serve/engine.h"
+#include "traj/synthetic.h"
+
+namespace t2h = traj2hash;
+
+namespace {
+
+struct FrontendScale {
+  int db_size = 1200;
+  int clients = 12;  ///< well past max_batch, so full flushes can happen
+  int ops_per_client = 100;
+  int zipf_distinct = 64;  ///< hot-key pool size for the zipf workload
+};
+
+FrontendScale GetScale() {
+  const char* env = std::getenv("T2H_BENCH_SCALE");
+  const std::string scale = env != nullptr ? env : "small";
+  FrontendScale s;
+  if (scale == "tiny") {
+    s.db_size = 300;
+    s.clients = 6;
+    s.ops_per_client = 40;
+    s.zipf_distinct = 16;
+  } else if (scale == "large") {
+    s.db_size = 5000;
+    s.clients = 16;
+    s.ops_per_client = 250;
+    s.zipf_distinct = 256;
+  }
+  return s;
+}
+
+struct RunResult {
+  double qps = 0.0;
+  double p99_us = 0.0;
+  double occupancy_p50 = 0.0;
+  double occupancy_mean = 0.0;
+  double hit_rate = 0.0;
+  bool ok = true;  ///< every query completed
+};
+
+/// Drives `clients` threads through engine.Query over a shared precomputed
+/// query stream, after one warm-up pass over the distinct queries. Stats
+/// are reset between warm-up and measurement so the histograms describe the
+/// measured window only.
+///
+/// `interarrival_us == 0` is closed-loop: client c owns ops c, c+clients,
+/// ... and re-issues the moment its previous query returns. A positive
+/// value switches to open-loop: op i is due at `i * interarrival_us` past
+/// the run start, and the next free client issues it then (or immediately,
+/// if the whole fleet is still busy when it comes due — offered load past
+/// what `clients` can carry degrades gracefully instead of lying about the
+/// schedule).
+RunResult Drive(t2h::serve::QueryEngine& engine,
+                const std::vector<const t2h::traj::Trajectory*>& stream,
+                const std::vector<t2h::traj::Trajectory>& distinct,
+                int clients, int k, double interarrival_us) {
+  for (const t2h::traj::Trajectory& q : distinct) {
+    if (!engine.Query(q, k).status.ok()) return {.ok = false};
+  }
+  engine.ResetStats();
+  const t2h::serve::FrontendSnapshot before = engine.frontend_stats();
+
+  std::atomic<int> incomplete{0};
+  std::atomic<size_t> next_op{0};
+  t2h::Stopwatch wall;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      if (interarrival_us <= 0.0) {
+        for (size_t i = c; i < stream.size(); i += clients) {
+          if (!engine.Query(*stream[i], k).status.ok()) {
+            incomplete.fetch_add(1);
+          }
+        }
+        return;
+      }
+      for (;;) {
+        const size_t i = next_op.fetch_add(1);
+        if (i >= stream.size()) return;
+        std::this_thread::sleep_until(
+            start + std::chrono::microseconds(static_cast<int64_t>(
+                        static_cast<double>(i) * interarrival_us)));
+        if (!engine.Query(*stream[i], k).status.ok()) incomplete.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds = wall.ElapsedSeconds();
+
+  RunResult r;
+  r.ok = incomplete.load() == 0;
+  r.qps = static_cast<double>(stream.size()) / seconds;
+  r.p99_us = engine.stats().Of(t2h::serve::Stage::kTotal).p99_us;
+  const t2h::serve::FrontendSnapshot after = engine.frontend_stats();
+  r.occupancy_p50 = after.occupancy.p50;
+  r.occupancy_mean = after.occupancy.mean;
+  const uint64_t lookups = after.cache_lookups - before.cache_lookups;
+  const uint64_t hits = after.cache_hits - before.cache_hits;
+  r.hit_rate = lookups > 0
+                   ? static_cast<double>(hits) / static_cast<double>(lookups)
+                   : 0.0;
+  return r;
+}
+
+/// Bit-identity gate: the front-end engine must answer exactly like the
+/// baseline for every sampled query (cold or cached).
+bool Identical(t2h::serve::QueryEngine& frontend,
+               t2h::serve::QueryEngine& baseline,
+               const std::vector<t2h::traj::Trajectory>& sample, int k) {
+  for (const t2h::traj::Trajectory& q : sample) {
+    const auto want = baseline.Query(q, k);
+    const auto got = frontend.Query(q, k);
+    if (!want.status.ok() || !got.status.ok()) return false;
+    if (got.neighbors.size() != want.neighbors.size()) return false;
+    for (size_t i = 0; i < want.neighbors.size(); ++i) {
+      if (got.neighbors[i].index != want.neighbors[i].index ||
+          got.neighbors[i].distance != want.neighbors[i].distance) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const FrontendScale scale = GetScale();
+  const int total_ops = scale.clients * scale.ops_per_client;
+  constexpr int kTopK = 10;
+  std::printf("frontend bench: db=%d clients=%d ops=%d zipf_distinct=%d\n",
+              scale.db_size, scale.clients, total_ops, scale.zipf_distinct);
+
+  t2h::Rng rng(4242);
+  t2h::traj::CityConfig city = t2h::traj::CityConfig::PortoLike();
+  // Longer trajectories + a serving-sized model (below) make the encode
+  // stage dominate per-query cost, as it does at paper scale — that is the
+  // regime coalescing exists for. With a toy encoder the forward pass is
+  // shorter than a thread wake-up and batches can never form.
+  city.max_points = 48;
+  // db + the uniform workload's all-unique queries + the zipf hot pool.
+  const auto corpus =
+      GenerateTrips(city, scale.db_size + total_ops + scale.zipf_distinct, rng);
+  const std::vector<t2h::traj::Trajectory> db(corpus.begin(),
+                                              corpus.begin() + scale.db_size);
+
+  // Uniform = every op its own query: zero reuse, the cache's worst case.
+  std::vector<const t2h::traj::Trajectory*> uniform_stream;
+  std::vector<t2h::traj::Trajectory> uniform_distinct;  // warm-up sample only
+  for (int i = 0; i < total_ops; ++i) {
+    uniform_stream.push_back(&corpus[scale.db_size + i]);
+  }
+  for (int i = 0; i < std::min(total_ops, 16); ++i) {
+    uniform_distinct.push_back(corpus[scale.db_size + total_ops - 1 - i]);
+  }
+
+  // Zipf:1.1 over a small hot pool — the skew real query logs show.
+  std::vector<t2h::traj::Trajectory> zipf_pool(
+      corpus.begin() + scale.db_size + total_ops, corpus.end());
+  std::vector<const t2h::traj::Trajectory*> zipf_stream;
+  {
+    t2h::ZipfSampler zipf(scale.zipf_distinct, 1.1);
+    t2h::Rng zipf_rng(4243);
+    for (int i = 0; i < total_ops; ++i) {
+      zipf_stream.push_back(&zipf_pool[zipf.Sample(zipf_rng)]);
+    }
+  }
+
+  t2h::core::Traj2HashConfig cfg;
+  cfg.dim = 128;
+  cfg.num_blocks = 2;
+  cfg.num_heads = 4;
+  auto model = std::move(t2h::core::Traj2Hash::Create(cfg, db, rng).value());
+
+  t2h::serve::QueryEngine baseline(model.get(),
+                                   {.num_threads = 4, .num_shards = 4});
+  if (!baseline.InsertAll(db).ok()) return 1;
+
+  struct Config {
+    const char* name;
+    int64_t batch_wait_us;  ///< -1 = front-end off (baseline)
+  };
+  // The wait sweep brackets the single-query encode cost (~ms at this model
+  // size): 0 = flush asap, 2ms ~ one encode, 8ms ~ several.
+  const Config configs[] = {
+      {"off", -1}, {"wait0", 0}, {"wait2000", 2000}, {"wait8000", 8000}};
+  struct Row {
+    const char* dist;
+    const char* pacing;
+    const Config* config;
+    RunResult r;
+  };
+  std::vector<Row> rows;
+  bool gates_ok = true;
+  // Closed-loop capacity of the frontend-off baseline, per distribution;
+  // the open-loop pacings offer 1.5x this. Filled by the first ("off")
+  // config's closed rows before any open row runs.
+  double base_qps[2] = {0.0, 0.0};
+
+  std::printf("%8s %9s %9s %12s %12s %8s %8s %9s\n", "dist", "pacing",
+              "wait_us", "QPS", "p99_us", "occ_p50", "occ_mu", "hit_rate");
+  for (const Config& config : configs) {
+    for (const bool zipf : {false, true}) {
+      for (const bool open : {false, true}) {
+        t2h::serve::QueryEngineOptions options{.num_threads = 4,
+                                               .num_shards = 4};
+        if (config.batch_wait_us >= 0) {
+          options.enable_coalescing = true;
+          options.max_batch = 4;
+          options.max_wait_us = config.batch_wait_us;
+          options.cache_entries = 4 * scale.zipf_distinct;
+        }
+        t2h::serve::QueryEngine engine(model.get(), options);
+        if (!engine.InsertAll(db).ok()) return 1;
+
+        const double interarrival_us =
+            open ? 1e6 / (1.5 * base_qps[zipf ? 1 : 0]) : 0.0;
+        const RunResult r =
+            Drive(engine, zipf ? zipf_stream : uniform_stream,
+                  zipf ? zipf_pool : uniform_distinct, scale.clients, kTopK,
+                  interarrival_us);
+        const char* dist = zipf ? "zipf:1.1" : "uniform";
+        const char* pacing = open ? "open1.5x" : "closed";
+        if (!open && config.batch_wait_us < 0) {
+          base_qps[zipf ? 1 : 0] = r.qps;
+        }
+        rows.push_back({dist, pacing, &config, r});
+        std::printf("%8s %9s %9lld %12.1f %12.1f %8.0f %8.2f %9.3f\n", dist,
+                    pacing, static_cast<long long>(config.batch_wait_us),
+                    r.qps, r.p99_us, r.occupancy_p50, r.occupancy_mean,
+                    r.hit_rate);
+        if (!r.ok) {
+          std::printf("FAILED: incomplete queries under %s/%s/%s\n",
+                      config.name, dist, pacing);
+          gates_ok = false;
+        }
+
+        // Gate 1 — bit-identity: cold, cached and coalesced answers must
+        // all equal the baseline engine's.
+        std::vector<t2h::traj::Trajectory> sample(
+            zipf_pool.begin(),
+            zipf_pool.begin() + std::min<size_t>(zipf_pool.size(), 12));
+        sample.insert(sample.end(), uniform_distinct.begin(),
+                      uniform_distinct.end());
+        if (!Identical(engine, baseline, sample, kTopK)) {
+          std::printf("FAILED: %s/%s answers differ from the baseline\n",
+                      dist, pacing);
+          gates_ok = false;
+        }
+
+        // Gate 2 — the zipf hit-rate floor: on a quiescent index a correct
+        // epoch-keyed cache must absorb the warmed hot pool.
+        if (config.batch_wait_us >= 0 && zipf && r.hit_rate < 0.5) {
+          std::printf("FAILED: zipf:1.1 hit rate %.3f below the 0.5 floor\n",
+                      r.hit_rate);
+          gates_ok = false;
+        }
+
+        // Gate 3 — overload must actually coalesce: at 1.5x capacity with
+        // all-miss queries and a generous bounded wait, the pending queue
+        // stays deep and median batch occupancy above 1 is a structural
+        // property of the coalescer, not a timing accident.
+        if (config.batch_wait_us >= 8000 && !zipf && open &&
+            r.occupancy_p50 <= 1.0) {
+          std::printf(
+              "FAILED: open1.5x/uniform occupancy p50 %.0f at wait %lld us "
+              "— concurrent admissions did not coalesce\n",
+              r.occupancy_p50,
+              static_cast<long long>(config.batch_wait_us));
+          gates_ok = false;
+        }
+      }
+    }
+  }
+
+  if (const char* json_path = std::getenv("T2H_BENCH_JSON");
+      json_path != nullptr) {
+    if (std::FILE* f = std::fopen(json_path, "w"); f != nullptr) {
+      std::fprintf(f,
+                   "{\n  \"bench\": \"frontend\", \"db\": %d, \"clients\": "
+                   "%d, \"ops\": %d,\n  \"zipf_distinct\": %d, \"k\": %d, "
+                   "\"runs\": [\n",
+                   scale.db_size, scale.clients, total_ops,
+                   scale.zipf_distinct, kTopK);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const Row& row = rows[i];
+        std::fprintf(
+            f,
+            "    {\"dist\": \"%s\", \"pacing\": \"%s\", "
+            "\"batch_wait_us\": %lld, "
+            "\"frontend\": %s, \"qps\": %.1f, \"p99_us\": %.1f, "
+            "\"occupancy_p50\": %.0f, \"occupancy_mean\": %.2f, "
+            "\"hit_rate\": %.3f}%s\n",
+            row.dist, row.pacing,
+            static_cast<long long>(row.config->batch_wait_us),
+            row.config->batch_wait_us >= 0 ? "true" : "false", row.r.qps,
+            row.r.p99_us, row.r.occupancy_p50, row.r.occupancy_mean,
+            row.r.hit_rate, i + 1 < rows.size() ? "," : "");
+      }
+      std::fprintf(f, "  ]\n}\n");
+      std::fclose(f);
+      std::printf("json written to %s\n", json_path);
+    }
+  }
+
+  std::printf("frontend bench %s\n", gates_ok ? "PASSED" : "FAILED");
+  return gates_ok ? 0 : 1;
+}

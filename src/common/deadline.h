@@ -36,6 +36,13 @@ class Deadline {
 
   bool infinite() const { return !has_deadline_; }
 
+  /// The absolute expiry instant, or `fallback` for infinite deadlines.
+  /// Lets bounded waiters (`cv.wait_until`) cap a sleep by the deadline
+  /// without special-casing the infinite default.
+  Clock::time_point when_or(Clock::time_point fallback) const {
+    return has_deadline_ ? when_ : fallback;
+  }
+
   /// True once the deadline has passed, or when the named fault-injection
   /// point fires (tests only; inactive injector costs one atomic load).
   bool Expired(const char* fault_point = nullptr) const {

@@ -59,6 +59,7 @@ Status LiveIndex::Insert(int id, search::Code code,
                                    " is already live");
   }
   AppendDeltaLocked(id, std::move(code), std::move(embedding));
+  mutation_epoch_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
@@ -77,6 +78,7 @@ Status LiveIndex::Remove(int id) {
     ++base_dead_count_;
   }
   loc_.erase(it);
+  mutation_epoch_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
@@ -99,6 +101,7 @@ Status LiveIndex::Update(int id, search::Code code,
   }
   loc_.erase(it);
   AppendDeltaLocked(id, std::move(code), std::move(embedding));
+  mutation_epoch_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
@@ -120,6 +123,7 @@ void LiveIndex::Upsert(int id, search::Code code,
     loc_.erase(it);
   }
   AppendDeltaLocked(id, std::move(code), std::move(embedding));
+  mutation_epoch_.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool LiveIndex::RemoveIfPresent(int id) { return Remove(id).ok(); }
@@ -414,6 +418,11 @@ void LiveIndex::RunClaimedCompaction() {
     delta_dead_ = std::move(new_delta_dead);
     delta_dead_count_ = new_delta_dead_count;
     delta_embeddings_ = std::move(new_delta_embeddings);
+    // The install changes physical layout (what a racing cached probe could
+    // have been computed against), so it advances the mutation epoch too —
+    // conservatively invalidating result-cache entries even though the
+    // logical corpus is unchanged.
+    mutation_epoch_.fetch_add(1, std::memory_order_relaxed);
   }
   compactions_run_.fetch_add(1, std::memory_order_acq_rel);
   compaction_in_flight_.store(false, std::memory_order_release);

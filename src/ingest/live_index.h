@@ -110,6 +110,16 @@ class LiveIndex {
     return compactions_run_.load(std::memory_order_acquire);
   }
 
+  /// Monotonic mutation epoch: advances on every successful Insert / Remove
+  /// / Update / Upsert (RemoveIfPresent counts via Remove) and on every
+  /// compaction install. A cheap relaxed read — consumers (the serve-side
+  /// result cache, DESIGN.md §15) need only monotonicity; visibility rides
+  /// the shard lock, because the increment happens inside the exclusive
+  /// section of the mutation it stamps.
+  uint64_t mutation_epoch() const {
+    return mutation_epoch_.load(std::memory_order_relaxed);
+  }
+
   /// True when the compaction trigger (see LiveIndexOptions) is met.
   bool NeedsCompaction() const;
 
@@ -177,6 +187,7 @@ class LiveIndex {
 
   std::atomic<bool> compaction_in_flight_{false};
   std::atomic<int> compactions_run_{0};
+  std::atomic<uint64_t> mutation_epoch_{0};
 };
 
 }  // namespace traj2hash::ingest

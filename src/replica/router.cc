@@ -1,10 +1,30 @@
 #include "replica/router.h"
 
+#include <cstring>
 #include <utility>
 
 #include "common/retry.h"
 
 namespace traj2hash::replica {
+
+namespace {
+
+/// Canonical cache key of one routed read: k + code width + code bytes.
+std::string CodeKey(const search::Code& query, int k) {
+  std::string key;
+  key.reserve(query.words.size() * sizeof(uint64_t) + 8);
+  serve::ResultCache::AppendCanonicalKey(static_cast<int32_t>(k), &key);
+  serve::ResultCache::AppendCanonicalKey(static_cast<int32_t>(query.num_bits),
+                                         &key);
+  for (const uint64_t word : query.words) {
+    char buf[sizeof(uint64_t)];
+    std::memcpy(buf, &word, sizeof(word));
+    key.append(buf, sizeof(buf));
+  }
+  return key;
+}
+
+}  // namespace
 
 ReadRouter::ReadRouter(std::vector<Replica*> replicas,
                        const ReadRouterOptions& options)
@@ -16,6 +36,10 @@ ReadRouter::ReadRouter(std::vector<Replica*> replicas,
   for (size_t i = 0; i < replicas_.size(); ++i) {
     routable_.push_back(std::make_unique<std::atomic<bool>>(true));
     routed_.push_back(std::make_unique<std::atomic<int64_t>>(0));
+    if (options_.cache_entries > 0) {
+      caches_.push_back(
+          std::make_unique<serve::ResultCache>(options_.cache_entries));
+    }
   }
 }
 
@@ -69,6 +93,8 @@ RoutedRead ReadRouter::Query(const search::Code& query, int k) {
   // Zero jitter consumes no Rng draws, so a query-local Rng keeps Query
   // lock-free across threads without perturbing any shared stream.
   Rng rng(options_.seed);
+  const std::string key =
+      caches_.empty() ? std::string() : CodeKey(query, k);
   out.status = RetryWithBackoff(
       retry, rng,
       [&]() -> Status {
@@ -76,6 +102,18 @@ RoutedRead ReadRouter::Query(const search::Code& query, int k) {
         const int i = PickReplica();
         if (i < 0) {
           return Status::Unavailable("no healthy replica in rotation");
+        }
+        // Cache hit at exactly the replica's applied seq: the seq names one
+        // primary state, so the cached answer is what the replica would
+        // return — served without touching it.
+        serve::ResultCache* cache = caches_.empty() ? nullptr : caches_[i].get();
+        const uint64_t seq_before =
+            cache != nullptr ? replicas_[i]->applied_seq() : 0;
+        if (cache != nullptr &&
+            cache->Lookup(key, seq_before, &out.neighbors)) {
+          out.replica = i;
+          routed_[i]->fetch_add(1, std::memory_order_acq_rel);
+          return Status::Ok();
         }
         Result<std::vector<search::Neighbor>> served =
             replicas_[i]->Query(query, k);
@@ -90,11 +128,33 @@ RoutedRead ReadRouter::Query(const search::Code& query, int k) {
         out.neighbors = std::move(served).value();
         out.replica = i;
         routed_[i]->fetch_add(1, std::memory_order_acq_rel);
+        if (cache != nullptr) {
+          // Stable-seq rule: cache only when no shipped record was applied
+          // while the query ran, so the entry is a fact about seq_before.
+          cache->Insert(key, seq_before, replicas_[i]->applied_seq(),
+                        out.neighbors);
+        }
         return Status::Ok();
       },
       no_sleep);
   admission_.Release();
   return out;
+}
+
+serve::ResultCache::Stats ReadRouter::cache_stats() const {
+  serve::ResultCache::Stats sum;
+  for (const auto& cache : caches_) {
+    const serve::ResultCache::Stats s = cache->stats();
+    sum.lookups += s.lookups;
+    sum.hits += s.hits;
+    sum.misses += s.misses;
+    sum.stale += s.stale;
+    sum.flight_waits += s.flight_waits;
+    sum.flight_served += s.flight_served;
+    sum.insertions += s.insertions;
+    sum.evictions += s.evictions;
+  }
+  return sum;
 }
 
 Status ReadRouter::RollingRestart(int i, const std::string& snapshot_path) {

@@ -12,6 +12,7 @@
 #include "replica/replica.h"
 #include "search/knn.h"
 #include "serve/admission.h"
+#include "serve/result_cache.h"
 
 namespace traj2hash::replica {
 
@@ -27,6 +28,11 @@ struct ReadRouterOptions {
   /// Seed for the retry-backoff jitter Rng (deterministic failover
   /// schedules in tests).
   uint64_t seed = 42;
+  /// Per-replica result-cache capacity (entries); 0 disables caching.
+  /// Each replica gets its own cache keyed by its applied seq — the seq
+  /// names one exact primary state, so an entry at seq S is bit-identical
+  /// to querying any replica applied to S (DESIGN.md §15).
+  int cache_entries = 0;
 };
 
 /// Outcome of one routed read.
@@ -93,6 +99,10 @@ class ReadRouter {
   /// Queries shed by router admission control.
   int64_t shed_count() const { return admission_.shed_count(); }
 
+  /// Result-cache counters summed over the per-replica caches (all zero
+  /// when `cache_entries` is 0).
+  serve::ResultCache::Stats cache_stats() const;
+
  private:
   /// Next routable + healthy replica at-or-after the round-robin cursor;
   /// -1 when none.
@@ -106,6 +116,9 @@ class ReadRouter {
   /// atomics so the vector never moves them.
   std::vector<std::unique_ptr<std::atomic<bool>>> routable_;
   std::vector<std::unique_ptr<std::atomic<int64_t>>> routed_;
+  /// Per-replica result caches (empty when caching is disabled). Keyed by
+  /// (k, num_bits, code words); epoch = the replica's applied seq.
+  std::vector<std::unique_ptr<serve::ResultCache>> caches_;
   std::atomic<uint64_t> next_{0};
   std::atomic<int64_t> failovers_{0};
 };

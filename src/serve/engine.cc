@@ -13,12 +13,26 @@ namespace traj2hash::serve {
 QueryEngine::QueryEngine(const core::Traj2Hash* model,
                          const QueryEngineOptions& options)
     : model_(model),
+      options_(options),
       index_(options.num_shards, model != nullptr ? model->config().dim : 1,
              options.strategy, options.mih_substrings,
              options.compact_min_ops, options.compact_ratio),
       pool_(options.num_threads),
       admission_(options.queue_depth, options.overload_policy) {
   T2H_CHECK(model != nullptr);
+  if (options.enable_coalescing) {
+    BatchCoalescerOptions copts;
+    copts.max_batch = options.max_batch;
+    copts.max_wait_us = options.max_wait_us;
+    // Pipeline-aware idle flush: queries mid-probe/rank (or served from the
+    // cache) count as load, so a leader lingers for them instead of
+    // flushing a singleton the moment the encode resource looks free.
+    copts.engine_load = [this] { return admission_.in_flight(); };
+    coalescer_ = std::make_unique<BatchCoalescer>(model, &pool_, copts);
+  }
+  if (options.cache_entries > 0) {
+    cache_ = std::make_unique<ResultCache>(options.cache_entries);
+  }
 }
 
 Result<int> QueryEngine::Insert(const traj::Trajectory& t) {
@@ -94,7 +108,17 @@ QueryResult QueryEngine::RunQuery(const traj::Trajectory& query, int k,
   }
   const search::Code code = model_->HashCode(query);
   stats_.Record(Stage::kEncode, stage.ElapsedMicros());
+  result = ProbeAndRank(code, k, parallel_fanout, options);
+  stats_.Record(Stage::kTotal, total.ElapsedMicros());
+  return result;
+}
 
+QueryResult QueryEngine::ProbeAndRank(const search::Code& code, int k,
+                                      bool parallel_fanout,
+                                      const QueryOptions& options) {
+  T2H_CHECK_GE(k, 1);
+  Stopwatch stage;
+  QueryResult result;
   const int s = index_.num_shards();
   std::vector<std::vector<search::Neighbor>> per_shard(s);
   // Per-shard completion flags (uint8_t: pool tasks write them
@@ -154,6 +178,71 @@ QueryResult QueryEngine::RunQuery(const traj::Trajectory& query, int k,
     }
   }
   stats_.Record(Stage::kRank, stage.ElapsedMicros());
+  return result;
+}
+
+std::string QueryEngine::CacheKey(const traj::Trajectory& query, int k) const {
+  std::string key;
+  key.reserve(query.points.size() * 2 * sizeof(double) + 16);
+  ResultCache::AppendCanonicalKey(static_cast<int32_t>(k), &key);
+  ResultCache::AppendCanonicalKey(static_cast<uint8_t>(index_.strategy()),
+                                  &key);
+  ResultCache::AppendCanonicalKey(query, &key);
+  return key;
+}
+
+QueryResult QueryEngine::RunFrontend(const traj::Trajectory& query, int k,
+                                     const QueryOptions& options) {
+  T2H_CHECK_GE(k, 1);
+  if (coalescer_ != nullptr) coalescer_->BeginApproach();
+  Stopwatch total;
+  QueryResult result;
+  if (options.deadline.Expired()) {
+    if (coalescer_ != nullptr) coalescer_->EndApproach();
+    result.complete = false;
+    result.status =
+        Status::DeadlineExceeded("deadline expired before the encode stage");
+    return result;
+  }
+
+  // Cache acquire: a hit answers without encoding or probing; a leader owns
+  // the probe (and the Publish duty); a follower that could not reuse the
+  // flight's result falls through and computes for itself.
+  ResultCache::Ticket ticket;
+  ResultCache::Outcome outcome = ResultCache::Outcome::kMiss;
+  uint64_t admission_epoch = 0;
+  std::string key;
+  if (cache_ != nullptr) {
+    admission_epoch = index_.mutation_epoch();
+    key = CacheKey(query, k);
+    outcome = cache_->Acquire(key, admission_epoch, options.deadline,
+                              &result.neighbors, &ticket);
+    if (outcome == ResultCache::Outcome::kHit) {
+      if (coalescer_ != nullptr) coalescer_->EndApproach();
+      stats_.Record(Stage::kTotal, total.ElapsedMicros());
+      return result;  // complete, OK — exactly what the probe would return
+    }
+  }
+
+  Stopwatch stage;
+  const search::Code code =
+      coalescer_ != nullptr
+          ? coalescer_->Encode(query, options.deadline)  // consumes approach
+          : model_->HashCode(query);
+  stats_.Record(Stage::kEncode, stage.ElapsedMicros());
+  result = ProbeAndRank(code, k, /*parallel_fanout=*/true, options);
+  if (cache_ != nullptr) {
+    const uint64_t epoch_after = index_.mutation_epoch();
+    const bool usable = result.complete && result.status.ok();
+    if (outcome == ResultCache::Outcome::kLead) {
+      cache_->Publish(&ticket, admission_epoch, epoch_after, usable,
+                      result.neighbors);
+    } else if (usable) {
+      // Fallen-back follower: no flight to publish, but the result is still
+      // cacheable under the same stable-epoch rule.
+      cache_->Insert(key, admission_epoch, epoch_after, result.neighbors);
+    }
+  }
   stats_.Record(Stage::kTotal, total.ElapsedMicros());
   return result;
 }
@@ -167,7 +256,10 @@ QueryResult QueryEngine::Query(const traj::Trajectory& query, int k,
     shed.status = admitted;
     return shed;
   }
-  QueryResult result = RunQuery(query, k, /*parallel_fanout=*/true, options);
+  QueryResult result =
+      coalescer_ != nullptr || cache_ != nullptr
+          ? RunFrontend(query, k, options)
+          : RunQuery(query, k, /*parallel_fanout=*/true, options);
   admission_.Release();
   return result;
 }
@@ -175,33 +267,132 @@ QueryResult QueryEngine::Query(const traj::Trajectory& query, int k,
 std::vector<QueryResult> QueryEngine::QueryBatch(
     const std::vector<traj::Trajectory>& queries, int k,
     const QueryOptions& options) {
-  std::vector<QueryResult> results(queries.size());
-  // Admission runs at submission time on this thread, so under a full
-  // queue the shed pattern is deterministic: the first `queue_depth`
-  // arrivals are admitted, later ones shed (kReject) or wait here (kBlock,
-  // which cannot deadlock — admitted tasks are already submitted and
-  // release their slots as workers finish them). Tasks are therefore
-  // submitted one by one instead of through the RunAll barrier.
+  T2H_CHECK_GE(k, 1);
+  const size_t n = queries.size();
+  std::vector<QueryResult> results(n);
+  if (n == 0) return results;
+
+  // Admission first. Under a bounded kReject queue the whole batch is
+  // admitted up front on this thread (Admit never blocks under kReject),
+  // which makes the shed pattern deterministic — the first `queue_depth`
+  // queries are admitted, every later one is shed — and guarantees no shed
+  // query wastes a forward pass below. Unbounded and kBlock engines never
+  // shed batch queries, so they skip this pass and admit at submission
+  // time, the historical behaviour (kBlock must: admitting the whole batch
+  // up front would deadlock against its own not-yet-submitted tasks).
+  const bool reject_bounded =
+      options_.queue_depth > 0 &&
+      options_.overload_policy == OverloadPolicy::kReject;
+  std::vector<uint8_t> admitted(n, 1);
+  if (reject_bounded) {
+    for (size_t i = 0; i < n; ++i) {
+      const Status status = admission_.Admit();
+      if (!status.ok()) {
+        admitted[i] = 0;
+        results[i].complete = false;
+        results[i].status = status;
+      }
+    }
+  }
+
+  // Cache pass: hits are answered inline at the batch's admission epoch,
+  // without a forward pass or a worker task.
+  const uint64_t batch_epoch = cache_ != nullptr ? index_.mutation_epoch() : 0;
+  std::vector<std::string> keys(cache_ != nullptr ? n : 0);
+  std::vector<uint8_t> hit(n, 0);
+  if (cache_ != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      if (admitted[i] == 0) continue;
+      Stopwatch lookup;
+      keys[i] = CacheKey(queries[i], k);
+      if (cache_->Lookup(keys[i], batch_epoch, &results[i].neighbors)) {
+        hit[i] = 1;
+        stats_.Record(Stage::kTotal, lookup.ElapsedMicros());
+        if (reject_bounded) admission_.Release();
+      }
+    }
+  }
+
+  // One EmbedBatch forward pass over everything that still needs a probe —
+  // bit-identical to per-query HashCode (same per-trajectory Embed, same
+  // PackSigns), but amortized across the pool. The encode stage records
+  // each query's amortized share.
+  std::vector<size_t> to_run;
+  to_run.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (admitted[i] != 0 && hit[i] == 0) to_run.push_back(i);
+  }
+  std::vector<search::Code> codes(n);
+  double encode_share_us = 0.0;
+  if (!to_run.empty() && options.deadline.Expired()) {
+    // Fail fast, like the per-query path: nothing gets encoded or probed.
+    for (const size_t i : to_run) {
+      results[i].complete = false;
+      results[i].status =
+          Status::DeadlineExceeded("deadline expired before the encode stage");
+      if (reject_bounded) admission_.Release();
+    }
+    to_run.clear();
+  }
+  if (!to_run.empty()) {
+    Stopwatch encode;
+    std::vector<std::vector<float>> embeddings;
+    if (to_run.size() == n) {
+      embeddings = model_->EmbedBatch(queries, &pool_);
+    } else {
+      std::vector<traj::Trajectory> subset;
+      subset.reserve(to_run.size());
+      for (size_t i : to_run) subset.push_back(queries[i]);
+      embeddings = model_->EmbedBatch(subset, &pool_);
+    }
+    for (size_t j = 0; j < to_run.size(); ++j) {
+      codes[to_run[j]] = search::PackSigns(embeddings[j]);
+    }
+    encode_share_us =
+        encode.ElapsedMicros() / static_cast<double>(to_run.size());
+    for (size_t j = 0; j < to_run.size(); ++j) {
+      stats_.Record(Stage::kEncode, encode_share_us);
+    }
+  }
+
+  // Probe tasks are submitted one by one (not through the RunAll barrier)
+  // so kBlock admission cannot deadlock: admitted tasks are already
+  // running and release their slots as workers finish them. Serial
+  // fan-out inside each task — a worker probing its own shards cannot wait
+  // on the pool.
   std::mutex mu;
   std::condition_variable all_done;
   int outstanding = 0;
-  for (size_t i = 0; i < queries.size(); ++i) {
-    const Status admitted = admission_.Admit();
-    if (!admitted.ok()) {
-      results[i].complete = false;
-      results[i].status = admitted;
-      continue;
+  for (const size_t i : to_run) {
+    if (!reject_bounded) {
+      const Status status = admission_.Admit();
+      if (!status.ok()) {
+        results[i].complete = false;
+        results[i].status = status;
+        continue;
+      }
     }
     {
       std::lock_guard<std::mutex> lock(mu);
       ++outstanding;
     }
-    // Serial fan-out inside each task: a worker probing its own shards
-    // cannot wait on the pool, so batches cannot deadlock and throughput
-    // comes from query-level parallelism.
-    pool_.Submit([this, &queries, &results, k, i, &options, &mu, &all_done,
-                  &outstanding] {
-      results[i] = RunQuery(queries[i], k, /*parallel_fanout=*/false, options);
+    pool_.Submit([this, &results, &codes, &keys, i, k, &options, batch_epoch,
+                  encode_share_us, &mu, &all_done, &outstanding] {
+      Stopwatch task;
+      if (options.deadline.Expired()) {
+        results[i].complete = false;
+        results[i].status = Status::DeadlineExceeded(
+            "deadline expired before the probe stage");
+      } else {
+        results[i] = ProbeAndRank(codes[i], k, /*parallel_fanout=*/false,
+                                  options);
+        stats_.Record(Stage::kTotal, task.ElapsedMicros() + encode_share_us);
+        if (cache_ != nullptr && results[i].complete &&
+            results[i].status.ok()) {
+          cache_->Insert(keys[i], batch_epoch, index_.mutation_epoch(),
+                         results[i].neighbors);
+        }
+      }
       admission_.Release();
       std::lock_guard<std::mutex> lock(mu);
       if (--outstanding == 0) all_done.notify_all();
@@ -210,6 +401,31 @@ std::vector<QueryResult> QueryEngine::QueryBatch(
   std::unique_lock<std::mutex> lock(mu);
   all_done.wait(lock, [&outstanding] { return outstanding == 0; });
   return results;
+}
+
+FrontendSnapshot QueryEngine::frontend_stats() const {
+  FrontendSnapshot s;
+  s.coalescing = coalescer_ != nullptr;
+  s.caching = cache_ != nullptr;
+  if (coalescer_ != nullptr) {
+    s.occupancy = coalescer_->occupancy();
+    s.flushes_full = coalescer_->flushes_full();
+    s.flushes_deadline = coalescer_->flushes_deadline();
+    s.flushes_idle = coalescer_->flushes_idle();
+  }
+  if (cache_ != nullptr) {
+    const ResultCache::Stats cs = cache_->stats();
+    s.cache_lookups = cs.lookups;
+    s.cache_hits = cs.hits;
+    s.cache_misses = cs.misses;
+    s.cache_stale = cs.stale;
+    s.flight_waits = cs.flight_waits;
+    s.flight_served = cs.flight_served;
+    s.cache_insertions = cs.insertions;
+    s.cache_evictions = cs.evictions;
+  }
+  s.epoch = index_.mutation_epoch();
+  return s;
 }
 
 }  // namespace traj2hash::serve

@@ -11,6 +11,8 @@
 #include "search/knn.h"
 #include "search/strategy.h"
 #include "serve/admission.h"
+#include "serve/coalescer.h"
+#include "serve/result_cache.h"
 #include "serve/sharded_index.h"
 #include "serve/stats.h"
 #include "serve/thread_pool.h"
@@ -36,6 +38,17 @@ struct QueryEngineOptions {
   /// the delta AND they exceed `compact_ratio` of the shard's physical rows.
   int compact_min_ops = 64;
   double compact_ratio = 0.25;
+  /// Query front-end (DESIGN.md §15). Coalescing groups concurrently
+  /// admitted Query() calls into one EmbedBatch forward pass under a
+  /// deadline-aware bounded wait; results stay bit-identical to the
+  /// uncoalesced path. Off by default (the historical behaviour).
+  bool enable_coalescing = false;
+  int max_batch = 8;          ///< coalescer flush size
+  int64_t max_wait_us = 200;  ///< coalescer bounded wait per batch
+  /// Epoch-keyed result cache capacity (entries); 0 disables caching.
+  /// Cached results are invalidated by the index mutation epoch, so churn
+  /// can never serve stale neighbours.
+  int cache_entries = 0;
 };
 
 /// Per-query degradation knobs, threaded through Query/QueryBatch down to
@@ -114,10 +127,15 @@ class QueryEngine {
   QueryResult Query(const traj::Trajectory& query, int k,
                     const QueryOptions& options = QueryOptions());
 
-  /// Batched top-k: one worker task per query, serial fan-out inside each.
-  /// Results are positionally aligned with `queries`. Admission is checked
-  /// per query at submission time; shed queries get kUnavailable results
-  /// without occupying a worker.
+  /// Batched top-k: the whole batch is encoded in one EmbedBatch forward
+  /// pass (bit-identical to per-query encoding), then one worker task per
+  /// query probes its shards serially. Results are positionally aligned
+  /// with `queries`. Under a bounded kReject queue the shed pattern is
+  /// deterministic — the first `queue_depth` queries are admitted, later
+  /// ones shed with kUnavailable — and shed queries are never encoded.
+  /// With a result cache, hits are answered inline without occupying a
+  /// worker. Must not be called from inside a pool task (EmbedBatch uses
+  /// ThreadPool::RunAll).
   std::vector<QueryResult> QueryBatch(
       const std::vector<traj::Trajectory>& queries, int k,
       const QueryOptions& options = QueryOptions());
@@ -154,6 +172,13 @@ class QueryEngine {
   /// Per-stage latency snapshot (thread-safe while serving).
   ServeStats::Snapshot stats() const { return stats_.Summarize(); }
 
+  /// Front-end (coalescer + result cache) counters, plus the current
+  /// mutation epoch. Zeros where the corresponding feature is disabled.
+  FrontendSnapshot frontend_stats() const;
+
+  /// Index mutation epoch (see ShardedIndex::mutation_epoch).
+  uint64_t mutation_epoch() const { return index_.mutation_epoch(); }
+
   /// Clears stage statistics. Safe while serving (see
   /// LatencyHistogram::Reset); in-flight queries may contribute a few
   /// samples to the new epoch.
@@ -179,16 +204,33 @@ class QueryEngine {
   QueryResult RunQuery(const traj::Trajectory& query, int k,
                        bool parallel_fanout, const QueryOptions& options);
 
+  /// probe -> rank over an already-encoded query, recording those two
+  /// stages (the caller owns encode + total accounting).
+  QueryResult ProbeAndRank(const search::Code& code, int k,
+                           bool parallel_fanout, const QueryOptions& options);
+
+  /// Query() body behind the front-end: cache acquire (single-flight) ->
+  /// coalesced encode -> probe/rank -> publish. Only used when the
+  /// coalescer or the cache is enabled.
+  QueryResult RunFrontend(const traj::Trajectory& query, int k,
+                          const QueryOptions& options);
+
+  /// Canonical cache key: k + strategy + the query's geometry bytes.
+  std::string CacheKey(const traj::Trajectory& query, int k) const;
+
   /// After a mutation: claims any shard whose compaction trigger fired and
   /// rebuilds it on the worker pool, off the mutator's thread. Queries keep
   /// serving the old base until the new one is installed.
   void MaybeScheduleCompaction();
 
   const core::Traj2Hash* model_;
+  const QueryEngineOptions options_;
   ShardedIndex index_;
   ThreadPool pool_;
   AdmissionController admission_;
   ServeStats stats_;
+  std::unique_ptr<BatchCoalescer> coalescer_;  // null = coalescing off
+  std::unique_ptr<ResultCache> cache_;         // null = caching off
 };
 
 }  // namespace traj2hash::serve

@@ -1,0 +1,207 @@
+#include "serve/result_cache.h"
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace traj2hash::serve {
+
+/// Shared state of one in-flight probe. Guarded by the cache mutex; the
+/// shared_ptr keeps it alive for followers after the leader erased it from
+/// the flight map.
+struct ResultCache::Ticket::Flight {
+  bool done = false;
+  bool has_result = false;
+  uint64_t epoch = 0;  ///< the (stable) epoch the result was computed at
+  std::vector<search::Neighbor> result;
+};
+
+ResultCache::ResultCache(int capacity) : capacity_(capacity) {}
+
+bool ResultCache::LookupLocked(const std::string& key, uint64_t epoch,
+                               std::vector<search::Neighbor>* out) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  if (it->second->epoch != epoch) {
+    // The epoch is monotone, so a mismatched entry can never serve again:
+    // drop it now rather than wait for LRU pressure. The caller decides
+    // whether the drop is reported as `stale` (only when the lookup ends as
+    // a miss, keeping stale a subset of misses).
+    lru_.erase(it->second);
+    index_.erase(it);
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch
+  *out = it->second->result;
+  return true;
+}
+
+void ResultCache::InsertLocked(const std::string& key, uint64_t epoch,
+                               const std::vector<search::Neighbor>& result) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->epoch = epoch;
+    it->second->result = result;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  lru_.push_front(Entry{key, epoch, result});
+  index_[key] = lru_.begin();
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  if (static_cast<int>(lru_.size()) > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool ResultCache::Lookup(const std::string& key, uint64_t epoch,
+                         std::vector<search::Neighbor>* out) {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  const size_t before = lru_.size();
+  if (LookupLocked(key, epoch, out)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (lru_.size() < before) stale_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void ResultCache::Insert(const std::string& key, uint64_t epoch_before,
+                         uint64_t epoch_after,
+                         const std::vector<search::Neighbor>& result) {
+  if (!enabled()) return;
+  if (epoch_before != epoch_after) return;  // a mutation raced the probe
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(key, epoch_before, result);
+}
+
+ResultCache::Outcome ResultCache::Acquire(const std::string& key,
+                                          uint64_t epoch,
+                                          const Deadline& deadline,
+                                          std::vector<search::Neighbor>* out,
+                                          Ticket* ticket) {
+  if (!enabled()) return Outcome::kMiss;
+  std::unique_lock<std::mutex> lock(mu_);
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  const size_t before = lru_.size();
+  if (LookupLocked(key, epoch, out)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return Outcome::kHit;
+  }
+  const bool dropped_stale = lru_.size() < before;
+  const auto miss = [&]() -> Outcome {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (dropped_stale) stale_.fetch_add(1, std::memory_order_relaxed);
+    return Outcome::kMiss;
+  };
+
+  const auto it = flights_.find(key);
+  if (it == flights_.end()) {
+    // Leader: a miss that owns the probe and the duty to Publish/Abandon.
+    auto flight = std::make_shared<Ticket::Flight>();
+    flights_[key] = flight;
+    ticket->flight_ = std::move(flight);
+    ticket->key_ = key;
+    miss();
+    return Outcome::kLead;
+  }
+
+  // Follower: wait for the leader, but never past this query's deadline —
+  // a stuck flight degrades to an ordinary miss, not a stall.
+  flight_waits_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<Ticket::Flight> flight = it->second;
+  while (!flight->done) {
+    const auto cap =
+        Deadline::Clock::now() + std::chrono::seconds(1);  // re-check period
+    if (flight_done_.wait_until(lock, deadline.when_or(cap)) ==
+            std::cv_status::timeout &&
+        deadline.Expired()) {
+      return miss();
+    }
+  }
+  // The flight's result stands in for this query only when it is at least
+  // as fresh as the follower's own admission epoch (the epoch is monotone,
+  // so >= means "includes everything this query was admitted against").
+  if (flight->has_result && flight->epoch >= epoch) {
+    *out = flight->result;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    flight_served_.fetch_add(1, std::memory_order_relaxed);
+    return Outcome::kHit;
+  }
+  return miss();
+}
+
+void ResultCache::Publish(Ticket* ticket, uint64_t epoch_before,
+                          uint64_t epoch_after, bool complete,
+                          const std::vector<search::Neighbor>& result) {
+  if (ticket->flight_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Ticket::Flight& flight = *ticket->flight_;
+  flight.done = true;
+  // The stable-epoch rule, shared with Insert: only a complete result whose
+  // probe no mutation raced is a fact about one epoch.
+  if (complete && epoch_before == epoch_after) {
+    flight.has_result = true;
+    flight.epoch = epoch_before;
+    flight.result = result;
+    InsertLocked(ticket->key_, epoch_before, result);
+  }
+  flights_.erase(ticket->key_);
+  ticket->flight_.reset();
+  flight_done_.notify_all();
+}
+
+void ResultCache::Abandon(Ticket* ticket) {
+  if (ticket->flight_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ticket->flight_->done = true;
+  flights_.erase(ticket->key_);
+  ticket->flight_.reset();
+  flight_done_.notify_all();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats out;
+  out.lookups = lookups_.load(std::memory_order_relaxed);
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.stale = stale_.load(std::memory_order_relaxed);
+  out.flight_waits = flight_waits_.load(std::memory_order_relaxed);
+  out.flight_served = flight_served_.load(std::memory_order_relaxed);
+  out.insertions = insertions_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  return out;
+}
+
+int ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(lru_.size());
+}
+
+void ResultCache::AppendCanonicalKey(const traj::Trajectory& t,
+                                     std::string* key) {
+  AppendCanonicalKey(static_cast<int32_t>(t.points.size()), key);
+  for (const traj::Point& p : t.points) {
+    char buf[2 * sizeof(double)];
+    std::memcpy(buf, &p.x, sizeof(double));
+    std::memcpy(buf + sizeof(double), &p.y, sizeof(double));
+    key->append(buf, sizeof(buf));
+  }
+}
+
+void ResultCache::AppendCanonicalKey(int32_t v, std::string* key) {
+  char buf[sizeof(int32_t)];
+  std::memcpy(buf, &v, sizeof(v));
+  key->append(buf, sizeof(buf));
+}
+
+void ResultCache::AppendCanonicalKey(uint8_t v, std::string* key) {
+  key->push_back(static_cast<char>(v));
+}
+
+}  // namespace traj2hash::serve

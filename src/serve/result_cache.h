@@ -1,0 +1,156 @@
+#ifndef TRAJ2HASH_SERVE_RESULT_CACHE_H_
+#define TRAJ2HASH_SERVE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/deadline.h"
+#include "search/knn.h"
+#include "serve/stats.h"
+#include "traj/trajectory.h"
+
+namespace traj2hash::serve {
+
+/// Epoch-keyed LRU cache of top-k results (DESIGN.md §15).
+///
+/// Keys are the *exact bytes* of a canonicalized query (see
+/// AppendCanonicalKey) — never a digest, so a hash collision can never
+/// violate the engine's bit-identical-results contract. Every entry carries
+/// the index mutation epoch it was computed at; a lookup succeeds only when
+/// that epoch equals the caller's current epoch, so churn can never serve
+/// stale neighbours. Because the epoch is monotone, a mismatched entry can
+/// never become valid again and is dropped on sight (counted as `stale`, a
+/// subset of misses: hits + misses == lookups always).
+///
+/// Insertion follows the stable-epoch rule: the caller passes the epoch it
+/// read *before* computing and the epoch it read *after*; the entry is
+/// stored only when the two agree (and the result is complete), proving no
+/// mutation raced the probe. Epoch increments happen inside the shard locks
+/// the probe itself takes, so a racing mutation is never invisible to this
+/// check.
+///
+/// Single-flight (Acquire/Publish): concurrent misses on one key elect a
+/// leader (Outcome::kLead) that owns the probe; followers block on the
+/// flight (bounded by their deadline) and are served the leader's result if
+/// it was computed at an epoch >= their own admission epoch. Otherwise they
+/// fall back to Outcome::kMiss and compute for themselves — correctness
+/// first, dedup second.
+///
+/// Thread-safe. A capacity <= 0 disables the cache: every call is a cheap
+/// no-op that reports a miss, so callers need no branching.
+class ResultCache {
+ public:
+  explicit ResultCache(int capacity);
+
+  bool enabled() const { return capacity_ > 0; }
+
+  /// Plain lookup (batch + router paths; no single-flight). True on a hit
+  /// at exactly `epoch`, filling `*out`.
+  bool Lookup(const std::string& key, uint64_t epoch,
+              std::vector<search::Neighbor>* out);
+
+  /// Plain insert under the stable-epoch rule: stored only when
+  /// `epoch_before == epoch_after`. Evicts the LRU entry beyond capacity.
+  void Insert(const std::string& key, uint64_t epoch_before,
+              uint64_t epoch_after, const std::vector<search::Neighbor>& result);
+
+  enum class Outcome {
+    kHit,   ///< `*out` filled with a result valid at/after the given epoch
+    kLead,  ///< caller owns the probe; MUST call Publish or Abandon
+    kMiss,  ///< caller computes for itself, with no publish duty
+  };
+
+  /// Opaque handle tying a kLead Acquire to its Publish/Abandon.
+  class Ticket {
+   public:
+    Ticket() = default;
+
+   private:
+    friend class ResultCache;
+    struct Flight;
+    std::shared_ptr<Flight> flight_;
+    std::string key_;
+  };
+
+  /// Single-flight lookup (engine Query path). kHit serves either a cached
+  /// entry at exactly `epoch` or a just-published flight result computed at
+  /// an epoch >= `epoch`. The follower wait is bounded by `deadline`
+  /// (expiry degrades to kMiss, never a stall).
+  Outcome Acquire(const std::string& key, uint64_t epoch,
+                  const Deadline& deadline, std::vector<search::Neighbor>* out,
+                  Ticket* ticket);
+
+  /// Completes a kLead ticket: wakes followers with the result (valid at
+  /// `epoch_before` iff `complete` and the epochs agree) and caches it
+  /// under the stable-epoch rule.
+  void Publish(Ticket* ticket, uint64_t epoch_before, uint64_t epoch_after,
+               bool complete, const std::vector<search::Neighbor>& result);
+
+  /// Releases a kLead ticket without a result (e.g. the leader's deadline
+  /// expired before the probe); followers fall back to kMiss.
+  void Abandon(Ticket* ticket);
+
+  /// Monotonic counters; hits + misses == lookups, stale <= misses.
+  struct Stats {
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t stale = 0;
+    uint64_t flight_waits = 0;
+    uint64_t flight_served = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+  Stats stats() const;
+
+  int size() const;
+  int capacity() const { return capacity_; }
+
+  /// Appends the canonical byte form of one cache-key component. The
+  /// trajectory form covers the geometry only (point count + raw coordinate
+  /// bytes) — the id is routing metadata, not query content.
+  static void AppendCanonicalKey(const traj::Trajectory& t, std::string* key);
+  static void AppendCanonicalKey(int32_t v, std::string* key);
+  static void AppendCanonicalKey(uint8_t v, std::string* key);
+
+ private:
+  struct Entry {
+    std::string key;
+    uint64_t epoch = 0;
+    std::vector<search::Neighbor> result;
+  };
+
+  bool LookupLocked(const std::string& key, uint64_t epoch,
+                    std::vector<search::Neighbor>* out);
+  void InsertLocked(const std::string& key, uint64_t epoch,
+                    const std::vector<search::Neighbor>& result);
+
+  const int capacity_;
+
+  mutable std::mutex mu_;
+  std::condition_variable flight_done_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::unordered_map<std::string, std::shared_ptr<Ticket::Flight>> flights_;
+
+  // Monotonic counters (relaxed: monitoring only).
+  std::atomic<uint64_t> lookups_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> stale_{0};
+  std::atomic<uint64_t> flight_waits_{0};
+  std::atomic<uint64_t> flight_served_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace traj2hash::serve
+
+#endif  // TRAJ2HASH_SERVE_RESULT_CACHE_H_

@@ -176,6 +176,17 @@ class ShardedIndex {
   /// Completed compactions, summed over shards.
   int compactions_run() const;
 
+  /// Monotonic mutation epoch, summed over shards. Each shard's counter
+  /// only grows, so the sum is monotone and two equal reads bracketing a
+  /// probe prove every shard was untouched in between — the invariant the
+  /// result cache's stable-epoch insertion rule relies on (DESIGN.md §15).
+  /// Relaxed per-shard reads; see ingest::LiveIndex::mutation_epoch.
+  uint64_t mutation_epoch() const {
+    uint64_t sum = 0;
+    for (const auto& shard : shards_) sum += shard->mutation_epoch();
+    return sum;
+  }
+
   /// Background-compaction hooks (see ingest::LiveIndex): a mutator's owner
   /// claims a shard whose trigger fired, then runs the rebuild off-thread.
   bool ClaimCompaction(int shard) {

@@ -79,6 +79,77 @@ void LatencyHistogram::Reset() {
   max_nanos_.exchange(0, std::memory_order_relaxed);
 }
 
+OccupancyHistogram::OccupancyHistogram() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+void OccupancyHistogram::Record(int size) {
+  size = std::clamp(size, 1, kMaxSize);
+  counts_[size].fetch_add(1, std::memory_order_relaxed);
+}
+
+OccupancyHistogram::Summary OccupancyHistogram::Summarize() const {
+  std::array<uint64_t, kMaxSize + 1> counts{};
+  Summary out;
+  for (int s = 1; s <= kMaxSize; ++s) {
+    counts[s] = counts_[s].load(std::memory_order_relaxed);
+    out.batches += counts[s];
+    out.queries += counts[s] * static_cast<uint64_t>(s);
+    if (counts[s] > 0) out.max = s;
+  }
+  if (out.batches == 0) return out;
+  out.mean = static_cast<double>(out.queries) / static_cast<double>(out.batches);
+  const auto percentile = [&](double q) {
+    const auto target = static_cast<uint64_t>(std::ceil(q * out.batches));
+    uint64_t seen = 0;
+    for (int s = 1; s <= kMaxSize; ++s) {
+      seen += counts[s];
+      if (seen >= target) return s;
+    }
+    return kMaxSize;
+  };
+  out.p50 = percentile(0.50);
+  out.p95 = percentile(0.95);
+  return out;
+}
+
+void OccupancyHistogram::Reset() {
+  for (auto& c : counts_) c.exchange(0, std::memory_order_relaxed);
+}
+
+std::string FrontendJson(const FrontendSnapshot& s) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"coalescing\": %s, \"caching\": %s, \"batches\": %llu, "
+      "\"coalesced_queries\": %llu, \"batch_occupancy_mean\": %.3f, "
+      "\"batch_occupancy_p50\": %d, \"batch_occupancy_p95\": %d, "
+      "\"batch_occupancy_max\": %d, \"flushes_full\": %llu, "
+      "\"flushes_deadline\": %llu, \"flushes_idle\": %llu, "
+      "\"cache_lookups\": %llu, \"cache_hits\": %llu, "
+      "\"cache_misses\": %llu, \"cache_stale\": %llu, "
+      "\"flight_waits\": %llu, \"flight_served\": %llu, "
+      "\"cache_insertions\": %llu, \"cache_evictions\": %llu, "
+      "\"epoch\": %llu}",
+      s.coalescing ? "true" : "false", s.caching ? "true" : "false",
+      static_cast<unsigned long long>(s.occupancy.batches),
+      static_cast<unsigned long long>(s.occupancy.queries), s.occupancy.mean,
+      s.occupancy.p50, s.occupancy.p95, s.occupancy.max,
+      static_cast<unsigned long long>(s.flushes_full),
+      static_cast<unsigned long long>(s.flushes_deadline),
+      static_cast<unsigned long long>(s.flushes_idle),
+      static_cast<unsigned long long>(s.cache_lookups),
+      static_cast<unsigned long long>(s.cache_hits),
+      static_cast<unsigned long long>(s.cache_misses),
+      static_cast<unsigned long long>(s.cache_stale),
+      static_cast<unsigned long long>(s.flight_waits),
+      static_cast<unsigned long long>(s.flight_served),
+      static_cast<unsigned long long>(s.cache_insertions),
+      static_cast<unsigned long long>(s.cache_evictions),
+      static_cast<unsigned long long>(s.epoch));
+  return buf;
+}
+
 std::string StageName(Stage stage) {
   switch (stage) {
     case Stage::kEncode:

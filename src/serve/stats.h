@@ -60,6 +60,68 @@ class LatencyHistogram {
   std::atomic<uint64_t> max_nanos_;
 };
 
+/// Exact small-integer histogram for coalescer batch occupancy (how many
+/// queries shared one EmbedBatch call). Latency buckets are the wrong tool
+/// here: their geometric midpoints would report a size-1 batch as ~0.99,
+/// which matters when the bench gates on "occupancy p50 > 1". Sizes are
+/// clamped to kMaxSize; Record is wait-free like LatencyHistogram.
+class OccupancyHistogram {
+ public:
+  static constexpr int kMaxSize = 64;
+
+  OccupancyHistogram();
+
+  /// Adds one batch of `size` queries. Thread-safe; clamped to [1, kMaxSize].
+  void Record(int size);
+
+  struct Summary {
+    uint64_t batches = 0;  ///< EmbedBatch flushes observed
+    uint64_t queries = 0;  ///< queries served through those flushes
+    double mean = 0.0;     ///< queries / batches
+    int p50 = 0;           ///< exact percentile over batch sizes
+    int p95 = 0;
+    int max = 0;
+  };
+
+  /// Thread-safe against Record (same consistency caveats as
+  /// LatencyHistogram::Summarize).
+  Summary Summarize() const;
+
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kMaxSize + 1> counts_;  // [1..kMaxSize]
+};
+
+/// One consistent-enough view of the query front-end (DESIGN.md §15):
+/// coalescer flush behaviour plus result-cache effectiveness, as surfaced
+/// by QueryEngine::frontend_stats() and serve-bench --stats-json.
+struct FrontendSnapshot {
+  bool coalescing = false;  ///< coalescer enabled on the engine
+  bool caching = false;     ///< result cache enabled on the engine
+
+  OccupancyHistogram::Summary occupancy;  ///< queries per EmbedBatch flush
+  uint64_t flushes_full = 0;      ///< batches flushed at max_batch
+  uint64_t flushes_deadline = 0;  ///< flushed by the bounded-wait timer
+  uint64_t flushes_idle = 0;      ///< flushed because no more arrivals exist
+
+  uint64_t cache_lookups = 0;  ///< hits + misses (stale counts as a miss)
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_stale = 0;  ///< misses whose entry died of epoch advance
+  uint64_t flight_waits = 0;   ///< followers that waited on a single-flight
+  uint64_t flight_served = 0;  ///< followers served by the flight's result
+  uint64_t cache_insertions = 0;
+  uint64_t cache_evictions = 0;
+
+  uint64_t epoch = 0;  ///< index mutation epoch at snapshot time
+};
+
+/// The `frontend` object of serve-bench --stats-json, as one JSON string
+/// (no trailing newline). Kept next to the snapshot so the schema test and
+/// the CLI can never drift apart.
+std::string FrontendJson(const FrontendSnapshot& s);
+
 /// The instrumented stages of one query through the engine
 /// (encode -> probe -> rank), plus the end-to-end total.
 enum class Stage { kEncode = 0, kProbe = 1, kRank = 2, kTotal = 3 };

@@ -211,5 +211,49 @@ TEST(LiveIndexTest, SnapshotEntriesAreAscendingAndLiveOnly) {
   }
 }
 
+TEST(LiveIndexTest, MutationEpochAdvancesOnEveryMutation) {
+  Rng rng(43);
+  LiveIndexOptions options = Options(search::SearchStrategy::kMih);
+  options.compact_min_ops = 4;
+  options.compact_ratio = 0.1;
+  LiveIndex index(options);
+  EXPECT_EQ(index.mutation_epoch(), 0u);
+
+  uint64_t epoch = 0;
+  const auto expect_advanced = [&](const char* op) {
+    const uint64_t now = index.mutation_epoch();
+    EXPECT_GT(now, epoch) << op;
+    epoch = now;
+  };
+
+  ASSERT_TRUE(index.Insert(0, RandomCode(32, rng), {}).ok());
+  expect_advanced("Insert");
+  ASSERT_TRUE(index.Update(0, RandomCode(32, rng), {}).ok());
+  expect_advanced("Update");
+  index.Upsert(1, RandomCode(32, rng), {});
+  expect_advanced("Upsert(new)");
+  index.Upsert(1, RandomCode(32, rng), {});
+  expect_advanced("Upsert(replace)");
+  ASSERT_TRUE(index.Remove(0).ok());
+  expect_advanced("Remove");
+  EXPECT_TRUE(index.RemoveIfPresent(1));
+  expect_advanced("RemoveIfPresent");
+
+  // Failed mutations observe nothing to change and must not advance it.
+  EXPECT_FALSE(index.Remove(0).ok());
+  EXPECT_FALSE(index.RemoveIfPresent(1));
+  EXPECT_EQ(index.mutation_epoch(), epoch);
+
+  // A compaction install changes the physical layout: it must also advance
+  // the epoch (conservative invalidation for layout-keyed consumers).
+  for (int i = 10; i < 20; ++i) {
+    ASSERT_TRUE(index.Insert(i, RandomCode(32, rng), {}).ok());
+  }
+  epoch = index.mutation_epoch();
+  ASSERT_TRUE(index.ClaimCompaction());
+  index.RunClaimedCompaction();
+  expect_advanced("RunClaimedCompaction");
+}
+
 }  // namespace
 }  // namespace traj2hash::ingest

@@ -3,7 +3,9 @@
 // call sequence tools/t2h_cli.cc performs, including the config-mismatch
 // guard a user would hit with inconsistent flags.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 
 #include <fstream>
@@ -328,6 +330,73 @@ TEST(CliRobustnessTest, ServeBenchReplicaFlagsPath) {
   EXPECT_EQ(r1.lag_records(), 0);
   std::remove(wal_path.c_str());
   std::remove(boot.c_str());
+}
+
+/// The stats-json schema contract for the `frontend` block: serve-bench
+/// emits serve::FrontendJson(engine.frontend_stats()) verbatim, so this
+/// checks the exact string the CLI writes — every key present, numeric
+/// values extractable, and the counter invariant hits + misses == lookups
+/// == cacheable queries issued.
+TEST(CliStatsJsonTest, FrontendBlockParsesAndCountersAreConsistent) {
+  Rng rng(97);
+  traj::CityConfig city = traj::CityConfig::PortoLike();
+  city.max_points = 10;
+  const auto corpus = GenerateTrips(city, 80, rng);
+  core::Traj2HashConfig cfg;
+  cfg.dim = 8;
+  cfg.num_blocks = 1;
+  cfg.num_heads = 2;
+  auto model = std::move(core::Traj2Hash::Create(cfg, corpus, rng).value());
+
+  serve::QueryEngine engine(model.get(), {.num_threads = 2,
+                                          .num_shards = 2,
+                                          .enable_coalescing = true,
+                                          .max_batch = 4,
+                                          .max_wait_us = 100,
+                                          .cache_entries = 16});
+  ASSERT_TRUE(engine.InsertAll({corpus.begin(), corpus.begin() + 60}).ok());
+  // Two passes over a small query set: pass 1 misses, pass 2 hits.
+  constexpr int kQueries = 10;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int q = 0; q < kQueries; ++q) {
+      ASSERT_TRUE(engine.Query(corpus[60 + q], 5).status.ok());
+    }
+  }
+
+  const std::string json = serve::FrontendJson(engine.frontend_stats());
+  for (const char* key :
+       {"\"coalescing\"", "\"caching\"", "\"batches\"", "\"coalesced_queries\"",
+        "\"batch_occupancy_mean\"", "\"batch_occupancy_p50\"",
+        "\"batch_occupancy_p95\"", "\"batch_occupancy_max\"",
+        "\"flushes_full\"", "\"flushes_deadline\"", "\"flushes_idle\"",
+        "\"cache_lookups\"", "\"cache_hits\"", "\"cache_misses\"",
+        "\"cache_stale\"", "\"flight_waits\"", "\"flight_served\"",
+        "\"cache_insertions\"", "\"cache_evictions\"", "\"epoch\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+
+  const auto field = [&json](const std::string& key) -> long long {
+    const size_t at = json.find("\"" + key + "\": ");
+    EXPECT_NE(at, std::string::npos) << key;
+    return std::atoll(json.c_str() + at + key.size() + 4);
+  };
+  const long long lookups = field("cache_lookups");
+  const long long hits = field("cache_hits");
+  const long long misses = field("cache_misses");
+  EXPECT_EQ(lookups, 2 * kQueries) << "one lookup per cacheable query";
+  EXPECT_EQ(hits + misses, lookups);
+  EXPECT_LE(field("cache_stale"), misses);
+  EXPECT_EQ(field("coalesced_queries"), misses)
+      << "exactly the misses reach the coalescer";
+  EXPECT_NE(json.find("\"coalescing\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"caching\": true"), std::string::npos);
+
+  // Balanced braces and no trailing newline: the CLI splices this string
+  // into a larger JSON object.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 1);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '}'), 1);
 }
 
 TEST(CliOverloadFlagTest, ParsesPoliciesAndRejectsUnknown) {

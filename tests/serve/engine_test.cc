@@ -100,6 +100,67 @@ TEST(QueryEngineTest, RecordsPerStageLatency) {
   EXPECT_FALSE(snapshot.ToString().empty());
 }
 
+/// The front-end bit-identity contract (DESIGN.md §15): with coalescing and
+/// the result cache enabled, Query and QueryBatch must return exactly what a
+/// plain engine returns — on the first pass (cold cache, coalesced encode)
+/// and the second (served from the cache).
+TEST(QueryEngineTest, FrontendIsBitIdenticalToThePlainEngine) {
+  Env env = MakeEnv();
+  const std::vector<traj::Trajectory> db(env.corpus.begin(),
+                                         env.corpus.begin() + 120);
+  const std::vector<traj::Trajectory> queries(env.corpus.begin() + 120,
+                                              env.corpus.begin() + 140);
+  QueryEngine plain(env.model.get(), {.num_threads = 4, .num_shards = 4});
+  QueryEngine frontend(env.model.get(), {.num_threads = 4,
+                                         .num_shards = 4,
+                                         .enable_coalescing = true,
+                                         .max_batch = 4,
+                                         .max_wait_us = 100,
+                                         .cache_entries = 64});
+  ASSERT_TRUE(plain.InsertAll(db).ok());
+  ASSERT_TRUE(frontend.InsertAll(db).ok());
+
+  const auto expect_identical = [](const QueryResult& got,
+                                   const QueryResult& want, size_t q) {
+    ASSERT_TRUE(got.status.ok()) << "query " << q;
+    ASSERT_EQ(got.neighbors.size(), want.neighbors.size()) << "query " << q;
+    for (size_t i = 0; i < want.neighbors.size(); ++i) {
+      EXPECT_EQ(got.neighbors[i].index, want.neighbors[i].index)
+          << "query " << q << " rank " << i;
+      EXPECT_EQ(got.neighbors[i].distance, want.neighbors[i].distance)
+          << "query " << q << " rank " << i;
+    }
+  };
+
+  std::vector<QueryResult> expected;
+  for (const traj::Trajectory& q : queries) expected.push_back(plain.Query(q, 7));
+  // Pass 1 misses the cache, pass 2 hits it; both must be bit-identical.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t q = 0; q < queries.size(); ++q) {
+      expect_identical(frontend.Query(queries[q], 7), expected[q], q);
+    }
+  }
+  // QueryBatch (one EmbedBatch pass; hits served inline) agrees too.
+  const auto batched = frontend.QueryBatch(queries, 7);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    expect_identical(batched[q], expected[q], q);
+  }
+
+  const FrontendSnapshot fs = frontend.frontend_stats();
+  EXPECT_TRUE(fs.coalescing);
+  EXPECT_TRUE(fs.caching);
+  // Pass 2 and the batch were pure hits: 2 * queries hits, 1 * queries
+  // misses, and the schema invariant holds exactly.
+  EXPECT_EQ(fs.cache_lookups, 3 * queries.size());
+  EXPECT_EQ(fs.cache_hits, 2 * queries.size());
+  EXPECT_EQ(fs.cache_misses, queries.size());
+  EXPECT_EQ(fs.cache_hits + fs.cache_misses, fs.cache_lookups);
+  EXPECT_EQ(fs.cache_stale, 0u);
+  EXPECT_EQ(fs.occupancy.queries,
+            fs.cache_misses);  // only misses reach the coalescer
+}
+
 /// The concurrency invariant test of the ISSUE: writers keep inserting while
 /// readers keep querying; every result must be internally consistent (sorted,
 /// unique, in-bounds ids) at whatever size the index had mid-flight. Run

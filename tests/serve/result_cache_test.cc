@@ -1,0 +1,225 @@
+// Unit tests for serve::ResultCache (DESIGN.md §15): LRU bounds, the
+// epoch-exactness + stable-epoch rules that make caching safe under churn,
+// single-flight leader election, and the counter invariants the stats-json
+// schema relies on (hits + misses == lookups, stale <= misses).
+#include "serve/result_cache.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/deadline.h"
+#include "traj/trajectory.h"
+
+namespace traj2hash::serve {
+namespace {
+
+std::vector<search::Neighbor> MakeResult(int id) {
+  return {{id, 1.0}, {id + 1, 2.0}};
+}
+
+void ExpectCounterInvariants(const ResultCache::Stats& s) {
+  EXPECT_EQ(s.hits + s.misses, s.lookups);
+  EXPECT_LE(s.stale, s.misses);
+  EXPECT_LE(s.flight_served, s.hits);
+}
+
+TEST(ResultCacheTest, DisabledCacheIsANoOp) {
+  ResultCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  std::vector<search::Neighbor> out;
+  EXPECT_FALSE(cache.Lookup("key", 0, &out));
+  cache.Insert("key", 0, 0, MakeResult(1));
+  EXPECT_EQ(cache.size(), 0);
+
+  ResultCache::Ticket ticket;
+  EXPECT_EQ(cache.Acquire("key", 0, Deadline(), &out, &ticket),
+            ResultCache::Outcome::kMiss);
+  cache.Publish(&ticket, 0, 0, true, MakeResult(1));  // harmless on no ticket
+  const ResultCache::Stats s = cache.stats();
+  EXPECT_EQ(s.lookups, 0u);
+  EXPECT_EQ(s.insertions, 0u);
+}
+
+TEST(ResultCacheTest, HitsOnlyAtExactEpoch) {
+  ResultCache cache(4);
+  cache.Insert("key", 5, 5, MakeResult(7));
+  EXPECT_EQ(cache.size(), 1);
+
+  std::vector<search::Neighbor> out;
+  ASSERT_TRUE(cache.Lookup("key", 5, &out));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].index, 7);
+
+  // The epoch moved on: the entry is dead, dropped on sight, and counted
+  // as one stale miss. A second lookup misses without re-counting stale.
+  EXPECT_FALSE(cache.Lookup("key", 6, &out));
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_FALSE(cache.Lookup("key", 6, &out));
+
+  const ResultCache::Stats s = cache.stats();
+  EXPECT_EQ(s.lookups, 3u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.stale, 1u);
+  ExpectCounterInvariants(s);
+}
+
+TEST(ResultCacheTest, InsertRequiresAStableEpoch) {
+  ResultCache cache(4);
+  // A mutation raced the probe (epoch advanced mid-computation): the result
+  // is a fact about no single epoch and must not be cached.
+  cache.Insert("key", 5, 6, MakeResult(1));
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedBeyondCapacity) {
+  ResultCache cache(2);
+  cache.Insert("a", 1, 1, MakeResult(1));
+  cache.Insert("b", 1, 1, MakeResult(2));
+  std::vector<search::Neighbor> out;
+  ASSERT_TRUE(cache.Lookup("a", 1, &out));  // touch: "b" is now the LRU
+  cache.Insert("c", 1, 1, MakeResult(3));
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_TRUE(cache.Lookup("a", 1, &out));
+  EXPECT_TRUE(cache.Lookup("c", 1, &out));
+  EXPECT_FALSE(cache.Lookup("b", 1, &out));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  ExpectCounterInvariants(cache.stats());
+}
+
+TEST(ResultCacheTest, ReinsertUpdatesInPlace) {
+  ResultCache cache(2);
+  cache.Insert("a", 1, 1, MakeResult(1));
+  cache.Insert("a", 2, 2, MakeResult(9));
+  EXPECT_EQ(cache.size(), 1);
+  std::vector<search::Neighbor> out;
+  ASSERT_TRUE(cache.Lookup("a", 2, &out));
+  EXPECT_EQ(out[0].index, 9);
+}
+
+TEST(ResultCacheTest, SingleFlightServesFollowersFromTheLeader) {
+  ResultCache cache(4);
+  std::vector<search::Neighbor> leader_out;
+  ResultCache::Ticket leader_ticket;
+  ASSERT_EQ(cache.Acquire("key", 3, Deadline(), &leader_out, &leader_ticket),
+            ResultCache::Outcome::kLead);
+
+  // The follower blocks on the flight; launch it, then publish.
+  std::vector<search::Neighbor> follower_out;
+  ResultCache::Outcome follower_outcome = ResultCache::Outcome::kMiss;
+  std::thread follower([&] {
+    ResultCache::Ticket t;
+    follower_outcome = cache.Acquire("key", 3, Deadline(), &follower_out, &t);
+  });
+  // Wait until the follower is registered on the flight before publishing,
+  // so the test deterministically exercises the blocking path.
+  while (cache.stats().flight_waits == 0) std::this_thread::yield();
+  cache.Publish(&leader_ticket, 3, 3, /*complete=*/true, MakeResult(5));
+  follower.join();
+
+  EXPECT_EQ(follower_outcome, ResultCache::Outcome::kHit);
+  ASSERT_EQ(follower_out.size(), 2u);
+  EXPECT_EQ(follower_out[0].index, 5);
+
+  // The published result was also cached for later lookups.
+  std::vector<search::Neighbor> out;
+  EXPECT_TRUE(cache.Lookup("key", 3, &out));
+
+  const ResultCache::Stats s = cache.stats();
+  EXPECT_EQ(s.flight_waits, 1u);
+  EXPECT_EQ(s.flight_served, 1u);
+  ExpectCounterInvariants(s);
+}
+
+TEST(ResultCacheTest, FollowerRejectsAFlightOlderThanItsAdmissionEpoch) {
+  ResultCache cache(4);
+  std::vector<search::Neighbor> out;
+  ResultCache::Ticket leader_ticket;
+  ASSERT_EQ(cache.Acquire("key", 5, Deadline(), &out, &leader_ticket),
+            ResultCache::Outcome::kLead);
+
+  // The follower was admitted after a mutation (epoch 6 > the leader's 5):
+  // the leader's answer predates its view of the index and must not stand
+  // in for it.
+  ResultCache::Outcome follower_outcome = ResultCache::Outcome::kHit;
+  std::thread follower([&] {
+    std::vector<search::Neighbor> follower_out;
+    ResultCache::Ticket t;
+    follower_outcome = cache.Acquire("key", 6, Deadline(), &follower_out, &t);
+  });
+  while (cache.stats().flight_waits == 0) std::this_thread::yield();
+  cache.Publish(&leader_ticket, 5, 5, /*complete=*/true, MakeResult(5));
+  follower.join();
+  EXPECT_EQ(follower_outcome, ResultCache::Outcome::kMiss);
+  EXPECT_EQ(cache.stats().flight_served, 0u);
+  ExpectCounterInvariants(cache.stats());
+}
+
+TEST(ResultCacheTest, AbandonedFlightDegradesFollowersToMiss) {
+  ResultCache cache(4);
+  std::vector<search::Neighbor> out;
+  ResultCache::Ticket leader_ticket;
+  ASSERT_EQ(cache.Acquire("key", 1, Deadline(), &out, &leader_ticket),
+            ResultCache::Outcome::kLead);
+
+  ResultCache::Outcome follower_outcome = ResultCache::Outcome::kHit;
+  std::thread follower([&] {
+    std::vector<search::Neighbor> follower_out;
+    ResultCache::Ticket t;
+    follower_outcome = cache.Acquire("key", 1, Deadline(), &follower_out, &t);
+  });
+  while (cache.stats().flight_waits == 0) std::this_thread::yield();
+  cache.Abandon(&leader_ticket);
+  follower.join();
+  EXPECT_EQ(follower_outcome, ResultCache::Outcome::kMiss);
+  EXPECT_EQ(cache.size(), 0);
+  ExpectCounterInvariants(cache.stats());
+}
+
+TEST(ResultCacheTest, FollowerWaitIsBoundedByItsDeadline) {
+  ResultCache cache(4);
+  std::vector<search::Neighbor> out;
+  ResultCache::Ticket leader_ticket;
+  ASSERT_EQ(cache.Acquire("key", 1, Deadline(), &out, &leader_ticket),
+            ResultCache::Outcome::kLead);
+
+  // The leader is stuck; a follower with a short deadline must degrade to
+  // an ordinary miss instead of stalling behind it.
+  std::vector<search::Neighbor> follower_out;
+  ResultCache::Ticket t;
+  const ResultCache::Outcome follower_outcome = cache.Acquire(
+      "key", 1, Deadline::AfterMillis(20), &follower_out, &t);
+  EXPECT_EQ(follower_outcome, ResultCache::Outcome::kMiss);
+  cache.Abandon(&leader_ticket);
+  ExpectCounterInvariants(cache.stats());
+}
+
+TEST(ResultCacheTest, CanonicalKeyCoversGeometryNotIds) {
+  traj::Trajectory a;
+  a.id = 1;
+  a.points = {{0.25, 0.5}, {0.75, 1.0}};
+  traj::Trajectory b = a;
+  b.id = 2;  // same geometry, different routing metadata
+  traj::Trajectory c = a;
+  c.points[1].y = 1.5;
+
+  std::string ka, kb, kc;
+  ResultCache::AppendCanonicalKey(a, &ka);
+  ResultCache::AppendCanonicalKey(b, &kb);
+  ResultCache::AppendCanonicalKey(c, &kc);
+  EXPECT_EQ(ka, kb);
+  EXPECT_NE(ka, kc);
+
+  // Scalar components keep distinct (k, strategy) combinations distinct.
+  std::string k1, k2;
+  ResultCache::AppendCanonicalKey(static_cast<int32_t>(7), &k1);
+  ResultCache::AppendCanonicalKey(static_cast<int32_t>(8), &k2);
+  EXPECT_NE(k1, k2);
+}
+
+}  // namespace
+}  // namespace traj2hash::serve

@@ -227,6 +227,37 @@ TEST(ShardedIndexTest, ConcurrentMihQueriesAndInsertsAreRaceFree) {
   EXPECT_EQ(index.size(), 8 + kWriters * kPerThread);
 }
 
+TEST(ShardedIndexTest, MutationEpochSumsAdvancesAcrossShards) {
+  ShardedIndex index(3, 8);
+  EXPECT_EQ(index.mutation_epoch(), 0u);
+  const search::Code code = search::PackSigns(std::vector<float>(8, 1.0f));
+
+  // Round-robin placement touches every shard; the sum over shards must
+  // advance on each Insert / Update / Remove regardless of which shard
+  // took it (monotone per-shard components keep the sum monotone, which is
+  // what makes epoch-keyed caching sound — see ShardedIndex::mutation_epoch).
+  uint64_t epoch = 0;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(index.Insert(code, {}).ok());
+    const uint64_t now = index.mutation_epoch();
+    EXPECT_GT(now, epoch) << "insert " << i;
+    epoch = now;
+  }
+  ASSERT_TRUE(index.Update(4, code, {}).ok());
+  EXPECT_GT(index.mutation_epoch(), epoch);
+  epoch = index.mutation_epoch();
+  ASSERT_TRUE(index.Remove(2).ok());
+  EXPECT_GT(index.mutation_epoch(), epoch);
+  epoch = index.mutation_epoch();
+
+  // Queries leave it untouched; a synchronous compaction sweep advances it
+  // once per shard that actually rebuilt.
+  (void)index.QueryTopK(code, 3);
+  EXPECT_EQ(index.mutation_epoch(), epoch);
+  index.CompactAll();
+  EXPECT_GT(index.mutation_epoch(), epoch);
+}
+
 TEST(ShardedIndexTest, EmbeddingRoundTrips) {
   Env env = MakeEnv();
   ShardedIndex index(2, env.model->config().dim);

@@ -38,6 +38,16 @@ replica_stress() {
     -R 'RollingRestartUnderChurnStress' --repeat until-fail:3
 }
 
+# The front-end stress (FrontendStressTest.CoalescerCacheChurnStress: readers
+# through the coalescer + single-flight cache while a mutator churns the
+# index, with oracle-at-observed-epoch exactness checks) gets the same
+# repeated-tsan treatment — it is where a cache/epoch race would surface.
+frontend_stress() {
+  echo "==== lane: tsan-frontend-stress (build-tsan) ===="
+  ctest --test-dir build-tsan --output-on-failure \
+    -R 'CoalescerCacheChurnStress' --repeat until-fail:3
+}
+
 # Reruns the kernels-labelled suites once per ISA this host can actually
 # run, each pass forced via T2H_KERNEL_ISA (an unavailable forced ISA is a
 # hard startup failure, never a silent fallback — so availability is probed
@@ -61,9 +71,10 @@ simd_lane() {
 
 # Note: the fast lane filters by label, not by name, so new tier1-labelled
 # suites (e.g. the replica/ and router tests) are picked up automatically.
+# It also runs the frontend-labelled serve front-end suites (DESIGN.md 15).
 lanes="${1:-all}"
 case "${lanes}" in
-  fast)  run_lane fast build "" -L tier1 ;;
+  fast)  run_lane fast build "" -L 'tier1|frontend' ;;
   plain) run_lane plain build "" ;;
   # The sanitizer lane pins the scalar backend: asan instruments the
   # portable loops (the contract every SIMD path is checked against), and
@@ -73,6 +84,7 @@ case "${lanes}" in
   tsan)
     run_lane tsan build-tsan thread
     replica_stress
+    frontend_stress
     ;;
   simd)  simd_lane ;;
   all)
@@ -81,6 +93,7 @@ case "${lanes}" in
     T2H_KERNEL_ISA=scalar run_lane asan build-asan address
     run_lane tsan build-tsan thread
     replica_stress
+    frontend_stress
     ;;
   *)
     echo "usage: tools/check.sh [fast|plain|asan|tsan|simd|all]" >&2

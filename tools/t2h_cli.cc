@@ -184,6 +184,17 @@ int Usage() {
                " rolling-restart or\n"
                "                            crash+rebootstrap one replica"
                " mid-burst)\n"
+               "           [--clients C]   (drive rounds from C concurrent"
+               " client threads calling\n"
+               "                            Query() instead of QueryBatch)\n"
+               "           [--batch-wait-us U] (requires --clients: coalesce"
+               " concurrent queries\n"
+               "                            into one encode batch, waiting at"
+               " most U us)\n"
+               "           [--max-batch B] (coalescer flush size, default"
+               " 8)\n"
+               "           [--cache-entries N] (epoch-keyed result cache"
+               " capacity; 0 = off)\n"
                "           [--stats-json F] (dump the per-stage latency"
                " snapshot as JSON)\n"
                "  wal-replay --wal F  (walk a write-ahead log, print its"
@@ -445,6 +456,22 @@ int RunServeBench(const Args& args) {
   } else if (query_dist != "uniform") {
     return Fail("--query-dist must be uniform or zipf:<s>");
   }
+  // Query front-end (DESIGN.md §15): --batch-wait-us >= 0 turns on encode
+  // coalescing with that bounded wait (needs --clients, the concurrent
+  // open-loop mode); --cache-entries > 0 turns on the epoch-keyed result
+  // cache (engine side and, with --replicas, per-replica router caches).
+  const int batch_wait_us = args.GetInt("batch-wait-us", -1);
+  const int max_batch = args.GetInt("max-batch", 8);
+  const int cache_entries = args.GetInt("cache-entries", 0);
+  const int clients = args.GetInt("clients", 0);
+  if (max_batch < 1) return Fail("--max-batch must be >= 1");
+  if (cache_entries < 0 || clients < 0) {
+    return Fail("--cache-entries/--clients must be >= 0");
+  }
+  if (batch_wait_us >= 0 && clients == 0) {
+    return Fail("--batch-wait-us needs --clients >= 1 (coalescing batches"
+                " concurrent Query() callers)");
+  }
 
   t2h::serve::QueryEngine engine(model.get(),
                                  {.num_threads = threads,
@@ -452,7 +479,13 @@ int RunServeBench(const Args& args) {
                                   .strategy = strategy.value(),
                                   .mih_substrings = mih_substrings,
                                   .queue_depth = queue_depth,
-                                  .overload_policy = policy.value()});
+                                  .overload_policy = policy.value(),
+                                  .enable_coalescing = batch_wait_us >= 0,
+                                  .max_batch = max_batch,
+                                  .max_wait_us = batch_wait_us >= 0
+                                      ? batch_wait_us
+                                      : 0,
+                                  .cache_entries = cache_entries});
 
   // With --snapshot, a readable snapshot replaces the encode-heavy
   // InsertAll; otherwise the database is built and then checkpointed (the
@@ -524,11 +557,37 @@ int RunServeBench(const Args& args) {
     // Shed queries also report complete=false; count only genuine
     // deadline expiries here (the shed total comes from the engine).
     int64_t incomplete = 0;
-    for (const t2h::serve::QueryResult& r :
-         engine.QueryBatch(queries, k, options)) {
-      if (!r.complete &&
-          r.status.code() != t2h::StatusCode::kUnavailable) {
-        ++incomplete;
+    if (clients > 0) {
+      // Open-loop client mode: --clients threads each issue Query() over an
+      // interleaved slice of the load. This is the shape the coalescer
+      // batches (concurrent single-query arrivals) — QueryBatch below
+      // already amortizes its encodes by construction.
+      std::atomic<int64_t> bad{0};
+      std::vector<std::thread> workers;
+      workers.reserve(clients);
+      for (int c = 0; c < clients; ++c) {
+        workers.emplace_back([&engine, &queries, &options, &bad, c, clients,
+                              k] {
+          for (size_t i = c; i < queries.size();
+               i += static_cast<size_t>(clients)) {
+            const t2h::serve::QueryResult r =
+                engine.Query(queries[i], k, options);
+            if (!r.complete &&
+                r.status.code() != t2h::StatusCode::kUnavailable) {
+              bad.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        });
+      }
+      for (std::thread& w : workers) w.join();
+      incomplete = bad.load(std::memory_order_relaxed);
+    } else {
+      for (const t2h::serve::QueryResult& r :
+           engine.QueryBatch(queries, k, options)) {
+        if (!r.complete &&
+            r.status.code() != t2h::StatusCode::kUnavailable) {
+          ++incomplete;
+        }
       }
     }
     return incomplete;
@@ -613,6 +672,17 @@ int RunServeBench(const Args& args) {
     if (!exact) return Fail("post-churn queries diverged from brute force");
   }
   std::printf("%s", engine.stats().ToString().c_str());
+  if (batch_wait_us >= 0 || cache_entries > 0) {
+    const t2h::serve::FrontendSnapshot fs = engine.frontend_stats();
+    std::printf(
+        "frontend: %llu batches (occupancy mean %.2f p50 %d p95 %d),"
+        " cache %llu hits / %llu lookups (%llu stale)\n",
+        static_cast<unsigned long long>(fs.occupancy.batches),
+        fs.occupancy.mean, fs.occupancy.p50, fs.occupancy.p95,
+        static_cast<unsigned long long>(fs.cache_hits),
+        static_cast<unsigned long long>(fs.cache_lookups),
+        static_cast<unsigned long long>(fs.cache_stale));
+  }
 
   // --replicas: ship the primary's WAL to a replica group and route the
   // same query load through a health-aware ReadRouter (DESIGN.md §13),
@@ -629,6 +699,7 @@ int RunServeBench(const Args& args) {
   std::vector<double> replica_lag_ms;
   long long replica_failovers = 0;
   bool replicas_caught_up = false;
+  t2h::serve::ResultCache::Stats replica_cache;
   if (replicas > 0) {
     t2h::replica::Primary primary(engine.mutable_index(), wal_path);
     std::vector<std::unique_ptr<t2h::replica::Replica>> group;
@@ -647,7 +718,8 @@ int RunServeBench(const Args& args) {
     t2h::replica::ReadRouter router(
         members, {.max_attempts = replicas + 1,
                   .queue_depth = queue_depth,
-                  .overload_policy = policy.value()});
+                  .overload_policy = policy.value(),
+                  .cache_entries = cache_entries});
 
     // Continuous ship loop: one thread tails the log for every replica.
     std::atomic<bool> stop_ship{false};
@@ -761,6 +833,7 @@ int RunServeBench(const Args& args) {
       replica_lag_ms.push_back(group[i]->lag_ms());
     }
     replica_failovers = router.failovers();
+    replica_cache = router.cache_stats();
     std::printf(
         "replication: %d replicas, %lld routed reads at %.1f QPS, %lld"
         " dropped, %lld failovers (drill=%s); caught up: %s; results %s\n",
@@ -839,8 +912,14 @@ int RunServeBench(const Args& args) {
                       replica_routed[i]);
         json += buf;
       }
-      json += "]},\n";
+      std::snprintf(buf, sizeof(buf),
+                    "], \"cache_lookups\": %llu, \"cache_hits\": %llu},\n",
+                    static_cast<unsigned long long>(replica_cache.lookups),
+                    static_cast<unsigned long long>(replica_cache.hits));
+      json += buf;
     }
+    json += "  \"frontend\": " +
+            t2h::serve::FrontendJson(engine.frontend_stats()) + ",\n";
     json += "  \"stages\": {\n";
     for (int i = 0; i < t2h::serve::kNumStages; ++i) {
       const auto& s =
@@ -928,7 +1007,8 @@ int main(int argc, char** argv) {
        {"data", "model", "threads", "shards", "k", "queries", "rounds",
         "dim", "seed", "strategy", "mih-substrings", "deadline-ms",
         "queue-depth", "overload", "snapshot", "wal", "churn",
-        "query-dist", "replicas", "drill", "stats-json", "kernel-isa"}},
+        "query-dist", "replicas", "drill", "stats-json", "kernel-isa",
+        "batch-wait-us", "max-batch", "cache-entries", "clients"}},
       {"wal-replay", {"wal"}},
       {"version", {"kernel-isa"}},
   };
