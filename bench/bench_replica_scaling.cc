@@ -17,6 +17,7 @@
 // Scale: T2H_BENCH_SCALE=tiny shrinks the database/queries by ~4x; `large`
 // grows them ~4x.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +30,7 @@
 #include "common/stopwatch.h"
 #include "replica/replica.h"
 #include "replica/router.h"
+#include "replica/transport.h"
 #include "search/code.h"
 #include "serve/sharded_index.h"
 
@@ -164,6 +166,74 @@ int main() {
         }
       }
     }
+  }
+
+  // Socket-transport phase (DESIGN.md §16): the same replicated read path,
+  // but shipped over a real loopback socket instead of in-process WAL
+  // polling. Two numbers matter operationally: how long a cold replica
+  // takes to bootstrap + catch up over the wire, and how far behind a
+  // tailing replica runs while the primary keeps committing.
+  {
+    t2h::replica::ShipServer server(&primary, {});
+    if (!server.Start().ok()) return 1;
+    t2h::replica::Replica replica(
+        &primary,
+        std::make_unique<t2h::replica::SocketTransport>("127.0.0.1",
+                                                        server.port()),
+        t2h::replica::ReplicaOptions{}, "socket-replica");
+
+    t2h::Stopwatch catchup_wall;
+    if (!replica.Bootstrap((dir / "boot_socket.snap").string()).ok()) {
+      std::printf("socket bootstrap FAILED\n");
+      return 1;
+    }
+    const double catchup_ms = catchup_wall.ElapsedSeconds() * 1e3;
+
+    // Steady state: one mutator commits on the primary while a ship thread
+    // drains the socket; sample the apply lag after every commit.
+    const int churn = scale.db_size / 4;
+    std::atomic<bool> stop{false};
+    std::thread shipper([&replica, &stop] {
+      while (!stop.load(std::memory_order_acquire)) {
+        (void)replica.PollApplyOnce();
+      }
+    });
+    int64_t max_lag = 0;
+    double sum_lag = 0.0;
+    t2h::Stopwatch churn_wall;
+    for (int i = 0; i < churn; ++i) {
+      if (!index.Insert(RandomCode(kBits, rng), {}).ok()) return 1;
+      const int64_t lag = replica.lag_records();
+      max_lag = std::max(max_lag, lag);
+      sum_lag += static_cast<double>(lag);
+    }
+    const double churn_seconds = churn_wall.ElapsedSeconds();
+    stop.store(true, std::memory_order_release);
+    shipper.join();
+
+    bool socket_ok = replica.CatchUp().ok() &&
+                     replica.applied_seq() == primary.committed_seq();
+    for (int q = 0; socket_ok && q < std::min(scale.num_queries, 16); ++q) {
+      const auto want = index.QueryTopK(queries[q], 10);
+      const auto got = replica.Query(queries[q], 10);
+      socket_ok = got.ok() && got.value().size() == want.size();
+      for (size_t i = 0; socket_ok && i < want.size(); ++i) {
+        socket_ok = got.value()[i].index == want[i].index &&
+                    got.value()[i].distance == want[i].distance;
+      }
+    }
+    const auto& counters = replica.transport().counters();
+    std::printf(
+        "socket transport: catch-up %.1f ms (db=%d), steady-state lag "
+        "mean=%.1f max=%lld records over %d commits (%.0f commits/s), "
+        "heartbeats=%lld, reconnects=%lld, %s\n",
+        catchup_ms, scale.db_size, sum_lag / churn,
+        static_cast<long long>(max_lag), churn, churn / churn_seconds,
+        static_cast<long long>(counters.heartbeats.load()),
+        static_cast<long long>(counters.reconnects.load()),
+        socket_ok ? "bit-identical" : "DIVERGED");
+    all_ok = all_ok && socket_ok;
+    server.Stop();
   }
 
   std::filesystem::remove_all(dir);

@@ -56,6 +56,24 @@ inline constexpr char kReplicaApply[] = "replica.apply";
 /// kUnavailable and transitions to kDown, which is how tests kill one member
 /// of a group mid-burst and watch the router fail over.
 inline constexpr char kReplicaDown[] = "replica.down";
+/// net::Listener::Accept — the pending connection is accepted and then
+/// immediately closed (the peer sees a successful connect followed by EOF),
+/// as an overloaded or dying acceptor would behave.
+inline constexpr char kNetAccept[] = "net.accept";
+/// net::Socket::SendAll — only the first half of the buffer reaches the
+/// peer before the connection is shut down (a torn frame on the wire: the
+/// receiver finds a partial frame followed by EOF).
+inline constexpr char kNetSend[] = "net.send";
+/// net::Socket::RecvSome — the read fails and the connection is shut down
+/// before any bytes are consumed, as an RST mid-stream would.
+inline constexpr char kNetRecv[] = "net.recv";
+/// replica::ShipServer record stream — the record frame is transmitted
+/// twice (duplicate delivery; the tailer's seq watermark must absorb it).
+inline constexpr char kNetDupFrame[] = "net.dup_frame";
+/// replica::ShipServer record stream — the record frame is held back for
+/// one heartbeat interval before being sent (delayed delivery; ordering is
+/// still preserved, only latency is injected).
+inline constexpr char kNetDelayFrame[] = "net.delay_frame";
 }  // namespace faults
 
 /// Deterministic fault-injection harness for robustness tests.

@@ -1,0 +1,36 @@
+#ifndef TRAJ2HASH_COMMON_PARSE_H_
+#define TRAJ2HASH_COMMON_PARSE_H_
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "common/status.h"
+
+namespace traj2hash {
+
+/// Strict decimal parse of an operator-facing unsigned integer (CLI flags
+/// like wal-replay --from-seq): digits only, fully consumed, no overflow.
+/// strtoull alone silently accepts "1O0" -> 1, leading "+"/"-"/whitespace
+/// and wrapped negatives — all of which would quietly act on the wrong
+/// value, so every one of them is an error here.
+inline Result<uint64_t> ParseUint64(const std::string& text) {
+  const auto fail = [&text]() {
+    return Status::InvalidArgument("expected a non-negative integer, got '" +
+                                   text + "'");
+  };
+  if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0]))) {
+    return fail();
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return fail();
+  return static_cast<uint64_t>(v);
+}
+
+}  // namespace traj2hash
+
+#endif  // TRAJ2HASH_COMMON_PARSE_H_

@@ -7,13 +7,12 @@
 #include "common/serialize.h"
 
 namespace traj2hash::ingest {
-namespace {
 
 // Record payload layout (inside one CRC frame, all little-endian):
 //   u64 seq | u8 type | i32 id |
 //   [insert/update only: i32 num_bits, words_per_code u64 words,
 //    u32 embedding_len, embedding floats]
-std::string EncodeRecord(const WalRecord& record) {
+std::string EncodeWalRecord(const WalRecord& record) {
   std::string payload;
   AppendPod(payload, record.seq);
   AppendPod(payload, static_cast<uint8_t>(record.type));
@@ -29,7 +28,7 @@ std::string EncodeRecord(const WalRecord& record) {
   return payload;
 }
 
-Status DecodeRecord(const std::string& payload, WalRecord* record) {
+Status DecodeWalRecord(const std::string& payload, WalRecord* record) {
   PayloadReader reader(payload, 0);
   record->seq = reader.Read<uint64_t>();
   const auto type = reader.Read<uint8_t>();
@@ -70,6 +69,8 @@ Status DecodeRecord(const std::string& payload, WalRecord* record) {
   return Status::Ok();
 }
 
+namespace {
+
 Result<WalReplay> ReplayBuffer(const std::string& buffer,
                                const std::string& path) {
   WalReplay replay;
@@ -90,7 +91,7 @@ Result<WalReplay> ReplayBuffer(const std::string& buffer,
           "acknowledged record): " + path);
     }
     WalRecord record;
-    const Status decoded = DecodeRecord(payload, &record);
+    const Status decoded = DecodeWalRecord(payload, &record);
     if (!decoded.ok()) {
       return Status(decoded.code(), decoded.message() + ": " + path);
     }
@@ -158,7 +159,7 @@ Status Wal::Append(WalRecord record) {
     T2H_CHECK_EQ(static_cast<int>(record.code.words.size()),
                  (record.code.num_bits + 63) / 64);
   }
-  AppendCrcFrame(pending_, EncodeRecord(record));
+  AppendCrcFrame(pending_, EncodeWalRecord(record));
   ++last_seq_;
   return Status::Ok();
 }
@@ -220,7 +221,7 @@ Status WalCursor::Poll(std::vector<WalRecord>* out) {
           "an acknowledged record): " + path_);
     }
     WalRecord record;
-    const Status decoded = DecodeRecord(payload, &record);
+    const Status decoded = DecodeWalRecord(payload, &record);
     if (!decoded.ok()) {
       return Status(decoded.code(), decoded.message() + ": " + path_);
     }

@@ -33,6 +33,17 @@ struct WalRecord {
   std::vector<float> embedding;  ///< insert/update only (may be empty)
 };
 
+/// Serialises one record into the payload layout the on-disk log frames
+/// (u64 seq | u8 type | i32 id | insert/update: code + embedding). Shared
+/// with the socket shipping protocol (DESIGN.md §16), whose kRecord frames
+/// carry exactly this payload — one encoding, two transports.
+std::string EncodeWalRecord(const WalRecord& record);
+
+/// Inverse of EncodeWalRecord. kDataLoss on a structurally malformed
+/// payload (the caller has already verified the enclosing frame's CRC, so
+/// malformed here means writer/reader disagreement, not a torn tail).
+Status DecodeWalRecord(const std::string& payload, WalRecord* record);
+
 /// Result of walking a log file: the durable record prefix plus what the
 /// walk learned about the tail.
 struct WalReplay {

@@ -1,0 +1,111 @@
+#include "net/framing.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/serialize.h"
+
+namespace traj2hash::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr size_t kHeaderBytes = 1 + 2 * sizeof(uint32_t);
+
+double RemainingMillis(Clock::time_point deadline) {
+  const auto now = Clock::now();
+  if (now >= deadline) return 0.0;
+  return std::chrono::duration_cast<std::chrono::microseconds>(deadline - now)
+             .count() /
+         1000.0;
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "hello";
+    case FrameType::kResume:
+      return "resume";
+    case FrameType::kNeedBootstrap:
+      return "need-bootstrap";
+    case FrameType::kSnapshotBegin:
+      return "snapshot-begin";
+    case FrameType::kSnapshotChunk:
+      return "snapshot-chunk";
+    case FrameType::kSnapshotEnd:
+      return "snapshot-end";
+    case FrameType::kRecord:
+      return "record";
+    case FrameType::kHeartbeat:
+      return "heartbeat";
+    case FrameType::kLogReset:
+      return "log-reset";
+    case FrameType::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+Status WriteFrame(Socket& socket, FrameType type, const std::string& payload,
+                  double timeout_ms) {
+  std::string wire;
+  wire.reserve(kHeaderBytes + payload.size());
+  AppendPod(wire, static_cast<uint8_t>(type));
+  AppendPod(wire, static_cast<uint32_t>(payload.size()));
+  AppendPod(wire, Crc32(payload));
+  wire.append(payload);
+  return socket.SendAll(wire.data(), wire.size(), timeout_ms);
+}
+
+Status FrameReader::ReadFrame(FrameType* type, std::string* payload,
+                              double timeout_ms) {
+  const auto deadline =
+      Clock::now() + std::chrono::microseconds(
+                         static_cast<int64_t>(timeout_ms * 1000.0));
+  while (true) {
+    if (buffer_.size() >= kHeaderBytes) {
+      uint8_t raw_type = 0;
+      uint32_t len = 0;
+      uint32_t crc = 0;
+      std::memcpy(&raw_type, buffer_.data(), sizeof(raw_type));
+      std::memcpy(&len, buffer_.data() + 1, sizeof(len));
+      std::memcpy(&crc, buffer_.data() + 1 + sizeof(len), sizeof(crc));
+      if (raw_type < static_cast<uint8_t>(FrameType::kHello) ||
+          raw_type > static_cast<uint8_t>(FrameType::kError)) {
+        return Status::DataLoss("unknown frame type " +
+                                std::to_string(raw_type) + " on the wire");
+      }
+      if (len > kMaxFramePayload) {
+        return Status::DataLoss("frame declares an implausible payload of " +
+                                std::to_string(len) + " bytes");
+      }
+      if (buffer_.size() >= kHeaderBytes + len) {
+        const char* data = buffer_.data() + kHeaderBytes;
+        if (Crc32(data, len) != crc) {
+          return Status::DataLoss("frame checksum mismatch on the wire (" +
+                                  std::string(FrameTypeName(
+                                      static_cast<FrameType>(raw_type))) +
+                                  ")");
+        }
+        *type = static_cast<FrameType>(raw_type);
+        payload->assign(data, len);
+        buffer_.erase(0, kHeaderBytes + len);
+        return Status::Ok();
+      }
+    }
+    const double remaining = RemainingMillis(deadline);
+    if (remaining <= 0.0 && Clock::now() >= deadline) {
+      return Status::DeadlineExceeded("no complete frame within the deadline");
+    }
+    char chunk[16 << 10];
+    Result<size_t> received =
+        socket_->RecvSome(chunk, sizeof(chunk), remaining);
+    if (!received.ok()) return received.status();
+    buffer_.append(chunk, received.value());
+  }
+}
+
+}  // namespace traj2hash::net

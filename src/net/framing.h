@@ -1,0 +1,89 @@
+#ifndef TRAJ2HASH_NET_FRAMING_H_
+#define TRAJ2HASH_NET_FRAMING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "net/socket.h"
+
+namespace traj2hash::net {
+
+/// Typed message frames for the WAL-shipping protocol (DESIGN.md §16).
+/// On the wire every frame is
+///   u8 type | u32 payload_len | u32 crc32(payload) | payload
+/// — the same CRC framing the on-disk log uses (common/serialize.h), plus a
+/// type tag, so a receiver can verify each message independently of TCP's
+/// own checksum and tell a torn tail (disconnect mid-frame) apart from
+/// corruption (a complete frame whose checksum fails).
+enum class FrameType : uint8_t {
+  /// Client -> server greeting: u64 resume_after_seq | u8 mode
+  /// (mode 0 = tail the log, 1 = fetch a bootstrap snapshot).
+  kHello = 1,
+  /// Server -> client: the log covers resume_after_seq + 1; records follow.
+  kResume = 2,
+  /// Server -> client: the log was reset past the client's resume point;
+  /// the client must re-bootstrap from a snapshot. Empty payload.
+  kNeedBootstrap = 3,
+  /// Server -> client: u64 total snapshot bytes; chunks follow.
+  kSnapshotBegin = 4,
+  /// Server -> client: raw snapshot bytes (<= kSnapshotChunkBytes each).
+  kSnapshotChunk = 5,
+  /// Server -> client: u32 crc32 of the whole snapshot file.
+  kSnapshotEnd = 6,
+  /// Server -> client: one serialized ingest::WalRecord.
+  kRecord = 7,
+  /// Server -> client keepalive on an idle stream: u64 committed_seq.
+  kHeartbeat = 8,
+  /// Server -> client: the stream lost continuity server-side (the primary
+  /// reset its log mid-stream); re-handshake to resync. Empty payload.
+  kLogReset = 9,
+  /// Server -> client: terminal server-side failure: u8 status code |
+  /// message bytes.
+  kError = 10,
+};
+
+/// Canonical lower-case frame name for logs and errors.
+const char* FrameTypeName(FrameType type);
+
+/// Upper bound on a single frame payload; a declared length above this is
+/// reported as corruption instead of a multi-gigabyte allocation.
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+/// Snapshot streaming chunk size.
+inline constexpr size_t kSnapshotChunkBytes = 64u << 10;
+
+/// Serialises and sends one frame. Status comes straight from
+/// Socket::SendAll (kIoError on a broken / torn connection,
+/// kDeadlineExceeded on a stalled peer).
+Status WriteFrame(Socket& socket, FrameType type, const std::string& payload,
+                  double timeout_ms);
+
+/// Incremental frame reader over one socket. Buffers partial reads so a
+/// frame split across TCP segments (or poll timeouts) is reassembled
+/// transparently; bytes already buffered survive a kDeadlineExceeded and
+/// the next ReadFrame resumes where this one stopped.
+class FrameReader {
+ public:
+  explicit FrameReader(Socket* socket) : socket_(socket) {}
+
+  /// Reads exactly one frame within `timeout_ms`.
+  ///   - kDeadlineExceeded: no complete frame arrived (partial data kept).
+  ///   - kUnavailable: the peer closed; a *partial* buffered frame at EOF is
+  ///     still kUnavailable (a torn send, not corruption — the sender died
+  ///     mid-frame and nothing it sent was acknowledged).
+  ///   - kDataLoss: a complete frame whose CRC does not match, an unknown
+  ///     frame type, or an implausible declared length.
+  Status ReadFrame(FrameType* type, std::string* payload, double timeout_ms);
+
+  /// Bytes buffered but not yet consumed (tests).
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  Socket* socket_;
+  std::string buffer_;
+};
+
+}  // namespace traj2hash::net
+
+#endif  // TRAJ2HASH_NET_FRAMING_H_

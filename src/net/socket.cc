@@ -1,0 +1,286 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/fault_injection.h"
+
+namespace traj2hash::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IoError(Errno("fcntl(O_NONBLOCK)"));
+  }
+  return Status::Ok();
+}
+
+/// Waits until `fd` is ready for `events` or the absolute deadline passes.
+/// OK = ready; kDeadlineExceeded = timed out; kIoError = poll error.
+Status PollUntil(int fd, short events, Clock::time_point deadline) {
+  while (true) {
+    const auto now = Clock::now();
+    const int wait_ms =
+        now >= deadline
+            ? 0
+            : static_cast<int>(
+                  std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - now)
+                      .count()) +
+                  1;
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc > 0) return Status::Ok();  // ready (possibly POLLERR/POLLHUP —
+                                      // let the actual IO call report it)
+    if (rc == 0) {
+      if (Clock::now() >= deadline) {
+        return Status::DeadlineExceeded("socket IO deadline expired");
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::IoError(Errno("poll"));
+  }
+}
+
+Clock::time_point DeadlineAfter(double timeout_ms) {
+  if (timeout_ms < 0) timeout_ms = 0;
+  return Clock::now() + std::chrono::microseconds(
+                            static_cast<int64_t>(timeout_ms * 1000.0));
+}
+
+}  // namespace
+
+Socket::~Socket() { Close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> Socket::Connect(const std::string& host, int port,
+                               double timeout_ms) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError(Errno("socket"));
+  Socket socket(fd);
+  Status status = SetNonBlocking(fd);
+  if (!status.ok()) return status;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  const auto deadline = DeadlineAfter(timeout_ms);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    if (errno != EINPROGRESS) {
+      return Status::Unavailable(Errno("connect to " + host + ":" +
+                                       std::to_string(port)));
+    }
+    status = PollUntil(fd, POLLOUT, deadline);
+    if (!status.ok()) {
+      return Status::Unavailable("connect to " + host + ":" +
+                                 std::to_string(port) + " timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      errno = err;
+      return Status::Unavailable(Errno("connect to " + host + ":" +
+                                       std::to_string(port)));
+    }
+  }
+  return socket;
+}
+
+Status Socket::SendAll(const void* data, size_t n, double timeout_ms) {
+  if (fd_ < 0) return Status::IoError("send on a closed socket");
+  const char* bytes = static_cast<const char*>(data);
+  size_t sent = 0;
+  size_t budget = n;
+  bool torn = false;
+  if (FaultInjector::Fire(faults::kNetSend)) {
+    // Torn send: half the buffer escapes, then the connection dies — the
+    // peer finds a partial frame followed by EOF, exactly like a sender
+    // crash mid-write.
+    budget = n / 2;
+    torn = true;
+  }
+  const auto deadline = DeadlineAfter(timeout_ms);
+  while (sent < budget) {
+    const ssize_t rc =
+        ::send(fd_, bytes + sent, budget - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      Status ready = PollUntil(fd_, POLLOUT, deadline);
+      if (!ready.ok()) return ready;
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    return Status::IoError(Errno("send"));
+  }
+  if (torn) {
+    Shutdown();
+    return Status::IoError("injected torn send after " +
+                           std::to_string(budget) + "/" + std::to_string(n) +
+                           " bytes");
+  }
+  return Status::Ok();
+}
+
+Result<size_t> Socket::RecvSome(void* out, size_t n, double timeout_ms) {
+  if (fd_ < 0) return Status::IoError("recv on a closed socket");
+  if (FaultInjector::Fire(faults::kNetRecv)) {
+    Shutdown();
+    return Status::IoError("injected recv failure");
+  }
+  const auto deadline = DeadlineAfter(timeout_ms);
+  while (true) {
+    const ssize_t rc = ::recv(fd_, out, n, 0);
+    if (rc > 0) return static_cast<size_t>(rc);
+    if (rc == 0) return Status::Unavailable("peer closed the connection");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      Status ready = PollUntil(fd_, POLLIN, deadline);
+      if (!ready.ok()) return ready;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::IoError(Errno("recv"));
+  }
+}
+
+Listener::~Listener() { Close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+void Listener::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Listener> Listener::Listen(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError(Errno("socket"));
+  Listener listener;
+  listener.fd_ = fd;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  Status status = SetNonBlocking(fd);
+  if (!status.ok()) return status;
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::IoError(Errno("bind 127.0.0.1:" + std::to_string(port)));
+  }
+  if (::listen(fd, 64) < 0) return Status::IoError(Errno("listen"));
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) <
+      0) {
+    return Status::IoError(Errno("getsockname"));
+  }
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+Result<Socket> Listener::Accept(double timeout_ms) {
+  if (fd_ < 0) return Status::Unavailable("listener is closed");
+  const auto deadline = DeadlineAfter(timeout_ms);
+  while (true) {
+    Status ready = PollUntil(fd_, POLLIN, deadline);
+    if (!ready.ok()) return ready;
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      if (errno == EINVAL) {
+        // shutdown() on the listening socket (Listener::Shutdown) lands
+        // here: the accept loop is being told to exit.
+        return Status::Unavailable("listener was shut down");
+      }
+      return Status::IoError(Errno("accept"));
+    }
+    Socket socket(fd);
+    if (FaultInjector::Fire(faults::kNetAccept)) {
+      // Accept-then-slam: the peer's connect succeeded, but the very next
+      // read on its side reports EOF.
+      return Status::Unavailable("injected accept failure");
+    }
+    Status status = SetNonBlocking(fd);
+    if (!status.ok()) return status;
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return socket;
+  }
+}
+
+}  // namespace traj2hash::net

@@ -1,0 +1,100 @@
+#ifndef TRAJ2HASH_NET_SOCKET_H_
+#define TRAJ2HASH_NET_SOCKET_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace traj2hash::net {
+
+/// A connected TCP stream socket with poll()-based deadlines on every
+/// operation (DESIGN.md §16). All sockets are non-blocking under the hood;
+/// Send/Recv loop on poll() until the byte budget or the deadline is spent,
+/// so a stalled peer can never wedge a caller for longer than its timeout.
+///
+/// Ownership: move-only; the destructor closes the descriptor. `Shutdown`
+/// is the one cross-thread-safe operation — it calls ::shutdown (never
+/// ::close), which wakes any thread blocked in poll() on this socket and
+/// makes further IO fail, without freeing the descriptor out from under
+/// them. That is how ShipServer::Sever kills in-flight connections that
+/// per-connection threads own.
+///
+/// Fault points (common/fault_injection.h): faults::kNetSend injects a
+/// torn send — half the buffer is transmitted, then the connection is shut
+/// down; faults::kNetRecv injects a failed read + shutdown.
+class Socket {
+ public:
+  Socket() = default;  ///< invalid socket (valid() == false)
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connects to host:port (numeric IPv4, normally 127.0.0.1) within
+  /// `timeout_ms`. kUnavailable on refusal/timeout, kInvalidArgument on a
+  /// bad address.
+  static Result<Socket> Connect(const std::string& host, int port,
+                                double timeout_ms);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Sends all `n` bytes or fails. kIoError on a broken connection (or the
+  /// injected torn send), kDeadlineExceeded when the peer's window stays
+  /// full past the deadline.
+  Status SendAll(const void* data, size_t n, double timeout_ms);
+
+  /// Receives up to `n` bytes into `out`. Returns the count received (>= 1),
+  /// kUnavailable when the peer closed cleanly (EOF), kDeadlineExceeded when
+  /// no byte arrives within the deadline, kIoError on a reset connection.
+  Result<size_t> RecvSome(void* out, size_t n, double timeout_ms);
+
+  /// Cross-thread-safe: wakes blocked IO and poisons the connection.
+  void Shutdown();
+  /// Owner-thread only: closes the descriptor.
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to 127.0.0.1. Port 0 picks an ephemeral
+/// port (read it back with port()), so tests and local replica groups never
+/// collide. Honours faults::kNetAccept: the injected hit accepts the
+/// pending connection and instantly closes it, so the peer observes
+/// connect-then-EOF.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  static Result<Listener> Listen(int port = 0);
+
+  bool valid() const { return fd_ >= 0; }
+  int port() const { return port_; }
+
+  /// Accepts one connection within `timeout_ms`. kDeadlineExceeded when
+  /// nothing arrives, kUnavailable on the injected accept fault or a closed
+  /// listener.
+  Result<Socket> Accept(double timeout_ms);
+
+  /// Cross-thread-safe: wakes a blocked Accept and makes it fail, without
+  /// closing the descriptor out from under the accept loop.
+  void Shutdown();
+  void Close();
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace traj2hash::net
+
+#endif  // TRAJ2HASH_NET_SOCKET_H_

@@ -39,8 +39,18 @@ const char* ReplicaStateName(ReplicaState state) {
 
 Replica::Replica(const Primary* primary, const ReplicaOptions& options,
                  std::string name)
-    : primary_(primary), options_(options), name_(std::move(name)) {
+    : Replica(primary, std::make_unique<LocalTransport>(primary), options,
+              std::move(name)) {}
+
+Replica::Replica(const Primary* primary,
+                 std::unique_ptr<ShipTransport> transport,
+                 const ReplicaOptions& options, std::string name)
+    : primary_(primary),
+      options_(options),
+      name_(std::move(name)),
+      transport_(std::move(transport)) {
   T2H_CHECK(primary_ != nullptr);
+  T2H_CHECK(transport_ != nullptr);
 }
 
 std::shared_ptr<serve::ShardedIndex> Replica::MakeIndex() const {
@@ -56,7 +66,7 @@ std::shared_ptr<const serve::ShardedIndex> Replica::index() const {
 
 Status Replica::Bootstrap(const std::string& snapshot_path) {
   std::lock_guard<std::mutex> ship(ship_mu_);
-  Status wrote = primary_->WriteBootstrapSnapshot(snapshot_path);
+  Status wrote = transport_->FetchBootstrapSnapshot(snapshot_path);
   if (!wrote.ok()) return wrote;
 
   auto fresh = MakeIndex();
@@ -65,8 +75,8 @@ Status Replica::Bootstrap(const std::string& snapshot_path) {
 
   // The snapshot reflects some log prefix; replaying the whole log over it
   // converges because apply is idempotent and last-op-per-id wins. A fresh
-  // cursor (seq watermark 0) therefore starts at offset 0.
-  cursor_ = std::make_unique<ingest::WalCursor>(primary_->wal_path());
+  // source (seq watermark 0) therefore starts at the front of the log.
+  source_ = transport_->MakeWalSource();
   {
     std::lock_guard<std::mutex> lock(index_mu_);
     index_ = std::move(fresh);
@@ -83,7 +93,7 @@ Status Replica::Restart(const std::string& snapshot_path) {
     Status loaded = fresh->LoadSnapshot(snapshot_path);
     if (!loaded.ok()) return loaded;
   }
-  cursor_ = std::make_unique<ingest::WalCursor>(primary_->wal_path());
+  source_ = transport_->MakeWalSource();
   {
     std::lock_guard<std::mutex> lock(index_mu_);
     index_ = std::move(fresh);
@@ -96,7 +106,7 @@ Status Replica::Restart(const std::string& snapshot_path) {
 void Replica::SimulateCrash() {
   SetState(ReplicaState::kDown);
   std::lock_guard<std::mutex> ship(ship_mu_);
-  cursor_.reset();
+  source_.reset();
   std::lock_guard<std::mutex> lock(index_mu_);
   index_.reset();
   applied_seq_.store(0, std::memory_order_release);
@@ -116,20 +126,20 @@ Result<int> Replica::PollApplyOnce() {
 }
 
 Result<int> Replica::PollApplyLocked() {
-  if (state() == ReplicaState::kDown || cursor_ == nullptr) {
+  if (state() == ReplicaState::kDown || source_ == nullptr) {
     return Status::FailedPrecondition("replica " + name_ +
                                       " is down; bootstrap or restart first");
   }
   std::vector<ingest::WalRecord> records;
-  Status polled = cursor_->Poll(&records);
+  Status polled = source_->Poll(&records);
   if (polled.code() == StatusCode::kFailedPrecondition) {
     // The primary reset its log (checkpoint). If we had applied everything
     // up to some committed seq, the reset log holds only records above our
     // watermark — rewinding and re-polling is lossless. If we were lagging,
     // records we never saw are gone: re-bootstrap.
-    cursor_->Rewind();
+    source_->Rewind();
     records.clear();
-    polled = cursor_->Poll(&records);
+    polled = source_->Poll(&records);
     if (polled.ok() && !records.empty() &&
         records.front().seq > applied_seq_.load(std::memory_order_acquire) + 1) {
       SetState(ReplicaState::kDown);

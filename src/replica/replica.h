@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "ingest/wal.h"
+#include "replica/transport.h"
 #include "search/code.h"
 #include "search/knn.h"
 #include "search/strategy.h"
@@ -77,9 +78,10 @@ struct ReplicaOptions {
 };
 
 /// The replica role: a read-only copy of the primary's database that
-/// bootstraps from a snapshot, tails the primary's WAL through a WalCursor,
-/// applies records idempotently via ShardedIndex::ApplyShipped, and serves
-/// top-k reads with a tracked apply lag.
+/// bootstraps from a snapshot, tails the primary's WAL through a WalSource
+/// (a local file cursor or a socket tailer — replica/transport.h), applies
+/// records idempotently via ShardedIndex::ApplyShipped, and serves top-k
+/// reads with a tracked apply lag.
 ///
 /// Correctness contract: once `applied_seq() >= S` for a committed seq S,
 /// the replica's QueryTopK results are bit-identical to the primary's at S
@@ -93,8 +95,16 @@ struct ReplicaOptions {
 /// keep the old epoch alive through a shared_ptr.
 class Replica {
  public:
+  /// In-process transport (LocalTransport): snapshots via the primary
+  /// object, records via a file-tailing cursor.
   Replica(const Primary* primary, const ReplicaOptions& options,
           std::string name);
+
+  /// Explicit transport, e.g. a SocketTransport speaking the framed TCP
+  /// protocol to a ShipServer (DESIGN.md §16). `primary` is still consulted
+  /// for seq accounting (committed_seq) — the data path is the transport.
+  Replica(const Primary* primary, std::unique_ptr<ShipTransport> transport,
+          const ReplicaOptions& options, std::string name);
 
   /// Cold bootstrap: asks the primary for a fresh snapshot at
   /// `snapshot_path`, loads it into a new index, opens a cursor at the
@@ -156,6 +166,9 @@ class Replica {
   }
   const std::string& name() const { return name_; }
   const Primary* primary() const { return primary_; }
+  /// The transport this replica ships over ("inproc" / "socket") and its
+  /// monotone health counters (reconnects, heartbeats, duplicate frames…).
+  const ShipTransport& transport() const { return *transport_; }
 
   /// The replica's current index epoch (tests; may be null before
   /// bootstrap). Holding the returned pointer keeps the epoch alive across
@@ -184,10 +197,14 @@ class Replica {
   mutable std::mutex index_mu_;
   std::shared_ptr<serve::ShardedIndex> index_;
 
+  /// How this replica reaches its primary: snapshot fetches + WalSource
+  /// construction. Owned; outlives source_ (declared before it).
+  std::unique_ptr<ShipTransport> transport_;
+
   /// Serialises the ship/maintenance side: Bootstrap, PollApplyOnce,
   /// CatchUp, Restart. Never held while executing a query.
   std::mutex ship_mu_;
-  std::unique_ptr<ingest::WalCursor> cursor_;
+  std::unique_ptr<WalSource> source_;
 
   std::atomic<int> state_{static_cast<int>(ReplicaState::kEmpty)};
   std::atomic<uint64_t> applied_seq_{0};

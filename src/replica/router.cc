@@ -33,14 +33,28 @@ ReadRouter::ReadRouter(std::vector<Replica*> replicas,
       admission_(options.queue_depth, options.overload_policy) {
   routable_.reserve(replicas_.size());
   routed_.reserve(replicas_.size());
+  fresh_.reserve(replicas_.size());
   for (size_t i = 0; i < replicas_.size(); ++i) {
     routable_.push_back(std::make_unique<std::atomic<bool>>(true));
     routed_.push_back(std::make_unique<std::atomic<int64_t>>(0));
+    fresh_.push_back(std::make_unique<std::atomic<bool>>(true));
     if (options_.cache_entries > 0) {
-      caches_.push_back(
-          std::make_unique<serve::ResultCache>(options_.cache_entries));
+      caches_.push_back(std::make_unique<serve::ResultCache>(
+          options_.cache_entries, options_.cache_max_bytes));
     }
   }
+}
+
+bool ReadRouter::IsFresh(int i) const {
+  if (options_.max_lag_records > 0 &&
+      replicas_[i]->lag_records() > options_.max_lag_records) {
+    return false;
+  }
+  if (options_.max_lag_ms > 0.0 &&
+      replicas_[i]->lag_ms() > options_.max_lag_ms) {
+    return false;
+  }
+  return true;
 }
 
 void ReadRouter::MarkDown(int i) {
@@ -63,10 +77,22 @@ int ReadRouter::PickReplica() {
   const uint64_t start = next_.fetch_add(1, std::memory_order_acq_rel);
   for (int step = 0; step < n; ++step) {
     const int i = static_cast<int>((start + step) % n);
-    if (routable_[i]->load(std::memory_order_acquire) &&
-        replicas_[i]->state() == ReplicaState::kHealthy) {
-      return i;
+    if (!routable_[i]->load(std::memory_order_acquire) ||
+        replicas_[i]->state() != ReplicaState::kHealthy) {
+      continue;
     }
+    // Staleness bound: lag is re-read on every pick, so a replica demotes
+    // itself the moment it falls behind and re-admits itself the moment it
+    // catches up — no operator action, no separate health protocol. The
+    // fresh_ flag only turns lag crossings into countable transitions.
+    if (!IsFresh(i)) {
+      if (fresh_[i]->exchange(false, std::memory_order_acq_rel)) {
+        stale_demotions_.fetch_add(1, std::memory_order_acq_rel);
+      }
+      continue;
+    }
+    fresh_[i]->store(true, std::memory_order_release);
+    return i;
   }
   return -1;
 }
@@ -154,6 +180,12 @@ serve::ResultCache::Stats ReadRouter::cache_stats() const {
     sum.insertions += s.insertions;
     sum.evictions += s.evictions;
   }
+  return sum;
+}
+
+size_t ReadRouter::cache_bytes() const {
+  size_t sum = 0;
+  for (const auto& cache : caches_) sum += cache->bytes();
   return sum;
 }
 

@@ -33,6 +33,17 @@ struct ReadRouterOptions {
   /// names one exact primary state, so an entry at seq S is bit-identical
   /// to querying any replica applied to S (DESIGN.md §15).
   int cache_entries = 0;
+  /// Per-replica result-cache byte budget (approximate, entry-size
+  /// accounted); 0 = unbounded. Applies on top of cache_entries.
+  size_t cache_max_bytes = 0;
+  /// Staleness bound (DESIGN.md §16): a replica whose apply lag exceeds
+  /// either limit is demoted from the routable set — reads never observe a
+  /// state more than this far behind the primary — and re-admitted
+  /// automatically once it catches back up. 0 = unbounded (lag never
+  /// demotes). With every replica over the bound, queries fail
+  /// kUnavailable: the bound is a promise, not a preference.
+  int64_t max_lag_records = 0;
+  double max_lag_ms = 0.0;
 };
 
 /// Outcome of one routed read.
@@ -45,9 +56,12 @@ struct RoutedRead {
 
 /// Health-aware read router over a group of replicas (DESIGN.md §13).
 ///
-/// Queries spread round-robin across replicas that are both router-routable
-/// and kHealthy. A replica that errors or reports kUnavailable is marked
-/// unroutable on the spot and the query retries on the survivors
+/// Queries spread round-robin across replicas that are router-routable,
+/// kHealthy and inside the configured staleness bound (max_lag_records /
+/// max_lag_ms — a lagging replica is demoted from the routable set and
+/// re-admits itself by catching up). A replica that errors or reports
+/// kUnavailable is marked unroutable on the spot and the query retries on
+/// the survivors
 /// (common/retry.h with zero backoff — the next replica is immediately
 /// available, so waiting would only add latency). The router never invents
 /// results: a query either returns some healthy replica's answer — which the
@@ -96,12 +110,22 @@ class ReadRouter {
   int64_t failovers() const {
     return failovers_.load(std::memory_order_acquire);
   }
+  /// Fresh-to-stale transitions: times a replica crossed the staleness
+  /// bound and was demoted from routing (0 when no bound is set).
+  int64_t stale_demotions() const {
+    return stale_demotions_.load(std::memory_order_acquire);
+  }
+  /// True when replica `i` is within the staleness bound (always true with
+  /// no bound configured).
+  bool IsFresh(int i) const;
   /// Queries shed by router admission control.
   int64_t shed_count() const { return admission_.shed_count(); }
 
   /// Result-cache counters summed over the per-replica caches (all zero
   /// when `cache_entries` is 0).
   serve::ResultCache::Stats cache_stats() const;
+  /// Approximate bytes currently held across the per-replica caches.
+  size_t cache_bytes() const;
 
  private:
   /// Next routable + healthy replica at-or-after the round-robin cursor;
@@ -116,11 +140,16 @@ class ReadRouter {
   /// atomics so the vector never moves them.
   std::vector<std::unique_ptr<std::atomic<bool>>> routable_;
   std::vector<std::unique_ptr<std::atomic<int64_t>>> routed_;
+  /// Per-replica freshness view (inside the staleness bound); flips as
+  /// PickReplica observes lag crossing the bound, so demotions count
+  /// transitions, not skipped picks.
+  std::vector<std::unique_ptr<std::atomic<bool>>> fresh_;
   /// Per-replica result caches (empty when caching is disabled). Keyed by
   /// (k, num_bits, code words); epoch = the replica's applied seq.
   std::vector<std::unique_ptr<serve::ResultCache>> caches_;
   std::atomic<uint64_t> next_{0};
   std::atomic<int64_t> failovers_{0};
+  std::atomic<int64_t> stale_demotions_{0};
 };
 
 }  // namespace traj2hash::replica

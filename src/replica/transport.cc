@@ -1,0 +1,569 @@
+#include "replica/transport.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+#include "common/crc32.h"
+#include "common/fault_injection.h"
+#include "common/file_util.h"
+#include "common/serialize.h"
+#include "replica/replica.h"
+
+namespace traj2hash::replica {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+double ElapsedMs(Clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               since)
+             .count() /
+         1000.0;
+}
+
+/// kError frame payload: u8 status code | message bytes.
+std::string EncodeErrorPayload(const Status& status) {
+  std::string payload;
+  AppendPod(payload, static_cast<uint8_t>(status.code()));
+  payload.append(status.message());
+  return payload;
+}
+
+Status DecodeErrorPayload(const std::string& payload) {
+  if (payload.empty() ||
+      static_cast<uint8_t>(payload[0]) >
+          static_cast<uint8_t>(StatusCode::kDataLoss)) {
+    return Status::Internal("malformed error frame from the ship server");
+  }
+  return Status(static_cast<StatusCode>(static_cast<uint8_t>(payload[0])),
+                "ship server: " + payload.substr(1));
+}
+
+/// Collapses every transport-layer failure into kUnavailable so the retry
+/// machinery treats it as "reconnect and try again" — a timed-out or
+/// corrupted *wire* exchange never condemns the data the way an on-disk
+/// kDataLoss does; the peer simply re-sends on the next connection.
+Status Transient(const Status& status, const char* what) {
+  return Status::Unavailable(std::string(what) + ": " + status.ToString());
+}
+
+}  // namespace
+
+LocalTransport::LocalTransport(const Primary* primary) : primary_(primary) {
+  T2H_CHECK(primary_ != nullptr);
+}
+
+Status LocalTransport::FetchBootstrapSnapshot(const std::string& local_path) {
+  Status wrote = primary_->WriteBootstrapSnapshot(local_path);
+  if (wrote.ok()) {
+    counters_->snapshots_fetched.fetch_add(1, std::memory_order_acq_rel);
+  }
+  return wrote;
+}
+
+std::unique_ptr<WalSource> LocalTransport::MakeWalSource() {
+  return std::make_unique<CursorSource>(primary_->wal_path());
+}
+
+// ---------------------------------------------------------------------------
+// ShipServer
+// ---------------------------------------------------------------------------
+
+ShipServer::ShipServer(const Primary* primary, ShipServerOptions options)
+    : primary_(primary), options_(options) {
+  T2H_CHECK(primary_ != nullptr);
+}
+
+ShipServer::~ShipServer() { Stop(); }
+
+Status ShipServer::Start() {
+  Result<net::Listener> listener = net::Listener::Listen(0);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  port_ = listener_.port();
+  stopping_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void ShipServer::Stop() {
+  stopping_.store(true, std::memory_order_release);
+  listener_.Shutdown();
+  Sever();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& thread : threads) thread.join();
+  listener_.Close();
+}
+
+void ShipServer::Sever() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (net::Socket* socket : live_conns_) socket->Shutdown();
+}
+
+void ShipServer::AcceptLoop() {
+  while (!Stopping()) {
+    Result<net::Socket> accepted = listener_.Accept(100.0);
+    // Timeouts, the injected accept fault and a shut-down listener all land
+    // here; the loop just spins on to the next accept (or exits on Stop).
+    if (!accepted.ok()) continue;
+    if (refuse_.load(std::memory_order_acquire)) continue;  // partition drill
+    accepted_.fetch_add(1, std::memory_order_acq_rel);
+    auto socket = std::make_unique<net::Socket>(std::move(accepted).value());
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (Stopping()) break;
+    const uint64_t conn_id = next_conn_id_++;
+    live_conns_.push_back(socket.get());
+    conn_threads_.emplace_back(
+        [this, conn = std::move(socket), conn_id]() mutable {
+          ServeConnection(std::move(conn), conn_id);
+        });
+  }
+}
+
+void ShipServer::ServeConnection(std::unique_ptr<net::Socket> socket,
+                                 uint64_t conn_id) {
+  net::FrameReader reader(socket.get());
+  net::FrameType type;
+  std::string payload;
+  Status got = reader.ReadFrame(&type, &payload, options_.io_timeout_ms);
+  if (got.ok() && type == net::FrameType::kHello) {
+    PayloadReader hello(payload, 0);
+    const uint64_t resume_after = hello.Read<uint64_t>();
+    const uint8_t mode = hello.Read<uint8_t>();
+    if (hello.at_end()) {
+      if (mode == 1) {
+        ServeSnapshot(*socket, conn_id);
+      } else {
+        ServeTail(*socket, reader, resume_after);
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  live_conns_.erase(
+      std::find(live_conns_.begin(), live_conns_.end(), socket.get()));
+}
+
+void ShipServer::ServeSnapshot(net::Socket& socket, uint64_t conn_id) {
+  // The snapshot is written server-side and streamed in chunks; overlap
+  // with concurrent commits is harmless because the client replays the
+  // whole log over it (idempotent apply).
+  const std::string temp =
+      primary_->wal_path() + ".shipsnap." + std::to_string(conn_id);
+  Status wrote = primary_->WriteBootstrapSnapshot(temp);
+  if (!wrote.ok()) {
+    net::WriteFrame(socket, net::FrameType::kError, EncodeErrorPayload(wrote),
+                    options_.io_timeout_ms);
+    return;
+  }
+  Result<std::string> read = ReadFileToString(temp);
+  std::remove(temp.c_str());
+  if (!read.ok()) {
+    net::WriteFrame(socket, net::FrameType::kError,
+                    EncodeErrorPayload(read.status()), options_.io_timeout_ms);
+    return;
+  }
+  const std::string& bytes = read.value();
+  std::string begin;
+  AppendPod(begin, static_cast<uint64_t>(bytes.size()));
+  if (!net::WriteFrame(socket, net::FrameType::kSnapshotBegin, begin,
+                       options_.io_timeout_ms)
+           .ok()) {
+    return;
+  }
+  for (size_t pos = 0; pos < bytes.size(); pos += net::kSnapshotChunkBytes) {
+    const std::string chunk = bytes.substr(pos, net::kSnapshotChunkBytes);
+    if (!net::WriteFrame(socket, net::FrameType::kSnapshotChunk, chunk,
+                         options_.io_timeout_ms)
+             .ok()) {
+      return;
+    }
+  }
+  std::string end;
+  AppendPod(end, Crc32(bytes));
+  if (net::WriteFrame(socket, net::FrameType::kSnapshotEnd, end,
+                      options_.io_timeout_ms)
+          .ok()) {
+    snapshots_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ShipServer::ServeTail(net::Socket& socket, net::FrameReader& reader,
+                           uint64_t resume_after) {
+  (void)reader;  // the tail stream is write-only after the handshake
+  ingest::WalCursor cursor(primary_->wal_path());
+  std::vector<ingest::WalRecord> batch;
+  Status polled = cursor.Poll(&batch);
+  if (polled.code() == StatusCode::kDataLoss) {
+    // The primary's own log is corrupt: a permanent, data-condemning error
+    // the client must not retry through.
+    net::WriteFrame(socket, net::FrameType::kError, EncodeErrorPayload(polled),
+                    options_.io_timeout_ms);
+    return;
+  }
+  if (!polled.ok()) batch.clear();  // transient: start from an empty batch
+
+  uint64_t sent_seq = resume_after;
+  if (resume_after > 0) {
+    // Does the log still cover resume_after + 1? With records in hand the
+    // first one answers directly; an empty log covers the client only if
+    // nothing was committed past its watermark (otherwise those records
+    // were reset away with the last checkpoint).
+    const bool covered = !batch.empty()
+                             ? batch.front().seq <= resume_after + 1
+                             : primary_->committed_seq() <= resume_after;
+    if (!covered) {
+      net::WriteFrame(socket, net::FrameType::kNeedBootstrap, std::string(),
+                      options_.io_timeout_ms);
+      return;
+    }
+  }
+  if (!net::WriteFrame(socket, net::FrameType::kResume, std::string(),
+                       options_.io_timeout_ms)
+           .ok()) {
+    return;
+  }
+
+  auto last_sent = Clock::now();
+  while (!Stopping()) {
+    for (const ingest::WalRecord& record : batch) {
+      if (record.seq <= sent_seq) continue;  // below the client's watermark
+      if (sent_seq == 0) {
+        // A zero-watermark stream starts at the log head, wherever the last
+        // checkpoint left it — the same semantics as a fresh file cursor.
+        // The client's bootstrap snapshot covers the folded prefix; clients
+        // with applied state detect any real hole themselves.
+        sent_seq = record.seq - 1;
+      }
+      if (record.seq != sent_seq + 1) {
+        // This connection's stream lost continuity (the primary reset its
+        // log past what we already shipped). Tell the client to
+        // re-handshake: the fresh connection decides resume vs re-bootstrap.
+        net::WriteFrame(socket, net::FrameType::kLogReset, std::string(),
+                        options_.io_timeout_ms);
+        return;
+      }
+      const std::string payload = ingest::EncodeWalRecord(record);
+      if (FaultInjector::Fire(faults::kNetDelayFrame)) {
+        SleepMillis(options_.heartbeat_ms);
+      }
+      if (!net::WriteFrame(socket, net::FrameType::kRecord, payload,
+                           options_.io_timeout_ms)
+               .ok()) {
+        return;
+      }
+      if (FaultInjector::Fire(faults::kNetDupFrame)) {
+        if (!net::WriteFrame(socket, net::FrameType::kRecord, payload,
+                             options_.io_timeout_ms)
+                 .ok()) {
+          return;
+        }
+      }
+      sent_seq = record.seq;
+      records_sent_.fetch_add(1, std::memory_order_acq_rel);
+      last_sent = Clock::now();
+    }
+    batch.clear();
+    polled = cursor.Poll(&batch);
+    if (polled.code() == StatusCode::kFailedPrecondition) {
+      // The primary reset its log; the cursor's own watermark keeps the
+      // stream continuous when we were caught up, and the continuity check
+      // above turns a real loss into kLogReset.
+      cursor.Rewind();
+      continue;
+    }
+    if (polled.code() == StatusCode::kDataLoss) {
+      net::WriteFrame(socket, net::FrameType::kLogReset, std::string(),
+                      options_.io_timeout_ms);
+      return;
+    }
+    if (!polled.ok()) {
+      SleepMillis(options_.idle_poll_ms);
+      continue;
+    }
+    if (batch.empty()) {
+      if (ElapsedMs(last_sent) >= options_.heartbeat_ms) {
+        std::string heartbeat;
+        AppendPod(heartbeat, primary_->committed_seq());
+        if (!net::WriteFrame(socket, net::FrameType::kHeartbeat, heartbeat,
+                             options_.io_timeout_ms)
+                 .ok()) {
+          return;
+        }
+        heartbeats_sent_.fetch_add(1, std::memory_order_acq_rel);
+        last_sent = Clock::now();
+      }
+      SleepMillis(options_.idle_poll_ms);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SocketTailer
+// ---------------------------------------------------------------------------
+
+SocketTailer::SocketTailer(std::string host, int port,
+                           SocketTailerOptions options,
+                           std::shared_ptr<TransportCounters> counters)
+    : host_(std::move(host)),
+      port_(port),
+      options_(options),
+      counters_(counters != nullptr ? std::move(counters)
+                                    : std::make_shared<TransportCounters>()),
+      rng_(options.seed) {}
+
+SocketTailer::~SocketTailer() { Disconnect(); }
+
+void SocketTailer::Disconnect() {
+  reader_.reset();
+  socket_.Close();
+  connected_ = false;
+}
+
+void SocketTailer::Rewind() {
+  // The socket analogue of repositioning a file cursor: drop the stream and
+  // re-handshake at the watermark; the server skips everything at-or-below
+  // it, so nothing already returned is returned again.
+  Disconnect();
+}
+
+Status SocketTailer::EnsureConnected() {
+  if (connected_) return Status::Ok();
+  return RetryWithBackoff(options_.reconnect, rng_, [&]() -> Status {
+    Disconnect();
+    Result<net::Socket> conn =
+        net::Socket::Connect(host_, port_, options_.io_timeout_ms);
+    if (!conn.ok()) return conn.status();
+    socket_ = std::move(conn).value();
+    reader_ = std::make_unique<net::FrameReader>(&socket_);
+    std::string hello;
+    AppendPod(hello, watermark_);
+    AppendPod(hello, static_cast<uint8_t>(0));
+    Status sent = net::WriteFrame(socket_, net::FrameType::kHello, hello,
+                                  options_.io_timeout_ms);
+    if (!sent.ok()) {
+      Disconnect();
+      return Transient(sent, "handshake send");
+    }
+    net::FrameType type;
+    std::string payload;
+    Status got = reader_->ReadFrame(&type, &payload, options_.io_timeout_ms);
+    if (!got.ok()) {
+      Disconnect();
+      return Transient(got, "handshake reply");
+    }
+    if (type == net::FrameType::kResume) {
+      connected_ = true;
+      reset_reported_ = false;
+      last_frame_ns_ = NowNs();
+      if (ever_connected_) {
+        counters_->reconnects.fetch_add(1, std::memory_order_acq_rel);
+      }
+      ever_connected_ = true;
+      return Status::Ok();
+    }
+    Disconnect();
+    if (type == net::FrameType::kNeedBootstrap) {
+      // Not retryable: reconnecting cannot bring the reset records back.
+      return Status::FailedPrecondition(
+          "ship server's log no longer covers seq " +
+          std::to_string(watermark_ + 1) +
+          "; Rewind if caught up, re-bootstrap otherwise");
+    }
+    if (type == net::FrameType::kError) return DecodeErrorPayload(payload);
+    return Status::Unavailable(std::string("unexpected handshake frame ") +
+                               net::FrameTypeName(type));
+  });
+}
+
+Status SocketTailer::Poll(std::vector<ingest::WalRecord>* out) {
+  T2H_CHECK(out != nullptr);
+  if (FaultInjector::Fire(faults::kReplicaShip)) {
+    return Status::IoError("injected ship failure tailing " + host_ + ":" +
+                           std::to_string(port_));
+  }
+  Status conn = EnsureConnected();
+  if (!conn.ok()) {
+    if (conn.code() == StatusCode::kFailedPrecondition) {
+      if (reset_reported_) {
+        // The Rewind the first report triggered did not help: records
+        // between our watermark and the log's start are gone for good.
+        return Status::DataLoss(
+            "ship server's log was reset past seq " +
+            std::to_string(watermark_) + "; re-bootstrap from a snapshot");
+      }
+      reset_reported_ = true;
+    }
+    return conn;
+  }
+  bool first = true;
+  while (true) {
+    net::FrameType type;
+    std::string payload;
+    // The first read waits for the stream to produce; later reads only
+    // drain what is already in flight, so one Poll cannot hold the
+    // replica's ship mutex hostage to a chatty server.
+    const double wait = first ? options_.drain_ms : 0.2;
+    first = false;
+    Status got = reader_->ReadFrame(&type, &payload, wait);
+    if (got.code() == StatusCode::kDeadlineExceeded) break;  // nothing more
+    if (got.code() == StatusCode::kDataLoss) {
+      // Wire corruption is not data loss: the log is intact server-side.
+      // Drop the connection and resync from the watermark.
+      counters_->corrupt_frames.fetch_add(1, std::memory_order_acq_rel);
+      Disconnect();
+      break;
+    }
+    if (!got.ok()) {
+      Disconnect();  // EOF / reset mid-stream: reconnect next poll
+      break;
+    }
+    last_frame_ns_ = NowNs();
+    if (type == net::FrameType::kRecord) {
+      ingest::WalRecord record;
+      Status decoded = ingest::DecodeWalRecord(payload, &record);
+      if (!decoded.ok()) {
+        counters_->corrupt_frames.fetch_add(1, std::memory_order_acq_rel);
+        Disconnect();
+        break;
+      }
+      if (record.seq <= watermark_) {
+        // Duplicate delivery (kNetDupFrame, or overlap after a resync).
+        counters_->dup_records.fetch_add(1, std::memory_order_acq_rel);
+        continue;
+      }
+      if (watermark_ != 0 && record.seq != watermark_ + 1) {
+        Disconnect();
+        return Status::DataLoss(
+            "sequence gap on the ship stream (" + std::to_string(watermark_) +
+            " -> " + std::to_string(record.seq) + ")");
+      }
+      watermark_ = record.seq;
+      out->push_back(std::move(record));
+    } else if (type == net::FrameType::kHeartbeat) {
+      PayloadReader heartbeat(payload, 0);
+      const uint64_t committed = heartbeat.Read<uint64_t>();
+      if (heartbeat.at_end()) {
+        committed_hint_.store(committed, std::memory_order_release);
+      }
+      counters_->heartbeats.fetch_add(1, std::memory_order_acq_rel);
+    } else if (type == net::FrameType::kLogReset) {
+      // The server-side stream lost continuity; re-handshake at the
+      // watermark (the fresh connection decides resume vs re-bootstrap).
+      Disconnect();
+      break;
+    } else if (type == net::FrameType::kError) {
+      Status err = DecodeErrorPayload(payload);
+      Disconnect();
+      if (err.code() == StatusCode::kDataLoss) return err;
+      break;
+    }
+    // Frames that make no sense mid-stream (handshake/snapshot types) are
+    // ignored; the CRC proved them intact, they are just out of context.
+  }
+  if (connected_ &&
+      NowNs() - last_frame_ns_ >
+          static_cast<int64_t>(options_.peer_timeout_ms * 1e6)) {
+    // Not even a heartbeat within the peer timeout: the server is wedged or
+    // the path is black-holing. Tear down for a clean reconnect.
+    counters_->peer_deaths.fetch_add(1, std::memory_order_acq_rel);
+    Disconnect();
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// SocketTransport
+// ---------------------------------------------------------------------------
+
+SocketTransport::SocketTransport(std::string host, int port,
+                                 SocketTailerOptions options)
+    : host_(std::move(host)),
+      port_(port),
+      options_(options),
+      snapshot_rng_(options.seed + 1) {}
+
+std::unique_ptr<WalSource> SocketTransport::MakeWalSource() {
+  return std::make_unique<SocketTailer>(host_, port_, options_, counters_);
+}
+
+Status SocketTransport::FetchBootstrapSnapshot(const std::string& local_path) {
+  Status fetched = RetryWithBackoff(
+      options_.reconnect, snapshot_rng_, [&]() -> Status {
+        Result<net::Socket> conn =
+            net::Socket::Connect(host_, port_, options_.io_timeout_ms);
+        if (!conn.ok()) return conn.status();
+        net::Socket socket = std::move(conn).value();
+        net::FrameReader reader(&socket);
+        std::string hello;
+        AppendPod(hello, static_cast<uint64_t>(0));
+        AppendPod(hello, static_cast<uint8_t>(1));
+        Status sent = net::WriteFrame(socket, net::FrameType::kHello, hello,
+                                      options_.io_timeout_ms);
+        if (!sent.ok()) return Transient(sent, "snapshot request");
+        net::FrameType type;
+        std::string payload;
+        Status got = reader.ReadFrame(&type, &payload, options_.io_timeout_ms);
+        if (!got.ok()) return Transient(got, "snapshot stream");
+        if (type == net::FrameType::kError) return DecodeErrorPayload(payload);
+        if (type != net::FrameType::kSnapshotBegin) {
+          return Status::Unavailable(
+              std::string("unexpected snapshot frame ") +
+              net::FrameTypeName(type));
+        }
+        PayloadReader begin(payload, 0);
+        const uint64_t total = begin.Read<uint64_t>();
+        if (!begin.at_end()) {
+          return Status::Unavailable("malformed snapshot-begin frame");
+        }
+        std::string bytes;
+        bytes.reserve(total);
+        while (true) {
+          got = reader.ReadFrame(&type, &payload, options_.io_timeout_ms);
+          if (!got.ok()) return Transient(got, "snapshot stream");
+          if (type == net::FrameType::kSnapshotChunk) {
+            bytes.append(payload);
+            if (bytes.size() > total) {
+              return Status::Unavailable("snapshot stream overran its "
+                                         "declared size; refetching");
+            }
+            continue;
+          }
+          if (type == net::FrameType::kSnapshotEnd) break;
+          if (type == net::FrameType::kError) {
+            return DecodeErrorPayload(payload);
+          }
+          return Status::Unavailable(
+              std::string("unexpected snapshot frame ") +
+              net::FrameTypeName(type));
+        }
+        PayloadReader end(payload, 0);
+        const uint32_t crc = end.Read<uint32_t>();
+        if (!end.at_end() || bytes.size() != total || Crc32(bytes) != crc) {
+          // A short or corrupted transfer; the file on the primary is fine,
+          // so simply fetch again.
+          return Status::Unavailable("snapshot failed end-to-end "
+                                     "verification; refetching");
+        }
+        return AtomicWriteFile(local_path, bytes);
+      });
+  if (fetched.ok()) {
+    counters_->snapshots_fetched.fetch_add(1, std::memory_order_acq_rel);
+  }
+  return fetched;
+}
+
+}  // namespace traj2hash::replica

@@ -1,0 +1,296 @@
+#ifndef TRAJ2HASH_REPLICA_TRANSPORT_H_
+#define TRAJ2HASH_REPLICA_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/retry.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "ingest/wal.h"
+#include "net/framing.h"
+#include "net/socket.h"
+
+namespace traj2hash::replica {
+
+class Primary;
+
+/// The WalCursor-shaped seam between a Replica and wherever its records
+/// come from (DESIGN.md §16). Replica's poll/apply state machine is written
+/// against exactly the ingest::WalCursor contract; this interface restates
+/// it so the same code tails a local file (CursorSource) or a TCP stream
+/// (SocketTailer) without changing:
+///   - Poll appends newly durable records in sequence order; nothing new is
+///     not an error.
+///   - Records at-or-below the seq watermark are skipped (idempotent
+///     re-delivery); a gap above it is kDataLoss.
+///   - kFailedPrecondition means "the log was reset under you": Rewind and
+///     re-poll if caught up, re-bootstrap otherwise.
+class WalSource {
+ public:
+  virtual ~WalSource() = default;
+  virtual Status Poll(std::vector<ingest::WalRecord>* out) = 0;
+  /// Repositions at the start of the stream, keeping the seq watermark.
+  virtual void Rewind() = 0;
+  /// Last sequence number returned by Poll (0 before any).
+  virtual uint64_t last_seq() const = 0;
+};
+
+/// In-process source: a thin adapter over ingest::WalCursor tailing the
+/// primary's log file directly (the PR-6 transport).
+class CursorSource final : public WalSource {
+ public:
+  explicit CursorSource(std::string wal_path) : cursor_(std::move(wal_path)) {}
+  Status Poll(std::vector<ingest::WalRecord>* out) override {
+    return cursor_.Poll(out);
+  }
+  void Rewind() override { cursor_.Rewind(); }
+  uint64_t last_seq() const override { return cursor_.last_seq(); }
+
+ private:
+  ingest::WalCursor cursor_;
+};
+
+/// Monotone health counters a transport accumulates across source
+/// re-creations (Bootstrap / Restart build a fresh WalSource each time, but
+/// reconnect totals must survive that). Shared between a SocketTransport
+/// and every tailer it makes.
+struct TransportCounters {
+  /// Successful re-handshakes after a lost connection (the first connect
+  /// does not count).
+  std::atomic<int64_t> reconnects{0};
+  std::atomic<int64_t> heartbeats{0};
+  /// Frames dropped for a CRC mismatch / malformed payload; each one also
+  /// forces a disconnect + resync.
+  std::atomic<int64_t> corrupt_frames{0};
+  /// Records skipped by the seq watermark (duplicate delivery).
+  std::atomic<int64_t> dup_records{0};
+  /// Connections declared dead because no frame (not even a heartbeat)
+  /// arrived within the peer timeout.
+  std::atomic<int64_t> peer_deaths{0};
+  /// Bootstrap snapshots fetched over this transport.
+  std::atomic<int64_t> snapshots_fetched{0};
+};
+
+/// How a Replica reaches its primary: a bootstrap-snapshot fetch plus a
+/// WalSource factory. LocalTransport is the in-process wiring; a
+/// SocketTransport speaks the framed TCP protocol to a ShipServer.
+class ShipTransport {
+ public:
+  ShipTransport() : counters_(std::make_shared<TransportCounters>()) {}
+  virtual ~ShipTransport() = default;
+
+  /// Materialises a bootstrap snapshot of the primary's state at
+  /// `local_path` (crash-safe write).
+  virtual Status FetchBootstrapSnapshot(const std::string& local_path) = 0;
+  /// Fresh record source positioned at the start of the log with a zero seq
+  /// watermark (the bootstrap/restart contract: replaying the whole log
+  /// over a snapshot is idempotent).
+  virtual std::unique_ptr<WalSource> MakeWalSource() = 0;
+  /// Canonical transport name ("inproc" / "socket") for stats.
+  virtual const char* name() const = 0;
+
+  const TransportCounters& counters() const { return *counters_; }
+
+ protected:
+  std::shared_ptr<TransportCounters> counters_;
+};
+
+/// The PR-6 in-process transport: snapshots via the primary object, records
+/// via a file-tailing cursor. Counters stay zero — there is no network to
+/// fail.
+class LocalTransport final : public ShipTransport {
+ public:
+  /// `primary` must outlive this transport.
+  explicit LocalTransport(const Primary* primary);
+  Status FetchBootstrapSnapshot(const std::string& local_path) override;
+  std::unique_ptr<WalSource> MakeWalSource() override;
+  const char* name() const override { return "inproc"; }
+
+ private:
+  const Primary* primary_;
+};
+
+struct ShipServerOptions {
+  /// Keepalive cadence: a heartbeat frame (carrying the committed seq) goes
+  /// out whenever the record stream has been idle this long.
+  double heartbeat_ms = 20.0;
+  /// Per-operation send/recv deadline.
+  double io_timeout_ms = 2000.0;
+  /// Sleep between idle log polls on a streaming connection.
+  double idle_poll_ms = 1.0;
+};
+
+/// Primary-side shipping endpoint: accepts TCP connections on a loopback
+/// port and serves the DESIGN.md §16 protocol — a handshake that resumes
+/// the record stream at the client's applied seq (or tells it to
+/// re-bootstrap when the log no longer covers that point), chunked snapshot
+/// fetches, CRC-framed records, and heartbeats on idle.
+///
+/// Chaos controls for drills and tests: `Sever` shuts down every live
+/// connection (clients see EOF mid-stream and must reconnect);
+/// `set_refuse_connections(true)` drops new connections at accept, which
+/// together simulate a network partition. Honours faults::kNetAccept /
+/// kNetSend / kNetRecv via the socket layer and faults::kNetDupFrame /
+/// kNetDelayFrame on the record stream.
+class ShipServer {
+ public:
+  /// `primary` must outlive the server.
+  explicit ShipServer(const Primary* primary, ShipServerOptions options = {});
+  ~ShipServer();
+
+  /// Binds an ephemeral loopback port and starts the accept loop.
+  Status Start();
+  void Stop();
+
+  int port() const { return port_; }
+
+  /// Severs every live connection (partition drill). New connections are
+  /// still accepted unless refusal is also on.
+  void Sever();
+  void set_refuse_connections(bool refuse) {
+    refuse_.store(refuse, std::memory_order_release);
+  }
+
+  int64_t connections_accepted() const {
+    return accepted_.load(std::memory_order_acquire);
+  }
+  int64_t snapshots_served() const {
+    return snapshots_.load(std::memory_order_acquire);
+  }
+  int64_t records_sent() const {
+    return records_sent_.load(std::memory_order_acquire);
+  }
+  int64_t heartbeats_sent() const {
+    return heartbeats_sent_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(std::unique_ptr<net::Socket> socket, uint64_t conn_id);
+  void ServeSnapshot(net::Socket& socket, uint64_t conn_id);
+  void ServeTail(net::Socket& socket, net::FrameReader& reader,
+                 uint64_t resume_after);
+  /// True once Stop was requested or the connection was severed.
+  bool Stopping() const { return stopping_.load(std::memory_order_acquire); }
+
+  const Primary* primary_;
+  const ShipServerOptions options_;
+  net::Listener listener_;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> refuse_{false};
+
+  std::mutex conns_mu_;
+  std::vector<net::Socket*> live_conns_;
+  std::vector<std::thread> conn_threads_;
+  uint64_t next_conn_id_ = 0;
+
+  std::atomic<int64_t> accepted_{0};
+  std::atomic<int64_t> snapshots_{0};
+  std::atomic<int64_t> records_sent_{0};
+  std::atomic<int64_t> heartbeats_sent_{0};
+};
+
+struct SocketTailerOptions {
+  /// Reconnect schedule: jittered exponential backoff (common/retry.h),
+  /// deterministic under `seed`. One Poll spends at most this attempt
+  /// budget before reporting kUnavailable and letting the ship loop retry.
+  RetryOptions reconnect{.max_attempts = 4,
+                         .initial_backoff_ms = 2.0,
+                         .multiplier = 2.0,
+                         .max_backoff_ms = 50.0,
+                         .jitter = 0.25};
+  /// Per-operation send/recv deadline (handshake, snapshot chunks).
+  double io_timeout_ms = 2000.0;
+  /// How long one Poll waits for the first frame before returning "nothing
+  /// new". Bounds the hold time of the replica's ship mutex.
+  double drain_ms = 20.0;
+  /// No frame (not even a heartbeat) for this long ⇒ the peer is presumed
+  /// dead and the connection is torn down for a fresh reconnect.
+  double peer_timeout_ms = 500.0;
+  uint64_t seed = 42;
+};
+
+/// Replica-side record source over TCP — the WalCursor contract spoken to
+/// a ShipServer (DESIGN.md §16):
+///   - Poll connects on demand (jittered-exponential reconnect), handshakes
+///     at the seq watermark, drains whatever record frames are ready and
+///     verifies CRC + seq continuity on each.
+///   - Duplicated frames fall below the watermark and are skipped; a gap
+///     above it is kDataLoss exactly like a file-cursor gap.
+///   - A kNeedBootstrap handshake reply surfaces once as
+///     kFailedPrecondition (the Replica answers with Rewind + re-poll, the
+///     same move a file-log reset triggers); if the server still cannot
+///     resume, the next Poll reports kDataLoss and the replica must
+///     re-bootstrap.
+///   - Disconnects, torn frames and wire corruption never lose data: the
+///     connection drops, the watermark stands, and the next Poll resyncs
+///     from it.
+class SocketTailer final : public WalSource {
+ public:
+  SocketTailer(std::string host, int port, SocketTailerOptions options = {},
+               std::shared_ptr<TransportCounters> counters = nullptr);
+  ~SocketTailer() override;
+
+  Status Poll(std::vector<ingest::WalRecord>* out) override;
+  /// Drops the connection (the watermark stands); the next Poll
+  /// re-handshakes at it — the socket analogue of repositioning a file
+  /// cursor at offset 0 and skipping below the watermark.
+  void Rewind() override;
+  uint64_t last_seq() const override { return watermark_; }
+
+  /// Committed seq most recently advertised by a server heartbeat.
+  uint64_t committed_hint() const {
+    return committed_hint_.load(std::memory_order_acquire);
+  }
+  const TransportCounters& counters() const { return *counters_; }
+  bool connected() const { return connected_; }
+
+ private:
+  Status EnsureConnected();
+  void Disconnect();
+
+  const std::string host_;
+  const int port_;
+  const SocketTailerOptions options_;
+  std::shared_ptr<TransportCounters> counters_;
+  Rng rng_;
+
+  net::Socket socket_;
+  std::unique_ptr<net::FrameReader> reader_;
+  bool connected_ = false;
+  bool ever_connected_ = false;
+  /// One kNeedBootstrap was already surfaced as kFailedPrecondition; the
+  /// next one is kDataLoss.
+  bool reset_reported_ = false;
+  uint64_t watermark_ = 0;
+  int64_t last_frame_ns_ = 0;
+  std::atomic<uint64_t> committed_hint_{0};
+};
+
+/// Socket-backed ShipTransport: bootstrap snapshots and WAL records both
+/// travel over the framed TCP protocol to a ShipServer at host:port.
+class SocketTransport final : public ShipTransport {
+ public:
+  SocketTransport(std::string host, int port, SocketTailerOptions options = {});
+  Status FetchBootstrapSnapshot(const std::string& local_path) override;
+  std::unique_ptr<WalSource> MakeWalSource() override;
+  const char* name() const override { return "socket"; }
+
+ private:
+  const std::string host_;
+  const int port_;
+  const SocketTailerOptions options_;
+  Rng snapshot_rng_;
+};
+
+}  // namespace traj2hash::replica
+
+#endif  // TRAJ2HASH_REPLICA_TRANSPORT_H_

@@ -31,7 +31,8 @@ QueryEngine::QueryEngine(const core::Traj2Hash* model,
     coalescer_ = std::make_unique<BatchCoalescer>(model, &pool_, copts);
   }
   if (options.cache_entries > 0) {
-    cache_ = std::make_unique<ResultCache>(options.cache_entries);
+    cache_ = std::make_unique<ResultCache>(options.cache_entries,
+                                           options.cache_max_bytes);
   }
 }
 
@@ -423,6 +424,7 @@ FrontendSnapshot QueryEngine::frontend_stats() const {
     s.flight_served = cs.flight_served;
     s.cache_insertions = cs.insertions;
     s.cache_evictions = cs.evictions;
+    s.cache_bytes = cache_->bytes();
   }
   s.epoch = index_.mutation_epoch();
   return s;

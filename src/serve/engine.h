@@ -49,6 +49,11 @@ struct QueryEngineOptions {
   /// Cached results are invalidated by the index mutation epoch, so churn
   /// can never serve stale neighbours.
   int cache_entries = 0;
+  /// Result-cache byte budget (approximate, per-entry size accounted: key
+  /// geometry + k neighbours + node overhead); 0 = unbounded. Applies on
+  /// top of cache_entries, so long-geometry workloads cannot blow past the
+  /// budget while staying under the entry count.
+  size_t cache_max_bytes = 0;
 };
 
 /// Per-query degradation knobs, threaded through Query/QueryBatch down to

@@ -16,7 +16,14 @@ struct ResultCache::Ticket::Flight {
   std::vector<search::Neighbor> result;
 };
 
-ResultCache::ResultCache(int capacity) : capacity_(capacity) {}
+ResultCache::ResultCache(int capacity, size_t max_bytes)
+    : capacity_(capacity), max_bytes_(max_bytes) {}
+
+void ResultCache::EraseLocked(std::list<Entry>::iterator it) {
+  bytes_ -= EntryBytes(it->key, it->result);
+  index_.erase(it->key);
+  lru_.erase(it);
+}
 
 bool ResultCache::LookupLocked(const std::string& key, uint64_t epoch,
                                std::vector<search::Neighbor>* out) {
@@ -27,8 +34,7 @@ bool ResultCache::LookupLocked(const std::string& key, uint64_t epoch,
     // drop it now rather than wait for LRU pressure. The caller decides
     // whether the drop is reported as `stale` (only when the lookup ends as
     // a miss, keeping stale a subset of misses).
-    lru_.erase(it->second);
-    index_.erase(it);
+    EraseLocked(it->second);
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);  // touch
@@ -40,18 +46,25 @@ void ResultCache::InsertLocked(const std::string& key, uint64_t epoch,
                                const std::vector<search::Neighbor>& result) {
   const auto it = index_.find(key);
   if (it != index_.end()) {
+    bytes_ -= EntryBytes(it->second->key, it->second->result);
     it->second->epoch = epoch;
     it->second->result = result;
+    bytes_ += EntryBytes(key, result);
     lru_.splice(lru_.begin(), lru_, it->second);
     insertions_.fetch_add(1, std::memory_order_relaxed);
-    return;
+  } else {
+    lru_.push_front(Entry{key, epoch, result});
+    index_[key] = lru_.begin();
+    bytes_ += EntryBytes(key, result);
+    insertions_.fetch_add(1, std::memory_order_relaxed);
   }
-  lru_.push_front(Entry{key, epoch, result});
-  index_[key] = lru_.begin();
-  insertions_.fetch_add(1, std::memory_order_relaxed);
-  if (static_cast<int>(lru_.size()) > capacity_) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
+  // Evict the LRU tail until both bounds hold. The byte bound may evict the
+  // entry just inserted (a single oversized entry): memory stays bounded
+  // even when one geometry outweighs the whole budget.
+  while (!lru_.empty() &&
+         (static_cast<int>(lru_.size()) > capacity_ ||
+          (max_bytes_ > 0 && bytes_ > max_bytes_))) {
+    EraseLocked(std::prev(lru_.end()));
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -181,6 +194,11 @@ ResultCache::Stats ResultCache::stats() const {
 int ResultCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int>(lru_.size());
+}
+
+size_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
 }
 
 void ResultCache::AppendCanonicalKey(const traj::Trajectory& t,

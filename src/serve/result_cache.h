@@ -43,11 +43,18 @@ namespace traj2hash::serve {
 /// fall back to Outcome::kMiss and compute for themselves — correctness
 /// first, dedup second.
 ///
+/// Memory is bounded two ways: by entry count (`capacity`) and by an
+/// approximate byte budget (`max_bytes`, 0 = unbounded). Each entry is
+/// charged EntryBytes — key bytes (which embed the query geometry) + k
+/// stored neighbours + fixed node overhead — and the LRU tail is evicted
+/// until both bounds hold, so a workload of long-geometry queries cannot
+/// blow past the budget by staying under the entry count.
+///
 /// Thread-safe. A capacity <= 0 disables the cache: every call is a cheap
 /// no-op that reports a miss, so callers need no branching.
 class ResultCache {
  public:
-  explicit ResultCache(int capacity);
+  explicit ResultCache(int capacity, size_t max_bytes = 0);
 
   bool enabled() const { return capacity_ > 0; }
 
@@ -112,6 +119,19 @@ class ResultCache {
 
   int size() const;
   int capacity() const { return capacity_; }
+  /// Approximate bytes currently held (sum of EntryBytes over live
+  /// entries); the gauge FrontendSnapshot reports as cache_bytes.
+  size_t bytes() const;
+  size_t max_bytes() const { return max_bytes_; }
+
+  /// The byte charge of one entry: key + stored neighbours + fixed
+  /// list/map node overhead. Static so tests can predict eviction points.
+  static size_t EntryBytes(const std::string& key,
+                           const std::vector<search::Neighbor>& result) {
+    return key.size() + result.size() * sizeof(search::Neighbor) +
+           kEntryOverheadBytes;
+  }
+  static constexpr size_t kEntryOverheadBytes = 96;
 
   /// Appends the canonical byte form of one cache-key component. The
   /// trajectory form covers the geometry only (point count + raw coordinate
@@ -131,10 +151,13 @@ class ResultCache {
                     std::vector<search::Neighbor>* out);
   void InsertLocked(const std::string& key, uint64_t epoch,
                     const std::vector<search::Neighbor>& result);
+  void EraseLocked(std::list<Entry>::iterator it);
 
   const int capacity_;
+  const size_t max_bytes_;
 
   mutable std::mutex mu_;
+  size_t bytes_ = 0;  ///< guarded by mu_; sum of EntryBytes over lru_
   std::condition_variable flight_done_;
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;

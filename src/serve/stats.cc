@@ -130,7 +130,7 @@ std::string FrontendJson(const FrontendSnapshot& s) {
       "\"cache_misses\": %llu, \"cache_stale\": %llu, "
       "\"flight_waits\": %llu, \"flight_served\": %llu, "
       "\"cache_insertions\": %llu, \"cache_evictions\": %llu, "
-      "\"epoch\": %llu}",
+      "\"cache_bytes\": %llu, \"epoch\": %llu}",
       s.coalescing ? "true" : "false", s.caching ? "true" : "false",
       static_cast<unsigned long long>(s.occupancy.batches),
       static_cast<unsigned long long>(s.occupancy.queries), s.occupancy.mean,
@@ -146,6 +146,7 @@ std::string FrontendJson(const FrontendSnapshot& s) {
       static_cast<unsigned long long>(s.flight_served),
       static_cast<unsigned long long>(s.cache_insertions),
       static_cast<unsigned long long>(s.cache_evictions),
+      static_cast<unsigned long long>(s.cache_bytes),
       static_cast<unsigned long long>(s.epoch));
   return buf;
 }

@@ -113,6 +113,7 @@ struct FrontendSnapshot {
   uint64_t flight_served = 0;  ///< followers served by the flight's result
   uint64_t cache_insertions = 0;
   uint64_t cache_evictions = 0;
+  uint64_t cache_bytes = 0;  ///< approximate bytes of live entries (gauge)
 
   uint64_t epoch = 0;  ///< index mutation epoch at snapshot time
 };

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "common/file_util.h"
+#include "common/parse.h"
 #include "core/index.h"
 #include "core/trainer.h"
 #include "distance/distance.h"
@@ -284,6 +285,56 @@ TEST(CliRobustnessTest, WalReplayReportsSeqRangeAndTornTail) {
   std::remove(wal_path.c_str());
 }
 
+TEST(CliRobustnessTest, WalReplayFromSeqIsStrictlyParsed) {
+  // `wal-replay --from-seq N` funnels through ParseUint64: an operator typo
+  // must be a loud error, never a silently-wrong replay suffix.
+  EXPECT_EQ(ParseUint64("0").value(), 0u);
+  EXPECT_EQ(ParseUint64("100").value(), 100u);
+  EXPECT_EQ(ParseUint64("18446744073709551615").value(),
+            18446744073709551615ull);
+  for (const char* bad : {"", "1O0", "100x", "-1", "+5", " 100", "100 ",
+                          "0x10", "1e3", "18446744073709551616"}) {
+    const auto result = ParseUint64(bad);
+    ASSERT_FALSE(result.ok()) << bad;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+
+  // The suffix semantics the flag drives: records below N are skipped,
+  // everything at-or-above replays.
+  const std::string wal_path = TempPath("t2h_cli_fromseq.wal");
+  std::remove(wal_path.c_str());
+  {
+    auto wal = std::move(ingest::Wal::Open(wal_path).value());
+    for (int i = 0; i < 6; ++i) {
+      ingest::WalRecord r;
+      r.type = ingest::WalRecordType::kInsert;
+      r.id = i;
+      r.code.num_bits = 16;
+      r.code.words = {static_cast<uint64_t>(i)};
+      ASSERT_TRUE(wal->Append(r).ok());
+    }
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  const auto replayed = ingest::Wal::Replay(wal_path);
+  ASSERT_TRUE(replayed.ok());
+  const uint64_t from_seq = 4;
+  size_t skipped = 0, shown = 0;
+  uint64_t first_shown = 0;
+  for (const auto& r : replayed.value().records) {
+    if (r.seq < from_seq) {
+      ++skipped;
+      continue;
+    }
+    if (shown == 0) first_shown = r.seq;
+    ++shown;
+  }
+  EXPECT_EQ(skipped, 3u);
+  EXPECT_EQ(shown, 3u);
+  EXPECT_EQ(first_shown, 4u);
+  EXPECT_EQ(replayed.value().last_seq, 6u);
+  std::remove(wal_path.c_str());
+}
+
 TEST(CliRobustnessTest, ServeBenchReplicaFlagsPath) {
   // The wiring behind `serve-bench --wal F --replicas 2`: recover a durable
   // engine, wrap its index in a replica::Primary, bootstrap replicas, route
@@ -371,7 +422,8 @@ TEST(CliStatsJsonTest, FrontendBlockParsesAndCountersAreConsistent) {
         "\"flushes_full\"", "\"flushes_deadline\"", "\"flushes_idle\"",
         "\"cache_lookups\"", "\"cache_hits\"", "\"cache_misses\"",
         "\"cache_stale\"", "\"flight_waits\"", "\"flight_served\"",
-        "\"cache_insertions\"", "\"cache_evictions\"", "\"epoch\""}) {
+        "\"cache_insertions\"", "\"cache_evictions\"", "\"cache_bytes\"",
+        "\"epoch\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
 
@@ -388,6 +440,12 @@ TEST(CliStatsJsonTest, FrontendBlockParsesAndCountersAreConsistent) {
   EXPECT_LE(field("cache_stale"), misses);
   EXPECT_EQ(field("coalesced_queries"), misses)
       << "exactly the misses reach the coalescer";
+  // Live entries exist, so the byte gauge is at least the fixed per-entry
+  // overhead times the live entry count.
+  EXPECT_GE(field("cache_bytes"),
+            (field("cache_insertions") - field("cache_evictions")) *
+                static_cast<long long>(serve::ResultCache::kEntryOverheadBytes));
+  EXPECT_GT(field("cache_bytes"), 0);
   EXPECT_NE(json.find("\"coalescing\": true"), std::string::npos);
   EXPECT_NE(json.find("\"caching\": true"), std::string::npos);
 

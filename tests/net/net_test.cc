@@ -1,0 +1,260 @@
+// Unit tests for the loopback socket + framing layer (DESIGN.md §16):
+// frame roundtrips, reassembly of frames split across TCP segments, CRC /
+// type / length corruption detected as kDataLoss, deadlines that keep
+// partial buffers, EOF told apart from corruption, and the injected network
+// faults (torn send, failed recv, accept-then-close).
+#include "net/framing.h"
+#include "net/socket.h"
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/crc32.h"
+#include "common/fault_injection.h"
+#include "common/serialize.h"
+
+namespace traj2hash::net {
+namespace {
+
+/// One connected loopback socket pair (server side accepted, client side
+/// connected), torn down with the fixture.
+struct Pair {
+  Pair() {
+    auto listener = Listener::Listen(0);
+    EXPECT_TRUE(listener.ok()) << listener.status().ToString();
+    listening = std::move(listener).value();
+    auto connected = Socket::Connect("127.0.0.1", listening.port(), 1000.0);
+    EXPECT_TRUE(connected.ok()) << connected.status().ToString();
+    client = std::move(connected).value();
+    auto accepted = listening.Accept(1000.0);
+    EXPECT_TRUE(accepted.ok()) << accepted.status().ToString();
+    server = std::move(accepted).value();
+  }
+
+  Listener listening;
+  Socket client;
+  Socket server;
+};
+
+/// Hand-serialised wire form of one frame, for tests that need to corrupt
+/// or split it below the WriteFrame API.
+std::string RawFrame(FrameType type, const std::string& payload) {
+  std::string wire;
+  AppendPod(wire, static_cast<uint8_t>(type));
+  AppendPod(wire, static_cast<uint32_t>(payload.size()));
+  AppendPod(wire, Crc32(payload));
+  wire += payload;
+  return wire;
+}
+
+TEST(FramingTest, RoundtripsTypesAndPayloads) {
+  Pair pair;
+  const std::pair<FrameType, std::string> frames[] = {
+      {FrameType::kHello, std::string("\x01\x02\x03", 3)},
+      {FrameType::kResume, ""},
+      {FrameType::kRecord, std::string(1000, 'r')},
+      {FrameType::kSnapshotChunk, std::string(3 * kSnapshotChunkBytes, 'x')},
+      {FrameType::kHeartbeat, std::string("\0\0\0\0\0\0\0\0", 8)},
+  };
+  std::thread writer([&pair, &frames] {
+    for (const auto& [type, payload] : frames) {
+      EXPECT_TRUE(WriteFrame(pair.client, type, payload, 2000.0).ok());
+    }
+  });
+  FrameReader reader(&pair.server);
+  for (const auto& [want_type, want_payload] : frames) {
+    FrameType type;
+    std::string payload;
+    ASSERT_TRUE(reader.ReadFrame(&type, &payload, 2000.0).ok());
+    EXPECT_EQ(type, want_type);
+    EXPECT_EQ(payload, want_payload);
+  }
+  writer.join();
+}
+
+TEST(FramingTest, ReassemblesFrameSplitAcrossSends) {
+  Pair pair;
+  const std::string wire = RawFrame(FrameType::kRecord, "split-me");
+  const size_t half = wire.size() / 2;
+  ASSERT_TRUE(pair.client.SendAll(wire.data(), half, 1000.0).ok());
+
+  FrameReader reader(&pair.server);
+  FrameType type;
+  std::string payload;
+  // Only half a frame exists: the read must time out, keeping what arrived.
+  EXPECT_EQ(reader.ReadFrame(&type, &payload, 20.0).code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_GT(reader.buffered_bytes(), 0u);
+
+  ASSERT_TRUE(
+      pair.client.SendAll(wire.data() + half, wire.size() - half, 1000.0).ok());
+  ASSERT_TRUE(reader.ReadFrame(&type, &payload, 1000.0).ok());
+  EXPECT_EQ(type, FrameType::kRecord);
+  EXPECT_EQ(payload, "split-me");
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+}
+
+TEST(FramingTest, CrcMismatchIsDataLoss) {
+  Pair pair;
+  std::string wire = RawFrame(FrameType::kRecord, "payload");
+  wire.back() ^= 0x40;  // flip a payload bit; the header CRC no longer holds
+  ASSERT_TRUE(pair.client.SendAll(wire.data(), wire.size(), 1000.0).ok());
+  FrameReader reader(&pair.server);
+  FrameType type;
+  std::string payload;
+  EXPECT_EQ(reader.ReadFrame(&type, &payload, 1000.0).code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(FramingTest, UnknownTypeIsDataLoss) {
+  Pair pair;
+  const std::string wire = RawFrame(static_cast<FrameType>(99), "");
+  ASSERT_TRUE(pair.client.SendAll(wire.data(), wire.size(), 1000.0).ok());
+  FrameReader reader(&pair.server);
+  FrameType type;
+  std::string payload;
+  EXPECT_EQ(reader.ReadFrame(&type, &payload, 1000.0).code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(FramingTest, ImplausibleLengthIsDataLoss) {
+  Pair pair;
+  std::string wire;
+  AppendPod(wire, static_cast<uint8_t>(FrameType::kRecord));
+  AppendPod(wire, kMaxFramePayload + 1);  // no such payload follows
+  AppendPod(wire, static_cast<uint32_t>(0));
+  ASSERT_TRUE(pair.client.SendAll(wire.data(), wire.size(), 1000.0).ok());
+  FrameReader reader(&pair.server);
+  FrameType type;
+  std::string payload;
+  EXPECT_EQ(reader.ReadFrame(&type, &payload, 1000.0).code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(FramingTest, CleanEofIsUnavailable) {
+  Pair pair;
+  pair.client.Close();
+  FrameReader reader(&pair.server);
+  FrameType type;
+  std::string payload;
+  EXPECT_EQ(reader.ReadFrame(&type, &payload, 1000.0).code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(FramingTest, TornFrameAtEofIsUnavailableNotCorruption) {
+  Pair pair;
+  const std::string wire = RawFrame(FrameType::kRecord, "torn");
+  ASSERT_TRUE(pair.client.SendAll(wire.data(), wire.size() - 2, 1000.0).ok());
+  pair.client.Close();  // the sender died mid-frame
+  FrameReader reader(&pair.server);
+  FrameType type;
+  std::string payload;
+  // A prefix of a frame followed by EOF is a torn send: the data was never
+  // acknowledged, so this is unavailability, not kDataLoss.
+  EXPECT_EQ(reader.ReadFrame(&type, &payload, 1000.0).code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(SocketFaultTest, InjectedTornSendIsIoErrorAndPeerSeesPartialThenEof) {
+  Pair pair;
+  FaultInjector fi;
+  fi.Arm(faults::kNetSend, 0, 1);
+  FaultInjector::Scope scope(&fi);
+  const std::string wire = RawFrame(FrameType::kRecord, std::string(256, 'p'));
+  EXPECT_EQ(pair.client.SendAll(wire.data(), wire.size(), 1000.0).code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(fi.fired(faults::kNetSend), 1);
+
+  FrameReader reader(&pair.server);
+  FrameType type;
+  std::string payload;
+  // Half the frame arrived, then the shutdown: a torn frame at EOF.
+  EXPECT_EQ(reader.ReadFrame(&type, &payload, 1000.0).code(),
+            StatusCode::kUnavailable);
+  EXPECT_GT(reader.buffered_bytes(), 0u);
+  EXPECT_LT(reader.buffered_bytes(), wire.size());
+}
+
+TEST(SocketFaultTest, InjectedRecvFailureIsIoError) {
+  Pair pair;
+  const char byte = 'x';
+  ASSERT_TRUE(pair.client.SendAll(&byte, 1, 1000.0).ok());
+  FaultInjector fi;
+  fi.Arm(faults::kNetRecv, 0, 1);
+  FaultInjector::Scope scope(&fi);
+  char out;
+  EXPECT_EQ(pair.server.RecvSome(&out, 1, 1000.0).status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(SocketFaultTest, InjectedAcceptFaultClosesThePeer) {
+  auto listener = Listener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  Listener listening = std::move(listener).value();
+  auto connected = Socket::Connect("127.0.0.1", listening.port(), 1000.0);
+  ASSERT_TRUE(connected.ok());
+  Socket client = std::move(connected).value();
+
+  FaultInjector fi;
+  fi.Arm(faults::kNetAccept, 0, 1);
+  {
+    FaultInjector::Scope scope(&fi);
+    EXPECT_EQ(listening.Accept(1000.0).status().code(),
+              StatusCode::kUnavailable);
+  }
+  // The fault accepted then instantly closed: the client connected fine but
+  // the first read finds EOF.
+  char out;
+  EXPECT_EQ(client.RecvSome(&out, 1, 1000.0).status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(SocketTest, ConnectToClosedPortIsUnavailable) {
+  // Bind an ephemeral port, then close it: connecting must be refused.
+  auto listener = Listener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  const int port = listener.value().port();
+  listener.value().Close();
+  EXPECT_EQ(Socket::Connect("127.0.0.1", port, 500.0).status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(SocketTest, ListenerShutdownWakesBlockedAccept) {
+  auto listener = Listener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  Listener listening = std::move(listener).value();
+  std::thread closer([&listening] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    listening.Shutdown();
+  });
+  // Blocks until the cross-thread Shutdown, well inside the 5 s deadline.
+  EXPECT_EQ(listening.Accept(5000.0).status().code(),
+            StatusCode::kUnavailable);
+  closer.join();
+}
+
+TEST(SocketTest, ShutdownWakesBlockedRecv) {
+  Pair pair;
+  std::thread closer([&pair] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    pair.server.Shutdown();
+  });
+  char out;
+  const auto got = pair.server.RecvSome(&out, 1, 5000.0);
+  EXPECT_FALSE(got.ok());
+  closer.join();
+}
+
+TEST(SocketTest, RecvDeadlineExpiresWithoutData) {
+  Pair pair;
+  char out;
+  EXPECT_EQ(pair.server.RecvSome(&out, 1, 20.0).status().code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace traj2hash::net

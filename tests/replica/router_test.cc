@@ -1,12 +1,14 @@
 // Unit tests for the health-aware read router (replica::ReadRouter):
 // round-robin spread over healthy replicas, automatic failover when a
 // replica dies mid-query (faults::kReplicaDown), the all-down error path,
-// router-level admission control, zero-downtime rolling restart, and a
+// router-level admission control, the staleness bound (lagging replicas
+// demoted and self-re-admitted), zero-downtime rolling restart, and a
 // multi-threaded rolling-restart-under-churn stress (the tsan lane's
 // replica failover stress test — see tools/check.sh).
 #include "replica/router.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -244,6 +246,70 @@ TEST(ReadRouterTest, RollingRestartUnderChurnStress) {
       }
     }
   }
+}
+
+TEST(ReadRouterTest, StalenessBoundDemotesAndReadmitsLaggingReplicas) {
+  ReadRouterOptions options;
+  options.max_lag_records = 5;
+  Group g("router_stale", 2, 20, options);
+  EXPECT_TRUE(g.router->IsFresh(0));
+  EXPECT_TRUE(g.router->IsFresh(1));
+
+  // Commit past the bound without shipping: both replicas now lag by 10.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(g.index.Insert(RandomCode(16, g.rng), {}).ok());
+  }
+  EXPECT_FALSE(g.router->IsFresh(0));
+  EXPECT_FALSE(g.router->IsFresh(1));
+  // Every replica is over the bound: the bound is a promise, so the read
+  // fails instead of serving a state 10 records behind the primary.
+  const RoutedRead stale = g.router->Query(RandomCode(16, g.rng), 5);
+  EXPECT_EQ(stale.status.code(), StatusCode::kUnavailable);
+  EXPECT_GE(g.router->stale_demotions(), 2);
+
+  // Only replica 1 catches up: all traffic lands there.
+  ASSERT_TRUE(g.replicas[1]->CatchUp().ok());
+  for (int q = 0; q < 6; ++q) {
+    const RoutedRead read = g.router->Query(RandomCode(16, g.rng), 5);
+    ASSERT_TRUE(read.status.ok()) << read.status.ToString();
+    EXPECT_EQ(read.replica, 1);
+  }
+  EXPECT_EQ(g.router->routed_to(0), 0);
+
+  // Replica 0 re-admits itself by catching up — no operator action.
+  ASSERT_TRUE(g.replicas[0]->CatchUp().ok());
+  EXPECT_TRUE(g.router->IsFresh(0));
+  for (int q = 0; q < 6; ++q) {
+    ASSERT_TRUE(g.router->Query(RandomCode(16, g.rng), 5).status.ok());
+  }
+  EXPECT_GT(g.router->routed_to(0), 0);
+}
+
+TEST(ReadRouterTest, StalenessTimeBoundDemotesAReplicaStuckBehind) {
+  ReadRouterOptions options;
+  options.max_lag_ms = 10.0;
+  Group g("router_stale_ms", 1, 10, options);
+  // One unapplied record is fine at first — the clock, not the count, is
+  // the bound here — but a replica stuck behind it goes stale as time
+  // passes.
+  ASSERT_TRUE(g.index.Insert(RandomCode(16, g.rng), {}).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(g.router->IsFresh(0));
+  EXPECT_EQ(g.router->Query(RandomCode(16, g.rng), 5).status.code(),
+            StatusCode::kUnavailable);
+  ASSERT_TRUE(g.replicas[0]->CatchUp().ok());
+  EXPECT_TRUE(g.router->IsFresh(0));
+  EXPECT_TRUE(g.router->Query(RandomCode(16, g.rng), 5).status.ok());
+}
+
+TEST(ReadRouterTest, NoStalenessBoundNeverDemotes) {
+  Group g("router_nobound", 2, 10);  // default options: no bound
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(g.index.Insert(RandomCode(16, g.rng), {}).ok());
+  }
+  EXPECT_TRUE(g.router->IsFresh(0));
+  EXPECT_TRUE(g.router->Query(RandomCode(16, g.rng), 5).status.ok());
+  EXPECT_EQ(g.router->stale_demotions(), 0);
 }
 
 }  // namespace

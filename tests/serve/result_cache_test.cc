@@ -198,6 +198,88 @@ TEST(ResultCacheTest, FollowerWaitIsBoundedByItsDeadline) {
   ExpectCounterInvariants(cache.stats());
 }
 
+TEST(ResultCacheTest, ByteBudgetEvictsTheLruTail) {
+  // Room for exactly three of these entries; the fourth insert must push
+  // out the least recently used one even though the entry count (100) is
+  // nowhere near exhausted.
+  const size_t per_entry = ResultCache::EntryBytes("a", MakeResult(0));
+  ResultCache cache(100, 3 * per_entry);
+  cache.Insert("a", 1, 1, MakeResult(1));
+  cache.Insert("b", 1, 1, MakeResult(2));
+  cache.Insert("c", 1, 1, MakeResult(3));
+  EXPECT_EQ(cache.size(), 3);
+  EXPECT_EQ(cache.bytes(), 3 * per_entry);
+
+  std::vector<search::Neighbor> out;
+  ASSERT_TRUE(cache.Lookup("a", 1, &out));  // touch: "b" is now the LRU
+  cache.Insert("d", 1, 1, MakeResult(4));
+  EXPECT_EQ(cache.size(), 3);
+  EXPECT_EQ(cache.bytes(), 3 * per_entry);
+  EXPECT_FALSE(cache.Lookup("b", 1, &out));
+  EXPECT_TRUE(cache.Lookup("a", 1, &out));
+  EXPECT_TRUE(cache.Lookup("d", 1, &out));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  ExpectCounterInvariants(cache.stats());
+}
+
+TEST(ResultCacheTest, BytesGaugeTracksInsertReplaceAndStaleDrop) {
+  ResultCache cache(4);  // no byte bound: the gauge still has to be exact
+  EXPECT_EQ(cache.bytes(), 0u);
+  cache.Insert("key", 1, 1, MakeResult(1));
+  EXPECT_EQ(cache.bytes(), ResultCache::EntryBytes("key", MakeResult(1)));
+
+  // Replacing an entry re-charges it at the new result's size.
+  const std::vector<search::Neighbor> bigger = {
+      {1, 1.0}, {2, 2.0}, {3, 3.0}, {4, 4.0}};
+  cache.Insert("key", 2, 2, bigger);
+  EXPECT_EQ(cache.bytes(), ResultCache::EntryBytes("key", bigger));
+
+  // A stale drop refunds the charge.
+  std::vector<search::Neighbor> out;
+  EXPECT_FALSE(cache.Lookup("key", 3, &out));
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(ResultCacheTest, LongGeometryEntriesEvictByBytesNotCount) {
+  // Entries whose keys embed long query geometry blow the byte budget long
+  // before the entry count: two short entries fit, one long key displaces
+  // both.
+  const std::string long_key(4096, 'g');
+  ResultCache cache(100, ResultCache::EntryBytes(long_key, MakeResult(0)));
+  cache.Insert("a", 1, 1, MakeResult(1));
+  cache.Insert("b", 1, 1, MakeResult(2));
+  EXPECT_EQ(cache.size(), 2);
+  cache.Insert(long_key, 1, 1, MakeResult(3));
+  std::vector<search::Neighbor> out;
+  EXPECT_TRUE(cache.Lookup(long_key, 1, &out));
+  EXPECT_FALSE(cache.Lookup("a", 1, &out));
+  EXPECT_FALSE(cache.Lookup("b", 1, &out));
+  EXPECT_LE(cache.bytes(), cache.max_bytes());
+}
+
+TEST(ResultCacheTest, EntryLargerThanTheBudgetEvictsItself) {
+  // One pathological entry bigger than the whole budget may not pin the
+  // cache over its bound: after the insert the budget holds again.
+  ResultCache cache(100, 64);
+  const std::string big_key(1024, 'k');
+  cache.Insert(big_key, 1, 1, MakeResult(1));
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_EQ(cache.bytes(), 0u);
+  ExpectCounterInvariants(cache.stats());
+}
+
+TEST(ResultCacheTest, NoByteBudgetBoundsByCountAlone) {
+  ResultCache cache(2, 0);  // max_bytes 0 = unbounded
+  const std::string long_key(1 << 16, 'g');
+  cache.Insert(long_key, 1, 1, MakeResult(1));
+  cache.Insert("b", 1, 1, MakeResult(2));
+  EXPECT_EQ(cache.size(), 2);
+  std::vector<search::Neighbor> out;
+  EXPECT_TRUE(cache.Lookup(long_key, 1, &out));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
 TEST(ResultCacheTest, CanonicalKeyCoversGeometryNotIds) {
   traj::Trajectory a;
   a.id = 1;

@@ -4,13 +4,18 @@
 # Usage:
 #
 #   tools/check.sh           # all three full lanes + the simd sweep
-#   tools/check.sh plain     # just one lane: fast | plain | asan | tsan | simd
+#   tools/check.sh plain     # just one lane: fast | plain | asan | tsan |
+#                            # simd | chaos
 #   tools/check.sh fast      # plain build + only the tier1-labelled tests
 #                            # (the fast, dependency-light unit tests —
 #                            # see tests/CMakeLists.txt)
 #   tools/check.sh simd      # plain build + the kernels-labelled suites
 #                            # rerun once per available kernel ISA, forced
 #                            # via T2H_KERNEL_ISA (DESIGN.md 14)
+#   tools/check.sh chaos     # asan build + the replica_net-labelled suites
+#                            # (socket framing / transport / reconnect
+#                            # chaos, DESIGN.md 16) plus the serve-bench
+#                            # netsplit drill on real data
 #
 # Each lane configures into its own build directory (build, build-asan,
 # build-tsan; fast shares build), so incremental re-runs are cheap. A lane
@@ -48,6 +53,37 @@ frontend_stress() {
     -R 'CoalescerCacheChurnStress' --repeat until-fail:3
 }
 
+# The socket-transport reconnect storm
+# (SocketReplicaChurnStress.SurvivesPartitionsUnderChurn: two socket-tailing
+# replicas under a mutator + readers while a chaos thread severs and heals
+# the link) is the network analogue — raced reconnect/heartbeat state would
+# surface here first.
+socket_stress() {
+  echo "==== lane: tsan-socket-stress (build-tsan) ===="
+  ctest --test-dir build-tsan --output-on-failure \
+    -R 'SurvivesPartitionsUnderChurn' --repeat until-fail:3
+}
+
+# Network fault-injection sweep under ASan: the replica_net-labelled suites
+# (socket framing, ship transport, injected net faults, protocol resync —
+# DESIGN.md 16), then the serve-bench netsplit drill end-to-end on real
+# data: partition the socket transport mid-churn, assert zero dropped
+# queries, backoff reconnect without re-bootstrap, and bit-identical
+# convergence. The drill exits non-zero on any violated invariant.
+chaos_lane() {
+  T2H_KERNEL_ISA=scalar run_lane chaos build-asan address -L replica_net
+  echo "==== lane: chaos-netsplit-drill (build-asan) ===="
+  local dir
+  dir="$(mktemp -d)"
+  trap 'rm -rf "${dir}"' RETURN
+  ./build-asan/tools/t2h_cli generate --out "${dir}/trips.csv" \
+    --count 300 --max-points 12 --seed 7
+  T2H_KERNEL_ISA=scalar ./build-asan/tools/t2h_cli serve-bench \
+    --data "${dir}/trips.csv" --queries 64 --rounds 4 --clients 2 \
+    --wal "${dir}/bench.wal" --replicas 2 --transport socket \
+    --drill netsplit --churn 64 --max-lag-records 512
+}
+
 # Reruns the kernels-labelled suites once per ISA this host can actually
 # run, each pass forced via T2H_KERNEL_ISA (an unavailable forced ISA is a
 # hard startup failure, never a silent fallback — so availability is probed
@@ -71,10 +107,11 @@ simd_lane() {
 
 # Note: the fast lane filters by label, not by name, so new tier1-labelled
 # suites (e.g. the replica/ and router tests) are picked up automatically.
-# It also runs the frontend-labelled serve front-end suites (DESIGN.md 15).
+# It also runs the frontend-labelled serve front-end suites (DESIGN.md 15)
+# and the replica_net-labelled socket transport suites (DESIGN.md 16).
 lanes="${1:-all}"
 case "${lanes}" in
-  fast)  run_lane fast build "" -L 'tier1|frontend' ;;
+  fast)  run_lane fast build "" -L 'tier1|frontend|replica_net' ;;
   plain) run_lane plain build "" ;;
   # The sanitizer lane pins the scalar backend: asan instruments the
   # portable loops (the contract every SIMD path is checked against), and
@@ -85,18 +122,22 @@ case "${lanes}" in
     run_lane tsan build-tsan thread
     replica_stress
     frontend_stress
+    socket_stress
     ;;
   simd)  simd_lane ;;
+  chaos) chaos_lane ;;
   all)
     run_lane plain build ""
     simd_lane
     T2H_KERNEL_ISA=scalar run_lane asan build-asan address
+    chaos_lane
     run_lane tsan build-tsan thread
     replica_stress
     frontend_stress
+    socket_stress
     ;;
   *)
-    echo "usage: tools/check.sh [fast|plain|asan|tsan|simd|all]" >&2
+    echo "usage: tools/check.sh [fast|plain|asan|tsan|simd|chaos|all]" >&2
     exit 2
     ;;
 esac

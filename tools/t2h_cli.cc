@@ -28,6 +28,7 @@
 
 #include "common/cpu_features.h"
 #include "common/file_util.h"
+#include "common/parse.h"
 #include "common/retry.h"
 #include "common/stopwatch.h"
 #include "common/zipf.h"
@@ -180,10 +181,19 @@ int Usage() {
                " N replicas and route\n"
                "                            the query rounds across them;"
                " DESIGN.md 13)\n"
-               "           [--drill none|rolling|kill] (with --replicas:"
-               " rolling-restart or\n"
-               "                            crash+rebootstrap one replica"
-               " mid-burst)\n"
+               "           [--drill none|rolling|kill|netsplit] (with"
+               " --replicas: rolling-restart,\n"
+               "                            crash+rebootstrap one replica, or"
+               " sever the socket\n"
+               "                            transport mid-burst)\n"
+               "           [--transport inproc|socket] (with --replicas: ship"
+               " the WAL in-process\n"
+               "                            or over framed loopback TCP;"
+               " DESIGN.md 16)\n"
+               "           [--max-lag-records N] [--max-lag-ms M] (staleness"
+               " bound: demote a\n"
+               "                            replica lagging past either limit"
+               " from routing)\n"
                "           [--clients C]   (drive rounds from C concurrent"
                " client threads calling\n"
                "                            Query() instead of QueryBatch)\n"
@@ -200,6 +210,8 @@ int Usage() {
                "  wal-replay --wal F  (walk a write-ahead log, print its"
                " records and tail state;\n"
                "                       exit 3 when a torn tail was found)\n"
+               "           [--from-seq N] (print only the suffix with seq"
+               " >= N)\n"
                "  version  (print build info and the resolved kernel ISA)\n"
                "train/query/serve-bench/version also take\n"
                "  [--kernel-isa scalar|sse2|avx2] (force the SIMD kernel"
@@ -440,11 +452,30 @@ int RunServeBench(const Args& args) {
   const int replicas = args.GetInt("replicas", 0);
   if (replicas < 0) return Fail("--replicas must be >= 0");
   const std::string drill = args.Get("drill", "none");
-  if (drill != "none" && drill != "rolling" && drill != "kill") {
-    return Fail("--drill must be none, rolling or kill");
+  if (drill != "none" && drill != "rolling" && drill != "kill" &&
+      drill != "netsplit") {
+    return Fail("--drill must be none, rolling, kill or netsplit");
   }
-  if (drill != "none" && replicas < 2) {
+  if ((drill == "rolling" || drill == "kill") && replicas < 2) {
     return Fail("--drill needs --replicas >= 2 (survivors must keep serving)");
+  }
+  const std::string transport = args.Get("transport", "inproc");
+  if (transport != "inproc" && transport != "socket") {
+    return Fail("--transport must be inproc or socket");
+  }
+  if (drill == "netsplit") {
+    // A netsplit partitions the shipping network; replicas keep serving
+    // reads from their applied state, so one replica suffices.
+    if (transport != "socket") {
+      return Fail("--drill netsplit needs --transport socket (there is no"
+                  " network to sever in-process)");
+    }
+    if (replicas < 1) return Fail("--drill netsplit needs --replicas >= 1");
+  }
+  const int max_lag_records = args.GetInt("max-lag-records", 0);
+  const double max_lag_ms = std::atof(args.Get("max-lag-ms", "0").c_str());
+  if (max_lag_records < 0 || max_lag_ms < 0.0) {
+    return Fail("--max-lag-records/--max-lag-ms must be >= 0");
   }
   // --query-dist uniform (historical first-N replay) or zipf:<s> (hot-key
   // skew: rank r of the first N trajectories drawn with P ∝ 1/(r+1)^s).
@@ -698,15 +729,38 @@ int RunServeBench(const Args& args) {
   std::vector<long long> replica_lag_records;
   std::vector<double> replica_lag_ms;
   long long replica_failovers = 0;
+  long long replica_reconnects = 0;
+  long long replica_stale_demotions = 0;
   bool replicas_caught_up = false;
   t2h::serve::ResultCache::Stats replica_cache;
   if (replicas > 0) {
     t2h::replica::Primary primary(engine.mutable_index(), wal_path);
+    // --transport socket: ship over framed loopback TCP (DESIGN.md §16)
+    // instead of the in-process cursor; same replication contract, plus a
+    // network that can be severed (--drill netsplit).
+    std::unique_ptr<t2h::replica::ShipServer> ship_server;
+    if (transport == "socket") {
+      ship_server = std::make_unique<t2h::replica::ShipServer>(&primary);
+      if (const t2h::Status s = ship_server->Start(); !s.ok()) {
+        return Fail("cannot start ship server: " + s.ToString());
+      }
+    }
     std::vector<std::unique_ptr<t2h::replica::Replica>> group;
     for (int i = 0; i < replicas; ++i) {
-      group.push_back(std::make_unique<t2h::replica::Replica>(
-          &primary, t2h::replica::ReplicaOptions{.num_shards = shards},
-          "replica-" + std::to_string(i)));
+      const auto opts = t2h::replica::ReplicaOptions{.num_shards = shards};
+      const std::string name = "replica-" + std::to_string(i);
+      if (ship_server != nullptr) {
+        t2h::replica::SocketTailerOptions topts;
+        topts.seed = static_cast<uint64_t>(args.GetInt("seed", 42) + i);
+        group.push_back(std::make_unique<t2h::replica::Replica>(
+            &primary,
+            std::make_unique<t2h::replica::SocketTransport>(
+                "127.0.0.1", ship_server->port(), topts),
+            opts, name));
+      } else {
+        group.push_back(
+            std::make_unique<t2h::replica::Replica>(&primary, opts, name));
+      }
       if (const t2h::Status s =
               group.back()->Bootstrap(wal_path + ".boot.snap");
           !s.ok()) {
@@ -719,7 +773,9 @@ int RunServeBench(const Args& args) {
         members, {.max_attempts = replicas + 1,
                   .queue_depth = queue_depth,
                   .overload_policy = policy.value(),
-                  .cache_entries = cache_entries});
+                  .cache_entries = cache_entries,
+                  .max_lag_records = max_lag_records,
+                  .max_lag_ms = max_lag_ms});
 
     // Continuous ship loop: one thread tails the log for every replica.
     std::atomic<bool> stop_ship{false};
@@ -781,6 +837,19 @@ int RunServeBench(const Args& args) {
                        s.ToString().c_str());
         }
       });
+    } else if (drill == "netsplit") {
+      // Partition drill: refuse new connections, then sever every live one.
+      // Replicas keep serving reads from their applied state (stale but
+      // healthy); tailers back off and reconnect once the partition heals,
+      // resuming at their seq watermark — no re-bootstrap, no dropped query.
+      t2h::replica::ShipServer* server = ship_server.get();
+      drill_thread = std::thread([server] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        server->set_refuse_connections(true);
+        server->Sever();
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        server->set_refuse_connections(false);
+      });
     }
 
     std::vector<t2h::search::Code> query_codes;
@@ -833,22 +902,47 @@ int RunServeBench(const Args& args) {
       replica_lag_ms.push_back(group[i]->lag_ms());
     }
     replica_failovers = router.failovers();
+    replica_stale_demotions = router.stale_demotions();
     replica_cache = router.cache_stats();
+    for (const auto& r : group) {
+      replica_reconnects +=
+          r->transport().counters().reconnects.load(std::memory_order_acquire);
+    }
     std::printf(
-        "replication: %d replicas, %lld routed reads at %.1f QPS, %lld"
-        " dropped, %lld failovers (drill=%s); caught up: %s; results %s\n",
-        replicas, static_cast<long long>(replica_total), replica_qps,
-        static_cast<long long>(replica_dropped), replica_failovers,
+        "replication: %d replicas over %s, %lld routed reads at %.1f QPS,"
+        " %lld dropped, %lld failovers, %lld reconnects, %lld stale"
+        " demotions (drill=%s); caught up: %s; results %s\n",
+        replicas, transport.c_str(), static_cast<long long>(replica_total),
+        replica_qps, static_cast<long long>(replica_dropped),
+        replica_failovers, replica_reconnects, replica_stale_demotions,
         drill.c_str(), replicas_caught_up ? "yes" : "NO",
         identical ? "bit-identical to primary" : "DIVERGED");
     if (!identical) return Fail("replica results diverged from the primary");
     if (!replicas_caught_up) return Fail("a replica failed to catch up");
-    // Both drills must be invisible to callers: the router retries every
-    // failed attempt onto a survivor, so no query may surface an error.
+    // Every drill must be invisible to callers: rolling/kill fail over onto
+    // survivors, netsplit serves from applied state — no query may surface
+    // an error.
     if (drill != "none" && replica_dropped > 0) {
       return Fail("failover drill dropped " +
                   std::to_string(replica_dropped) +
                   " queries; zero-downtime contract violated");
+    }
+    if (drill == "netsplit") {
+      // The partition healed before the drain, so every tailer must have
+      // re-handshaked at its watermark — without refetching a snapshot.
+      if (replica_reconnects < replicas) {
+        return Fail("netsplit drill: expected every replica to reconnect,"
+                    " saw " + std::to_string(replica_reconnects) +
+                    " reconnects across " + std::to_string(replicas));
+      }
+      for (const auto& r : group) {
+        if (r->transport().counters().snapshots_fetched.load(
+                std::memory_order_acquire) != 1) {
+          return Fail("netsplit drill: " + r->name() +
+                      " re-bootstrapped; the log still covered its watermark"
+                      " so reconnect alone should have caught it up");
+        }
+      }
     }
   }
 
@@ -886,13 +980,16 @@ int RunServeBench(const Args& args) {
     json += buf;
     if (replicas > 0) {
       std::snprintf(buf, sizeof(buf),
-                    "  \"replication\": {\"replicas\": %d, \"read_qps\":"
-                    " %.1f, \"dropped\": %lld, \"failovers\": %lld,"
-                    " \"caught_up\": %s, \"drill\": \"%s\",\n",
-                    replicas, replica_qps,
+                    "  \"replication\": {\"replicas\": %d, \"transport\":"
+                    " \"%s\", \"read_qps\": %.1f, \"dropped\": %lld,"
+                    " \"failovers\": %lld, \"reconnects\": %lld,"
+                    " \"stale_demotions\": %lld, \"caught_up\": %s,"
+                    " \"drill\": \"%s\",\n",
+                    replicas, transport.c_str(), replica_qps,
                     static_cast<long long>(replica_dropped),
-                    replica_failovers, replicas_caught_up ? "true" : "false",
-                    drill.c_str());
+                    replica_failovers, replica_reconnects,
+                    replica_stale_demotions,
+                    replicas_caught_up ? "true" : "false", drill.c_str());
       json += buf;
       json += "    \"lag_records\": [";
       for (int i = 0; i < replicas; ++i) {
@@ -947,12 +1044,32 @@ int RunServeBench(const Args& args) {
 int RunWalReplay(const Args& args) {
   const std::string path = args.Get("wal", "");
   if (path.empty()) return Fail("--wal is required");
+  // Strict parse: --from-seq is an operator-facing cut point, and a typo
+  // ("1O0") silently parsed as 1 would replay the wrong suffix.
+  uint64_t from_seq = 0;
+  if (const std::string from = args.Get("from-seq", ""); !from.empty()) {
+    const auto parsed = t2h::ParseUint64(from);
+    if (!parsed.ok()) {
+      return Fail("--from-seq must be a non-negative integer, got '" + from +
+                  "'");
+    }
+    from_seq = parsed.value();
+  }
   // Read-only walk: prints what boot-time recovery would replay without
   // touching the file (Wal::Open would truncate a torn tail; this does not).
   const auto replayed = t2h::ingest::Wal::Replay(path);
   if (!replayed.ok()) return Fail(replayed.status().ToString());
   const t2h::ingest::WalReplay& replay = replayed.value();
+  size_t skipped = 0;
+  size_t shown = 0;
+  uint64_t first_shown = 0;
   for (const t2h::ingest::WalRecord& r : replay.records) {
+    if (r.seq < from_seq) {
+      ++skipped;
+      continue;
+    }
+    if (shown == 0) first_shown = r.seq;
+    ++shown;
     if (r.type == t2h::ingest::WalRecordType::kRemove) {
       std::printf("seq=%-8llu %-6s id=%d\n",
                   static_cast<unsigned long long>(r.seq),
@@ -964,15 +1081,18 @@ int RunWalReplay(const Args& args) {
                   r.code.num_bits, r.embedding.size());
     }
   }
-  if (replay.records.empty()) {
+  if (skipped > 0) {
+    std::printf("skipped %zu records below seq=%llu\n", skipped,
+                static_cast<unsigned long long>(from_seq));
+  }
+  if (shown == 0) {
     std::printf("replayed 0 records, durable_bytes=%llu\n",
                 static_cast<unsigned long long>(replay.valid_bytes));
   } else {
     std::printf("replayed seq=%llu..%llu (%zu records),"
                 " durable_bytes=%llu\n",
-                static_cast<unsigned long long>(replay.records.front().seq),
-                static_cast<unsigned long long>(replay.last_seq),
-                replay.records.size(),
+                static_cast<unsigned long long>(first_shown),
+                static_cast<unsigned long long>(replay.last_seq), shown,
                 static_cast<unsigned long long>(replay.valid_bytes));
   }
   if (replay.tail_truncated) {
@@ -1007,9 +1127,10 @@ int main(int argc, char** argv) {
        {"data", "model", "threads", "shards", "k", "queries", "rounds",
         "dim", "seed", "strategy", "mih-substrings", "deadline-ms",
         "queue-depth", "overload", "snapshot", "wal", "churn",
-        "query-dist", "replicas", "drill", "stats-json", "kernel-isa",
+        "query-dist", "replicas", "drill", "transport", "max-lag-records",
+        "max-lag-ms", "stats-json", "kernel-isa",
         "batch-wait-us", "max-batch", "cache-entries", "clients"}},
-      {"wal-replay", {"wal"}},
+      {"wal-replay", {"wal", "from-seq"}},
       {"version", {"kernel-isa"}},
   };
   const auto known = kKnownFlags.find(command);
