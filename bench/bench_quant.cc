@@ -1,0 +1,414 @@
+// Million-entry bench for the quantized embedding store (DESIGN.md §17):
+// proves the two acceptance gates of the int8 subsystem at the paper's
+// d=128 working width —
+//
+//   1. memory: resident embedding bytes (QuantizedMatrix rows + the three
+//      param vectors) must be ≥ 3.5× below what the float store
+//      (FlatMatrix at its 32 B-padded stride) would keep resident for the
+//      same corpus;
+//   2. recall: quant::RerankTopK over the int8 store must return the SAME
+//      top-k (recall@k == 1.0) as an exact float scan over the original
+//      embeddings, on planted-neighbor queries whose shell spacing (0.2)
+//      dwarfs the lattice error (≈ √dim · s/2 ≈ 0.045 at this data range);
+//
+// plus the kernel gate: the AVX2 QuantizedL2Scan backend must be ≥ 2× the
+// scalar backend (gated at non-tiny scale only — tiny runs in the
+// oversubscribed bench_smoke lane where wall-clock ratios are noise).
+//
+// The corpus never exists as a resident float matrix: every row is
+// regenerated deterministically from its id for calibration, quantization
+// and the exact-scan ground truth, so the bench itself runs in the memory
+// the quantized store claims (plus one row buffer).
+//
+// Output: one JSON object on stdout (collected into BENCH_quantize.json);
+// human-oriented progress goes to stderr. Any violated gate exits non-zero.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cpu_features.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "quant/quantized_matrix.h"
+#include "quant/rerank.h"
+#include "search/kernels.h"
+#include "search/knn.h"
+
+namespace t2h = traj2hash;
+namespace quant = traj2hash::quant;
+
+namespace {
+
+struct BenchScale {
+  std::string name = "small";
+  int n = 1'000'000;  ///< corpus rows ("million-entry shard")
+  int dim = 128;      ///< paper's embedding width
+  int queries = 8;    ///< planted-neighbor query points
+  int k = 10;         ///< top-k depth (also the planted shell count)
+  int scan_reps = 5;  ///< timed QuantizedL2Scan repetitions per ISA
+};
+
+BenchScale GetBenchScale() {
+  const char* env = std::getenv("T2H_BENCH_SCALE");
+  const std::string scale = env != nullptr ? env : "small";
+  BenchScale s;
+  s.name = scale;
+  if (scale == "tiny") {
+    s.n = 20'000;
+    s.dim = 32;
+    s.queries = 4;
+    s.k = 5;
+    s.scan_reps = 3;
+  } else if (scale == "large") {
+    s.n = 4'000'000;
+    s.scan_reps = 10;
+  }
+  return s;
+}
+
+/// Deterministic corpus: row i regenerates from Rng(kRowSeed + i), queries
+/// from Rng(kQuerySeed + q), planted directions from Rng(kPlantSeed + ...).
+/// The seed ranges must stay disjoint for every supported n — a shared seed
+/// would make a corpus row an exact copy of a query point and silently
+/// displace its planted shells.
+constexpr uint64_t kRowSeed = 1000;
+constexpr uint64_t kQuerySeed = 2'000'000'000;
+constexpr uint64_t kPlantSeed = 3'000'000'000;
+
+/// Query q's center point, uniform in the corpus cube [−1, 1]^dim.
+std::vector<float> QueryPoint(int q, int dim) {
+  t2h::Rng rng(kQuerySeed + static_cast<uint64_t>(q));
+  std::vector<float> v(dim);
+  for (float& x : v) x = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  return v;
+}
+
+/// The corpus with planted neighbors: shell i of query q sits at radius
+/// 0.5 + 0.2·i from the query center in a random unit direction. Random
+/// rows in [−1, 1]^dim are ≈ √(2·dim/3) apart (≈ 9.2 at dim 128), so the
+/// planted shells are the unambiguous top-k by a wide margin.
+class Corpus {
+ public:
+  Corpus(const BenchScale& s) : scale_(s) {
+    const int spacing = s.n / (s.queries * s.k + 2);
+    for (int q = 0; q < s.queries; ++q) {
+      for (int i = 0; i < s.k; ++i) {
+        planted_[(q * s.k + i + 1) * spacing] = {q, i};
+      }
+    }
+  }
+
+  /// Regenerates row `id` into `out` (scale_.dim floats).
+  void Row(int id, float* out) const {
+    const auto planted = planted_.find(id);
+    if (planted == planted_.end()) {
+      t2h::Rng rng(kRowSeed + static_cast<uint64_t>(id));
+      for (int j = 0; j < scale_.dim; ++j)
+        out[j] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+      return;
+    }
+    const auto [q, shell] = planted->second;
+    const std::vector<float> center = QueryPoint(q, scale_.dim);
+    t2h::Rng rng(kPlantSeed + static_cast<uint64_t>(q) * 100 + shell);
+    std::vector<double> dir(scale_.dim);
+    double norm_sq = 0.0;
+    for (double& d : dir) {
+      d = rng.Gaussian();
+      norm_sq += d * d;
+    }
+    const double radius = 0.5 + 0.2 * shell;
+    const double scale = radius / std::sqrt(norm_sq);
+    for (int j = 0; j < scale_.dim; ++j)
+      out[j] = center[j] + static_cast<float>(dir[j] * scale);
+  }
+
+  /// Ground-truth top-k ids for query q: its shells, nearest first.
+  std::vector<int> PlantedIds(int q) const {
+    std::vector<int> ids(scale_.k);
+    for (const auto& [id, where] : planted_) {
+      if (where.first == q) ids[where.second] = id;
+    }
+    return ids;
+  }
+
+ private:
+  BenchScale scale_;
+  std::map<int, std::pair<int, int>> planted_;  ///< id -> {query, shell}
+};
+
+struct IsaScan {
+  std::string isa;
+  double ms = 0.0;
+  double rows_per_sec = 0.0;
+  double speedup_vs_scalar = 0.0;
+  bool contract_ok = false;  ///< within 1e-9 relative of the scalar chain
+};
+
+volatile double sink = 0.0;
+
+}  // namespace
+
+int main() {
+  const BenchScale scale = GetBenchScale();
+  const t2h::KernelIsaSelection isa_sel = t2h::CurrentKernelIsa();
+  std::fprintf(stderr,
+               "quantize bench: scale=%s n=%d dim=%d queries=%d k=%d "
+               "isa=%s (detected %s, %s)\n",
+               scale.name.c_str(), scale.n, scale.dim, scale.queries, scale.k,
+               t2h::KernelIsaName(isa_sel.selected),
+               t2h::KernelIsaName(isa_sel.detected), isa_sel.source.c_str());
+
+  const Corpus corpus(scale);
+  std::vector<float> row(scale.dim);
+
+  // ---- Pass 1: streaming calibration (no resident float copy).
+  t2h::Stopwatch sw;
+  quant::ParamsBuilder builder(scale.dim);
+  for (int i = 0; i < scale.n; ++i) {
+    corpus.Row(i, row.data());
+    if (!builder.Add(row.data()).ok()) {
+      std::fprintf(stderr, "FAILED: calibration rejected row %d\n", i);
+      return 1;
+    }
+  }
+  auto built = builder.Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n", built.status().message().c_str());
+    return 1;
+  }
+  const quant::QuantizationParams params = std::move(built.value());
+  const double calibrate_s = sw.ElapsedSeconds();
+
+  // ---- Pass 2: quantize into the resident store, and in the same sweep
+  // compute the exact float top-k of every query over the ORIGINAL values —
+  // the ground truth the re-ranker's recall is gated against.
+  std::vector<std::vector<float>> query_points;
+  for (int q = 0; q < scale.queries; ++q)
+    query_points.push_back(QueryPoint(q, scale.dim));
+
+  sw.Restart();
+  quant::QuantizedMatrix qm(scale.dim);
+  std::vector<int8_t> qrow(scale.dim);
+  using HeapEntry = std::pair<double, int>;  // (squared distance, id)
+  std::vector<std::vector<HeapEntry>> exact_heaps(scale.queries);
+  for (int i = 0; i < scale.n; ++i) {
+    corpus.Row(i, row.data());
+    if (!params.QuantizeRow(row.data(), qrow.data()).ok()) {
+      std::fprintf(stderr, "FAILED: quantize rejected row %d\n", i);
+      return 1;
+    }
+    qm.Append(qrow.data());
+    for (int q = 0; q < scale.queries; ++q) {
+      double d2 = 0.0;
+      const std::vector<float>& query = query_points[q];
+      for (int j = 0; j < scale.dim; ++j) {
+        const double diff =
+            static_cast<double>(row[j]) - static_cast<double>(query[j]);
+        d2 += diff * diff;
+      }
+      std::vector<HeapEntry>& heap = exact_heaps[q];
+      if (static_cast<int>(heap.size()) < scale.k) {
+        heap.emplace_back(d2, i);
+        std::push_heap(heap.begin(), heap.end());
+      } else if (d2 < heap.front().first) {
+        std::pop_heap(heap.begin(), heap.end());
+        heap.back() = {d2, i};
+        std::push_heap(heap.begin(), heap.end());
+      }
+    }
+  }
+  const double build_s = sw.ElapsedSeconds();
+
+  // ---- Gate 1: resident bytes. The float side is what FlatMatrix would
+  // keep for the same corpus (stride padded to 8 floats / 32 B), computed
+  // arithmetically — materializing it would defeat the point at n=1M.
+  const uint64_t float_bytes =
+      static_cast<uint64_t>(scale.n) *
+      static_cast<uint64_t>((scale.dim + 7) & ~7) * sizeof(float);
+  const uint64_t quant_bytes =
+      qm.resident_bytes() + 3ull * scale.dim * sizeof(float);
+  const double memory_ratio =
+      static_cast<double>(float_bytes) / static_cast<double>(quant_bytes);
+  const bool memory_ok = memory_ratio >= 3.5;
+  std::fprintf(stderr,
+               "  resident: float %llu B  quant %llu B  ratio %.2fx %s\n",
+               static_cast<unsigned long long>(float_bytes),
+               static_cast<unsigned long long>(quant_bytes), memory_ratio,
+               memory_ok ? "" : " ** GATE FAILED (< 3.5x) **");
+
+  // ---- Gate 2: recall@k of the two-stage re-ranker against the exact
+  // float scan (and, as a sanity anchor, against the planted shells).
+  quant::RerankCounters counters;
+  int recall_hits = 0;
+  bool planted_ok = true;
+  for (int q = 0; q < scale.queries; ++q) {
+    std::vector<HeapEntry> exact = exact_heaps[q];
+    std::sort(exact.begin(), exact.end());
+    const std::vector<int> planted = corpus.PlantedIds(q);
+    for (int i = 0; i < scale.k; ++i)
+      planted_ok = planted_ok && exact[i].second == planted[i];
+
+    const std::vector<t2h::search::Neighbor> got = quant::RerankTopK(
+        qm, params, query_points[q], scale.k, nullptr, 0, &counters);
+    for (const t2h::search::Neighbor& nb : got) {
+      for (const HeapEntry& e : exact) {
+        if (e.second == nb.index) {
+          ++recall_hits;
+          break;
+        }
+      }
+    }
+  }
+  const double recall =
+      static_cast<double>(recall_hits) /
+      static_cast<double>(scale.queries * scale.k);
+  const quant::RerankSnapshot rerank = quant::SnapshotCounters(counters);
+  const bool recall_ok = recall == 1.0 && rerank.band_violations == 0;
+  std::fprintf(stderr,
+               "  recall@%d: %.4f  planted_order=%s  rechecked %llu/%llu  "
+               "band_violations %llu %s\n",
+               scale.k, recall, planted_ok ? "ok" : "MISMATCH",
+               static_cast<unsigned long long>(rerank.rechecked),
+               static_cast<unsigned long long>(rerank.candidates),
+               static_cast<unsigned long long>(rerank.band_violations),
+               recall_ok ? "" : " ** GATE FAILED **");
+
+  // ---- Gate 3: QuantizedL2Scan per ISA; AVX2 must be ≥ 2× scalar.
+  //
+  // Two sweeps. `stream` scans the whole million-row matrix — the serving
+  // shape — where every backend converges toward the DRAM bandwidth wall,
+  // so its ratios are reported but not gated. `hot` scans a cache-resident
+  // subset of the same rows, which measures the kernel itself; that is
+  // where the ≥ 2× contract is enforced.
+  std::vector<int8_t> qquery(scale.dim);
+  (void)params.QuantizeRow(query_points[0].data(), qquery.data());
+  const int hot_rows = std::min(scale.n, (2 << 20) / qm.stride());
+  const int hot_reps =
+      std::max(scale.scan_reps, 4'000'000 / std::max(hot_rows, 1));
+  std::vector<double> dists(scale.n);
+
+  auto sweep_isas = [&](int rows, int reps) {
+    std::vector<IsaScan> sweep;
+    std::vector<double> scalar_ref;
+    double scalar_ms = 0.0;
+    for (const t2h::KernelIsa isa :
+         {t2h::KernelIsa::kScalar, t2h::KernelIsa::kSse2,
+          t2h::KernelIsa::kAvx2}) {
+      if (!t2h::KernelIsaAvailable(isa)) continue;
+      t2h::ScopedKernelIsa pin(isa);
+      sw.Restart();
+      for (int r = 0; r < reps; ++r) {
+        t2h::search::kernels::QuantizedL2Scan(
+            qm.data(), qquery.data(), params.scale_sq.data(), rows, scale.dim,
+            qm.stride(), dists.data());
+        sink = sink + dists[0];
+      }
+      IsaScan s;
+      s.isa = t2h::KernelIsaName(isa);
+      s.ms = sw.ElapsedSeconds() * 1e3 / reps;
+      s.rows_per_sec = s.ms > 0.0 ? rows / (s.ms * 1e-3) : 0.0;
+      if (isa == t2h::KernelIsa::kScalar) {
+        scalar_ref.assign(dists.begin(), dists.begin() + rows);
+        scalar_ms = s.ms;
+        s.speedup_vs_scalar = 1.0;
+        s.contract_ok = true;
+      } else {
+        s.speedup_vs_scalar = s.ms > 0.0 ? scalar_ms / s.ms : 0.0;
+        s.contract_ok = true;
+        for (int i = 0; i < rows; ++i) {
+          if (std::fabs(dists[i] - scalar_ref[i]) >
+              1e-9 * (1.0 + std::fabs(scalar_ref[i]))) {
+            s.contract_ok = false;
+            break;
+          }
+        }
+      }
+      std::fprintf(stderr,
+                   "  [isa] quantized_l2 n=%-8d %-6s %9.3f ms  %6.1f Mrows/s"
+                   "  %5.2fx %s\n",
+                   rows, s.isa.c_str(), s.ms, s.rows_per_sec * 1e-6,
+                   s.speedup_vs_scalar,
+                   s.contract_ok ? "" : "  ** CONTRACT VIOLATION **");
+      sweep.push_back(std::move(s));
+    }
+    return sweep;
+  };
+  const std::vector<IsaScan> stream_sweep =
+      sweep_isas(scale.n, scale.scan_reps);
+  const std::vector<IsaScan> hot_sweep = sweep_isas(hot_rows, hot_reps);
+
+  bool contract_ok = true;
+  for (const IsaScan& s : stream_sweep) contract_ok = contract_ok && s.contract_ok;
+  double avx2_speedup = 0.0;
+  bool avx2_present = false;
+  for (const IsaScan& s : hot_sweep) {
+    contract_ok = contract_ok && s.contract_ok;
+    if (s.isa == "avx2") {
+      avx2_present = true;
+      avx2_speedup = s.speedup_vs_scalar;
+    }
+  }
+  // Wall-clock ratios at tiny scale run inside the parallel bench_smoke
+  // lane and are pure scheduling noise — report them, gate only the real
+  // run.
+  const bool avx2_ok =
+      !avx2_present || scale.name == "tiny" || avx2_speedup >= 2.0;
+  if (!avx2_ok) {
+    std::fprintf(stderr,
+                 "  ** GATE FAILED: avx2 %.2fx vs scalar (< 2.0x, "
+                 "cache-resident sweep) **\n",
+                 avx2_speedup);
+  }
+
+  std::printf("{\n  \"bench\": \"quantize\",\n  \"scale\": \"%s\",\n",
+              scale.name.c_str());
+  std::printf("  \"n\": %d, \"dim\": %d, \"queries\": %d, \"k\": %d,\n",
+              scale.n, scale.dim, scale.queries, scale.k);
+  std::printf("  \"calibrate_s\": %.3f, \"build_s\": %.3f,\n", calibrate_s,
+              build_s);
+  std::printf("  \"float_resident_bytes\": %llu,\n",
+              static_cast<unsigned long long>(float_bytes));
+  std::printf("  \"quant_resident_bytes\": %llu,\n",
+              static_cast<unsigned long long>(quant_bytes));
+  std::printf("  \"memory_ratio\": %.3f,\n", memory_ratio);
+  std::printf("  \"recall_at_k\": %.4f,\n", recall);
+  std::printf("  \"rerank\": {\"candidates\": %llu, \"rechecked\": %llu, "
+              "\"recheck_rate\": %.6f, \"band_violations\": %llu},\n",
+              static_cast<unsigned long long>(rerank.candidates),
+              static_cast<unsigned long long>(rerank.rechecked),
+              rerank.recheck_rate(),
+              static_cast<unsigned long long>(rerank.band_violations));
+  auto print_sweep = [](const char* name, const std::vector<IsaScan>& sweep,
+                        int rows) {
+    std::printf("  \"%s\": {\"rows\": %d, \"isas\": [\n", name, rows);
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      const IsaScan& s = sweep[i];
+      std::printf(
+          "    {\"isa\": \"%s\", \"ms\": %.3f, \"mrows_per_sec\": %.1f, "
+          "\"speedup_vs_scalar\": %.2f, \"contract_ok\": %s}%s\n",
+          s.isa.c_str(), s.ms, s.rows_per_sec * 1e-6, s.speedup_vs_scalar,
+          s.contract_ok ? "true" : "false", i + 1 < sweep.size() ? "," : "");
+    }
+    std::printf("  ]},\n");
+  };
+  print_sweep("isa_sweep_stream", stream_sweep, scale.n);
+  print_sweep("isa_sweep_hot", hot_sweep, hot_rows);
+  std::printf("  \"gates\": {\"memory_ratio_ok\": %s, \"recall_ok\": %s, "
+              "\"isa_contract_ok\": %s, \"avx2_speedup_ok\": %s}\n}\n",
+              memory_ok ? "true" : "false", recall_ok ? "true" : "false",
+              contract_ok ? "true" : "false", avx2_ok ? "true" : "false");
+
+  if (!memory_ok || !recall_ok || !planted_ok || !contract_ok || !avx2_ok) {
+    std::fprintf(stderr, "quantize bench FAILED\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,24 +1,79 @@
 #include "core/index.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace traj2hash::core {
 
 TrajectoryIndex::TrajectoryIndex(const Traj2Hash* model,
                                  search::SearchStrategy strategy,
-                                 int mih_substrings)
-    : model_(model), strategy_(strategy), mih_substrings_(mih_substrings) {
+                                 int mih_substrings, bool quantize)
+    : model_(model),
+      strategy_(strategy),
+      mih_substrings_(mih_substrings),
+      quantize_(quantize) {
   T2H_CHECK(model != nullptr);
+}
+
+void TrajectoryIndex::CoverRange(const std::vector<float>& embedding) {
+  const int dim = static_cast<int>(embedding.size());
+  if (range_min_.empty()) {
+    range_min_ = embedding;
+    range_max_ = embedding;
+  } else {
+    bool expanded = false;
+    for (int j = 0; j < dim; ++j) {
+      if (embedding[j] < range_min_[j]) {
+        range_min_[j] = embedding[j];
+        expanded = true;
+      }
+      if (embedding[j] > range_max_[j]) {
+        range_max_[j] = embedding[j];
+        expanded = true;
+      }
+    }
+    if (!expanded) return;
+  }
+  // Rebuild params over the widened range. Feeding the two range corners to
+  // the streaming builder reuses its zero-range widening and finiteness
+  // checks.
+  quant::ParamsBuilder builder(dim);
+  T2H_CHECK_MSG(builder.Add(range_min_.data()).ok(),
+                "non-finite embedding cannot be quantized");
+  T2H_CHECK_MSG(builder.Add(range_max_.data()).ok(),
+                "non-finite embedding cannot be quantized");
+  auto built = builder.Build();
+  T2H_CHECK(built.ok());
+  // Requantize existing rows through the old lattice: dequantize with the
+  // outgoing params, re-quantize with the new. Each pass adds at most half
+  // a (new) step of error per dimension — bounded, and rare because the
+  // range only ever grows.
+  if (quantized_->rows() > 0) {
+    std::vector<float> deq(dim);
+    std::vector<int8_t> req(dim);
+    for (int i = 0; i < quantized_->rows(); ++i) {
+      qparams_.DequantizeRow(quantized_->row(i), deq.data());
+      T2H_CHECK(built.value().QuantizeRow(deq.data(), req.data()).ok());
+      quantized_->OverwriteRow(i, req.data());
+    }
+    ++requantizations_;
+  }
+  qparams_ = std::move(built.value());
 }
 
 int TrajectoryIndex::Add(const traj::Trajectory& t) {
   std::vector<float> embedding = model_->Embed(t);
   search::Code code = search::PackSigns(embedding);
-  if (embeddings_ == nullptr) {
+  if (embeddings_ == nullptr && quantized_ == nullptr) {
     // Cold start: the embedding / code width (= config dim) is only certain
     // once the first embedding exists.
-    embeddings_ = std::make_unique<search::FlatMatrix>(
-        static_cast<int>(embedding.size()));
+    const int dim = static_cast<int>(embedding.size());
+    if (quantize_) {
+      quantized_ = std::make_unique<quant::QuantizedMatrix>(dim);
+    } else {
+      embeddings_ = std::make_unique<search::FlatMatrix>(dim);
+    }
     if (strategy_ == search::SearchStrategy::kMih) {
       mih_ = std::make_unique<search::MihIndex>(code.num_bits,
                                                 mih_substrings_);
@@ -26,7 +81,16 @@ int TrajectoryIndex::Add(const traj::Trajectory& t) {
       hamming_ = std::make_unique<search::HammingIndex>(code.num_bits);
     }
   }
-  const int id = embeddings_->Append(embedding);
+  int id;
+  if (quantize_) {
+    CoverRange(embedding);
+    std::vector<int8_t> qrow(embedding.size());
+    T2H_CHECK_MSG(qparams_.QuantizeRow(embedding.data(), qrow.data()).ok(),
+                  "non-finite embedding cannot be quantized");
+    id = quantized_->Append(qrow.data());
+  } else {
+    id = embeddings_->Append(embedding);
+  }
   if (mih_ != nullptr) {
     mih_->Insert(code);
   } else {
@@ -42,13 +106,18 @@ void TrajectoryIndex::AddAll(const std::vector<traj::Trajectory>& ts) {
 
 std::vector<search::Neighbor> TrajectoryIndex::QueryEuclidean(
     const traj::Trajectory& query, int k) const {
-  T2H_CHECK_MSG(embeddings_ != nullptr, "index is empty");
+  T2H_CHECK_MSG(size_ > 0, "index is empty");
+  if (quantize_) {
+    return quant::RerankTopK(*quantized_, qparams_, model_->Embed(query), k,
+                             /*candidates=*/nullptr, /*num_candidates=*/0,
+                             &rerank_counters_);
+  }
   return search::TopKEuclidean(*embeddings_, model_->Embed(query), k);
 }
 
 std::vector<search::Neighbor> TrajectoryIndex::QueryHamming(
     const traj::Trajectory& query, int k) const {
-  T2H_CHECK_MSG(embeddings_ != nullptr, "index is empty");
+  T2H_CHECK_MSG(size_ > 0, "index is empty");
   const search::Code code = model_->HashCode(query);
   switch (strategy_) {
     case search::SearchStrategy::kBrute:
@@ -60,6 +129,28 @@ std::vector<search::Neighbor> TrajectoryIndex::QueryHamming(
   }
   T2H_CHECK_MSG(false, "unreachable strategy");
   return {};
+}
+
+size_t TrajectoryIndex::embedding_resident_bytes() const {
+  if (quantize_) {
+    if (quantized_ == nullptr) return 0;
+    return quantized_->resident_bytes() +
+           3 * static_cast<size_t>(qparams_.dim()) * sizeof(float);
+  }
+  if (embeddings_ == nullptr) return 0;
+  return static_cast<size_t>(embeddings_->rows()) * embeddings_->stride() *
+         sizeof(float);
+}
+
+std::vector<float> TrajectoryIndex::EmbeddingAt(int id) const {
+  if (quantize_) {
+    T2H_CHECK(quantized_ != nullptr && id >= 0 && id < quantized_->rows());
+    std::vector<float> out(quantized_->cols());
+    qparams_.DequantizeRow(quantized_->row(id), out.data());
+    return out;
+  }
+  T2H_CHECK(embeddings_ != nullptr && id >= 0 && id < embeddings_->rows());
+  return embeddings_->RowAt(id);
 }
 
 }  // namespace traj2hash::core

@@ -6,6 +6,8 @@
 
 #include "common/check.h"
 #include "core/model.h"
+#include "quant/quantized_matrix.h"
+#include "quant/rerank.h"
 #include "search/flat_storage.h"
 #include "search/hamming_index.h"
 #include "search/knn.h"
@@ -25,6 +27,14 @@ namespace traj2hash::core {
 ///   index.AddAll(database);
 ///   auto hits = index.QueryHamming(query, 10);
 ///   auto exact = index.QueryEuclidean(query, 10);  // latent-space BF
+///
+/// With `quantize` the embedding store is the per-dimension int8
+/// QuantizedMatrix (~4× fewer resident bytes, DESIGN.md §17):
+/// QueryEuclidean then runs the two-stage re-ranker — quantized-L2 scan
+/// plus exact float re-check of the boundary band — and is bit-identical to
+/// a float scan over the dequantized lattice. A row outside the running
+/// calibration range triggers a transparent requantization of the store
+/// (this façade has no compaction cycle to rebuild scales on).
 class TrajectoryIndex {
  public:
   /// `model` must be trained and outlive the index. `mih_substrings` tunes
@@ -32,7 +42,7 @@ class TrajectoryIndex {
   explicit TrajectoryIndex(
       const Traj2Hash* model,
       search::SearchStrategy strategy = search::SearchStrategy::kMih,
-      int mih_substrings = 0);
+      int mih_substrings = 0, bool quantize = false);
 
   /// Embeds, hashes and stores one trajectory; returns its id (insertion
   /// order, the index used in query results).
@@ -42,34 +52,68 @@ class TrajectoryIndex {
   void AddAll(const std::vector<traj::Trajectory>& ts);
 
   /// Top-k by Euclidean distance between embeddings (blocked brute-force
-  /// scan over the flat matrix).
+  /// scan over the flat matrix; in quantize mode the two-stage re-ranker
+  /// over the whole quantized store).
   std::vector<search::Neighbor> QueryEuclidean(const traj::Trajectory& query,
                                                int k) const;
 
   /// Top-k by Hamming distance through the configured strategy; results are
-  /// identical across strategies (§V-E exactness, DESIGN.md §9).
+  /// identical across strategies (§V-E exactness, DESIGN.md §9) and
+  /// unaffected by quantization (codes are never quantized).
   std::vector<search::Neighbor> QueryHamming(const traj::Trajectory& query,
                                              int k) const;
 
   search::SearchStrategy strategy() const { return strategy_; }
+  bool quantize() const { return quantize_; }
 
   int size() const { return size_; }
 
-  /// Flat row-major view of the stored embeddings.
+  /// Bytes the embedding store keeps resident (float rows or int8 rows +
+  /// params) — the gauge behind the quantized store's ~4× cut.
+  size_t embedding_resident_bytes() const;
+
+  /// Full-store requantizations triggered by out-of-range insertions
+  /// (quantize mode only).
+  int requantizations() const { return requantizations_; }
+
+  /// Two-stage re-ranker counters (quantize mode; zeros otherwise).
+  quant::RerankSnapshot rerank_stats() const {
+    return quant::SnapshotCounters(rerank_counters_);
+  }
+
+  /// Flat row-major view of the stored embeddings (float mode only — the
+  /// quantized store has no float rows to view).
   const search::FlatMatrix& embeddings() const {
-    T2H_CHECK_MSG(embeddings_ != nullptr, "index is empty");
+    T2H_CHECK_MSG(embeddings_ != nullptr, "index is empty or quantized");
     return *embeddings_;
   }
 
+  /// Dequantized lattice values of row `id` (quantize mode) or the stored
+  /// floats (float mode) — what QueryEuclidean distances are measured
+  /// against.
+  std::vector<float> EmbeddingAt(int id) const;
+
  private:
+  /// Expands the calibration range to cover `embedding` (quantize mode),
+  /// requantizing every stored row when it falls outside the current range.
+  void CoverRange(const std::vector<float>& embedding);
+
   const Traj2Hash* model_;
   const search::SearchStrategy strategy_;
   const int mih_substrings_;
+  const bool quantize_;
   int size_ = 0;
+  int requantizations_ = 0;
   // Created cold (empty) on the first insertion, when the embedding width /
   // code width is known; extended incrementally afterwards. Exactly one of
-  // hamming_/mih_ is live, matching `strategy_`.
+  // hamming_/mih_ is live, matching `strategy_`, and exactly one of
+  // embeddings_/quantized_ is live, matching `quantize_`.
   std::unique_ptr<search::FlatMatrix> embeddings_;
+  std::unique_ptr<quant::QuantizedMatrix> quantized_;
+  quant::QuantizationParams qparams_;
+  std::vector<float> range_min_;  ///< running calibration range (quantize)
+  std::vector<float> range_max_;
+  mutable quant::RerankCounters rerank_counters_;
   std::unique_ptr<search::HammingIndex> hamming_;
   std::unique_ptr<search::MihIndex> mih_;
 };

@@ -12,6 +12,9 @@ namespace traj2hash::ingest {
 
 LiveIndex::Base::Base(const LiveIndexOptions& options)
     : brute_codes(options.num_bits) {
+  if (options.quantize) {
+    qrows = std::make_unique<quant::QuantizedMatrix>(options.embedding_dim);
+  }
   switch (options.strategy) {
     case search::SearchStrategy::kMih:
       mih = std::make_unique<search::MihIndex>(options.num_bits,
@@ -38,14 +41,107 @@ LiveIndex::LiveIndex(const LiveIndexOptions& options)
   T2H_CHECK_GT(options.num_bits, 0);
   T2H_CHECK_GE(options.compact_min_ops, 1);
   T2H_CHECK_GT(options.compact_ratio, 0.0);
+  if (options.quantize) {
+    T2H_CHECK_MSG(options.embedding_dim > 0,
+                  "quantize requires embedding_dim");
+    delta_qrows_ =
+        std::make_unique<quant::QuantizedMatrix>(options.embedding_dim);
+  }
+}
+
+Status LiveIndex::QuantizeForAppendLocked(const std::vector<float>& embedding,
+                                          std::vector<int8_t>* qrow) {
+  qrow->clear();
+  if (!options_.quantize || embedding.empty()) return Status::Ok();
+  T2H_CHECK_EQ(static_cast<int>(embedding.size()), options_.embedding_dim);
+  if (qparams_.empty()) {
+    // Cold start: calibrate from the very first embedding-bearing row
+    // (zero-range widening keeps every step positive).
+    quant::ParamsBuilder builder(options_.embedding_dim);
+    if (const Status s = builder.Add(embedding.data()); !s.ok()) return s;
+    auto built = builder.Build();
+    if (!built.ok()) return built.status();
+    qparams_ = std::move(built.value());
+  } else if (base_->emb_rows == 0 && RowExpandsRangeLocked(embedding.data())) {
+    // While the whole lattice still lives in the delta (no compacted base
+    // holds an embedding row), an out-of-range insert widens the params and
+    // requantizes the delta in place instead of saturating — a bulk load
+    // must not let its first row dictate the corpus range. Once a base with
+    // embedding rows is installed, out-of-range rows saturate until the
+    // next compaction rebuild: base epochs are read outside the lock by
+    // compaction and can never be rewritten in place.
+    if (const Status s = ExpandParamsLocked(embedding.data()); !s.ok()) {
+      return s;
+    }
+  }
+  qrow->resize(embedding.size());
+  return qparams_.QuantizeRow(embedding.data(), qrow->data());
+}
+
+bool LiveIndex::RowExpandsRangeLocked(const float* row) const {
+  for (int j = 0; j < options_.embedding_dim; ++j) {
+    // Range edges recovered from the params: q = ∓128/127 dequantize to
+    // s·(zp − 128) and s·(zp + 127) = lo + 255·s.
+    const float lo = qparams_.scale[j] * (qparams_.zero_point[j] - 128.0f);
+    const float hi = lo + 255.0f * qparams_.scale[j];
+    if (row[j] < lo || row[j] > hi) return true;
+  }
+  return false;
+}
+
+Status LiveIndex::ExpandParamsLocked(const float* row) {
+  const int dim = options_.embedding_dim;
+  // New range = old range ∪ row, rebuilt through the normal builder so the
+  // zero-range widening and scale_sq derivation stay in one place.
+  std::vector<float> corner_lo(dim);
+  std::vector<float> corner_hi(dim);
+  for (int j = 0; j < dim; ++j) {
+    corner_lo[j] = qparams_.scale[j] * (qparams_.zero_point[j] - 128.0f);
+    corner_hi[j] = corner_lo[j] + 255.0f * qparams_.scale[j];
+  }
+  quant::ParamsBuilder builder(dim);
+  T2H_CHECK(builder.Add(corner_lo.data()).ok());  // finite by construction
+  T2H_CHECK(builder.Add(corner_hi.data()).ok());
+  if (const Status s = builder.Add(row); !s.ok()) return s;  // ±inf rejected
+  auto built = builder.Build();
+  if (!built.ok()) return built.status();
+  quant::QuantizationParams next = std::move(built.value());
+
+  // Requantize every delta row onto the widened lattice. The exclusive lock
+  // makes the in-place overwrite safe: readers are excluded, and an
+  // in-flight compaction rebuild works on its own phase-1 copy of the delta
+  // (its install then requantizes the live suffix under whatever qparams_
+  // holds at install time — which this keeps consistent for every row).
+  std::vector<float> deq(dim);
+  std::vector<int8_t> req(dim);
+  for (int r = 0; r < delta_qrows_->rows(); ++r) {
+    if (delta_has_emb_[r] == 0) continue;
+    qparams_.DequantizeRow(delta_qrows_->row(r), deq.data());
+    T2H_CHECK(next.QuantizeRow(deq.data(), req.data()).ok());
+    delta_qrows_->OverwriteRow(r, req.data());
+  }
+  qparams_ = std::move(next);
+  return Status::Ok();
 }
 
 void LiveIndex::AppendDeltaLocked(int id, search::Code code,
-                                  std::vector<float> embedding) {
+                                  std::vector<float> embedding,
+                                  std::vector<int8_t> qrow) {
   const int row = delta_codes_.Append(code);
   delta_ids_.push_back(id);
   delta_dead_.push_back(0);
-  delta_embeddings_.push_back(std::move(embedding));
+  if (options_.quantize) {
+    if (qrow.empty()) {
+      const std::vector<int8_t> zeros(options_.embedding_dim, 0);
+      delta_qrows_->Append(zeros.data());
+      delta_has_emb_.push_back(0);
+    } else {
+      delta_qrows_->Append(qrow.data());
+      delta_has_emb_.push_back(1);
+    }
+  } else {
+    delta_embeddings_.push_back(std::move(embedding));
+  }
   loc_[id] = Loc{/*in_delta=*/true, row};
 }
 
@@ -58,7 +154,12 @@ Status LiveIndex::Insert(int id, search::Code code,
     return Status::InvalidArgument("id " + std::to_string(id) +
                                    " is already live");
   }
-  AppendDeltaLocked(id, std::move(code), std::move(embedding));
+  std::vector<int8_t> qrow;
+  if (const Status s = QuantizeForAppendLocked(embedding, &qrow); !s.ok()) {
+    return s;  // NaN rejection happens before any state changes
+  }
+  AppendDeltaLocked(id, std::move(code), std::move(embedding),
+                    std::move(qrow));
   mutation_epoch_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
@@ -90,6 +191,10 @@ Status LiveIndex::Update(int id, search::Code code,
   if (it == loc_.end()) {
     return Status::NotFound("id " + std::to_string(id) + " is not live");
   }
+  std::vector<int8_t> qrow;
+  if (const Status s = QuantizeForAppendLocked(embedding, &qrow); !s.ok()) {
+    return s;  // reject before tombstoning — the old entry stays intact
+  }
   // Tombstone the old row, re-point the id at a fresh delta row.
   const Loc loc = it->second;
   if (loc.in_delta) {
@@ -100,7 +205,8 @@ Status LiveIndex::Update(int id, search::Code code,
     ++base_dead_count_;
   }
   loc_.erase(it);
-  AppendDeltaLocked(id, std::move(code), std::move(embedding));
+  AppendDeltaLocked(id, std::move(code), std::move(embedding),
+                    std::move(qrow));
   mutation_epoch_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
@@ -110,6 +216,12 @@ void LiveIndex::Upsert(int id, search::Code code,
   T2H_CHECK_GE(id, 0);
   T2H_CHECK_EQ(code.num_bits, options_.num_bits);
   std::unique_lock<std::shared_mutex> lock(mu_);
+  std::vector<int8_t> qrow;
+  // WAL replay / replica apply ships float embeddings and re-quantizes
+  // here, under THIS shard's params. A non-finite embedding would already
+  // have been rejected at original ingest, so it is a hard fault on replay.
+  T2H_CHECK_MSG(QuantizeForAppendLocked(embedding, &qrow).ok(),
+                "non-finite embedding in upsert");
   const auto it = loc_.find(id);
   if (it != loc_.end()) {
     const Loc loc = it->second;
@@ -122,7 +234,8 @@ void LiveIndex::Upsert(int id, search::Code code,
     }
     loc_.erase(it);
   }
-  AppendDeltaLocked(id, std::move(code), std::move(embedding));
+  AppendDeltaLocked(id, std::move(code), std::move(embedding),
+                    std::move(qrow));
   mutation_epoch_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -223,8 +336,106 @@ std::vector<float> LiveIndex::EmbeddingOf(int id) const {
   const auto it = loc_.find(id);
   if (it == loc_.end()) return {};
   const Loc loc = it->second;
+  if (options_.quantize) {
+    const bool has = loc.in_delta ? delta_has_emb_[loc.row] != 0
+                                  : base_->has_emb[loc.row] != 0;
+    if (!has) return {};
+    std::vector<float> out(options_.embedding_dim);
+    const int8_t* row = loc.in_delta ? delta_qrows_->row(loc.row)
+                                     : base_->qrows->row(loc.row);
+    qparams_.DequantizeRow(row, out.data());
+    return out;
+  }
   return loc.in_delta ? delta_embeddings_[loc.row]
                       : base_->embeddings[loc.row];
+}
+
+std::vector<search::Neighbor> LiveIndex::RerankTopK(
+    const search::Code& query, const std::vector<float>& query_embedding,
+    int k, int num_candidates) const {
+  T2H_CHECK_GE(k, 1);
+  T2H_CHECK_EQ(query.num_bits, options_.num_bits);
+  num_candidates = std::max(num_candidates, k);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  // Stage 0 — Hamming candidate generation over the live entries (the same
+  // merge TopK performs, under our lock).
+  bool complete = true;
+  std::vector<search::Neighbor> cand =
+      BaseTopKLocked(query, num_candidates, Deadline::Infinite(), &complete);
+  const std::vector<search::Neighbor> delta_part =
+      DeltaTopKLocked(query, num_candidates);
+  cand.insert(cand.end(), delta_part.begin(), delta_part.end());
+  std::sort(cand.begin(), cand.end(), search::NeighborLess);
+  if (static_cast<int>(cand.size()) > num_candidates) {
+    cand.resize(num_candidates);
+  }
+  // Ascending ids make the gathered scratch rows id-ordered, so the
+  // re-ranker's row-index tie-break equals the repo-wide id tie-break.
+  std::vector<int> ids;
+  ids.reserve(cand.size());
+  for (const search::Neighbor& n : cand) ids.push_back(n.index);
+  std::sort(ids.begin(), ids.end());
+
+  if (options_.quantize) {
+    if (qparams_.empty()) return {};
+    quant::QuantizedMatrix scratch(options_.embedding_dim);
+    std::vector<int> scratch_ids;
+    scratch_ids.reserve(ids.size());
+    for (const int id : ids) {
+      const Loc loc = loc_.at(id);
+      const bool has = loc.in_delta ? delta_has_emb_[loc.row] != 0
+                                    : base_->has_emb[loc.row] != 0;
+      if (!has) continue;
+      scratch.Append(loc.in_delta ? delta_qrows_->row(loc.row)
+                                  : base_->qrows->row(loc.row));
+      scratch_ids.push_back(id);
+    }
+    if (scratch.rows() == 0) return {};
+    std::vector<search::Neighbor> out = quant::RerankTopK(
+        scratch, qparams_, query_embedding, k, /*candidates=*/nullptr,
+        /*num_candidates=*/0, &rerank_counters_);
+    for (search::Neighbor& n : out) n.index = scratch_ids[n.index];
+    return out;
+  }
+  const int dim = static_cast<int>(query_embedding.size());
+  search::FlatMatrix scratch(dim);
+  std::vector<int> scratch_ids;
+  scratch_ids.reserve(ids.size());
+  for (const int id : ids) {
+    const Loc loc = loc_.at(id);
+    const std::vector<float>& emb = loc.in_delta
+                                        ? delta_embeddings_[loc.row]
+                                        : base_->embeddings[loc.row];
+    if (static_cast<int>(emb.size()) != dim) continue;
+    scratch.Append(emb);
+    scratch_ids.push_back(id);
+  }
+  if (scratch.rows() == 0) return {};
+  std::vector<search::Neighbor> out =
+      search::TopKEuclidean(scratch, query_embedding, k);
+  for (search::Neighbor& n : out) n.index = scratch_ids[n.index];
+  return out;
+}
+
+size_t LiveIndex::embedding_resident_bytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (options_.quantize) {
+    return base_->qrows->resident_bytes() + delta_qrows_->resident_bytes() +
+           3 * static_cast<size_t>(qparams_.dim()) * sizeof(float);
+  }
+  size_t bytes = 0;
+  for (const std::vector<float>& e : base_->embeddings) {
+    bytes += e.size() * sizeof(float);
+  }
+  for (const std::vector<float>& e : delta_embeddings_) {
+    bytes += e.size() * sizeof(float);
+  }
+  return bytes;
+}
+
+quant::QuantizationParams LiveIndex::ParamsSnapshot() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return qparams_;
 }
 
 std::vector<LiveIndex::Entry> LiveIndex::SnapshotEntries() const {
@@ -234,12 +445,22 @@ std::vector<LiveIndex::Entry> LiveIndex::SnapshotEntries() const {
   for (const auto& [id, loc] : loc_) {
     Entry e;
     e.id = id;
-    if (loc.in_delta) {
-      e.code = delta_codes_.CodeAt(loc.row);
-      e.embedding = delta_embeddings_[loc.row];
+    e.code = loc.in_delta ? delta_codes_.CodeAt(loc.row)
+                          : base_->codes().CodeAt(loc.row);
+    if (options_.quantize) {
+      // Snapshots carry float embeddings (the dequantized lattice values);
+      // the writer / a replica requantizes under its own params.
+      const bool has = loc.in_delta ? delta_has_emb_[loc.row] != 0
+                                    : base_->has_emb[loc.row] != 0;
+      if (has) {
+        e.embedding.resize(options_.embedding_dim);
+        qparams_.DequantizeRow(loc.in_delta ? delta_qrows_->row(loc.row)
+                                            : base_->qrows->row(loc.row),
+                               e.embedding.data());
+      }
     } else {
-      e.code = base_->codes().CodeAt(loc.row);
-      e.embedding = base_->embeddings[loc.row];
+      e.embedding = loc.in_delta ? delta_embeddings_[loc.row]
+                                 : base_->embeddings[loc.row];
     }
     out.push_back(std::move(e));
   }
@@ -303,6 +524,11 @@ void LiveIndex::RunClaimedCompaction() {
   search::PackedCodes delta_codes(options_.num_bits);
   std::vector<int> delta_ids;
   std::vector<uint8_t> delta_dead;
+  // Quantize mode: the captured delta's int8 rows + flags and the params
+  // they were quantized under (1 byte/dim per row — cheap to copy).
+  quant::QuantizationParams old_params;
+  std::unique_ptr<quant::QuantizedMatrix> delta_qrows;
+  std::vector<uint8_t> delta_has_emb;
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     base = base_;
@@ -313,6 +539,16 @@ void LiveIndex::RunClaimedCompaction() {
                       delta_dead_.begin() + captured_delta);
     for (int row = 0; row < captured_delta; ++row) {
       delta_codes.Append(delta_codes_.CodeAt(row));
+    }
+    if (options_.quantize) {
+      old_params = qparams_;
+      delta_qrows =
+          std::make_unique<quant::QuantizedMatrix>(options_.embedding_dim);
+      for (int row = 0; row < captured_delta; ++row) {
+        delta_qrows->Append(delta_qrows_->row(row));
+      }
+      delta_has_emb.assign(delta_has_emb_.begin(),
+                           delta_has_emb_.begin() + captured_delta);
     }
   }
 
@@ -337,7 +573,42 @@ void LiveIndex::RunClaimedCompaction() {
             [](const Pending& a, const Pending& b) { return a.id < b.id; });
   auto fresh = std::make_shared<Base>(options_);
   fresh->ids.reserve(live.size());
-  fresh->embeddings.resize(live.size());
+  if (!options_.quantize) fresh->embeddings.resize(live.size());
+
+  // Quantize mode: rebuild the scales from the captured rows (ISSUE: the
+  // delta only ever saturates against stale params; compaction is where the
+  // calibration range catches up). One streaming pass dequantizes each
+  // captured live row under the old params into the builder, then a second
+  // requantizes it under the new — per-row temporaries only, never a float
+  // copy of the corpus.
+  quant::QuantizationParams new_params;
+  std::vector<float> deq;
+  const auto captured_qrow = [&](const Pending& p) {
+    return p.from_delta ? delta_qrows->row(p.row) : base->qrows->row(p.row);
+  };
+  const auto captured_has_emb = [&](const Pending& p) {
+    return p.from_delta ? delta_has_emb[p.row] != 0
+                        : base->has_emb[p.row] != 0;
+  };
+  if (options_.quantize) {
+    deq.resize(options_.embedding_dim);
+    quant::ParamsBuilder builder(options_.embedding_dim);
+    for (const Pending& p : live) {
+      if (!captured_has_emb(p)) continue;
+      old_params.DequantizeRow(captured_qrow(p), deq.data());
+      T2H_CHECK(builder.Add(deq.data()).ok());  // lattice values are finite
+    }
+    if (builder.rows_seen() > 0) {
+      auto built = builder.Build();
+      T2H_CHECK(built.ok());
+      new_params = std::move(built.value());
+    }
+    // No embedding-bearing captured row: keep the params as they are at
+    // install time (a cold start may have happened during the rebuild).
+  }
+
+  std::vector<int8_t> req(options_.quantize ? options_.embedding_dim : 0);
+  const std::vector<int8_t> zeros(req.size(), 0);
   for (const Pending& p : live) {
     const search::Code code = p.from_delta ? delta_codes.CodeAt(p.row)
                                            : base->codes().CodeAt(p.row);
@@ -353,6 +624,18 @@ void LiveIndex::RunClaimedCompaction() {
         break;
     }
     fresh->ids.push_back(p.id);
+    if (options_.quantize) {
+      if (captured_has_emb(p)) {
+        old_params.DequantizeRow(captured_qrow(p), deq.data());
+        T2H_CHECK(new_params.QuantizeRow(deq.data(), req.data()).ok());
+        fresh->qrows->Append(req.data());
+        fresh->has_emb.push_back(1);
+        ++fresh->emb_rows;
+      } else {
+        fresh->qrows->Append(zeros.data());
+        fresh->has_emb.push_back(0);
+      }
+    }
   }
 
   // Simulated crash of the compacting thread: abandon the rebuilt base.
@@ -380,21 +663,35 @@ void LiveIndex::RunClaimedCompaction() {
           !(it->second.in_delta && it->second.row >= captured_delta);
       if (alive) {
         const Loc old = it->second;
-        fresh->embeddings[row] = old.in_delta
-                                     ? std::move(delta_embeddings_[old.row])
-                                     : base_->embeddings[old.row];
+        if (!options_.quantize) {
+          fresh->embeddings[row] = old.in_delta
+                                       ? std::move(delta_embeddings_[old.row])
+                                       : base_->embeddings[old.row];
+        }
+        // (quantize mode: the row is already in fresh->qrows — delta rows
+        // are immutable once written, so the captured copy is current.)
         it->second = Loc{/*in_delta=*/false, row};
       } else {
         new_base_dead[row] = 1;
         ++new_base_dead_count;
       }
     }
-    // The new delta is the suffix appended while we were building.
+    // The new delta is the suffix appended while we were building. In
+    // quantize mode its rows were quantized under the pre-compaction params,
+    // so they are requantized onto the new lattice here (the whole shard
+    // must share one param set for zero-points to cancel).
+    const bool install_params = options_.quantize && !new_params.empty();
     const int cur = delta_codes_.size();
     search::PackedCodes new_delta_codes(options_.num_bits);
     std::vector<int> new_delta_ids;
     std::vector<uint8_t> new_delta_dead;
     std::vector<std::vector<float>> new_delta_embeddings;
+    std::unique_ptr<quant::QuantizedMatrix> new_delta_qrows;
+    std::vector<uint8_t> new_delta_has_emb;
+    if (options_.quantize) {
+      new_delta_qrows =
+          std::make_unique<quant::QuantizedMatrix>(options_.embedding_dim);
+    }
     new_delta_ids.reserve(cur - captured_delta);
     int new_delta_dead_count = 0;
     for (int old_row = captured_delta; old_row < cur; ++old_row) {
@@ -403,7 +700,19 @@ void LiveIndex::RunClaimedCompaction() {
       new_delta_ids.push_back(id);
       new_delta_dead.push_back(delta_dead_[old_row]);
       if (delta_dead_[old_row] != 0) ++new_delta_dead_count;
-      new_delta_embeddings.push_back(std::move(delta_embeddings_[old_row]));
+      if (options_.quantize) {
+        const bool has = delta_has_emb_[old_row] != 0;
+        if (has && install_params) {
+          qparams_.DequantizeRow(delta_qrows_->row(old_row), deq.data());
+          T2H_CHECK(new_params.QuantizeRow(deq.data(), req.data()).ok());
+          new_delta_qrows->Append(req.data());
+        } else {
+          new_delta_qrows->Append(delta_qrows_->row(old_row));
+        }
+        new_delta_has_emb.push_back(has ? 1 : 0);
+      } else {
+        new_delta_embeddings.push_back(std::move(delta_embeddings_[old_row]));
+      }
       const auto it = loc_.find(id);
       if (it != loc_.end() && it->second.in_delta &&
           it->second.row == old_row) {
@@ -418,6 +727,11 @@ void LiveIndex::RunClaimedCompaction() {
     delta_dead_ = std::move(new_delta_dead);
     delta_dead_count_ = new_delta_dead_count;
     delta_embeddings_ = std::move(new_delta_embeddings);
+    if (options_.quantize) {
+      delta_qrows_ = std::move(new_delta_qrows);
+      delta_has_emb_ = std::move(new_delta_has_emb);
+      if (install_params) qparams_ = std::move(new_params);
+    }
     // The install changes physical layout (what a racing cached probe could
     // have been computed against), so it advances the mutation epoch too —
     // conservatively invalidating result-cache entries even though the

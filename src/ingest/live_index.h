@@ -10,6 +10,8 @@
 
 #include "common/deadline.h"
 #include "common/status.h"
+#include "quant/quantized_matrix.h"
+#include "quant/rerank.h"
 #include "search/code.h"
 #include "search/flat_storage.h"
 #include "search/hamming_index.h"
@@ -29,6 +31,17 @@ struct LiveIndexOptions {
   /// keep tiny indexes from compacting on every mutation.
   int compact_min_ops = 64;
   double compact_ratio = 0.25;
+  /// Store embeddings as per-dimension int8 rows (quant::QuantizedMatrix,
+  /// DESIGN.md §17) instead of float vectors — ~4× fewer resident bytes.
+  /// Delta rows are quantized on insert under the shard's current params;
+  /// while the store is all-delta (before the first compacted base holds an
+  /// embedding row) an out-of-range insert widens the params in place, and
+  /// afterwards it saturates until a compaction rebuilds the scales.
+  /// Requires `embedding_dim`.
+  bool quantize = false;
+  /// Embedding width; required (> 0) when `quantize` is on, so the int8
+  /// stores can be sized before the first row arrives.
+  int embedding_dim = 0;
 };
 
 /// One shard of a mutable Hamming database: an immutable base (indexed by
@@ -83,6 +96,34 @@ class LiveIndex {
   std::vector<search::Neighbor> TopK(const search::Code& query, int k,
                                      const Deadline& deadline,
                                      bool* complete) const;
+
+  /// Euclidean top-k over the embeddings of the `num_candidates` (≥ k)
+  /// Hamming-nearest live entries: the serving re-rank surface. In quantize
+  /// mode this is the two-stage re-ranker (quantized-L2 scan over the
+  /// gathered candidate rows, exact float re-check of the boundary band —
+  /// quant::RerankTopK); in float mode it is the exact float scan. Either
+  /// way the result is bit-identical to a float top-k over the candidates'
+  /// stored (lattice) embeddings, ties by ascending id. Candidates without
+  /// a stored embedding are skipped.
+  std::vector<search::Neighbor> RerankTopK(
+      const search::Code& query, const std::vector<float>& query_embedding,
+      int k, int num_candidates) const;
+
+  bool quantize() const { return options_.quantize; }
+
+  /// Bytes resident for embedding storage (int8 rows + params in quantize
+  /// mode; float row payloads otherwise) — the gauge behind the ~4× cut.
+  size_t embedding_resident_bytes() const;
+
+  /// Two-stage re-ranker counters (quantize mode; zeros otherwise).
+  quant::RerankSnapshot rerank_stats() const {
+    return quant::SnapshotCounters(rerank_counters_);
+  }
+
+  /// Copy of the shard's current quantization params (empty until the first
+  /// embedding-bearing insert). Snapshot/replica writers requantize under
+  /// their own global params, so this is a diagnostics surface.
+  quant::QuantizationParams ParamsSnapshot() const;
 
   bool Contains(int id) const;
 
@@ -154,7 +195,15 @@ class LiveIndex {
     std::unique_ptr<search::HammingIndex> hybrid; // kRadius2
     search::PackedCodes brute_codes;              // kBrute
     std::vector<int> ids;                         // row -> id
-    std::vector<std::vector<float>> embeddings;   // row -> embedding
+    std::vector<std::vector<float>> embeddings;   // row -> embedding (float)
+    /// Quantize mode: int8 rows (one per base row, zero-filled when the
+    /// entry carries no embedding) + per-row has-embedding flags, and the
+    /// count of rows with the flag set — while it is zero the whole lattice
+    /// still lives in the delta and the params may widen in place (see
+    /// QuantizeForAppendLocked).
+    std::unique_ptr<quant::QuantizedMatrix> qrows;
+    std::vector<uint8_t> has_emb;
+    int emb_rows = 0;
   };
 
   /// Where a live id is stored.
@@ -164,7 +213,25 @@ class LiveIndex {
   };
 
   void AppendDeltaLocked(int id, search::Code code,
-                         std::vector<float> embedding);
+                         std::vector<float> embedding,
+                         std::vector<int8_t> qrow);
+  /// Quantizes `embedding` under the shard params for a delta append,
+  /// calibrating the params from this very row when none exist yet (cold
+  /// start). kInvalidArgument on non-finite values, kind of failure the
+  /// caller must surface BEFORE mutating anything. `*qrow` stays empty for
+  /// an empty embedding (entry without one).
+  Status QuantizeForAppendLocked(const std::vector<float>& embedding,
+                                 std::vector<int8_t>* qrow);
+  /// True when any value of `row` falls outside the current calibration
+  /// range (NaN compares false on purpose: QuantizeRow rejects it later
+  /// without touching the params).
+  bool RowExpandsRangeLocked(const float* row) const;
+  /// Widens the params to (old range ∪ `row`) and requantizes every delta
+  /// row in place onto the new lattice (each stored value moves by at most
+  /// half a new step). Only legal while the base holds no embedding rows —
+  /// base epochs are read outside the lock by compaction and can never be
+  /// rewritten. kInvalidArgument (state untouched) on a non-finite row.
+  Status ExpandParamsLocked(const float* row);
   bool NeedsCompactionLocked() const;
   std::vector<search::Neighbor> BaseTopKLocked(const search::Code& query,
                                                int k, const Deadline& deadline,
@@ -183,6 +250,15 @@ class LiveIndex {
   std::vector<uint8_t> delta_dead_;      // by delta row
   int delta_dead_count_ = 0;
   std::vector<std::vector<float>> delta_embeddings_;
+  // Quantize mode: the delta's int8 rows + has-embedding flags (row-aligned
+  // with delta_ids_; delta_embeddings_ stays empty), and the ONE param set
+  // every row of the shard (base + delta) is quantized under — zero-points
+  // must cancel in quantized distances, which only holds within one param
+  // set. Compaction installs rebuilt params together with the new base.
+  quant::QuantizationParams qparams_;
+  std::unique_ptr<quant::QuantizedMatrix> delta_qrows_;
+  std::vector<uint8_t> delta_has_emb_;
+  mutable quant::RerankCounters rerank_counters_;
   std::unordered_map<int, Loc> loc_;     // live ids only
 
   std::atomic<bool> compaction_in_flight_{false};

@@ -1,0 +1,148 @@
+#include "quant/quantized_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "common/check.h"
+
+namespace traj2hash::quant {
+
+namespace {
+
+/// int8 rows share the code/embedding stores' 32-byte row alignment.
+constexpr int kRowPadBytes = static_cast<int>(kKernelRowAlignment);
+
+int PaddedStride(int cols) {
+  return (cols + kRowPadBytes - 1) / kRowPadBytes * kRowPadBytes;
+}
+
+}  // namespace
+
+Status QuantizationParams::QuantizeRow(const float* row, int8_t* out) const {
+  const int d = dim();
+  for (int j = 0; j < d; ++j) {
+    if (!std::isfinite(row[j])) {
+      return Status::InvalidArgument(
+          "non-finite embedding value at dim " + std::to_string(j) +
+          " cannot be quantized");
+    }
+  }
+  for (int j = 0; j < d; ++j) {
+    // Double intermediate: one rounding at the lround, so the in-range
+    // round-trip error stays ≤ s_j / 2 (plus float dequant rounding).
+    const double q = std::lround(static_cast<double>(row[j]) / scale[j] -
+                                 static_cast<double>(zero_point[j]));
+    out[j] = static_cast<int8_t>(q < -128.0 ? -128 : (q > 127.0 ? 127 : q));
+  }
+  return Status::Ok();
+}
+
+void QuantizationParams::DequantizeRow(const int8_t* row, float* out) const {
+  const int d = dim();
+  for (int j = 0; j < d; ++j) {
+    out[j] = scale[j] * (static_cast<float>(row[j]) + zero_point[j]);
+  }
+}
+
+Result<QuantizationParams> QuantizationParams::Compute(
+    const std::vector<std::vector<float>>& rows, int dim) {
+  ParamsBuilder builder(dim);
+  for (const std::vector<float>& row : rows) {
+    T2H_CHECK_EQ(static_cast<int>(row.size()), dim);
+    if (const Status s = builder.Add(row.data()); !s.ok()) return s;
+  }
+  return builder.Build();
+}
+
+Result<QuantizationParams> QuantizationParams::Compute(const float* rows,
+                                                       int n, int dim,
+                                                       int stride) {
+  ParamsBuilder builder(dim);
+  for (int i = 0; i < n; ++i) {
+    if (const Status s = builder.Add(rows + static_cast<size_t>(i) * stride);
+        !s.ok()) {
+      return s;
+    }
+  }
+  return builder.Build();
+}
+
+ParamsBuilder::ParamsBuilder(int dim)
+    : dim_(dim),
+      min_(dim, std::numeric_limits<float>::infinity()),
+      max_(dim, -std::numeric_limits<float>::infinity()) {
+  T2H_CHECK_GE(dim, 1);
+}
+
+Status ParamsBuilder::Add(const float* row) {
+  for (int j = 0; j < dim_; ++j) {
+    if (!std::isfinite(row[j])) {
+      return Status::InvalidArgument(
+          "non-finite embedding value at dim " + std::to_string(j) +
+          " cannot calibrate quantization");
+    }
+  }
+  for (int j = 0; j < dim_; ++j) {
+    min_[j] = std::min(min_[j], row[j]);
+    max_[j] = std::max(max_[j], row[j]);
+  }
+  ++rows_seen_;
+  return Status::Ok();
+}
+
+Result<QuantizationParams> ParamsBuilder::Build() const {
+  if (rows_seen_ == 0) {
+    return Status::FailedPrecondition(
+        "quantization params need at least one calibration row");
+  }
+  QuantizationParams p;
+  p.scale.resize(dim_);
+  p.zero_point.resize(dim_);
+  p.scale_sq.resize(dim_);
+  for (int j = 0; j < dim_; ++j) {
+    float lo = min_[j];
+    float hi = max_[j];
+    if (lo == hi) {
+      // Constant dimension: widen to [c − ½, c + ½] so the step stays
+      // positive (1/255) and the constant lands mid-lattice.
+      lo -= 0.5f;
+      hi += 0.5f;
+    }
+    const float s = (hi - lo) / 255.0f;
+    p.scale[j] = s;
+    p.zero_point[j] = lo / s + 128.0f;
+    p.scale_sq[j] = s * s;
+  }
+  return p;
+}
+
+QuantizedMatrix::QuantizedMatrix(int cols)
+    : cols_(cols), stride_(PaddedStride(cols)) {
+  T2H_CHECK_GE(cols, 1);
+}
+
+int QuantizedMatrix::Append(const int8_t* row) {
+  const int id = num_rows_;
+  data_.resize(data_.size() + stride_, 0);
+  std::memcpy(data_.data() + static_cast<size_t>(id) * stride_, row,
+              static_cast<size_t>(cols_));
+  ++num_rows_;
+  return id;
+}
+
+void QuantizedMatrix::OverwriteRow(int i, const int8_t* row) {
+  T2H_CHECK_GE(i, 0);
+  T2H_CHECK_LT(i, num_rows_);
+  std::memcpy(data_.data() + static_cast<size_t>(i) * stride_, row,
+              static_cast<size_t>(cols_));
+}
+
+std::vector<int8_t> QuantizedMatrix::RowAt(int i) const {
+  const int8_t* r = row(i);
+  return std::vector<int8_t>(r, r + cols_);
+}
+
+}  // namespace traj2hash::quant

@@ -1,0 +1,134 @@
+#ifndef TRAJ2HASH_QUANT_QUANTIZED_MATRIX_H_
+#define TRAJ2HASH_QUANT_QUANTIZED_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/status.h"
+
+namespace traj2hash::quant {
+
+/// Per-dimension affine int8 quantization parameters (DESIGN.md §17).
+///
+/// Dimension j maps float x to q = clamp(round(x / s_j − zp_j), −128, 127)
+/// and back to x̂ = s_j · (q + zp_j), with step s_j = (max_j − min_j) / 255
+/// from the calibration rows and a FLOAT zero-point zp_j = min_j / s_j + 128
+/// (kept unrounded so the calibration range maps exactly onto [−128, 127]).
+/// For any x inside the calibration range the round-trip error is ≤ s_j / 2;
+/// values outside saturate at the range edge. A constant (zero-range)
+/// dimension is widened to [c − ½, c + ½] so s_j stays positive (step
+/// 1/255, error ≤ 1/510).
+///
+/// Because every row of one store shares these params, the zero-points
+/// cancel in distances: x̂ − ŷ = s_j · (q_x − q_y), which is why
+/// search::kernels::QuantizedL2Scan needs only the squared steps
+/// (`scale_sq`) and the raw int8 rows.
+///
+/// Non-finite calibration or row values (NaN / ±inf) are rejected with
+/// kInvalidArgument at quantize time — a NaN row would silently corrupt
+/// every later distance, so it must never enter the store.
+struct QuantizationParams {
+  std::vector<float> scale;       ///< per-dim step s_j > 0
+  std::vector<float> zero_point;  ///< per-dim float zero-point zp_j
+  /// s_j² contiguous for the scan kernel (32B-aligned like every kernel
+  /// operand; the kernel indexes only [0, dim)).
+  AlignedVector<float> scale_sq;
+
+  int dim() const { return static_cast<int>(scale.size()); }
+  bool empty() const { return scale.empty(); }
+
+  /// Quantizes one row of dim() floats into `out` (clamped / saturating).
+  /// kInvalidArgument when the row contains a non-finite value; `out` is
+  /// unspecified then.
+  Status QuantizeRow(const float* row, int8_t* out) const;
+
+  /// Dequantizes one int8 row back to its float lattice values
+  /// (x̂_j = s_j · (q_j + zp_j), computed in float — the deterministic
+  /// ground truth every exact re-check ranks against).
+  void DequantizeRow(const int8_t* row, float* out) const;
+
+  /// One-shot calibration over a nested row store (every row dim floats).
+  static Result<QuantizationParams> Compute(
+      const std::vector<std::vector<float>>& rows, int dim);
+
+  /// One-shot calibration over a flat row-major store (`stride` floats
+  /// between row starts).
+  static Result<QuantizationParams> Compute(const float* rows, int n, int dim,
+                                            int stride);
+};
+
+/// Streaming calibration: feed rows one at a time, then Build(). Used by
+/// compaction (rows arrive from the captured base) and by benches that
+/// cannot hold a second float copy of the corpus.
+class ParamsBuilder {
+ public:
+  explicit ParamsBuilder(int dim);
+
+  /// Accumulates one row's per-dim min/max. kInvalidArgument on a
+  /// non-finite value (the row is not partially applied).
+  Status Add(const float* row);
+
+  /// Finalizes the params (zero-range dims widened). kFailedPrecondition
+  /// when no row was added — an empty store has no calibration range.
+  Result<QuantizationParams> Build() const;
+
+  int rows_seen() const { return rows_seen_; }
+
+ private:
+  int dim_;
+  int rows_seen_ = 0;
+  std::vector<float> min_;
+  std::vector<float> max_;
+};
+
+/// Contiguous row-major int8 storage for quantized embedding rows: the
+/// quarter-width counterpart of search::FlatMatrix, and the resident form
+/// of every embedding in quantize mode.
+///
+/// Same SIMD layout contract as FlatMatrix/PackedCodes (DESIGN.md §14):
+/// 32-byte-aligned buffer, row stride padded to a multiple of 32 bytes,
+/// padding zero-filled.
+class QuantizedMatrix {
+ public:
+  /// Empty matrix with `cols` columns (grows via Append).
+  explicit QuantizedMatrix(int cols);
+
+  /// Appends one row of cols() int8s (padding zero-filled); returns its row
+  /// id.
+  int Append(const int8_t* row);
+
+  /// Overwrites row `i` in place (same width contract as Append).
+  void OverwriteRow(int i, const int8_t* row);
+
+  const int8_t* row(int i) const {
+    const int8_t* r = data_.data() + static_cast<size_t>(i) * stride_;
+    assert((reinterpret_cast<uintptr_t>(r) & (kKernelRowAlignment - 1)) == 0);
+    return r;
+  }
+
+  /// Copies row `i` back out (accessors / tests, not the scan path).
+  std::vector<int8_t> RowAt(int i) const;
+
+  const int8_t* data() const { return data_.data(); }
+  int rows() const { return num_rows_; }
+  int cols() const { return cols_; }
+  /// Bytes between consecutive row starts (cols padded to 32).
+  int stride() const { return stride_; }
+
+  /// Bytes this store keeps resident for its rows — the gauge behind the
+  /// ~4× memory cut (serve reports it per shard).
+  size_t resident_bytes() const { return data_.size() * sizeof(int8_t); }
+
+ private:
+  int cols_ = 0;
+  int stride_ = 0;
+  int num_rows_ = 0;
+  AlignedVector<int8_t> data_;
+};
+
+}  // namespace traj2hash::quant
+
+#endif  // TRAJ2HASH_QUANT_QUANTIZED_MATRIX_H_

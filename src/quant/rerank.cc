@@ -1,0 +1,214 @@
+#include "quant/rerank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "search/flat_storage.h"
+#include "search/kernels.h"
+
+namespace traj2hash::quant {
+namespace {
+
+/// Float-arithmetic guard margins on top of the mathematically derived
+/// band. The derivation is exact in real arithmetic; these absorb the
+/// float rounding of the dequantized lattice, the kernels' per-path
+/// accumulation orders and the sqrt — small enough to keep the band tight,
+/// large enough that the runtime band-honored check only fires on genuine
+/// pathologies (and even then the fallback keeps the result exact).
+constexpr double kRelSlack = 1e-6;
+constexpr double kAbsSlack = 1e-12;
+
+/// Upper bound on ‖x̂_fl − x̂‖₂ over any lattice point: each stored float
+/// lattice value fl(s·(q + zp)) is within 2⁻²⁴ relative of the real lattice
+/// value, whose magnitude is ≤ s·(|zp| + 128.5). Stage 1 measures distances
+/// between real lattice points, stage 2 between their float forms; this
+/// slack (doubled by the caller for the two endpoints) bridges the two.
+double LatticeSlack(const QuantizationParams& params) {
+  double sum = 0.0;
+  for (int j = 0; j < params.dim(); ++j) {
+    const double per =
+        std::ldexp(static_cast<double>(params.scale[j]) *
+                       (std::abs(static_cast<double>(params.zero_point[j])) +
+                        128.5),
+                   -23);
+    sum += per * per;
+  }
+  return std::sqrt(sum);
+}
+
+/// Exact float top-k over the dequantized lattice rows listed in `rows`
+/// (ascending row indices): the reference the banded path must equal, and
+/// the fallback when the band check fails. Distances are computed by the
+/// same kernels::SquaredL2Scan the plain float path uses, so per-row values
+/// are bit-identical to it.
+std::vector<search::Neighbor> ExactTopK(const QuantizedMatrix& m,
+                                        const QuantizationParams& params,
+                                        const std::vector<float>& query,
+                                        int k, const std::vector<int>& rows) {
+  const int n = static_cast<int>(rows.size());
+  const int dim = m.cols();
+  search::FlatMatrix scratch(dim);
+  std::vector<float> deq(dim);
+  for (const int r : rows) {
+    params.DequantizeRow(m.row(r), deq.data());
+    scratch.Append(deq);
+  }
+  std::vector<double> sq(n);
+  search::kernels::SquaredL2Scan(scratch.data(), query.data(), n, dim,
+                                 scratch.stride(), sq.data());
+  std::vector<search::Neighbor> all;
+  all.reserve(n);
+  for (int p = 0; p < n; ++p) all.push_back({rows[p], std::sqrt(sq[p])});
+  k = std::min(k, n);
+  if (k < n) {
+    std::nth_element(all.begin(), all.begin() + (k - 1), all.end(),
+                     search::NeighborLess);
+    all.resize(k);
+  }
+  std::sort(all.begin(), all.end(), search::NeighborLess);
+  return all;
+}
+
+}  // namespace
+
+RerankSnapshot SnapshotCounters(const RerankCounters& c) {
+  RerankSnapshot s;
+  s.queries = c.queries.load(std::memory_order_relaxed);
+  s.candidates = c.candidates.load(std::memory_order_relaxed);
+  s.rechecked = c.rechecked.load(std::memory_order_relaxed);
+  s.band_violations = c.band_violations.load(std::memory_order_relaxed);
+  s.banded_queries = c.banded_queries.load(std::memory_order_relaxed);
+  s.band_width_sum = c.band_width_sum.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<search::Neighbor> RerankTopK(const QuantizedMatrix& m,
+                                         const QuantizationParams& params,
+                                         const std::vector<float>& query,
+                                         int k, const int* candidates,
+                                         int num_candidates,
+                                         RerankCounters* counters) {
+  T2H_CHECK_EQ(static_cast<int>(query.size()), m.cols());
+  T2H_CHECK_EQ(params.dim(), m.cols());
+  const int dim = m.cols();
+  std::vector<int> rows;
+  if (candidates == nullptr) {
+    rows.resize(m.rows());
+    for (int i = 0; i < m.rows(); ++i) rows[i] = i;
+  } else {
+    rows.assign(candidates, candidates + num_candidates);
+    // Ascending rows fix the tie order (NeighborLess breaks on row index)
+    // independent of how the caller ordered its candidate set.
+    std::sort(rows.begin(), rows.end());
+  }
+  const int n = static_cast<int>(rows.size());
+  if (n == 0 || k <= 0) return {};
+  if (counters != nullptr) {
+    counters->queries.fetch_add(1, std::memory_order_relaxed);
+    counters->candidates.fetch_add(static_cast<uint64_t>(n),
+                                   std::memory_order_relaxed);
+  }
+
+  // Quantize the query onto the shared lattice; ŷ and the EXACT per-query
+  // error eps = ‖ŷ − y‖₂ are what make the band provable rather than
+  // heuristic. A non-finite query cannot be quantized — serve that exactly.
+  std::vector<int8_t> qbuf(dim);
+  if (!params.QuantizeRow(query.data(), qbuf.data()).ok()) {
+    if (counters != nullptr) {
+      counters->rechecked.fetch_add(static_cast<uint64_t>(n),
+                                    std::memory_order_relaxed);
+    }
+    return ExactTopK(m, params, query, k, rows);
+  }
+  std::vector<float> yhat(dim);
+  params.DequantizeRow(qbuf.data(), yhat.data());
+  double eps_sq = 0.0;
+  for (int j = 0; j < dim; ++j) {
+    const double d = static_cast<double>(yhat[j]) - query[j];
+    eps_sq += d * d;
+  }
+  const double eps = std::sqrt(eps_sq);
+  const double lattice_slack = LatticeSlack(params);
+
+  // Stage 1: quantized L2 over every candidate — int8 rows and the squared
+  // per-dim steps only, no float row is touched.
+  std::vector<double> dtilde(n);
+  if (candidates == nullptr) {
+    search::kernels::QuantizedL2Scan(m.data(), qbuf.data(),
+                                     params.scale_sq.data(), n, dim,
+                                     m.stride(), dtilde.data());
+  } else {
+    AlignedVector<int8_t> gathered(static_cast<size_t>(n) * m.stride(), 0);
+    for (int p = 0; p < n; ++p) {
+      std::copy_n(m.row(rows[p]), dim,
+                  gathered.data() + static_cast<size_t>(p) * m.stride());
+    }
+    search::kernels::QuantizedL2Scan(gathered.data(), qbuf.data(),
+                                     params.scale_sq.data(), n, dim,
+                                     m.stride(), dtilde.data());
+  }
+  std::vector<double> rt(n);
+  for (int p = 0; p < n; ++p) rt[p] = std::sqrt(dtilde[p]);
+
+  if (n <= k) {
+    if (counters != nullptr) {
+      counters->rechecked.fetch_add(static_cast<uint64_t>(n),
+                                    std::memory_order_relaxed);
+    }
+    return ExactTopK(m, params, query, k, rows);
+  }
+
+  // The band: T = k-th smallest quantized distance; any row whose true
+  // distance could still reach the top-k satisfies r ≤ T + 2·eps
+  // (|r − r̃| ≤ eps both ways), widened by the float slack margins.
+  std::vector<double> sel(rt);
+  std::nth_element(sel.begin(), sel.begin() + (k - 1), sel.end());
+  const double t_k = sel[k - 1];
+  const double band_core = t_k + 2.0 * eps + 2.0 * lattice_slack;
+  const double band_limit = band_core + kRelSlack * band_core + kAbsSlack;
+
+  std::vector<int> band;
+  band.reserve(static_cast<size_t>(k) * 2);
+  double min_excluded = std::numeric_limits<double>::infinity();
+  for (int p = 0; p < n; ++p) {
+    if (rt[p] <= band_limit) {
+      band.push_back(rows[p]);
+    } else {
+      min_excluded = std::min(min_excluded, rt[p]);
+    }
+  }
+  if (counters != nullptr) {
+    counters->rechecked.fetch_add(band.size(), std::memory_order_relaxed);
+    counters->banded_queries.fetch_add(1, std::memory_order_relaxed);
+    counters->band_width_sum.fetch_add(band_limit - t_k,
+                                       std::memory_order_relaxed);
+  }
+
+  // Stage 2: exact float re-check of the band only.
+  std::vector<search::Neighbor> result = ExactTopK(m, params, query, k, band);
+
+  // Band-honored assertion (not assumed): every excluded row's true
+  // distance is ≥ its quantized distance minus the error terms; the k-th
+  // exact distance must strictly clear that floor or the band was too
+  // narrow — re-check everything and count the violation.
+  if (static_cast<int>(band.size()) < n) {
+    const double floor = min_excluded - eps - lattice_slack -
+                         (kRelSlack * (min_excluded + eps) + kAbsSlack);
+    const bool honored =
+        static_cast<int>(result.size()) == std::min(k, static_cast<int>(band.size())) &&
+        !result.empty() && result.back().distance < floor;
+    if (!honored) {
+      if (counters != nullptr) {
+        counters->band_violations.fetch_add(1, std::memory_order_relaxed);
+        counters->rechecked.fetch_add(static_cast<uint64_t>(n),
+                                      std::memory_order_relaxed);
+      }
+      return ExactTopK(m, params, query, k, rows);
+    }
+  }
+  return result;
+}
+
+}  // namespace traj2hash::quant

@@ -1,0 +1,84 @@
+#ifndef TRAJ2HASH_QUANT_RERANK_H_
+#define TRAJ2HASH_QUANT_RERANK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "quant/quantized_matrix.h"
+#include "search/knn.h"
+
+namespace traj2hash::quant {
+
+/// Aggregate two-stage re-ranker counters, shared across serving threads
+/// (relaxed atomics: monitoring only). serve surfaces them as the `quant`
+/// stats block.
+struct RerankCounters {
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> candidates{0};  ///< stage-1 rows scanned quantized
+  std::atomic<uint64_t> rechecked{0};   ///< rows float re-checked (stage 2)
+  /// Banded queries whose runtime band-honored check failed and fell back
+  /// to re-checking every candidate. Zero in practice; correctness never
+  /// depends on it staying zero.
+  std::atomic<uint64_t> band_violations{0};
+  std::atomic<uint64_t> banded_queries{0};  ///< queries that skipped rows
+  /// Σ of the band half-width (band_limit − T, distance units) over banded
+  /// queries — mean band width = band_width_sum / banded_queries.
+  std::atomic<double> band_width_sum{0.0};
+};
+
+/// One consistent read of RerankCounters.
+struct RerankSnapshot {
+  uint64_t queries = 0;
+  uint64_t candidates = 0;
+  uint64_t rechecked = 0;
+  uint64_t band_violations = 0;
+  uint64_t banded_queries = 0;
+  double band_width_sum = 0.0;
+
+  /// Fraction of stage-1 candidates that needed the exact float re-check.
+  double recheck_rate() const {
+    return candidates > 0
+               ? static_cast<double>(rechecked) / static_cast<double>(candidates)
+               : 0.0;
+  }
+  double mean_band_width() const {
+    return banded_queries > 0 ? band_width_sum / static_cast<double>(banded_queries)
+                              : 0.0;
+  }
+};
+
+RerankSnapshot SnapshotCounters(const RerankCounters& c);
+
+/// Exact top-k by Euclidean distance over the DEQUANTIZED lattice rows of
+/// `m`, restricted to `candidates` (nullptr = all rows of `m`), bit-identical
+/// to search::TopKEuclidean over a FlatMatrix holding DequantizeRow of every
+/// candidate (DESIGN.md §17).
+///
+/// Two stages: (1) the quantized-L2 kernel ranks every candidate without
+/// touching floats; (2) the boundary band — everything within the k-th
+/// quantized distance plus twice the query's own quantization error (an
+/// exact per-query bound: eps = ‖ŷ − y‖₂, known because ŷ is computed) —
+/// is dequantized and re-checked with the exact float kernel. Rows outside
+/// the band provably lose by the triangle inequality. The band invariant is
+/// ASSERTED at run time (k-th exact distance strictly clears the cheapest
+/// excluded quantized distance minus eps); a violation — only reachable
+/// through float-rounding pathologies the slack margins should already
+/// cover — falls back to re-checking every candidate, so the result is
+/// exact either way, and is counted in `counters->band_violations`.
+///
+/// Returned Neighbor::index values are ROW indices into `m` (positions in
+/// `candidates` mapped back), distances are sqrt of the exact squared L2 —
+/// the same value the float path would produce. Ties break by ascending row
+/// index. `query` values must be finite; a non-finite query falls back to
+/// the exact all-candidates path.
+std::vector<search::Neighbor> RerankTopK(const QuantizedMatrix& m,
+                                         const QuantizationParams& params,
+                                         const std::vector<float>& query,
+                                         int k, const int* candidates,
+                                         int num_candidates,
+                                         RerankCounters* counters = nullptr);
+
+}  // namespace traj2hash::quant
+
+#endif  // TRAJ2HASH_QUANT_RERANK_H_

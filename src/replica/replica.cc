@@ -56,7 +56,8 @@ Replica::Replica(const Primary* primary,
 std::shared_ptr<serve::ShardedIndex> Replica::MakeIndex() const {
   return std::make_shared<serve::ShardedIndex>(
       options_.num_shards, primary_->num_bits(), options_.strategy,
-      options_.mih_substrings);
+      options_.mih_substrings, /*compact_min_ops=*/64, /*compact_ratio=*/0.25,
+      options_.quantize, options_.embedding_dim);
 }
 
 std::shared_ptr<const serve::ShardedIndex> Replica::index() const {

@@ -75,6 +75,16 @@ struct ReplicaOptions {
   int num_shards = 4;
   search::SearchStrategy strategy = search::SearchStrategy::kMih;
   int mih_substrings = 0;
+  /// Store the replica's embedding lattice as per-dim int8 rows
+  /// (DESIGN.md §17; requires embedding_dim > 0). Independent of the
+  /// primary's mode: WAL records and snapshots carry float embeddings (v3
+  /// snapshots dequantize on load), and each Upsert re-quantizes under the
+  /// replica's own per-shard params. Hamming reads keep the bit-identity
+  /// contract above; re-rank reads are exact over the REPLICA's lattice,
+  /// which is NOT claimed bit-identical to the primary's (different
+  /// calibration histories may yield different per-shard params).
+  bool quantize = false;
+  int embedding_dim = 0;
 };
 
 /// The replica role: a read-only copy of the primary's database that

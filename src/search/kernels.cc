@@ -43,4 +43,10 @@ void SquaredL2Scan(const float* db, const float* query, int n, int dim,
   Active().squared_l2_scan(db, query, n, dim, stride, out);
 }
 
+void QuantizedL2Scan(const int8_t* db, const int8_t* query,
+                     const float* scale_sq, int n, int dim, int stride,
+                     double* out) {
+  Active().quantized_l2_scan(db, query, scale_sq, n, dim, stride, out);
+}
+
 }  // namespace traj2hash::search::kernels

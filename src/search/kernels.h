@@ -39,6 +39,22 @@ int HammingDistanceRow(const uint64_t* a, const uint64_t* b,
 void SquaredL2Scan(const float* db, const float* query, int n, int dim,
                    int stride, double* out);
 
+/// out[i] = Σ_j scale_sq[j] · (db_ij − query_j)² as double — the squared
+/// Euclidean distance between the DEQUANTIZED forms of db row i and `query`,
+/// both int8 rows quantized under the same per-dimension affine params
+/// (quant/quantized_matrix.h). The shared zero-points cancel in the
+/// difference, so the scan needs only the squared per-dim steps
+/// (`scale_sq[j] = s_j²`) — no dequantization on the hot path. Rows start
+/// `stride` BYTES apart (QuantizedMatrix pads stride to 32 B).
+///
+/// Same determinism contract as SquaredL2Scan: the int8 difference and its
+/// square are exact on every backend; each backend fixes its own
+/// accumulation order (scalar = ascending-j double chain), deterministic
+/// per path, equal across paths only to a relative epsilon.
+void QuantizedL2Scan(const int8_t* db, const int8_t* query,
+                     const float* scale_sq, int n, int dim, int stride,
+                     double* out);
+
 }  // namespace traj2hash::search::kernels
 
 #endif  // TRAJ2HASH_SEARCH_KERNELS_H_

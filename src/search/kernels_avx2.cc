@@ -221,6 +221,49 @@ void SquaredL2Scan(const float* db, const float* query, int n, int dim,
   }
 }
 
+void QuantizedL2Scan(const int8_t* db, const int8_t* query,
+                     const float* scale_sq, int n, int dim, int stride,
+                     double* out) {
+  const int d8 = dim & ~7;
+  for (int i = 0; i < n; ++i) {
+    const int8_t* __restrict row = db + static_cast<long>(i) * stride;
+    __m256d acc_lo = _mm256_setzero_pd();
+    __m256d acc_hi = _mm256_setzero_pd();
+    for (int j = 0; j < d8; j += 8) {
+      // 8 int8s → exact integers in float lanes; difference and square stay
+      // exact (|d| ≤ 255, d² < 2²⁴). The squared-step multiply happens in
+      // DOUBLE — widening d² and scale_sq first is exact, so the per-term
+      // value is bit-identical to the scalar backend's
+      // double(scale_sq) * (d*d), and cross-backend divergence can only
+      // come from the fixed fold order.
+      const __m256 rf = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(row + j))));
+      const __m256 qf = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(query + j))));
+      const __m256 d = _mm256_sub_ps(rf, qf);
+      const __m256 d2 = _mm256_mul_ps(d, d);
+      const __m256 s = _mm256_loadu_ps(scale_sq + j);
+      acc_lo = _mm256_add_pd(
+          acc_lo,
+          _mm256_mul_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(d2)),
+                        _mm256_cvtps_pd(_mm256_castps256_ps128(s))));
+      acc_hi = _mm256_add_pd(
+          acc_hi,
+          _mm256_mul_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(d2, 1)),
+                        _mm256_cvtps_pd(_mm256_extractf128_ps(s, 1))));
+    }
+    const __m256d s4 = _mm256_add_pd(acc_lo, acc_hi);
+    const __m128d s2 = _mm_add_pd(_mm256_castpd256_pd128(s4),
+                                  _mm256_extractf128_pd(s4, 1));
+    double acc = _mm_cvtsd_f64(_mm_add_sd(s2, _mm_unpackhi_pd(s2, s2)));
+    for (int j = d8; j < dim; ++j) {
+      const int diff = row[j] - query[j];
+      acc += static_cast<double>(scale_sq[j]) * (diff * diff);
+    }
+    out[i] = acc;
+  }
+}
+
 }  // namespace
 }  // namespace avx2
 
@@ -229,6 +272,7 @@ const Backend& Avx2Backend() {
       avx2::HammingScan,
       avx2::HammingDistanceRow,
       avx2::SquaredL2Scan,
+      avx2::QuantizedL2Scan,
   };
   return backend;
 }

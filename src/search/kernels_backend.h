@@ -24,6 +24,9 @@ struct Backend {
                               int words_per_code);
   void (*squared_l2_scan)(const float* db, const float* query, int n, int dim,
                           int stride, double* out);
+  void (*quantized_l2_scan)(const int8_t* db, const int8_t* query,
+                            const float* scale_sq, int n, int dim, int stride,
+                            double* out);
 };
 
 /// Strict ascending-order loops — bit-identical to the pre-dispatch seed.

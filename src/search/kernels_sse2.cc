@@ -89,6 +89,60 @@ void SquaredL2Scan(const float* db, const float* query, int n, int dim,
   }
 }
 
+/// Sign-extends 8 int8s at `p` into two 4-lane float vectors (exact small
+/// integers). SSE2 has no cvtepi8 — the unpack-with-self + arithmetic shift
+/// idiom extends without SSE4.1.
+inline void LoadInt8AsPs(const int8_t* p, __m128* lo, __m128* hi) {
+  const __m128i v = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+  const __m128i s16 = _mm_srai_epi16(_mm_unpacklo_epi8(v, v), 8);
+  *lo = _mm_cvtepi32_ps(_mm_srai_epi32(_mm_unpacklo_epi16(s16, s16), 16));
+  *hi = _mm_cvtepi32_ps(_mm_srai_epi32(_mm_unpackhi_epi16(s16, s16), 16));
+}
+
+void QuantizedL2Scan(const int8_t* db, const int8_t* query,
+                     const float* scale_sq, int n, int dim, int stride,
+                     double* out) {
+  const int d8 = dim & ~7;
+  for (int i = 0; i < n; ++i) {
+    const int8_t* __restrict row = db + static_cast<long>(i) * stride;
+    __m128d acc_a = _mm_setzero_pd();
+    __m128d acc_b = _mm_setzero_pd();
+    for (int j = 0; j < d8; j += 8) {
+      __m128 rlo, rhi, qlo, qhi;
+      LoadInt8AsPs(row + j, &rlo, &rhi);
+      LoadInt8AsPs(query + j, &qlo, &qhi);
+      // Exact integer difference and square in float (|d| ≤ 255, d² < 2²⁴).
+      // The squared-step weight multiplies in DOUBLE (widening d² and
+      // scale_sq is exact), so each term is bit-identical to the scalar
+      // backend's double(scale_sq) * (d*d); only the fixed fold order
+      // (lanes {0,1}+{4,5} chain, lanes {2,3}+{6,7} chain) differs.
+      const __m128 dlo = _mm_sub_ps(rlo, qlo);
+      const __m128 dhi = _mm_sub_ps(rhi, qhi);
+      const __m128 d2lo = _mm_mul_ps(dlo, dlo);
+      const __m128 d2hi = _mm_mul_ps(dhi, dhi);
+      const __m128 slo = _mm_loadu_ps(scale_sq + j);
+      const __m128 shi = _mm_loadu_ps(scale_sq + j + 4);
+      acc_a = _mm_add_pd(
+          acc_a,
+          _mm_add_pd(_mm_mul_pd(_mm_cvtps_pd(d2lo), _mm_cvtps_pd(slo)),
+                     _mm_mul_pd(_mm_cvtps_pd(d2hi), _mm_cvtps_pd(shi))));
+      acc_b = _mm_add_pd(
+          acc_b,
+          _mm_add_pd(_mm_mul_pd(_mm_cvtps_pd(_mm_movehl_ps(d2lo, d2lo)),
+                                _mm_cvtps_pd(_mm_movehl_ps(slo, slo))),
+                     _mm_mul_pd(_mm_cvtps_pd(_mm_movehl_ps(d2hi, d2hi)),
+                                _mm_cvtps_pd(_mm_movehl_ps(shi, shi)))));
+    }
+    const __m128d s = _mm_add_pd(acc_a, acc_b);
+    double acc = _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+    for (int j = d8; j < dim; ++j) {
+      const int d = row[j] - query[j];
+      acc += static_cast<double>(scale_sq[j]) * (d * d);
+    }
+    out[i] = acc;
+  }
+}
+
 }  // namespace
 }  // namespace sse2
 
@@ -97,6 +151,7 @@ const Backend& Sse2Backend() {
       sse2::HammingScan,
       sse2::HammingDistanceRow,
       sse2::SquaredL2Scan,
+      sse2::QuantizedL2Scan,
   };
   return backend;
 }

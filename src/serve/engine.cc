@@ -1,5 +1,6 @@
 #include "serve/engine.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <functional>
 #include <mutex>
@@ -16,7 +17,8 @@ QueryEngine::QueryEngine(const core::Traj2Hash* model,
       options_(options),
       index_(options.num_shards, model != nullptr ? model->config().dim : 1,
              options.strategy, options.mih_substrings,
-             options.compact_min_ops, options.compact_ratio),
+             options.compact_min_ops, options.compact_ratio, options.quantize,
+             model != nullptr ? model->config().dim : 1),
       pool_(options.num_threads),
       admission_(options.queue_depth, options.overload_policy) {
   T2H_CHECK(model != nullptr);
@@ -265,6 +267,34 @@ QueryResult QueryEngine::Query(const traj::Trajectory& query, int k,
   return result;
 }
 
+QueryResult QueryEngine::QueryRerank(const traj::Trajectory& query, int k) {
+  T2H_CHECK_GE(k, 1);
+  const Status admitted = admission_.Admit();
+  if (!admitted.ok()) {
+    QueryResult shed;
+    shed.complete = false;
+    shed.status = admitted;
+    return shed;
+  }
+  Stopwatch total;
+  Stopwatch stage;
+  const std::vector<float> embedding = model_->Embed(query);
+  const search::Code code = search::PackSigns(embedding);
+  stats_.Record(Stage::kEncode, stage.ElapsedMicros());
+  const int candidates = options_.rerank_candidates > 0
+                             ? options_.rerank_candidates
+                             : std::max(8 * k, 64);
+  stage.Restart();
+  QueryResult result;
+  result.neighbors =
+      index_.QueryRerankTopK(code, embedding, k, candidates,
+                             index_.num_shards() > 1 ? &pool_ : nullptr);
+  stats_.Record(Stage::kProbe, stage.ElapsedMicros());
+  stats_.Record(Stage::kTotal, total.ElapsedMicros());
+  admission_.Release();
+  return result;
+}
+
 std::vector<QueryResult> QueryEngine::QueryBatch(
     const std::vector<traj::Trajectory>& queries, int k,
     const QueryOptions& options) {
@@ -427,6 +457,20 @@ FrontendSnapshot QueryEngine::frontend_stats() const {
     s.cache_bytes = cache_->bytes();
   }
   s.epoch = index_.mutation_epoch();
+  return s;
+}
+
+QuantSnapshot QueryEngine::quant_stats() const {
+  QuantSnapshot s;
+  s.quantize = index_.quantize();
+  s.resident_bytes = index_.embedding_resident_bytes();
+  const quant::RerankSnapshot r = index_.rerank_stats();
+  s.rerank_queries = r.queries;
+  s.rerank_candidates = r.candidates;
+  s.rechecked = r.rechecked;
+  s.band_violations = r.band_violations;
+  s.requant_recheck_rate = r.recheck_rate();
+  s.band_width = r.mean_band_width();
   return s;
 }
 

@@ -54,6 +54,15 @@ struct QueryEngineOptions {
   /// top of cache_entries, so long-geometry workloads cannot blow past the
   /// budget while staying under the entry count.
   size_t cache_max_bytes = 0;
+  /// Quantized embedding store (DESIGN.md §17): embeddings live as per-dim
+  /// int8 rows (~4× fewer resident bytes) and QueryRerank runs the
+  /// two-stage quantized re-ranker, bit-identical to a float scan over the
+  /// stored lattice. Hamming serving (Query/QueryBatch) is unaffected —
+  /// codes are never quantized.
+  bool quantize = false;
+  /// Hamming candidates each shard re-ranks per QueryRerank;
+  /// 0 = max(8·k, 64).
+  int rerank_candidates = 0;
 };
 
 /// Per-query degradation knobs, threaded through Query/QueryBatch down to
@@ -145,6 +154,15 @@ class QueryEngine {
       const std::vector<traj::Trajectory>& queries, int k,
       const QueryOptions& options = QueryOptions());
 
+  /// Euclidean re-rank query: embeds `query`, takes each shard's
+  /// `rerank_candidates` Hamming-nearest entries and re-ranks them by
+  /// embedding distance (ShardedIndex::QueryRerankTopK — the two-stage
+  /// quantized re-ranker under `quantize`, the exact float scan otherwise).
+  /// Runs to completion once admitted (no deadline degradation — the
+  /// re-rank stage is bounded by rerank_candidates per shard); subject to
+  /// admission control like Query.
+  QueryResult QueryRerank(const traj::Trajectory& query, int k);
+
   /// Checkpoints the encoded corpus (codes + embeddings, crash-safely) /
   /// restores it without re-encoding. Load requires an empty engine; see
   /// ShardedIndex::{Save,Load}Snapshot for the format and failure modes.
@@ -180,6 +198,11 @@ class QueryEngine {
   /// Front-end (coalescer + result cache) counters, plus the current
   /// mutation epoch. Zeros where the corresponding feature is disabled.
   FrontendSnapshot frontend_stats() const;
+
+  /// Quantized-store gauge + two-stage re-ranker counters (DESIGN.md §17).
+  /// `resident_bytes` is meaningful in float mode too — it is the
+  /// comparison baseline for the ~4× cut.
+  QuantSnapshot quant_stats() const;
 
   /// Index mutation epoch (see ShardedIndex::mutation_epoch).
   uint64_t mutation_epoch() const { return index_.mutation_epoch(); }

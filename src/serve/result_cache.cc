@@ -48,7 +48,10 @@ void ResultCache::InsertLocked(const std::string& key, uint64_t epoch,
   if (it != index_.end()) {
     bytes_ -= EntryBytes(it->second->key, it->second->result);
     it->second->epoch = epoch;
-    it->second->result = result;
+    // Exact-capacity copy: plain assignment would keep a larger old
+    // allocation alive when the new result is smaller, silently drifting
+    // the gauge from the true footprint.
+    std::vector<search::Neighbor>(result).swap(it->second->result);
     bytes_ += EntryBytes(key, result);
     lru_.splice(lru_.begin(), lru_, it->second);
     insertions_.fetch_add(1, std::memory_order_relaxed);

@@ -45,8 +45,9 @@ namespace traj2hash::serve {
 ///
 /// Memory is bounded two ways: by entry count (`capacity`) and by an
 /// approximate byte budget (`max_bytes`, 0 = unbounded). Each entry is
-/// charged EntryBytes — key bytes (which embed the query geometry) + k
-/// stored neighbours + fixed node overhead — and the LRU tail is evicted
+/// charged EntryBytes — both stored copies of the key bytes (which embed
+/// the query geometry) + k stored neighbours + fixed node overhead — and
+/// the LRU tail is evicted
 /// until both bounds hold, so a workload of long-geometry queries cannot
 /// blow past the budget by staying under the entry count.
 ///
@@ -124,11 +125,17 @@ class ResultCache {
   size_t bytes() const;
   size_t max_bytes() const { return max_bytes_; }
 
-  /// The byte charge of one entry: key + stored neighbours + fixed
-  /// list/map node overhead. Static so tests can predict eviction points.
+  /// The byte charge of one entry, matching what an entry actually holds:
+  /// the key bytes TWICE (one copy lives in the list Entry, one is the
+  /// unordered_map key), the stored neighbours at their real row width
+  /// (sizeof(search::Neighbor), not a float-per-row guess — a Neighbor
+  /// carries an index plus a double distance), and a fixed list/map node
+  /// overhead. InsertLocked keeps the stored vector's capacity equal to its
+  /// size so the charge never drifts from the live allocation. Static so
+  /// tests can predict eviction points.
   static size_t EntryBytes(const std::string& key,
                            const std::vector<search::Neighbor>& result) {
-    return key.size() + result.size() * sizeof(search::Neighbor) +
+    return 2 * key.size() + result.size() * sizeof(search::Neighbor) +
            kEntryOverheadBytes;
   }
   static constexpr size_t kEntryOverheadBytes = 96;

@@ -15,8 +15,12 @@ namespace traj2hash::serve {
 
 ShardedIndex::ShardedIndex(int num_shards, int num_bits,
                            search::SearchStrategy strategy, int mih_substrings,
-                           int compact_min_ops, double compact_ratio)
-    : num_bits_(num_bits), strategy_(strategy) {
+                           int compact_min_ops, double compact_ratio,
+                           bool quantize, int embedding_dim)
+    : num_bits_(num_bits),
+      strategy_(strategy),
+      quantize_(quantize),
+      embedding_dim_(embedding_dim) {
   T2H_CHECK_GE(num_shards, 1);
   T2H_CHECK_GT(num_bits, 0);
   ingest::LiveIndexOptions options;
@@ -25,6 +29,8 @@ ShardedIndex::ShardedIndex(int num_shards, int num_bits,
   options.mih_substrings = mih_substrings;
   options.compact_min_ops = compact_min_ops;
   options.compact_ratio = compact_ratio;
+  options.quantize = quantize;
+  options.embedding_dim = embedding_dim;
   shards_.reserve(num_shards);
   for (int s = 0; s < num_shards; ++s) {
     shards_.push_back(std::make_unique<ingest::LiveIndex>(options));
@@ -231,13 +237,69 @@ std::vector<search::Neighbor> ShardedIndex::QueryTopK(
   return MergeTopK(per_shard, k);
 }
 
+std::vector<search::Neighbor> ShardedIndex::QueryRerankTopK(
+    const search::Code& query, const std::vector<float>& query_embedding,
+    int k, int num_candidates, ThreadPool* pool) const {
+  T2H_CHECK_GE(k, 1);
+  const int s = num_shards();
+  std::vector<std::vector<search::Neighbor>> per_shard(s);
+  const auto probe = [&](int i) {
+    per_shard[i] =
+        shards_[i]->RerankTopK(query, query_embedding, k, num_candidates);
+  };
+  if (pool == nullptr || s == 1) {
+    for (int i = 0; i < s; ++i) probe(i);
+  } else {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(s);
+    for (int i = 0; i < s; ++i) {
+      tasks.push_back([&probe, i] { probe(i); });
+    }
+    pool->RunAll(std::move(tasks));
+  }
+  return MergeTopK(per_shard, k);
+}
+
+size_t ShardedIndex::embedding_resident_bytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->embedding_resident_bytes();
+  }
+  return total;
+}
+
+quant::RerankSnapshot ShardedIndex::rerank_stats() const {
+  quant::RerankSnapshot sum;
+  for (const auto& shard : shards_) {
+    const quant::RerankSnapshot s = shard->rerank_stats();
+    sum.queries += s.queries;
+    sum.candidates += s.candidates;
+    sum.rechecked += s.rechecked;
+    sum.band_violations += s.band_violations;
+    sum.banded_queries += s.banded_queries;
+    sum.band_width_sum += s.band_width_sum;
+  }
+  return sum;
+}
+
 namespace {
 
 // Snapshot file layout (all integers little-endian, the only platform this
 // project targets):
 //   u64 magic "T2HSNAP1" | u32 version | u32 crc32 of everything after it |
-//   version 2 (current): u32 num_bits | u64 next_id | u64 count |
-//     count entries of { u64 global_id, u32 embedding_len,
+//   version 3 (quantized payload, written by quantize-mode indexes;
+//     DESIGN.md §17): u32 num_bits | u64 next_id | u32 dim |
+//     dim f32 scales | dim f32 zero-points | u64 count |
+//     count entries of { u64 global_id, u8 has_embedding,
+//                        words_per_code u64 code words,
+//                        dim int8 values when has_embedding } in ascending
+//     global-id order. The writer requantizes every embedding under the ONE
+//     global param set stored in the header (per-shard params differ); the
+//     loader dequantizes back to floats and feeds the normal insert path,
+//     so either mode can read it. dim = 0 when no entry carries an
+//     embedding (then no params and no per-entry values are stored).
+//   version 2 (current float format): u32 num_bits | u64 next_id |
+//     u64 count | count entries of { u64 global_id, u32 embedding_len,
 //                        words_per_code u64 code words, embedding floats }
 //     in ascending global-id order. Ids in [0, next_id) that are absent are
 //     tombstones — removed (or never-applied) entries stay removed across a
@@ -245,6 +307,7 @@ namespace {
 //   version 1 (legacy, read-only): u32 num_bits | u64 count | count entries
 //     without the id field; ids are dense 0..count-1.
 constexpr uint64_t kSnapshotMagic = 0x31'50'41'4E'53'48'32'54ull;  // T2HSNAP1
+constexpr uint32_t kSnapshotVersionQuantized = 3;
 constexpr uint32_t kSnapshotVersion = 2;
 constexpr uint32_t kSnapshotVersionLegacy = 1;
 
@@ -272,19 +335,59 @@ Status ShardedIndex::SaveSnapshot(const std::string& path) const {
 
   std::string buffer;
   AppendPod(buffer, kSnapshotMagic);
-  AppendPod(buffer, kSnapshotVersion);
+  AppendPod(buffer,
+            quantize_ ? kSnapshotVersionQuantized : kSnapshotVersion);
   const size_t crc_pos = buffer.size();
   AppendPod(buffer, uint32_t{0});  // CRC placeholder, patched below
   AppendPod(buffer, static_cast<uint32_t>(num_bits_));
   AppendPod(buffer, next_id);
-  AppendPod(buffer, static_cast<uint64_t>(entries.size()));
-  for (const ingest::LiveIndex::Entry& e : entries) {
-    AppendPod(buffer, static_cast<uint64_t>(e.id));
-    AppendPod(buffer, static_cast<uint32_t>(e.embedding.size()));
-    buffer.append(reinterpret_cast<const char*>(e.code.words.data()),
-                  e.code.words.size() * sizeof(uint64_t));
-    buffer.append(reinterpret_cast<const char*>(e.embedding.data()),
-                  e.embedding.size() * sizeof(float));
+  if (quantize_) {
+    // One GLOBAL param set over every embedding-bearing entry: the shards'
+    // own params differ (each calibrated from its own rows), so the writer
+    // requantizes the dequantized lattice values onto a shared lattice.
+    quant::ParamsBuilder builder(embedding_dim_);
+    for (const ingest::LiveIndex::Entry& e : entries) {
+      if (static_cast<int>(e.embedding.size()) != embedding_dim_) continue;
+      T2H_CHECK(builder.Add(e.embedding.data()).ok());
+    }
+    quant::QuantizationParams params;
+    uint32_t dim = 0;
+    if (builder.rows_seen() > 0) {
+      auto built = builder.Build();
+      T2H_CHECK(built.ok());
+      params = std::move(built.value());
+      dim = static_cast<uint32_t>(embedding_dim_);
+    }
+    AppendPod(buffer, dim);
+    buffer.append(reinterpret_cast<const char*>(params.scale.data()),
+                  params.scale.size() * sizeof(float));
+    buffer.append(reinterpret_cast<const char*>(params.zero_point.data()),
+                  params.zero_point.size() * sizeof(float));
+    AppendPod(buffer, static_cast<uint64_t>(entries.size()));
+    std::vector<int8_t> qrow(embedding_dim_);
+    for (const ingest::LiveIndex::Entry& e : entries) {
+      AppendPod(buffer, static_cast<uint64_t>(e.id));
+      const bool has =
+          dim > 0 && static_cast<int>(e.embedding.size()) == embedding_dim_;
+      AppendPod(buffer, static_cast<uint8_t>(has ? 1 : 0));
+      buffer.append(reinterpret_cast<const char*>(e.code.words.data()),
+                    e.code.words.size() * sizeof(uint64_t));
+      if (has) {
+        T2H_CHECK(params.QuantizeRow(e.embedding.data(), qrow.data()).ok());
+        buffer.append(reinterpret_cast<const char*>(qrow.data()),
+                      qrow.size() * sizeof(int8_t));
+      }
+    }
+  } else {
+    AppendPod(buffer, static_cast<uint64_t>(entries.size()));
+    for (const ingest::LiveIndex::Entry& e : entries) {
+      AppendPod(buffer, static_cast<uint64_t>(e.id));
+      AppendPod(buffer, static_cast<uint32_t>(e.embedding.size()));
+      buffer.append(reinterpret_cast<const char*>(e.code.words.data()),
+                    e.code.words.size() * sizeof(uint64_t));
+      buffer.append(reinterpret_cast<const char*>(e.embedding.data()),
+                    e.embedding.size() * sizeof(float));
+    }
   }
   const uint32_t crc = Crc32(buffer.data() + crc_pos + sizeof(uint32_t),
                              buffer.size() - crc_pos - sizeof(uint32_t));
@@ -311,12 +414,13 @@ Status ShardedIndex::LoadSnapshot(const std::string& path) {
   if (!header.ok() || magic != kSnapshotMagic) {
     return Status::InvalidArgument("not a traj2hash snapshot file: " + path);
   }
-  if (version != kSnapshotVersion && version != kSnapshotVersionLegacy) {
+  if (version != kSnapshotVersion && version != kSnapshotVersionLegacy &&
+      version != kSnapshotVersionQuantized) {
     return Status::FailedPrecondition(
         "snapshot " + path + " has format version " +
         std::to_string(version) + ", this build reads versions " +
-        std::to_string(kSnapshotVersionLegacy) + " and " +
-        std::to_string(kSnapshotVersion));
+        std::to_string(kSnapshotVersionLegacy) + " through " +
+        std::to_string(kSnapshotVersionQuantized));
   }
   const uint32_t actual_crc =
       Crc32(buffer.data() + kHeaderEnd, buffer.size() - kHeaderEnd);
@@ -328,7 +432,20 @@ Status ShardedIndex::LoadSnapshot(const std::string& path) {
   PayloadReader reader(buffer, kHeaderEnd);
   const auto num_bits = reader.Read<uint32_t>();
   const uint64_t next_id =
-      version == kSnapshotVersion ? reader.Read<uint64_t>() : 0;
+      version != kSnapshotVersionLegacy ? reader.Read<uint64_t>() : 0;
+  // Version 3: the global quantization params the payload rows were written
+  // under; the entries are dequantized right here and flow through the
+  // normal float insert path (which re-quantizes per shard when this index
+  // runs in quantize mode).
+  quant::QuantizationParams v3_params;
+  uint32_t v3_dim = 0;
+  if (version == kSnapshotVersionQuantized) {
+    v3_dim = reader.Read<uint32_t>();
+    v3_params.scale.resize(v3_dim);
+    v3_params.zero_point.resize(v3_dim);
+    reader.ReadBytes(v3_params.scale.data(), v3_dim * sizeof(float));
+    reader.ReadBytes(v3_params.zero_point.data(), v3_dim * sizeof(float));
+  }
   const auto count = reader.Read<uint64_t>();
   if (reader.ok() && static_cast<int>(num_bits) != num_bits_) {
     return Status::InvalidArgument(
@@ -344,23 +461,39 @@ Status ShardedIndex::LoadSnapshot(const std::string& path) {
   std::vector<Loaded> loaded;
   if (reader.ok()) loaded.reserve(count);
   int64_t previous_id = -1;
+  std::vector<int8_t> qrow(v3_dim);
   for (uint64_t i = 0; reader.ok() && i < count; ++i) {
     Loaded entry;
-    entry.id = version == kSnapshotVersion
+    entry.id = version != kSnapshotVersionLegacy
                    ? static_cast<int>(reader.Read<uint64_t>())
                    : static_cast<int>(i);
-    const auto embedding_len = reader.Read<uint32_t>();
-    entry.code.num_bits = num_bits_;
-    entry.code.words.resize(words_per_code);
-    reader.ReadBytes(entry.code.words.data(),
-                     words_per_code * sizeof(uint64_t));
-    entry.embedding.resize(embedding_len);
-    reader.ReadBytes(entry.embedding.data(), embedding_len * sizeof(float));
+    if (version == kSnapshotVersionQuantized) {
+      const auto has = reader.Read<uint8_t>();
+      entry.code.num_bits = num_bits_;
+      entry.code.words.resize(words_per_code);
+      reader.ReadBytes(entry.code.words.data(),
+                       words_per_code * sizeof(uint64_t));
+      if (has != 0) {
+        reader.ReadBytes(qrow.data(), v3_dim * sizeof(int8_t));
+        entry.embedding.resize(v3_dim);
+        if (reader.ok()) {
+          v3_params.DequantizeRow(qrow.data(), entry.embedding.data());
+        }
+      }
+    } else {
+      const auto embedding_len = reader.Read<uint32_t>();
+      entry.code.num_bits = num_bits_;
+      entry.code.words.resize(words_per_code);
+      reader.ReadBytes(entry.code.words.data(),
+                       words_per_code * sizeof(uint64_t));
+      entry.embedding.resize(embedding_len);
+      reader.ReadBytes(entry.embedding.data(), embedding_len * sizeof(float));
+    }
     if (!reader.ok()) break;
     // The CRC vouches for the bytes, so structurally impossible ids mean
     // writer/reader disagreement: surface as data loss, load nothing.
     if (entry.id <= previous_id ||
-        (version == kSnapshotVersion &&
+        (version != kSnapshotVersionLegacy &&
          static_cast<uint64_t>(entry.id) >= next_id)) {
       return Status::DataLoss("snapshot ids are not ascending below the "
                               "next-id watermark: " + path);
@@ -378,7 +511,7 @@ Status ShardedIndex::LoadSnapshot(const std::string& path) {
         entry.id, std::move(entry.code), std::move(entry.embedding));
     T2H_CHECK_MSG(applied.ok(), "snapshot ids are unique by construction");
   }
-  next_id_.store(version == kSnapshotVersion
+  next_id_.store(version != kSnapshotVersionLegacy
                      ? static_cast<int>(next_id)
                      : static_cast<int>(count),
                  std::memory_order_release);

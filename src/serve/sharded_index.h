@@ -46,10 +46,15 @@ class ShardedIndex {
   /// `mih_substrings` tunes the MIH substring count (0 = ceil(B/16)) and is
   /// ignored by the other strategies. `compact_min_ops`/`compact_ratio`
   /// set the per-shard compaction trigger (ingest::LiveIndexOptions).
+  /// `quantize` stores embeddings as per-dim int8 rows (requires
+  /// `embedding_dim` > 0; DESIGN.md §17) — queries through
+  /// QueryRerankTopK stay bit-identical to a float scan over the stored
+  /// lattice, and snapshots switch to the quantized v3 format.
   ShardedIndex(int num_shards, int num_bits,
                search::SearchStrategy strategy = search::SearchStrategy::kMih,
                int mih_substrings = 0, int compact_min_ops = 64,
-               double compact_ratio = 0.25);
+               double compact_ratio = 0.25, bool quantize = false,
+               int embedding_dim = 0);
 
   /// Inserts one entry; returns its global id (monotone, insertion-ordered).
   /// Thread-safe; without a WAL, concurrent inserts to different shards do
@@ -79,6 +84,26 @@ class ShardedIndex {
   /// ThreadPool::RunAll); without one they run serially on the caller.
   std::vector<search::Neighbor> QueryTopK(const search::Code& query, int k,
                                           ThreadPool* pool = nullptr) const;
+
+  /// Euclidean re-rank fan-out: each shard re-ranks its `num_candidates`
+  /// (≥ k) Hamming-nearest live entries by embedding distance
+  /// (ingest::LiveIndex::RerankTopK — the two-stage quantized re-ranker in
+  /// quantize mode, the exact float scan otherwise), and the per-shard
+  /// top-ks merge under (distance, global id). Entries without embeddings
+  /// are skipped.
+  std::vector<search::Neighbor> QueryRerankTopK(
+      const search::Code& query, const std::vector<float>& query_embedding,
+      int k, int num_candidates, ThreadPool* pool = nullptr) const;
+
+  bool quantize() const { return quantize_; }
+  int embedding_dim() const { return embedding_dim_; }
+
+  /// Bytes resident for embedding storage, summed over shards (the gauge
+  /// behind the quantized store's ~4× cut).
+  size_t embedding_resident_bytes() const;
+
+  /// Two-stage re-ranker counters, summed over shards.
+  quant::RerankSnapshot rerank_stats() const;
 
   /// Top-k of one shard (global ids). Exposed so the engine can instrument
   /// the probe stage per shard.
@@ -217,6 +242,8 @@ class ShardedIndex {
 
   const int num_bits_;
   const search::SearchStrategy strategy_;
+  const bool quantize_;
+  const int embedding_dim_;
   // Heap-allocated so the LiveIndex's internal mutex never moves.
   std::vector<std::unique_ptr<ingest::LiveIndex>> shards_;
   std::atomic<int> next_id_{0};

@@ -151,6 +151,24 @@ std::string FrontendJson(const FrontendSnapshot& s) {
   return buf;
 }
 
+std::string QuantJson(const QuantSnapshot& s) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"quantize\": %s, \"resident_bytes\": %llu, "
+      "\"rerank_queries\": %llu, \"rerank_candidates\": %llu, "
+      "\"rechecked\": %llu, \"band_violations\": %llu, "
+      "\"requant_recheck_rate\": %.6f, \"band_width\": %.6f}",
+      s.quantize ? "true" : "false",
+      static_cast<unsigned long long>(s.resident_bytes),
+      static_cast<unsigned long long>(s.rerank_queries),
+      static_cast<unsigned long long>(s.rerank_candidates),
+      static_cast<unsigned long long>(s.rechecked),
+      static_cast<unsigned long long>(s.band_violations),
+      s.requant_recheck_rate, s.band_width);
+  return buf;
+}
+
 std::string StageName(Stage stage) {
   switch (stage) {
     case Stage::kEncode:

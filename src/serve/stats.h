@@ -123,6 +123,28 @@ struct FrontendSnapshot {
 /// the CLI can never drift apart.
 std::string FrontendJson(const FrontendSnapshot& s);
 
+/// One view of the quantized embedding store and its two-stage re-ranker
+/// (DESIGN.md §17), surfaced by QueryEngine::quant_stats() and the
+/// serve-bench `quant` stats-json block. `resident_bytes` is meaningful in
+/// either mode (it is what proves the ~4× cut); the re-rank counters stay
+/// zero until QueryRerank traffic arrives.
+struct QuantSnapshot {
+  bool quantize = false;        ///< int8 store enabled on the engine
+  uint64_t resident_bytes = 0;  ///< embedding-store resident bytes (gauge)
+  uint64_t rerank_queries = 0;  ///< re-rank queries served
+  uint64_t rerank_candidates = 0;  ///< stage-1 rows scanned quantized
+  uint64_t rechecked = 0;          ///< rows float re-checked (stage 2)
+  uint64_t band_violations = 0;    ///< band-honored check failures (fallback)
+  /// Fraction of stage-1 candidates that needed the exact float re-check
+  /// after requantization onto the query lattice.
+  double requant_recheck_rate = 0.0;
+  double band_width = 0.0;  ///< mean re-check band width (distance units)
+};
+
+/// The `quant` object of serve-bench --stats-json, one JSON string (no
+/// trailing newline) — kept beside the snapshot like FrontendJson.
+std::string QuantJson(const QuantSnapshot& s);
+
 /// The instrumented stages of one query through the engine
 /// (encode -> probe -> rank), plus the end-to-end total.
 enum class Stage { kEncode = 0, kProbe = 1, kRank = 2, kTotal = 3 };

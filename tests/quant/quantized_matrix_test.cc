@@ -1,0 +1,196 @@
+// Unit tests for the per-dimension affine int8 quantization (DESIGN.md §17):
+// calibration (one-shot and streaming), the round-trip error bound
+// (≤ step/2 per dimension inside the calibration range), zero-range
+// widening, saturating out-of-range values, NaN/inf rejection at quantize
+// time, and the QuantizedMatrix layout contract (32-byte-aligned rows,
+// byte stride padded to 32, zero-filled padding).
+#include "quant/quantized_matrix.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace traj2hash::quant {
+namespace {
+
+std::vector<std::vector<float>> RandomRows(int n, int dim, Rng& rng,
+                                           double lo = -5.0,
+                                           double hi = 5.0) {
+  std::vector<std::vector<float>> rows(n, std::vector<float>(dim));
+  for (auto& row : rows) {
+    for (float& x : row) x = static_cast<float>(rng.Uniform(lo, hi));
+  }
+  return rows;
+}
+
+TEST(QuantizationParamsTest, RoundTripErrorBoundedByHalfStep) {
+  Rng rng(11);
+  const int dim = 19;
+  const auto rows = RandomRows(60, dim, rng);
+  const auto params = QuantizationParams::Compute(rows, dim);
+  ASSERT_TRUE(params.ok());
+  ASSERT_EQ(params.value().dim(), dim);
+  std::vector<int8_t> q(dim);
+  std::vector<float> back(dim);
+  for (const auto& row : rows) {
+    ASSERT_TRUE(params.value().QuantizeRow(row.data(), q.data()).ok());
+    params.value().DequantizeRow(q.data(), back.data());
+    for (int j = 0; j < dim; ++j) {
+      // Half a step, plus a little float-arithmetic headroom: the bound is
+      // about the lattice, not about exact float rounding.
+      const float step = params.value().scale[j];
+      EXPECT_LE(std::abs(back[j] - row[j]), 0.5f * step + 1e-4f * step)
+          << "dim " << j;
+    }
+  }
+}
+
+TEST(QuantizationParamsTest, ConstantDimensionIsWidenedNotDegenerate) {
+  // A zero-range dimension would make the step 0 (division by zero at
+  // quantize time); the contract widens it to [c − ½, c + ½] instead.
+  const int dim = 3;
+  std::vector<std::vector<float>> rows(8, {4.25f, -1.0f, 0.0f});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    rows[i][1] = static_cast<float>(i);  // only dim 1 varies
+  }
+  const auto params = QuantizationParams::Compute(rows, dim);
+  ASSERT_TRUE(params.ok());
+  EXPECT_NEAR(params.value().scale[0], 1.0f / 255.0f, 1e-7f);
+  EXPECT_NEAR(params.value().scale[2], 1.0f / 255.0f, 1e-7f);
+  EXPECT_GT(params.value().scale[1], params.value().scale[0]);
+
+  std::vector<int8_t> q(dim);
+  std::vector<float> back(dim);
+  ASSERT_TRUE(params.value().QuantizeRow(rows[3].data(), q.data()).ok());
+  params.value().DequantizeRow(q.data(), back.data());
+  EXPECT_NEAR(back[0], 4.25f, 1.0f / 510.0f + 1e-5f);
+  EXPECT_NEAR(back[2], 0.0f, 1.0f / 510.0f + 1e-5f);
+}
+
+TEST(QuantizationParamsTest, OutOfRangeValuesSaturateAtTheRangeEdge) {
+  const int dim = 2;
+  const std::vector<std::vector<float>> rows = {{-1.0f, -2.0f},
+                                                {1.0f, 2.0f}};
+  const auto params = QuantizationParams::Compute(rows, dim);
+  ASSERT_TRUE(params.ok());
+
+  const std::vector<float> outlier = {100.0f, -100.0f};
+  std::vector<int8_t> q(dim);
+  std::vector<float> back(dim);
+  ASSERT_TRUE(params.value().QuantizeRow(outlier.data(), q.data()).ok());
+  EXPECT_EQ(q[0], 127);   // saturated high
+  EXPECT_EQ(q[1], -128);  // saturated low
+  params.value().DequantizeRow(q.data(), back.data());
+  // The float zero-point maps the calibration range exactly onto
+  // [−128, 127], so saturation lands on the range edge (up to float
+  // rounding), never outside it.
+  EXPECT_NEAR(back[0], 1.0f, 1e-4f);
+  EXPECT_NEAR(back[1], -2.0f, 1e-4f);
+}
+
+TEST(QuantizationParamsTest, NonFiniteValuesAreRejected) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+
+  // Calibration with a non-finite row.
+  auto bad = QuantizationParams::Compute({{1.0f, nan}}, 2);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  // Quantizing a non-finite row under good params.
+  const auto params =
+      QuantizationParams::Compute({{-1.0f, -1.0f}, {1.0f, 1.0f}}, 2);
+  ASSERT_TRUE(params.ok());
+  std::vector<int8_t> q(2);
+  for (const float poison : {nan, inf, -inf}) {
+    const std::vector<float> row = {0.0f, poison};
+    const Status s = params.value().QuantizeRow(row.data(), q.data());
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  }
+
+  // Streaming calibration rejects too, without partially applying the row.
+  ParamsBuilder builder(2);
+  ASSERT_TRUE(builder.Add(std::vector<float>{0.0f, 0.0f}.data()).ok());
+  const std::vector<float> poison_row = {nan, 7.0f};
+  EXPECT_EQ(builder.Add(poison_row.data()).code(),
+            StatusCode::kInvalidArgument);
+  const auto built = builder.Build();
+  ASSERT_TRUE(built.ok());
+  // The rejected row's max (7.0) must not have leaked into the range.
+  EXPECT_NEAR(built.value().scale[1], 1.0f / 255.0f, 1e-7f);
+}
+
+TEST(ParamsBuilderTest, MatchesOneShotCompute) {
+  Rng rng(17);
+  const int dim = 7;
+  const auto rows = RandomRows(40, dim, rng);
+  const auto one_shot = QuantizationParams::Compute(rows, dim);
+  ASSERT_TRUE(one_shot.ok());
+
+  ParamsBuilder builder(dim);
+  for (const auto& row : rows) ASSERT_TRUE(builder.Add(row.data()).ok());
+  EXPECT_EQ(builder.rows_seen(), 40);
+  const auto streamed = builder.Build();
+  ASSERT_TRUE(streamed.ok());
+  for (int j = 0; j < dim; ++j) {
+    EXPECT_EQ(streamed.value().scale[j], one_shot.value().scale[j]) << j;
+    EXPECT_EQ(streamed.value().zero_point[j], one_shot.value().zero_point[j])
+        << j;
+    EXPECT_EQ(streamed.value().scale_sq[j], one_shot.value().scale_sq[j])
+        << j;
+  }
+}
+
+TEST(ParamsBuilderTest, BuildWithoutRowsFails) {
+  ParamsBuilder builder(4);
+  const auto built = builder.Build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(QuantizedMatrixTest, LayoutContractAndRoundTrip) {
+  const int cols = 37;  // not a multiple of 32: padding in play
+  QuantizedMatrix m(cols);
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), cols);
+  EXPECT_EQ(m.stride() % 32, 0);
+  EXPECT_GE(m.stride(), cols);
+
+  Rng rng(5);
+  std::vector<std::vector<int8_t>> rows;
+  for (int i = 0; i < 9; ++i) {
+    std::vector<int8_t> row(cols);
+    for (int8_t& v : row) {
+      v = static_cast<int8_t>(rng.UniformInt(-128, 127));
+    }
+    EXPECT_EQ(m.Append(row.data()), i);
+    rows.push_back(std::move(row));
+  }
+  ASSERT_EQ(m.rows(), 9);
+  EXPECT_EQ(m.resident_bytes(), static_cast<size_t>(9) * m.stride());
+
+  for (int i = 0; i < 9; ++i) {
+    // Aligned row starts, exact payload, zero-filled padding.
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(m.row(i)) % 32, 0u) << i;
+    EXPECT_EQ(m.RowAt(i), rows[i]) << i;
+    for (int j = cols; j < m.stride(); ++j) {
+      EXPECT_EQ(m.row(i)[j], 0) << "row " << i << " pad " << j;
+    }
+  }
+
+  // Overwrite keeps the same contract.
+  std::vector<int8_t> replacement(cols, -3);
+  m.OverwriteRow(4, replacement.data());
+  EXPECT_EQ(m.RowAt(4), replacement);
+  EXPECT_EQ(m.RowAt(3), rows[3]);
+  EXPECT_EQ(m.RowAt(5), rows[5]);
+}
+
+}  // namespace
+}  // namespace traj2hash::quant

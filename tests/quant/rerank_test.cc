@@ -1,0 +1,197 @@
+// Two-stage re-ranker tests (DESIGN.md §17): the headline contract is
+// bit-identity — RerankTopK must return exactly what search::TopKEuclidean
+// returns over a FlatMatrix holding the dequantized lattice rows of the
+// same candidates, distances included, with zero band violations. Plus the
+// fallback paths (non-finite query, k ≥ n) and the counter accounting.
+#include "quant/rerank.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "search/flat_storage.h"
+#include "search/knn.h"
+
+namespace traj2hash::quant {
+namespace {
+
+struct Store {
+  QuantizationParams params;
+  QuantizedMatrix m{1};
+};
+
+/// Random rows quantized into one store (params calibrated on those rows).
+Store MakeStore(int n, int dim, Rng& rng, double lo = -4.0, double hi = 4.0) {
+  std::vector<std::vector<float>> rows(n, std::vector<float>(dim));
+  for (auto& row : rows) {
+    for (float& x : row) x = static_cast<float>(rng.Uniform(lo, hi));
+  }
+  Store store;
+  store.params = QuantizationParams::Compute(rows, dim).value();
+  store.m = QuantizedMatrix(dim);
+  std::vector<int8_t> q(dim);
+  for (const auto& row : rows) {
+    EXPECT_TRUE(store.params.QuantizeRow(row.data(), q.data()).ok());
+    store.m.Append(q.data());
+  }
+  return store;
+}
+
+/// The float path the re-ranker must be bit-identical to: exact top-k over
+/// the DEQUANTIZED candidate rows, indices mapped back to rows of `m`.
+std::vector<search::Neighbor> FloatOracle(const QuantizedMatrix& m,
+                                          const QuantizationParams& params,
+                                          const std::vector<float>& query,
+                                          int k,
+                                          const std::vector<int>& candidates) {
+  search::FlatMatrix deq(params.dim());
+  std::vector<float> row(params.dim());
+  for (const int c : candidates) {
+    params.DequantizeRow(m.row(c), row.data());
+    deq.Append(row);
+  }
+  std::vector<search::Neighbor> top = search::TopKEuclidean(deq, query, k);
+  for (search::Neighbor& nb : top) nb.index = candidates[nb.index];
+  return top;
+}
+
+void ExpectBitIdentical(const std::vector<search::Neighbor>& got,
+                        const std::vector<search::Neighbor>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].index, want[i].index) << "rank " << i;
+    EXPECT_EQ(got[i].distance, want[i].distance) << "rank " << i;
+  }
+}
+
+std::vector<int> AllRows(int n) {
+  std::vector<int> all(n);
+  for (int i = 0; i < n; ++i) all[i] = i;
+  return all;
+}
+
+TEST(RerankTopKTest, BitIdenticalToFloatPathOverAllRows) {
+  Rng rng(71);
+  for (const int dim : {1, 5, 8, 33, 64}) {
+    for (const int n : {1, 7, 40, 150}) {
+      const Store store = MakeStore(n, dim, rng);
+      for (const int k : {1, 3, 10}) {
+        std::vector<float> query(dim);
+        for (float& x : query) x = static_cast<float>(rng.Uniform(-4.5, 4.5));
+        RerankCounters counters;
+        const auto got = RerankTopK(store.m, store.params, query, k,
+                                    /*candidates=*/nullptr,
+                                    /*num_candidates=*/0, &counters);
+        ExpectBitIdentical(
+            got, FloatOracle(store.m, store.params, query, k, AllRows(n)));
+        EXPECT_EQ(SnapshotCounters(counters).band_violations, 0u)
+            << "dim=" << dim << " n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(RerankTopKTest, CandidateSubsetIsRespectedAndMappedBack) {
+  Rng rng(72);
+  const int n = 90;
+  const int dim = 16;
+  const Store store = MakeStore(n, dim, rng);
+  // An ascending candidate subset (the layer above gathers candidates in
+  // ascending row order so row ties equal id ties).
+  std::vector<int> candidates;
+  for (int i = 0; i < n; i += 3) candidates.push_back(i);
+  std::vector<float> query(dim);
+  for (float& x : query) x = static_cast<float>(rng.Uniform(-4.0, 4.0));
+
+  const auto got =
+      RerankTopK(store.m, store.params, query, 8, candidates.data(),
+                 static_cast<int>(candidates.size()), nullptr);
+  ExpectBitIdentical(got,
+                     FloatOracle(store.m, store.params, query, 8, candidates));
+  for (const search::Neighbor& nb : got) {
+    EXPECT_EQ(nb.index % 3, 0) << "non-candidate row leaked into the top-k";
+  }
+}
+
+TEST(RerankTopKTest, DuplicateRowsTieBreakByAscendingRowIndex) {
+  const int dim = 4;
+  QuantizationParams params =
+      QuantizationParams::Compute({{-1.0f, -1.0f, -1.0f, -1.0f},
+                                   {1.0f, 1.0f, 1.0f, 1.0f}},
+                                  dim)
+          .value();
+  QuantizedMatrix m(dim);
+  const std::vector<float> same = {0.5f, -0.5f, 0.25f, 0.0f};
+  std::vector<int8_t> q(dim);
+  ASSERT_TRUE(params.QuantizeRow(same.data(), q.data()).ok());
+  for (int i = 0; i < 6; ++i) m.Append(q.data());
+
+  const std::vector<float> query = {0.0f, 0.0f, 0.0f, 0.0f};
+  const auto got = RerankTopK(m, params, query, 4, nullptr, 0, nullptr);
+  ASSERT_EQ(got.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(got[i].index, i) << "ties must resolve by ascending row";
+    EXPECT_EQ(got[i].distance, got[0].distance);
+  }
+}
+
+TEST(RerankTopKTest, KAtLeastNReturnsEveryRowExactly) {
+  Rng rng(73);
+  const Store store = MakeStore(5, 9, rng);
+  std::vector<float> query(9, 0.0f);
+  const auto got = RerankTopK(store.m, store.params, query, 12, nullptr, 0,
+                              nullptr);
+  ExpectBitIdentical(
+      got, FloatOracle(store.m, store.params, query, 12, AllRows(5)));
+  EXPECT_EQ(got.size(), 5u);
+}
+
+TEST(RerankTopKTest, NonFiniteQueryFallsBackWithoutCrashing) {
+  Rng rng(74);
+  const Store store = MakeStore(30, 8, rng);
+  std::vector<float> query(8, 0.0f);
+  query[3] = std::numeric_limits<float>::quiet_NaN();
+  RerankCounters counters;
+  const auto got =
+      RerankTopK(store.m, store.params, query, 5, nullptr, 0, &counters);
+  // The result set still has k rows (distances are NaN-poisoned, but the
+  // call must not assert or read out of bounds) and nothing was banded.
+  EXPECT_EQ(got.size(), 5u);
+  EXPECT_EQ(SnapshotCounters(counters).banded_queries, 0u);
+  EXPECT_EQ(SnapshotCounters(counters).band_violations, 0u);
+}
+
+TEST(RerankTopKTest, CountersAccountForEveryQuery) {
+  Rng rng(75);
+  const int n = 200;
+  const Store store = MakeStore(n, 24, rng);
+  RerankCounters counters;
+  const int kQueries = 10;
+  for (int t = 0; t < kQueries; ++t) {
+    std::vector<float> query(24);
+    for (float& x : query) x = static_cast<float>(rng.Uniform(-4.0, 4.0));
+    (void)RerankTopK(store.m, store.params, query, 5, nullptr, 0, &counters);
+  }
+  const RerankSnapshot snap = SnapshotCounters(counters);
+  EXPECT_EQ(snap.queries, static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(snap.candidates, static_cast<uint64_t>(kQueries) * n);
+  // Stage 2 re-checks at least the k winners of every query, never more
+  // than everything.
+  EXPECT_GE(snap.rechecked, static_cast<uint64_t>(kQueries) * 5);
+  EXPECT_LE(snap.rechecked, snap.candidates);
+  EXPECT_EQ(snap.band_violations, 0u);
+  EXPECT_GT(snap.recheck_rate(), 0.0);
+  EXPECT_LE(snap.recheck_rate(), 1.0);
+  // With n >> k and a healthy spread, the band prunes most candidates —
+  // the point of stage 1. A loose bound so the test doesn't ride the rng.
+  EXPECT_LT(snap.recheck_rate(), 0.9);
+  if (snap.banded_queries > 0) {
+    EXPECT_GT(snap.mean_band_width(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace traj2hash::quant

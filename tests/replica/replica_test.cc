@@ -198,6 +198,70 @@ TEST(ReplicaTest, LagAccountingCountsUnappliedRecords) {
   EXPECT_EQ(replica.lag_ms(), 0.0);
 }
 
+TEST(ReplicaTest, QuantizedReplicaRequantizesShippedEmbeddings) {
+  // A quantize-mode replica of a quantize-mode primary: the bootstrap
+  // snapshot (v3) and every WAL record carry FLOAT embeddings, and the
+  // replica re-quantizes them under its own per-shard params on apply.
+  // Hamming reads keep the bit-identity contract (codes are never
+  // quantized); the replica's lattice tracks the originals within its
+  // widening/requantization budget, and re-rank reads over it are exact —
+  // but NOT claimed bit-identical to the primary's lattice, whose params
+  // come from a different calibration history.
+  constexpr int kDim = 6;
+  Rng rng(450);
+  auto random_embedding = [&rng] {
+    std::vector<float> e(kDim);
+    for (float& x : e) x = static_cast<float>(rng.Uniform(-2.0, 2.0));
+    return e;
+  };
+  serve::ShardedIndex primary_index(3, 16, search::SearchStrategy::kMih, 0,
+                                    64, 0.25, /*quantize=*/true, kDim);
+  const std::string wal_path = TempPath("replica_quant.wal");
+  ASSERT_TRUE(primary_index.AttachWal(wal_path).ok());
+  std::vector<std::vector<float>> originals;
+  for (int i = 0; i < 40; ++i) {
+    originals.push_back(random_embedding());
+    ASSERT_TRUE(primary_index.Insert(RandomCode(16, rng), originals[i]).ok());
+  }
+  Primary primary(&primary_index, wal_path);
+
+  ReplicaOptions options;
+  options.num_shards = 2;
+  options.quantize = true;
+  options.embedding_dim = kDim;
+  Replica replica(&primary, options, "rq");
+  ASSERT_TRUE(replica.Bootstrap(TempPath("replica_quant.snap")).ok());
+
+  // Live mutations after bootstrap arrive through the WAL tail, not the
+  // snapshot — the apply path must re-quantize them too.
+  for (int i = 40; i < 70; ++i) {
+    originals.push_back(random_embedding());
+    ASSERT_TRUE(primary_index.Insert(RandomCode(16, rng), originals[i]).ok());
+  }
+  ASSERT_TRUE(replica.CatchUp().ok());
+  ExpectIdentical(primary_index, replica, rng);
+
+  const auto index = replica.index();
+  ASSERT_TRUE(index->quantize());
+  EXPECT_GT(index->embedding_resident_bytes(), 0u);
+  // Each stored value crosses at most three lattices (primary shard ->
+  // snapshot global -> replica shard) and the replica's in-place widenings
+  // add ≤ half a step each — ≈ 0.1 covers several steps of 4/255 at this
+  // data range.
+  for (const int id : {1, 17, 38, 41, 69}) {
+    const std::vector<float> back = index->EmbeddingOf(id);
+    ASSERT_EQ(back.size(), static_cast<size_t>(kDim)) << id;
+    for (int j = 0; j < kDim; ++j) {
+      EXPECT_NEAR(back[j], originals[id][j], 0.1f) << "id " << id;
+    }
+    const auto top =
+        index->QueryRerankTopK(RandomCode(16, rng), originals[id], 1, 10000);
+    ASSERT_EQ(top.size(), 1u) << id;
+    EXPECT_EQ(top[0].index, id);
+  }
+  EXPECT_EQ(index->rerank_stats().band_violations, 0u);
+}
+
 TEST(ReplicaTest, ApplyShippedRefusedOnWalAttachedIndex) {
   // The guard behind the replica contract: an index that logs its own
   // mutations must never accept shipped records, or a checkpoint race could

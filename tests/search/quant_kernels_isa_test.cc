@@ -1,0 +1,117 @@
+// Per-ISA contract tests for kernels::QuantizedL2Scan (DESIGN.md §14/§17):
+// every available backend is forced via ScopedKernelIsa and checked against
+// a plain double-chain oracle. The int8 difference and its square are exact
+// on every backend, so cross-backend divergence can only come from the
+// accumulation order — bounded by a tight relative epsilon. Also pins that
+// the scan honours the QuantizedMatrix byte-stride layout (padding never
+// contributes). Unavailable ISAs skip visibly, never silently downgrade.
+#include "search/kernels.h"
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/aligned.h"
+#include "common/cpu_features.h"
+#include "common/rng.h"
+#include "quant/quantized_matrix.h"
+
+namespace traj2hash::search {
+namespace {
+
+class QuantKernelIsaTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    const auto parsed = ParseKernelIsa(GetParam());
+    ASSERT_TRUE(parsed.ok());
+    isa_ = parsed.value();
+    if (!KernelIsaAvailable(isa_)) {
+      GTEST_SKIP() << "SKIPPED: no " << GetParam()
+                   << " (not compiled in or unsupported by this CPU)";
+    }
+  }
+
+  KernelIsa isa_ = KernelIsa::kScalar;
+};
+
+/// Ascending-j double chain over the exact integer differences — the
+/// definition the kernel approximates up to accumulation order.
+double Oracle(const int8_t* row, const int8_t* query, const float* scale_sq,
+              int dim) {
+  double acc = 0.0;
+  for (int j = 0; j < dim; ++j) {
+    const int diff = static_cast<int>(row[j]) - static_cast<int>(query[j]);
+    acc += static_cast<double>(scale_sq[j]) * (diff * diff);
+  }
+  return acc;
+}
+
+/// Dims cover the 8-lane AVX2 main loop, its 1..7 tail, and dim < 8
+/// entirely-tail shapes; n covers the scalar 4-row blocking and its tails.
+TEST_P(QuantKernelIsaTest, MatchesDoubleChainOracleWithinEpsilon) {
+  ScopedKernelIsa pin(isa_);
+  Rng rng(301);
+  for (const int dim : {1, 3, 7, 8, 9, 16, 31, 32, 33, 100, 128}) {
+    for (const int n : {1, 2, 3, 4, 5, 33}) {
+      quant::QuantizedMatrix m(dim);
+      std::vector<int8_t> row(dim);
+      for (int i = 0; i < n; ++i) {
+        for (int8_t& v : row) {
+          v = static_cast<int8_t>(rng.UniformInt(-128, 127));
+        }
+        m.Append(row.data());
+      }
+      std::vector<int8_t> query(dim);
+      for (int8_t& v : query) {
+        v = static_cast<int8_t>(rng.UniformInt(-128, 127));
+      }
+      AlignedVector<float> scale_sq(dim);
+      for (int j = 0; j < dim; ++j) {
+        const float s = static_cast<float>(rng.Uniform(1e-3, 0.1));
+        scale_sq[j] = s * s;
+      }
+
+      std::vector<double> out(n, -1.0);
+      kernels::QuantizedL2Scan(m.data(), query.data(), scale_sq.data(), n,
+                               dim, m.stride(), out.data());
+      for (int i = 0; i < n; ++i) {
+        const double want = Oracle(m.row(i), query.data(), scale_sq.data(),
+                                   dim);
+        EXPECT_NEAR(out[i], want, 1e-9 * (1.0 + std::abs(want)))
+            << "isa=" << GetParam() << " dim=" << dim << " n=" << n
+            << " row=" << i;
+      }
+    }
+  }
+}
+
+/// All-saturated rows exercise the extreme |diff| = 255 case the AVX2 path
+/// squares in float (exact: 255² < 2²⁴) — the result must still be exact
+/// per term.
+TEST_P(QuantKernelIsaTest, ExtremeInt8RangeStaysExactPerTerm) {
+  ScopedKernelIsa pin(isa_);
+  const int dim = 40;
+  quant::QuantizedMatrix m(dim);
+  std::vector<int8_t> lo(dim, -128);
+  std::vector<int8_t> hi(dim, 127);
+  m.Append(lo.data());
+  m.Append(hi.data());
+  AlignedVector<float> scale_sq(dim);
+  for (int j = 0; j < dim; ++j) scale_sq[j] = 1.0f;
+
+  std::vector<double> out(2, 0.0);
+  kernels::QuantizedL2Scan(m.data(), hi.data(), scale_sq.data(), 2, dim,
+                           m.stride(), out.data());
+  EXPECT_NEAR(out[0], static_cast<double>(dim) * 255.0 * 255.0, 1e-6);
+  EXPECT_EQ(out[1], 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, QuantKernelIsaTest,
+                         ::testing::Values("scalar", "sse2", "avx2"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace traj2hash::search

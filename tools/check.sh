@@ -5,7 +5,7 @@
 #
 #   tools/check.sh           # all three full lanes + the simd sweep
 #   tools/check.sh plain     # just one lane: fast | plain | asan | tsan |
-#                            # simd | chaos
+#                            # simd | chaos | quant
 #   tools/check.sh fast      # plain build + only the tier1-labelled tests
 #                            # (the fast, dependency-light unit tests —
 #                            # see tests/CMakeLists.txt)
@@ -16,6 +16,10 @@
 #                            # (socket framing / transport / reconnect
 #                            # chaos, DESIGN.md 16) plus the serve-bench
 #                            # netsplit drill on real data
+#   tools/check.sh quant     # plain build + the quant-labelled suites
+#                            # (int8 store / re-ranker / quantized kernels,
+#                            # DESIGN.md 17) plus the full-scale bench_quant
+#                            # gate run (memory ratio, recall, avx2 speedup)
 #
 # Each lane configures into its own build directory (build, build-asan,
 # build-tsan; fast shares build), so incremental re-runs are cheap. A lane
@@ -51,6 +55,29 @@ frontend_stress() {
   echo "==== lane: tsan-frontend-stress (build-tsan) ===="
   ctest --test-dir build-tsan --output-on-failure \
     -R 'CoalescerCacheChurnStress' --repeat until-fail:3
+}
+
+# The quantized-store churn stress
+# (QuantChurnTest.ConcurrentRerankAndMutationsAreRaceFree: re-rank readers
+# against writers that widen the int8 params in place and trigger
+# compaction rescales) is where a torn param/row pair would surface —
+# DESIGN.md 17.
+quant_stress() {
+  echo "==== lane: tsan-quant-stress (build-tsan) ===="
+  ctest --test-dir build-tsan --output-on-failure \
+    -R 'ConcurrentRerankAndMutationsAreRaceFree' --repeat until-fail:3
+}
+
+# The quantized embedding store end to end (DESIGN.md 17): the
+# quant-labelled suites (params / lattice round trips, re-ranker
+# bit-identity, per-ISA quantized kernels, snapshot v3, churn property
+# tests), then the full-scale bench_quant run whose gates — resident-memory
+# ratio ≥ 3.5x, recall@k == 1.0 against the exact float scan, avx2 ≥ 2x
+# scalar on the cache-resident sweep — exit non-zero when violated.
+quant_lane() {
+  run_lane quant build "" -L quant
+  echo "==== lane: quant-bench-gates (build) ===="
+  ./build/bench/bench_quant > /dev/null
 }
 
 # The socket-transport reconnect storm
@@ -123,21 +150,25 @@ case "${lanes}" in
     replica_stress
     frontend_stress
     socket_stress
+    quant_stress
     ;;
   simd)  simd_lane ;;
   chaos) chaos_lane ;;
+  quant) quant_lane ;;
   all)
     run_lane plain build ""
     simd_lane
     T2H_KERNEL_ISA=scalar run_lane asan build-asan address
     chaos_lane
+    quant_lane
     run_lane tsan build-tsan thread
     replica_stress
     frontend_stress
     socket_stress
+    quant_stress
     ;;
   *)
-    echo "usage: tools/check.sh [fast|plain|asan|tsan|simd|chaos|all]" >&2
+    echo "usage: tools/check.sh [fast|plain|asan|tsan|simd|chaos|quant|all]" >&2
     exit 2
     ;;
 esac

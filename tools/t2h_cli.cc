@@ -205,6 +205,13 @@ int Usage() {
                " 8)\n"
                "           [--cache-entries N] (epoch-keyed result cache"
                " capacity; 0 = off)\n"
+               "           [--quantize 0|1] (int8 embedding store + a round"
+               " of two-stage\n"
+               "                            Euclidean re-rank queries;"
+               " DESIGN.md 17)\n"
+               "           [--rerank-candidates N] (Hamming candidates"
+               " re-ranked per shard;\n"
+               "                            0 = max(8k, 64))\n"
                "           [--stats-json F] (dump the per-stage latency"
                " snapshot as JSON)\n"
                "  wal-replay --wal F  (walk a write-ahead log, print its"
@@ -503,6 +510,16 @@ int RunServeBench(const Args& args) {
     return Fail("--batch-wait-us needs --clients >= 1 (coalescing batches"
                 " concurrent Query() callers)");
   }
+  // Quantized embedding store (DESIGN.md §17): --quantize 1 stores
+  // embeddings as per-dim int8 and adds a round of two-stage re-rank
+  // queries after the Hamming rounds.
+  const int quantize_flag = args.GetInt("quantize", 0);
+  if (quantize_flag != 0 && quantize_flag != 1) {
+    return Fail("--quantize must be 0 or 1");
+  }
+  const bool quantize = quantize_flag == 1;
+  const int rerank_candidates = args.GetInt("rerank-candidates", 0);
+  if (rerank_candidates < 0) return Fail("--rerank-candidates must be >= 0");
 
   t2h::serve::QueryEngine engine(model.get(),
                                  {.num_threads = threads,
@@ -516,7 +533,17 @@ int RunServeBench(const Args& args) {
                                   .max_wait_us = batch_wait_us >= 0
                                       ? batch_wait_us
                                       : 0,
-                                  .cache_entries = cache_entries});
+                                  .cache_entries = cache_entries,
+                                  .quantize = quantize,
+                                  .rerank_candidates = rerank_candidates});
+  if (quantize) {
+    // Self-describing startup, like the kernel-isa line: which embedding
+    // store this run serves from and how wide the re-rank pool is.
+    std::printf("quantize: int8 embedding store on,"
+                " rerank candidates/shard %d\n",
+                rerank_candidates > 0 ? rerank_candidates
+                                      : std::max(8 * k, 64));
+  }
 
   // With --snapshot, a readable snapshot replaces the encode-heavy
   // InsertAll; otherwise the database is built and then checkpointed (the
@@ -713,6 +740,31 @@ int RunServeBench(const Args& args) {
         static_cast<unsigned long long>(fs.cache_hits),
         static_cast<unsigned long long>(fs.cache_lookups),
         static_cast<unsigned long long>(fs.cache_stale));
+  }
+  if (quantize) {
+    // A round of Euclidean re-rank traffic through the two-stage quantized
+    // re-ranker — the path --quantize exists for. Serial on purpose: the
+    // per-query band/recheck counters below are the product, not QPS.
+    t2h::Stopwatch rerank_wall;
+    int64_t rerank_bad = 0;
+    for (const auto& q : queries) {
+      const t2h::serve::QueryResult r = engine.QueryRerank(q, k);
+      if (!r.complete) ++rerank_bad;
+    }
+    const double rerank_seconds = rerank_wall.ElapsedSeconds();
+    if (rerank_bad > 0) {
+      return Fail("QueryRerank returned " + std::to_string(rerank_bad) +
+                  " incomplete results");
+    }
+    const t2h::serve::QuantSnapshot qs = engine.quant_stats();
+    std::printf(
+        "quant: %llu rerank queries at %.1f QPS, resident %llu bytes,"
+        " recheck rate %.4f, band width %.4f, %llu band violations\n",
+        static_cast<unsigned long long>(qs.rerank_queries),
+        queries.size() / rerank_seconds,
+        static_cast<unsigned long long>(qs.resident_bytes),
+        qs.requant_recheck_rate, qs.band_width,
+        static_cast<unsigned long long>(qs.band_violations));
   }
 
   // --replicas: ship the primary's WAL to a replica group and route the
@@ -1017,6 +1069,8 @@ int RunServeBench(const Args& args) {
     }
     json += "  \"frontend\": " +
             t2h::serve::FrontendJson(engine.frontend_stats()) + ",\n";
+    json += "  \"quant\": " +
+            t2h::serve::QuantJson(engine.quant_stats()) + ",\n";
     json += "  \"stages\": {\n";
     for (int i = 0; i < t2h::serve::kNumStages; ++i) {
       const auto& s =
@@ -1129,7 +1183,8 @@ int main(int argc, char** argv) {
         "queue-depth", "overload", "snapshot", "wal", "churn",
         "query-dist", "replicas", "drill", "transport", "max-lag-records",
         "max-lag-ms", "stats-json", "kernel-isa",
-        "batch-wait-us", "max-batch", "cache-entries", "clients"}},
+        "batch-wait-us", "max-batch", "cache-entries", "clients",
+        "quantize", "rerank-candidates"}},
       {"wal-replay", {"wal", "from-seq"}},
       {"version", {"kernel-isa"}},
   };
